@@ -1,0 +1,21 @@
+//! Mini-applications and workloads for the `replidedup` evaluation.
+//!
+//! The paper motivates and evaluates its collective replication scheme with
+//! two real HPC applications running under checkpoint/restart:
+//!
+//! * [`hpccg`] — the Mantevo conjugate-gradient mini-app (27-point finite
+//!   difference matrix, weak scaling),
+//! * [`cm1`] — a CM1-like atmospheric stencil model (hurricane vortex over
+//!   a uniform ambient state),
+//!
+//! plus [`synthetic`] — a workload generator with exactly dialed-in
+//! redundancy for sweeps and property tests.
+
+pub mod cm1;
+pub mod hpccg;
+pub mod synthetic;
+pub mod util;
+
+pub use cm1::{Cm1, Cm1Config, Cm1Regions};
+pub use hpccg::{Hpccg, HpccgConfig, HpccgRegions};
+pub use synthetic::SyntheticWorkload;

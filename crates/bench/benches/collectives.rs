@@ -1,0 +1,87 @@
+//! Runtime collective benchmarks: the cost of the message-passing
+//! substrate itself (allreduce with the HMERGE operator is the kernel of
+//! Figures 3(b)/(c)).
+//!
+//! Worlds are intentionally modest (threads on one machine); the point is
+//! the relative cost of the collective algorithms, not cluster numbers —
+//! those come from the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use replidedup_core::{reduce_global_view, GlobalView};
+use replidedup_hash::Fingerprint;
+use replidedup_mpi::World;
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(10);
+    for n in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
+            b.iter(|| {
+                World::run(n, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_sum");
+    g.sample_size(10);
+    for n in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
+            b.iter(|| {
+                World::run(n, |comm| comm.allreduce(u64::from(comm.rank()), |a, b| a + b))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_loads");
+    g.sample_size(10);
+    for n in [16u32, 64] {
+        g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
+            b.iter(|| {
+                World::run(n, |comm| {
+                    // One Load vector per rank, as the dump gathers.
+                    comm.allgather(vec![comm.rank() as u64; 6])
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmerge_reduction(c: &mut Criterion) {
+    // The paper's core collective: ALLREDUCE(HMERGE) over per-rank
+    // fingerprint sets — 512 fingerprints per rank, half shared.
+    let mut g = c.benchmark_group("hmerge_reduction");
+    g.sample_size(10);
+    for n in [8u32, 32] {
+        g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
+            b.iter(|| {
+                World::run(n, |comm| {
+                    let me = comm.rank();
+                    let fps = (0..512u64).map(|i| {
+                        if i % 2 == 0 {
+                            Fingerprint::synthetic(i) // shared everywhere
+                        } else {
+                            Fingerprint::synthetic((u64::from(me) << 32) | i)
+                        }
+                    });
+                    let leaf = GlobalView::from_local(me, fps, 1 << 17);
+                    reduce_global_view(comm, leaf, 3, 1 << 17).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_allreduce_sum, bench_allgather, bench_hmerge_reduction);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Deduplication kernels: local indexing and the HMERGE reduction operator.
+//!
+//! These are the data-structure costs behind Figure 3(a) (dedup quality is
+//! free only if the bookkeeping is fast) and the CPU term of the reduction
+//! overhead in Figures 3(b)/(c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use replidedup_core::{GlobalView, LocalIndex};
+use replidedup_hash::{Fingerprint, Sha1ChunkHasher};
+
+fn buffer_with_dup_ratio(pages: usize, distinct: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pages * 4096);
+    for i in 0..pages {
+        let tag = (i % distinct) as u32;
+        out.extend((0..4096u32).map(|j| (j.wrapping_mul(2654435761) ^ tag) as u8));
+    }
+    out
+}
+
+fn bench_local_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_index");
+    for (label, distinct) in [("all_unique", 256usize), ("half_dup", 128), ("heavy_dup", 16)] {
+        let buf = buffer_with_dup_ratio(256, distinct);
+        g.throughput(Throughput::Bytes(buf.len() as u64));
+        g.bench_with_input(BenchmarkId::new("build_1mib", label), &buf, |b, buf| {
+            b.iter(|| LocalIndex::build(&Sha1ChunkHasher, std::hint::black_box(buf), 4096, false))
+        });
+    }
+    g.finish();
+}
+
+fn view_of(rank: u32, base: u64, count: usize) -> GlobalView {
+    GlobalView::from_local(
+        rank,
+        (0..count as u64).map(|i| Fingerprint::synthetic(base + i)),
+        usize::MAX,
+    )
+}
+
+fn bench_hmerge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmerge");
+    for count in [1_000usize, 10_000, 100_000] {
+        // Half-overlapping views: the typical mid-reduction shape.
+        let a = view_of(0, 0, count);
+        let b = view_of(1, count as u64 / 2, count);
+        g.throughput(Throughput::Elements(count as u64 * 2));
+        g.bench_with_input(BenchmarkId::new("merge_half_overlap", count), &count, |bch, _| {
+            bch.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| GlobalView::merge(a, b, 3, usize::MAX),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmerge_top_f_selection(c: &mut Criterion) {
+    // The F-threshold path: 100k entries truncated to F=2^14.
+    let a = view_of(0, 0, 100_000);
+    let b = view_of(1, 50_000, 100_000);
+    let mut g = c.benchmark_group("hmerge_top_f");
+    g.bench_function("merge_150k_to_16k", |bch| {
+        bch.iter_batched(
+            || (a.clone(), b.clone()),
+            |(a, b)| GlobalView::merge(a, b, 3, 1 << 14),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_view_lookup(c: &mut Criterion) {
+    let view = view_of(0, 0, 1 << 17);
+    let probes: Vec<Fingerprint> =
+        (0..1024u64).map(|i| Fingerprint::synthetic(i * 173 % (1 << 18))).collect();
+    let mut g = c.benchmark_group("view_lookup");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("binary_search_128k_view", |b| {
+        b.iter(|| probes.iter().filter(|fp| view.lookup(fp).is_some()).count())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_index,
+    bench_hmerge,
+    bench_hmerge_top_f_selection,
+    bench_view_lookup
+);
+criterion_main!(benches);

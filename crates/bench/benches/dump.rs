@@ -1,0 +1,80 @@
+//! End-to-end `DUMP_OUTPUT` benchmarks — the kernel behind Table I and
+//! Figures 4(a)/5(a), run in-process at a fixed world size so the three
+//! strategies and the shuffle ablation can be compared directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use replidedup_bench::experiments::dump_world;
+use replidedup_bench::workloads::{make_buffers, AppKind};
+use replidedup_core::{DumpConfig, Strategy};
+
+const WORLD: u32 = 16;
+
+fn bench_strategies(c: &mut Criterion) {
+    // Table I kernel: one dump per strategy over identical HPCCG buffers.
+    let buffers = make_buffers(AppKind::hpccg(), WORLD);
+    let bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+    let mut g = c.benchmark_group("dump_output_hpccg16");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+        let cfg = DumpConfig::paper_defaults(strategy);
+        g.bench_with_input(BenchmarkId::new("strategy", strategy.label()), &cfg, |b, cfg| {
+            b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_replication_factor(c: &mut Criterion) {
+    // Figures 4(a)/5(a) kernel: coll-dedup cost versus K.
+    let buffers = make_buffers(AppKind::cm1(), WORLD);
+    let mut g = c.benchmark_group("dump_output_cm1_k");
+    g.sample_size(10);
+    for k in [2u32, 4, 6] {
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(k);
+        g.bench_with_input(BenchmarkId::new("coll_dedup", k), &cfg, |b, cfg| {
+            b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shuffle_ablation(c: &mut Criterion) {
+    // Figures 4(c)/5(c) kernel: same dump with and without Algorithm 2.
+    let buffers = make_buffers(AppKind::cm1(), WORLD);
+    let mut g = c.benchmark_group("dump_output_shuffle");
+    g.sample_size(10);
+    for (label, shuffle) in [("no_shuffle", false), ("shuffle", true)] {
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(4)
+            .with_shuffle(shuffle);
+        g.bench_with_input(BenchmarkId::new("coll_dedup", label), &cfg, |b, cfg| {
+            b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_f_threshold(c: &mut Criterion) {
+    // Sensitivity to the reduction threshold F (design-choice ablation
+    // from DESIGN.md): tiny F degrades dedup but caps reduction cost.
+    let buffers = make_buffers(AppKind::hpccg(), WORLD);
+    let mut g = c.benchmark_group("dump_output_f_threshold");
+    g.sample_size(10);
+    for f in [64usize, 1 << 10, 1 << 17] {
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_f_threshold(f);
+        g.bench_with_input(BenchmarkId::new("coll_dedup", f), &cfg, |b, cfg| {
+            b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_replication_factor,
+    bench_shuffle_ablation,
+    bench_f_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Hashing kernels: the per-rank cost floor of every dedup strategy.
+//!
+//! Feeds the hash-time term of Figures 3(b)/(c) and Table I (the paper's
+//! local-dedup baseline is hashing plus local lookup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use replidedup_hash::{
+    fingerprint_buffer, fnv1a_64, ChunkHasher, FnvChunkHasher, RabinHasher, Sha1, Sha1ChunkHasher,
+};
+
+fn page(seed: u8) -> Vec<u8> {
+    (0..4096u32).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("digest", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fnv(c: &mut Criterion) {
+    let data = page(7);
+    let mut g = c.benchmark_group("fnv");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("fnv1a_4k", |b| b.iter(|| fnv1a_64(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_chunk_hashers(c: &mut Criterion) {
+    // The SHA-1 vs cheap-hash trade-off the paper mentions in Section IV.
+    let data = page(3);
+    let mut g = c.benchmark_group("chunk_hasher_page");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha1", |b| {
+        b.iter(|| Sha1ChunkHasher.fingerprint(std::hint::black_box(&data)))
+    });
+    g.bench_function("fnv1a", |b| {
+        b.iter(|| FnvChunkHasher.fingerprint(std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_buffer_fingerprinting(c: &mut Criterion) {
+    // 1 MiB rank buffer → 256 pages, the unit of work per checkpoint MB.
+    let buf: Vec<u8> = (0..256).flat_map(|s| page(s as u8)).collect();
+    let mut g = c.benchmark_group("fingerprint_buffer");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("sha1_1mib", |b| {
+        b.iter(|| fingerprint_buffer(&Sha1ChunkHasher, std::hint::black_box(&buf), 4096))
+    });
+    g.finish();
+}
+
+fn bench_rabin_roll(c: &mut Criterion) {
+    // Content-defined chunking alternative (related-work extension).
+    let data: Vec<u8> = (0..65536u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let mut g = c.benchmark_group("rabin");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("roll_64k", |b| {
+        b.iter(|| {
+            let mut h = RabinHasher::new(48);
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.roll(byte);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_fnv,
+    bench_chunk_hashers,
+    bench_buffer_fingerprinting,
+    bench_rabin_roll
+);
+criterion_main!(benches);

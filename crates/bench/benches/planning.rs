@@ -1,0 +1,74 @@
+//! Partner-selection and offset-planning kernels (Algorithms 2 and 3).
+//!
+//! These run on every rank between the load allgather and the window
+//! exchange, so they must be cheap even at full scale; benchmarked at the
+//! paper's 408 ranks. Feeds Figures 4(c)/5(c) (shuffle ablation cost side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use replidedup_core::{identity_shuffle, rank_shuffle, window_plan};
+
+fn skewed_loads(n: usize, k: u32, seed: u64) -> Vec<Vec<u64>> {
+    let mut state = seed | 1;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|i| {
+            let heavy = i % 7 == 0;
+            let mut l = vec![rand() % 100];
+            for _ in 1..k {
+                l.push(if heavy { 500 + rand() % 500 } else { rand() % 50 });
+            }
+            l
+        })
+        .collect()
+}
+
+fn bench_rank_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_shuffle");
+    for n in [34usize, 408, 4096] {
+        let loads = skewed_loads(n, 3, 42);
+        g.bench_with_input(BenchmarkId::new("k3", n), &loads, |b, loads| {
+            b.iter(|| rank_shuffle(std::hint::black_box(loads), 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_plan");
+    for k in [2u32, 3, 6] {
+        let loads = skewed_loads(408, k, 7);
+        let shuffle = rank_shuffle(&loads, k);
+        g.bench_with_input(BenchmarkId::new("n408", k), &k, |b, &k| {
+            b.iter(|| window_plan(std::hint::black_box(&shuffle), std::hint::black_box(&loads), k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_naive_vs_shuffled(c: &mut Criterion) {
+    // Full planning cost with and without the shuffle — the ablation's
+    // CPU-side price (the win is in traffic, the cost is here).
+    let loads = skewed_loads(408, 3, 99);
+    let mut g = c.benchmark_group("planning_total");
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let s = identity_shuffle(408);
+            window_plan(&s, std::hint::black_box(&loads), 3)
+        })
+    });
+    g.bench_function("load_aware", |b| {
+        b.iter(|| {
+            let s = rank_shuffle(std::hint::black_box(&loads), 3);
+            window_plan(&s, &loads, 3)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank_shuffle, bench_window_plan, bench_plan_naive_vs_shuffled);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p replidedup-bench --release --bin repro -- [exp...] [--scale S] [--out DIR]
+//!
+//!   exp      one or more of: fig2 fig3a fig3b fig3c tab1 fig4 fig5 all
+//!            (default: all)
+//!   --scale  process-count scale factor (1.0 = paper's 408-rank worlds;
+//!            default 1.0; use e.g. 0.25 for a quick pass)
+//!   --out    CSV output directory (default: results)
+//! ```
+//!
+//! Absolute times come from the Shamrock cost model fed with measured
+//! traffic; see DESIGN.md §2 and EXPERIMENTS.md for the calibration.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use replidedup_bench::experiments as exp;
+use replidedup_bench::report;
+use replidedup_bench::workloads::AppKind;
+
+struct Args {
+    exps: Vec<String>,
+    scale: f64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut exps = Vec::new();
+    let mut scale = 1.0f64;
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive number"));
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a directory")));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => exps.push(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if exps.is_empty() {
+        exps.push("all".to_string());
+    }
+    if scale <= 0.0 {
+        die("--scale must be positive");
+    }
+    Args { exps, scale, out }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| {
+        args.exps.iter().any(|e| e == name || e == "all")
+    };
+    let t0 = Instant::now();
+    println!("replidedup reproduction — process scale {:.2}\n", args.scale);
+
+    if want("fig2") {
+        let f = exp::fig2();
+        let t = report::fig2_table(&f);
+        println!("== Figure 2: naive vs load-aware partner selection ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig2.csv")).expect("write fig2.csv");
+    }
+    if want("fig3a") {
+        let rows = exp::fig3a(args.scale);
+        let t = report::fig3a_table(&rows);
+        println!("== Figure 3(a): total size of unique content ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig3a.csv")).expect("write fig3a.csv");
+    }
+    if want("fig3b") {
+        let rows = exp::fig3bc(AppKind::hpccg(), args.scale);
+        let t = report::fig3bc_table(&rows);
+        println!("== Figure 3(b): HPCCG reduction overhead (F = 2^17) ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig3b.csv")).expect("write fig3b.csv");
+    }
+    if want("fig3c") {
+        let rows = exp::fig3bc(AppKind::cm1(), args.scale);
+        let t = report::fig3bc_table(&rows);
+        println!("== Figure 3(c): CM1 reduction overhead (F = 2^17) ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig3c.csv")).expect("write fig3c.csv");
+    }
+    if want("tab1") {
+        for app in [AppKind::hpccg(), AppKind::cm1()] {
+            let rows = exp::tab1(app, args.scale);
+            let t = report::tab1_table(&rows);
+            println!("== Table I ({}): completion time, K = 3 ==", app.label());
+            println!("{}", t.render());
+            t.write_csv(&args.out.join(format!("tab1_{}.csv", app.label().to_lowercase())))
+                .expect("write tab1 csv");
+        }
+    }
+    if want("fig4") {
+        let rows = exp::fig_k_sweep(AppKind::hpccg(), args.scale);
+        let t = report::fig_k_table(&rows);
+        println!("== Figures 4(a)+4(b): HPCCG, K = 1..6 at 408 procs ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig4ab.csv")).expect("write fig4ab.csv");
+        let rows = exp::fig_shuffle(AppKind::hpccg(), args.scale);
+        let t = report::fig_shuffle_table(&rows);
+        println!("== Figure 4(c): HPCCG, impact of rank shuffling ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig4c.csv")).expect("write fig4c.csv");
+    }
+    if want("fig5") {
+        let rows = exp::fig_k_sweep(AppKind::cm1(), args.scale);
+        let t = report::fig_k_table(&rows);
+        println!("== Figures 5(a)+5(b): CM1, K = 1..6 at 408 procs ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig5ab.csv")).expect("write fig5ab.csv");
+        let rows = exp::fig_shuffle(AppKind::cm1(), args.scale);
+        let t = report::fig_shuffle_table(&rows);
+        println!("== Figure 5(c): CM1, impact of rank shuffling ==");
+        println!("{}", t.render());
+        t.write_csv(&args.out.join("fig5c.csv")).expect("write fig5c.csv");
+    }
+
+    println!("done in {:.1}s — CSVs in {}", t0.elapsed().as_secs_f64(), args.out.display());
+}

@@ -1,0 +1,12 @@
+//! Benchmark and reproduction harness for `replidedup`.
+//!
+//! * [`workloads`] — checkpoint-content generators (real mini-app runs),
+//! * [`experiments`] — one function per table/figure of the paper,
+//! * [`report`] — text-table and CSV rendering.
+//!
+//! The `repro` binary regenerates everything:
+//! `cargo run -p replidedup-bench --release --bin repro -- all`.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,342 @@
+//! Page-tracked heap: the AC-FTE / jemalloc substitute.
+//!
+//! The paper's prototype integrates with the AC-FTE fault-tolerance runtime,
+//! which transparently captures "all memory pages that were allocated by the
+//! application during its runtime" (via a jemalloc-based allocator) and
+//! passes them to `DUMP_OUTPUT`; chunks are matched with 4 KiB memory pages.
+//!
+//! [`TrackedHeap`] reproduces that capture model: applications allocate
+//! page-aligned regions from an arena, all writes go through the heap (which
+//! tracks dirty pages at page granularity, like an `mprotect`-based
+//! tracker), and [`TrackedHeap::snapshot_bytes`] serializes the allocation
+//! table plus the raw arena — page-aligned, so chunk == page exactly as in
+//! the paper.
+
+/// Default page size (matches the paper's chunk size).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Handle to an allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    /// Byte offset into the arena (page aligned).
+    offset: u64,
+    /// Requested length in bytes.
+    len: u64,
+    live: bool,
+}
+
+/// A page-granular arena with dirty tracking.
+#[derive(Debug, Clone)]
+pub struct TrackedHeap {
+    page_size: usize,
+    arena: Vec<u8>,
+    regions: Vec<Region>,
+    dirty: Vec<bool>,
+}
+
+impl Default for TrackedHeap {
+    fn default() -> Self {
+        Self::new(PAGE_SIZE)
+    }
+}
+
+impl TrackedHeap {
+    /// Empty heap with the given page size.
+    ///
+    /// # Panics
+    /// If `page_size` is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self { page_size, arena: Vec::new(), regions: Vec::new(), dirty: Vec::new() }
+    }
+
+    /// Page size of this heap.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Allocate a zero-filled region of `len` bytes (rounded up to whole
+    /// pages in the arena). Returns a stable handle.
+    pub fn alloc(&mut self, len: usize) -> RegionId {
+        let offset = self.arena.len() as u64;
+        let padded = len.div_ceil(self.page_size) * self.page_size;
+        self.arena.resize(self.arena.len() + padded, 0);
+        let pages = padded / self.page_size;
+        self.dirty.extend(std::iter::repeat_n(true, pages));
+        self.regions.push(Region { offset, len: len as u64, live: true });
+        RegionId(self.regions.len() as u32 - 1)
+    }
+
+    /// Free a region: its pages are zeroed (zero pages deduplicate well,
+    /// which mirrors what a real allocator's madvised-away pages look like
+    /// in a transparent checkpoint) and marked dead.
+    ///
+    /// # Panics
+    /// If the region is already dead.
+    pub fn free(&mut self, id: RegionId) {
+        let r = &mut self.regions[id.0 as usize];
+        assert!(r.live, "double free of {id:?}");
+        r.live = false;
+        let (offset, len) = (r.offset as usize, r.len as usize);
+        let padded = len.div_ceil(self.page_size) * self.page_size;
+        self.arena[offset..offset + padded].fill(0);
+        self.mark_dirty(offset, padded);
+    }
+
+    fn region(&self, id: RegionId) -> &Region {
+        let r = &self.regions[id.0 as usize];
+        assert!(r.live, "use of freed region {id:?}");
+        r
+    }
+
+    /// Immutable view of a region's bytes.
+    pub fn read(&self, id: RegionId) -> &[u8] {
+        let r = self.region(id);
+        &self.arena[r.offset as usize..(r.offset + r.len) as usize]
+    }
+
+    /// Write `data` into the region at `offset`, marking touched pages dirty.
+    ///
+    /// # Panics
+    /// On out-of-bounds writes.
+    pub fn write(&mut self, id: RegionId, offset: usize, data: &[u8]) {
+        let r = *self.region(id);
+        assert!(
+            offset + data.len() <= r.len as usize,
+            "write of {} bytes at {offset} overruns region of {}",
+            data.len(),
+            r.len
+        );
+        let start = r.offset as usize + offset;
+        self.arena[start..start + data.len()].copy_from_slice(data);
+        self.mark_dirty(start, data.len().max(1));
+    }
+
+    /// Mutable access to the whole region; conservatively dirties all of
+    /// its pages (page-granular tracking, like a write-protection fault
+    /// would give a real runtime).
+    pub fn as_mut_slice(&mut self, id: RegionId) -> &mut [u8] {
+        let r = *self.region(id);
+        let (start, len) = (r.offset as usize, r.len as usize);
+        self.mark_dirty(start, len.max(1));
+        &mut self.arena[start..start + len]
+    }
+
+    fn mark_dirty(&mut self, start: usize, len: usize) {
+        let first = start / self.page_size;
+        let last = (start + len - 1) / self.page_size;
+        for p in first..=last {
+            self.dirty[p] = true;
+        }
+    }
+
+    /// Number of pages in the arena.
+    pub fn page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Number of pages written since the last [`Self::clear_dirty`].
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Reset dirty tracking (a checkpoint runtime calls this after a dump).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
+    }
+
+    /// Raw arena bytes (page-aligned; what AC-FTE's transparent mode dumps).
+    pub fn arena(&self) -> &[u8] {
+        &self.arena
+    }
+
+    /// Serialize allocation table + arena into one page-aligned buffer.
+    /// The metadata header occupies whole pages so the arena's page/chunk
+    /// alignment is preserved inside the snapshot.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&(self.page_size as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.regions.len() as u64).to_le_bytes());
+        for r in &self.regions {
+            meta.extend_from_slice(&r.offset.to_le_bytes());
+            meta.extend_from_slice(&r.len.to_le_bytes());
+            meta.push(u8::from(r.live));
+        }
+        let header_pages = meta.len().div_ceil(self.page_size).max(1);
+        let mut out = vec![0u8; header_pages * self.page_size + self.arena.len()];
+        // First 8 bytes: header page count, so restore knows where the
+        // arena starts; then the metadata.
+        out[..8].copy_from_slice(&(header_pages as u64).to_le_bytes());
+        out[8..8 + meta.len()].copy_from_slice(&meta);
+        out[header_pages * self.page_size..].copy_from_slice(&self.arena);
+        out
+    }
+
+    /// Rebuild a heap from [`Self::snapshot_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns a message when the snapshot is malformed.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let take8 = |b: &[u8], at: usize| -> Result<u64, String> {
+            b.get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+                .ok_or_else(|| "snapshot truncated".to_string())
+        };
+        let header_pages = take8(bytes, 0)? as usize;
+        let page_size = take8(bytes, 8)? as usize;
+        if page_size == 0 {
+            return Err("snapshot has zero page size".into());
+        }
+        let region_count = take8(bytes, 16)? as usize;
+        let mut regions = Vec::with_capacity(region_count);
+        let mut at = 24;
+        for _ in 0..region_count {
+            let offset = take8(bytes, at)?;
+            let len = take8(bytes, at + 8)?;
+            let live = *bytes.get(at + 16).ok_or("snapshot truncated")? != 0;
+            regions.push(Region { offset, len, live });
+            at += 17;
+        }
+        let arena_start = header_pages * page_size;
+        if arena_start > bytes.len() {
+            return Err("snapshot header overruns buffer".into());
+        }
+        let arena = bytes[arena_start..].to_vec();
+        for (i, r) in regions.iter().enumerate() {
+            let padded = (r.len as usize).div_ceil(page_size) * page_size;
+            if r.offset as usize + padded > arena.len() {
+                return Err(format!("region {i} overruns restored arena"));
+            }
+        }
+        let pages = arena.len() / page_size;
+        Ok(Self { page_size, arena, regions, dirty: vec![false; pages] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_page_aligned_and_zeroed() {
+        let mut h = TrackedHeap::new(16);
+        let a = h.alloc(10);
+        let b = h.alloc(17);
+        assert_eq!(h.read(a), &[0; 10]);
+        assert_eq!(h.read(b).len(), 17);
+        assert_eq!(h.arena().len(), 16 + 32, "regions rounded to pages");
+        assert_eq!(h.page_count(), 3);
+    }
+
+    #[test]
+    fn write_and_read_roundtrip() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(20);
+        h.write(r, 3, &[1, 2, 3]);
+        assert_eq!(&h.read(r)[3..6], &[1, 2, 3]);
+        assert_eq!(&h.read(r)[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn dirty_tracking_is_page_granular() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(64); // 4 pages
+        h.clear_dirty();
+        assert_eq!(h.dirty_page_count(), 0);
+        h.write(r, 0, &[1]);
+        assert_eq!(h.dirty_page_count(), 1);
+        h.write(r, 15, &[1, 1]); // straddles pages 0 and 1
+        assert_eq!(h.dirty_page_count(), 2);
+        h.as_mut_slice(r)[63] = 9;
+        assert_eq!(h.dirty_page_count(), 4, "as_mut_slice dirties the region");
+    }
+
+    #[test]
+    fn free_zeroes_pages() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(16);
+        h.write(r, 0, &[7; 16]);
+        h.free(r);
+        assert_eq!(&h.arena()[..16], &[0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(8);
+        h.free(r);
+        h.free(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of freed region")]
+    fn use_after_free_panics() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(8);
+        h.free(r);
+        h.read(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns region")]
+    fn out_of_bounds_write_panics() {
+        let mut h = TrackedHeap::new(16);
+        let r = h.alloc(8);
+        h.write(r, 6, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut h = TrackedHeap::new(16);
+        let a = h.alloc(20);
+        let b = h.alloc(5);
+        h.write(a, 0, b"hello world");
+        h.write(b, 0, b"abc");
+        let freed = h.alloc(16);
+        h.free(freed);
+        let snap = h.snapshot_bytes();
+        assert_eq!(snap.len() % 16, 0, "snapshot is page aligned");
+        let restored = TrackedHeap::restore_bytes(&snap).unwrap();
+        assert_eq!(restored.read(a), h.read(a));
+        assert_eq!(restored.read(b), h.read(b));
+        assert_eq!(restored.page_size(), 16);
+        assert_eq!(restored.arena(), h.arena());
+    }
+
+    #[test]
+    fn restored_heap_can_keep_allocating() {
+        let mut h = TrackedHeap::new(16);
+        let a = h.alloc(8);
+        h.write(a, 0, &[9; 8]);
+        let mut r = TrackedHeap::restore_bytes(&h.snapshot_bytes()).unwrap();
+        let b = r.alloc(8);
+        r.write(b, 0, &[1; 8]);
+        assert_eq!(r.read(a), &[9; 8]);
+        assert_eq!(r.read(b), &[1; 8]);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(TrackedHeap::restore_bytes(&[]).is_err());
+        assert!(TrackedHeap::restore_bytes(&[0; 12]).is_err());
+        // Header page count pointing past the end.
+        let mut h = TrackedHeap::new(16);
+        h.alloc(8);
+        let mut snap = h.snapshot_bytes();
+        snap[0] = 0xFF;
+        assert!(TrackedHeap::restore_bytes(&snap).is_err());
+    }
+
+    #[test]
+    fn empty_heap_snapshot_roundtrips() {
+        let h = TrackedHeap::new(32);
+        let snap = h.snapshot_bytes();
+        let r = TrackedHeap::restore_bytes(&snap).unwrap();
+        assert_eq!(r.page_count(), 0);
+        assert_eq!(r.page_size(), 32);
+    }
+}

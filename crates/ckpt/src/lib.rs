@@ -1,0 +1,19 @@
+//! AC-FTE-style checkpoint/restart runtime for `replidedup`.
+//!
+//! The paper demonstrates its collective replication library inside the
+//! AC-FTE fault-tolerance runtime, which transparently captures all memory
+//! pages an application allocated and hands them to `DUMP_OUTPUT` at
+//! checkpoint time. This crate reproduces that integration:
+//!
+//! * [`TrackedHeap`] — a page-granular arena standing in for the
+//!   jemalloc-based transparent capture (chunk == 4 KiB page),
+//! * [`CheckpointRuntime`] — drives collective checkpoints and restarts
+//!   against a [`replidedup_storage::Cluster`],
+//! * [`CheckpointSchedule`] — when to checkpoint (the paper's experiments
+//!   use fixed iteration counts).
+
+pub mod heap;
+pub mod runtime;
+
+pub use heap::{RegionId, TrackedHeap, PAGE_SIZE};
+pub use runtime::{CheckpointRuntime, CheckpointSchedule, RestartError};

@@ -1,0 +1,236 @@
+//! Checkpoint/restart driver: the glue between an application's
+//! [`TrackedHeap`](crate::heap::TrackedHeap) and the collective dump.
+//!
+//! Mirrors how the paper uses AC-FTE: "we use the transparent mode to
+//! capture all memory pages that were allocated by the application during
+//! its runtime and then pass them to the DUMP_OUTPUT primitive when a
+//! checkpoint is desired."
+
+use replidedup_core::{dump_output, restore_output, DumpConfig, DumpContext, DumpError, DumpStats, RestoreError};
+use replidedup_hash::ChunkHasher;
+use replidedup_mpi::Comm;
+use replidedup_storage::{Cluster, DumpId};
+
+use crate::heap::TrackedHeap;
+
+/// When to checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointSchedule {
+    /// Checkpoint every `n` iterations (at iterations n, 2n, ...).
+    Every(u64),
+    /// Checkpoint exactly at the listed iteration (paper's HPCCG setup:
+    /// one checkpoint at iteration 100 of 127).
+    AtIteration(u64),
+    /// Never checkpoint (the paper's "baseline" rows).
+    Never,
+}
+
+impl CheckpointSchedule {
+    /// Should a checkpoint be taken after iteration `iter` (1-based)?
+    pub fn due(&self, iter: u64) -> bool {
+        match *self {
+            CheckpointSchedule::Every(n) => n > 0 && iter > 0 && iter.is_multiple_of(n),
+            CheckpointSchedule::AtIteration(at) => iter == at,
+            CheckpointSchedule::Never => false,
+        }
+    }
+}
+
+/// Per-rank checkpoint runtime.
+pub struct CheckpointRuntime<'a> {
+    cluster: &'a Cluster,
+    hasher: &'a (dyn ChunkHasher + Sync),
+    config: DumpConfig,
+    next_dump: DumpId,
+    /// Statistics of every checkpoint taken through this runtime.
+    pub history: Vec<DumpStats>,
+}
+
+impl<'a> CheckpointRuntime<'a> {
+    /// New runtime writing to `cluster` with `config`.
+    pub fn new(
+        cluster: &'a Cluster,
+        hasher: &'a (dyn ChunkHasher + Sync),
+        config: DumpConfig,
+    ) -> Self {
+        Self { cluster, hasher, config, next_dump: 1, history: Vec::new() }
+    }
+
+    /// The dump configuration in use.
+    pub fn config(&self) -> &DumpConfig {
+        &self.config
+    }
+
+    /// Dump id of the most recent checkpoint (None before the first).
+    pub fn latest_dump_id(&self) -> Option<DumpId> {
+        (self.next_dump > 1).then(|| self.next_dump - 1)
+    }
+
+    /// Collective: capture the heap and dump it with the configured
+    /// strategy. All ranks must call together.
+    pub fn checkpoint(&mut self, comm: &mut Comm, heap: &mut TrackedHeap) -> Result<DumpStats, DumpError> {
+        let snapshot = heap.snapshot_bytes();
+        let ctx = DumpContext { cluster: self.cluster, hasher: self.hasher, dump_id: self.next_dump };
+        let stats = dump_output(comm, &ctx, &snapshot, &self.config)?;
+        self.next_dump += 1;
+        heap.clear_dirty();
+        self.history.push(stats.clone());
+        Ok(stats)
+    }
+
+    /// Collective: restore the heap from checkpoint `dump_id`.
+    pub fn restart_from(&self, comm: &mut Comm, dump_id: DumpId) -> Result<TrackedHeap, RestartError> {
+        let ctx = DumpContext { cluster: self.cluster, hasher: self.hasher, dump_id };
+        let bytes = restore_output(comm, &ctx, self.config.strategy)?;
+        TrackedHeap::restore_bytes(&bytes).map_err(RestartError::Corrupt)
+    }
+
+    /// Collective: restore the heap from the most recent checkpoint.
+    pub fn restart(&self, comm: &mut Comm) -> Result<TrackedHeap, RestartError> {
+        let id = self.latest_dump_id().ok_or(RestartError::NoCheckpoint)?;
+        self.restart_from(comm, id)
+    }
+}
+
+/// Restart failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestartError {
+    /// No checkpoint has been taken yet.
+    NoCheckpoint,
+    /// The collective restore failed.
+    Restore(RestoreError),
+    /// The restored bytes do not parse as a heap snapshot.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::NoCheckpoint => write!(f, "no checkpoint taken yet"),
+            RestartError::Restore(e) => write!(f, "restore failed: {e}"),
+            RestartError::Corrupt(msg) => write!(f, "corrupt heap snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+impl From<RestoreError> for RestartError {
+    fn from(e: RestoreError) -> Self {
+        RestartError::Restore(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replidedup_core::Strategy;
+    use replidedup_hash::Sha1ChunkHasher;
+    use replidedup_mpi::World;
+    use replidedup_storage::Placement;
+
+    #[test]
+    fn schedule_every() {
+        let s = CheckpointSchedule::Every(30);
+        assert!(!s.due(0));
+        assert!(!s.due(29));
+        assert!(s.due(30));
+        assert!(s.due(60));
+        assert!(!s.due(61));
+        assert!(!CheckpointSchedule::Every(0).due(5), "Every(0) never fires");
+    }
+
+    #[test]
+    fn schedule_at_iteration_and_never() {
+        let s = CheckpointSchedule::AtIteration(100);
+        assert!(s.due(100));
+        assert!(!s.due(99));
+        assert!(!CheckpointSchedule::Never.due(100));
+    }
+
+    #[test]
+    fn checkpoint_restart_roundtrip() {
+        let cluster = Cluster::new(Placement::one_per_node(4));
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(3)
+            .with_chunk_size(64);
+        let out = World::run(4, |comm| {
+            let mut heap = TrackedHeap::new(64);
+            let r = heap.alloc(200);
+            heap.write(r, 0, &vec![comm.rank() as u8 + 1; 200]);
+            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            assert!(rt.latest_dump_id().is_none());
+            let stats = rt.checkpoint(comm, &mut heap).unwrap();
+            assert_eq!(rt.latest_dump_id(), Some(1));
+            assert_eq!(heap.dirty_page_count(), 0, "checkpoint clears dirty bits");
+            // Clobber the heap, then restart.
+            heap.write(r, 0, &[0xFF; 200]);
+            let restored = rt.restart(comm).unwrap();
+            (stats.k, restored.read(r).to_vec(), comm.rank())
+        });
+        for (k, data, rank) in out.results {
+            assert_eq!(k, 3);
+            assert_eq!(data, vec![rank as u8 + 1; 200]);
+        }
+    }
+
+    #[test]
+    fn restart_without_checkpoint_errors() {
+        let cluster = Cluster::new(Placement::one_per_node(2));
+        let cfg = DumpConfig::paper_defaults(Strategy::LocalDedup).with_chunk_size(64);
+        let out = World::run(2, |comm| {
+            let rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            rt.restart(comm).err()
+        });
+        assert!(out.results.iter().all(|e| *e == Some(RestartError::NoCheckpoint)));
+    }
+
+    #[test]
+    fn successive_checkpoints_get_fresh_dump_ids() {
+        let cluster = Cluster::new(Placement::one_per_node(2));
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(2)
+            .with_chunk_size(64);
+        let out = World::run(2, |comm| {
+            let mut heap = TrackedHeap::new(64);
+            let r = heap.alloc(100);
+            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            heap.write(r, 0, &[1; 100]);
+            rt.checkpoint(comm, &mut heap).unwrap();
+            heap.write(r, 0, &[2; 100]);
+            rt.checkpoint(comm, &mut heap).unwrap();
+            // Restore generation 1, not 2.
+            let old = rt.restart_from(comm, 1).unwrap();
+            let new = rt.restart(comm).unwrap();
+            assert_eq!(rt.history.len(), 2);
+            (old.read(r)[0], new.read(r)[0])
+        });
+        assert!(out.results.iter().all(|&(a, b)| a == 1 && b == 2));
+    }
+
+    #[test]
+    fn restart_after_node_failure() {
+        let cluster = Cluster::new(Placement::one_per_node(3));
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(2)
+            .with_chunk_size(64);
+        let out = World::run(3, |comm| {
+            let mut heap = TrackedHeap::new(64);
+            let r = heap.alloc(128);
+            heap.write(r, 0, &vec![comm.rank() as u8 + 10; 128]);
+            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            rt.checkpoint(comm, &mut heap).unwrap();
+            comm.barrier();
+            if comm.rank() == 0 {
+                cluster.fail_node(1);
+                cluster.revive_node(1);
+            }
+            comm.barrier();
+            let restored = rt.restart(comm).unwrap();
+            (comm.rank(), restored.read(r).to_vec())
+        });
+        for (rank, data) in out.results {
+            assert_eq!(data, vec![rank as u8 + 10; 128]);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Configuration of the collective dump.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replication scheme to run — the three settings of the paper's
+/// evaluation (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// `no-dedup`: full replication. Every chunk is stored locally and sent
+    /// to `K-1` partners; no redundancy elimination at all.
+    NoDedup,
+    /// `local-dedup`: each rank removes its own duplicate chunks first,
+    /// then replicates the locally unique remainder to `K-1` partners.
+    LocalDedup,
+    /// `coll-dedup`: the paper's contribution. Local dedup plus the
+    /// collective fingerprint reduction; chunks already duplicated on at
+    /// least `K` ranks are not replicated (surplus copies are discarded),
+    /// under-replicated ones get topped up to `K` copies.
+    CollDedup,
+}
+
+impl Strategy {
+    /// The label the paper uses for this setting.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::NoDedup => "no-dedup",
+            Strategy::LocalDedup => "local-dedup",
+            Strategy::CollDedup => "coll-dedup",
+        }
+    }
+}
+
+/// Parameters of one `DUMP_OUTPUT` collective.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DumpConfig {
+    /// Replication scheme.
+    pub strategy: Strategy,
+    /// Desired replication factor `K` (total copies, including the local
+    /// one). Clamped to the world size at run time.
+    pub replication: u32,
+    /// Fixed chunk size in bytes (paper: 4 KiB, the memory page size).
+    pub chunk_size: usize,
+    /// Reduction threshold `F`: at most this many fingerprints survive each
+    /// merge; the rest are conservatively treated as unique. Paper: 2^17.
+    pub f_threshold: usize,
+    /// Load-aware partner selection (Algorithm 2). `false` gives the
+    /// `coll-no-shuffle` ablation / the naive ring of the baselines.
+    pub shuffle: bool,
+    /// Hash chunks with rayon inside each rank.
+    pub parallel_hash: bool,
+}
+
+impl DumpConfig {
+    /// Paper-faithful defaults for the given strategy: `K = 3`,
+    /// 4 KiB chunks, `F = 2^17`, shuffling on for `coll-dedup`.
+    pub fn paper_defaults(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            replication: 3,
+            chunk_size: 4096,
+            f_threshold: 1 << 17,
+            shuffle: matches!(strategy, Strategy::CollDedup),
+            parallel_hash: false,
+        }
+    }
+
+    /// Builder-style: set the replication factor.
+    pub fn with_replication(mut self, k: u32) -> Self {
+        self.replication = k;
+        self
+    }
+
+    /// Builder-style: set the chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Builder-style: set the reduction threshold `F`.
+    pub fn with_f_threshold(mut self, f: usize) -> Self {
+        self.f_threshold = f;
+        self
+    }
+
+    /// Builder-style: enable or disable rank shuffling.
+    pub fn with_shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replication == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        if self.chunk_size > u32::MAX as usize {
+            return Err("chunk_size must fit in a u32 record header".into());
+        }
+        if self.f_threshold == 0 {
+            return Err("f_threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_paper() {
+        let c = DumpConfig::paper_defaults(Strategy::CollDedup);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.chunk_size, 4096);
+        assert_eq!(c.f_threshold, 1 << 17);
+        assert!(c.shuffle);
+        let c = DumpConfig::paper_defaults(Strategy::NoDedup);
+        assert!(!c.shuffle, "baselines use the naive ring");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Strategy::NoDedup.label(), "no-dedup");
+        assert_eq!(Strategy::LocalDedup.label(), "local-dedup");
+        assert_eq!(Strategy::CollDedup.label(), "coll-dedup");
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(6)
+            .with_chunk_size(512)
+            .with_f_threshold(128)
+            .with_shuffle(false);
+        assert_eq!(c.replication, 6);
+        assert_eq!(c.chunk_size, 512);
+        assert_eq!(c.f_threshold, 128);
+        assert!(!c.shuffle);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let base = DumpConfig::paper_defaults(Strategy::CollDedup);
+        assert!(base.with_replication(0).validate().is_err());
+        assert!(base.with_chunk_size(0).validate().is_err());
+        assert!(base.with_f_threshold(0).validate().is_err());
+        assert!(base.validate().is_ok());
+    }
+}

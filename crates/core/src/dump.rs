@@ -1,0 +1,535 @@
+//! `DUMP_OUTPUT(buffer, K)` — the paper's collective I/O write primitive.
+//!
+//! All ranks call [`dump_output`] simultaneously (it is a synchronization
+//! point). Depending on [`Strategy`] the call runs:
+//!
+//! * `no-dedup` — raw buffer to local storage, all chunks to `K-1`
+//!   partners via the single-sided plan;
+//! * `local-dedup` — phase-one dedup, locally unique chunks stored and
+//!   replicated to `K-1` partners;
+//! * `coll-dedup` — the full pipeline of Algorithm 1: local dedup →
+//!   `ALLREDUCE(HMERGE)` → Load computation → load allgather →
+//!   `RANK_SHUFFLE` → `CALC_OFF` → one-sided exchange → local commit.
+//!
+//! Every strategy shares the same exchange machinery (windows, records,
+//! offsets), exactly as in the paper where the baselines also "make use of
+//! the single sided communication planning strategy".
+
+use bytes::Bytes;
+use replidedup_hash::{ChunkHasher, Fingerprint};
+use replidedup_mpi::wire::Wire;
+use replidedup_mpi::{Comm, Tag};
+use replidedup_storage::{Cluster, DumpId, Manifest, StorageError};
+
+use crate::config::{DumpConfig, Strategy};
+use crate::exchange::{encode_record, parse_records, record_size};
+use crate::global::{reduce_global_view, GlobalView};
+use crate::local::LocalIndex;
+use crate::offsets::window_plan;
+use crate::plan::plan_chunks;
+use crate::shuffle::{identity_shuffle, positions_of, rank_shuffle};
+use crate::stats::{DumpStats, ReductionStats};
+
+/// User-tag space of the dump/restore protocols.
+pub(crate) const TAG_MANIFEST: Tag = 0x5250_0001;
+
+/// Everything a dump needs besides the buffer: where to store, how to hash,
+/// which generation this is.
+pub struct DumpContext<'a> {
+    /// The cluster whose node-local devices receive the data.
+    pub cluster: &'a Cluster,
+    /// Chunk hash function (paper default: SHA-1).
+    pub hasher: &'a (dyn ChunkHasher + Sync),
+    /// Dump generation (checkpoint number).
+    pub dump_id: DumpId,
+}
+
+/// Failures of a collective dump. The collective itself always runs to
+/// completion on every rank (so no rank deadlocks); the error reports what
+/// went wrong locally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DumpError {
+    /// Invalid configuration (same on all ranks — configs are SPMD).
+    Config(String),
+    /// The local node's storage failed during commit.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for DumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DumpError::Config(msg) => write!(f, "invalid dump config: {msg}"),
+            DumpError::Storage(e) => write!(f, "storage failure during dump: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+impl From<StorageError> for DumpError {
+    fn from(e: StorageError) -> Self {
+        DumpError::Storage(e)
+    }
+}
+
+/// The collective dump primitive. Must be called by every rank of the
+/// world with the same configuration and dump id.
+pub fn dump_output(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    buf: &[u8],
+    cfg: &DumpConfig,
+) -> Result<DumpStats, DumpError> {
+    cfg.validate().map_err(DumpError::Config)?;
+    let me = comm.rank();
+    let n = comm.size();
+    let k = cfg.replication.min(n);
+    let node = ctx.cluster.node_of(me);
+    let chunk_size = cfg.chunk_size;
+    let mut stats = DumpStats {
+        rank: me,
+        k,
+        buffer_bytes: buf.len() as u64,
+        chunks_total: buf.len().div_ceil(chunk_size) as u64,
+        ..Default::default()
+    };
+    // Defer storage errors so the collective completes on every rank.
+    let mut storage_err: Option<StorageError> = None;
+    let mut record_storage = |r: Result<u64, StorageError>, written: &mut u64| match r {
+        Ok(bytes) => *written += bytes,
+        Err(e) => storage_err = storage_err.take().or(Some(e)),
+    };
+
+    // ---- Phase 1+2: dedup (strategy dependent) -------------------------
+    // `keep_indices` / `send_indices` are chunk indices into `buf`;
+    // `fps_of` yields the record fingerprint for a chunk index.
+    let local: Option<LocalIndex>;
+    let view: Option<GlobalView>;
+    let keep_indices: Vec<u32>;
+    let send_indices: Vec<Vec<u32>>;
+    match cfg.strategy {
+        Strategy::NoDedup => {
+            // No hashing at all: the raw buffer is the unit of storage.
+            local = None;
+            view = None;
+            let all: Vec<u32> = (0..stats.chunks_total as u32).collect();
+            keep_indices = all.clone();
+            send_indices = vec![all; (k - 1) as usize];
+            stats.chunks_locally_unique = stats.chunks_total;
+            stats.bytes_locally_unique = buf.len() as u64;
+            stats.chunks_kept = stats.chunks_total;
+            stats.chunks_uncovered = stats.chunks_total;
+            stats.bytes_uncovered = buf.len() as u64;
+        }
+        Strategy::LocalDedup | Strategy::CollDedup => {
+            let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
+            stats.bytes_hashed = buf.len() as u64;
+            stats.chunks_locally_unique = idx.unique_count() as u64;
+            stats.bytes_locally_unique = idx.unique_bytes(buf.len());
+
+            let g = if cfg.strategy == Strategy::CollDedup {
+                let leaf = GlobalView::from_local(me, idx.unique.keys().copied(), cfg.f_threshold);
+                let coll_before = comm.traffic().coll_sent;
+                let g = reduce_global_view(comm, leaf, k, cfg.f_threshold);
+                let traffic = comm.traffic().coll_sent - coll_before;
+                stats.reduction = Some(ReductionStats {
+                    view_entries: g.len() as u64,
+                    view_bytes: g.to_bytes().len() as u64,
+                    designations: g
+                        .entries
+                        .iter()
+                        .filter(|e| e.ranks.binary_search(&me).is_ok())
+                        .count() as u64,
+                    traffic_bytes: traffic,
+                });
+                g
+            } else {
+                GlobalView::default()
+            };
+
+            let plan = plan_chunks(me, &idx, &g, k);
+            stats.chunks_kept = plan.keep.len() as u64;
+            stats.chunks_discarded = plan.discarded.len() as u64;
+            let covered = |fp: &Fingerprint| g.lookup(fp).is_some();
+            stats.chunks_uncovered = idx.unique.keys().filter(|fp| !covered(fp)).count() as u64;
+            stats.bytes_uncovered = idx
+                .unique
+                .iter()
+                .filter(|(fp, _)| !covered(fp))
+                .map(|(_, c)| idx.chunk_range(c.first_index).len() as u64)
+                .sum();
+
+            let to_idx = |fp: &Fingerprint| idx.unique[fp].first_index;
+            keep_indices = plan.keep.iter().map(to_idx).collect();
+            send_indices = plan
+                .send_lists
+                .iter()
+                .map(|l| l.iter().map(to_idx).collect())
+                .collect();
+            local = Some(idx);
+            view = Some(g);
+        }
+    }
+    stats.chunks_sent = send_indices.iter().map(|l| l.len() as u64).collect();
+
+    // ---- Load allgather + partner selection ----------------------------
+    let mut load: Vec<u64> = Vec::with_capacity(k as usize);
+    load.push(keep_indices.len() as u64);
+    load.extend(send_indices.iter().map(|l| l.len() as u64));
+    let send_load: Vec<Vec<u64>> = comm.allgather(load);
+    let shuffle =
+        if cfg.shuffle { rank_shuffle(&send_load, k) } else { identity_shuffle(n) };
+    let positions = positions_of(&shuffle);
+    let wplan = window_plan(&shuffle, &send_load, k);
+
+    // ---- Single-sided exchange ------------------------------------------
+    let cell = record_size(chunk_size);
+    let win = comm.win_create(wplan.recv_counts[me as usize] as usize * cell);
+    let chunk_bytes = |i: u32| {
+        let start = i as usize * chunk_size;
+        &buf[start..(start + chunk_size).min(buf.len())]
+    };
+    let fp_of = |i: u32| match &local {
+        Some(idx) => idx.in_order[i as usize],
+        // no-dedup records carry no meaningful fingerprint (never hashed).
+        None => Fingerprint::ZERO,
+    };
+    for (jm1, list) in send_indices.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        let target = wplan.partners[me as usize][jm1];
+        let mut payload = Vec::with_capacity(list.len() * cell);
+        for &i in list {
+            encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
+        }
+        stats.bytes_sent_replication += payload.len() as u64;
+        win.put(target, wplan.send_offsets[me as usize][jm1] as usize * cell, &payload);
+    }
+    win.fence(comm);
+
+    // ---- Commit: own data -----------------------------------------------
+    match cfg.strategy {
+        Strategy::NoDedup => {
+            let blob = Bytes::copy_from_slice(buf);
+            let len = blob.len() as u64;
+            record_storage(
+                ctx.cluster.put_blob(node, me, ctx.dump_id, blob).map(|()| len),
+                &mut stats.bytes_written_local,
+            );
+        }
+        Strategy::LocalDedup | Strategy::CollDedup => {
+            let idx = local.as_ref().expect("dedup strategies build a local index");
+            for &i in &keep_indices {
+                let fp = idx.in_order[i as usize];
+                let data = Bytes::copy_from_slice(chunk_bytes(i));
+                let len = data.len() as u64;
+                record_storage(
+                    ctx.cluster
+                        .put_chunk(node, fp, data)
+                        .map(|new| if new { len } else { 0 }),
+                    &mut stats.bytes_written_local,
+                );
+            }
+            let manifest = Manifest {
+                owner_rank: me,
+                dump_id: ctx.dump_id,
+                chunk_size: chunk_size as u32,
+                total_len: buf.len() as u64,
+                chunks: idx.in_order.clone(),
+            };
+            record_storage(
+                ctx.cluster.put_manifest(node, manifest.clone()).map(|()| 0),
+                &mut stats.bytes_written_local,
+            );
+            // Replicate the manifest to the same partners as the data so a
+            // failed node's recipe survives (restore-path extension; the
+            // paper leaves restart implicit).
+            for &target in &wplan.partners[me as usize] {
+                comm.send_val(target, TAG_MANIFEST, &manifest);
+            }
+        }
+    }
+
+    // ---- Commit: received replicas --------------------------------------
+    let p = positions[me as usize] as usize;
+    win.with_local(|window| {
+        let mut offset_records = 0u64;
+        for d in 1..k as usize {
+            let sender = shuffle[(p + n as usize - d) % n as usize];
+            let count = send_load[sender as usize][d] as usize;
+            if count == 0 {
+                continue;
+            }
+            let start = offset_records as usize * cell;
+            let region = &window[start..start + count * cell];
+            stats.bytes_received_replication += region.len() as u64;
+            stats.records_received += count as u64;
+            let records = parse_records(region, chunk_size, count)
+                .unwrap_or_else(|e| panic!("rank {me}: corrupt exchange region from {sender}: {e}"));
+            match cfg.strategy {
+                Strategy::NoDedup => {
+                    // Region payloads concatenate to the sender's raw buffer.
+                    let mut blob = Vec::new();
+                    for (_, data) in &records {
+                        blob.extend_from_slice(data);
+                    }
+                    let len = blob.len() as u64;
+                    record_storage(
+                        ctx.cluster
+                            .put_blob(node, sender, ctx.dump_id, Bytes::from(blob))
+                            .map(|()| len),
+                        &mut stats.bytes_written_local,
+                    );
+                }
+                Strategy::LocalDedup | Strategy::CollDedup => {
+                    for (fp, data) in records {
+                        let len = data.len() as u64;
+                        record_storage(
+                            ctx.cluster
+                                .put_chunk(node, fp, data)
+                                .map(|new| if new { len } else { 0 }),
+                            &mut stats.bytes_written_local,
+                        );
+                    }
+                }
+            }
+            offset_records += count as u64;
+        }
+        debug_assert_eq!(offset_records, wplan.recv_counts[me as usize]);
+    });
+
+    // Receive partner manifests (dedup strategies).
+    if cfg.strategy != Strategy::NoDedup {
+        for d in 1..k as usize {
+            let sender = shuffle[(p + n as usize - d) % n as usize];
+            let m: Manifest = comm.recv_val(sender, TAG_MANIFEST);
+            record_storage(ctx.cluster.put_manifest(node, m).map(|()| 0), &mut stats.bytes_written_local);
+        }
+    }
+
+    // The dump completes only when every rank has saved everything.
+    comm.barrier();
+    drop(view);
+    match storage_err {
+        Some(e) => Err(e.into()),
+        None => Ok(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replidedup_hash::Sha1ChunkHasher;
+    use replidedup_mpi::World;
+    use replidedup_storage::Placement;
+
+    fn run_dump(
+        n: u32,
+        strategy: Strategy,
+        k: u32,
+        mk_buf: impl Fn(u32) -> Vec<u8> + Sync,
+    ) -> (Vec<DumpStats>, Cluster) {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(64)
+            .with_f_threshold(1 << 12);
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let buf = mk_buf(comm.rank());
+            dump_output(comm, &ctx, &buf, &cfg).expect("dump succeeds")
+        });
+        (out.results, cluster)
+    }
+
+    /// Every rank the same 4-chunk buffer.
+    fn shared_buffer(_rank: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for c in 0..4u8 {
+            buf.extend_from_slice(&[c; 64]);
+        }
+        buf
+    }
+
+    /// Rank-private content.
+    fn private_buffer(rank: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for c in 0..4u32 {
+            buf.extend_from_slice(&[(rank * 16 + c) as u8; 64]);
+        }
+        buf
+    }
+
+    #[test]
+    fn coll_dedup_shared_data_keeps_exactly_k_copies() {
+        let (stats, cluster) = run_dump(6, Strategy::CollDedup, 3, shared_buffer);
+        // 4 distinct chunks across the whole world; each must have exactly
+        // 3 physical copies (not 6, not 18).
+        let total_kept: u64 = stats.iter().map(|s| s.chunks_kept).sum();
+        let total_sent: u64 = stats.iter().map(|s| s.total_chunks_sent()).sum();
+        assert_eq!(total_kept + total_sent, 4 * 3, "exactly K copies per chunk");
+        assert_eq!(cluster.total_unique_bytes(), 4 * 64 * 3);
+        // Discards happened: 6 ranks × 4 chunks, only 12 copies materialize.
+        let discarded: u64 = stats.iter().map(|s| s.chunks_discarded).sum();
+        assert!(discarded > 0);
+    }
+
+    #[test]
+    fn local_dedup_shared_data_overreplicates() {
+        let (stats, cluster) = run_dump(6, Strategy::CollDedup, 3, shared_buffer);
+        let (stats_l, cluster_l) = run_dump(6, Strategy::LocalDedup, 3, shared_buffer);
+        // local-dedup cannot see cross-rank duplication: each rank keeps
+        // its 4 chunks and replicates them twice → more traffic and the
+        // same chunks on more nodes than coll-dedup.
+        let coll_sent: u64 = stats.iter().map(|s| s.total_chunks_sent()).sum();
+        let local_sent: u64 = stats_l.iter().map(|s| s.total_chunks_sent()).sum();
+        assert!(local_sent > coll_sent, "local {local_sent} vs coll {coll_sent}");
+        assert!(cluster_l.total_unique_bytes() >= cluster.total_unique_bytes());
+    }
+
+    #[test]
+    fn no_dedup_stores_raw_blobs_everywhere() {
+        let (stats, cluster) = run_dump(4, Strategy::NoDedup, 3, private_buffer);
+        for s in &stats {
+            assert_eq!(s.bytes_hashed, 0, "no-dedup must not hash");
+            assert!(s.reduction.is_none());
+        }
+        // Each node holds its own blob plus 2 partner blobs.
+        for rank in 0..4u32 {
+            let holders = (0..4)
+                .filter(|&nd| cluster.has_blob(nd, rank, 1))
+                .count();
+            assert_eq!(holders, 3, "rank {rank} blob must exist on K=3 nodes");
+        }
+        assert_eq!(cluster.total_device_bytes(), 4 * 256 * 3);
+    }
+
+    #[test]
+    fn private_data_replicates_k_copies_all_strategies() {
+        for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+            let (stats, cluster) = run_dump(5, strategy, 3, private_buffer);
+            // All-private data: no strategy can save anything.
+            let logical: u64 = match strategy {
+                Strategy::NoDedup => cluster.total_device_bytes(),
+                _ => cluster.total_unique_bytes(),
+            };
+            assert_eq!(logical, 5 * 256 * 3, "{strategy:?}");
+            for s in &stats {
+                assert_eq!(s.total_chunks_sent(), 8, "{strategy:?}: 4 chunks × 2 partners");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_chunks_have_at_least_k_copies() {
+        // Mixed redundancy: half shared, half private.
+        let mk = |rank: u32| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&[0xEE; 64]); // shared by all
+            buf.extend_from_slice(&[rank as u8 + 1; 64]); // private
+            buf
+        };
+        for strategy in [Strategy::LocalDedup, Strategy::CollDedup] {
+            let (_, cluster) = run_dump(5, strategy, 3, mk);
+            let shared_fp = Sha1ChunkHasher.fingerprint(&[0xEE; 64]);
+            assert!(
+                cluster.copies_of(&shared_fp) >= 3,
+                "{strategy:?}: shared chunk under-replicated"
+            );
+            for rank in 0..5u32 {
+                let fp = Sha1ChunkHasher.fingerprint(&[rank as u8 + 1; 64]);
+                assert_eq!(cluster.copies_of(&fp), 3, "{strategy:?}: private chunk of {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn manifests_are_replicated_to_partners() {
+        let (_, cluster) = run_dump(4, Strategy::CollDedup, 3, private_buffer);
+        for rank in 0..4u32 {
+            let holders = (0..4).filter(|&nd| cluster.get_manifest(nd, rank, 1).is_ok()).count();
+            assert_eq!(holders, 3, "manifest of rank {rank}");
+        }
+    }
+
+    #[test]
+    fn k1_stores_locally_only() {
+        let (stats, cluster) = run_dump(3, Strategy::CollDedup, 1, private_buffer);
+        for s in &stats {
+            assert_eq!(s.total_chunks_sent(), 0);
+            assert_eq!(s.records_received, 0);
+        }
+        assert_eq!(cluster.total_unique_bytes(), 3 * 256);
+    }
+
+    #[test]
+    fn k_larger_than_world_is_clamped() {
+        let (stats, _) = run_dump(3, Strategy::CollDedup, 10, private_buffer);
+        assert!(stats.iter().all(|s| s.k == 3));
+    }
+
+    #[test]
+    fn empty_buffer_dump_is_legal() {
+        let (stats, cluster) = run_dump(3, Strategy::CollDedup, 2, |_| Vec::new());
+        for s in &stats {
+            assert_eq!(s.chunks_total, 0);
+            assert_eq!(s.bytes_written_local, 0);
+        }
+        assert_eq!(cluster.total_unique_bytes(), 0);
+        // Manifests still exist (empty recipes) for restart symmetry.
+        assert!(cluster.get_manifest(0, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn unaligned_buffer_tail_chunk_roundtrips() {
+        let (stats, cluster) = run_dump(3, Strategy::CollDedup, 2, |rank| {
+            vec![rank as u8 + 1; 100] // 64 + 36-byte tail
+        });
+        for s in &stats {
+            assert_eq!(s.chunks_total, 2);
+        }
+        // Both chunks of rank 0 must be on 2 nodes.
+        let m = cluster.get_manifest(0, 0, 1).unwrap();
+        for fp in &m.chunks {
+            assert_eq!(cluster.copies_of(fp), 2);
+        }
+    }
+
+    #[test]
+    fn dump_fails_cleanly_when_local_node_is_down() {
+        let cluster = Cluster::new(Placement::one_per_node(3));
+        cluster.fail_node(1);
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(2)
+            .with_chunk_size(64);
+        let out = World::run(3, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let buf = vec![comm.rank() as u8; 128];
+            dump_output(comm, &ctx, &buf, &cfg)
+        });
+        // Rank 1's node is down: it errors; the others still complete
+        // (no deadlock, no panic).
+        assert!(out.results[0].is_ok());
+        assert!(matches!(out.results[1], Err(DumpError::Storage(StorageError::NodeDown(1)))));
+        assert!(out.results[2].is_ok());
+    }
+
+    #[test]
+    fn stats_traffic_matches_runtime_accounting() {
+        let cluster = Cluster::new(Placement::one_per_node(4));
+        let cfg = DumpConfig::paper_defaults(Strategy::LocalDedup)
+            .with_replication(3)
+            .with_chunk_size(64);
+        let out = World::run(4, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let buf = private_buffer(comm.rank());
+            let stats = dump_output(comm, &ctx, &buf, &cfg).unwrap();
+            (stats, comm.traffic())
+        });
+        for (stats, traffic) in &out.results {
+            assert_eq!(stats.bytes_sent_replication, traffic.rma_put);
+            assert_eq!(stats.bytes_received_replication, traffic.rma_recv);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Chunk record wire format for the single-sided exchange.
+//!
+//! Partners `put` chunk *records* into each other's windows. A record is a
+//! fixed-size cell — fingerprint, payload length, payload padded to the
+//! chunk size — so that record offsets are pure arithmetic on the globally
+//! known chunk counts (Algorithm 3 plans in chunks, not bytes). The 24-byte
+//! header on a 4 KiB chunk costs 0.6 % — the fingerprint has to travel
+//! anyway for content-addressed storage on the receiver.
+
+use bytes::Bytes;
+use replidedup_hash::Fingerprint;
+
+/// Bytes of record header: fingerprint + little-endian `u32` payload length.
+pub const RECORD_HEADER: usize = Fingerprint::SIZE + 4;
+
+/// Total record cell size for a given chunk size.
+pub const fn record_size(chunk_size: usize) -> usize {
+    RECORD_HEADER + chunk_size
+}
+
+/// Append one record to `out`. `data` must fit in `chunk_size`.
+pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_size: usize) {
+    assert!(data.len() <= chunk_size, "chunk of {} exceeds chunk size {chunk_size}", data.len());
+    out.extend_from_slice(fp.as_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+    // Pad to the fixed cell size.
+    out.resize(out.len() + (chunk_size - data.len()), 0);
+}
+
+/// Record parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The region is shorter than `count` full records.
+    Truncated {
+        /// Record index at which input ran out.
+        at: usize,
+    },
+    /// A record header declares a payload longer than the chunk size.
+    BadLength {
+        /// Record index with the bad header.
+        at: usize,
+        /// The declared length.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated { at } => write!(f, "record region truncated at record {at}"),
+            RecordError::BadLength { at, len } => {
+                write!(f, "record {at} declares impossible payload length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Parse exactly `count` records from the front of `buf`.
+pub fn parse_records(
+    buf: &[u8],
+    chunk_size: usize,
+    count: usize,
+) -> Result<Vec<(Fingerprint, Bytes)>, RecordError> {
+    let cell = record_size(chunk_size);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = i * cell;
+        let Some(record) = buf.get(start..start + cell) else {
+            return Err(RecordError::Truncated { at: i });
+        };
+        let fp = Fingerprint::from_bytes(record[..Fingerprint::SIZE].try_into().expect("fixed slice"));
+        let len = u32::from_le_bytes(
+            record[Fingerprint::SIZE..RECORD_HEADER].try_into().expect("fixed slice"),
+        );
+        if len as usize > chunk_size {
+            return Err(RecordError::BadLength { at: i, len });
+        }
+        let payload = Bytes::copy_from_slice(&record[RECORD_HEADER..RECORD_HEADER + len as usize]);
+        out.push((fp, payload));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    #[test]
+    fn roundtrip_full_and_tail_chunks() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[0xAA; 8], 8);
+        encode_record(&mut buf, &fp(2), &[0xBB; 3], 8); // short tail
+        assert_eq!(buf.len(), 2 * record_size(8));
+        let records = parse_records(&buf, 8, 2).unwrap();
+        assert_eq!(records[0], (fp(1), Bytes::from(vec![0xAA; 8])));
+        assert_eq!(records[1], (fp(2), Bytes::from(vec![0xBB; 3])));
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[], 8);
+        let records = parse_records(&buf, 8, 1).unwrap();
+        assert_eq!(records[0].1.len(), 0);
+    }
+
+    #[test]
+    fn truncated_region_errors() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[1; 8], 8);
+        assert_eq!(parse_records(&buf, 8, 2), Err(RecordError::Truncated { at: 1 }));
+    }
+
+    #[test]
+    fn bad_length_errors() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[1; 8], 8);
+        buf[Fingerprint::SIZE] = 0xFF; // corrupt the length field
+        assert!(matches!(parse_records(&buf, 8, 1), Err(RecordError::BadLength { at: 0, .. })));
+    }
+
+    #[test]
+    fn zero_count_parses_empty() {
+        assert_eq!(parse_records(&[], 8, 0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chunk size")]
+    fn oversized_chunk_panics() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[1; 9], 8);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RecordError::Truncated { at: 3 }.to_string().contains('3'));
+        assert!(RecordError::BadLength { at: 0, len: 99 }.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,62 @@
+//! `replidedup-core` — dedup-aware collective replication.
+//!
+//! Rust reproduction of Bogdan Nicolae, *"Leveraging Naturally Distributed
+//! Data Redundancy to Reduce Collective I/O Replication Overhead"*
+//! (IPDPS 2015). The library exposes the paper's collective I/O write
+//! primitive `DUMP_OUTPUT(buffer, K)` ([`dump_output`]) plus the restore
+//! collective ([`restore_output`]) and implements all four design
+//! principles of Section III:
+//!
+//! 1. collective interprocess deduplication ([`local`], [`global`]),
+//! 2. load balancing via uniform rank assignment (inside
+//!    [`GlobalView::merge`]),
+//! 3. load-aware partner selection ([`shuffle`], Algorithm 2),
+//! 4. single-sided communication planning ([`offsets`], Algorithm 3).
+//!
+//! The three evaluation settings (`no-dedup`, `local-dedup`, `coll-dedup`)
+//! are selected by [`Strategy`]; the `coll-no-shuffle` ablation is
+//! [`DumpConfig::with_shuffle`]`(false)`.
+//!
+//! # Example
+//!
+//! ```
+//! use replidedup_core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy};
+//! use replidedup_hash::Sha1ChunkHasher;
+//! use replidedup_mpi::World;
+//! use replidedup_storage::{Cluster, Placement};
+//!
+//! let cluster = Cluster::new(Placement::one_per_node(4));
+//! let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+//!     .with_replication(3)
+//!     .with_chunk_size(64);
+//! let out = World::run(4, |comm| {
+//!     let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+//!     let buf = vec![comm.rank() as u8; 256];
+//!     let stats = dump_output(comm, &ctx, &buf, &cfg).unwrap();
+//!     let restored = restore_output(comm, &ctx, Strategy::CollDedup).unwrap();
+//!     assert_eq!(restored, buf);
+//!     stats
+//! });
+//! assert!(out.results.iter().all(|s| s.k == 3));
+//! ```
+
+pub mod config;
+pub mod dump;
+pub mod exchange;
+pub mod global;
+pub mod local;
+pub mod offsets;
+pub mod plan;
+pub mod restore;
+pub mod shuffle;
+pub mod stats;
+
+pub use config::{DumpConfig, Strategy};
+pub use dump::{dump_output, DumpContext, DumpError};
+pub use global::{reduce_global_view, GlobalEntry, GlobalView};
+pub use local::LocalIndex;
+pub use offsets::{window_plan, WindowPlan};
+pub use plan::{plan_chunks, ChunkPlan};
+pub use restore::{restore_output, RestoreError};
+pub use shuffle::{identity_shuffle, rank_shuffle};
+pub use stats::{DumpStats, ReductionStats, WorldDumpStats};

@@ -1,0 +1,230 @@
+//! Single-sided communication planning (Algorithm 3): window offsets.
+//!
+//! "Since there is a unique shuffling, rank i (in the shuffled order) knows
+//! how many chunks the other ranks need to send to its partners. Thus, it
+//! is possible to calculate an offset for each of the partners of rank i in
+//! such way that the other ranks that share the same partners can
+//! implicitly agree without extra communication. Furthermore, since each
+//! rank knows how many chunks it needs to receive from all other ranks, it
+//! can open a window of the right size from the beginning, avoiding any
+//! waste." (Section III-B)
+//!
+//! Concretely: the window of the rank at shuffled position `p` is tiled by
+//! its `K-1` senders in distance order — the sender at distance `d`
+//! (shuffled position `p - d`, which sends `SendLoad[sender][d]` chunks to
+//! its `d`-th partner) writes at offset `Σ_{d' < d} SendLoad[p - d'][d']`.
+//! Every quantity is globally known after the load allgather, so no
+//! receiver-side coordination or buffering is needed.
+//!
+//! ### Pseudocode erratum
+//! Algorithm 3's printed index ranges (`1 ≤ i ≤ K` over `Shuffle`, `Off[j]`)
+//! are garbled; the prose quoted above defines the semantics, which is what
+//! this module implements and property-tests (regions are pairwise
+//! disjoint, start at 0, and tile the receiver's window exactly).
+
+use replidedup_mpi::Rank;
+
+/// The complete exchange plan, identical on every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// `recv_counts[r]` — number of chunk records rank `r` receives in
+    /// total (its window size in records).
+    pub recv_counts: Vec<u64>,
+    /// `send_offsets[r][j-1]` — record offset at which rank `r` writes into
+    /// the window of its `j`-th partner.
+    pub send_offsets: Vec<Vec<u64>>,
+    /// `partners[r][j-1]` — the rank that is `r`'s `j`-th partner.
+    pub partners: Vec<Vec<Rank>>,
+}
+
+/// Compute the exchange plan from the shuffle and the allgathered Load
+/// vectors. `send_load[r]` must have exactly `k` entries (`Load[0]` local,
+/// `Load[1..k]` per partner).
+///
+/// # Panics
+/// If the load vectors disagree with `k`, or `k > N` (callers clamp the
+/// replication factor to the world size first).
+pub fn window_plan(shuffle: &[Rank], send_load: &[Vec<u64>], k: u32) -> WindowPlan {
+    let n = shuffle.len();
+    assert_eq!(send_load.len(), n, "one Load vector per rank");
+    assert!(k as usize <= n.max(1), "replication factor must be clamped to world size");
+    for (r, l) in send_load.iter().enumerate() {
+        assert_eq!(l.len(), k as usize, "rank {r}: Load vector must have K entries");
+    }
+    let positions = crate::shuffle::positions_of(shuffle);
+    let sender_at = |p: usize, d: usize| -> Rank { shuffle[(p + n - d) % n] };
+
+    let mut recv_counts = vec![0u64; n];
+    let mut send_offsets = vec![Vec::with_capacity(k as usize - 1); n];
+    let mut partners = vec![Vec::with_capacity(k as usize - 1); n];
+    for r in 0..n {
+        let p = positions[r] as usize;
+        // What r receives: its K-1 senders tile the window in distance order.
+        for d in 1..k as usize {
+            recv_counts[r] += send_load[sender_at(p, d) as usize][d];
+        }
+        // Where r writes: for partner j at position p+j, r is the sender at
+        // distance j; the senders at smaller distances come first.
+        for j in 1..k as usize {
+            let q = (p + j) % n;
+            partners[r].push(shuffle[q]);
+            let mut off = 0u64;
+            for d in 1..j {
+                off += send_load[sender_at(q, d) as usize][d];
+            }
+            send_offsets[r].push(off);
+        }
+    }
+    WindowPlan { recv_counts, send_offsets, partners }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shuffle::{identity_shuffle, rank_shuffle};
+    use proptest::prelude::*;
+
+    /// Check the tiling invariant: for every receiver, the sender regions
+    /// `[offset, offset + load)` are disjoint, start at 0, and cover the
+    /// window exactly.
+    fn assert_tiling(plan: &WindowPlan, send_load: &[Vec<u64>], k: u32) {
+        let n = send_load.len();
+        // Collect (receiver, offset, len) triples from the sender side.
+        let mut regions: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        for r in 0..n {
+            for (jm1, &target) in plan.partners[r].iter().enumerate() {
+                let len = send_load[r][jm1 + 1];
+                let off = plan.send_offsets[r][jm1];
+                regions[target as usize].push((off, len));
+            }
+        }
+        for (recv, mut regs) in regions.into_iter().enumerate() {
+            regs.sort_unstable();
+            let mut cursor = 0u64;
+            for (off, len) in regs {
+                assert_eq!(off, cursor, "receiver {recv}: gap or overlap at offset {off} (k={k})");
+                cursor += len;
+            }
+            assert_eq!(
+                cursor, plan.recv_counts[recv],
+                "receiver {recv}: window size mismatch (k={k})"
+            );
+        }
+    }
+
+    fn mk_loads(totals_per_partner: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        totals_per_partner
+            .iter()
+            .map(|per| {
+                let mut l = vec![0u64];
+                l.extend(per);
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_ring_k2() {
+        // K=2: each rank has exactly one partner (the next in the ring).
+        let send_load = mk_loads(&[vec![5], vec![7], vec![3]]);
+        let plan = window_plan(&identity_shuffle(3), &send_load, 2);
+        assert_eq!(plan.recv_counts, vec![3, 5, 7]);
+        assert_eq!(plan.partners, vec![vec![1], vec![2], vec![0]]);
+        assert_eq!(plan.send_offsets, vec![vec![0], vec![0], vec![0]]);
+        assert_tiling(&plan, &send_load, 2);
+    }
+
+    #[test]
+    fn k3_offsets_stack_by_distance() {
+        // 4 ranks, K=3, identity shuffle. Receiver 2 hears from rank 1
+        // (distance 1, its Load[1]) at offset 0 and rank 0 (distance 2,
+        // its Load[2]) at offset Load[1] of rank 1.
+        let send_load = mk_loads(&[vec![10, 20], vec![30, 40], vec![50, 60], vec![70, 80]]);
+        let plan = window_plan(&identity_shuffle(4), &send_load, 3);
+        // rank 0's partners are 1 and 2.
+        assert_eq!(plan.partners[0], vec![1, 2]);
+        // Into partner 1's window rank 0 is the distance-1 sender: offset 0.
+        assert_eq!(plan.send_offsets[0][0], 0);
+        // Into partner 2's window rank 0 is the distance-2 sender: offset =
+        // rank 1's Load[1] = 30.
+        assert_eq!(plan.send_offsets[0][1], 30);
+        // Receiver 2's window: 30 (rank1 d1) + 20 (rank0 d2) = 50.
+        assert_eq!(plan.recv_counts[2], 50);
+        assert_tiling(&plan, &send_load, 3);
+    }
+
+    #[test]
+    fn tiling_holds_under_shuffled_order() {
+        let send_load = mk_loads(&[
+            vec![100, 100],
+            vec![100, 100],
+            vec![10, 10],
+            vec![10, 10],
+            vec![10, 10],
+            vec![10, 10],
+        ]);
+        let shuffle = rank_shuffle(&send_load, 3);
+        let plan = window_plan(&shuffle, &send_load, 3);
+        assert_tiling(&plan, &send_load, 3);
+        assert_eq!(plan.recv_counts.iter().max(), Some(&110));
+    }
+
+    #[test]
+    fn k1_is_degenerate_but_legal() {
+        let send_load = vec![vec![9u64], vec![4]];
+        let plan = window_plan(&identity_shuffle(2), &send_load, 1);
+        assert_eq!(plan.recv_counts, vec![0, 0]);
+        assert!(plan.partners.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn k_equal_n_wraps_but_never_self() {
+        let send_load = mk_loads(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 1, 1]]);
+        let plan = window_plan(&identity_shuffle(4), &send_load, 4);
+        for (r, ps) in plan.partners.iter().enumerate() {
+            assert!(!ps.contains(&(r as u32)), "rank {r} partnered with itself");
+            let set: std::collections::HashSet<_> = ps.iter().collect();
+            assert_eq!(set.len(), ps.len(), "rank {r}: duplicate partners");
+        }
+        assert_tiling(&plan, &send_load, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Load vector must have K entries")]
+    fn mismatched_load_width_panics() {
+        window_plan(&identity_shuffle(2), &[vec![1, 2], vec![3]], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tiling_invariant(
+            n in 2usize..24,
+            k in 2u32..6,
+            seed in any::<u64>(),
+            use_shuffle in any::<bool>(),
+        ) {
+            let k = k.min(n as u32);
+            let mut state = seed | 1;
+            let mut rand = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 500
+            };
+            let send_load: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..k).map(|j| if j == 0 { rand() } else { rand() }).collect())
+                .collect();
+            let shuffle = if use_shuffle {
+                rank_shuffle(&send_load, k)
+            } else {
+                identity_shuffle(n as u32)
+            };
+            let plan = window_plan(&shuffle, &send_load, k);
+            assert_tiling(&plan, &send_load, k);
+            // Conservation: Σ recv = Σ send.
+            let total_recv: u64 = plan.recv_counts.iter().sum();
+            let total_send: u64 = send_load.iter().map(|l| l[1..].iter().sum::<u64>()).sum();
+            prop_assert_eq!(total_recv, total_send);
+        }
+    }
+}

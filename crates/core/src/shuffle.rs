@@ -1,0 +1,248 @@
+//! Load-aware partner selection (Algorithm 2): rank shuffling.
+//!
+//! "We gather from each rank information about the load [...] Once each
+//! rank is aware of the load of every other rank, we calculate an
+//! interleaving that is uniquely shared by all ranks and achieves our goal
+//! of load-balancing of receive size." (Section III-B)
+//!
+//! The shuffle sorts ranks by descending total send size and repeatedly
+//! pairs the heaviest unplaced rank with the `K-1` lightest ones, so that
+//! each heavy sender's partners are light senders (and vice versa) once
+//! the naive ring `i → i+1 .. i+K-1` is applied to the shuffled order.
+//!
+//! ### Pseudocode erratum
+//! Algorithm 2 as printed initializes `tail ← 0`, never decrements it, and
+//! never increments `j`, which would loop forever. The prose is
+//! unambiguous: "we repeatedly pair a rank that has the most amount of
+//! chunks to send (head) with K-1 ranks that have the least amount of
+//! chunks to send (tail) until all ranks were processed." We implement
+//! that: `tail` starts at `N-1` and walks down.
+
+use replidedup_mpi::Rank;
+
+/// Total bytes (or chunks — any consistent unit) each rank sends to its
+/// partners: the sum of `Load[1..K]` per rank.
+pub fn total_send_loads(send_load: &[Vec<u64>]) -> Vec<u64> {
+    send_load.iter().map(|l| l.iter().skip(1).sum()).collect()
+}
+
+/// Algorithm 2: compute the shuffled rank order. `send_load[r]` is rank
+/// `r`'s Load vector; `k` the replication factor. Returns a permutation
+/// `shuffle` where `shuffle[position] = rank`; partner `j` of the rank at
+/// position `p` is the rank at position `(p + j) mod N`.
+///
+/// Deterministic: ties in send size break by rank id, so every rank
+/// computes the identical shuffle from the allgathered loads.
+pub fn rank_shuffle(send_load: &[Vec<u64>], k: u32) -> Vec<Rank> {
+    let n = send_load.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let totals = total_send_loads(send_load);
+    // Sort rank indices by descending send size (ties by ascending rank).
+    let mut rank_index: Vec<Rank> = (0..n as u32).collect();
+    rank_index.sort_by_key(|&r| (std::cmp::Reverse(totals[r as usize]), r));
+
+    let mut shuffle = Vec::with_capacity(n);
+    let mut head = 0usize;
+    let mut tail = n - 1;
+    while head <= tail {
+        shuffle.push(rank_index[head]);
+        if head == tail {
+            break;
+        }
+        head += 1;
+        let mut j = 1;
+        while j < k && head <= tail {
+            shuffle.push(rank_index[tail]);
+            if tail == head {
+                // `head` now points past the consumed light rank.
+                head += 1;
+                break;
+            }
+            tail -= 1;
+            j += 1;
+        }
+    }
+    debug_assert_eq!(shuffle.len(), n);
+    shuffle
+}
+
+/// The identity "shuffle" used by the naive partner selection of the
+/// baselines and the `coll-no-shuffle` ablation.
+pub fn identity_shuffle(n: u32) -> Vec<Rank> {
+    (0..n).collect()
+}
+
+/// Invert a shuffle: `positions[rank] = position`.
+pub fn positions_of(shuffle: &[Rank]) -> Vec<u32> {
+    let mut pos = vec![0u32; shuffle.len()];
+    for (p, &r) in shuffle.iter().enumerate() {
+        pos[r as usize] = p as u32;
+    }
+    pos
+}
+
+/// Partner `j` (1-based) of `rank` under `shuffle`: the rank `j` positions
+/// to the right on the shuffled ring.
+pub fn partner_of(shuffle: &[Rank], positions: &[u32], rank: Rank, j: u32) -> Rank {
+    let n = shuffle.len() as u32;
+    let p = positions[rank as usize];
+    shuffle[((p + j) % n) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads_from_totals(totals: &[u64], k: u32) -> Vec<Vec<u64>> {
+        // Spread each total over K-1 partners; Load[0] arbitrary.
+        totals
+            .iter()
+            .map(|&t| {
+                let mut l = vec![0u64; k as usize];
+                let partners = (k - 1).max(1) as u64;
+                for j in 1..k as usize {
+                    l[j] = t / partners;
+                }
+                l[1] += t % partners;
+                l
+            })
+            .collect()
+    }
+
+    /// Max receive volume under the naive ring applied to a shuffle:
+    /// receiver at position p gets SendLoad[shuffle[p-d]][d] for d=1..K-1.
+    fn max_receive(shuffle: &[Rank], send_load: &[Vec<u64>], k: u32) -> u64 {
+        let n = shuffle.len();
+        let mut recv = vec![0u64; n];
+        for (p, _) in shuffle.iter().enumerate() {
+            for d in 1..k as usize {
+                let sender = shuffle[(p + n - (d % n)) % n];
+                recv[p] += send_load[sender as usize][d];
+            }
+        }
+        recv.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn paper_figure_2_example() {
+        // Six processes, K=3: the first two send 100 chunks to each of
+        // their two partners, the rest 10. Figure 2: naive selection makes
+        // some node receive 200 chunks; the shuffle (1,3,4,2,5,6) lowers
+        // the maximum to 110.
+        let heavy = vec![0u64, 100, 100];
+        let light = vec![0u64, 10, 10];
+        let send_load = vec![heavy.clone(), heavy, light.clone(), light.clone(), light.clone(), light];
+        let naive = identity_shuffle(6);
+        let shuffled = rank_shuffle(&send_load, 3);
+        assert_eq!(max_receive(&naive, &send_load, 3), 200);
+        assert_eq!(max_receive(&shuffled, &send_load, 3), 110);
+        // The heavy senders must not be adjacent in the shuffle.
+        let pos = positions_of(&shuffled);
+        let gap = (i64::from(pos[0]) - i64::from(pos[1])).unsigned_abs();
+        assert!(gap >= 2, "heavy ranks adjacent: {shuffled:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        for n in [1usize, 2, 3, 5, 8, 13, 40] {
+            let totals: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 11).collect();
+            for k in 2..=4u32 {
+                let shuffle = rank_shuffle(&loads_from_totals(&totals, k), k);
+                let mut sorted = shuffle.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_loads_shuffle_is_harmless() {
+        let send_load = loads_from_totals(&[50; 8], 3);
+        let shuffled = rank_shuffle(&send_load, 3);
+        let naive = identity_shuffle(8);
+        assert_eq!(
+            max_receive(&shuffled, &send_load, 3),
+            max_receive(&naive, &send_load, 3),
+            "uniform loads: shuffling cannot make things worse"
+        );
+    }
+
+    #[test]
+    fn shuffle_interleaves_heavy_and_light() {
+        // 4 heavy + 8 light, K=3: every heavy rank should be followed by
+        // two light ranks in the shuffle.
+        let mut totals = vec![1000u64; 4];
+        totals.extend(vec![1u64; 8]);
+        let shuffle = rank_shuffle(&loads_from_totals(&totals, 3), 3);
+        for (p, &r) in shuffle.iter().enumerate() {
+            if r < 4 {
+                // heavy
+                let next = shuffle[(p + 1) % shuffle.len()];
+                assert!(next >= 4, "heavy rank {r} at {p} followed by heavy {next}: {shuffle:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_beats_naive_on_average_and_never_badly_loses() {
+        // The shuffle is a greedy heuristic: on skewed loads it should win
+        // clearly in aggregate; on any individual draw it may lose by a
+        // small margin but never catastrophically.
+        let mut state = 0x1234_5678_u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut sum_shuffled = 0u64;
+        let mut sum_naive = 0u64;
+        for trial in 0..100 {
+            let n = 6 + (trial % 20) as usize;
+            let k = 2 + (trial % 4) as u32;
+            // Skewed loads (the regime the paper motivates): a few heavy
+            // senders, many light ones.
+            let totals: Vec<u64> =
+                (0..n).map(|i| if i % 5 == 0 { 500 + rand() % 500 } else { rand() % 50 }).collect();
+            let send_load = loads_from_totals(&totals, k);
+            let shuffled_max = max_receive(&rank_shuffle(&send_load, k), &send_load, k);
+            let naive_max = max_receive(&identity_shuffle(n as u32), &send_load, k);
+            sum_shuffled += shuffled_max;
+            sum_naive += naive_max;
+            assert!(
+                shuffled_max as f64 <= naive_max as f64 * 1.3,
+                "trial {trial}: shuffled {shuffled_max} far worse than naive {naive_max} (n={n}, k={k})"
+            );
+        }
+        assert!(
+            sum_shuffled < sum_naive,
+            "shuffle must win in aggregate: {sum_shuffled} vs {sum_naive}"
+        );
+    }
+
+    #[test]
+    fn partner_helpers_are_consistent() {
+        let shuffle = vec![2u32, 0, 3, 1];
+        let pos = positions_of(&shuffle);
+        assert_eq!(pos, vec![1, 3, 0, 2]);
+        // rank 2 is at position 0; partner 1 is position 1 → rank 0.
+        assert_eq!(partner_of(&shuffle, &pos, 2, 1), 0);
+        assert_eq!(partner_of(&shuffle, &pos, 2, 3), 1);
+        // wraps around
+        assert_eq!(partner_of(&shuffle, &pos, 1, 1), 2);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        assert_eq!(rank_shuffle(&loads_from_totals(&[5], 3), 3), vec![0]);
+        assert_eq!(rank_shuffle(&[], 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn total_send_loads_skips_local_slot() {
+        let loads = vec![vec![100, 2, 3], vec![50, 0, 0]];
+        assert_eq!(total_send_loads(&loads), vec![5, 0]);
+    }
+}

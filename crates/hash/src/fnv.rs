@@ -1,0 +1,83 @@
+//! FNV-1a: the "computationally cheap hash function" end of the paper's
+//! speed/collision trade-off (Section IV and the NetApp-style
+//! hash-plus-direct-comparison schemes in its related work).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a over `data`.
+#[inline]
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Streaming FNV-1a hasher (implements [`std::hash::Hasher`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::hash::Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hasher;
+
+    // Reference vectors from the FNV reference code (draft-eastlake-fnv).
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox";
+        let mut h = Fnv64::new();
+        h.write(&data[..7]);
+        h.write(&data[7..]);
+        assert_eq!(h.finish(), fnv1a_64(data));
+        assert_eq!(h.value(), h.finish());
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        assert_ne!(fnv1a_64(b"chunk-a"), fnv1a_64(b"chunk-b"));
+    }
+}

@@ -1,0 +1,217 @@
+//! SHA-1 (RFC 3174) implemented from scratch.
+//!
+//! The paper fingerprints 4 KiB memory pages with OpenSSL's SHA-1. We keep
+//! the same algorithm for fidelity (collision behaviour, digest width,
+//! throughput shape) without pulling a crypto dependency. SHA-1 is not
+//! collision-resistant against adversaries anymore, but the paper's threat
+//! model is accidental collisions between checkpoint pages, where 160 bits
+//! remain far beyond birthday reach at any realistic chunk count.
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use replidedup_hash::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), Sha1::digest(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    /// Partially filled block.
+    block: [u8; 64],
+    block_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Initialization vector from RFC 3174 section 6.1.
+    const IV: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Self { state: Self::IV, len: 0, block: [0; 64], block_len: 0 }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.block_len > 0 {
+            let take = (64 - self.block_len).min(data.len());
+            self.block[self.block_len..self.block_len + take].copy_from_slice(&data[..take]);
+            self.block_len += take;
+            data = &data[take..];
+            if self.block_len == 64 {
+                let block = self.block;
+                self.compress(&block);
+                self.block_len = 0;
+            }
+        }
+        if data.is_empty() {
+            // Nothing left beyond the partial block — which must survive.
+            return;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            // The unwrap cannot fail: chunks_exact yields 64-byte slices.
+            let arr: &[u8; 64] = block.try_into().unwrap();
+            self.compress(arr);
+        }
+        let rem = chunks.remainder();
+        self.block[..rem.len()].copy_from_slice(rem);
+        self.block_len = rem.len();
+    }
+
+    /// Finish and produce the 160-bit digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.block_len != 56 {
+            self.update(&[0]);
+        }
+        // The two length updates above must not count toward the length,
+        // but `update` already latched `bit_len` before padding began.
+        let mut block = self.block;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().enumerate().take(16) {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 20]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 3174 / FIPS 180 test vectors.
+    #[test]
+    fn vector_empty() {
+        assert_eq!(hex(Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn vector_abc() {
+        assert_eq!(hex(Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn vector_two_blocks() {
+        assert_eq!(
+            hex(Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn vector_quick_brown_fox() {
+        assert_eq!(
+            hex(Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 256) as u8).collect();
+        let expect = Sha1::digest(&data);
+        for split in 0..=data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_many_small_updates() {
+        let data = vec![0xabu8; 300];
+        let mut h = Sha1::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths straddling the 55/56/63/64 padding boundaries.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5au8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            // Sanity: must match a fresh one-shot.
+            assert_eq!(h.finalize(), Sha1::digest(&data), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The thread-rank world and per-rank communicator.
+//!
+//! `replidedup` runs each MPI-style rank as an OS thread inside one process.
+//! Point-to-point messaging uses one unbounded crossbeam channel per rank
+//! with MPI's matching semantics: a receive names `(source, tag)` and
+//! messages that arrive before their matching receive are stashed in an
+//! unexpected-message queue, exactly like an MPI implementation's UMQ.
+//!
+//! Why threads instead of real MPI: the reproduction target is the paper's
+//! *algorithms and traffic*, not its wire protocol. An in-process runtime
+//! executes the identical collective call sequence, measures exact per-rank
+//! byte counts, and sidesteps the immature state of Rust MPI bindings; the
+//! `replidedup-sim` crate converts measured traffic into cluster-scale
+//! timings.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rustc_hash::FxHashMap;
+
+use crate::stats::{RankCounters, TrafficReport, Transport};
+use crate::wire::Wire;
+use crate::window::WinBuf;
+
+/// Rank index within a world (MPI `comm_rank`).
+pub type Rank = u32;
+
+/// Message tag. User tags must not have the top bit set; the runtime
+/// reserves that space for collective-internal messages.
+pub type Tag = u64;
+
+/// Top bit marks runtime-internal tags.
+pub(crate) const INTERNAL_TAG: Tag = 1 << 63;
+
+/// A matched point-to-point message.
+#[derive(Debug, Clone)]
+pub(crate) struct Message {
+    pub src: Rank,
+    pub tag: Tag,
+    pub payload: Bytes,
+}
+
+/// Out-of-band control messages (RMA window registration). Real MPI also
+/// exchanges window handles out-of-band during `MPI_Win_create`.
+#[derive(Clone)]
+pub(crate) enum CtrlMsg {
+    Win { src: Rank, seq: u64, handle: Arc<WinBuf> },
+}
+
+/// Configuration for a [`World`] run.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// How long a blocking receive may wait before the runtime declares the
+    /// program deadlocked and panics. Generous default; tests lower it.
+    pub recv_timeout: Duration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self { recv_timeout: Duration::from_secs(120) }
+    }
+}
+
+/// Result of a world run: one value per rank plus the traffic report.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank traffic snapshot taken after all ranks returned.
+    pub traffic: TrafficReport,
+}
+
+/// Entry point: spawn `size` ranks and run `f` on each.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks with default configuration.
+    ///
+    /// # Panics
+    /// Propagates a panic from any rank and panics if `size == 0`.
+    pub fn run<T, F>(size: u32, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_with(size, &WorldConfig::default(), f)
+    }
+
+    /// Run `f` on `size` ranks with explicit configuration.
+    pub fn run_with<T, F>(size: u32, config: &WorldConfig, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let counters: Arc<Vec<RankCounters>> =
+            Arc::new((0..size).map(|_| RankCounters::default()).collect());
+
+        let mut data_senders = Vec::with_capacity(size as usize);
+        let mut data_receivers = Vec::with_capacity(size as usize);
+        let mut ctrl_senders = Vec::with_capacity(size as usize);
+        let mut ctrl_receivers = Vec::with_capacity(size as usize);
+        for _ in 0..size {
+            let (ts, tr) = unbounded::<Message>();
+            data_senders.push(ts);
+            data_receivers.push(tr);
+            let (cs, cr) = unbounded::<CtrlMsg>();
+            ctrl_senders.push(cs);
+            ctrl_receivers.push(cr);
+        }
+        let data_senders = Arc::new(data_senders);
+        let ctrl_senders = Arc::new(ctrl_senders);
+
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size as usize);
+            // Drain receivers in reverse so rank 0 pops the front.
+            let mut receivers: Vec<_> = data_receivers.into_iter().collect();
+            let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
+            for rank in (0..size).rev() {
+                let receiver = receivers.pop().expect("one receiver per rank");
+                let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
+                let data_senders = Arc::clone(&data_senders);
+                let ctrl_senders = Arc::clone(&ctrl_senders);
+                let counters = Arc::clone(&counters);
+                let f = &f;
+                let config = config.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let mut comm = Comm {
+                                rank,
+                                size,
+                                data_senders,
+                                receiver,
+                                ctrl_senders,
+                                ctrl_receiver,
+                                pending: FxHashMap::default(),
+                                pending_ctrl: FxHashMap::default(),
+                                counters,
+                                op_seq: 0,
+                                win_seq: 0,
+                                recv_timeout: config.recv_timeout,
+                            };
+                            f(&mut comm)
+                        })
+                        .expect("spawn rank thread"),
+                );
+            }
+            // handles were pushed for ranks size-1..0; reverse to rank order.
+            handles.reverse();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Re-raise with the original payload so callers (and
+                    // #[should_panic] tests) see the rank's own message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let traffic = TrafficReport { ranks: counters.iter().map(|c| c.snapshot()).collect() };
+        RunOutput { results, traffic }
+    }
+}
+
+/// Per-rank communicator handle. Not `Clone`: each rank owns exactly one.
+pub struct Comm {
+    rank: Rank,
+    size: u32,
+    data_senders: Arc<Vec<Sender<Message>>>,
+    receiver: Receiver<Message>,
+    ctrl_senders: Arc<Vec<Sender<CtrlMsg>>>,
+    ctrl_receiver: Receiver<CtrlMsg>,
+    /// Unexpected-message queue: messages that arrived before their receive.
+    pending: FxHashMap<(Rank, Tag), VecDeque<Bytes>>,
+    pending_ctrl: FxHashMap<(Rank, u64), Arc<WinBuf>>,
+    counters: Arc<Vec<RankCounters>>,
+    /// Collective sequence number; SPMD programs call collectives in the
+    /// same order on every rank, so this stays globally consistent and
+    /// namespaces the internal tags of successive collectives.
+    pub(crate) op_seq: u64,
+    pub(crate) win_seq: u64,
+    recv_timeout: Duration,
+}
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Borrow the shared per-rank counters (used by [`crate::window`]).
+    pub(crate) fn counters(&self) -> &Arc<Vec<RankCounters>> {
+        &self.counters
+    }
+
+    pub(crate) fn ctrl_send(&self, dst: Rank, msg: CtrlMsg) {
+        self.ctrl_senders[dst as usize].send(msg).expect("world torn down mid-operation");
+    }
+
+    pub(crate) fn ctrl_recv_win(&mut self, src: Rank, seq: u64) -> Arc<WinBuf> {
+        if let Some(handle) = self.pending_ctrl.remove(&(src, seq)) {
+            return handle;
+        }
+        loop {
+            match self.ctrl_receiver.recv_timeout(self.recv_timeout) {
+                Ok(CtrlMsg::Win { src: s, seq: q, handle }) => {
+                    if s == src && q == seq {
+                        return handle;
+                    }
+                    self.pending_ctrl.insert((s, q), handle);
+                }
+                Err(_) => panic!(
+                    "rank {} timed out waiting for window handle from rank {src} (seq {seq})",
+                    self.rank
+                ),
+            }
+        }
+    }
+
+    /// Snapshot this rank's traffic counters.
+    pub fn traffic(&self) -> crate::stats::RankTraffic {
+        self.counters[self.rank as usize].snapshot()
+    }
+
+    /// Reset traffic counters of this rank (call from every rank around a
+    /// barrier to scope measurements to one phase).
+    pub fn reset_traffic(&self) {
+        self.counters[self.rank as usize].reset();
+    }
+
+    // ---- point-to-point ----
+
+    /// Send raw bytes to `dst` with `tag`.
+    ///
+    /// # Panics
+    /// If `tag` uses the reserved internal bit or `dst` is out of range.
+    pub fn send(&self, dst: Rank, tag: Tag, payload: &[u8]) {
+        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
+        self.send_raw(dst, tag, Bytes::copy_from_slice(payload), Transport::PointToPoint);
+    }
+
+    /// Send an owned buffer without copying.
+    pub fn send_bytes(&self, dst: Rank, tag: Tag, payload: Bytes) {
+        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
+        self.send_raw(dst, tag, payload, Transport::PointToPoint);
+    }
+
+    /// Encode and send a typed value.
+    pub fn send_val<T: Wire>(&self, dst: Rank, tag: Tag, value: &T) {
+        self.send_bytes(dst, tag, value.to_bytes());
+    }
+
+    pub(crate) fn send_raw(&self, dst: Rank, tag: Tag, payload: Bytes, transport: Transport) {
+        let bytes = payload.len() as u64;
+        self.counters[self.rank as usize].count_send(transport, bytes);
+        self.data_senders[dst as usize]
+            .send(Message { src: self.rank, tag, payload })
+            .expect("world torn down mid-send");
+    }
+
+    /// Blocking matched receive from `(src, tag)`.
+    pub fn recv(&mut self, src: Rank, tag: Tag) -> Bytes {
+        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
+        self.recv_raw(src, tag, Transport::PointToPoint)
+    }
+
+    /// Receive and decode a typed value.
+    ///
+    /// # Panics
+    /// If the payload does not decode as `T` — a type mismatch is a
+    /// programming error in an SPMD program, not a recoverable condition.
+    pub fn recv_val<T: Wire>(&mut self, src: Rank, tag: Tag) -> T {
+        let bytes = self.recv(src, tag);
+        T::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("rank {} failed to decode message from {src} tag {tag}: {e}", self.rank)
+        })
+    }
+
+    pub(crate) fn recv_raw(&mut self, src: Rank, tag: Tag, transport: Transport) -> Bytes {
+        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
+            if let Some(payload) = queue.pop_front() {
+                if queue.is_empty() {
+                    self.pending.remove(&(src, tag));
+                }
+                self.counters[self.rank as usize].count_recv(transport, payload.len() as u64);
+                return payload;
+            }
+        }
+        loop {
+            match self.receiver.recv_timeout(self.recv_timeout) {
+                Ok(msg) => {
+                    if msg.src == src && msg.tag == tag {
+                        self.counters[self.rank as usize]
+                            .count_recv(transport, msg.payload.len() as u64);
+                        return msg.payload;
+                    }
+                    self.pending.entry((msg.src, msg.tag)).or_default().push_back(msg.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} timed out after {:?} waiting for message from rank {src} tag {tag:#x} \
+                     (likely deadlock: mismatched send/recv or collective ordering)",
+                    self.rank, self.recv_timeout
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: world torn down mid-receive", self.rank)
+                }
+            }
+        }
+    }
+
+    /// Internal tag for round `round` of the collective numbered `op_seq`.
+    pub(crate) fn coll_tag(op_seq: u64, round: u32) -> Tag {
+        INTERNAL_TAG | (op_seq << 16) | u64::from(round)
+    }
+
+    /// Bump and return the collective sequence number.
+    pub(crate) fn next_op(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42u32
+        });
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.traffic.total_sent(), 0);
+    }
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let out = World::run(8, |comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"ping");
+                comm.recv(1, 8).to_vec()
+            } else {
+                let m = comm.recv(0, 7);
+                assert_eq!(&m[..], b"ping");
+                comm.send(0, 8, b"pong");
+                m.to_vec()
+            }
+        });
+        assert_eq!(out.results[0], b"pong");
+        assert_eq!(out.results[1], b"ping");
+        assert_eq!(out.traffic.total_sent(), 8);
+        assert_eq!(out.traffic.total_recv(), 8);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"first");
+                comm.send(1, 2, b"second");
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                assert_eq!(&a[..], b"first");
+                assert_eq!(&b[..], b"second");
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn same_tag_messages_keep_fifo_order() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u8 {
+                    comm.send(1, 5, &[i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| comm.recv(0, 5)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out.results[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn typed_send_recv() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_val(1, 3, &vec![(1u32, 2u64), (3, 4)]);
+                Vec::new()
+            } else {
+                comm.recv_val::<Vec<(u32, u64)>>(0, 3)
+            }
+        });
+        assert_eq!(out.results[1], vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn traffic_is_conserved() {
+        let out = World::run(4, |comm| {
+            let dst = (comm.rank() + 1) % comm.size();
+            let src = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(dst, 1, &vec![0u8; 100]);
+            comm.recv(src, 1);
+        });
+        assert_eq!(out.traffic.total_sent(), out.traffic.total_recv());
+        assert_eq!(out.traffic.total_sent(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved internal bit")]
+    fn internal_tag_rejected_for_users() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, INTERNAL_TAG | 1, b"nope");
+            } else {
+                // Rank 1 must not block forever while rank 0 panics.
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn deadlock_is_detected() {
+        let config = WorldConfig { recv_timeout: Duration::from_millis(100) };
+        World::run_with(1, &config, |comm| {
+            // Receive that can never be matched.
+            comm.recv(0, 1);
+        });
+    }
+
+    #[test]
+    fn many_ranks_spawn() {
+        let out = World::run(128, |comm| comm.rank());
+        assert_eq!(out.results.len(), 128);
+        assert_eq!(out.results[127], 127);
+    }
+}

@@ -1,0 +1,291 @@
+//! One-sided communication (MPI-style RMA windows).
+//!
+//! The paper's exchange phase avoids receive-side buffering by having every
+//! partner `put` its chunks directly at a precomputed offset in the
+//! target's window ("expose a designated memory region to each partner in a
+//! consistent fashion"). The window is sized exactly from the gathered load
+//! information, "avoiding any waste" — important because the application
+//! occupies most of the memory at checkpoint time.
+//!
+//! Semantics mirror `MPI_Win_create` / `MPI_Put` / `MPI_Win_fence`:
+//! creation is collective (handles are exchanged out-of-band, as a real MPI
+//! implementation registers memory out-of-band), `put` is one-sided and
+//! completes at the next fence, and local reads are only valid after a
+//! fence. In this runtime a `put` is a locked `memcpy` into the target
+//! buffer, so the fence reduces to a barrier.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::comm::{Comm, CtrlMsg, Rank};
+
+/// Shared backing buffer of one rank's window.
+pub struct WinBuf {
+    data: Mutex<Vec<u8>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WinBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WinBuf").field("size", &self.size).finish()
+    }
+}
+
+/// A collectively created RMA window: every rank exposes `local_size` bytes
+/// and can `put` into (or `get` from) any peer's exposure.
+pub struct Window {
+    rank: Rank,
+    handles: Vec<Arc<WinBuf>>,
+    counters: Arc<Vec<crate::stats::RankCounters>>,
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window")
+            .field("rank", &self.rank)
+            .field("world", &self.handles.len())
+            .finish()
+    }
+}
+
+impl Comm {
+    /// Collectively create a window exposing `local_size` bytes on this
+    /// rank (sizes may differ per rank). Must be called by every rank.
+    pub fn win_create(&mut self, local_size: usize) -> Window {
+        self.win_seq += 1;
+        let seq = self.win_seq;
+        let me = self.rank();
+        let n = self.size();
+        let mine = Arc::new(WinBuf { data: Mutex::new(vec![0u8; local_size]), size: local_size });
+        for dst in 0..n {
+            if dst != me {
+                self.ctrl_send(dst, CtrlMsg::Win { src: me, seq, handle: Arc::clone(&mine) });
+            }
+        }
+        let mut handles: Vec<Option<Arc<WinBuf>>> = (0..n).map(|_| None).collect();
+        handles[me as usize] = Some(mine);
+        for src in 0..n {
+            if src != me {
+                handles[src as usize] = Some(self.ctrl_recv_win(src, seq));
+            }
+        }
+        let window = Window {
+            rank: me,
+            handles: handles.into_iter().map(|h| h.expect("all handles collected")).collect(),
+            counters: Arc::clone(self.counters()),
+        };
+        // Opening fence: no rank may put before every rank has exposed.
+        self.barrier();
+        window
+    }
+}
+
+impl Window {
+    /// Size of `rank`'s exposure in bytes.
+    pub fn size_of(&self, rank: Rank) -> usize {
+        self.handles[rank as usize].size
+    }
+
+    /// Size of the local exposure.
+    pub fn local_size(&self) -> usize {
+        self.size_of(self.rank)
+    }
+
+    /// One-sided write of `data` into `target`'s window at `offset`.
+    ///
+    /// # Panics
+    /// If the write would overrun the target's exposure — an out-of-bounds
+    /// RMA access corrupts unrelated memory on real hardware, so the
+    /// simulated runtime fails fast instead.
+    pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
+        let buf = &self.handles[target as usize];
+        assert!(
+            offset + data.len() <= buf.size,
+            "rank {}: put of {} bytes at offset {offset} overruns window of {} on rank {target}",
+            self.rank,
+            data.len(),
+            buf.size
+        );
+        buf.data.lock()[offset..offset + data.len()].copy_from_slice(data);
+        if target != self.rank {
+            self.counters[self.rank as usize]
+                .count_send(crate::stats::Transport::Rma, data.len() as u64);
+            self.counters[target as usize]
+                .count_recv(crate::stats::Transport::Rma, data.len() as u64);
+        }
+    }
+
+    /// One-sided read of `len` bytes from `target`'s window at `offset`.
+    ///
+    /// # Panics
+    /// If the read would overrun the target's exposure.
+    pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
+        let buf = &self.handles[target as usize];
+        assert!(
+            offset + len <= buf.size,
+            "rank {}: get of {len} bytes at offset {offset} overruns window of {} on rank {target}",
+            self.rank,
+            buf.size
+        );
+        let out = buf.data.lock()[offset..offset + len].to_vec();
+        if target != self.rank {
+            self.counters[self.rank as usize].count_rma_get(len as u64);
+        }
+        out
+    }
+
+    /// Synchronization fence: completes all outstanding one-sided accesses
+    /// in this epoch. Local reads of data put by peers are valid only after
+    /// a fence. Must be called by every rank.
+    pub fn fence(&self, comm: &mut Comm) {
+        comm.barrier();
+    }
+
+    /// Copy out the local exposure (valid after a fence).
+    pub fn local_data(&self) -> Vec<u8> {
+        self.handles[self.rank as usize].data.lock().clone()
+    }
+
+    /// Run `f` over the local exposure without copying (valid after fence).
+    pub fn with_local<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.handles[self.rank as usize].data.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+
+    #[test]
+    fn put_lands_at_offset() {
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(8);
+            if comm.rank() == 0 {
+                win.put(1, 2, &[1, 2, 3]);
+            }
+            win.fence(comm);
+            win.local_data()
+        });
+        assert_eq!(out.results[1], vec![0, 0, 1, 2, 3, 0, 0, 0]);
+        assert_eq!(out.results[0], vec![0; 8]);
+    }
+
+    #[test]
+    fn heterogeneous_window_sizes() {
+        let out = World::run(3, |comm| {
+            let me = comm.rank() as usize;
+            let win = comm.win_create(me * 4);
+            assert_eq!(win.local_size(), me * 4);
+            assert_eq!(win.size_of(2), 8);
+            // Everyone writes one byte into rank 2's window, disjointly.
+            if me < 2 {
+                win.put(2, me, &[me as u8 + 10]);
+            }
+            win.fence(comm);
+            win.local_data()
+        });
+        assert_eq!(out.results[2][..2], [10, 11]);
+    }
+
+    #[test]
+    fn disjoint_concurrent_puts_all_land() {
+        let out = World::run(8, |comm| {
+            let n = comm.size() as usize;
+            let win = comm.win_create(if comm.rank() == 0 { n } else { 0 });
+            win.put(0, comm.rank() as usize, &[comm.rank() as u8 + 1]);
+            win.fence(comm);
+            win.local_data()
+        });
+        assert_eq!(out.results[0], (1..=8u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_reads_remote_exposure() {
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(4);
+            if comm.rank() == 1 {
+                win.put(1, 0, &[9, 8, 7, 6]); // local put
+            }
+            win.fence(comm);
+            let data = if comm.rank() == 0 { win.get(1, 1, 2) } else { Vec::new() };
+            win.fence(comm);
+            data
+        });
+        assert_eq!(out.results[0], vec![8, 7]);
+    }
+
+    #[test]
+    fn self_put_is_not_counted_as_traffic() {
+        let out = World::run(1, |comm| {
+            let win = comm.win_create(4);
+            win.put(0, 0, &[1, 2, 3, 4]);
+            win.fence(comm);
+            win.local_data()
+        });
+        assert_eq!(out.results[0], vec![1, 2, 3, 4]);
+        assert_eq!(out.traffic.ranks[0].rma_put, 0);
+        assert_eq!(out.traffic.ranks[0].rma_recv, 0);
+    }
+
+    #[test]
+    fn rma_traffic_is_attributed_to_both_sides() {
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(100);
+            if comm.rank() == 0 {
+                win.put(1, 0, &[0xAA; 64]);
+            }
+            win.fence(comm);
+        });
+        assert_eq!(out.traffic.ranks[0].rma_put, 64);
+        assert_eq!(out.traffic.ranks[1].rma_recv, 64);
+        assert_eq!(out.traffic.ranks[1].rma_put, 0);
+    }
+
+    #[test]
+    fn successive_windows_do_not_cross_talk() {
+        let out = World::run(2, |comm| {
+            let w1 = comm.win_create(2);
+            let w2 = comm.win_create(2);
+            if comm.rank() == 0 {
+                w1.put(1, 0, &[1, 1]);
+                w2.put(1, 0, &[2, 2]);
+            }
+            w1.fence(comm);
+            w2.fence(comm);
+            (w1.local_data(), w2.local_data())
+        });
+        assert_eq!(out.results[1].0, vec![1, 1]);
+        assert_eq!(out.results[1].1, vec![2, 2]);
+    }
+
+    #[test]
+    fn with_local_avoids_copy() {
+        let out = World::run(1, |comm| {
+            let win = comm.win_create(3);
+            win.put(0, 0, &[5, 6, 7]);
+            win.fence(comm);
+            win.with_local(|d| d.iter().map(|&b| u32::from(b)).sum::<u32>())
+        });
+        assert_eq!(out.results[0], 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns window")]
+    fn out_of_bounds_put_panics() {
+        World::run(1, |comm| {
+            let win = comm.win_create(4);
+            win.put(0, 2, &[0; 4]);
+        });
+    }
+
+    #[test]
+    fn zero_sized_window_is_legal() {
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(0);
+            win.fence(comm);
+            win.local_size()
+        });
+        assert_eq!(out.results, vec![0, 0]);
+    }
+}

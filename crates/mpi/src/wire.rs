@@ -1,0 +1,358 @@
+//! Minimal binary wire codec for message payloads.
+//!
+//! The original prototype leans on Boost.MPI's automatic serialization of
+//! data structures; this hand-rolled codec plays that role without pulling a
+//! serde format crate. All integers are little-endian and fixed-width;
+//! sequences are length-prefixed with a `u64`. Encoding is infallible;
+//! decoding returns [`WireError`] on truncated or malformed input so a
+//! corrupted message can never panic the runtime.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length prefix or discriminant had an impossible value.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// Bytes were left over after the top-level value was decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            WireError::Malformed { what } => write!(f, "malformed encoding of {what}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decoding.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Types that can cross the wire.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode a value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> WireResult<Self>;
+
+    /// Encode into a fresh, frozen buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Decode a complete value, rejecting trailing bytes.
+    fn from_bytes(mut input: &[u8]) -> WireResult<Self> {
+        let v = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::TrailingBytes { remaining: input.len() })
+        }
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize, what: &'static str) -> WireResult<&'a [u8]> {
+    if input.len() < n {
+        return Err(WireError::Truncated { what });
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> WireResult<Self> {
+                let raw = take(input, std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(raw.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let v = u64::decode(input)?;
+        usize::try_from(v).map_err(|_| WireError::Malformed { what: "usize" })
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let raw = take(input, 8, "f64")?;
+        Ok(f64::from_le_bytes(raw.try_into().unwrap()))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        match take(input, 1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed { what: "bool" }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let len = usize::decode(input)?;
+        let raw = take(input, len, "String")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed { what: "String" })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let len = usize::decode(input)?;
+        // Guard capacity against hostile length prefixes: never reserve more
+        // than the remaining input could possibly encode (1 byte/element min).
+        let mut out = Vec::with_capacity(len.min(input.len()));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        match take(input, 1, "Option")?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(WireError::Malformed { what: "Option" }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        Ok((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
+}
+
+impl<const N: usize> Wire for [u8; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let raw = take(input, N, "byte array")?;
+        Ok(raw.try_into().unwrap())
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_input: &mut &[u8]) -> WireResult<Self> {
+        Ok(())
+    }
+}
+
+impl Wire for replidedup_hash::Fingerprint {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let raw = take(input, Self::SIZE, "Fingerprint")?;
+        Ok(Self::from_bytes(raw.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0x1234u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-5i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123usize);
+        roundtrip(());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("hello".to_string());
+        roundtrip(Some(7u32));
+        roundtrip(None::<u32>);
+        roundtrip((1u32, "x".to_string()));
+        roundtrip((1u8, 2u16, vec![3u32]));
+        roundtrip([1u8, 2, 3, 4]);
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = 0x1234_5678u32.to_bytes();
+        assert!(matches!(
+            u32::from_bytes(&bytes[..3]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u8.to_bytes().to_vec();
+        bytes.push(9);
+        assert_eq!(u8::from_bytes(&bytes), Err(WireError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn malformed_bool_rejected() {
+        assert!(matches!(bool::from_bytes(&[2]), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // A Vec claiming u64::MAX elements with an empty body must error,
+        // not OOM trying to reserve.
+        let bytes = u64::MAX.to_bytes();
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut buf = Vec::new();
+        2usize.encode(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            String::from_bytes(&buf),
+            Err(WireError::Malformed { what: "String" })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WireError::Truncated { what: "u32" };
+        assert!(e.to_string().contains("u32"));
+        assert!(WireError::TrailingBytes { remaining: 3 }.to_string().contains('3'));
+        assert!(WireError::Malformed { what: "bool" }.to_string().contains("bool"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vec_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let bytes = v.to_bytes();
+            prop_assert_eq!(Vec::<u64>::from_bytes(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_nested_roundtrip(v in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u16>(), 0..8)), 0..50)
+        ) {
+            let bytes = v.to_bytes();
+            prop_assert_eq!(Vec::<(u32, Vec<u16>)>::from_bytes(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            let bytes = s.clone().to_bytes();
+            prop_assert_eq!(String::from_bytes(&bytes).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Arbitrary bytes must decode or error, never panic.
+            let _ = Vec::<u64>::from_bytes(&bytes);
+            let _ = String::from_bytes(&bytes);
+            let _ = Option::<(u32, String)>::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Analytical cluster cost model for the `replidedup` evaluation.
+//!
+//! Experiments run in-process at MiB scale; the paper ran on 34 nodes at
+//! GB scale. This crate bridges the two: [`DumpMeasurement`] captures the
+//! exact byte counts a dump produced, [`ClusterModel`] converts them into
+//! Shamrock-testbed phase times (NIC/HDD/CPU contention included), and
+//! [`scenario`] holds the paper-scale application parameters (volumes,
+//! checkpoint counts, baseline completion models) behind Table I and the
+//! time figures.
+
+pub mod model;
+pub mod scenario;
+
+pub use model::{ClusterModel, DumpMeasurement, PhaseTimes};
+pub use scenario::{AppScenario, BaselineModel, CM1, HPCCG};

@@ -1,0 +1,459 @@
+//! Simulated cluster of compute nodes with local storage.
+//!
+//! The paper's testbed is 34 nodes with one HDD each and 12 ranks per node.
+//! This module models that topology: a [`Cluster`] owns one
+//! [`NodeState`] per node (chunk store + manifest directory + liveness),
+//! and a [`Placement`] maps ranks to nodes. Node failures wipe the local
+//! device — exactly the fault the paper replicates against ("local storage
+//! devices are prone to failures and as such the data they hold is
+//! volatile").
+//!
+//! Ranks (threads) share the cluster through `Arc<Cluster>`; per-node locks
+//! keep access races out while still letting different nodes proceed in
+//! parallel, mirroring per-device independence.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use replidedup_hash::Fingerprint;
+
+use crate::manifest::{DumpId, Manifest};
+use crate::store::ChunkStore;
+
+/// Node index within a cluster.
+pub type NodeId = u32;
+
+/// Storage-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The node's device is unavailable (node failed).
+    NodeDown(NodeId),
+    /// A referenced chunk is not present on the node.
+    MissingChunk(Fingerprint),
+    /// A requested manifest is not present on the node.
+    MissingManifest {
+        /// Rank whose manifest was requested.
+        rank: u32,
+        /// Dump generation requested.
+        dump_id: DumpId,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NodeDown(n) => write!(f, "node {n} is down"),
+            StorageError::MissingChunk(fp) => write!(f, "chunk {fp} not on node"),
+            StorageError::MissingManifest { rank, dump_id } => {
+                write!(f, "manifest of rank {rank} dump {dump_id} not on node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Maps ranks onto nodes (block placement: ranks `[i*ppn, (i+1)*ppn)` share
+/// node `i`, as MPI rank files normally lay processes out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Number of nodes in the cluster.
+    pub nodes: u32,
+    /// Ranks hosted per node (the paper uses 12: 6 cores × 2 threads).
+    pub ranks_per_node: u32,
+}
+
+impl Placement {
+    /// Placement that packs `world_size` ranks `ranks_per_node` to a node.
+    ///
+    /// # Panics
+    /// If either argument is zero.
+    pub fn pack(world_size: u32, ranks_per_node: u32) -> Self {
+        assert!(world_size > 0, "world_size must be positive");
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Self { nodes: world_size.div_ceil(ranks_per_node), ranks_per_node }
+    }
+
+    /// One rank per node.
+    pub fn one_per_node(world_size: u32) -> Self {
+        Self::pack(world_size, 1)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> NodeId {
+        rank / self.ranks_per_node
+    }
+
+    /// Ranks hosted on `node` given a world of `world_size`.
+    pub fn ranks_on(&self, node: NodeId, world_size: u32) -> std::ops::Range<u32> {
+        let start = node * self.ranks_per_node;
+        start..((node + 1) * self.ranks_per_node).min(world_size)
+    }
+}
+
+/// Mutable state of one node.
+#[derive(Debug, Default)]
+pub struct NodeState {
+    /// The node-local content-addressed chunk store.
+    pub store: ChunkStore,
+    manifests: HashMap<(u32, DumpId), Manifest>,
+    /// Raw dump blobs keyed by `(owner_rank, dump_id)`: the storage format
+    /// of the `no-dedup` baseline, which writes buffers verbatim without
+    /// content addressing (duplicates and all).
+    blobs: HashMap<(u32, DumpId), Bytes>,
+    blob_bytes: u64,
+    alive: bool,
+}
+
+/// The cluster: shared by all rank threads.
+pub struct Cluster {
+    nodes: Vec<Mutex<NodeState>>,
+    placement: Placement,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("placement", &self.placement)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Build a cluster for the given placement; all nodes start alive and
+    /// empty.
+    pub fn new(placement: Placement) -> Self {
+        let nodes = (0..placement.nodes)
+            .map(|_| Mutex::new(NodeState { alive: true, ..NodeState::default() }))
+            .collect();
+        Self { nodes, placement }
+    }
+
+    /// The rank-to-node placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> NodeId {
+        self.placement.node_of(rank)
+    }
+
+    fn check(&self, node: NodeId) -> &Mutex<NodeState> {
+        &self.nodes[node as usize]
+    }
+
+    /// Run `f` against a live node's state.
+    pub fn with_node<R>(&self, node: NodeId, f: impl FnOnce(&mut NodeState) -> R) -> StorageResult<R> {
+        let mut state = self.check(node).lock();
+        if !state.alive {
+            return Err(StorageError::NodeDown(node));
+        }
+        Ok(f(&mut state))
+    }
+
+    /// Store a chunk on `node`. Returns `true` when the bytes were new.
+    pub fn put_chunk(&self, node: NodeId, fp: Fingerprint, data: Bytes) -> StorageResult<bool> {
+        self.with_node(node, |n| n.store.put(fp, data))
+    }
+
+    /// Fetch a chunk from `node`.
+    pub fn get_chunk(&self, node: NodeId, fp: &Fingerprint) -> StorageResult<Bytes> {
+        self.with_node(node, |n| n.store.get(fp))?
+            .ok_or(StorageError::MissingChunk(*fp))
+    }
+
+    /// Does `node` hold the chunk? (`false` also when the node is down.)
+    pub fn has_chunk(&self, node: NodeId, fp: &Fingerprint) -> bool {
+        self.with_node(node, |n| n.store.contains(fp)).unwrap_or(false)
+    }
+
+    /// Store a manifest on `node`.
+    ///
+    /// # Panics
+    /// If the manifest is internally inconsistent — storing a corrupt
+    /// recipe would silently break restart.
+    pub fn put_manifest(&self, node: NodeId, manifest: Manifest) -> StorageResult<()> {
+        manifest.validate().expect("refusing to store inconsistent manifest");
+        self.with_node(node, |n| {
+            n.manifests.insert((manifest.owner_rank, manifest.dump_id), manifest);
+        })
+    }
+
+    /// Fetch the manifest of `rank`'s dump `dump_id` from `node`.
+    pub fn get_manifest(&self, node: NodeId, rank: u32, dump_id: DumpId) -> StorageResult<Manifest> {
+        self.with_node(node, |n| n.manifests.get(&(rank, dump_id)).cloned())?
+            .ok_or(StorageError::MissingManifest { rank, dump_id })
+    }
+
+    /// Owner ranks whose manifests for `dump_id` are held on `node`
+    /// (sorted). Used by the restore protocol to advertise recipes.
+    pub fn manifest_owners(&self, node: NodeId, dump_id: DumpId) -> StorageResult<Vec<u32>> {
+        self.with_node(node, |n| {
+            let mut owners: Vec<u32> = n
+                .manifests
+                .keys()
+                .filter(|(_, d)| *d == dump_id)
+                .map(|(r, _)| *r)
+                .collect();
+            owners.sort_unstable();
+            owners
+        })
+    }
+
+    /// Owner ranks whose raw blobs for `dump_id` are held on `node` (sorted).
+    pub fn blob_owners(&self, node: NodeId, dump_id: DumpId) -> StorageResult<Vec<u32>> {
+        self.with_node(node, |n| {
+            let mut owners: Vec<u32> =
+                n.blobs.keys().filter(|(_, d)| *d == dump_id).map(|(r, _)| *r).collect();
+            owners.sort_unstable();
+            owners
+        })
+    }
+
+    /// Store a raw dump blob on `node` (the `no-dedup` storage format).
+    /// Overwriting the same `(owner, dump)` replaces the previous blob.
+    pub fn put_blob(&self, node: NodeId, owner: u32, dump_id: DumpId, data: Bytes) -> StorageResult<()> {
+        self.with_node(node, |n| {
+            if let Some(old) = n.blobs.insert((owner, dump_id), data.clone()) {
+                n.blob_bytes -= old.len() as u64;
+            }
+            n.blob_bytes += data.len() as u64;
+        })
+    }
+
+    /// Fetch a raw dump blob from `node`.
+    pub fn get_blob(&self, node: NodeId, owner: u32, dump_id: DumpId) -> StorageResult<Bytes> {
+        self.with_node(node, |n| n.blobs.get(&(owner, dump_id)).cloned())?
+            .ok_or(StorageError::MissingManifest { rank: owner, dump_id })
+    }
+
+    /// Does `node` hold the blob? (`false` also when the node is down.)
+    pub fn has_blob(&self, node: NodeId, owner: u32, dump_id: DumpId) -> bool {
+        self.with_node(node, |n| n.blobs.contains_key(&(owner, dump_id))).unwrap_or(false)
+    }
+
+    /// Raw device usage of a node in bytes: chunk store plus blobs.
+    pub fn device_bytes(&self, node: NodeId) -> u64 {
+        let s = self.check(node).lock();
+        if s.alive {
+            s.store.bytes_stored() + s.blob_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Total device usage across live nodes (what Figures 4(b)/5(b)'s
+    /// storage-cost discussion is about when multiplied out by K).
+    pub fn total_device_bytes(&self) -> u64 {
+        (0..self.node_count()).map(|n| self.device_bytes(n)).sum()
+    }
+
+    /// Is the node alive?
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.check(node).lock().alive
+    }
+
+    /// Fail a node: the device contents are lost.
+    pub fn fail_node(&self, node: NodeId) {
+        let mut state = self.check(node).lock();
+        state.alive = false;
+        state.store.wipe();
+        state.manifests.clear();
+        state.blobs.clear();
+        state.blob_bytes = 0;
+    }
+
+    /// Bring a replacement node online (empty device, same identity).
+    pub fn revive_node(&self, node: NodeId) {
+        self.check(node).lock().alive = true;
+    }
+
+    /// Total unique bytes stored across live nodes (Figure 3(a)'s metric
+    /// when summed right after a dump).
+    pub fn total_unique_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let s = n.lock();
+                if s.alive {
+                    s.store.bytes_stored()
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Unique bytes stored per node (index = node id; 0 for dead nodes).
+    pub fn bytes_per_node(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let s = n.lock();
+                if s.alive {
+                    s.store.bytes_stored()
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Cluster-wide physical copy count of a chunk across live nodes.
+    pub fn copies_of(&self, fp: &Fingerprint) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let s = n.lock();
+                u32::from(s.alive && s.store.contains(fp))
+            })
+            .sum()
+    }
+
+    /// First live node holding `fp`, if any (test/diagnostic helper; the
+    /// distributed restore protocol in `replidedup-core` locates chunks via
+    /// messages, not via this shared-memory shortcut).
+    pub fn find_chunk(&self, fp: &Fingerprint) -> Option<NodeId> {
+        (0..self.node_count()).find(|&n| self.has_chunk(n, fp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    #[test]
+    fn placement_packs_ranks() {
+        let p = Placement::pack(408, 12);
+        assert_eq!(p.nodes, 34);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(11), 0);
+        assert_eq!(p.node_of(12), 1);
+        assert_eq!(p.node_of(407), 33);
+        assert_eq!(p.ranks_on(33, 408), 396..408);
+    }
+
+    #[test]
+    fn placement_handles_partial_last_node() {
+        let p = Placement::pack(10, 4);
+        assert_eq!(p.nodes, 3);
+        assert_eq!(p.ranks_on(2, 10), 8..10);
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        assert!(c.put_chunk(0, fp(1), Bytes::from_static(b"abc")).unwrap());
+        assert_eq!(c.get_chunk(0, &fp(1)).unwrap(), Bytes::from_static(b"abc"));
+        assert!(c.has_chunk(0, &fp(1)));
+        assert!(!c.has_chunk(1, &fp(1)));
+        assert_eq!(c.get_chunk(1, &fp(1)), Err(StorageError::MissingChunk(fp(1))));
+    }
+
+    #[test]
+    fn failed_node_loses_data_and_rejects_io() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_chunk(0, fp(1), Bytes::from_static(b"abc")).unwrap();
+        c.fail_node(0);
+        assert!(!c.is_alive(0));
+        assert_eq!(c.put_chunk(0, fp(2), Bytes::new()), Err(StorageError::NodeDown(0)));
+        assert_eq!(c.get_chunk(0, &fp(1)), Err(StorageError::NodeDown(0)));
+        c.revive_node(0);
+        assert!(c.is_alive(0));
+        // Replacement hardware comes up empty.
+        assert_eq!(c.get_chunk(0, &fp(1)), Err(StorageError::MissingChunk(fp(1))));
+    }
+
+    #[test]
+    fn manifests_roundtrip_and_die_with_node() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        let m = Manifest { owner_rank: 1, dump_id: 5, chunk_size: 4, total_len: 4, chunks: vec![fp(9)] };
+        c.put_manifest(0, m.clone()).unwrap();
+        assert_eq!(c.get_manifest(0, 1, 5).unwrap(), m);
+        assert_eq!(
+            c.get_manifest(0, 1, 6),
+            Err(StorageError::MissingManifest { rank: 1, dump_id: 6 })
+        );
+        c.fail_node(0);
+        c.revive_node(0);
+        assert!(c.get_manifest(0, 1, 5).is_err());
+    }
+
+    #[test]
+    fn copy_counting_across_nodes() {
+        let c = Cluster::new(Placement::one_per_node(3));
+        c.put_chunk(0, fp(1), Bytes::from_static(b"zz")).unwrap();
+        c.put_chunk(2, fp(1), Bytes::from_static(b"zz")).unwrap();
+        assert_eq!(c.copies_of(&fp(1)), 2);
+        assert_eq!(c.find_chunk(&fp(1)), Some(0));
+        c.fail_node(0);
+        assert_eq!(c.copies_of(&fp(1)), 1);
+        assert_eq!(c.find_chunk(&fp(1)), Some(2));
+    }
+
+    #[test]
+    fn unique_bytes_aggregate() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_chunk(0, fp(1), Bytes::from_static(b"aaaa")).unwrap();
+        c.put_chunk(0, fp(1), Bytes::from_static(b"aaaa")).unwrap(); // dedup hit
+        c.put_chunk(1, fp(2), Bytes::from_static(b"bb")).unwrap();
+        assert_eq!(c.total_unique_bytes(), 6);
+        assert_eq!(c.bytes_per_node(), vec![4, 2]);
+    }
+
+    #[test]
+    fn blobs_roundtrip_and_account() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_blob(0, 1, 7, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(c.get_blob(0, 1, 7).unwrap(), Bytes::from_static(b"hello"));
+        assert!(c.has_blob(0, 1, 7));
+        assert!(!c.has_blob(1, 1, 7));
+        assert_eq!(c.device_bytes(0), 5);
+        // Overwrite replaces, not accumulates.
+        c.put_blob(0, 1, 7, Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(c.device_bytes(0), 2);
+        assert_eq!(c.total_device_bytes(), 2);
+    }
+
+    #[test]
+    fn blobs_die_with_node() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        c.put_blob(0, 0, 1, Bytes::from_static(b"x")).unwrap();
+        c.fail_node(0);
+        c.revive_node(0);
+        assert!(!c.has_blob(0, 0, 1));
+        assert_eq!(c.device_bytes(0), 0);
+    }
+
+    #[test]
+    fn device_bytes_combines_chunks_and_blobs() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        c.put_chunk(0, fp(1), Bytes::from_static(b"abcd")).unwrap();
+        c.put_blob(0, 0, 1, Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(c.device_bytes(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent manifest")]
+    fn inconsistent_manifest_rejected() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let bad = Manifest { owner_rank: 0, dump_id: 0, chunk_size: 4, total_len: 100, chunks: vec![] };
+        let _ = c.put_manifest(0, bad);
+    }
+}

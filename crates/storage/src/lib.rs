@@ -1,0 +1,20 @@
+//! Node-local storage substrate for `replidedup`.
+//!
+//! Models the paper's storage layer: every compute node has a local device
+//! (1 TB HDD on the Shamrock testbed) that holds chunks and manifests, is
+//! shared by the ranks placed on that node, and can fail — losing its
+//! contents. The collective replication scheme in `replidedup-core` writes
+//! into this layer; restore reads back from surviving nodes.
+//!
+//! * [`ChunkStore`] — content-addressed, refcounted chunk storage,
+//! * [`Manifest`] — the ordered fingerprint recipe of one rank's buffer,
+//! * [`Cluster`] / [`Placement`] — node topology, failure injection,
+//!   cluster-wide accounting (unique bytes, physical copy counts).
+
+pub mod cluster;
+pub mod manifest;
+pub mod store;
+
+pub use cluster::{Cluster, NodeId, NodeState, Placement, StorageError, StorageResult};
+pub use manifest::{DumpId, Manifest};
+pub use store::ChunkStore;

@@ -1,0 +1,161 @@
+//! Dump manifests: the recipe for reassembling a rank's dataset.
+//!
+//! A collective dump stores each rank's buffer as an ordered list of chunk
+//! fingerprints plus the buffer length (the tail chunk may be short). The
+//! manifest is what makes the paper's scheme *recoverable*: a rank may have
+//! discarded chunks that K other ranks were designated to hold, so restart
+//! needs the fingerprint list to know what to fetch. The paper leaves the
+//! restore path implicit; we replicate manifests to the same partners as
+//! data so a failed node's dataset remains reconstructible.
+
+use replidedup_hash::Fingerprint;
+use replidedup_mpi::wire::{Wire, WireError, WireResult};
+
+/// Identifies one collective dump generation (checkpoint number).
+pub type DumpId = u64;
+
+/// Ordered chunk recipe for one rank's buffer in one dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Rank whose buffer this manifest describes.
+    pub owner_rank: u32,
+    /// Dump generation.
+    pub dump_id: DumpId,
+    /// Chunk size used when the buffer was split.
+    pub chunk_size: u32,
+    /// Total buffer length in bytes (the last chunk may be shorter than
+    /// `chunk_size`).
+    pub total_len: u64,
+    /// Fingerprints of the chunks, in buffer order.
+    pub chunks: Vec<Fingerprint>,
+}
+
+impl Manifest {
+    /// Expected byte length of chunk `i`.
+    pub fn chunk_len(&self, i: usize) -> usize {
+        let cs = self.chunk_size as u64;
+        let start = i as u64 * cs;
+        let end = (start + cs).min(self.total_len);
+        (end - start) as usize
+    }
+
+    /// Validate internal consistency (chunk count vs. length).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        let expected = self.total_len.div_ceil(u64::from(self.chunk_size));
+        if expected != self.chunks.len() as u64 {
+            return Err(format!(
+                "manifest for rank {} dump {} lists {} chunks but length {} with chunk size {} \
+                 requires {}",
+                self.owner_rank,
+                self.dump_id,
+                self.chunks.len(),
+                self.total_len,
+                self.chunk_size,
+                expected
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Wire for Manifest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.owner_rank.encode(buf);
+        self.dump_id.encode(buf);
+        self.chunk_size.encode(buf);
+        self.total_len.encode(buf);
+        self.chunks.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        let m = Manifest {
+            owner_rank: u32::decode(input)?,
+            dump_id: u64::decode(input)?,
+            chunk_size: u32::decode(input)?,
+            total_len: u64::decode(input)?,
+            chunks: Vec::decode(input)?,
+        };
+        if m.validate().is_err() {
+            return Err(WireError::Malformed { what: "Manifest" });
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            owner_rank: 3,
+            dump_id: 7,
+            chunk_size: 4,
+            total_len: 10,
+            chunks: vec![
+                Fingerprint::synthetic(1),
+                Fingerprint::synthetic(2),
+                Fingerprint::synthetic(3),
+            ],
+        }
+    }
+
+    #[test]
+    fn chunk_len_handles_tail() {
+        let m = sample();
+        assert_eq!(m.chunk_len(0), 4);
+        assert_eq!(m.chunk_len(1), 4);
+        assert_eq!(m.chunk_len(2), 2);
+    }
+
+    #[test]
+    fn validate_accepts_consistent() {
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_chunk_count() {
+        let mut m = sample();
+        m.chunks.pop();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_chunk_size() {
+        let mut m = sample();
+        m.chunk_size = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn empty_buffer_manifest_is_valid() {
+        let m = Manifest { owner_rank: 0, dump_id: 0, chunk_size: 4096, total_len: 0, chunks: vec![] };
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn wire_rejects_inconsistent_manifest() {
+        let mut m = sample();
+        m.total_len = 100; // now chunk count is wrong
+        let mut buf = Vec::new();
+        m.owner_rank.encode(&mut buf);
+        m.dump_id.encode(&mut buf);
+        m.chunk_size.encode(&mut buf);
+        m.total_len.encode(&mut buf);
+        m.chunks.encode(&mut buf);
+        assert!(matches!(
+            Manifest::from_bytes(&buf),
+            Err(WireError::Malformed { what: "Manifest" })
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fingerprint-addressed node-local chunk store.
+//!
+//! Each compute node's local device (HDD in the paper's testbed) is modeled
+//! as a content-addressed store: chunks are keyed by fingerprint and
+//! refcounted, because several manifests (the rank's own dump plus replicas
+//! received from partners, across checkpoint generations) may reference the
+//! same chunk while its bytes are stored once. `bytes_stored` therefore
+//! reports *unique* content — the quantity Figure 3(a) plots.
+
+use bytes::Bytes;
+use replidedup_hash::{Fingerprint, FpHashMap};
+
+/// Refcounted chunk entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Bytes,
+    refs: u32,
+}
+
+/// Content-addressed chunk store for one node.
+#[derive(Debug, Default)]
+pub struct ChunkStore {
+    chunks: FpHashMap<Entry>,
+    bytes_stored: u64,
+    /// Cumulative bytes physically written to the device (dedup hits do not
+    /// rewrite, matching a content-addressed store's I/O behaviour).
+    bytes_written: u64,
+}
+
+impl ChunkStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a chunk (or bump its refcount if already present).
+    /// Returns `true` when the chunk was new, i.e. bytes hit the device.
+    pub fn put(&mut self, fp: Fingerprint, data: Bytes) -> bool {
+        match self.chunks.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                debug_assert_eq!(
+                    e.get().data.len(),
+                    data.len(),
+                    "fingerprint collision or corrupted chunk for {fp}"
+                );
+                e.get_mut().refs += 1;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.bytes_stored += data.len() as u64;
+                self.bytes_written += data.len() as u64;
+                v.insert(Entry { data, refs: 1 });
+                true
+            }
+        }
+    }
+
+    /// Look up a chunk by fingerprint.
+    pub fn get(&self, fp: &Fingerprint) -> Option<Bytes> {
+        self.chunks.get(fp).map(|e| e.data.clone())
+    }
+
+    /// Does the store hold this chunk?
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        self.chunks.contains_key(fp)
+    }
+
+    /// Drop one reference; the chunk is evicted when the count hits zero.
+    /// Returns `true` if the chunk was evicted. No-op (returning `false`)
+    /// for unknown fingerprints.
+    pub fn release(&mut self, fp: &Fingerprint) -> bool {
+        if let Some(e) = self.chunks.get_mut(fp) {
+            e.refs -= 1;
+            if e.refs == 0 {
+                let len = e.data.len() as u64;
+                self.chunks.remove(fp);
+                self.bytes_stored -= len;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of distinct chunks held.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Unique content currently held, in bytes.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Cumulative bytes ever written to the device.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Current reference count of a chunk (0 when absent).
+    pub fn refs(&self, fp: &Fingerprint) -> u32 {
+        self.chunks.get(fp).map_or(0, |e| e.refs)
+    }
+
+    /// Iterate over the fingerprints held (arbitrary order).
+    pub fn fingerprints(&self) -> impl Iterator<Item = &Fingerprint> {
+        self.chunks.keys()
+    }
+
+    /// Drop everything (models device loss during a node failure).
+    pub fn wipe(&mut self) {
+        self.chunks.clear();
+        self.bytes_stored = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    #[test]
+    fn put_dedups_and_refcounts() {
+        let mut s = ChunkStore::new();
+        assert!(s.put(fp(1), Bytes::from_static(b"aaaa")));
+        assert!(!s.put(fp(1), Bytes::from_static(b"aaaa")));
+        assert_eq!(s.refs(&fp(1)), 2);
+        assert_eq!(s.chunk_count(), 1);
+        assert_eq!(s.bytes_stored(), 4);
+        assert_eq!(s.bytes_written(), 4, "duplicate put must not rewrite");
+    }
+
+    #[test]
+    fn release_evicts_at_zero() {
+        let mut s = ChunkStore::new();
+        s.put(fp(1), Bytes::from_static(b"xy"));
+        s.put(fp(1), Bytes::from_static(b"xy"));
+        assert!(!s.release(&fp(1)));
+        assert!(s.contains(&fp(1)));
+        assert!(s.release(&fp(1)));
+        assert!(!s.contains(&fp(1)));
+        assert_eq!(s.bytes_stored(), 0);
+        assert_eq!(s.bytes_written(), 2, "written is cumulative");
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut s = ChunkStore::new();
+        assert!(!s.release(&fp(9)));
+    }
+
+    #[test]
+    fn get_returns_stored_bytes() {
+        let mut s = ChunkStore::new();
+        s.put(fp(3), Bytes::from_static(b"data"));
+        assert_eq!(s.get(&fp(3)).unwrap(), Bytes::from_static(b"data"));
+        assert!(s.get(&fp(4)).is_none());
+    }
+
+    #[test]
+    fn wipe_clears_content_not_write_history() {
+        let mut s = ChunkStore::new();
+        s.put(fp(1), Bytes::from_static(b"abcd"));
+        s.wipe();
+        assert_eq!(s.chunk_count(), 0);
+        assert_eq!(s.bytes_stored(), 0);
+        assert_eq!(s.bytes_written(), 4);
+    }
+
+    #[test]
+    fn fingerprint_iteration_covers_all() {
+        let mut s = ChunkStore::new();
+        for n in 0..10 {
+            s.put(fp(n), Bytes::from(vec![n as u8; 3]));
+        }
+        let mut got: Vec<u64> = s.fingerprints().map(|f| f.prefix64()).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..10).map(|n| fp(n).prefix64()).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

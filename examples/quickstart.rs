@@ -1,0 +1,78 @@
+//! Quickstart: dump a buffer with every strategy and restore it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Eight ranks each hold a 1 MiB buffer that mixes globally shared pages
+//! (the "naturally distributed redundancy" of the paper's title) with
+//! rank-private pages. The example dumps with `no-dedup`, `local-dedup`
+//! and `coll-dedup` at replication factor K = 3, prints what each strategy
+//! stored and sent, and verifies byte-exact restore after two node
+//! failures.
+
+use replidedup::apps::SyntheticWorkload;
+use replidedup::core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy};
+use replidedup::hash::Sha1ChunkHasher;
+use replidedup::mpi::World;
+use replidedup::storage::{Cluster, Placement};
+
+fn main() {
+    const RANKS: u32 = 8;
+    const K: u32 = 3;
+    // 256 pages per rank: 128 shared by everyone, 64 private, 32 distinct
+    // pages duplicated twice within the rank.
+    let workload = SyntheticWorkload {
+        chunk_size: 4096,
+        global_chunks: 128,
+        grouped_chunks: 0,
+        group_size: 1,
+        private_chunks: 64,
+        local_dup_chunks: 32,
+        local_repeat: 2,
+        seed: 42,
+    };
+    let buffers: Vec<Vec<u8>> = (0..RANKS).map(|r| workload.generate(r)).collect();
+    println!(
+        "{} ranks × {} KiB, replication factor {K}\n",
+        RANKS,
+        workload.buffer_len() / 1024
+    );
+
+    println!(
+        "{:>12}  {:>14}  {:>14}  {:>14}",
+        "strategy", "unique content", "sent/rank avg", "stored total"
+    );
+    for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+        let cluster = Cluster::new(Placement::one_per_node(RANKS));
+        let cfg = DumpConfig::paper_defaults(strategy).with_replication(K);
+        let out = World::run(RANKS, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let stats = dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg)
+                .expect("dump succeeds");
+
+            // Kill two nodes after the dump, then restore through the
+            // surviving replicas.
+            comm.barrier();
+            if comm.rank() == 0 {
+                cluster.fail_node(2);
+                cluster.fail_node(5);
+                cluster.revive_node(2);
+                cluster.revive_node(5);
+            }
+            comm.barrier();
+            let restored = restore_output(comm, &ctx, strategy).expect("restore succeeds");
+            assert_eq!(restored, buffers[comm.rank() as usize], "byte-exact restore");
+            stats
+        });
+        let world = replidedup::core::WorldDumpStats::from_ranks(strategy, 4096, out.results);
+        println!(
+            "{:>12}  {:>10.1} MiB  {:>10.1} MiB  {:>10.1} MiB",
+            strategy.label(),
+            world.unique_content_bytes() as f64 / (1 << 20) as f64,
+            world.avg_sent_bytes() / (1 << 20) as f64,
+            cluster.total_device_bytes() as f64 / (1 << 20) as f64,
+        );
+    }
+    println!("\nAll strategies restored every rank byte-exactly after 2 node failures (K=3).");
+}

@@ -1,0 +1,71 @@
+//! Strategy and replication-factor tuning on a controllable workload.
+//!
+//! ```text
+//! cargo run --release --example strategy_tuning [shared_percent]
+//! ```
+//!
+//! Sweeps the replication factor K = 1..6 for all three strategies over a
+//! synthetic workload whose cross-rank redundancy is given on the command
+//! line (default 75 % globally shared pages). Prints the traffic and
+//! storage costs so the trade-off the paper quantifies — coll-dedup's cost
+//! barely grows with K while full replication's explodes — can be explored
+//! interactively.
+
+use replidedup::apps::SyntheticWorkload;
+use replidedup::core::{dump_output, DumpConfig, DumpContext, Strategy, WorldDumpStats};
+use replidedup::hash::Sha1ChunkHasher;
+use replidedup::mpi::World;
+use replidedup::storage::{Cluster, Placement};
+
+fn main() {
+    const RANKS: u32 = 16;
+    const PAGES: usize = 128;
+    let shared_percent: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("shared_percent must be 0..=100"))
+        .unwrap_or(75);
+    assert!(shared_percent <= 100, "shared_percent must be 0..=100");
+    let shared = PAGES * shared_percent / 100;
+    let workload = SyntheticWorkload {
+        chunk_size: 4096,
+        global_chunks: shared,
+        grouped_chunks: 0,
+        group_size: 1,
+        private_chunks: PAGES - shared,
+        local_dup_chunks: 0,
+        local_repeat: 0,
+        seed: 7,
+    };
+    let buffers: Vec<Vec<u8>> = (0..RANKS).map(|r| workload.generate(r)).collect();
+
+    println!(
+        "{RANKS} ranks × {PAGES} pages, {shared_percent}% globally shared\n"
+    );
+    println!(
+        "{:>2}  {:>12}  {:>15}  {:>15}  {:>15}",
+        "K", "strategy", "avg sent/rank", "max recv/rank", "device total"
+    );
+    for k in 1..=6u32 {
+        for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+            let cluster = Cluster::new(Placement::one_per_node(RANKS));
+            let cfg = DumpConfig::paper_defaults(strategy).with_replication(k);
+            let out = World::run(RANKS, |comm| {
+                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+            });
+            let world = WorldDumpStats::from_ranks(strategy, 4096, out.results);
+            let mib = |b: f64| b / (1 << 20) as f64;
+            println!(
+                "{:>2}  {:>12}  {:>11.2} MiB  {:>11.2} MiB  {:>11.2} MiB",
+                k,
+                strategy.label(),
+                mib(world.avg_sent_bytes()),
+                mib(world.max_recv_bytes() as f64),
+                mib(cluster.total_device_bytes() as f64),
+            );
+        }
+        println!();
+    }
+    println!("note how coll-dedup's sent volume stays almost flat in K whenever the");
+    println!("shared fraction is high: duplicates already present count as replicas.");
+}

@@ -1,0 +1,82 @@
+//! Periodic visualization output from a running simulation.
+//!
+//! ```text
+//! cargo run --release --example visualization_dump
+//! ```
+//!
+//! The paper's second motivating scenario besides checkpointing: "dumping
+//! of visualization output during a numerical simulation". A CM1-like
+//! hurricane run dumps its full state every 10 time steps with
+//! `coll-dedup`. Early on, most subdomains are still ambient atmosphere —
+//! massive natural redundancy; as the vortex stirs the domain, redundancy
+//! shrinks and the dump grows. The example prints that evolution, which is
+//! exactly the dynamic the paper exploits.
+
+use replidedup::apps::{Cm1, Cm1Config};
+use replidedup::ckpt::{CheckpointRuntime, TrackedHeap};
+use replidedup::core::{DumpConfig, Strategy};
+use replidedup::hash::Sha1ChunkHasher;
+use replidedup::mpi::World;
+use replidedup::storage::{Cluster, Placement};
+
+fn main() {
+    const RANKS: u32 = 12;
+    const STEPS: u64 = 60;
+    const DUMP_EVERY: u64 = 10;
+    let model = Cm1Config { nx: 96, ny_per_rank: 16, vortex_radius: 8.0, ..Default::default() };
+    let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(3);
+    let cluster = Cluster::new(Placement::one_per_node(RANKS));
+
+    println!("CM1-like hurricane, {RANKS} ranks, dump every {DUMP_EVERY} steps (coll-dedup, K=3)\n");
+    println!(
+        "{:>5}  {:>9}  {:>13}  {:>13}  {:>11}  {:>9}",
+        "step", "ambient", "dataset", "unique", "replicated", "saved"
+    );
+
+    let out = World::run(RANKS, |comm| {
+        let rank = comm.rank();
+        let mut app = Cm1::new(rank, comm.size(), model);
+        let mut heap = TrackedHeap::default();
+        let regions = app.alloc_regions(&mut heap);
+        let mut runtime = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+        let mut log = Vec::new();
+        for step in 1..=STEPS {
+            app.step(comm);
+            if step % DUMP_EVERY == 0 {
+                app.sync_to_heap(&mut heap, &regions);
+                let stats = runtime.checkpoint(comm, &mut heap).expect("dump");
+                // World-average ambient fraction for the report line.
+                let ambient = comm.allreduce(app.ambient_fraction(), |a, b| a + b)
+                    / f64::from(comm.size());
+                log.push((step, ambient, stats));
+            }
+        }
+        log
+    });
+
+    // Aggregate per dump across ranks (rank-major logs, same length).
+    let dumps = out.results[0].len();
+    for d in 0..dumps {
+        let (step, ambient, _) = out.results[0][d];
+        let per_rank: Vec<_> = out.results.iter().map(|log| &log[d].2).collect();
+        let world = replidedup::core::WorldDumpStats::from_ranks(
+            Strategy::CollDedup,
+            4096,
+            per_rank.into_iter().cloned().collect(),
+        );
+        let total = world.total_data_bytes() as f64;
+        let unique = world.unique_content_bytes() as f64;
+        let sent: u64 = world.ranks.iter().map(|r| r.bytes_sent_replication).sum();
+        println!(
+            "{:>5}  {:>8.1}%  {:>9.2} MiB  {:>9.2} MiB  {:>7.2} MiB  {:>8.1}%",
+            step,
+            ambient * 100.0,
+            total / (1 << 20) as f64,
+            unique / (1 << 20) as f64,
+            sent as f64 / (1 << 20) as f64,
+            100.0 * (1.0 - unique / total),
+        );
+    }
+    println!("\nAs the vortex spreads, ambient (dedupable) area shrinks and dumps grow —");
+    println!("coll-dedup keeps replication traffic proportional to *new* information only.");
+}

@@ -1,0 +1,189 @@
+//! The paper's qualitative claims, asserted at test scale.
+//!
+//! Absolute numbers depend on the testbed; what must reproduce is the
+//! *shape* of every result: which strategy wins, how costs move with the
+//! replication factor, and what the shuffle buys. Each test corresponds to
+//! one claim of Section V (mapped in EXPERIMENTS.md).
+
+use replidedup::bench::experiments::{
+    dump_world, fig2, fig_k_sweep, fig_shuffle, tab1, STRATEGIES,
+};
+use replidedup::bench::workloads::{make_buffers, AppKind};
+use replidedup::core::{DumpConfig, Strategy};
+
+/// Scale factor used throughout: paper's 408 procs → ~33, runs in seconds.
+const SCALE: f64 = 0.08;
+
+#[test]
+fn fig2_exact_numbers() {
+    // "the maximum number of received chunks is lowered from 200 to 110".
+    let f = fig2();
+    assert_eq!(f.naive_max, 200);
+    assert_eq!(f.shuffled_max, 110);
+}
+
+#[test]
+fn fig3a_claim_dedup_hierarchy() {
+    // "local-dedup identifies a large amount of data duplication [...]
+    // going even further, coll-dedup manages a reduction down to as little
+    // as 6% for HPCCG and 5% for CM1."
+    for app in [AppKind::hpccg(), AppKind::cm1()] {
+        let buffers = make_buffers(app, 33);
+        let mut pct = Vec::new();
+        for strategy in STRATEGIES {
+            let run = dump_world(&buffers, DumpConfig::paper_defaults(strategy));
+            pct.push(
+                100.0 * run.stats.unique_content_bytes() as f64
+                    / run.stats.total_data_bytes() as f64,
+            );
+        }
+        assert!((pct[0] - 100.0).abs() < 1e-9, "{}: no-dedup identifies nothing", app.label());
+        assert!(pct[1] < 60.0, "{}: local-dedup must find substantial duplication ({pct:?})", app.label());
+        assert!(pct[2] < 15.0, "{}: coll-dedup must reach single digits-ish ({pct:?})", app.label());
+        assert!(pct[2] < pct[1] / 2.0, "{}: coll must clearly beat local ({pct:?})", app.label());
+    }
+}
+
+#[test]
+fn tab1_claim_ordering_and_speedups() {
+    // Table I: coll-dedup beats local-dedup beats no-dedup at every scale;
+    // at the largest scale the overhead gaps are severalfold.
+    for app in [AppKind::hpccg(), AppKind::cm1()] {
+        let rows = tab1(app, SCALE);
+        for row in &rows {
+            assert!(row.completion[0] > row.completion[1], "{}: {row:?}", app.label());
+            assert!(row.completion[1] > row.completion[2], "{}: {row:?}", app.label());
+            assert!(row.completion[2] >= row.baseline, "{}: {row:?}", app.label());
+        }
+        let last = rows.last().expect("rows");
+        let ovh = last.overhead();
+        assert!(
+            ovh[0] / ovh[2] > 4.0,
+            "{}: no-dedup overhead must be severalfold coll-dedup's ({ovh:?})",
+            app.label()
+        );
+        // At full scale the paper (and our repro) sees 2-2.8x; at this
+        // test's ~33-rank scale the fixed hash+reduce floor compresses the
+        // gap, so assert direction plus a modest margin here (the 408-rank
+        // ratios are recorded in EXPERIMENTS.md from the repro run).
+        assert!(
+            ovh[1] / ovh[2] > 1.15,
+            "{}: local-dedup overhead must exceed coll-dedup's ({ovh:?})",
+            app.label()
+        );
+    }
+}
+
+#[test]
+fn fig4a_5a_claim_k_scaling() {
+    // "the scalability of no-dedup is poor when the replication factor
+    // increases [...] coll-dedup exhibits excellent scalability: a
+    // replication factor of six with coll-dedup is faster than a
+    // minimalist replication scenario (factor two) with no-dedup and
+    // local-dedup."
+    for app in [AppKind::hpccg(), AppKind::cm1()] {
+        let rows = fig_k_sweep(app, SCALE);
+        let at = |k: u32| rows.iter().find(|r| r.k == k).expect("k present");
+        // no-dedup overhead grows severalfold from K=1 to K=6.
+        let growth = at(6).overhead_seconds[0] / at(1).overhead_seconds[0].max(1e-9);
+        assert!(growth > 2.5, "{}: no-dedup K-growth too small: {growth}", app.label());
+        // coll-dedup stays nearly flat.
+        let coll_growth = at(6).overhead_seconds[2] / at(2).overhead_seconds[2].max(1e-9);
+        assert!(coll_growth < 2.5, "{}: coll-dedup must be nearly flat: {coll_growth}", app.label());
+        // Crossover: coll at K=6 cheaper than both baselines at K=2.
+        assert!(
+            at(6).overhead_seconds[2] < at(2).overhead_seconds[0],
+            "{}: coll@K6 must beat no-dedup@K2",
+            app.label()
+        );
+        // At full scale coll@K6 beats local@K2 outright; at ~33 ranks the
+        // fixed reduction floor narrows it, so allow a small margin.
+        assert!(
+            at(6).overhead_seconds[2] < at(2).overhead_seconds[1] * 1.6,
+            "{}: coll@K6 must be in the league of local-dedup@K2 ({} vs {})",
+            app.label(),
+            at(6).overhead_seconds[2],
+            at(2).overhead_seconds[1]
+        );
+    }
+}
+
+#[test]
+fn fig4b_5b_claim_traffic_reduction() {
+    // "coll-dedup sends on the average [severalfold] less data to its
+    // partners compared with local-dedup", with a growing avg/max gap.
+    for app in [AppKind::hpccg(), AppKind::cm1()] {
+        let rows = fig_k_sweep(app, SCALE);
+        let at = |k: u32| rows.iter().find(|r| r.k == k).expect("k present");
+        for k in [3u32, 6] {
+            let r = at(k);
+            assert!(
+                r.avg_sent[2] * 2.0 < r.avg_sent[1],
+                "{} K={k}: coll avg sent must be well below local ({:?})",
+                app.label(),
+                r.avg_sent
+            );
+            // no-dedup is uniform: avg == max.
+            assert!(
+                (r.max_sent[0] - r.avg_sent[0]).abs() < r.avg_sent[0] * 0.01 + 1.0,
+                "{} K={k}: no-dedup send load must be uniform",
+                app.label()
+            );
+            // coll-dedup is skewed: max well above avg.
+            assert!(
+                r.max_sent[2] > r.avg_sent[2] * 1.5,
+                "{} K={k}: coll-dedup send load must be skewed",
+                app.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4c_5c_claim_shuffle_helps_at_higher_k() {
+    // "for a replication factor of two, there is no difference [...] with
+    // increasing replication factor, the gap becomes clearly visible."
+    for app in [AppKind::hpccg(), AppKind::cm1()] {
+        let rows = fig_shuffle(app, SCALE);
+        let at = |k: u32| rows.iter().find(|r| r.k == k).expect("k present");
+        assert!(
+            at(2).reduction_percent().abs() < 20.0,
+            "{}: K=2 shuffle gain should be small ({:.1}%)",
+            app.label(),
+            at(2).reduction_percent()
+        );
+        let best = rows.iter().map(|r| r.reduction_percent()).fold(f64::MIN, f64::max);
+        assert!(
+            best > 5.0,
+            "{}: shuffling must visibly reduce the max receive size at some K (best {best:.1}%)",
+            app.label()
+        );
+        for r in &rows {
+            assert!(
+                r.shuffle_max_recv <= r.no_shuffle_max_recv * 1.05,
+                "{} K={}: shuffle must not hurt",
+                app.label(),
+                r.k
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_overhead_grows_slowly_with_k() {
+    // Figures 3(b)/(c): "even if the list of designated ranks grows for
+    // each fingerprint, the difference between the three coll-dedup curves
+    // is small."
+    use replidedup::bench::experiments::modeled_dump_seconds;
+    let buffers = make_buffers(AppKind::hpccg(), 32);
+    let mut totals = Vec::new();
+    for k in [2u32, 4, 6] {
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(k);
+        let run = dump_world(&buffers, cfg);
+        totals.push(modeled_dump_seconds(AppKind::hpccg(), &run.stats, 1 << 17));
+    }
+    assert!(
+        totals[2] < totals[0] * 2.0,
+        "K=6 reduction must stay within 2x of K=2: {totals:?}"
+    );
+}

@@ -1,0 +1,188 @@
+//! Property-based integration tests over random workloads, replication
+//! factors, chunk sizes and failure patterns.
+//!
+//! These check the invariants DESIGN.md §6 promises: byte-exact restore
+//! round-trips under any strategy and any tolerated failure set, traffic
+//! conservation, and dedup accounting consistency.
+
+use proptest::prelude::*;
+// Our `Strategy` enum shadows proptest's `Strategy` trait from the prelude
+// glob; re-import the trait under an alias so combinators resolve.
+use proptest::strategy::Strategy as PropStrategy;
+use replidedup::apps::SyntheticWorkload;
+use replidedup::core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy, WorldDumpStats};
+use replidedup::hash::Sha1ChunkHasher;
+use replidedup::mpi::World;
+use replidedup::storage::{Cluster, Placement};
+
+fn arb_strategy() -> impl Strategy_ {
+    prop_oneof![
+        Just(Strategy::NoDedup),
+        Just(Strategy::LocalDedup),
+        Just(Strategy::CollDedup),
+    ]
+}
+
+// proptest's Strategy trait clashes with our Strategy enum name.
+trait Strategy_: proptest::strategy::Strategy<Value = Strategy> {}
+impl<T: proptest::strategy::Strategy<Value = Strategy>> Strategy_ for T {}
+
+fn arb_workload() -> impl proptest::strategy::Strategy<Value = SyntheticWorkload> {
+    (1usize..6, 0usize..6, 1u32..4, 0usize..6, 0usize..4, 1usize..3, any::<u64>()).prop_map(
+        |(global, grouped, group_size, private, local_dup, repeat, seed)| SyntheticWorkload {
+            chunk_size: 128,
+            global_chunks: global,
+            grouped_chunks: grouped,
+            group_size,
+            private_chunks: private,
+            local_dup_chunks: local_dup,
+            local_repeat: repeat,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Dump + restore is the identity for every strategy, K, and workload,
+    /// even with no failures injected.
+    #[test]
+    fn prop_dump_restore_roundtrip(
+        strategy in arb_strategy(),
+        k in 1u32..5,
+        n in 2u32..9,
+        workload in arb_workload(),
+    ) {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(128);
+        let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
+            restore_output(comm, &ctx, strategy).expect("restore")
+        });
+        for (r, restored) in out.results.iter().enumerate() {
+            prop_assert_eq!(restored, &buffers[r], "rank {}", r);
+        }
+    }
+
+    /// Restore survives failing any single node when K >= 2 (single-node
+    /// failure is always tolerated regardless of replica placement).
+    #[test]
+    fn prop_restore_survives_any_single_failure(
+        strategy in arb_strategy(),
+        k in 2u32..5,
+        n in 3u32..8,
+        victim_seed in any::<u32>(),
+        workload in arb_workload(),
+    ) {
+        let victim = victim_seed % n;
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(128);
+        let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
+            comm.barrier();
+            if comm.rank() == 0 {
+                cluster.fail_node(victim);
+                cluster.revive_node(victim);
+            }
+            comm.barrier();
+            restore_output(comm, &ctx, strategy).expect("restore after failure")
+        });
+        for (r, restored) in out.results.iter().enumerate() {
+            prop_assert_eq!(restored, &buffers[r], "rank {} after failing node {}", r, victim);
+        }
+    }
+
+    /// World-wide traffic conservation: bytes sent == bytes received, and
+    /// the per-dump stats agree with the runtime's own accounting.
+    #[test]
+    fn prop_traffic_conservation(
+        strategy in arb_strategy(),
+        k in 1u32..5,
+        n in 2u32..8,
+        workload in arb_workload(),
+    ) {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(128);
+        let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+        });
+        let traffic_sent: u64 = out.traffic.total_sent();
+        let traffic_recv: u64 = out.traffic.total_recv();
+        prop_assert_eq!(traffic_sent, traffic_recv);
+        let stats = WorldDumpStats::from_ranks(strategy, 128, out.results);
+        let replica_sent: u64 = stats.ranks.iter().map(|r| r.bytes_sent_replication).sum();
+        let replica_recv: u64 = stats.ranks.iter().map(|r| r.bytes_received_replication).sum();
+        prop_assert_eq!(replica_sent, replica_recv);
+    }
+
+    /// Dedup accounting: unique content never exceeds the dataset; the
+    /// strategies are ordered coll <= local <= no-dedup; per-rank chunk
+    /// bookkeeping is internally consistent.
+    #[test]
+    fn prop_dedup_accounting(
+        k in 1u32..4,
+        n in 2u32..8,
+        workload in arb_workload(),
+    ) {
+        let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
+        let mut unique = Vec::new();
+        for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+            let cluster = Cluster::new(Placement::one_per_node(n));
+            let cfg = DumpConfig::paper_defaults(strategy)
+                .with_replication(k)
+                .with_chunk_size(128);
+            let out = World::run(n, |comm| {
+                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+            });
+            let stats = WorldDumpStats::from_ranks(strategy, 128, out.results);
+            for r in &stats.ranks {
+                prop_assert_eq!(r.chunks_kept + r.chunks_discarded, r.chunks_locally_unique);
+                prop_assert!(r.chunks_uncovered <= r.chunks_locally_unique);
+                prop_assert_eq!(r.chunks_sent.len() as u32, k.min(n) - 1);
+            }
+            prop_assert!(stats.unique_content_bytes() <= stats.total_data_bytes());
+            unique.push(stats.unique_content_bytes());
+        }
+        // no-dedup >= local-dedup >= coll-dedup.
+        prop_assert!(unique[0] >= unique[1], "{unique:?}");
+        prop_assert!(unique[1] >= unique[2], "{unique:?}");
+    }
+
+    /// Coll-dedup never stores more cluster-wide than local-dedup on the
+    /// same inputs (it only removes surplus copies).
+    #[test]
+    fn prop_coll_storage_never_exceeds_local(
+        k in 1u32..4,
+        n in 2u32..8,
+        workload in arb_workload(),
+    ) {
+        let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
+        let mut device = Vec::new();
+        for strategy in [Strategy::LocalDedup, Strategy::CollDedup] {
+            let cluster = Cluster::new(Placement::one_per_node(n));
+            let cfg = DumpConfig::paper_defaults(strategy)
+                .with_replication(k)
+                .with_chunk_size(128);
+            World::run(n, |comm| {
+                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
+            });
+            device.push(cluster.total_unique_bytes());
+        }
+        prop_assert!(device[1] <= device[0], "coll {} > local {}", device[1], device[0]);
+    }
+}
