@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI gate: format, lints, build, tests. Mirrors
+# .github/workflows/ci.yml so "ci.sh passes" == "CI is green".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "ci: all green"

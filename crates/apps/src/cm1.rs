@@ -127,7 +127,10 @@ impl Cm1 {
     /// single disc cannot produce that profile at page granularity, so the
     /// periodic-cell mode exists to recover it (see DESIGN.md §2).
     pub fn new(rank: u32, size: u32, cfg: Cm1Config) -> Self {
-        assert!(cfg.nx > 0 && cfg.ny_per_rank > 0, "grid extents must be positive");
+        assert!(
+            cfg.nx > 0 && cfg.ny_per_rank > 0,
+            "grid extents must be positive"
+        );
         let ny = cfg.ny_per_rank;
         let n = ny * cfg.nx;
         let gny = ny * size as usize;
@@ -142,7 +145,9 @@ impl Cm1 {
         } else {
             let group_rows = (cfg.cell_group as usize * ny) as f64;
             let groups = (gny as f64 / group_rows).ceil() as usize;
-            (0..groups).map(|g| g as f64 * group_rows + group_rows / 2.0).collect()
+            (0..groups)
+                .map(|g| g as f64 * group_rows + group_rows / 2.0)
+                .collect()
         };
         // The "eye": extra warmth in the central cell only (globally
         // unique content; everything else repeats across groups).
@@ -171,8 +176,7 @@ impl Cm1 {
                         u[idx] += -s * dy / r;
                         v[idx] += s * dx / r;
                         // Warm core, same smooth compact support.
-                        theta[idx] +=
-                            5.0 * (-(r / cfg.vortex_radius).powi(2)).exp() * taper;
+                        theta[idx] += 5.0 * (-(r / cfg.vortex_radius).powi(2)).exp() * taper;
                     }
                 }
                 if cfg.core_boost != 0.0 {
@@ -185,7 +189,17 @@ impl Cm1 {
                 }
             }
         }
-        let mut app = Self { cfg, rank, size, ny, u, v, theta, pressure: vec![0.0; n], step_count: 0 };
+        let mut app = Self {
+            cfg,
+            rank,
+            size,
+            ny,
+            u,
+            v,
+            theta,
+            pressure: vec![0.0; n],
+            step_count: 0,
+        };
         app.diagnose_pressure();
         app
     }
@@ -266,7 +280,9 @@ impl Cm1 {
                     at(&old, iy + 1, ix) - c
                 } / dx;
                 // Diffusion.
-                let lap = (at(&old, iy, xm) + at(&old, iy, xp) + at(&old, iy - 1, ix)
+                let lap = (at(&old, iy, xm)
+                    + at(&old, iy, xp)
+                    + at(&old, iy - 1, ix)
                     + at(&old, iy + 1, ix)
                     - 4.0 * c)
                     / (dx * dx);
@@ -311,7 +327,11 @@ impl Cm1 {
         let n = self.theta.len() * 8;
         let private_len = (4.0 * n as f64 * self.cfg.private_factor) as usize;
         let private = heap.alloc(private_len);
-        heap.write(private, 0, &crate::util::rank_private_bytes(self.rank, private_len));
+        heap.write(
+            private,
+            0,
+            &crate::util::rank_private_bytes(self.rank, private_len),
+        );
         Cm1Regions {
             private,
             u: heap.alloc(n),
@@ -356,7 +376,12 @@ mod tests {
     use replidedup_mpi::World;
 
     fn small() -> Cm1Config {
-        Cm1Config { nx: 24, ny_per_rank: 8, vortex_radius: 3.0, ..Default::default() }
+        Cm1Config {
+            nx: 24,
+            ny_per_rank: 8,
+            vortex_radius: 3.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -429,7 +454,10 @@ mod tests {
     fn decomposition_invariance() {
         // 1 rank with 32 rows must equal 4 ranks with 8 rows each.
         let whole = World::run(1, |comm| {
-            let cfg = Cm1Config { ny_per_rank: 32, ..small() };
+            let cfg = Cm1Config {
+                ny_per_rank: 32,
+                ..small()
+            };
             let mut app = Cm1::new(0, 1, cfg);
             app.run(comm, 8);
             app.theta().to_vec()
@@ -440,7 +468,10 @@ mod tests {
             app.theta().to_vec()
         });
         let stitched: Vec<f64> = split.results.into_iter().flatten().collect();
-        assert_eq!(whole.results[0], stitched, "domain decomposition must not change physics");
+        assert_eq!(
+            whole.results[0], stitched,
+            "domain decomposition must not change physics"
+        );
     }
 
     #[test]
@@ -452,7 +483,8 @@ mod tests {
             let regions = app.alloc_regions(&mut heap);
             app.sync_to_heap(&mut heap, &regions);
             app.run(comm, 4);
-            let mut replay = Cm1::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
+            let mut replay =
+                Cm1::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
             assert_eq!(replay.steps(), 4);
             replay.run(comm, 4);
             (app.theta().to_vec(), replay.theta().to_vec())

@@ -55,7 +55,13 @@ pub struct HpccgConfig {
 impl Default for HpccgConfig {
     fn default() -> Self {
         // Laptop-scale stand-in for the paper's 150³.
-        Self { nx: 16, ny: 16, nz: 16, slack_factor: 1.5, private_factor: 0.16 }
+        Self {
+            nx: 16,
+            ny: 16,
+            nz: 16,
+            slack_factor: 1.5,
+            private_factor: 0.16,
+        }
     }
 }
 
@@ -101,7 +107,10 @@ impl Hpccg {
     /// Build the local sub-block of the 27-point problem. Rank `rank` of
     /// `size` owns z-slab `[rank*nz, (rank+1)*nz)` of the global chimney.
     pub fn new(rank: u32, size: u32, cfg: HpccgConfig) -> Self {
-        assert!(cfg.nx > 0 && cfg.ny > 0 && cfg.nz > 0, "sub-block extents must be positive");
+        assert!(
+            cfg.nx > 0 && cfg.ny > 0 && cfg.nz > 0,
+            "sub-block extents must be positive"
+        );
         let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
         let nrows = nx * ny * nz;
         let plane = nx * ny;
@@ -256,8 +265,11 @@ impl Hpccg {
         self.matvec(comm, &p, &mut ap);
         let p_ap = self.ddot(comm, &self.p.clone(), &ap);
         let alpha = self.rtrans / p_ap;
-        for ((x, r), (p, ap)) in
-            self.x.iter_mut().zip(self.r.iter_mut()).zip(self.p.iter().zip(&ap))
+        for ((x, r), (p, ap)) in self
+            .x
+            .iter_mut()
+            .zip(self.r.iter_mut())
+            .zip(self.p.iter().zip(&ap))
         {
             *x += alpha * p;
             *r -= alpha * ap;
@@ -294,7 +306,11 @@ impl Hpccg {
         let slack = (live as f64 * self.cfg.slack_factor) as usize;
         let private_len = (live as f64 * self.cfg.private_factor) as usize;
         let private = heap.alloc(private_len);
-        heap.write(private, 0, &crate::util::rank_private_bytes(self.rank, private_len));
+        heap.write(
+            private,
+            0,
+            &crate::util::rank_private_bytes(self.rank, private_len),
+        );
         HpccgRegions {
             vals: heap.alloc(self.vals.len() * 8),
             slack: heap.alloc(slack),
@@ -362,7 +378,13 @@ mod tests {
     use replidedup_mpi::World;
 
     fn small() -> HpccgConfig {
-        HpccgConfig { nx: 6, ny: 6, nz: 4, slack_factor: 0.5, private_factor: 0.1 }
+        HpccgConfig {
+            nx: 6,
+            ny: 6,
+            nz: 4,
+            slack_factor: 0.5,
+            private_factor: 0.1,
+        }
     }
 
     #[test]
@@ -431,7 +453,10 @@ mod tests {
             app.run(comm, 2);
             app.state().0.to_vec()
         });
-        assert_eq!(out.results[1], out.results[2], "interior ranks identical at iter 2");
+        assert_eq!(
+            out.results[1], out.results[2],
+            "interior ranks identical at iter 2"
+        );
         assert_eq!(out.results[2], out.results[3]);
         assert_ne!(out.results[0], out.results[2], "boundary rank diverges");
     }
@@ -464,7 +489,12 @@ mod tests {
                 Hpccg::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
             assert_eq!(replay.iterations(), 5);
             let got = replay.run(comm, 3);
-            (expect, got, app.state().0.to_vec(), replay.state().0.to_vec())
+            (
+                expect,
+                got,
+                app.state().0.to_vec(),
+                replay.state().0.to_vec(),
+            )
         });
         for (expect, got, x1, x2) in out.results {
             assert_eq!(expect.to_bits(), got.to_bits(), "bit-identical resume");

@@ -108,11 +108,17 @@ impl SyntheticWorkload {
             self.fill_chunk(&mut out, 0x0200_0000_0000 + (group << 20) + i as u64);
         }
         for i in 0..self.private_chunks {
-            self.fill_chunk(&mut out, 0x0300_0000_0000 + (u64::from(rank) << 20) + i as u64);
+            self.fill_chunk(
+                &mut out,
+                0x0300_0000_0000 + (u64::from(rank) << 20) + i as u64,
+            );
         }
         for i in 0..self.local_dup_chunks {
             for _ in 0..self.local_repeat {
-                self.fill_chunk(&mut out, 0x0400_0000_0000 + (u64::from(rank) << 20) + i as u64);
+                self.fill_chunk(
+                    &mut out,
+                    0x0400_0000_0000 + (u64::from(rank) << 20) + i as u64,
+                );
             }
         }
         out
@@ -172,7 +178,14 @@ mod tests {
 
     #[test]
     fn global_chunks_are_shared_across_ranks() {
-        let w = SyntheticWorkload { chunk_size: 64, grouped_chunks: 0, private_chunks: 0, local_dup_chunks: 0, global_chunks: 5, ..Default::default() };
+        let w = SyntheticWorkload {
+            chunk_size: 64,
+            grouped_chunks: 0,
+            private_chunks: 0,
+            local_dup_chunks: 0,
+            global_chunks: 5,
+            ..Default::default()
+        };
         assert_eq!(w.generate(0), w.generate(41));
     }
 
@@ -215,7 +228,10 @@ mod tests {
 
     #[test]
     fn chunk_content_differs_between_classes() {
-        let w = SyntheticWorkload { chunk_size: 64, ..Default::default() };
+        let w = SyntheticWorkload {
+            chunk_size: 64,
+            ..Default::default()
+        };
         let buf = w.generate(0);
         let set = distinct_chunks(&[buf], 64);
         assert_eq!(set, w.locally_unique_per_rank());

@@ -20,8 +20,15 @@ pub fn f64s_to_bytes(vals: &[f64]) -> Vec<u8> {
 /// # Panics
 /// If the length is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert_eq!(bytes.len() % 8, 0, "f64 byte stream length must be a multiple of 8");
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+    assert_eq!(
+        bytes.len() % 8,
+        0,
+        "f64 byte stream length must be a multiple of 8"
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
 }
 
 /// Serialize an `i32` slice to little-endian bytes.
@@ -38,8 +45,15 @@ pub fn i32s_to_bytes(vals: &[i32]) -> Vec<u8> {
 /// # Panics
 /// If the length is not a multiple of 4.
 pub fn bytes_to_i32s(bytes: &[u8]) -> Vec<i32> {
-    assert_eq!(bytes.len() % 4, 0, "i32 byte stream length must be a multiple of 4");
-    bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+    assert_eq!(
+        bytes.len() % 4,
+        0,
+        "i32 byte stream length must be a multiple of 4"
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect()
 }
 
 /// Deterministic rank-private filler modeling per-process runtime state.
@@ -106,6 +120,9 @@ mod tests {
     #[test]
     fn identical_values_identical_bytes() {
         // The property cross-rank dedup relies on.
-        assert_eq!(f64s_to_bytes(&[1.0 / 3.0; 4]), f64s_to_bytes(&[1.0 / 3.0; 4]));
+        assert_eq!(
+            f64s_to_bytes(&[1.0 / 3.0; 4]),
+            f64s_to_bytes(&[1.0 / 3.0; 4])
+        );
     }
 }

@@ -34,7 +34,9 @@ fn bench_allreduce_sum(c: &mut Criterion) {
     for n in [4u32, 16, 64] {
         g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
             b.iter(|| {
-                World::run(n, |comm| comm.allreduce(u64::from(comm.rank()), |a, b| a + b))
+                World::run(n, |comm| {
+                    comm.allreduce(u64::from(comm.rank()), |a, b| a + b)
+                })
             })
         });
     }
@@ -83,5 +85,11 @@ fn bench_hmerge_reduction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_allreduce_sum, bench_allgather, bench_hmerge_reduction);
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_allreduce_sum,
+    bench_allgather,
+    bench_hmerge_reduction
+);
 criterion_main!(benches);

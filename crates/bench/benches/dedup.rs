@@ -5,8 +5,10 @@
 //! overhead in Figures 3(b)/(c).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use replidedup_core::{GlobalView, LocalIndex};
+use replidedup_core::{GlobalView, LocalIndex, Replicator, Strategy};
 use replidedup_hash::{Fingerprint, Sha1ChunkHasher};
+use replidedup_mpi::{World, WorldConfig};
+use replidedup_storage::{Cluster, Placement};
 
 fn buffer_with_dup_ratio(pages: usize, distinct: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(pages * 4096);
@@ -19,7 +21,11 @@ fn buffer_with_dup_ratio(pages: usize, distinct: usize) -> Vec<u8> {
 
 fn bench_local_index(c: &mut Criterion) {
     let mut g = c.benchmark_group("local_index");
-    for (label, distinct) in [("all_unique", 256usize), ("half_dup", 128), ("heavy_dup", 16)] {
+    for (label, distinct) in [
+        ("all_unique", 256usize),
+        ("half_dup", 128),
+        ("heavy_dup", 16),
+    ] {
         let buf = buffer_with_dup_ratio(256, distinct);
         g.throughput(Throughput::Bytes(buf.len() as u64));
         g.bench_with_input(BenchmarkId::new("build_1mib", label), &buf, |b, buf| {
@@ -44,13 +50,17 @@ fn bench_hmerge(c: &mut Criterion) {
         let a = view_of(0, 0, count);
         let b = view_of(1, count as u64 / 2, count);
         g.throughput(Throughput::Elements(count as u64 * 2));
-        g.bench_with_input(BenchmarkId::new("merge_half_overlap", count), &count, |bch, _| {
-            bch.iter_batched(
-                || (a.clone(), b.clone()),
-                |(a, b)| GlobalView::merge(a, b, 3, usize::MAX),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("merge_half_overlap", count),
+            &count,
+            |bch, _| {
+                bch.iter_batched(
+                    || (a.clone(), b.clone()),
+                    |(a, b)| GlobalView::merge(a, b, 3, usize::MAX),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }
@@ -72,8 +82,9 @@ fn bench_hmerge_top_f_selection(c: &mut Criterion) {
 
 fn bench_view_lookup(c: &mut Criterion) {
     let view = view_of(0, 0, 1 << 17);
-    let probes: Vec<Fingerprint> =
-        (0..1024u64).map(|i| Fingerprint::synthetic(i * 173 % (1 << 18))).collect();
+    let probes: Vec<Fingerprint> = (0..1024u64)
+        .map(|i| Fingerprint::synthetic(i * 173 % (1 << 18)))
+        .collect();
     let mut g = c.benchmark_group("view_lookup");
     g.throughput(Throughput::Elements(probes.len() as u64));
     g.bench_function("binary_search_128k_view", |b| {
@@ -82,11 +93,50 @@ fn bench_view_lookup(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Acceptance bar for the observability layer: a fully traced
+    // coll-dedup dump must stay within 5% of an untraced one. Spans are
+    // per-phase, not per-chunk — a traced dump performs a few dozen
+    // Vec::pushes per rank, so the two bars should be indistinguishable.
+    let n = 4u32;
+    let bufs: Vec<Vec<u8>> = (0..n)
+        .map(|r| {
+            let mut b = buffer_with_dup_ratio(64, 32);
+            b[0] ^= r as u8;
+            b
+        })
+        .collect();
+    let mut g = c.benchmark_group("dump_trace_overhead");
+    g.throughput(Throughput::Bytes(bufs.iter().map(|b| b.len() as u64).sum()));
+    for (label, cfg) in [
+        ("tracing_disabled", WorldConfig::default()),
+        ("tracing_enabled", WorldConfig::traced()),
+    ] {
+        g.bench_function(label, |bch| {
+            bch.iter(|| {
+                let cluster = Cluster::new(Placement::one_per_node(n));
+                let repl = Replicator::builder(Strategy::CollDedup)
+                    .cluster(&cluster)
+                    .replication(2)
+                    .chunk_size(4096)
+                    .build()
+                    .expect("valid config");
+                World::run_with(n, &cfg, |comm| {
+                    repl.dump(comm, 1, &bufs[comm.rank() as usize])
+                        .expect("dump");
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_local_index,
     bench_hmerge,
     bench_hmerge_top_f_selection,
-    bench_view_lookup
+    bench_view_lookup,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -18,9 +18,11 @@ fn bench_strategies(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
         let cfg = DumpConfig::paper_defaults(strategy);
-        g.bench_with_input(BenchmarkId::new("strategy", strategy.label()), &cfg, |b, cfg| {
-            b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("strategy", strategy.label()),
+            &cfg,
+            |b, cfg| b.iter(|| dump_world(std::hint::black_box(&buffers), *cfg)),
+        );
     }
     g.finish();
 }

@@ -9,7 +9,9 @@ use replidedup_hash::{
 };
 
 fn page(seed: u8) -> Vec<u8> {
-    (0..4096u32).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..4096u32)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 fn bench_sha1(c: &mut Criterion) {
@@ -28,7 +30,9 @@ fn bench_fnv(c: &mut Criterion) {
     let data = page(7);
     let mut g = c.benchmark_group("fnv");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("fnv1a_4k", |b| b.iter(|| fnv1a_64(std::hint::black_box(&data))));
+    g.bench_function("fnv1a_4k", |b| {
+        b.iter(|| fnv1a_64(std::hint::black_box(&data)))
+    });
     g.finish();
 }
 
@@ -59,7 +63,9 @@ fn bench_buffer_fingerprinting(c: &mut Criterion) {
 
 fn bench_rabin_roll(c: &mut Criterion) {
     // Content-defined chunking alternative (related-work extension).
-    let data: Vec<u8> = (0..65536u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let data: Vec<u8> = (0..65536u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
     let mut g = c.benchmark_group("rabin");
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("roll_64k", |b| {

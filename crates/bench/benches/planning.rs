@@ -20,7 +20,11 @@ fn skewed_loads(n: usize, k: u32, seed: u64) -> Vec<Vec<u64>> {
             let heavy = i % 7 == 0;
             let mut l = vec![rand() % 100];
             for _ in 1..k {
-                l.push(if heavy { 500 + rand() % 500 } else { rand() % 50 });
+                l.push(if heavy {
+                    500 + rand() % 500
+                } else {
+                    rand() % 50
+                });
             }
             l
         })
@@ -44,7 +48,13 @@ fn bench_window_plan(c: &mut Criterion) {
         let loads = skewed_loads(408, k, 7);
         let shuffle = rank_shuffle(&loads, k);
         g.bench_with_input(BenchmarkId::new("n408", k), &k, |b, &k| {
-            b.iter(|| window_plan(std::hint::black_box(&shuffle), std::hint::black_box(&loads), k))
+            b.iter(|| {
+                window_plan(
+                    std::hint::black_box(&shuffle),
+                    std::hint::black_box(&loads),
+                    k,
+                )
+            })
         });
     }
     g.finish();
@@ -70,5 +80,10 @@ fn bench_plan_naive_vs_shuffled(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rank_shuffle, bench_window_plan, bench_plan_naive_vs_shuffled);
+criterion_group!(
+    benches,
+    bench_rank_shuffle,
+    bench_window_plan,
+    bench_plan_naive_vs_shuffled
+);
 criterion_main!(benches);

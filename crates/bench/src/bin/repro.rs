@@ -3,11 +3,14 @@
 //! ```text
 //! cargo run -p replidedup-bench --release --bin repro -- [exp...] [--scale S] [--out DIR]
 //!
-//!   exp      one or more of: fig2 fig3a fig3b fig3c tab1 fig4 fig5 all
-//!            (default: all)
-//!   --scale  process-count scale factor (1.0 = paper's 408-rank worlds;
-//!            default 1.0; use e.g. 0.25 for a quick pass)
-//!   --out    CSV output directory (default: results)
+//!   exp         one or more of: fig2 fig3a fig3b fig3c tab1 fig4 fig5 all
+//!               (default: all)
+//!   --scale     process-count scale factor (1.0 = paper's 408-rank worlds;
+//!               default 1.0; use e.g. 0.25 for a quick pass)
+//!   --out       CSV output directory (default: results)
+//!   --trace-out write a phase trace of one coll-dedup dump (Algorithm 1
+//!               phases, world min/median/max per phase) as JSON to PATH;
+//!               PATH ending in .csv switches to CSV
 //! ```
 //!
 //! Absolute times come from the Shamrock cost model fed with measured
@@ -24,12 +27,14 @@ struct Args {
     exps: Vec<String>,
     scale: f64,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut exps = Vec::new();
     let mut scale = 1.0f64;
     let mut out = PathBuf::from("results");
+    let mut trace_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,21 +47,50 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a directory")));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--trace-out needs a path")),
+                ));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR]");
+                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR] [--trace-out PATH]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => exps.push(other.to_string()),
             other => die(&format!("unknown flag {other}")),
         }
     }
-    if exps.is_empty() {
+    if exps.is_empty() && trace_out.is_none() {
         exps.push("all".to_string());
     }
     if scale <= 0.0 {
         die("--scale must be positive");
     }
-    Args { exps, scale, out }
+    Args {
+        exps,
+        scale,
+        out,
+        trace_out,
+    }
+}
+
+/// Run one traced coll-dedup dump over the HPCCG workload and write the
+/// world-aggregated phase trace (JSON, or CSV for a `.csv` path).
+fn write_trace(path: &PathBuf) {
+    use replidedup_core::{DumpConfig, Strategy};
+    let buffers = replidedup_bench::workloads::make_buffers(AppKind::hpccg(), 8);
+    let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_chunk_size(4096);
+    let (_, trace) = exp::dump_world_traced(&buffers, cfg);
+    let body = if path.extension().is_some_and(|e| e == "csv") {
+        trace.to_csv()
+    } else {
+        trace.to_json()
+    };
+    std::fs::write(path, body).unwrap_or_else(|e| die(&format!("write {}: {e}", path.display())));
+    println!(
+        "phase trace of one coll-dedup dump (8 ranks) -> {}",
+        path.display()
+    );
 }
 
 fn die(msg: &str) -> ! {
@@ -66,39 +100,48 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
-    let want = |name: &str| {
-        args.exps.iter().any(|e| e == name || e == "all")
-    };
+    let want = |name: &str| args.exps.iter().any(|e| e == name || e == "all");
     let t0 = Instant::now();
-    println!("replidedup reproduction — process scale {:.2}\n", args.scale);
+    println!(
+        "replidedup reproduction — process scale {:.2}\n",
+        args.scale
+    );
+
+    if let Some(path) = &args.trace_out {
+        write_trace(path);
+    }
 
     if want("fig2") {
         let f = exp::fig2();
         let t = report::fig2_table(&f);
         println!("== Figure 2: naive vs load-aware partner selection ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig2.csv")).expect("write fig2.csv");
+        t.write_csv(&args.out.join("fig2.csv"))
+            .expect("write fig2.csv");
     }
     if want("fig3a") {
         let rows = exp::fig3a(args.scale);
         let t = report::fig3a_table(&rows);
         println!("== Figure 3(a): total size of unique content ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig3a.csv")).expect("write fig3a.csv");
+        t.write_csv(&args.out.join("fig3a.csv"))
+            .expect("write fig3a.csv");
     }
     if want("fig3b") {
         let rows = exp::fig3bc(AppKind::hpccg(), args.scale);
         let t = report::fig3bc_table(&rows);
         println!("== Figure 3(b): HPCCG reduction overhead (F = 2^17) ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig3b.csv")).expect("write fig3b.csv");
+        t.write_csv(&args.out.join("fig3b.csv"))
+            .expect("write fig3b.csv");
     }
     if want("fig3c") {
         let rows = exp::fig3bc(AppKind::cm1(), args.scale);
         let t = report::fig3bc_table(&rows);
         println!("== Figure 3(c): CM1 reduction overhead (F = 2^17) ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig3c.csv")).expect("write fig3c.csv");
+        t.write_csv(&args.out.join("fig3c.csv"))
+            .expect("write fig3c.csv");
     }
     if want("tab1") {
         for app in [AppKind::hpccg(), AppKind::cm1()] {
@@ -106,8 +149,12 @@ fn main() {
             let t = report::tab1_table(&rows);
             println!("== Table I ({}): completion time, K = 3 ==", app.label());
             println!("{}", t.render());
-            t.write_csv(&args.out.join(format!("tab1_{}.csv", app.label().to_lowercase())))
-                .expect("write tab1 csv");
+            t.write_csv(
+                &args
+                    .out
+                    .join(format!("tab1_{}.csv", app.label().to_lowercase())),
+            )
+            .expect("write tab1 csv");
         }
     }
     if want("fig4") {
@@ -115,25 +162,33 @@ fn main() {
         let t = report::fig_k_table(&rows);
         println!("== Figures 4(a)+4(b): HPCCG, K = 1..6 at 408 procs ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig4ab.csv")).expect("write fig4ab.csv");
+        t.write_csv(&args.out.join("fig4ab.csv"))
+            .expect("write fig4ab.csv");
         let rows = exp::fig_shuffle(AppKind::hpccg(), args.scale);
         let t = report::fig_shuffle_table(&rows);
         println!("== Figure 4(c): HPCCG, impact of rank shuffling ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig4c.csv")).expect("write fig4c.csv");
+        t.write_csv(&args.out.join("fig4c.csv"))
+            .expect("write fig4c.csv");
     }
     if want("fig5") {
         let rows = exp::fig_k_sweep(AppKind::cm1(), args.scale);
         let t = report::fig_k_table(&rows);
         println!("== Figures 5(a)+5(b): CM1, K = 1..6 at 408 procs ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig5ab.csv")).expect("write fig5ab.csv");
+        t.write_csv(&args.out.join("fig5ab.csv"))
+            .expect("write fig5ab.csv");
         let rows = exp::fig_shuffle(AppKind::cm1(), args.scale);
         let t = report::fig_shuffle_table(&rows);
         println!("== Figure 5(c): CM1, impact of rank shuffling ==");
         println!("{}", t.render());
-        t.write_csv(&args.out.join("fig5c.csv")).expect("write fig5c.csv");
+        t.write_csv(&args.out.join("fig5c.csv"))
+            .expect("write fig5c.csv");
     }
 
-    println!("done in {:.1}s — CSVs in {}", t0.elapsed().as_secs_f64(), args.out.display());
+    println!(
+        "done in {:.1}s — CSVs in {}",
+        t0.elapsed().as_secs_f64(),
+        args.out.display()
+    );
 }

@@ -11,9 +11,9 @@
 //! CSV writers serialize, so integration tests can assert the paper's
 //! qualitative claims (who wins, by roughly what factor) directly.
 
-use replidedup_core::{dump_output, DumpConfig, DumpContext, Strategy, WorldDumpStats};
+use replidedup_core::{DumpConfig, Replicator, Strategy, WorldDumpStats};
 use replidedup_hash::Sha1ChunkHasher;
-use replidedup_mpi::World;
+use replidedup_mpi::{World, WorldConfig, WorldTrace};
 use replidedup_sim::{AppScenario, ClusterModel, DumpMeasurement, CM1, HPCCG};
 use replidedup_storage::{Cluster, Placement};
 
@@ -37,15 +37,46 @@ pub struct DumpRun {
 pub fn dump_world(buffers: &[Vec<u8>], cfg: DumpConfig) -> DumpRun {
     let n = buffers.len() as u32;
     let cluster = Cluster::new(Placement::pack(n, RANKS_PER_NODE));
+    let repl = Replicator::builder(cfg.strategy)
+        .with_config(cfg)
+        .cluster(&cluster)
+        .hasher(&Sha1ChunkHasher)
+        .build()
+        .expect("experiment configs are valid");
     let out = World::run(n, |comm| {
-        let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-        dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump succeeds")
+        repl.dump(comm, 1, &buffers[comm.rank() as usize])
+            .expect("dump succeeds")
     });
     DumpRun {
         stats: WorldDumpStats::from_ranks(cfg.strategy, cfg.chunk_size, out.results),
         cluster_unique_bytes: cluster.total_unique_bytes(),
         cluster_device_bytes: cluster.total_device_bytes(),
     }
+}
+
+/// Run one collective dump with per-rank phase tracing switched on;
+/// returns the run plus the world-aggregated trace (min/median/max per
+/// Algorithm-1 phase across ranks).
+pub fn dump_world_traced(buffers: &[Vec<u8>], cfg: DumpConfig) -> (DumpRun, WorldTrace) {
+    let n = buffers.len() as u32;
+    let cluster = Cluster::new(Placement::pack(n, RANKS_PER_NODE));
+    let repl = Replicator::builder(cfg.strategy)
+        .with_config(cfg)
+        .cluster(&cluster)
+        .hasher(&Sha1ChunkHasher)
+        .build()
+        .expect("experiment configs are valid");
+    let out = World::run_with(n, &WorldConfig::traced(), |comm| {
+        repl.dump(comm, 1, &buffers[comm.rank() as usize])
+            .expect("dump succeeds")
+    });
+    let trace = out.trace.expect("tracing was enabled");
+    let run = DumpRun {
+        stats: WorldDumpStats::from_ranks(cfg.strategy, cfg.chunk_size, out.results),
+        cluster_unique_bytes: cluster.total_unique_bytes(),
+        cluster_device_bytes: cluster.total_device_bytes(),
+    };
+    (run, trace)
 }
 
 fn scenario_of(app: AppKind) -> AppScenario {
@@ -71,7 +102,8 @@ pub fn modeled_dump_seconds(app: AppKind, stats: &WorldDumpStats, f_threshold: u
 }
 
 /// Strategy set of the evaluation, in the paper's order.
-pub const STRATEGIES: [Strategy; 3] = [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
+pub const STRATEGIES: [Strategy; 3] =
+    [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
 
 // ------------------------------------------------------------------
 // Figure 2 — partner-selection worked example
@@ -94,10 +126,20 @@ pub fn fig2() -> Fig2 {
     use replidedup_core::{identity_shuffle, rank_shuffle, window_plan};
     let heavy = vec![0u64, 100, 100];
     let light = vec![0u64, 10, 10];
-    let loads =
-        vec![heavy.clone(), heavy, light.clone(), light.clone(), light.clone(), light];
+    let loads = vec![
+        heavy.clone(),
+        heavy,
+        light.clone(),
+        light.clone(),
+        light.clone(),
+        light,
+    ];
     let max_recv = |shuffle: &[u32]| {
-        window_plan(shuffle, &loads, 3).recv_counts.into_iter().max().unwrap_or(0)
+        window_plan(shuffle, &loads, 3)
+            .recv_counts
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     };
     let shuffled = rank_shuffle(&loads, 3);
     Fig2 {
@@ -125,8 +167,13 @@ pub struct Fig3aRow {
 impl Fig3aRow {
     /// Unique content as a percentage of the dataset, per strategy.
     pub fn percent(&self) -> [f64; 3] {
-        self.unique_bytes
-            .map(|u| if self.total_bytes == 0 { 0.0 } else { 100.0 * u as f64 / self.total_bytes as f64 })
+        self.unique_bytes.map(|u| {
+            if self.total_bytes == 0 {
+                0.0
+            } else {
+                100.0 * u as f64 / self.total_bytes as f64
+            }
+        })
     }
 }
 
@@ -151,7 +198,11 @@ pub fn fig3a(proc_scale: f64) -> Vec<Fig3aRow> {
                 unique[i] = run.stats.unique_content_bytes();
                 total = run.stats.total_data_bytes();
             }
-            Fig3aRow { config: format!("{}-{procs}", app.label()), total_bytes: total, unique_bytes: unique }
+            Fig3aRow {
+                config: format!("{}-{procs}", app.label()),
+                total_bytes: total,
+                unique_bytes: unique,
+            }
         })
         .collect()
 }
@@ -201,7 +252,11 @@ pub fn fig3bc(app: AppKind, proc_scale: f64) -> Vec<Fig3bcRow> {
                     local = t.hash; // local dedup = hashing only, scale free
                 }
             }
-            Fig3bcRow { procs, local_seconds: local, coll_seconds: coll }
+            Fig3bcRow {
+                procs,
+                local_seconds: local,
+                coll_seconds: coll,
+            }
         })
         .collect()
 }
@@ -244,7 +299,11 @@ pub fn tab1(app: AppKind, proc_scale: f64) -> Vec<Tab1Row> {
                 let dump_s = modeled_dump_seconds(app, &run.stats, cfg.f_threshold as u64);
                 completion[i] = scenario.completion_time(procs, dump_s);
             }
-            Tab1Row { procs, completion, baseline: scenario.baseline.time(procs) }
+            Tab1Row {
+                procs,
+                completion,
+                baseline: scenario.baseline.time(procs),
+            }
         })
         .collect()
 }
@@ -286,7 +345,12 @@ pub fn fig_k_sweep(app: AppKind, proc_scale: f64) -> Vec<FigKRow> {
                 avg_sent[i] = run.stats.avg_sent_bytes() * scale;
                 max_sent[i] = run.stats.max_sent_bytes() as f64 * scale;
             }
-            FigKRow { k, overhead_seconds: overhead, avg_sent, max_sent }
+            FigKRow {
+                k,
+                overhead_seconds: overhead,
+                avg_sent,
+                max_sent,
+            }
         })
         .collect()
 }
@@ -334,7 +398,11 @@ pub fn fig_shuffle(app: AppKind, proc_scale: f64) -> Vec<FigShuffleRow> {
                 let scale = scenario.scale_from(measured_bytes_per_rank(&run.stats).max(1));
                 max_recv[i] = run.stats.max_recv_bytes() as f64 * scale;
             }
-            FigShuffleRow { k, no_shuffle_max_recv: max_recv[0], shuffle_max_recv: max_recv[1] }
+            FigShuffleRow {
+                k,
+                no_shuffle_max_recv: max_recv[0],
+                shuffle_max_recv: max_recv[1],
+            }
         })
         .collect()
 }

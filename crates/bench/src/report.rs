@@ -31,7 +31,10 @@ pub struct Table {
 impl Table {
     /// New table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).
@@ -81,9 +84,21 @@ impl Table {
                 s.to_string()
             }
         };
-        writeln!(f, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
         for row in &self.rows {
-            writeln!(f, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","))?;
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            )?;
         }
         f.flush()
     }
@@ -93,7 +108,10 @@ impl Table {
 pub fn fig2_table(f: &Fig2) -> Table {
     let mut t = Table::new(&["selection", "max receive (chunks)"]);
     t.row(vec!["naive".into(), f.naive_max.to_string()]);
-    t.row(vec![format!("load-aware {:?}", f.shuffle), f.shuffled_max.to_string()]);
+    t.row(vec![
+        format!("load-aware {:?}", f.shuffle),
+        f.shuffled_max.to_string(),
+    ]);
     t
 }
 
@@ -125,7 +143,13 @@ pub fn fig3a_table(rows: &[Fig3aRow]) -> Table {
 
 /// Figures 3(b)/(c) as a table.
 pub fn fig3bc_table(rows: &[Fig3bcRow]) -> Table {
-    let mut t = Table::new(&["procs", "local-dedup (s)", "coll K=2 (s)", "coll K=4 (s)", "coll K=6 (s)"]);
+    let mut t = Table::new(&[
+        "procs",
+        "local-dedup (s)",
+        "coll K=2 (s)",
+        "coll K=4 (s)",
+        "coll K=6 (s)",
+    ]);
     for r in rows {
         t.row(vec![
             r.procs.to_string(),
@@ -140,7 +164,13 @@ pub fn fig3bc_table(rows: &[Fig3bcRow]) -> Table {
 
 /// Table I as a table.
 pub fn tab1_table(rows: &[Tab1Row]) -> Table {
-    let mut t = Table::new(&["# of processes", "no-dedup", "local-dedup", "coll-dedup", "baseline"]);
+    let mut t = Table::new(&[
+        "# of processes",
+        "no-dedup",
+        "local-dedup",
+        "coll-dedup",
+        "baseline",
+    ]);
     for r in rows {
         t.row(vec![
             r.procs.to_string(),
@@ -166,7 +196,11 @@ pub fn fig_k_table(rows: &[FigKRow]) -> Table {
     ]);
     for r in rows {
         let sent = |i: usize| {
-            format!("{} / {}", human_bytes(r.avg_sent[i]), human_bytes(r.max_sent[i]))
+            format!(
+                "{} / {}",
+                human_bytes(r.avg_sent[i]),
+                human_bytes(r.max_sent[i])
+            )
         };
         t.row(vec![
             r.k.to_string(),
@@ -183,7 +217,12 @@ pub fn fig_k_table(rows: &[FigKRow]) -> Table {
 
 /// Figures 4(c)/5(c) as a table.
 pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
-    let mut t = Table::new(&["K", "no-shuffle max recv", "shuffle max recv", "reduction %"]);
+    let mut t = Table::new(&[
+        "K",
+        "no-shuffle max recv",
+        "shuffle max recv",
+        "reduction %",
+    ]);
     for r in rows {
         t.row(vec![
             r.k.to_string(),

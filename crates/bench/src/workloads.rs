@@ -55,7 +55,13 @@ impl AppKind {
 /// Laptop-scale HPCCG sub-block (≈ 90 pages of checkpoint per rank; the
 /// paper's 150³ is reached through the cost model's scale factor).
 pub fn hpccg_config() -> HpccgConfig {
-    HpccgConfig { nx: 10, ny: 10, nz: 10, slack_factor: 1.5, private_factor: 0.16 }
+    HpccgConfig {
+        nx: 10,
+        ny: 10,
+        nz: 10,
+        slack_factor: 1.5,
+        private_factor: 0.16,
+    }
 }
 
 /// Laptop-scale CM1 workload (~32 pages of checkpoint per rank).
@@ -130,7 +136,10 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         let pages = bufs[2].len() / 4096;
-        assert!(same * 10 >= pages * 7, "only {same}/{pages} pages shared between interior ranks");
+        assert!(
+            same * 10 >= pages * 7,
+            "only {same}/{pages} pages shared between interior ranks"
+        );
         assert_ne!(bufs[0], bufs[2]);
     }
 
@@ -178,13 +187,19 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         let pages = bufs[0].len() / 4096;
-        assert!(same * 10 >= pages * 8, "only {same}/{pages} pages shared between far ranks");
+        assert!(
+            same * 10 >= pages * 8,
+            "only {same}/{pages} pages shared between far ranks"
+        );
         assert_ne!(bufs[3], bufs[0], "vortex ranks differ");
     }
 
     #[test]
     fn synthetic_buffers_match_generator() {
-        let w = SyntheticWorkload { chunk_size: 64, ..Default::default() };
+        let w = SyntheticWorkload {
+            chunk_size: 64,
+            ..Default::default()
+        };
         let bufs = make_buffers(AppKind::Synthetic(w), 3);
         assert_eq!(bufs[1], w.generate(1));
     }

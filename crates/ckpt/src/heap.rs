@@ -50,7 +50,12 @@ impl TrackedHeap {
     /// If `page_size` is zero.
     pub fn new(page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
-        Self { page_size, arena: Vec::new(), regions: Vec::new(), dirty: Vec::new() }
+        Self {
+            page_size,
+            arena: Vec::new(),
+            regions: Vec::new(),
+            dirty: Vec::new(),
+        }
     }
 
     /// Page size of this heap.
@@ -66,7 +71,11 @@ impl TrackedHeap {
         self.arena.resize(self.arena.len() + padded, 0);
         let pages = padded / self.page_size;
         self.dirty.extend(std::iter::repeat_n(true, pages));
-        self.regions.push(Region { offset, len: len as u64, live: true });
+        self.regions.push(Region {
+            offset,
+            len: len as u64,
+            live: true,
+        });
         RegionId(self.regions.len() as u32 - 1)
     }
 
@@ -212,7 +221,12 @@ impl TrackedHeap {
             }
         }
         let pages = arena.len() / page_size;
-        Ok(Self { page_size, arena, regions, dirty: vec![false; pages] })
+        Ok(Self {
+            page_size,
+            arena,
+            regions,
+            dirty: vec![false; pages],
+        })
     }
 }
 

@@ -6,7 +6,7 @@
 //! its runtime and then pass them to the DUMP_OUTPUT primitive when a
 //! checkpoint is desired."
 
-use replidedup_core::{dump_output, restore_output, DumpConfig, DumpContext, DumpError, DumpStats, RestoreError};
+use replidedup_core::{DumpConfig, DumpError, DumpStats, ReplError, Replicator, RestoreError};
 use replidedup_hash::ChunkHasher;
 use replidedup_mpi::Comm;
 use replidedup_storage::{Cluster, DumpId};
@@ -53,7 +53,13 @@ impl<'a> CheckpointRuntime<'a> {
         hasher: &'a (dyn ChunkHasher + Sync),
         config: DumpConfig,
     ) -> Self {
-        Self { cluster, hasher, config, next_dump: 1, history: Vec::new() }
+        Self {
+            cluster,
+            hasher,
+            config,
+            next_dump: 1,
+            history: Vec::new(),
+        }
     }
 
     /// The dump configuration in use.
@@ -66,12 +72,34 @@ impl<'a> CheckpointRuntime<'a> {
         (self.next_dump > 1).then(|| self.next_dump - 1)
     }
 
+    /// The replication session this runtime drives (config is validated
+    /// once per call; `new()` stays infallible for API compatibility).
+    fn replicator(&self) -> Result<Replicator<'a>, DumpError> {
+        Ok(Replicator::builder(self.config.strategy)
+            .with_config(self.config)
+            .cluster(self.cluster)
+            .hasher(self.hasher)
+            .build()?)
+    }
+
     /// Collective: capture the heap and dump it with the configured
     /// strategy. All ranks must call together.
-    pub fn checkpoint(&mut self, comm: &mut Comm, heap: &mut TrackedHeap) -> Result<DumpStats, DumpError> {
+    pub fn checkpoint(
+        &mut self,
+        comm: &mut Comm,
+        heap: &mut TrackedHeap,
+    ) -> Result<DumpStats, DumpError> {
+        let repl = self.replicator()?;
         let snapshot = heap.snapshot_bytes();
-        let ctx = DumpContext { cluster: self.cluster, hasher: self.hasher, dump_id: self.next_dump };
-        let stats = dump_output(comm, &ctx, &snapshot, &self.config)?;
+        comm.tracer().enter("ckpt_checkpoint");
+        let result = repl.dump(comm, self.next_dump, &snapshot);
+        comm.tracer().exit("ckpt_checkpoint");
+        let stats = result.map_err(|e| match e {
+            ReplError::Config(c) => DumpError::Config(c),
+            ReplError::Dump(d) => d,
+            // restore errors cannot come out of a dump
+            other => panic!("unexpected dump failure: {other}"),
+        })?;
         self.next_dump += 1;
         heap.clear_dirty();
         self.history.push(stats.clone());
@@ -79,9 +107,23 @@ impl<'a> CheckpointRuntime<'a> {
     }
 
     /// Collective: restore the heap from checkpoint `dump_id`.
-    pub fn restart_from(&self, comm: &mut Comm, dump_id: DumpId) -> Result<TrackedHeap, RestartError> {
-        let ctx = DumpContext { cluster: self.cluster, hasher: self.hasher, dump_id };
-        let bytes = restore_output(comm, &ctx, self.config.strategy)?;
+    pub fn restart_from(
+        &self,
+        comm: &mut Comm,
+        dump_id: DumpId,
+    ) -> Result<TrackedHeap, RestartError> {
+        let repl = match self.replicator() {
+            Ok(r) => r,
+            Err(DumpError::Config(c)) => return Err(RestartError::Config(c)),
+            Err(other) => panic!("unexpected build failure: {other}"),
+        };
+        comm.tracer().enter("ckpt_restart");
+        let bytes = repl.restore(comm, dump_id);
+        comm.tracer().exit("ckpt_restart");
+        let bytes = bytes.map_err(|e| match e {
+            ReplError::Restore(r) => RestartError::Restore(r),
+            other => panic!("unexpected restore failure: {other}"),
+        })?;
         TrackedHeap::restore_bytes(&bytes).map_err(RestartError::Corrupt)
     }
 
@@ -94,9 +136,12 @@ impl<'a> CheckpointRuntime<'a> {
 
 /// Restart failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RestartError {
     /// No checkpoint has been taken yet.
     NoCheckpoint,
+    /// The runtime's dump configuration is invalid.
+    Config(replidedup_core::ConfigError),
     /// The collective restore failed.
     Restore(RestoreError),
     /// The restored bytes do not parse as a heap snapshot.
@@ -107,13 +152,22 @@ impl std::fmt::Display for RestartError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RestartError::NoCheckpoint => write!(f, "no checkpoint taken yet"),
+            RestartError::Config(e) => write!(f, "invalid checkpoint config: {e}"),
             RestartError::Restore(e) => write!(f, "restore failed: {e}"),
             RestartError::Corrupt(msg) => write!(f, "corrupt heap snapshot: {msg}"),
         }
     }
 }
 
-impl std::error::Error for RestartError {}
+impl std::error::Error for RestartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestartError::Config(e) => Some(e),
+            RestartError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<RestoreError> for RestartError {
     fn from(e: RestoreError) -> Self {
@@ -157,7 +211,7 @@ mod tests {
         let out = World::run(4, |comm| {
             let mut heap = TrackedHeap::new(64);
             let r = heap.alloc(200);
-            heap.write(r, 0, &vec![comm.rank() as u8 + 1; 200]);
+            heap.write(r, 0, &[comm.rank() as u8 + 1; 200]);
             let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
             assert!(rt.latest_dump_id().is_none());
             let stats = rt.checkpoint(comm, &mut heap).unwrap();
@@ -182,7 +236,10 @@ mod tests {
             let rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
             rt.restart(comm).err()
         });
-        assert!(out.results.iter().all(|e| *e == Some(RestartError::NoCheckpoint)));
+        assert!(out
+            .results
+            .iter()
+            .all(|e| *e == Some(RestartError::NoCheckpoint)));
     }
 
     #[test]
@@ -217,7 +274,7 @@ mod tests {
         let out = World::run(3, |comm| {
             let mut heap = TrackedHeap::new(64);
             let r = heap.alloc(128);
-            heap.write(r, 0, &vec![comm.rank() as u8 + 10; 128]);
+            heap.write(r, 0, &[comm.rank() as u8 + 10; 128]);
             let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
             rt.checkpoint(comm, &mut heap).unwrap();
             comm.barrier();

@@ -1,10 +1,55 @@
 //! Configuration of the collective dump.
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dump configuration rejected at build/validation time.
+///
+/// Produced by [`DumpConfig::validate`] and by
+/// [`crate::ReplicatorBuilder::build`], so malformed parameters surface as
+/// typed errors before any collective starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `K = 0`: at least the local copy is required.
+    ZeroReplication,
+    /// `chunk_size = 0`: chunks must hold at least one byte.
+    ZeroChunkSize,
+    /// `chunk_size` does not fit the `u32` record header used on the wire.
+    ChunkSizeOverflow {
+        /// The rejected chunk size.
+        chunk_size: usize,
+    },
+    /// `F = 0`: the reduction must be allowed to keep fingerprints.
+    ZeroFThreshold,
+    /// No [`replidedup_storage::Cluster`] was supplied to the builder.
+    MissingCluster,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroReplication => write!(f, "replication factor must be at least 1"),
+            ConfigError::ZeroChunkSize => write!(f, "chunk_size must be positive"),
+            ConfigError::ChunkSizeOverflow { chunk_size } => {
+                write!(f, "chunk_size {chunk_size} must fit in a u32 record header")
+            }
+            ConfigError::ZeroFThreshold => write!(f, "f_threshold must be positive"),
+            ConfigError::MissingCluster => {
+                write!(
+                    f,
+                    "a target cluster is required: call .cluster(..) before .build()"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which replication scheme to run — the three settings of the paper's
 /// evaluation (Section V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Strategy {
     /// `no-dedup`: full replication. Every chunk is stored locally and sent
     /// to `K-1` partners; no redundancy elimination at all.
@@ -31,7 +76,12 @@ impl Strategy {
 }
 
 /// Parameters of one `DUMP_OUTPUT` collective.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+///
+/// Construct via [`DumpConfig::paper_defaults`] and the `with_*` builders
+/// (the struct is `#[non_exhaustive]`), or go through
+/// [`crate::Replicator::builder`], which validates at build time.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct DumpConfig {
     /// Replication scheme.
     pub strategy: Strategy,
@@ -46,7 +96,7 @@ pub struct DumpConfig {
     /// Load-aware partner selection (Algorithm 2). `false` gives the
     /// `coll-no-shuffle` ablation / the naive ring of the baselines.
     pub shuffle: bool,
-    /// Hash chunks with rayon inside each rank.
+    /// Hash chunks across all cores inside each rank.
     pub parallel_hash: bool,
 }
 
@@ -88,19 +138,27 @@ impl DumpConfig {
         self
     }
 
+    /// Builder-style: enable or disable intra-rank parallel hashing.
+    pub fn with_parallel_hash(mut self, parallel: bool) -> Self {
+        self.parallel_hash = parallel;
+        self
+    }
+
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.replication == 0 {
-            return Err("replication factor must be at least 1".into());
+            return Err(ConfigError::ZeroReplication);
         }
         if self.chunk_size == 0 {
-            return Err("chunk_size must be positive".into());
+            return Err(ConfigError::ZeroChunkSize);
         }
         if self.chunk_size > u32::MAX as usize {
-            return Err("chunk_size must fit in a u32 record header".into());
+            return Err(ConfigError::ChunkSizeOverflow {
+                chunk_size: self.chunk_size,
+            });
         }
         if self.f_threshold == 0 {
-            return Err("f_threshold must be positive".into());
+            return Err(ConfigError::ZeroFThreshold);
         }
         Ok(())
     }
@@ -145,9 +203,34 @@ mod tests {
     #[test]
     fn validation_catches_bad_params() {
         let base = DumpConfig::paper_defaults(Strategy::CollDedup);
-        assert!(base.with_replication(0).validate().is_err());
-        assert!(base.with_chunk_size(0).validate().is_err());
-        assert!(base.with_f_threshold(0).validate().is_err());
+        assert_eq!(
+            base.with_replication(0).validate(),
+            Err(ConfigError::ZeroReplication)
+        );
+        assert_eq!(
+            base.with_chunk_size(0).validate(),
+            Err(ConfigError::ZeroChunkSize)
+        );
+        assert_eq!(
+            base.with_f_threshold(0).validate(),
+            Err(ConfigError::ZeroFThreshold)
+        );
+        assert_eq!(
+            base.with_chunk_size(u32::MAX as usize + 1).validate(),
+            Err(ConfigError::ChunkSizeOverflow {
+                chunk_size: u32::MAX as usize + 1
+            })
+        );
         assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn config_error_display_is_informative() {
+        assert!(ConfigError::ZeroReplication
+            .to_string()
+            .contains("replication"));
+        assert!(ConfigError::ChunkSizeOverflow { chunk_size: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

@@ -48,9 +48,10 @@ pub struct DumpContext<'a> {
 /// completion on every rank (so no rank deadlocks); the error reports what
 /// went wrong locally.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DumpError {
     /// Invalid configuration (same on all ranks — configs are SPMD).
-    Config(String),
+    Config(crate::ConfigError),
     /// The local node's storage failed during commit.
     Storage(StorageError),
 }
@@ -58,13 +59,20 @@ pub enum DumpError {
 impl std::fmt::Display for DumpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DumpError::Config(msg) => write!(f, "invalid dump config: {msg}"),
+            DumpError::Config(e) => write!(f, "invalid dump config: {e}"),
             DumpError::Storage(e) => write!(f, "storage failure during dump: {e}"),
         }
     }
 }
 
-impl std::error::Error for DumpError {}
+impl std::error::Error for DumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DumpError::Config(e) => Some(e),
+            DumpError::Storage(e) => Some(e),
+        }
+    }
+}
 
 impl From<StorageError> for DumpError {
     fn from(e: StorageError) -> Self {
@@ -72,15 +80,34 @@ impl From<StorageError> for DumpError {
     }
 }
 
+impl From<crate::ConfigError> for DumpError {
+    fn from(e: crate::ConfigError) -> Self {
+        DumpError::Config(e)
+    }
+}
+
 /// The collective dump primitive. Must be called by every rank of the
 /// world with the same configuration and dump id.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `replidedup_core::Replicator` and call `.dump()`"
+)]
 pub fn dump_output(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
     buf: &[u8],
     cfg: &DumpConfig,
 ) -> Result<DumpStats, DumpError> {
-    cfg.validate().map_err(DumpError::Config)?;
+    dump_impl(comm, ctx, buf, cfg)
+}
+
+pub(crate) fn dump_impl(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    buf: &[u8],
+    cfg: &DumpConfig,
+) -> Result<DumpStats, DumpError> {
+    cfg.validate()?;
     let me = comm.rank();
     let n = comm.size();
     let k = cfg.replication.min(n);
@@ -100,6 +127,11 @@ pub fn dump_output(
         Err(e) => storage_err = storage_err.take().or(Some(e)),
     };
 
+    comm.tracer()
+        .gauge_bytes("dump_buffer_bytes", buf.len() as u64);
+    comm.tracer()
+        .counter("dump_chunks_total", stats.chunks_total);
+
     // ---- Phase 1+2: dedup (strategy dependent) -------------------------
     // `keep_indices` / `send_indices` are chunk indices into `buf`;
     // `fps_of` yields the record fingerprint for a chunk index.
@@ -107,6 +139,7 @@ pub fn dump_output(
     let view: Option<GlobalView>;
     let keep_indices: Vec<u32>;
     let send_indices: Vec<Vec<u32>>;
+    comm.tracer().enter("local_dedup");
     match cfg.strategy {
         Strategy::NoDedup => {
             // No hashing at all: the raw buffer is the unit of storage.
@@ -120,18 +153,26 @@ pub fn dump_output(
             stats.chunks_kept = stats.chunks_total;
             stats.chunks_uncovered = stats.chunks_total;
             stats.bytes_uncovered = buf.len() as u64;
+            comm.tracer().exit("local_dedup");
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
             let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
             stats.bytes_hashed = buf.len() as u64;
             stats.chunks_locally_unique = idx.unique_count() as u64;
             stats.bytes_locally_unique = idx.unique_bytes(buf.len());
+            comm.tracer()
+                .counter("chunks_locally_unique", stats.chunks_locally_unique);
+            comm.tracer().exit("local_dedup");
 
             let g = if cfg.strategy == Strategy::CollDedup {
+                comm.tracer().enter("hmerge_reduce");
                 let leaf = GlobalView::from_local(me, idx.unique.keys().copied(), cfg.f_threshold);
                 let coll_before = comm.traffic().coll_sent;
                 let g = reduce_global_view(comm, leaf, k, cfg.f_threshold);
                 let traffic = comm.traffic().coll_sent - coll_before;
+                comm.tracer().exit("hmerge_reduce");
+                comm.tracer().counter("view_entries", g.len() as u64);
+                comm.tracer().gauge_bytes("hmerge_traffic_bytes", traffic);
                 stats.reduction = Some(ReductionStats {
                     view_entries: g.len() as u64,
                     view_bytes: g.to_bytes().len() as u64,
@@ -176,13 +217,23 @@ pub fn dump_output(
     let mut load: Vec<u64> = Vec::with_capacity(k as usize);
     load.push(keep_indices.len() as u64);
     load.extend(send_indices.iter().map(|l| l.len() as u64));
+    comm.tracer().enter("load_allgather");
     let send_load: Vec<Vec<u64>> = comm.allgather(load);
-    let shuffle =
-        if cfg.shuffle { rank_shuffle(&send_load, k) } else { identity_shuffle(n) };
+    comm.tracer().exit("load_allgather");
+    comm.tracer().enter("rank_shuffle");
+    let shuffle = if cfg.shuffle {
+        rank_shuffle(&send_load, k)
+    } else {
+        identity_shuffle(n)
+    };
     let positions = positions_of(&shuffle);
+    comm.tracer().exit("rank_shuffle");
+    comm.tracer().enter("calc_off");
     let wplan = window_plan(&shuffle, &send_load, k);
+    comm.tracer().exit("calc_off");
 
     // ---- Single-sided exchange ------------------------------------------
+    comm.tracer().enter("exchange");
     let cell = record_size(chunk_size);
     let win = comm.win_create(wplan.recv_counts[me as usize] as usize * cell);
     let chunk_bytes = |i: u32| {
@@ -204,22 +255,34 @@ pub fn dump_output(
             encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
         }
         stats.bytes_sent_replication += payload.len() as u64;
-        win.put(target, wplan.send_offsets[me as usize][jm1] as usize * cell, &payload);
+        win.put(
+            target,
+            wplan.send_offsets[me as usize][jm1] as usize * cell,
+            &payload,
+        );
     }
     win.fence(comm);
+    comm.tracer().exit("exchange");
+    comm.tracer()
+        .gauge_bytes("bytes_sent_replication", stats.bytes_sent_replication);
 
     // ---- Commit: own data -----------------------------------------------
+    comm.tracer().enter("commit");
     match cfg.strategy {
         Strategy::NoDedup => {
             let blob = Bytes::copy_from_slice(buf);
             let len = blob.len() as u64;
             record_storage(
-                ctx.cluster.put_blob(node, me, ctx.dump_id, blob).map(|()| len),
+                ctx.cluster
+                    .put_blob(node, me, ctx.dump_id, blob)
+                    .map(|()| len),
                 &mut stats.bytes_written_local,
             );
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
-            let idx = local.as_ref().expect("dedup strategies build a local index");
+            let idx = local
+                .as_ref()
+                .expect("dedup strategies build a local index");
             for &i in &keep_indices {
                 let fp = idx.in_order[i as usize];
                 let data = Bytes::copy_from_slice(chunk_bytes(i));
@@ -265,8 +328,9 @@ pub fn dump_output(
             let region = &window[start..start + count * cell];
             stats.bytes_received_replication += region.len() as u64;
             stats.records_received += count as u64;
-            let records = parse_records(region, chunk_size, count)
-                .unwrap_or_else(|e| panic!("rank {me}: corrupt exchange region from {sender}: {e}"));
+            let records = parse_records(region, chunk_size, count).unwrap_or_else(|e| {
+                panic!("rank {me}: corrupt exchange region from {sender}: {e}")
+            });
             match cfg.strategy {
                 Strategy::NoDedup => {
                     // Region payloads concatenate to the sender's raw buffer.
@@ -304,12 +368,18 @@ pub fn dump_output(
         for d in 1..k as usize {
             let sender = shuffle[(p + n as usize - d) % n as usize];
             let m: Manifest = comm.recv_val(sender, TAG_MANIFEST);
-            record_storage(ctx.cluster.put_manifest(node, m).map(|()| 0), &mut stats.bytes_written_local);
+            record_storage(
+                ctx.cluster.put_manifest(node, m).map(|()| 0),
+                &mut stats.bytes_written_local,
+            );
         }
     }
 
     // The dump completes only when every rank has saved everything.
     comm.barrier();
+    comm.tracer().exit("commit");
+    comm.tracer()
+        .gauge_bytes("bytes_written_local", stats.bytes_written_local);
     drop(view);
     match storage_err {
         Some(e) => Err(e.into()),
@@ -318,6 +388,7 @@ pub fn dump_output(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated free functions must keep passing
 mod tests {
     use super::*;
     use replidedup_hash::Sha1ChunkHasher;
@@ -336,7 +407,11 @@ mod tests {
             .with_chunk_size(64)
             .with_f_threshold(1 << 12);
         let out = World::run(n, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
             let buf = mk_buf(comm.rank());
             dump_output(comm, &ctx, &buf, &cfg).expect("dump succeeds")
         });
@@ -384,7 +459,10 @@ mod tests {
         // same chunks on more nodes than coll-dedup.
         let coll_sent: u64 = stats.iter().map(|s| s.total_chunks_sent()).sum();
         let local_sent: u64 = stats_l.iter().map(|s| s.total_chunks_sent()).sum();
-        assert!(local_sent > coll_sent, "local {local_sent} vs coll {coll_sent}");
+        assert!(
+            local_sent > coll_sent,
+            "local {local_sent} vs coll {coll_sent}"
+        );
         assert!(cluster_l.total_unique_bytes() >= cluster.total_unique_bytes());
     }
 
@@ -397,9 +475,7 @@ mod tests {
         }
         // Each node holds its own blob plus 2 partner blobs.
         for rank in 0..4u32 {
-            let holders = (0..4)
-                .filter(|&nd| cluster.has_blob(nd, rank, 1))
-                .count();
+            let holders = (0..4).filter(|&nd| cluster.has_blob(nd, rank, 1)).count();
             assert_eq!(holders, 3, "rank {rank} blob must exist on K=3 nodes");
         }
         assert_eq!(cluster.total_device_bytes(), 4 * 256 * 3);
@@ -416,7 +492,11 @@ mod tests {
             };
             assert_eq!(logical, 5 * 256 * 3, "{strategy:?}");
             for s in &stats {
-                assert_eq!(s.total_chunks_sent(), 8, "{strategy:?}: 4 chunks × 2 partners");
+                assert_eq!(
+                    s.total_chunks_sent(),
+                    8,
+                    "{strategy:?}: 4 chunks × 2 partners"
+                );
             }
         }
     }
@@ -439,7 +519,11 @@ mod tests {
             );
             for rank in 0..5u32 {
                 let fp = Sha1ChunkHasher.fingerprint(&[rank as u8 + 1; 64]);
-                assert_eq!(cluster.copies_of(&fp), 3, "{strategy:?}: private chunk of {rank}");
+                assert_eq!(
+                    cluster.copies_of(&fp),
+                    3,
+                    "{strategy:?}: private chunk of {rank}"
+                );
             }
         }
     }
@@ -448,7 +532,9 @@ mod tests {
     fn manifests_are_replicated_to_partners() {
         let (_, cluster) = run_dump(4, Strategy::CollDedup, 3, private_buffer);
         for rank in 0..4u32 {
-            let holders = (0..4).filter(|&nd| cluster.get_manifest(nd, rank, 1).is_ok()).count();
+            let holders = (0..4)
+                .filter(|&nd| cluster.get_manifest(nd, rank, 1).is_ok())
+                .count();
             assert_eq!(holders, 3, "manifest of rank {rank}");
         }
     }
@@ -504,14 +590,21 @@ mod tests {
             .with_replication(2)
             .with_chunk_size(64);
         let out = World::run(3, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
             let buf = vec![comm.rank() as u8; 128];
             dump_output(comm, &ctx, &buf, &cfg)
         });
         // Rank 1's node is down: it errors; the others still complete
         // (no deadlock, no panic).
         assert!(out.results[0].is_ok());
-        assert!(matches!(out.results[1], Err(DumpError::Storage(StorageError::NodeDown(1)))));
+        assert!(matches!(
+            out.results[1],
+            Err(DumpError::Storage(StorageError::NodeDown(1)))
+        ));
         assert!(out.results[2].is_ok());
     }
 
@@ -522,7 +615,11 @@ mod tests {
             .with_replication(3)
             .with_chunk_size(64);
         let out = World::run(4, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
             let buf = private_buffer(comm.rank());
             let stats = dump_output(comm, &ctx, &buf, &cfg).unwrap();
             (stats, comm.traffic())

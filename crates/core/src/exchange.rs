@@ -20,7 +20,11 @@ pub const fn record_size(chunk_size: usize) -> usize {
 
 /// Append one record to `out`. `data` must fit in `chunk_size`.
 pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_size: usize) {
-    assert!(data.len() <= chunk_size, "chunk of {} exceeds chunk size {chunk_size}", data.len());
+    assert!(
+        data.len() <= chunk_size,
+        "chunk of {} exceeds chunk size {chunk_size}",
+        data.len()
+    );
     out.extend_from_slice(fp.as_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out.extend_from_slice(data);
@@ -71,9 +75,12 @@ pub fn parse_records(
         let Some(record) = buf.get(start..start + cell) else {
             return Err(RecordError::Truncated { at: i });
         };
-        let fp = Fingerprint::from_bytes(record[..Fingerprint::SIZE].try_into().expect("fixed slice"));
+        let fp =
+            Fingerprint::from_bytes(record[..Fingerprint::SIZE].try_into().expect("fixed slice"));
         let len = u32::from_le_bytes(
-            record[Fingerprint::SIZE..RECORD_HEADER].try_into().expect("fixed slice"),
+            record[Fingerprint::SIZE..RECORD_HEADER]
+                .try_into()
+                .expect("fixed slice"),
         );
         if len as usize > chunk_size {
             return Err(RecordError::BadLength { at: i, len });
@@ -115,7 +122,10 @@ mod tests {
     fn truncated_region_errors() {
         let mut buf = Vec::new();
         encode_record(&mut buf, &fp(1), &[1; 8], 8);
-        assert_eq!(parse_records(&buf, 8, 2), Err(RecordError::Truncated { at: 1 }));
+        assert_eq!(
+            parse_records(&buf, 8, 2),
+            Err(RecordError::Truncated { at: 1 })
+        );
     }
 
     #[test]
@@ -123,7 +133,10 @@ mod tests {
         let mut buf = Vec::new();
         encode_record(&mut buf, &fp(1), &[1; 8], 8);
         buf[Fingerprint::SIZE] = 0xFF; // corrupt the length field
-        assert!(matches!(parse_records(&buf, 8, 1), Err(RecordError::BadLength { at: 0, .. })));
+        assert!(matches!(
+            parse_records(&buf, 8, 1),
+            Err(RecordError::BadLength { at: 0, .. })
+        ));
     }
 
     #[test]
@@ -141,6 +154,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(RecordError::Truncated { at: 3 }.to_string().contains('3'));
-        assert!(RecordError::BadLength { at: 0, len: 99 }.to_string().contains("99"));
+        assert!(RecordError::BadLength { at: 0, len: 99 }
+            .to_string()
+            .contains("99"));
     }
 }

@@ -25,7 +25,7 @@
 use replidedup_hash::Fingerprint;
 use replidedup_mpi::wire::{Wire, WireError, WireResult};
 use replidedup_mpi::{Comm, Rank};
-use rustc_hash::FxHashMap;
+use std::collections::HashMap;
 
 /// One fingerprint's global record: frequency and designated ranks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +67,11 @@ impl GlobalView {
         Self {
             entries: fps
                 .into_iter()
-                .map(|fp| GlobalEntry { fp, freq: 1, ranks: vec![rank] })
+                .map(|fp| GlobalEntry {
+                    fp,
+                    freq: 1,
+                    ranks: vec![rank],
+                })
                 .collect(),
         }
     }
@@ -113,7 +117,11 @@ impl GlobalView {
                         let eb = ib.next().expect("peeked");
                         let mut ranks = ea.ranks;
                         ranks.extend(eb.ranks);
-                        merged.push(GlobalEntry { fp: ea.fp, freq: ea.freq + eb.freq, ranks });
+                        merged.push(GlobalEntry {
+                            fp: ea.fp,
+                            freq: ea.freq + eb.freq,
+                            ranks,
+                        });
                     }
                 },
                 (Some(_), None) => merged.push(ia.next().expect("peeked")),
@@ -132,7 +140,7 @@ impl GlobalView {
         // the surviving entries, in fingerprint order. `loads[r]` counts
         // how many surviving fingerprints rank r is designated for so far;
         // when a combined list exceeds K we keep the K least-loaded ranks.
-        let mut loads: FxHashMap<Rank, u32> = FxHashMap::default();
+        let mut loads: HashMap<Rank, u32> = HashMap::new();
         for entry in &mut merged {
             if entry.ranks.len() > k as usize {
                 entry
@@ -141,7 +149,10 @@ impl GlobalView {
                 entry.ranks.truncate(k as usize);
             }
             entry.ranks.sort_unstable();
-            debug_assert!(entry.ranks.windows(2).all(|w| w[0] < w[1]), "designated ranks must be distinct");
+            debug_assert!(
+                entry.ranks.windows(2).all(|w| w[0] < w[1]),
+                "designated ranks must be distinct"
+            );
             for &r in &entry.ranks {
                 *loads.entry(r).or_insert(0) += 1;
             }
@@ -150,8 +161,8 @@ impl GlobalView {
     }
 
     /// Per-rank designation counts of this view (diagnostics / tests).
-    pub fn designation_loads(&self) -> FxHashMap<Rank, u32> {
-        let mut loads: FxHashMap<Rank, u32> = FxHashMap::default();
+    pub fn designation_loads(&self) -> HashMap<Rank, u32> {
+        let mut loads: HashMap<Rank, u32> = HashMap::new();
         for e in &self.entries {
             for &r in &e.ranks {
                 *loads.entry(r).or_insert(0) += 1;
@@ -185,7 +196,9 @@ impl Wire for GlobalView {
     fn decode(input: &mut &[u8]) -> WireResult<Self> {
         let entries: Vec<GlobalEntry> = Vec::decode(input)?;
         if !entries.windows(2).all(|w| w[0].fp < w[1].fp) {
-            return Err(WireError::Malformed { what: "GlobalView (unsorted)" });
+            return Err(WireError::Malformed {
+                what: "GlobalView (unsorted)",
+            });
         }
         Ok(GlobalView { entries })
     }
@@ -313,8 +326,16 @@ mod tests {
     fn wire_rejects_unsorted_view() {
         let bad = GlobalView {
             entries: vec![
-                GlobalEntry { fp: fp(5), freq: 1, ranks: vec![0] },
-                GlobalEntry { fp: fp(1), freq: 1, ranks: vec![1] },
+                GlobalEntry {
+                    fp: fp(5),
+                    freq: 1,
+                    ranks: vec![0],
+                },
+                GlobalEntry {
+                    fp: fp(1),
+                    freq: 1,
+                    ranks: vec![1],
+                },
             ],
         };
         let mut buf = Vec::new();

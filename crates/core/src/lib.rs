@@ -15,25 +15,30 @@
 //!
 //! The three evaluation settings (`no-dedup`, `local-dedup`, `coll-dedup`)
 //! are selected by [`Strategy`]; the `coll-no-shuffle` ablation is
-//! [`DumpConfig::with_shuffle`]`(false)`.
+//! [`ReplicatorBuilder::shuffle`]`(false)`.
 //!
 //! # Example
 //!
+//! The public entry point is the [`Replicator`] session: build it once
+//! (validation happens at [`ReplicatorBuilder::build`]), then drive any
+//! number of dump/restore collectives:
+//!
 //! ```
-//! use replidedup_core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy};
-//! use replidedup_hash::Sha1ChunkHasher;
+//! use replidedup_core::{Replicator, Strategy};
 //! use replidedup_mpi::World;
 //! use replidedup_storage::{Cluster, Placement};
 //!
 //! let cluster = Cluster::new(Placement::one_per_node(4));
-//! let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
-//!     .with_replication(3)
-//!     .with_chunk_size(64);
+//! let repl = Replicator::builder(Strategy::CollDedup)
+//!     .cluster(&cluster)
+//!     .replication(3)
+//!     .chunk_size(64)
+//!     .build()
+//!     .expect("valid config");
 //! let out = World::run(4, |comm| {
-//!     let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
 //!     let buf = vec![comm.rank() as u8; 256];
-//!     let stats = dump_output(comm, &ctx, &buf, &cfg).unwrap();
-//!     let restored = restore_output(comm, &ctx, Strategy::CollDedup).unwrap();
+//!     let stats = repl.dump(comm, 1, &buf).unwrap();
+//!     let restored = repl.restore(comm, 1).unwrap();
 //!     assert_eq!(restored, buf);
 //!     stats
 //! });
@@ -48,15 +53,21 @@ pub mod local;
 pub mod offsets;
 pub mod plan;
 pub mod restore;
+pub mod session;
 pub mod shuffle;
 pub mod stats;
 
-pub use config::{DumpConfig, Strategy};
-pub use dump::{dump_output, DumpContext, DumpError};
+pub use config::{ConfigError, DumpConfig, Strategy};
+#[allow(deprecated)]
+pub use dump::dump_output;
+pub use dump::{DumpContext, DumpError};
 pub use global::{reduce_global_view, GlobalEntry, GlobalView};
 pub use local::LocalIndex;
 pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};
-pub use restore::{restore_output, RestoreError};
+#[allow(deprecated)]
+pub use restore::restore_output;
+pub use restore::RestoreError;
+pub use session::{ReplError, Replicator, ReplicatorBuilder};
 pub use shuffle::{identity_shuffle, rank_shuffle};
 pub use stats::{DumpStats, ReductionStats, WorldDumpStats};

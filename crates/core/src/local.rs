@@ -9,7 +9,9 @@
 //! the chunk bytes back out of the caller's buffer without copying the
 //! dataset.
 
-use replidedup_hash::{fingerprint_buffer, fingerprint_buffer_parallel, ChunkHasher, Fingerprint, FpHashMap};
+use replidedup_hash::{
+    fingerprint_buffer, fingerprint_buffer_parallel, ChunkHasher, Fingerprint, FpHashMap,
+};
 
 /// Result of locally deduplicating one rank's buffer.
 #[derive(Debug, Clone)]
@@ -53,9 +55,17 @@ impl LocalIndex {
             unique
                 .entry(*fp)
                 .and_modify(|c| c.occurrences += 1)
-                .or_insert(LocalChunk { first_index: idx as u32, occurrences: 1 });
+                .or_insert(LocalChunk {
+                    first_index: idx as u32,
+                    occurrences: 1,
+                });
         }
-        Self { in_order, unique, chunk_size, total_len: buf.len() }
+        Self {
+            in_order,
+            unique,
+            chunk_size,
+            total_len: buf.len(),
+        }
     }
 
     /// Number of chunks in the buffer (duplicates included).
@@ -130,7 +140,7 @@ mod tests {
         // Layout: A B A B A — uniques are A(idx 0, ×3) and B(idx 1, ×2).
         let mut buf = Vec::new();
         for i in 0..5 {
-            buf.extend_from_slice(&vec![if i % 2 == 0 { 1u8 } else { 2 }; 8]);
+            buf.extend_from_slice(&[if i % 2 == 0 { 1u8 } else { 2 }; 8]);
         }
         let idx = build(&buf, 8);
         assert_eq!(idx.unique_count(), 2);
@@ -147,7 +157,9 @@ mod tests {
         let idx = build(&buf, 16);
         let fp_b = idx.in_order[1];
         assert_eq!(idx.chunk_bytes(&buf, &fp_b).unwrap(), &[7u8; 16]);
-        assert!(idx.chunk_bytes(&buf, &replidedup_hash::Fingerprint::ZERO).is_none());
+        assert!(idx
+            .chunk_bytes(&buf, &replidedup_hash::Fingerprint::ZERO)
+            .is_none());
     }
 
     #[test]
@@ -155,7 +167,11 @@ mod tests {
         let buf = vec![3u8; 20]; // chunks of 16: one full, one 4-byte tail
         let idx = build(&buf, 16);
         assert_eq!(idx.chunk_count(), 2);
-        assert_eq!(idx.unique_count(), 2, "tail content differs in length, so in hash");
+        assert_eq!(
+            idx.unique_count(),
+            2,
+            "tail content differs in length, so in hash"
+        );
         assert_eq!(idx.unique_bytes(20), 20);
         assert_eq!(idx.chunk_range(1), 16..20);
     }

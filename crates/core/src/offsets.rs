@@ -47,9 +47,16 @@ pub struct WindowPlan {
 pub fn window_plan(shuffle: &[Rank], send_load: &[Vec<u64>], k: u32) -> WindowPlan {
     let n = shuffle.len();
     assert_eq!(send_load.len(), n, "one Load vector per rank");
-    assert!(k as usize <= n.max(1), "replication factor must be clamped to world size");
+    assert!(
+        k as usize <= n.max(1),
+        "replication factor must be clamped to world size"
+    );
     for (r, l) in send_load.iter().enumerate() {
-        assert_eq!(l.len(), k as usize, "rank {r}: Load vector must have K entries");
+        assert_eq!(
+            l.len(),
+            k as usize,
+            "rank {r}: Load vector must have K entries"
+        );
     }
     let positions = crate::shuffle::positions_of(shuffle);
     let sender_at = |p: usize, d: usize| -> Rank { shuffle[(p + n - d) % n] };
@@ -75,7 +82,11 @@ pub fn window_plan(shuffle: &[Rank], send_load: &[Vec<u64>], k: u32) -> WindowPl
             send_offsets[r].push(off);
         }
     }
-    WindowPlan { recv_counts, send_offsets, partners }
+    WindowPlan {
+        recv_counts,
+        send_offsets,
+        partners,
+    }
 }
 
 #[cfg(test)]
@@ -91,9 +102,9 @@ mod tests {
         let n = send_load.len();
         // Collect (receiver, offset, len) triples from the sender side.
         let mut regions: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
-        for r in 0..n {
+        for (r, load_r) in send_load.iter().enumerate() {
             for (jm1, &target) in plan.partners[r].iter().enumerate() {
-                let len = send_load[r][jm1 + 1];
+                let len = load_r[jm1 + 1];
                 let off = plan.send_offsets[r][jm1];
                 regions[target as usize].push((off, len));
             }
@@ -102,7 +113,10 @@ mod tests {
             regs.sort_unstable();
             let mut cursor = 0u64;
             for (off, len) in regs {
-                assert_eq!(off, cursor, "receiver {recv}: gap or overlap at offset {off} (k={k})");
+                assert_eq!(
+                    off, cursor,
+                    "receiver {recv}: gap or overlap at offset {off} (k={k})"
+                );
                 cursor += len;
             }
             assert_eq!(
@@ -212,7 +226,7 @@ mod tests {
                 state % 500
             };
             let send_load: Vec<Vec<u64>> = (0..n)
-                .map(|_| (0..k).map(|j| if j == 0 { rand() } else { rand() }).collect())
+                .map(|_| (0..k).map(|_| rand()).collect())
                 .collect();
             let shuffle = if use_shuffle {
                 rank_shuffle(&send_load, k)

@@ -108,7 +108,7 @@ mod tests {
 
     fn view(entries: Vec<GlobalEntry>) -> GlobalView {
         let mut v = GlobalView { entries };
-        v.entries.sort_unstable_by(|a, b| a.fp.cmp(&b.fp));
+        v.entries.sort_unstable_by_key(|a| a.fp);
         v
     }
 
@@ -129,7 +129,11 @@ mod tests {
         let buf = vec![1u8; 8];
         let idx = index_of(&buf, 8);
         let fp = idx.in_order[0];
-        let v = view(vec![GlobalEntry { fp, freq: 5, ranks: vec![1, 2, 3] }]);
+        let v = view(vec![GlobalEntry {
+            fp,
+            freq: 5,
+            ranks: vec![1, 2, 3],
+        }]);
         let plan = plan_chunks(0, &idx, &v, 3);
         assert_eq!(plan.load, vec![0, 0, 0]);
         assert_eq!(plan.discarded, vec![fp]);
@@ -140,7 +144,11 @@ mod tests {
         let buf = vec![1u8; 8];
         let idx = index_of(&buf, 8);
         let fp = idx.in_order[0];
-        let v = view(vec![GlobalEntry { fp, freq: 3, ranks: vec![0, 1, 2] }]);
+        let v = view(vec![GlobalEntry {
+            fp,
+            freq: 3,
+            ranks: vec![0, 1, 2],
+        }]);
         let plan = plan_chunks(0, &idx, &v, 3);
         assert_eq!(plan.load, vec![1, 0, 0]);
     }
@@ -152,7 +160,11 @@ mod tests {
         let buf = vec![1u8; 8];
         let idx = index_of(&buf, 8);
         let fp = idx.in_order[0];
-        let v = view(vec![GlobalEntry { fp, freq: 2, ranks: vec![0, 4] }]);
+        let v = view(vec![GlobalEntry {
+            fp,
+            freq: 2,
+            ranks: vec![0, 4],
+        }]);
         let plan0 = plan_chunks(0, &idx, &v, 5);
         assert_eq!(plan0.load, vec![1, 1, 1, 0, 0]);
         let plan4 = plan_chunks(4, &idx, &v, 5);
@@ -167,9 +179,17 @@ mod tests {
         let buf = vec![1u8; 8];
         let idx = index_of(&buf, 8);
         let fp = idx.in_order[0];
-        let v = view(vec![GlobalEntry { fp, freq: 1, ranks: vec![2] }]);
+        let v = view(vec![GlobalEntry {
+            fp,
+            freq: 1,
+            ranks: vec![2],
+        }]);
         let plan = plan_chunks(2, &idx, &v, 4);
-        assert_eq!(plan.load, vec![1, 1, 1, 1], "K-1 replicas all from the sole holder");
+        assert_eq!(
+            plan.load,
+            vec![1, 1, 1, 1],
+            "K-1 replicas all from the sole holder"
+        );
     }
 
     #[test]
@@ -193,8 +213,16 @@ mod tests {
         let f0 = idx.in_order[0];
         let f1 = idx.in_order[1];
         let v = view(vec![
-            GlobalEntry { fp: f0, freq: 4, ranks: vec![0, 1, 2] }, // me designated, full
-            GlobalEntry { fp: f1, freq: 4, ranks: vec![1, 2, 3] }, // me not designated
+            GlobalEntry {
+                fp: f0,
+                freq: 4,
+                ranks: vec![0, 1, 2],
+            }, // me designated, full
+            GlobalEntry {
+                fp: f1,
+                freq: 4,
+                ranks: vec![1, 2, 3],
+            }, // me not designated
         ]);
         let plan = plan_chunks(0, &idx, &v, 3);
         // keep: f0 + two uncovered; discard: f1; uncovered send to both.

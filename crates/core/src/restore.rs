@@ -37,6 +37,7 @@ const TAG_RESTORE_BLOB: Tag = 0x5250_0004;
 
 /// Failures of a collective restore (per rank).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RestoreError {
     /// Local node refused I/O.
     Storage(StorageError),
@@ -66,7 +67,14 @@ impl std::fmt::Display for RestoreError {
     }
 }
 
-impl std::error::Error for RestoreError {}
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StorageError> for RestoreError {
     fn from(e: StorageError) -> Self {
@@ -76,7 +84,19 @@ impl From<StorageError> for RestoreError {
 
 /// Collectively restore this rank's buffer from dump `ctx.dump_id`.
 /// `strategy` must match the strategy the dump was written with.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `replidedup_core::Replicator` and call `.restore()`"
+)]
 pub fn restore_output(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    strategy: Strategy,
+) -> Result<Vec<u8>, RestoreError> {
+    restore_impl(comm, ctx, strategy)
+}
+
+pub(crate) fn restore_impl(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
     strategy: Strategy,
@@ -115,8 +135,12 @@ fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Resto
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
+    comm.tracer().enter("blob_recovery");
     let local = ctx.cluster.get_blob(node, me, ctx.dump_id).ok();
-    let advertised = ctx.cluster.blob_owners(node, ctx.dump_id).unwrap_or_default();
+    let advertised = ctx
+        .cluster
+        .blob_owners(node, ctx.dump_id)
+        .unwrap_or_default();
     let info = comm.allgather((local.is_none(), advertised));
     let needs: Vec<bool> = info.iter().map(|(need, _)| *need).collect();
     let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h)| h).collect();
@@ -140,6 +164,7 @@ fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Resto
         },
     };
     comm.barrier();
+    comm.tracer().exit("blob_recovery");
     result
 }
 
@@ -149,8 +174,12 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
     let node = ctx.cluster.node_of(me);
 
     // ---- Step 1: manifest recovery --------------------------------------
+    comm.tracer().enter("manifest_recovery");
     let mut manifest = ctx.cluster.get_manifest(node, me, ctx.dump_id).ok();
-    let advertised = ctx.cluster.manifest_owners(node, ctx.dump_id).unwrap_or_default();
+    let advertised = ctx
+        .cluster
+        .manifest_owners(node, ctx.dump_id)
+        .unwrap_or_default();
     let info = comm.allgather((manifest.is_none(), advertised));
     let needs: Vec<bool> = info.iter().map(|(need, _)| *need).collect();
     let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h)| h).collect();
@@ -167,8 +196,10 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         }
     }
     let manifest_lost = manifest.is_none();
+    comm.tracer().exit("manifest_recovery");
 
     // ---- Step 2: chunk recovery ------------------------------------------
+    comm.tracer().enter("chunk_recovery");
     // Missing = manifest chunks absent from my node (deduplicated).
     let mut missing: Vec<Fingerprint> = Vec::new();
     if let Some(m) = &manifest {
@@ -188,7 +219,10 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
     union.dedup();
 
     // Who holds what: one bit per union entry, allgathered.
-    let my_have: Vec<bool> = union.iter().map(|fp| ctx.cluster.has_chunk(node, fp)).collect();
+    let my_have: Vec<bool> = union
+        .iter()
+        .map(|fp| ctx.cluster.has_chunk(node, fp))
+        .collect();
     let all_have: Vec<Vec<bool>> = comm.allgather(my_have);
 
     let index_of = |fp: &Fingerprint| union.binary_search(fp).expect("fp from union");
@@ -234,7 +268,12 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         }
     }
 
+    comm.tracer().exit("chunk_recovery");
+    comm.tracer()
+        .counter("chunks_recovered", missing.len() as u64);
+
     // ---- Step 3: reassemble ----------------------------------------------
+    comm.tracer().enter("reassemble");
     let result = if manifest_lost {
         Err(RestoreError::ManifestLost { rank: me })
     } else if let Some(fp) = lost {
@@ -261,10 +300,12 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         }
     };
     comm.barrier();
+    comm.tracer().exit("reassemble");
     result
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated free functions must keep passing
 mod tests {
     use super::*;
     use crate::config::{DumpConfig, Strategy};
@@ -276,7 +317,7 @@ mod tests {
     fn buffer_of(rank: u32) -> Vec<u8> {
         // Mixed shared/private content with a tail chunk.
         let mut buf = vec![0xAB; 64]; // shared across ranks
-        buf.extend_from_slice(&vec![rank as u8 + 1; 64]);
+        buf.extend_from_slice(&[rank as u8 + 1; 64]);
         buf.extend_from_slice(&[0xCD; 20]); // tail
         buf
     }
@@ -289,9 +330,15 @@ mod tests {
         after: impl Fn(&mut Comm, &DumpContext<'_>) -> T + Sync,
     ) -> Vec<T> {
         let cluster = Cluster::new(Placement::one_per_node(n));
-        let cfg = DumpConfig::paper_defaults(strategy).with_replication(k).with_chunk_size(64);
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(64);
         let out = World::run(n, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
             let buf = buffer_of(comm.rank());
             dump_output(comm, &ctx, &buf, &cfg).expect("dump");
             comm.barrier();
@@ -307,10 +354,16 @@ mod tests {
     #[test]
     fn restore_without_failures_roundtrips_all_strategies() {
         for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
-            let results = dump_then(4, strategy, 3, |_| {}, |comm, ctx| {
-                let buf = restore_output(comm, ctx, strategy).expect("restore");
-                (comm.rank(), buf)
-            });
+            let results = dump_then(
+                4,
+                strategy,
+                3,
+                |_| {},
+                |comm, ctx| {
+                    let buf = restore_output(comm, ctx, strategy).expect("restore");
+                    (comm.rank(), buf)
+                },
+            );
             for (rank, buf) in results {
                 assert_eq!(buf, buffer_of(rank), "{strategy:?} rank {rank}");
             }
@@ -357,7 +410,10 @@ mod tests {
                 comm.barrier();
                 // After restore, node 2 must again hold rank 2's chunks.
                 if comm.rank() == 2 {
-                    let m = ctx.cluster.get_manifest(2, 2, 1).expect("manifest re-seeded");
+                    let m = ctx
+                        .cluster
+                        .get_manifest(2, 2, 1)
+                        .expect("manifest re-seeded");
                     m.chunks.iter().all(|fp| ctx.cluster.has_chunk(2, fp))
                 } else {
                     true
@@ -407,10 +463,10 @@ mod tests {
     fn assign_servers_picks_lowest_and_skips_self() {
         let needs = vec![true, false, true, false];
         let holders = vec![
-            vec![0, 2],       // rank 0 holds 0 and 2 (but needs 0 itself)
-            vec![0, 1],       // rank 1 holds 0
-            vec![2],          // rank 2 holds 2 (itself, needy)
-            vec![2, 3],       // rank 3 holds 2
+            vec![0, 2], // rank 0 holds 0 and 2 (but needs 0 itself)
+            vec![0, 1], // rank 1 holds 0
+            vec![2],    // rank 2 holds 2 (itself, needy)
+            vec![2, 3], // rank 3 holds 2
         ];
         let (served, server_of) = assign_servers(4, &needs, &holders);
         assert_eq!(server_of[0], Some(1), "lowest non-self holder of 0");
@@ -437,10 +493,18 @@ mod tests {
             .with_chunk_size(64);
         let out = World::run(3, |comm| {
             let rank = comm.rank();
-            let ctx1 = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            dump_output(comm, &ctx1, &vec![rank as u8; 100], &cfg).unwrap();
-            let ctx2 = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 2 };
-            dump_output(comm, &ctx2, &vec![rank as u8 + 100; 100], &cfg).unwrap();
+            let ctx1 = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
+            dump_output(comm, &ctx1, &[rank as u8; 100], &cfg).unwrap();
+            let ctx2 = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 2,
+            };
+            dump_output(comm, &ctx2, &[rank as u8 + 100; 100], &cfg).unwrap();
             let b1 = restore_output(comm, &ctx1, Strategy::CollDedup).unwrap();
             let b2 = restore_output(comm, &ctx2, Strategy::CollDedup).unwrap();
             (b1, b2, rank)

@@ -1,0 +1,401 @@
+//! The session-based public API: [`Replicator`].
+//!
+//! The free functions [`crate::dump_output`] / [`crate::restore_output`]
+//! take four loose parameters per call and validate the configuration at
+//! run time, inside the collective. A [`Replicator`] is built once via
+//! [`Replicator::builder`] — which absorbs the [`DumpConfig`] fields, the
+//! cluster, the hasher and the trace preference, and rejects invalid
+//! configurations with a typed [`ConfigError`] *before* any rank enters a
+//! collective — and then drives any number of dump/restore collectives
+//! through one handle. Instrumentation, validation and future pipelined
+//! execution all hang off the session instead of being re-plumbed per call.
+
+use replidedup_hash::{ChunkHasher, Sha1ChunkHasher};
+use replidedup_mpi::Comm;
+use replidedup_storage::{Cluster, DumpId};
+
+use crate::config::{ConfigError, DumpConfig, Strategy};
+use crate::dump::{dump_impl, DumpContext, DumpError};
+use crate::restore::{restore_impl, RestoreError};
+use crate::stats::DumpStats;
+
+/// Top-level error of the session API: every failure class of the
+/// replication pipeline, with [`std::error::Error::source`] chains down to
+/// the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplError {
+    /// The configuration was rejected (only from the builder — a built
+    /// [`Replicator`] cannot carry an invalid config).
+    Config(ConfigError),
+    /// A collective dump failed.
+    Dump(DumpError),
+    /// A collective restore failed.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Config(e) => write!(f, "invalid replicator config: {e}"),
+            ReplError::Dump(e) => write!(f, "dump failed: {e}"),
+            ReplError::Restore(e) => write!(f, "restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplError::Config(e) => Some(e),
+            ReplError::Dump(e) => Some(e),
+            ReplError::Restore(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ReplError {
+    fn from(e: ConfigError) -> Self {
+        ReplError::Config(e)
+    }
+}
+
+impl From<DumpError> for ReplError {
+    fn from(e: DumpError) -> Self {
+        ReplError::Dump(e)
+    }
+}
+
+impl From<RestoreError> for ReplError {
+    fn from(e: RestoreError) -> Self {
+        ReplError::Restore(e)
+    }
+}
+
+/// Builder for a [`Replicator`] session. Obtained from
+/// [`Replicator::builder`]; finished with [`ReplicatorBuilder::build`],
+/// where all validation happens.
+pub struct ReplicatorBuilder<'a> {
+    cfg: DumpConfig,
+    cluster: Option<&'a Cluster>,
+    hasher: &'a (dyn ChunkHasher + Sync),
+    tracing: Option<bool>,
+}
+
+impl std::fmt::Debug for ReplicatorBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatorBuilder")
+            .field("cfg", &self.cfg)
+            .field("cluster", &self.cluster.map(|_| ".."))
+            .field("tracing", &self.tracing)
+            .finish_non_exhaustive() // hasher is a plain trait object
+    }
+}
+
+impl<'a> ReplicatorBuilder<'a> {
+    /// Target cluster (required).
+    pub fn cluster(mut self, cluster: &'a Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Chunk hash function (default: SHA-1, the paper's choice).
+    pub fn hasher(mut self, hasher: &'a (dyn ChunkHasher + Sync)) -> Self {
+        self.hasher = hasher;
+        self
+    }
+
+    /// Replication factor `K` (total copies including the local one).
+    pub fn replication(mut self, k: u32) -> Self {
+        self.cfg = self.cfg.with_replication(k);
+        self
+    }
+
+    /// Fixed chunk size in bytes.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.cfg = self.cfg.with_chunk_size(chunk_size);
+        self
+    }
+
+    /// Reduction threshold `F`.
+    pub fn f_threshold(mut self, f: usize) -> Self {
+        self.cfg = self.cfg.with_f_threshold(f);
+        self
+    }
+
+    /// Load-aware partner selection (Algorithm 2) on or off.
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.cfg = self.cfg.with_shuffle(shuffle);
+        self
+    }
+
+    /// Intra-rank parallel hashing on or off.
+    pub fn parallel_hash(mut self, parallel: bool) -> Self {
+        self.cfg = self.cfg.with_parallel_hash(parallel);
+        self
+    }
+
+    /// Replace the whole configuration at once (including the strategy).
+    /// Escape hatch for callers that already hold a [`DumpConfig`]; it is
+    /// still validated by [`ReplicatorBuilder::build`].
+    pub fn with_config(mut self, cfg: DumpConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Force the communicator's phase tracer on (or off) for every
+    /// collective this session drives. Default: inherit whatever the world
+    /// was configured with (the zero-cost no-op sink unless enabled).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = Some(enabled);
+        self
+    }
+
+    /// Validate and build the session.
+    pub fn build(self) -> Result<Replicator<'a>, ConfigError> {
+        self.cfg.validate()?;
+        let cluster = self.cluster.ok_or(ConfigError::MissingCluster)?;
+        Ok(Replicator {
+            cfg: self.cfg,
+            cluster,
+            hasher: self.hasher,
+            tracing: self.tracing,
+        })
+    }
+}
+
+/// A validated replication session: one strategy, one cluster, one hasher,
+/// any number of dump/restore collectives.
+///
+/// ```
+/// use replidedup_core::{Replicator, Strategy};
+/// use replidedup_mpi::World;
+/// use replidedup_storage::{Cluster, Placement};
+///
+/// let cluster = Cluster::new(Placement::one_per_node(4));
+/// let repl = Replicator::builder(Strategy::CollDedup)
+///     .cluster(&cluster)
+///     .replication(3)
+///     .chunk_size(64)
+///     .build()
+///     .unwrap();
+/// let out = World::run(4, |comm| {
+///     let buf = vec![comm.rank() as u8; 256];
+///     repl.dump(comm, 1, &buf).unwrap();
+///     assert_eq!(repl.restore(comm, 1).unwrap(), buf);
+/// });
+/// ```
+pub struct Replicator<'a> {
+    cfg: DumpConfig,
+    cluster: &'a Cluster,
+    hasher: &'a (dyn ChunkHasher + Sync),
+    tracing: Option<bool>,
+}
+
+impl std::fmt::Debug for Replicator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("cfg", &self.cfg)
+            .field("tracing", &self.tracing)
+            .finish_non_exhaustive() // cluster/hasher carry no useful Debug
+    }
+}
+
+impl<'a> Replicator<'a> {
+    /// Start building a session for `strategy`, from the paper-faithful
+    /// defaults (`K = 3`, 4 KiB chunks, `F = 2^17`, shuffle for
+    /// `coll-dedup`).
+    pub fn builder(strategy: Strategy) -> ReplicatorBuilder<'a> {
+        ReplicatorBuilder {
+            cfg: DumpConfig::paper_defaults(strategy),
+            cluster: None,
+            hasher: &Sha1ChunkHasher,
+            tracing: None,
+        }
+    }
+
+    /// The validated configuration this session runs with.
+    pub fn config(&self) -> &DumpConfig {
+        &self.cfg
+    }
+
+    /// The session's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.cfg.strategy
+    }
+
+    /// The cluster this session dumps into.
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    fn apply_tracing(&self, comm: &mut Comm) {
+        if let Some(on) = self.tracing {
+            comm.set_tracing(on);
+        }
+    }
+
+    /// Collective `DUMP_OUTPUT(buffer, K)`: dump `buf` as generation
+    /// `dump_id`. Must be called by every rank of the world.
+    pub fn dump(
+        &self,
+        comm: &mut Comm,
+        dump_id: DumpId,
+        buf: &[u8],
+    ) -> Result<DumpStats, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id,
+        };
+        dump_impl(comm, &ctx, buf, &self.cfg).map_err(ReplError::from)
+    }
+
+    /// Collective restore of this rank's buffer from generation `dump_id`.
+    /// Must be called by every rank of the world.
+    pub fn restore(&self, comm: &mut Comm, dump_id: DumpId) -> Result<Vec<u8>, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id,
+        };
+        restore_impl(comm, &ctx, self.cfg.strategy).map_err(ReplError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replidedup_hash::FnvChunkHasher;
+    use replidedup_mpi::World;
+    use replidedup_storage::Placement;
+    use std::error::Error as _;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(Placement::one_per_node(n))
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_typed_errors() {
+        let c = cluster(2);
+        let err = |b: ReplicatorBuilder<'_>| b.build().err().unwrap();
+        assert_eq!(
+            err(Replicator::builder(Strategy::CollDedup)
+                .cluster(&c)
+                .replication(0)),
+            ConfigError::ZeroReplication
+        );
+        assert_eq!(
+            err(Replicator::builder(Strategy::CollDedup)
+                .cluster(&c)
+                .chunk_size(0)),
+            ConfigError::ZeroChunkSize
+        );
+        assert_eq!(
+            err(Replicator::builder(Strategy::CollDedup)
+                .cluster(&c)
+                .f_threshold(0)),
+            ConfigError::ZeroFThreshold
+        );
+        assert_eq!(
+            err(Replicator::builder(Strategy::CollDedup)),
+            ConfigError::MissingCluster
+        );
+    }
+
+    #[test]
+    fn builder_absorbs_config_fields() {
+        let c = cluster(2);
+        let repl = Replicator::builder(Strategy::LocalDedup)
+            .cluster(&c)
+            .hasher(&FnvChunkHasher)
+            .replication(2)
+            .chunk_size(128)
+            .f_threshold(64)
+            .shuffle(true)
+            .parallel_hash(true)
+            .build()
+            .unwrap();
+        let cfg = repl.config();
+        assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.chunk_size, 128);
+        assert_eq!(cfg.f_threshold, 64);
+        assert!(cfg.shuffle);
+        assert!(cfg.parallel_hash);
+        assert_eq!(repl.strategy(), Strategy::LocalDedup);
+    }
+
+    #[test]
+    fn session_round_trips_every_strategy() {
+        for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+            let c = cluster(3);
+            let repl = Replicator::builder(strategy)
+                .cluster(&c)
+                .replication(2)
+                .chunk_size(64)
+                .build()
+                .unwrap();
+            let out = World::run(3, |comm| {
+                let buf = vec![comm.rank() as u8 + 1; 300];
+                repl.dump(comm, 7, &buf).unwrap();
+                (repl.restore(comm, 7).unwrap(), buf)
+            });
+            for (restored, original) in out.results {
+                assert_eq!(restored, original, "{}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn one_session_many_dumps() {
+        let c = cluster(2);
+        let repl = Replicator::builder(Strategy::CollDedup)
+            .cluster(&c)
+            .replication(2)
+            .chunk_size(32)
+            .build()
+            .unwrap();
+        let out = World::run(2, |comm| {
+            for gen in 1..=3u64 {
+                let buf = vec![(comm.rank() as u8) ^ (gen as u8); 128];
+                repl.dump(comm, gen, &buf).unwrap();
+            }
+            repl.restore(comm, 2).unwrap()
+        });
+        assert_eq!(out.results[0], vec![2u8; 128]);
+        assert_eq!(out.results[1], vec![1u8 ^ 2; 128]);
+    }
+
+    #[test]
+    fn repl_error_chains_to_source() {
+        let e = ReplError::Dump(DumpError::Config(ConfigError::ZeroChunkSize));
+        let dump_err = e.source().unwrap();
+        assert!(dump_err.to_string().contains("chunk_size"));
+        let config_err = dump_err.source().unwrap();
+        assert!(config_err.downcast_ref::<ConfigError>().is_some());
+        let e = ReplError::Restore(RestoreError::ManifestLost { rank: 3 });
+        assert!(e.to_string().contains("rank 3"));
+    }
+
+    #[test]
+    fn session_tracing_override_enables_recorder() {
+        let c = cluster(2);
+        let repl = Replicator::builder(Strategy::CollDedup)
+            .cluster(&c)
+            .replication(2)
+            .chunk_size(64)
+            .tracing(true)
+            .build()
+            .unwrap();
+        let out = World::run(2, |comm| {
+            repl.dump(comm, 1, &[7u8; 128]).unwrap();
+            comm.take_trace_events().len()
+        });
+        assert!(
+            out.results.iter().all(|&n| n > 0),
+            "tracing(true) must record events"
+        );
+    }
+}

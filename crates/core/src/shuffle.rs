@@ -102,8 +102,8 @@ mod tests {
             .map(|&t| {
                 let mut l = vec![0u64; k as usize];
                 let partners = (k - 1).max(1) as u64;
-                for j in 1..k as usize {
-                    l[j] = t / partners;
+                for lj in l.iter_mut().take(k as usize).skip(1) {
+                    *lj = t / partners;
                 }
                 l[1] += t % partners;
                 l
@@ -133,7 +133,14 @@ mod tests {
         // the maximum to 110.
         let heavy = vec![0u64, 100, 100];
         let light = vec![0u64, 10, 10];
-        let send_load = vec![heavy.clone(), heavy, light.clone(), light.clone(), light.clone(), light];
+        let send_load = vec![
+            heavy.clone(),
+            heavy,
+            light.clone(),
+            light.clone(),
+            light.clone(),
+            light,
+        ];
         let naive = identity_shuffle(6);
         let shuffled = rank_shuffle(&send_load, 3);
         assert_eq!(max_receive(&naive, &send_load, 3), 200);
@@ -180,7 +187,10 @@ mod tests {
             if r < 4 {
                 // heavy
                 let next = shuffle[(p + 1) % shuffle.len()];
-                assert!(next >= 4, "heavy rank {r} at {p} followed by heavy {next}: {shuffle:?}");
+                assert!(
+                    next >= 4,
+                    "heavy rank {r} at {p} followed by heavy {next}: {shuffle:?}"
+                );
             }
         }
     }
@@ -204,8 +214,15 @@ mod tests {
             let k = 2 + (trial % 4) as u32;
             // Skewed loads (the regime the paper motivates): a few heavy
             // senders, many light ones.
-            let totals: Vec<u64> =
-                (0..n).map(|i| if i % 5 == 0 { 500 + rand() % 500 } else { rand() % 50 }).collect();
+            let totals: Vec<u64> = (0..n)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        500 + rand() % 500
+                    } else {
+                        rand() % 50
+                    }
+                })
+                .collect();
             let send_load = loads_from_totals(&totals, k);
             let shuffled_max = max_receive(&rank_shuffle(&send_load, k), &send_load, k);
             let naive_max = max_receive(&identity_shuffle(n as u32), &send_load, k);

@@ -90,7 +90,12 @@ impl WorldDumpStats {
             .first()
             .and_then(|r| r.reduction.as_ref())
             .map_or(0, |r| r.view_entries);
-        Self { strategy: Some(strategy), ranks, view_entries, chunk_size }
+        Self {
+            strategy: Some(strategy),
+            ranks,
+            view_entries,
+            chunk_size,
+        }
     }
 
     /// Total dataset size across ranks.
@@ -111,9 +116,7 @@ impl WorldDumpStats {
     pub fn unique_content_bytes(&self) -> u64 {
         match self.strategy {
             Some(Strategy::NoDedup) | None => self.total_data_bytes(),
-            Some(Strategy::LocalDedup) => {
-                self.ranks.iter().map(|r| r.bytes_locally_unique).sum()
-            }
+            Some(Strategy::LocalDedup) => self.ranks.iter().map(|r| r.bytes_locally_unique).sum(),
             Some(Strategy::CollDedup) => {
                 self.view_entries * self.chunk_size as u64
                     + self.ranks.iter().map(|r| r.bytes_uncovered).sum::<u64>()
@@ -126,23 +129,38 @@ impl WorldDumpStats {
         if self.ranks.is_empty() {
             return 0.0;
         }
-        self.ranks.iter().map(|r| r.bytes_sent_replication).sum::<u64>() as f64
+        self.ranks
+            .iter()
+            .map(|r| r.bytes_sent_replication)
+            .sum::<u64>() as f64
             / self.ranks.len() as f64
     }
 
     /// Maximum replication bytes sent by any process.
     pub fn max_sent_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_sent_replication).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.bytes_sent_replication)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum replication bytes received by any process (Figs. 4(c)/5(c)).
     pub fn max_recv_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_received_replication).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.bytes_received_replication)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum bytes written to a local device by any process.
     pub fn max_written_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_written_local).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.bytes_written_local)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum reduction traffic injected by any rank (Figs. 3(b)/(c) input).
@@ -165,7 +183,13 @@ impl WorldDumpStats {
 mod tests {
     use super::*;
 
-    fn rank_stats(buffer: u64, local_unique: u64, uncovered: u64, sent: u64, recv: u64) -> DumpStats {
+    fn rank_stats(
+        buffer: u64,
+        local_unique: u64,
+        uncovered: u64,
+        sent: u64,
+        recv: u64,
+    ) -> DumpStats {
         DumpStats {
             buffer_bytes: buffer,
             bytes_locally_unique: local_unique,
@@ -226,7 +250,10 @@ mod tests {
     #[test]
     fn from_ranks_lifts_view_entries() {
         let mut r = rank_stats(0, 0, 0, 0, 0);
-        r.reduction = Some(ReductionStats { view_entries: 7, ..Default::default() });
+        r.reduction = Some(ReductionStats {
+            view_entries: 7,
+            ..Default::default()
+        });
         let w = WorldDumpStats::from_ranks(Strategy::CollDedup, 4096, vec![r]);
         assert_eq!(w.view_entries, 7);
         assert_eq!(w.chunk_size, 4096);

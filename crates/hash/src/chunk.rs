@@ -51,7 +51,9 @@ pub struct FixedChunker {
 
 impl Default for FixedChunker {
     fn default() -> Self {
-        Self { chunk_size: DEFAULT_CHUNK_SIZE }
+        Self {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
     }
 }
 
@@ -97,7 +99,19 @@ mod tests {
     #[test]
     fn exact_multiple() {
         let r = chunk_ranges(8192, 4096);
-        assert_eq!(r, vec![ChunkRange { start: 0, end: 4096 }, ChunkRange { start: 4096, end: 8192 }]);
+        assert_eq!(
+            r,
+            vec![
+                ChunkRange {
+                    start: 0,
+                    end: 4096
+                },
+                ChunkRange {
+                    start: 4096,
+                    end: 8192
+                }
+            ]
+        );
     }
 
     #[test]

@@ -100,21 +100,40 @@ pub fn fingerprint_buffer(
         .collect()
 }
 
-/// Fingerprint every fixed-size chunk of `buf` using rayon.
+/// Fingerprint every fixed-size chunk of `buf` across all cores.
 ///
 /// Rank-local hashing is embarrassingly parallel; the paper's testbed
 /// runs 12 ranks on a 6-core node, so intra-rank parallel hashing models
-/// the same aggregate CPU throughput.
+/// the same aggregate CPU throughput. Chunks are split into contiguous
+/// shards, one scoped worker thread per shard, and the shard outputs are
+/// concatenated — the result is bit-identical to [`fingerprint_buffer`].
 pub fn fingerprint_buffer_parallel(
     hasher: &(dyn ChunkHasher + Sync),
     buf: &[u8],
     chunk_size: usize,
 ) -> Vec<Fingerprint> {
-    use rayon::prelude::*;
     assert!(chunk_size > 0, "chunk_size must be positive");
-    buf.par_chunks(chunk_size)
-        .map(|c| hasher.fingerprint(c))
-        .collect()
+    let chunk_count = buf.len().div_ceil(chunk_size);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(chunk_count);
+    if workers <= 1 {
+        return fingerprint_buffer(hasher, buf, chunk_size);
+    }
+    // Shard on chunk boundaries so every worker hashes whole chunks.
+    let chunks_per_worker = chunk_count.div_ceil(workers);
+    let shard_bytes = chunks_per_worker * chunk_size;
+    let mut out = Vec::with_capacity(chunk_count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buf
+            .chunks(shard_bytes)
+            .map(|shard| scope.spawn(move || fingerprint_buffer(hasher, shard, chunk_size)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("hash worker panicked"));
+        }
+    });
+    out
 }
 
 #[cfg(test)]

@@ -32,7 +32,13 @@ pub struct RabinParams {
 impl Default for RabinParams {
     fn default() -> Self {
         // Expected chunk ~4 KiB, matching the paper's fixed chunk size.
-        Self { window: 48, mask: (1 << 12) - 1, mask_value: (1 << 12) - 1, min_size: 1 << 10, max_size: 1 << 15 }
+        Self {
+            window: 48,
+            mask: (1 << 12) - 1,
+            mask_value: (1 << 12) - 1,
+            min_size: 1 << 10,
+            max_size: 1 << 15,
+        }
     }
 }
 
@@ -116,7 +122,15 @@ impl RabinHasher {
             }
             *entry = h;
         }
-        Self { pop_table, push_table, window, hash: 0, ring: vec![0; window], pos: 0, filled: 0 }
+        Self {
+            pop_table,
+            push_table,
+            window,
+            hash: 0,
+            ring: vec![0; window],
+            pos: 0,
+            filled: 0,
+        }
     }
 
     /// Reset to the empty-window state.
@@ -164,7 +178,10 @@ impl CdcChunker {
     pub fn new(params: RabinParams) -> Self {
         assert!(params.window > 0, "window must be positive");
         assert!(params.min_size > 0, "min_size must be positive");
-        assert!(params.min_size <= params.max_size, "min_size must be <= max_size");
+        assert!(
+            params.min_size <= params.max_size,
+            "min_size must be <= max_size"
+        );
         Self { params }
     }
 }
@@ -188,7 +205,10 @@ impl Chunker for CdcChunker {
             i += 1;
         }
         if start < buf.len() {
-            out.push(ChunkRange { start, end: buf.len() });
+            out.push(ChunkRange {
+                start,
+                end: buf.len(),
+            });
         }
         out
     }
@@ -202,7 +222,9 @@ mod tests {
     fn rolling_hash_matches_fresh_hash_of_window() {
         // After rolling a long stream, the hash must equal the hash of just
         // the final `window` bytes — the defining property of a rolling hash.
-        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(37) % 256) as u8).collect();
+        let data: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(37) % 256) as u8)
+            .collect();
         let window = 16;
         let mut a = RabinHasher::new(window);
         for &b in &data {
@@ -226,7 +248,9 @@ mod tests {
 
     #[test]
     fn cdc_tiles_buffer_exactly() {
-        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let chunks = CdcChunker::default().chunks(&data);
         assert!(!chunks.is_empty());
         assert_eq!(chunks[0].start, 0);
@@ -238,8 +262,16 @@ mod tests {
 
     #[test]
     fn cdc_respects_min_and_max_sizes() {
-        let data: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8).collect();
-        let params = RabinParams { window: 32, mask: (1 << 8) - 1, mask_value: (1 << 8) - 1, min_size: 512, max_size: 4096 };
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8)
+            .collect();
+        let params = RabinParams {
+            window: 32,
+            mask: (1 << 8) - 1,
+            mask_value: (1 << 8) - 1,
+            min_size: 512,
+            max_size: 4096,
+        };
         let chunks = CdcChunker::new(params).chunks(&data);
         for (i, c) in chunks.iter().enumerate() {
             assert!(c.len() <= 4096, "chunk {i} too big: {}", c.len());
@@ -253,14 +285,22 @@ mod tests {
     fn cdc_boundaries_are_content_defined() {
         // Shift-resistance: inserting a prefix realigns boundaries after the
         // insertion point, so most chunk *contents* reappear.
-        let base: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect();
+        let base: Vec<u8> = (0..60_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
         let mut shifted = vec![0xAB; 137];
         shifted.extend_from_slice(&base);
         let chunker = CdcChunker::default();
-        let set_a: std::collections::HashSet<Vec<u8>> =
-            chunker.chunks(&base).iter().map(|c| c.slice(&base).to_vec()).collect();
+        let set_a: std::collections::HashSet<Vec<u8>> = chunker
+            .chunks(&base)
+            .iter()
+            .map(|c| c.slice(&base).to_vec())
+            .collect();
         let chunks_b = chunker.chunks(&shifted);
-        let reused = chunks_b.iter().filter(|c| set_a.contains(c.slice(&shifted))).count();
+        let reused = chunks_b
+            .iter()
+            .filter(|c| set_a.contains(c.slice(&shifted)))
+            .count();
         // At least half the shifted file's chunks must literally reappear.
         assert!(
             reused * 2 >= chunks_b.len(),
@@ -279,7 +319,13 @@ mod tests {
         // All-zero data never matches a nontrivial mask value, so every cut
         // comes from max_size.
         let data = vec![0u8; 100_000];
-        let params = RabinParams { window: 48, mask: 0xff, mask_value: 0xff, min_size: 256, max_size: 1024 };
+        let params = RabinParams {
+            window: 48,
+            mask: 0xff,
+            mask_value: 0xff,
+            min_size: 256,
+            max_size: 1024,
+        };
         let chunks = CdcChunker::new(params).chunks(&data);
         for c in &chunks[..chunks.len() - 1] {
             assert_eq!(c.len(), 1024);
@@ -289,6 +335,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_size must be <= max_size")]
     fn bad_params_panic() {
-        CdcChunker::new(RabinParams { window: 8, mask: 1, mask_value: 1, min_size: 10, max_size: 5 });
+        CdcChunker::new(RabinParams {
+            window: 8,
+            mask: 1,
+            mask_value: 1,
+            min_size: 10,
+            max_size: 5,
+        });
     }
 }

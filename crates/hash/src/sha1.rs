@@ -34,11 +34,22 @@ impl Default for Sha1 {
 
 impl Sha1 {
     /// Initialization vector from RFC 3174 section 6.1.
-    const IV: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    const IV: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
 
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Self { state: Self::IV, len: 0, block: [0; 64], block_len: 0 }
+        Self {
+            state: Self::IV,
+            len: 0,
+            block: [0; 64],
+            block_len: 0,
+        }
     }
 
     /// One-shot digest of `data`.
@@ -149,12 +160,18 @@ mod tests {
     // RFC 3174 / FIPS 180 test vectors.
     #[test]
     fn vector_empty() {
-        assert_eq!(hex(Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn vector_abc() {
-        assert_eq!(hex(Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -170,7 +187,10 @@ mod tests {
     #[test]
     fn vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(Sha1::digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -28,6 +28,66 @@ use crate::wire::Wire;
 impl Comm {
     /// Block until every rank has entered the barrier.
     pub fn barrier(&mut self) {
+        self.tracer().enter("coll_barrier");
+        self.barrier_impl();
+        self.tracer().exit("coll_barrier");
+    }
+
+    /// Broadcast `value` from `root` to every rank; `value` is only read at
+    /// the root (other ranks pass `None`).
+    ///
+    /// # Panics
+    /// If the root passes `None` or `root` is out of range.
+    pub fn bcast<T: Wire>(&mut self, root: Rank, value: Option<T>) -> T {
+        self.tracer().enter("coll_bcast");
+        let out = self.bcast_impl(root, value);
+        self.tracer().exit("coll_bcast");
+        out
+    }
+
+    /// All-reduce with a user operator; see [`Comm::allreduce`] internals
+    /// in this module for algorithm and determinism guarantees.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        self.tracer().enter("coll_allreduce");
+        let out = self.allreduce_impl(value, op);
+        self.tracer().exit("coll_allreduce");
+        out
+    }
+
+    /// Gather one value per rank at `root` (rank order). Non-roots get `None`.
+    pub fn gather<T: Wire>(&mut self, root: Rank, value: T) -> Option<Vec<T>> {
+        self.tracer().enter("coll_gather");
+        let out = self.gather_impl(root, value);
+        self.tracer().exit("coll_gather");
+        out
+    }
+
+    /// All-gather: every rank contributes one value and receives the full
+    /// rank-ordered vector.
+    pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
+        self.tracer().enter("coll_allgather");
+        let out = self.allgather_impl(value);
+        self.tracer().exit("coll_allgather");
+        out
+    }
+
+    /// Personalized all-to-all of raw buffers: `sends[d]` goes to rank `d`;
+    /// returns the buffer received from each rank.
+    pub fn alltoallv(&mut self, sends: Vec<Bytes>) -> Vec<Bytes> {
+        self.tracer().enter("coll_alltoallv");
+        let out = self.alltoallv_impl(sends);
+        self.tracer().exit("coll_alltoallv");
+        out
+    }
+}
+
+impl Comm {
+    /// Dissemination barrier, ⌈log₂ N⌉ rounds.
+    fn barrier_impl(&mut self) {
         let op = self.next_op();
         let n = self.size();
         if n == 1 {
@@ -52,7 +112,7 @@ impl Comm {
     ///
     /// # Panics
     /// If the root passes `None` or `root` is out of range.
-    pub fn bcast<T: Wire>(&mut self, root: Rank, value: Option<T>) -> T {
+    fn bcast_impl<T: Wire>(&mut self, root: Rank, value: Option<T>) -> T {
         let op = self.next_op();
         let n = self.size();
         let me = self.rank();
@@ -74,7 +134,11 @@ impl Comm {
         let payload = payload.expect("payload present after receive");
         // Forward to children: set each bit above the lowest set bit of
         // vrank, as long as the resulting virtual rank is in range.
-        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut bit = 1u32;
         while bit < lowest && bit < n {
             let child_v = vrank | bit;
@@ -84,9 +148,8 @@ impl Comm {
             }
             bit <<= 1;
         }
-        T::from_bytes(&payload).unwrap_or_else(|e| {
-            panic!("rank {me} failed to decode bcast payload: {e}")
-        })
+        T::from_bytes(&payload)
+            .unwrap_or_else(|e| panic!("rank {me} failed to decode bcast payload: {e}"))
     }
 
     /// All-reduce with a user operator. `op(a, b)` must be associative and
@@ -95,7 +158,7 @@ impl Comm {
     /// lower-aggregate-side first), so even an order-sensitive operator
     /// yields bit-identical results on every rank and across runs; in
     /// power-of-two worlds the order is exactly rank order.
-    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    fn allreduce_impl<T, F>(&mut self, value: T, op: F) -> T
     where
         T: Wire,
         F: Fn(T, T) -> T,
@@ -106,7 +169,11 @@ impl Comm {
             return value;
         }
         let me = self.rank();
-        let p2 = if n.is_power_of_two() { n } else { n.next_power_of_two() / 2 };
+        let p2 = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
         let rem = n - p2;
 
         let mut acc = value;
@@ -138,7 +205,11 @@ impl Comm {
             let payload = self.recv_raw(partner, tag, Transport::Collective);
             let other = T::from_bytes(&payload)
                 .unwrap_or_else(|e| panic!("rank {me} failed to decode allreduce operand: {e}"));
-            acc = if me < partner { op(acc, other) } else { op(other, acc) };
+            acc = if me < partner {
+                op(acc, other)
+            } else {
+                op(other, acc)
+            };
             round += 1;
             dist <<= 1;
         }
@@ -159,12 +230,14 @@ impl Comm {
         // Implemented over allreduce: at the message sizes this library
         // moves (fingerprint sets), allreduce ≈ reduce + bcast anyway, and
         // the paper itself reasons in terms of an optimized ALLREDUCE.
-        let result = self.allreduce(value, op);
+        self.tracer().enter("coll_reduce");
+        let result = self.allreduce_impl(value, op);
+        self.tracer().exit("coll_reduce");
         (self.rank() == root).then_some(result)
     }
 
     /// Gather one value per rank at `root` (rank order). Non-roots get `None`.
-    pub fn gather<T: Wire>(&mut self, root: Rank, value: T) -> Option<Vec<T>> {
+    fn gather_impl<T: Wire>(&mut self, root: Rank, value: T) -> Option<Vec<T>> {
         let seq = self.next_op();
         let n = self.size();
         let me = self.rank();
@@ -182,7 +255,11 @@ impl Comm {
                     panic!("rank {me} failed to decode gather item from {src}: {e}")
                 }));
             }
-            Some(out.into_iter().map(|v| v.expect("all slots filled")).collect())
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("all slots filled"))
+                    .collect(),
+            )
         } else {
             self.send_raw(root, tag, value.to_bytes(), Transport::Collective);
             None
@@ -192,7 +269,7 @@ impl Comm {
     /// All-gather: every rank contributes one value and receives the full
     /// rank-ordered vector. Ring algorithm: N-1 steps, each rank forwards
     /// the block it received in the previous step.
-    pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
+    fn allgather_impl<T: Wire>(&mut self, value: T) -> Vec<T> {
         let seq = self.next_op();
         let n = self.size();
         let me = self.rank();
@@ -204,8 +281,9 @@ impl Comm {
             let tag = Self::coll_tag(seq, step);
             // Forward the block that originated at (me - step) mod n.
             let origin_out = ((me + n - step) % n) as usize;
-            let payload =
-                blocks[origin_out].clone().expect("block to forward is present by induction");
+            let payload = blocks[origin_out]
+                .clone()
+                .expect("block to forward is present by induction");
             self.send_raw(right, tag, payload, Transport::Collective);
             let origin_in = ((me + n - step - 1) % n) as usize;
             let incoming = self.recv_raw(left, tag, Transport::Collective);
@@ -226,11 +304,15 @@ impl Comm {
     /// Personalized all-to-all of raw buffers: `sends[d]` goes to rank `d`;
     /// returns the buffer received from each rank. `sends.len()` must equal
     /// the world size; `sends[me]` is returned as-is (self copy, no traffic).
-    pub fn alltoallv(&mut self, mut sends: Vec<Bytes>) -> Vec<Bytes> {
+    fn alltoallv_impl(&mut self, mut sends: Vec<Bytes>) -> Vec<Bytes> {
         let seq = self.next_op();
         let n = self.size();
         let me = self.rank();
-        assert_eq!(sends.len(), n as usize, "alltoallv needs one buffer per rank");
+        assert_eq!(
+            sends.len(),
+            n as usize,
+            "alltoallv needs one buffer per rank"
+        );
         let mut recvs: Vec<Bytes> = (0..n).map(|_| Bytes::new()).collect();
         recvs[me as usize] = std::mem::take(&mut sends[me as usize]);
         // Rotation schedule: at step s every rank sends to (r + s) mod N and
@@ -240,7 +322,12 @@ impl Comm {
             let dst = (me + step) % n;
             let src = (me + n - step) % n;
             let tag = Self::coll_tag(seq, step);
-            self.send_raw(dst, tag, std::mem::take(&mut sends[dst as usize]), Transport::Collective);
+            self.send_raw(
+                dst,
+                tag,
+                std::mem::take(&mut sends[dst as usize]),
+                Transport::Collective,
+            );
             recvs[src as usize] = self.recv_raw(src, tag, Transport::Collective);
         }
         recvs
@@ -282,7 +369,9 @@ mod tests {
     #[test]
     fn allreduce_sum_matches_closed_form() {
         for n in [1u32, 2, 3, 4, 5, 6, 7, 8, 12, 17] {
-            let out = World::run(n, |comm| comm.allreduce(u64::from(comm.rank()) + 1, |a, b| a + b));
+            let out = World::run(n, |comm| {
+                comm.allreduce(u64::from(comm.rank()) + 1, |a, b| a + b)
+            });
             let expect = u64::from(n) * (u64::from(n) + 1) / 2;
             for r in out.results {
                 assert_eq!(r, expect, "n={n}");
@@ -308,7 +397,11 @@ mod tests {
             }
             let mut sorted = first.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n={n}: missing contributions");
+            assert_eq!(
+                sorted,
+                (0..n).collect::<Vec<_>>(),
+                "n={n}: missing contributions"
+            );
             if n.is_power_of_two() {
                 assert_eq!(first, (0..n).collect::<Vec<_>>(), "n={n}: not rank ordered");
             }
@@ -373,7 +466,10 @@ mod tests {
             let sends: Vec<bytes::Bytes> = (0..4u8)
                 .map(|d| bytes::Bytes::from(vec![me * 16 + d; usize::from(d) + 1]))
                 .collect();
-            comm.alltoallv(sends).iter().map(|b| b.to_vec()).collect::<Vec<_>>()
+            comm.alltoallv(sends)
+                .iter()
+                .map(|b| b.to_vec())
+                .collect::<Vec<_>>()
         });
         for (me, recvs) in out.results.iter().enumerate() {
             for (src, buf) in recvs.iter().enumerate() {

@@ -13,17 +13,17 @@
 //! `replidedup-sim` crate converts measured traffic into cluster-scale
 //! timings.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rustc_hash::FxHashMap;
+use replidedup_trace::{Tracer, WorldTrace};
 
 use crate::stats::{RankCounters, TrafficReport, Transport};
-use crate::wire::Wire;
 use crate::window::WinBuf;
+use crate::wire::Wire;
 
 /// Rank index within a world (MPI `comm_rank`).
 pub type Rank = u32;
@@ -47,7 +47,11 @@ pub(crate) struct Message {
 /// exchanges window handles out-of-band during `MPI_Win_create`.
 #[derive(Clone)]
 pub(crate) enum CtrlMsg {
-    Win { src: Rank, seq: u64, handle: Arc<WinBuf> },
+    Win {
+        src: Rank,
+        seq: u64,
+        handle: Arc<WinBuf>,
+    },
 }
 
 /// Configuration for a [`World`] run.
@@ -56,11 +60,27 @@ pub struct WorldConfig {
     /// How long a blocking receive may wait before the runtime declares the
     /// program deadlocked and panics. Generous default; tests lower it.
     pub recv_timeout: Duration,
+    /// Record per-rank phase traces. Off by default: every rank then runs
+    /// with the zero-cost no-op [`Tracer`].
+    pub trace: bool,
 }
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        Self { recv_timeout: Duration::from_secs(120) }
+        Self {
+            recv_timeout: Duration::from_secs(120),
+            trace: false,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Default configuration with phase tracing switched on.
+    pub fn traced() -> Self {
+        Self {
+            trace: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -71,6 +91,8 @@ pub struct RunOutput<T> {
     pub results: Vec<T>,
     /// Per-rank traffic snapshot taken after all ranks returned.
     pub traffic: TrafficReport,
+    /// Per-rank phase traces when [`WorldConfig::trace`] was set.
+    pub trace: Option<WorldTrace>,
 }
 
 /// Entry point: spawn `size` ranks and run `f` on each.
@@ -104,67 +126,87 @@ impl World {
         let mut ctrl_senders = Vec::with_capacity(size as usize);
         let mut ctrl_receivers = Vec::with_capacity(size as usize);
         for _ in 0..size {
-            let (ts, tr) = unbounded::<Message>();
+            let (ts, tr) = channel::<Message>();
             data_senders.push(ts);
             data_receivers.push(tr);
-            let (cs, cr) = unbounded::<CtrlMsg>();
+            let (cs, cr) = channel::<CtrlMsg>();
             ctrl_senders.push(cs);
             ctrl_receivers.push(cr);
         }
         let data_senders = Arc::new(data_senders);
         let ctrl_senders = Arc::new(ctrl_senders);
 
-        let results: Vec<T> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size as usize);
-            // Drain receivers in reverse so rank 0 pops the front.
-            let mut receivers: Vec<_> = data_receivers.into_iter().collect();
-            let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
-            for rank in (0..size).rev() {
-                let receiver = receivers.pop().expect("one receiver per rank");
-                let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
-                let data_senders = Arc::clone(&data_senders);
-                let ctrl_senders = Arc::clone(&ctrl_senders);
-                let counters = Arc::clone(&counters);
-                let f = &f;
-                let config = config.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .spawn_scoped(scope, move || {
-                            let mut comm = Comm {
-                                rank,
-                                size,
-                                data_senders,
-                                receiver,
-                                ctrl_senders,
-                                ctrl_receiver,
-                                pending: FxHashMap::default(),
-                                pending_ctrl: FxHashMap::default(),
-                                counters,
-                                op_seq: 0,
-                                win_seq: 0,
-                                recv_timeout: config.recv_timeout,
-                            };
-                            f(&mut comm)
-                        })
-                        .expect("spawn rank thread"),
-                );
-            }
-            // handles were pushed for ranks size-1..0; reverse to rank order.
-            handles.reverse();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    // Re-raise with the original payload so callers (and
-                    // #[should_panic] tests) see the rank's own message.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
+        let (results, traces): (Vec<T>, Vec<Option<Vec<replidedup_trace::Event>>>) =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(size as usize);
+                // Drain receivers in reverse so rank 0 pops the front.
+                let mut receivers: Vec<_> = data_receivers.into_iter().collect();
+                let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
+                for rank in (0..size).rev() {
+                    let receiver = receivers.pop().expect("one receiver per rank");
+                    let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
+                    let data_senders = Arc::clone(&data_senders);
+                    let ctrl_senders = Arc::clone(&ctrl_senders);
+                    let counters = Arc::clone(&counters);
+                    let f = &f;
+                    let config = config.clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("rank-{rank}"))
+                            .spawn_scoped(scope, move || {
+                                let mut comm = Comm {
+                                    rank,
+                                    size,
+                                    data_senders,
+                                    receiver,
+                                    ctrl_senders,
+                                    ctrl_receiver,
+                                    pending: HashMap::new(),
+                                    pending_ctrl: HashMap::new(),
+                                    counters,
+                                    op_seq: 0,
+                                    win_seq: 0,
+                                    recv_timeout: config.recv_timeout,
+                                    tracer: if config.trace {
+                                        Tracer::enabled()
+                                    } else {
+                                        Tracer::disabled()
+                                    },
+                                };
+                                let result = f(&mut comm);
+                                (result, comm.tracer.take_events())
+                            })
+                            .expect("spawn rank thread"),
+                    );
+                }
+                // handles were pushed for ranks size-1..0; reverse to rank order.
+                handles.reverse();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        // Re-raise with the original payload so callers (and
+                        // #[should_panic] tests) see the rank's own message.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
 
-        let traffic = TrafficReport { ranks: counters.iter().map(|c| c.snapshot()).collect() };
-        RunOutput { results, traffic }
+        let traffic = TrafficReport {
+            ranks: counters.iter().map(|c| c.snapshot()).collect(),
+        };
+        let trace = if config.trace {
+            Some(WorldTrace::from_rank_events(
+                traces.into_iter().map(|t| t.unwrap_or_default()).collect(),
+            ))
+        } else {
+            None
+        };
+        RunOutput {
+            results,
+            traffic,
+            trace,
+        }
     }
 }
 
@@ -177,8 +219,8 @@ pub struct Comm {
     ctrl_senders: Arc<Vec<Sender<CtrlMsg>>>,
     ctrl_receiver: Receiver<CtrlMsg>,
     /// Unexpected-message queue: messages that arrived before their receive.
-    pending: FxHashMap<(Rank, Tag), VecDeque<Bytes>>,
-    pending_ctrl: FxHashMap<(Rank, u64), Arc<WinBuf>>,
+    pending: HashMap<(Rank, Tag), VecDeque<Bytes>>,
+    pending_ctrl: HashMap<(Rank, u64), Arc<WinBuf>>,
     counters: Arc<Vec<RankCounters>>,
     /// Collective sequence number; SPMD programs call collectives in the
     /// same order on every rank, so this stays globally consistent and
@@ -186,6 +228,9 @@ pub struct Comm {
     pub(crate) op_seq: u64,
     pub(crate) win_seq: u64,
     recv_timeout: Duration,
+    /// Per-rank phase recorder (the no-op sink unless the world enabled
+    /// tracing). Owned by this rank: recording never takes a lock.
+    tracer: Tracer,
 }
 
 impl Comm {
@@ -199,13 +244,46 @@ impl Comm {
         self.size
     }
 
+    /// Borrow this rank's phase recorder (a no-op sink unless tracing was
+    /// enabled via [`WorldConfig::trace`] or [`Comm::set_tracing`]).
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Switch phase tracing on or off mid-run. Enabling starts a fresh
+    /// recording; disabling discards anything not yet collected.
+    ///
+    /// # Panics
+    /// If called while a span is open.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        assert_eq!(
+            self.tracer.depth(),
+            0,
+            "cannot toggle tracing inside an open span"
+        );
+        if enabled != self.tracer.is_enabled() {
+            self.tracer = if enabled {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            };
+        }
+    }
+
+    /// Drain this rank's recorded trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<replidedup_trace::Event> {
+        self.tracer.take_events().unwrap_or_default()
+    }
+
     /// Borrow the shared per-rank counters (used by [`crate::window`]).
     pub(crate) fn counters(&self) -> &Arc<Vec<RankCounters>> {
         &self.counters
     }
 
     pub(crate) fn ctrl_send(&self, dst: Rank, msg: CtrlMsg) {
-        self.ctrl_senders[dst as usize].send(msg).expect("world torn down mid-operation");
+        self.ctrl_senders[dst as usize]
+            .send(msg)
+            .expect("world torn down mid-operation");
     }
 
     pub(crate) fn ctrl_recv_win(&mut self, src: Rank, seq: u64) -> Arc<WinBuf> {
@@ -214,7 +292,11 @@ impl Comm {
         }
         loop {
             match self.ctrl_receiver.recv_timeout(self.recv_timeout) {
-                Ok(CtrlMsg::Win { src: s, seq: q, handle }) => {
+                Ok(CtrlMsg::Win {
+                    src: s,
+                    seq: q,
+                    handle,
+                }) => {
                     if s == src && q == seq {
                         return handle;
                     }
@@ -246,13 +328,26 @@ impl Comm {
     /// # Panics
     /// If `tag` uses the reserved internal bit or `dst` is out of range.
     pub fn send(&self, dst: Rank, tag: Tag, payload: &[u8]) {
-        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
-        self.send_raw(dst, tag, Bytes::copy_from_slice(payload), Transport::PointToPoint);
+        assert_eq!(
+            tag & INTERNAL_TAG,
+            0,
+            "tag {tag:#x} uses the reserved internal bit"
+        );
+        self.send_raw(
+            dst,
+            tag,
+            Bytes::copy_from_slice(payload),
+            Transport::PointToPoint,
+        );
     }
 
     /// Send an owned buffer without copying.
     pub fn send_bytes(&self, dst: Rank, tag: Tag, payload: Bytes) {
-        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
+        assert_eq!(
+            tag & INTERNAL_TAG,
+            0,
+            "tag {tag:#x} uses the reserved internal bit"
+        );
         self.send_raw(dst, tag, payload, Transport::PointToPoint);
     }
 
@@ -265,13 +360,21 @@ impl Comm {
         let bytes = payload.len() as u64;
         self.counters[self.rank as usize].count_send(transport, bytes);
         self.data_senders[dst as usize]
-            .send(Message { src: self.rank, tag, payload })
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("world torn down mid-send");
     }
 
     /// Blocking matched receive from `(src, tag)`.
     pub fn recv(&mut self, src: Rank, tag: Tag) -> Bytes {
-        assert_eq!(tag & INTERNAL_TAG, 0, "tag {tag:#x} uses the reserved internal bit");
+        assert_eq!(
+            tag & INTERNAL_TAG,
+            0,
+            "tag {tag:#x} uses the reserved internal bit"
+        );
         self.recv_raw(src, tag, Transport::PointToPoint)
     }
 
@@ -283,7 +386,10 @@ impl Comm {
     pub fn recv_val<T: Wire>(&mut self, src: Rank, tag: Tag) -> T {
         let bytes = self.recv(src, tag);
         T::from_bytes(&bytes).unwrap_or_else(|e| {
-            panic!("rank {} failed to decode message from {src} tag {tag}: {e}", self.rank)
+            panic!(
+                "rank {} failed to decode message from {src} tag {tag}: {e}",
+                self.rank
+            )
         })
     }
 
@@ -305,7 +411,10 @@ impl Comm {
                             .count_recv(transport, msg.payload.len() as u64);
                         return msg.payload;
                     }
-                    self.pending.entry((msg.src, msg.tag)).or_default().push_back(msg.payload);
+                    self.pending
+                        .entry((msg.src, msg.tag))
+                        .or_default()
+                        .push_back(msg.payload);
                 }
                 Err(RecvTimeoutError::Timeout) => panic!(
                     "rank {} timed out after {:?} waiting for message from rank {src} tag {tag:#x} \
@@ -423,7 +532,7 @@ mod tests {
         let out = World::run(4, |comm| {
             let dst = (comm.rank() + 1) % comm.size();
             let src = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(dst, 1, &vec![0u8; 100]);
+            comm.send(dst, 1, &[0u8; 100]);
             comm.recv(src, 1);
         });
         assert_eq!(out.traffic.total_sent(), out.traffic.total_recv());
@@ -445,7 +554,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "timed out")]
     fn deadlock_is_detected() {
-        let config = WorldConfig { recv_timeout: Duration::from_millis(100) };
+        let config = WorldConfig {
+            recv_timeout: Duration::from_millis(100),
+            ..Default::default()
+        };
         World::run_with(1, &config, |comm| {
             // Receive that can never be matched.
             comm.recv(0, 1);

@@ -35,6 +35,7 @@ pub mod window;
 pub mod wire;
 
 pub use comm::{Comm, Rank, RunOutput, Tag, World, WorldConfig};
+pub use replidedup_trace::{Event, EventKind, PhaseAgg, RankTrace, Tracer, WorldTrace};
 pub use stats::{RankTraffic, TrafficReport, Transport};
 pub use window::Window;
 pub use wire::{Wire, WireError, WireResult};

@@ -136,13 +136,21 @@ impl TrafficReport {
 
     /// Largest per-rank sent volume (the "maximum send size" series).
     pub fn max_sent(&self) -> u64 {
-        self.ranks.iter().map(RankTraffic::total_sent).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(RankTraffic::total_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-rank received volume (the "maximal receive size" series
     /// of Figs. 4(c)/5(c)).
     pub fn max_recv(&self) -> u64 {
-        self.ranks.iter().map(RankTraffic::total_recv).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(RankTraffic::total_recv)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean per-rank sent volume.
@@ -192,8 +200,16 @@ mod tests {
     fn report_aggregates() {
         let report = TrafficReport {
             ranks: vec![
-                RankTraffic { p2p_sent: 5, p2p_recv: 2, ..Default::default() },
-                RankTraffic { p2p_sent: 7, p2p_recv: 10, ..Default::default() },
+                RankTraffic {
+                    p2p_sent: 5,
+                    p2p_recv: 2,
+                    ..Default::default()
+                },
+                RankTraffic {
+                    p2p_sent: 7,
+                    p2p_recv: 10,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(report.total_sent(), 12);

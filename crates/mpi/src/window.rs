@@ -14,9 +14,7 @@
 //! fence. In this runtime a `put` is a locked `memcpy` into the target
 //! buffer, so the fence reduces to a barrier.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::comm::{Comm, CtrlMsg, Rank};
 
@@ -53,14 +51,27 @@ impl Comm {
     /// Collectively create a window exposing `local_size` bytes on this
     /// rank (sizes may differ per rank). Must be called by every rank.
     pub fn win_create(&mut self, local_size: usize) -> Window {
+        self.tracer().enter("win_create");
+        self.tracer()
+            .gauge_bytes("win_local_bytes", local_size as u64);
         self.win_seq += 1;
         let seq = self.win_seq;
         let me = self.rank();
         let n = self.size();
-        let mine = Arc::new(WinBuf { data: Mutex::new(vec![0u8; local_size]), size: local_size });
+        let mine = Arc::new(WinBuf {
+            data: Mutex::new(vec![0u8; local_size]),
+            size: local_size,
+        });
         for dst in 0..n {
             if dst != me {
-                self.ctrl_send(dst, CtrlMsg::Win { src: me, seq, handle: Arc::clone(&mine) });
+                self.ctrl_send(
+                    dst,
+                    CtrlMsg::Win {
+                        src: me,
+                        seq,
+                        handle: Arc::clone(&mine),
+                    },
+                );
             }
         }
         let mut handles: Vec<Option<Arc<WinBuf>>> = (0..n).map(|_| None).collect();
@@ -72,11 +83,15 @@ impl Comm {
         }
         let window = Window {
             rank: me,
-            handles: handles.into_iter().map(|h| h.expect("all handles collected")).collect(),
+            handles: handles
+                .into_iter()
+                .map(|h| h.expect("all handles collected"))
+                .collect(),
             counters: Arc::clone(self.counters()),
         };
         // Opening fence: no rank may put before every rank has exposed.
         self.barrier();
+        self.tracer().exit("win_create");
         window
     }
 }
@@ -107,7 +122,7 @@ impl Window {
             data.len(),
             buf.size
         );
-        buf.data.lock()[offset..offset + data.len()].copy_from_slice(data);
+        buf.data.lock().unwrap()[offset..offset + data.len()].copy_from_slice(data);
         if target != self.rank {
             self.counters[self.rank as usize]
                 .count_send(crate::stats::Transport::Rma, data.len() as u64);
@@ -128,7 +143,7 @@ impl Window {
             self.rank,
             buf.size
         );
-        let out = buf.data.lock()[offset..offset + len].to_vec();
+        let out = buf.data.lock().unwrap()[offset..offset + len].to_vec();
         if target != self.rank {
             self.counters[self.rank as usize].count_rma_get(len as u64);
         }
@@ -139,17 +154,23 @@ impl Window {
     /// in this epoch. Local reads of data put by peers are valid only after
     /// a fence. Must be called by every rank.
     pub fn fence(&self, comm: &mut Comm) {
+        comm.tracer().enter("win_fence");
         comm.barrier();
+        comm.tracer().exit("win_fence");
     }
 
     /// Copy out the local exposure (valid after a fence).
     pub fn local_data(&self) -> Vec<u8> {
-        self.handles[self.rank as usize].data.lock().clone()
+        self.handles[self.rank as usize]
+            .data
+            .lock()
+            .unwrap()
+            .clone()
     }
 
     /// Run `f` over the local exposure without copying (valid after fence).
     pub fn with_local<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
-        f(&self.handles[self.rank as usize].data.lock())
+        f(&self.handles[self.rank as usize].data.lock().unwrap())
     }
 }
 
@@ -208,7 +229,11 @@ mod tests {
                 win.put(1, 0, &[9, 8, 7, 6]); // local put
             }
             win.fence(comm);
-            let data = if comm.rank() == 0 { win.get(1, 1, 2) } else { Vec::new() };
+            let data = if comm.rank() == 0 {
+                win.get(1, 1, 2)
+            } else {
+                Vec::new()
+            };
             win.fence(comm);
             data
         });

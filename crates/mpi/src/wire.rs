@@ -67,7 +67,9 @@ pub trait Wire: Sized {
         if input.is_empty() {
             Ok(v)
         } else {
-            Err(WireError::TrailingBytes { remaining: input.len() })
+            Err(WireError::TrailingBytes {
+                remaining: input.len(),
+            })
         }
     }
 }
@@ -291,12 +293,18 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = 7u8.to_bytes().to_vec();
         bytes.push(9);
-        assert_eq!(u8::from_bytes(&bytes), Err(WireError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            u8::from_bytes(&bytes),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
     fn malformed_bool_rejected() {
-        assert!(matches!(bool::from_bytes(&[2]), Err(WireError::Malformed { .. })));
+        assert!(matches!(
+            bool::from_bytes(&[2]),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -322,8 +330,12 @@ mod tests {
     fn error_display_is_informative() {
         let e = WireError::Truncated { what: "u32" };
         assert!(e.to_string().contains("u32"));
-        assert!(WireError::TrailingBytes { remaining: 3 }.to_string().contains('3'));
-        assert!(WireError::Malformed { what: "bool" }.to_string().contains("bool"));
+        assert!(WireError::TrailingBytes { remaining: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(WireError::Malformed { what: "bool" }
+            .to_string()
+            .contains("bool"));
     }
 
     proptest! {

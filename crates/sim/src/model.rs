@@ -24,10 +24,9 @@
 //! linearly.
 
 use replidedup_core::WorldDumpStats;
-use serde::{Deserialize, Serialize};
 
 /// Hardware/topology parameters of the modeled cluster.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClusterModel {
     /// Ranks per node (paper: 12).
     pub ranks_per_node: u32,
@@ -64,7 +63,7 @@ impl Default for ClusterModel {
 }
 
 /// Per-phase times of one modeled collective dump, in seconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimes {
     /// Chunk fingerprinting.
     pub hash: f64,
@@ -84,7 +83,7 @@ impl PhaseTimes {
 }
 
 /// Scale- and topology-independent summary of one measured dump.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DumpMeasurement {
     /// World size the dump ran with.
     pub world: u32,
@@ -116,8 +115,16 @@ impl DumpMeasurement {
             max_hash_bytes: stats.max_hashed_bytes(),
             max_reduce_bytes: stats.max_reduction_bytes(),
             view_entries: stats.view_entries,
-            sent_bytes: stats.ranks.iter().map(|r| r.bytes_sent_replication).collect(),
-            recv_bytes: stats.ranks.iter().map(|r| r.bytes_received_replication).collect(),
+            sent_bytes: stats
+                .ranks
+                .iter()
+                .map(|r| r.bytes_sent_replication)
+                .collect(),
+            recv_bytes: stats
+                .ranks
+                .iter()
+                .map(|r| r.bytes_received_replication)
+                .collect(),
             written_bytes: stats.ranks.iter().map(|r| r.bytes_written_local).collect(),
         }
     }
@@ -183,7 +190,12 @@ impl ClusterModel {
         let worst_write = write_nodes.iter().copied().max().unwrap_or(0) as f64 * scale;
         let write = worst_write / self.hdd_write_bandwidth;
 
-        PhaseTimes { hash, reduce, exchange, write }
+        PhaseTimes {
+            hash,
+            reduce,
+            exchange,
+            write,
+        }
     }
 }
 
@@ -238,17 +250,27 @@ mod tests {
         let m = measurement(408, 3);
         let small = model.dump_time(&m, 1.0);
         let huge = model.dump_time(&m, 1e6);
-        let cap_bytes = f64::from(m.reduce_rounds()) * (1u64 << 17) as f64 * (20 + 8 + 8 + 12) as f64;
+        let cap_bytes =
+            f64::from(m.reduce_rounds()) * (1u64 << 17) as f64 * (20 + 8 + 8 + 12) as f64;
         let nic_per_rank = model.nic_bandwidth / 12.0;
-        assert!(huge.reduce <= cap_bytes / nic_per_rank + 1.0, "cap must bind");
+        assert!(
+            huge.reduce <= cap_bytes / nic_per_rank + 1.0,
+            "cap must bind"
+        );
         assert!(huge.reduce > small.reduce);
     }
 
     #[test]
     fn more_ranks_per_node_means_more_contention() {
         let m = measurement(24, 3);
-        let packed = ClusterModel { ranks_per_node: 12, ..Default::default() };
-        let sparse = ClusterModel { ranks_per_node: 2, ..Default::default() };
+        let packed = ClusterModel {
+            ranks_per_node: 12,
+            ..Default::default()
+        };
+        let sparse = ClusterModel {
+            ranks_per_node: 2,
+            ..Default::default()
+        };
         let tp = packed.dump_time(&m, 1.0);
         let ts = sparse.dump_time(&m, 1.0);
         assert!(
@@ -279,7 +301,12 @@ mod tests {
 
     #[test]
     fn total_adds_phases() {
-        let t = PhaseTimes { hash: 1.0, reduce: 2.0, exchange: 3.0, write: 4.0 };
+        let t = PhaseTimes {
+            hash: 1.0,
+            reduce: 2.0,
+            exchange: 3.0,
+            write: 4.0,
+        };
         assert_eq!(t.total(), 10.0);
     }
 
@@ -291,12 +318,19 @@ mod tests {
 
     #[test]
     fn skewed_load_dominates_exchange() {
-        let model = ClusterModel { ranks_per_node: 1, ..Default::default() };
+        let model = ClusterModel {
+            ranks_per_node: 1,
+            ..Default::default()
+        };
         let mut m = measurement(4, 3);
         m.sent_bytes = vec![10, 10, 10, 10];
         m.recv_bytes = vec![10, 1_000_000_000, 10, 10];
         let t = model.dump_time(&m, 1.0);
         // 1 GB over 112 MB/s ≈ 8.9 s.
-        assert!((t.exchange - 1e9 / 112e6).abs() < 0.1, "exchange {}", t.exchange);
+        assert!(
+            (t.exchange - 1e9 / 112e6).abs() < 0.1,
+            "exchange {}",
+            t.exchange
+        );
     }
 }

@@ -12,10 +12,8 @@
 //! actual subject of the evaluation, come from measured traffic through
 //! the [`crate::model::ClusterModel`].
 
-use serde::{Deserialize, Serialize};
-
 /// Baseline completion-time model `a + c·√p` (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BaselineModel {
     /// Fixed component.
     pub a: f64,
@@ -31,7 +29,7 @@ impl BaselineModel {
 }
 
 /// One application at paper scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppScenario {
     /// Application name as used in the paper.
     pub name: &'static str,
@@ -69,7 +67,10 @@ pub const CM1: AppScenario = AppScenario {
 impl AppScenario {
     /// Scale factor from a measured per-rank volume to paper scale.
     pub fn scale_from(&self, measured_bytes_per_rank: u64) -> f64 {
-        assert!(measured_bytes_per_rank > 0, "measured volume must be positive");
+        assert!(
+            measured_bytes_per_rank > 0,
+            "measured volume must be positive"
+        );
         self.bytes_per_rank as f64 / measured_bytes_per_rank as f64
     }
 
@@ -96,11 +97,17 @@ mod tests {
         // The √p model should land within ~20 % of the paper's middle rows.
         for (p, paper) in [(64u32, 152.0f64), (196, 186.0)] {
             let model = HPCCG.baseline.time(p);
-            assert!((model - paper).abs() / paper < 0.2, "HPCCG p={p}: {model} vs {paper}");
+            assert!(
+                (model - paper).abs() / paper < 0.2,
+                "HPCCG p={p}: {model} vs {paper}"
+            );
         }
         for (p, paper) in [(120u32, 259.0f64), (264, 366.0)] {
             let model = CM1.baseline.time(p);
-            assert!((model - paper).abs() / paper < 0.2, "CM1 p={p}: {model} vs {paper}");
+            assert!(
+                (model - paper).abs() / paper < 0.2,
+                "CM1 p={p}: {model} vs {paper}"
+            );
         }
     }
 

@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use replidedup_hash::Fingerprint;
+use std::sync::Mutex;
 
 use crate::manifest::{DumpId, Manifest};
 use crate::store::ChunkStore;
@@ -76,7 +76,10 @@ impl Placement {
     pub fn pack(world_size: u32, ranks_per_node: u32) -> Self {
         assert!(world_size > 0, "world_size must be positive");
         assert!(ranks_per_node > 0, "ranks_per_node must be positive");
-        Self { nodes: world_size.div_ceil(ranks_per_node), ranks_per_node }
+        Self {
+            nodes: world_size.div_ceil(ranks_per_node),
+            ranks_per_node,
+        }
     }
 
     /// One rank per node.
@@ -130,7 +133,12 @@ impl Cluster {
     /// empty.
     pub fn new(placement: Placement) -> Self {
         let nodes = (0..placement.nodes)
-            .map(|_| Mutex::new(NodeState { alive: true, ..NodeState::default() }))
+            .map(|_| {
+                Mutex::new(NodeState {
+                    alive: true,
+                    ..NodeState::default()
+                })
+            })
             .collect();
         Self { nodes, placement }
     }
@@ -155,8 +163,12 @@ impl Cluster {
     }
 
     /// Run `f` against a live node's state.
-    pub fn with_node<R>(&self, node: NodeId, f: impl FnOnce(&mut NodeState) -> R) -> StorageResult<R> {
-        let mut state = self.check(node).lock();
+    pub fn with_node<R>(
+        &self,
+        node: NodeId,
+        f: impl FnOnce(&mut NodeState) -> R,
+    ) -> StorageResult<R> {
+        let mut state = self.check(node).lock().unwrap();
         if !state.alive {
             return Err(StorageError::NodeDown(node));
         }
@@ -176,7 +188,8 @@ impl Cluster {
 
     /// Does `node` hold the chunk? (`false` also when the node is down.)
     pub fn has_chunk(&self, node: NodeId, fp: &Fingerprint) -> bool {
-        self.with_node(node, |n| n.store.contains(fp)).unwrap_or(false)
+        self.with_node(node, |n| n.store.contains(fp))
+            .unwrap_or(false)
     }
 
     /// Store a manifest on `node`.
@@ -185,14 +198,22 @@ impl Cluster {
     /// If the manifest is internally inconsistent — storing a corrupt
     /// recipe would silently break restart.
     pub fn put_manifest(&self, node: NodeId, manifest: Manifest) -> StorageResult<()> {
-        manifest.validate().expect("refusing to store inconsistent manifest");
+        manifest
+            .validate()
+            .expect("refusing to store inconsistent manifest");
         self.with_node(node, |n| {
-            n.manifests.insert((manifest.owner_rank, manifest.dump_id), manifest);
+            n.manifests
+                .insert((manifest.owner_rank, manifest.dump_id), manifest);
         })
     }
 
     /// Fetch the manifest of `rank`'s dump `dump_id` from `node`.
-    pub fn get_manifest(&self, node: NodeId, rank: u32, dump_id: DumpId) -> StorageResult<Manifest> {
+    pub fn get_manifest(
+        &self,
+        node: NodeId,
+        rank: u32,
+        dump_id: DumpId,
+    ) -> StorageResult<Manifest> {
         self.with_node(node, |n| n.manifests.get(&(rank, dump_id)).cloned())?
             .ok_or(StorageError::MissingManifest { rank, dump_id })
     }
@@ -215,8 +236,12 @@ impl Cluster {
     /// Owner ranks whose raw blobs for `dump_id` are held on `node` (sorted).
     pub fn blob_owners(&self, node: NodeId, dump_id: DumpId) -> StorageResult<Vec<u32>> {
         self.with_node(node, |n| {
-            let mut owners: Vec<u32> =
-                n.blobs.keys().filter(|(_, d)| *d == dump_id).map(|(r, _)| *r).collect();
+            let mut owners: Vec<u32> = n
+                .blobs
+                .keys()
+                .filter(|(_, d)| *d == dump_id)
+                .map(|(r, _)| *r)
+                .collect();
             owners.sort_unstable();
             owners
         })
@@ -224,7 +249,13 @@ impl Cluster {
 
     /// Store a raw dump blob on `node` (the `no-dedup` storage format).
     /// Overwriting the same `(owner, dump)` replaces the previous blob.
-    pub fn put_blob(&self, node: NodeId, owner: u32, dump_id: DumpId, data: Bytes) -> StorageResult<()> {
+    pub fn put_blob(
+        &self,
+        node: NodeId,
+        owner: u32,
+        dump_id: DumpId,
+        data: Bytes,
+    ) -> StorageResult<()> {
         self.with_node(node, |n| {
             if let Some(old) = n.blobs.insert((owner, dump_id), data.clone()) {
                 n.blob_bytes -= old.len() as u64;
@@ -236,17 +267,21 @@ impl Cluster {
     /// Fetch a raw dump blob from `node`.
     pub fn get_blob(&self, node: NodeId, owner: u32, dump_id: DumpId) -> StorageResult<Bytes> {
         self.with_node(node, |n| n.blobs.get(&(owner, dump_id)).cloned())?
-            .ok_or(StorageError::MissingManifest { rank: owner, dump_id })
+            .ok_or(StorageError::MissingManifest {
+                rank: owner,
+                dump_id,
+            })
     }
 
     /// Does `node` hold the blob? (`false` also when the node is down.)
     pub fn has_blob(&self, node: NodeId, owner: u32, dump_id: DumpId) -> bool {
-        self.with_node(node, |n| n.blobs.contains_key(&(owner, dump_id))).unwrap_or(false)
+        self.with_node(node, |n| n.blobs.contains_key(&(owner, dump_id)))
+            .unwrap_or(false)
     }
 
     /// Raw device usage of a node in bytes: chunk store plus blobs.
     pub fn device_bytes(&self, node: NodeId) -> u64 {
-        let s = self.check(node).lock();
+        let s = self.check(node).lock().unwrap();
         if s.alive {
             s.store.bytes_stored() + s.blob_bytes
         } else {
@@ -262,12 +297,12 @@ impl Cluster {
 
     /// Is the node alive?
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.check(node).lock().alive
+        self.check(node).lock().unwrap().alive
     }
 
     /// Fail a node: the device contents are lost.
     pub fn fail_node(&self, node: NodeId) {
-        let mut state = self.check(node).lock();
+        let mut state = self.check(node).lock().unwrap();
         state.alive = false;
         state.store.wipe();
         state.manifests.clear();
@@ -277,7 +312,7 @@ impl Cluster {
 
     /// Bring a replacement node online (empty device, same identity).
     pub fn revive_node(&self, node: NodeId) {
-        self.check(node).lock().alive = true;
+        self.check(node).lock().unwrap().alive = true;
     }
 
     /// Total unique bytes stored across live nodes (Figure 3(a)'s metric
@@ -286,7 +321,7 @@ impl Cluster {
         self.nodes
             .iter()
             .map(|n| {
-                let s = n.lock();
+                let s = n.lock().unwrap();
                 if s.alive {
                     s.store.bytes_stored()
                 } else {
@@ -301,7 +336,7 @@ impl Cluster {
         self.nodes
             .iter()
             .map(|n| {
-                let s = n.lock();
+                let s = n.lock().unwrap();
                 if s.alive {
                     s.store.bytes_stored()
                 } else {
@@ -316,7 +351,7 @@ impl Cluster {
         self.nodes
             .iter()
             .map(|n| {
-                let s = n.lock();
+                let s = n.lock().unwrap();
                 u32::from(s.alive && s.store.contains(fp))
             })
             .sum()
@@ -363,7 +398,10 @@ mod tests {
         assert_eq!(c.get_chunk(0, &fp(1)).unwrap(), Bytes::from_static(b"abc"));
         assert!(c.has_chunk(0, &fp(1)));
         assert!(!c.has_chunk(1, &fp(1)));
-        assert_eq!(c.get_chunk(1, &fp(1)), Err(StorageError::MissingChunk(fp(1))));
+        assert_eq!(
+            c.get_chunk(1, &fp(1)),
+            Err(StorageError::MissingChunk(fp(1)))
+        );
     }
 
     #[test]
@@ -372,23 +410,38 @@ mod tests {
         c.put_chunk(0, fp(1), Bytes::from_static(b"abc")).unwrap();
         c.fail_node(0);
         assert!(!c.is_alive(0));
-        assert_eq!(c.put_chunk(0, fp(2), Bytes::new()), Err(StorageError::NodeDown(0)));
+        assert_eq!(
+            c.put_chunk(0, fp(2), Bytes::new()),
+            Err(StorageError::NodeDown(0))
+        );
         assert_eq!(c.get_chunk(0, &fp(1)), Err(StorageError::NodeDown(0)));
         c.revive_node(0);
         assert!(c.is_alive(0));
         // Replacement hardware comes up empty.
-        assert_eq!(c.get_chunk(0, &fp(1)), Err(StorageError::MissingChunk(fp(1))));
+        assert_eq!(
+            c.get_chunk(0, &fp(1)),
+            Err(StorageError::MissingChunk(fp(1)))
+        );
     }
 
     #[test]
     fn manifests_roundtrip_and_die_with_node() {
         let c = Cluster::new(Placement::one_per_node(2));
-        let m = Manifest { owner_rank: 1, dump_id: 5, chunk_size: 4, total_len: 4, chunks: vec![fp(9)] };
+        let m = Manifest {
+            owner_rank: 1,
+            dump_id: 5,
+            chunk_size: 4,
+            total_len: 4,
+            chunks: vec![fp(9)],
+        };
         c.put_manifest(0, m.clone()).unwrap();
         assert_eq!(c.get_manifest(0, 1, 5).unwrap(), m);
         assert_eq!(
             c.get_manifest(0, 1, 6),
-            Err(StorageError::MissingManifest { rank: 1, dump_id: 6 })
+            Err(StorageError::MissingManifest {
+                rank: 1,
+                dump_id: 6
+            })
         );
         c.fail_node(0);
         c.revive_node(0);
@@ -453,7 +506,13 @@ mod tests {
     #[should_panic(expected = "inconsistent manifest")]
     fn inconsistent_manifest_rejected() {
         let c = Cluster::new(Placement::one_per_node(1));
-        let bad = Manifest { owner_rank: 0, dump_id: 0, chunk_size: 4, total_len: 100, chunks: vec![] };
+        let bad = Manifest {
+            owner_rank: 0,
+            dump_id: 0,
+            chunk_size: 4,
+            total_len: 100,
+            chunks: vec![],
+        };
         let _ = c.put_manifest(0, bad);
     }
 }

@@ -132,7 +132,13 @@ mod tests {
 
     #[test]
     fn empty_buffer_manifest_is_valid() {
-        let m = Manifest { owner_rank: 0, dump_id: 0, chunk_size: 4096, total_len: 0, chunks: vec![] };
+        let m = Manifest {
+            owner_rank: 0,
+            dump_id: 0,
+            chunk_size: 4096,
+            total_len: 0,
+            chunks: vec![],
+        };
         assert!(m.validate().is_ok());
     }
 

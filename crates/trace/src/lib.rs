@@ -1,0 +1,686 @@
+//! Phase-level observability for the replidedup pipeline.
+//!
+//! The paper's evaluation (Section V) reasons about *where time goes inside
+//! one `DUMP_OUTPUT`* — local dedup vs. the `ALLREDUCE(HMERGE)` reduction
+//! vs. the one-sided exchange vs. local commit. The byte counters in
+//! `replidedup-mpi::stats` answer "how much moved"; this crate answers
+//! "how long each phase took, on every rank".
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when off.** The default [`Tracer`] is a no-op sink: one branch
+//!    on a discriminant, no allocation, no timestamps. Hot paths stay hot.
+//! 2. **Lock-free when on.** Each rank owns its [`Tracer`] outright (it
+//!    lives inside the rank's `Comm`), so recording is a plain `Vec::push`
+//!    — no atomics, no mutexes, no channels.
+//! 3. **Deterministic output.** Exporters order phases by first appearance
+//!    on rank 0, so two runs of the same program produce byte-identical
+//!    schemas (timestamps aside) and diffs stay readable.
+//!
+//! The model is a per-rank stream of [`Event`]s: span enter/exit pairs with
+//! monotonic nanosecond timestamps (spans nest), named `u64` counters, and
+//! named byte gauges. After a world run, per-rank streams are collected
+//! into a [`WorldTrace`], which aggregates per-phase inclusive time across
+//! ranks (min / median / max / sum) and exports JSON or CSV.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What one trace event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span (phase) began.
+    Enter,
+    /// The innermost open span ended.
+    Exit,
+    /// A named `u64` counter incremented by this amount.
+    Counter(u64),
+    /// A named byte quantity observed at this instant.
+    GaugeBytes(u64),
+}
+
+/// One recorded event on one rank.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Static phase/counter name (`local_dedup`, `exchange`, ...).
+    pub name: &'static str,
+    /// Nanoseconds since this rank's tracer was created (monotonic).
+    pub t_ns: u64,
+    /// Span nesting depth at the time of the event (0 = top level).
+    pub depth: u16,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct Buf {
+    epoch: Instant,
+    events: Vec<Event>,
+    stack: Vec<&'static str>,
+}
+
+/// Per-rank recorder. Disabled by default; when disabled every call is a
+/// single branch and performs no allocation.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<Buf>>,
+}
+
+impl Tracer {
+    /// The no-op sink: records nothing, costs one branch per call.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording tracer with its epoch at "now".
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Box::new(Buf {
+                epoch: Instant::now(),
+                events: Vec::with_capacity(256),
+                stack: Vec::with_capacity(8),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current span nesting depth (0 when no span is open, and always 0
+    /// when disabled).
+    pub fn depth(&self) -> usize {
+        self.inner.as_ref().map_or(0, |b| b.stack.len())
+    }
+
+    /// Open a span named `name`. Spans nest; close with [`Tracer::exit`].
+    #[inline]
+    pub fn enter(&mut self, name: &'static str) {
+        if let Some(buf) = &mut self.inner {
+            let depth = buf.stack.len() as u16;
+            let t_ns = buf.epoch.elapsed().as_nanos() as u64;
+            buf.events.push(Event {
+                name,
+                t_ns,
+                depth,
+                kind: EventKind::Enter,
+            });
+            buf.stack.push(name);
+        }
+    }
+
+    /// Close the innermost span, which must be named `name`.
+    ///
+    /// # Panics
+    /// If no span is open or the innermost span has a different name —
+    /// mismatched spans are instrumentation bugs, not runtime conditions.
+    #[inline]
+    pub fn exit(&mut self, name: &'static str) {
+        if let Some(buf) = &mut self.inner {
+            let top = buf
+                .stack
+                .pop()
+                .unwrap_or_else(|| panic!("trace: exit(\"{name}\") with no open span"));
+            assert_eq!(
+                top, name,
+                "trace: exit(\"{name}\") but the innermost open span is \"{top}\""
+            );
+            let depth = buf.stack.len() as u16;
+            let t_ns = buf.epoch.elapsed().as_nanos() as u64;
+            buf.events.push(Event {
+                name,
+                t_ns,
+                depth,
+                kind: EventKind::Exit,
+            });
+        }
+    }
+
+    /// Record `value` against the named counter.
+    #[inline]
+    pub fn counter(&mut self, name: &'static str, value: u64) {
+        if let Some(buf) = &mut self.inner {
+            let depth = buf.stack.len() as u16;
+            let t_ns = buf.epoch.elapsed().as_nanos() as u64;
+            buf.events.push(Event {
+                name,
+                t_ns,
+                depth,
+                kind: EventKind::Counter(value),
+            });
+        }
+    }
+
+    /// Record an observed byte quantity.
+    #[inline]
+    pub fn gauge_bytes(&mut self, name: &'static str, bytes: u64) {
+        if let Some(buf) = &mut self.inner {
+            let depth = buf.stack.len() as u16;
+            let t_ns = buf.epoch.elapsed().as_nanos() as u64;
+            buf.events.push(Event {
+                name,
+                t_ns,
+                depth,
+                kind: EventKind::GaugeBytes(bytes),
+            });
+        }
+    }
+
+    /// Drain the recorded events, leaving the tracer recording from an
+    /// empty buffer. Returns `None` when disabled.
+    ///
+    /// # Panics
+    /// If a span is still open — a leaked span is an instrumentation bug.
+    pub fn take_events(&mut self) -> Option<Vec<Event>> {
+        let buf = self.inner.as_mut()?;
+        assert!(
+            buf.stack.is_empty(),
+            "trace: {} span(s) still open at collection (innermost \"{}\")",
+            buf.stack.len(),
+            buf.stack.last().unwrap()
+        );
+        Some(std::mem::take(&mut buf.events))
+    }
+}
+
+/// The full event stream of one rank.
+#[derive(Debug, Clone)]
+pub struct RankTrace {
+    /// Which rank recorded these events.
+    pub rank: u32,
+    /// Events in record order.
+    pub events: Vec<Event>,
+}
+
+impl RankTrace {
+    /// The span structure of this rank as `(name, is_enter)` pairs, in
+    /// order, counters and gauges excluded. Two ranks executing the same
+    /// collective program produce identical sequences.
+    pub fn span_sequence(&self) -> Vec<(&'static str, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Enter => Some((e.name, true)),
+                EventKind::Exit => Some((e.name, false)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total inclusive nanoseconds per phase on this rank, keyed by name.
+    /// Nested spans of the same name accumulate (each enter/exit pair
+    /// contributes its own duration).
+    fn phase_totals(&self) -> HashMap<&'static str, PhaseRankTotal> {
+        let mut totals: HashMap<&'static str, PhaseRankTotal> = HashMap::new();
+        let mut open: Vec<(&'static str, u64)> = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Enter => open.push((e.name, e.t_ns)),
+                EventKind::Exit => {
+                    let (name, start) = open.pop().expect("balanced span stream");
+                    debug_assert_eq!(name, e.name);
+                    let t = totals.entry(name).or_default();
+                    t.ns += e.t_ns.saturating_sub(start);
+                    t.spans += 1;
+                }
+                _ => {}
+            }
+        }
+        totals
+    }
+
+    /// Summed counter values per name on this rank.
+    fn counter_totals(&self) -> HashMap<&'static str, u64> {
+        let mut totals: HashMap<&'static str, u64> = HashMap::new();
+        for e in &self.events {
+            if let EventKind::Counter(v) = e.kind {
+                *totals.entry(e.name).or_default() += v;
+            }
+        }
+        totals
+    }
+
+    /// Summed byte-gauge observations per name on this rank.
+    fn gauge_totals(&self) -> HashMap<&'static str, u64> {
+        let mut totals: HashMap<&'static str, u64> = HashMap::new();
+        for e in &self.events {
+            if let EventKind::GaugeBytes(v) = e.kind {
+                *totals.entry(e.name).or_default() += v;
+            }
+        }
+        totals
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseRankTotal {
+    ns: u64,
+    spans: u64,
+}
+
+/// Cross-rank aggregate for one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Phase name.
+    pub name: &'static str,
+    /// Total number of spans across all ranks.
+    pub spans: u64,
+    /// Minimum per-rank inclusive time (ns), over ranks that ran the phase.
+    pub min_ns: u64,
+    /// Median per-rank inclusive time (ns).
+    pub median_ns: u64,
+    /// Maximum per-rank inclusive time (ns).
+    pub max_ns: u64,
+    /// Sum of per-rank inclusive times (ns).
+    pub sum_ns: u64,
+}
+
+/// Cross-rank aggregate for one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterAgg {
+    /// Counter name.
+    pub name: &'static str,
+    /// Minimum per-rank total.
+    pub min: u64,
+    /// Median per-rank total.
+    pub median: u64,
+    /// Maximum per-rank total.
+    pub max: u64,
+    /// Sum over all ranks.
+    pub sum: u64,
+}
+
+/// All ranks' traces from one world run.
+#[derive(Debug, Clone, Default)]
+pub struct WorldTrace {
+    /// Per-rank traces, indexed by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+impl WorldTrace {
+    /// Build from per-rank event streams (index = rank).
+    pub fn from_rank_events(streams: Vec<Vec<Event>>) -> Self {
+        Self {
+            ranks: streams
+                .into_iter()
+                .enumerate()
+                .map(|(rank, events)| RankTrace {
+                    rank: rank as u32,
+                    events,
+                })
+                .collect(),
+        }
+    }
+
+    /// Phase aggregates in deterministic order: first appearance on rank 0,
+    /// then names that only later ranks saw, in rank order.
+    pub fn aggregate(&self) -> Vec<PhaseAgg> {
+        let order = self.name_order(|e| matches!(e.kind, EventKind::Enter));
+        let per_rank: Vec<HashMap<&'static str, PhaseRankTotal>> =
+            self.ranks.iter().map(|r| r.phase_totals()).collect();
+        order
+            .into_iter()
+            .map(|name| {
+                let mut totals: Vec<PhaseRankTotal> = per_rank
+                    .iter()
+                    .filter_map(|m| m.get(name))
+                    .copied()
+                    .collect();
+                totals.sort_by_key(|t| t.ns);
+                let ns: Vec<u64> = totals.iter().map(|t| t.ns).collect();
+                PhaseAgg {
+                    name,
+                    spans: totals.iter().map(|t| t.spans).sum(),
+                    min_ns: ns.first().copied().unwrap_or(0),
+                    median_ns: median(&ns),
+                    max_ns: ns.last().copied().unwrap_or(0),
+                    sum_ns: ns.iter().sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// Counter aggregates, same deterministic ordering rule as phases.
+    pub fn aggregate_counters(&self) -> Vec<CounterAgg> {
+        let order = self.name_order(|e| matches!(e.kind, EventKind::Counter(_)));
+        let per_rank: Vec<HashMap<&'static str, u64>> =
+            self.ranks.iter().map(|r| r.counter_totals()).collect();
+        Self::aggregate_values(order, &per_rank)
+    }
+
+    /// Byte-gauge aggregates, same deterministic ordering rule as phases.
+    /// Per rank, repeated observations of the same gauge sum (e.g. bytes
+    /// pushed per dump accumulate across dumps).
+    pub fn aggregate_gauges(&self) -> Vec<CounterAgg> {
+        let order = self.name_order(|e| matches!(e.kind, EventKind::GaugeBytes(_)));
+        let per_rank: Vec<HashMap<&'static str, u64>> =
+            self.ranks.iter().map(|r| r.gauge_totals()).collect();
+        Self::aggregate_values(order, &per_rank)
+    }
+
+    fn aggregate_values(
+        order: Vec<&'static str>,
+        per_rank: &[HashMap<&'static str, u64>],
+    ) -> Vec<CounterAgg> {
+        order
+            .into_iter()
+            .map(|name| {
+                let mut vals: Vec<u64> = per_rank
+                    .iter()
+                    .filter_map(|m| m.get(name))
+                    .copied()
+                    .collect();
+                vals.sort_unstable();
+                CounterAgg {
+                    name,
+                    min: vals.first().copied().unwrap_or(0),
+                    median: median(&vals),
+                    max: vals.last().copied().unwrap_or(0),
+                    sum: vals.iter().sum(),
+                }
+            })
+            .collect()
+    }
+
+    fn name_order(&self, select: impl Fn(&Event) -> bool) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for rank in &self.ranks {
+            for e in &rank.events {
+                if select(e) && !seen.contains(&e.name) {
+                    seen.push(e.name);
+                }
+            }
+        }
+        seen
+    }
+
+    /// JSON export of the world-level aggregate. Deterministic field and
+    /// phase order; hand-rolled writer (no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"ranks\": ");
+        let _ = write!(out, "{}", self.ranks.len());
+        out.push_str(",\n  \"phases\": [");
+        for (i, p) in self.aggregate().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"spans\": {}, \"ns\": {{\"min\": {}, \"median\": {}, \"max\": {}, \"sum\": {}}}}}",
+                p.name, p.spans, p.min_ns, p.median_ns, p.max_ns, p.sum_ns
+            );
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        Self::write_json_values(&mut out, &self.aggregate_counters());
+        out.push_str("\n  ],\n  \"gauges\": [");
+        Self::write_json_values(&mut out, &self.aggregate_gauges());
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    fn write_json_values(out: &mut String, aggs: &[CounterAgg]) {
+        for (i, c) in aggs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"min\": {}, \"median\": {}, \"max\": {}, \"sum\": {}}}",
+                c.name, c.min, c.median, c.max, c.sum
+            );
+        }
+    }
+
+    /// CSV export: one row per phase, then one per counter.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("kind,name,spans,min,median,max,sum\n");
+        for p in self.aggregate() {
+            let _ = writeln!(
+                out,
+                "phase,{},{},{},{},{},{}",
+                p.name, p.spans, p.min_ns, p.median_ns, p.max_ns, p.sum_ns
+            );
+        }
+        for c in self.aggregate_counters() {
+            let _ = writeln!(
+                out,
+                "counter,{},,{},{},{},{}",
+                c.name, c.min, c.median, c.max, c.sum
+            );
+        }
+        for g in self.aggregate_gauges() {
+            let _ = writeln!(
+                out,
+                "gauge,{},,{},{},{},{}",
+                g.name, g.min, g.median, g.max, g.sum
+            );
+        }
+        out
+    }
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced(f: impl FnOnce(&mut Tracer)) -> Vec<Event> {
+        let mut t = Tracer::enabled();
+        f(&mut t);
+        t.take_events().unwrap()
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_never_allocates() {
+        let mut t = Tracer::disabled();
+        t.enter("a");
+        t.counter("c", 7);
+        t.gauge_bytes("g", 8);
+        t.exit("a");
+        assert!(!t.is_enabled());
+        assert_eq!(t.depth(), 0);
+        assert!(t.take_events().is_none());
+    }
+
+    #[test]
+    fn spans_nest_with_monotonic_timestamps() {
+        let ev = traced(|t| {
+            t.enter("outer");
+            t.enter("inner");
+            t.exit("inner");
+            t.exit("outer");
+        });
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].depth, 0);
+        assert_eq!(ev[1].depth, 1);
+        assert!(ev.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(ev[1].kind, EventKind::Enter);
+        assert_eq!(ev[2].kind, EventKind::Exit);
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost open span")]
+    fn mismatched_exit_panics() {
+        let mut t = Tracer::enabled();
+        t.enter("a");
+        t.exit("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn leaked_span_detected_at_collection() {
+        let mut t = Tracer::enabled();
+        t.enter("a");
+        let _ = t.take_events();
+    }
+
+    #[test]
+    fn take_events_resets_for_next_dump() {
+        let mut t = Tracer::enabled();
+        t.enter("a");
+        t.exit("a");
+        assert_eq!(t.take_events().unwrap().len(), 2);
+        assert_eq!(t.take_events().unwrap().len(), 0);
+        t.counter("x", 1);
+        assert_eq!(t.take_events().unwrap().len(), 1);
+    }
+
+    fn world_of(streams: Vec<Vec<Event>>) -> WorldTrace {
+        WorldTrace::from_rank_events(streams)
+    }
+
+    fn span(name: &'static str, enter_ns: u64, exit_ns: u64) -> Vec<Event> {
+        vec![
+            Event {
+                name,
+                t_ns: enter_ns,
+                depth: 0,
+                kind: EventKind::Enter,
+            },
+            Event {
+                name,
+                t_ns: exit_ns,
+                depth: 0,
+                kind: EventKind::Exit,
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregate_min_median_max_sum() {
+        // Three ranks spend 10/20/40 ns in "x".
+        let w = world_of(vec![span("x", 0, 10), span("x", 0, 20), span("x", 0, 40)]);
+        let agg = w.aggregate();
+        assert_eq!(agg.len(), 1);
+        let x = &agg[0];
+        assert_eq!(
+            (x.min_ns, x.median_ns, x.max_ns, x.sum_ns, x.spans),
+            (10, 20, 40, 70, 3)
+        );
+    }
+
+    #[test]
+    fn aggregate_order_is_rank0_first_appearance() {
+        let mut r0 = span("b", 0, 1);
+        r0.extend(span("a", 2, 3));
+        let mut r1 = span("a", 0, 1);
+        r1.extend(span("c", 2, 3));
+        let w = world_of(vec![r0, r1]);
+        let names: Vec<_> = w.aggregate().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let mk = |v| {
+            vec![Event {
+                name: "put_bytes",
+                t_ns: 0,
+                depth: 0,
+                kind: EventKind::Counter(v),
+            }]
+        };
+        let w = world_of(vec![mk(5), mk(1), mk(3)]);
+        let agg = w.aggregate_counters();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(
+            (agg[0].min, agg[0].median, agg[0].max, agg[0].sum),
+            (1, 3, 5, 9)
+        );
+    }
+
+    #[test]
+    fn gauges_aggregate_separately_from_counters() {
+        let mk = |kind| {
+            vec![Event {
+                name: "bytes",
+                t_ns: 0,
+                depth: 0,
+                kind,
+            }]
+        };
+        let w = world_of(vec![
+            mk(EventKind::GaugeBytes(4)),
+            mk(EventKind::GaugeBytes(6)),
+            mk(EventKind::Counter(100)),
+        ]);
+        let gauges = w.aggregate_gauges();
+        assert_eq!(gauges.len(), 1);
+        assert_eq!((gauges[0].min, gauges[0].max, gauges[0].sum), (4, 6, 10));
+        // The counter with the same name stays in the counter table.
+        assert_eq!(w.aggregate_counters()[0].sum, 100);
+        assert!(w.to_json().contains("\"gauges\": ["));
+        assert!(w.to_csv().contains("gauge,bytes,,4,5,6,10\n"));
+    }
+
+    #[test]
+    fn json_and_csv_shapes() {
+        let w = world_of(vec![span("local_dedup", 0, 5)]);
+        let json = w.to_json();
+        assert!(json.contains("\"ranks\": 1"));
+        assert!(json.contains("\"name\": \"local_dedup\""));
+        assert!(json.contains("\"median\": 5"));
+        let csv = w.to_csv();
+        assert!(csv.starts_with("kind,name,spans,min,median,max,sum\n"));
+        assert!(csv.contains("phase,local_dedup,1,5,5,5,5\n"));
+    }
+
+    #[test]
+    fn nested_same_name_spans_accumulate() {
+        let ev = vec![
+            Event {
+                name: "p",
+                t_ns: 0,
+                depth: 0,
+                kind: EventKind::Enter,
+            },
+            Event {
+                name: "p",
+                t_ns: 1,
+                depth: 1,
+                kind: EventKind::Enter,
+            },
+            Event {
+                name: "p",
+                t_ns: 3,
+                depth: 1,
+                kind: EventKind::Exit,
+            },
+            Event {
+                name: "p",
+                t_ns: 10,
+                depth: 0,
+                kind: EventKind::Exit,
+            },
+        ];
+        let w = world_of(vec![ev]);
+        // inner 2ns + outer 10ns.
+        assert_eq!(w.aggregate()[0].sum_ns, 12);
+        assert_eq!(w.aggregate()[0].spans, 2);
+    }
+
+    #[test]
+    fn span_sequence_filters_counters() {
+        let ev = traced(|t| {
+            t.enter("a");
+            t.counter("c", 1);
+            t.exit("a");
+        });
+        let r = RankTrace {
+            rank: 0,
+            events: ev,
+        };
+        assert_eq!(r.span_sequence(), vec![("a", true), ("a", false)]);
+    }
+}

@@ -22,7 +22,13 @@ fn main() {
     const TOTAL_ITERS: u64 = 40;
     let schedule = CheckpointSchedule::Every(10);
     let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(3);
-    let problem = HpccgConfig { nx: 8, ny: 8, nz: 8, slack_factor: 0.5, private_factor: 0.1 };
+    let problem = HpccgConfig {
+        nx: 8,
+        ny: 8,
+        nz: 8,
+        slack_factor: 0.5,
+        private_factor: 0.1,
+    };
     let cluster = Cluster::new(Placement::one_per_node(RANKS));
 
     let out = World::run(RANKS, |comm| {
@@ -67,7 +73,10 @@ fn main() {
                 heap = restored_heap;
                 iter = app.iterations();
                 if rank == 0 {
-                    println!("iter {iter:>3}: restarted from checkpoint #{}", runtime.latest_dump_id().unwrap());
+                    println!(
+                        "iter {iter:>3}: restarted from checkpoint #{}",
+                        runtime.latest_dump_id().unwrap()
+                    );
                 }
             }
         }
@@ -75,7 +84,9 @@ fn main() {
     });
 
     let (residual, error) = out.results[0];
-    println!("\nfinished {TOTAL_ITERS} iterations: residual {residual:.3e}, max |x - 1| = {error:.3e}");
+    println!(
+        "\nfinished {TOTAL_ITERS} iterations: residual {residual:.3e}, max |x - 1| = {error:.3e}"
+    );
     assert!(error < 1e-6, "solver must converge to the exact solution");
     println!("converged — the failure and rollback did not corrupt the solve.");
 }

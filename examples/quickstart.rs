@@ -12,8 +12,7 @@
 //! failures.
 
 use replidedup::apps::SyntheticWorkload;
-use replidedup::core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy};
-use replidedup::hash::Sha1ChunkHasher;
+use replidedup::core::{Replicator, Strategy};
 use replidedup::mpi::World;
 use replidedup::storage::{Cluster, Placement};
 
@@ -45,10 +44,14 @@ fn main() {
     );
     for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
         let cluster = Cluster::new(Placement::one_per_node(RANKS));
-        let cfg = DumpConfig::paper_defaults(strategy).with_replication(K);
+        let repl = Replicator::builder(strategy)
+            .cluster(&cluster)
+            .replication(K)
+            .build()
+            .expect("valid config");
         let out = World::run(RANKS, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            let stats = dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg)
+            let stats = repl
+                .dump(comm, 1, &buffers[comm.rank() as usize])
                 .expect("dump succeeds");
 
             // Kill two nodes after the dump, then restore through the
@@ -61,8 +64,12 @@ fn main() {
                 cluster.revive_node(5);
             }
             comm.barrier();
-            let restored = restore_output(comm, &ctx, strategy).expect("restore succeeds");
-            assert_eq!(restored, buffers[comm.rank() as usize], "byte-exact restore");
+            let restored = repl.restore(comm, 1).expect("restore succeeds");
+            assert_eq!(
+                restored,
+                buffers[comm.rank() as usize],
+                "byte-exact restore"
+            );
             stats
         });
         let world = replidedup::core::WorldDumpStats::from_ranks(strategy, 4096, out.results);

@@ -12,8 +12,7 @@
 //! interactively.
 
 use replidedup::apps::SyntheticWorkload;
-use replidedup::core::{dump_output, DumpConfig, DumpContext, Strategy, WorldDumpStats};
-use replidedup::hash::Sha1ChunkHasher;
+use replidedup::core::{Replicator, Strategy, WorldDumpStats};
 use replidedup::mpi::World;
 use replidedup::storage::{Cluster, Placement};
 
@@ -38,9 +37,7 @@ fn main() {
     };
     let buffers: Vec<Vec<u8>> = (0..RANKS).map(|r| workload.generate(r)).collect();
 
-    println!(
-        "{RANKS} ranks × {PAGES} pages, {shared_percent}% globally shared\n"
-    );
+    println!("{RANKS} ranks × {PAGES} pages, {shared_percent}% globally shared\n");
     println!(
         "{:>2}  {:>12}  {:>15}  {:>15}  {:>15}",
         "K", "strategy", "avg sent/rank", "max recv/rank", "device total"
@@ -48,10 +45,14 @@ fn main() {
     for k in 1..=6u32 {
         for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
             let cluster = Cluster::new(Placement::one_per_node(RANKS));
-            let cfg = DumpConfig::paper_defaults(strategy).with_replication(k);
+            let repl = Replicator::builder(strategy)
+                .cluster(&cluster)
+                .replication(k)
+                .build()
+                .expect("valid config");
             let out = World::run(RANKS, |comm| {
-                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+                repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                    .expect("dump")
             });
             let world = WorldDumpStats::from_ranks(strategy, 4096, out.results);
             let mib = |b: f64| b / (1 << 20) as f64;

@@ -23,11 +23,18 @@ fn main() {
     const RANKS: u32 = 12;
     const STEPS: u64 = 60;
     const DUMP_EVERY: u64 = 10;
-    let model = Cm1Config { nx: 96, ny_per_rank: 16, vortex_radius: 8.0, ..Default::default() };
+    let model = Cm1Config {
+        nx: 96,
+        ny_per_rank: 16,
+        vortex_radius: 8.0,
+        ..Default::default()
+    };
     let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(3);
     let cluster = Cluster::new(Placement::one_per_node(RANKS));
 
-    println!("CM1-like hurricane, {RANKS} ranks, dump every {DUMP_EVERY} steps (coll-dedup, K=3)\n");
+    println!(
+        "CM1-like hurricane, {RANKS} ranks, dump every {DUMP_EVERY} steps (coll-dedup, K=3)\n"
+    );
     println!(
         "{:>5}  {:>9}  {:>13}  {:>13}  {:>11}  {:>9}",
         "step", "ambient", "dataset", "unique", "replicated", "saved"
@@ -46,8 +53,8 @@ fn main() {
                 app.sync_to_heap(&mut heap, &regions);
                 let stats = runtime.checkpoint(comm, &mut heap).expect("dump");
                 // World-average ambient fraction for the report line.
-                let ambient = comm.allreduce(app.ambient_fraction(), |a, b| a + b)
-                    / f64::from(comm.size());
+                let ambient =
+                    comm.allreduce(app.ambient_fraction(), |a, b| a + b) / f64::from(comm.size());
                 log.push((step, ambient, stats));
             }
         }

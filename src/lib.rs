@@ -5,8 +5,9 @@
 //! Re-exports the workspace crates under one roof; see the subcrates for
 //! the substance:
 //!
-//! * [`core`] — the paper's contribution: `dump_output` / `restore_output`
-//!   with the `no-dedup` / `local-dedup` / `coll-dedup` strategies,
+//! * [`core`] — the paper's contribution: the [`core::Replicator`] session
+//!   driving `DUMP_OUTPUT`/restore with the `no-dedup` / `local-dedup` /
+//!   `coll-dedup` strategies,
 //! * [`mpi`] — the in-process message-passing runtime (collectives, RMA),
 //! * [`hash`] — SHA-1, fingerprints, fixed and content-defined chunking,
 //! * [`storage`] — node-local chunk stores, manifests, failure injection,

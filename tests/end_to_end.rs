@@ -11,7 +11,13 @@ use replidedup::storage::{Cluster, Placement};
 const STRATEGIES: [Strategy; 3] = [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
 
 fn hpccg_cfg() -> HpccgConfig {
-    HpccgConfig { nx: 6, ny: 6, nz: 6, slack_factor: 0.5, private_factor: 0.1 }
+    HpccgConfig {
+        nx: 6,
+        ny: 6,
+        nz: 6,
+        slack_factor: 0.5,
+        private_factor: 0.1,
+    }
 }
 
 #[test]
@@ -48,21 +54,30 @@ fn hpccg_checkpoint_failure_restart_converges_for_all_strategies() {
 
             // Restart from the checkpoint and replay to iteration 20.
             let heap2 = rt.restart(comm).expect("restart");
-            let mut replay = Hpccg::load_from_heap(&heap2, &regions, rank, comm.size(), hpccg_cfg());
+            let mut replay =
+                Hpccg::load_from_heap(&heap2, &regions, rank, comm.size(), hpccg_cfg());
             assert_eq!(replay.iterations(), 10);
             replay.run(comm, 10);
             let replayed = replay.state().0.to_vec();
             (reference_after_20, replayed)
         });
         for (rank, (reference, replayed)) in out.results.iter().enumerate() {
-            assert_eq!(reference, replayed, "{strategy:?} rank {rank}: replay diverged");
+            assert_eq!(
+                reference, replayed,
+                "{strategy:?} rank {rank}: replay diverged"
+            );
         }
     }
 }
 
 #[test]
 fn cm1_periodic_dumps_and_restart_match_uninterrupted_run() {
-    let model = Cm1Config { nx: 32, ny_per_rank: 8, vortex_radius: 4.0, ..Default::default() };
+    let model = Cm1Config {
+        nx: 32,
+        ny_per_rank: 8,
+        vortex_radius: 4.0,
+        ..Default::default()
+    };
     let cluster = Cluster::new(Placement::one_per_node(4));
     let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(2);
     let out = World::run(4, |comm| {
@@ -124,7 +139,10 @@ fn multi_generation_checkpoints_restore_any_generation() {
         (rank, snapshots)
     });
     for (rank, snaps) in out.results {
-        assert_eq!(snaps, vec![10 + rank as u8, 20 + rank as u8, 30 + rank as u8]);
+        assert_eq!(
+            snaps,
+            vec![10 + rank as u8, 20 + rank as u8, 30 + rank as u8]
+        );
     }
 }
 
@@ -136,20 +154,22 @@ fn chunks_have_k_copies_on_distinct_nodes_for_private_data() {
         for k in [1u32, 2, 3, 4] {
             let n = 6u32;
             let cluster = Cluster::new(Placement::one_per_node(n));
-            let cfg = DumpConfig::paper_defaults(strategy)
-                .with_replication(k)
-                .with_chunk_size(128);
+            let repl = replidedup::core::Replicator::builder(strategy)
+                .cluster(&cluster)
+                .replication(k)
+                .chunk_size(128)
+                .build()
+                .expect("valid config");
             let out = World::run(n, |comm| {
-                let ctx = replidedup::core::DumpContext {
-                    cluster: &cluster,
-                    hasher: &Sha1ChunkHasher,
-                    dump_id: 1,
-                };
                 // 4 private chunks per rank.
                 let buf: Vec<u8> = (0..512u32)
-                    .map(|i| (comm.rank() as u8).wrapping_mul(31).wrapping_add((i / 128) as u8))
+                    .map(|i| {
+                        (comm.rank() as u8)
+                            .wrapping_mul(31)
+                            .wrapping_add((i / 128) as u8)
+                    })
                     .collect();
-                replidedup::core::dump_output(comm, &ctx, &buf, &cfg).expect("dump")
+                repl.dump(comm, 1, &buf).expect("dump")
             });
             drop(out);
             for node in 0..n {
@@ -171,38 +191,44 @@ fn globally_shared_data_keeps_exactly_k_copies_under_coll_dedup() {
     let n = 8u32;
     let k = 3u32;
     let cluster = Cluster::new(Placement::one_per_node(n));
-    let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
-        .with_replication(k)
-        .with_chunk_size(128);
+    let repl = replidedup::core::Replicator::builder(Strategy::CollDedup)
+        .cluster(&cluster)
+        .replication(k)
+        .chunk_size(128)
+        .build()
+        .expect("valid config");
     World::run(n, |comm| {
-        let ctx = replidedup::core::DumpContext {
-            cluster: &cluster,
-            hasher: &Sha1ChunkHasher,
-            dump_id: 1,
-        };
         let buf = vec![0xEE; 128 * 5]; // identical on every rank
-        replidedup::core::dump_output(comm, &ctx, &buf, &cfg).expect("dump");
+        repl.dump(comm, 1, &buf).expect("dump");
     });
     use replidedup::hash::ChunkHasher as _;
     let fp = replidedup::hash::Sha1ChunkHasher.fingerprint(&[0xEE; 128]);
-    assert_eq!(cluster.copies_of(&fp), k, "natural replicas must be counted toward K");
+    assert_eq!(
+        cluster.copies_of(&fp),
+        k,
+        "natural replicas must be counted toward K"
+    );
     // Total storage is K chunks, not N or N*K.
     assert_eq!(cluster.total_unique_bytes(), u64::from(k) * 128);
 }
 
 #[test]
 fn mixed_chunk_sizes_roundtrip() {
-    use replidedup::core::{dump_output, restore_output, DumpContext};
+    use replidedup::core::Replicator;
     for chunk_size in [64usize, 100, 4096, 10_000] {
         let cluster = Cluster::new(Placement::one_per_node(3));
-        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
-            .with_replication(2)
-            .with_chunk_size(chunk_size);
+        let repl = Replicator::builder(Strategy::CollDedup)
+            .cluster(&cluster)
+            .replication(2)
+            .chunk_size(chunk_size)
+            .build()
+            .expect("valid config");
         let out = World::run(3, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            let buf: Vec<u8> = (0..12_345u32).map(|i| (i as u8) ^ comm.rank() as u8).collect();
-            dump_output(comm, &ctx, &buf, &cfg).expect("dump");
-            let restored = restore_output(comm, &ctx, Strategy::CollDedup).expect("restore");
+            let buf: Vec<u8> = (0..12_345u32)
+                .map(|i| (i as u8) ^ comm.rank() as u8)
+                .collect();
+            repl.dump(comm, 1, &buf).expect("dump");
+            let restored = repl.restore(comm, 1).expect("restore");
             restored == buf
         });
         assert!(out.results.iter().all(|&ok| ok), "chunk size {chunk_size}");

@@ -37,10 +37,26 @@ fn fig3a_claim_dedup_hierarchy() {
                     / run.stats.total_data_bytes() as f64,
             );
         }
-        assert!((pct[0] - 100.0).abs() < 1e-9, "{}: no-dedup identifies nothing", app.label());
-        assert!(pct[1] < 60.0, "{}: local-dedup must find substantial duplication ({pct:?})", app.label());
-        assert!(pct[2] < 15.0, "{}: coll-dedup must reach single digits-ish ({pct:?})", app.label());
-        assert!(pct[2] < pct[1] / 2.0, "{}: coll must clearly beat local ({pct:?})", app.label());
+        assert!(
+            (pct[0] - 100.0).abs() < 1e-9,
+            "{}: no-dedup identifies nothing",
+            app.label()
+        );
+        assert!(
+            pct[1] < 60.0,
+            "{}: local-dedup must find substantial duplication ({pct:?})",
+            app.label()
+        );
+        assert!(
+            pct[2] < 15.0,
+            "{}: coll-dedup must reach single digits-ish ({pct:?})",
+            app.label()
+        );
+        assert!(
+            pct[2] < pct[1] / 2.0,
+            "{}: coll must clearly beat local ({pct:?})",
+            app.label()
+        );
     }
 }
 
@@ -51,9 +67,21 @@ fn tab1_claim_ordering_and_speedups() {
     for app in [AppKind::hpccg(), AppKind::cm1()] {
         let rows = tab1(app, SCALE);
         for row in &rows {
-            assert!(row.completion[0] > row.completion[1], "{}: {row:?}", app.label());
-            assert!(row.completion[1] > row.completion[2], "{}: {row:?}", app.label());
-            assert!(row.completion[2] >= row.baseline, "{}: {row:?}", app.label());
+            assert!(
+                row.completion[0] > row.completion[1],
+                "{}: {row:?}",
+                app.label()
+            );
+            assert!(
+                row.completion[1] > row.completion[2],
+                "{}: {row:?}",
+                app.label()
+            );
+            assert!(
+                row.completion[2] >= row.baseline,
+                "{}: {row:?}",
+                app.label()
+            );
         }
         let last = rows.last().expect("rows");
         let ovh = last.overhead();
@@ -86,10 +114,18 @@ fn fig4a_5a_claim_k_scaling() {
         let at = |k: u32| rows.iter().find(|r| r.k == k).expect("k present");
         // no-dedup overhead grows severalfold from K=1 to K=6.
         let growth = at(6).overhead_seconds[0] / at(1).overhead_seconds[0].max(1e-9);
-        assert!(growth > 2.5, "{}: no-dedup K-growth too small: {growth}", app.label());
+        assert!(
+            growth > 2.5,
+            "{}: no-dedup K-growth too small: {growth}",
+            app.label()
+        );
         // coll-dedup stays nearly flat.
         let coll_growth = at(6).overhead_seconds[2] / at(2).overhead_seconds[2].max(1e-9);
-        assert!(coll_growth < 2.5, "{}: coll-dedup must be nearly flat: {coll_growth}", app.label());
+        assert!(
+            coll_growth < 2.5,
+            "{}: coll-dedup must be nearly flat: {coll_growth}",
+            app.label()
+        );
         // Crossover: coll at K=6 cheaper than both baselines at K=2.
         assert!(
             at(6).overhead_seconds[2] < at(2).overhead_seconds[0],
@@ -152,7 +188,10 @@ fn fig4c_5c_claim_shuffle_helps_at_higher_k() {
             app.label(),
             at(2).reduction_percent()
         );
-        let best = rows.iter().map(|r| r.reduction_percent()).fold(f64::MIN, f64::max);
+        let best = rows
+            .iter()
+            .map(|r| r.reduction_percent())
+            .fold(f64::MIN, f64::max);
         assert!(
             best > 5.0,
             "{}: shuffling must visibly reduce the max receive size at some K (best {best:.1}%)",

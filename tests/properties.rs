@@ -4,13 +4,20 @@
 //! These check the invariants DESIGN.md §6 promises: byte-exact restore
 //! round-trips under any strategy and any tolerated failure set, traffic
 //! conservation, and dedup accounting consistency.
+//!
+//! Deliberately exercises the deprecated free-function API (`dump_output`
+//! / `restore_output`): the wrappers must behave identically to the
+//! `Replicator` session used everywhere else.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 // Our `Strategy` enum shadows proptest's `Strategy` trait from the prelude
 // glob; re-import the trait under an alias so combinators resolve.
 use proptest::strategy::Strategy as PropStrategy;
 use replidedup::apps::SyntheticWorkload;
-use replidedup::core::{dump_output, restore_output, DumpConfig, DumpContext, Strategy, WorldDumpStats};
+use replidedup::core::{
+    dump_output, restore_output, DumpConfig, DumpContext, Strategy, WorldDumpStats,
+};
 use replidedup::hash::Sha1ChunkHasher;
 use replidedup::mpi::World;
 use replidedup::storage::{Cluster, Placement};
@@ -28,18 +35,27 @@ trait Strategy_: proptest::strategy::Strategy<Value = Strategy> {}
 impl<T: proptest::strategy::Strategy<Value = Strategy>> Strategy_ for T {}
 
 fn arb_workload() -> impl proptest::strategy::Strategy<Value = SyntheticWorkload> {
-    (1usize..6, 0usize..6, 1u32..4, 0usize..6, 0usize..4, 1usize..3, any::<u64>()).prop_map(
-        |(global, grouped, group_size, private, local_dup, repeat, seed)| SyntheticWorkload {
-            chunk_size: 128,
-            global_chunks: global,
-            grouped_chunks: grouped,
-            group_size,
-            private_chunks: private,
-            local_dup_chunks: local_dup,
-            local_repeat: repeat,
-            seed,
-        },
+    (
+        1usize..6,
+        0usize..6,
+        1u32..4,
+        0usize..6,
+        0usize..4,
+        1usize..3,
+        any::<u64>(),
     )
+        .prop_map(
+            |(global, grouped, group_size, private, local_dup, repeat, seed)| SyntheticWorkload {
+                chunk_size: 128,
+                global_chunks: global,
+                grouped_chunks: grouped,
+                group_size,
+                private_chunks: private,
+                local_dup_chunks: local_dup,
+                local_repeat: repeat,
+                seed,
+            },
+        )
 }
 
 proptest! {
