@@ -16,6 +16,11 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== cargo test --test faults (seeded chaos suite) =="
+# The vendored proptest derives every case from a fixed seed, so this
+# fault-injection run is reproducible bit-for-bit across CI machines.
+cargo test --test faults
+
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 

@@ -11,6 +11,12 @@
 //!   --trace-out write a phase trace of one coll-dedup dump (Algorithm 1
 //!               phases, world min/median/max per phase) as JSON to PATH;
 //!               PATH ending in .csv switches to CSV
+//!   --fault-plan SEED[:ITEM[;ITEM]...] run the fault-injection demo: a
+//!               coll-dedup dump under the given deterministic fault plan
+//!               (ITEM = crash:RANK@TRIGGER | delay:RANK:MS@TRIGGER,
+//!               TRIGGER = start:PHASE | end:PHASE | msg:N), then a
+//!               fresh-world restore showing which data survived. A bare
+//!               SEED derives a two-crash schedule from the seed.
 //! ```
 //!
 //! Absolute times come from the Shamrock cost model fed with measured
@@ -28,6 +34,7 @@ struct Args {
     scale: f64,
     out: PathBuf,
     trace_out: Option<PathBuf>,
+    fault_plan: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +42,7 @@ fn parse_args() -> Args {
     let mut scale = 1.0f64;
     let mut out = PathBuf::from("results");
     let mut trace_out = None;
+    let mut fault_plan = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,15 +60,21 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--trace-out needs a path")),
                 ));
             }
+            "--fault-plan" => {
+                fault_plan = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--fault-plan needs SEED[:SPEC]")),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR] [--trace-out PATH]");
+                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => exps.push(other.to_string()),
             other => die(&format!("unknown flag {other}")),
         }
     }
-    if exps.is_empty() && trace_out.is_none() {
+    if exps.is_empty() && trace_out.is_none() && fault_plan.is_none() {
         exps.push("all".to_string());
     }
     if scale <= 0.0 {
@@ -71,6 +85,7 @@ fn parse_args() -> Args {
         scale,
         out,
         trace_out,
+        fault_plan,
     }
 }
 
@@ -93,6 +108,76 @@ fn write_trace(path: &PathBuf) {
     );
 }
 
+/// Run the deterministic fault-injection demo: one coll-dedup dump under
+/// `spec`, reporting which ranks crashed and which survivors degraded, then
+/// a restart (fresh world, failed nodes revived empty) restoring whatever
+/// data survived.
+fn run_fault_demo(spec: &str) {
+    use replidedup_core::{Replicator, Strategy, DUMP_PHASES};
+    use replidedup_mpi::{FaultPlan, RankOutcome, World, WorldConfig};
+    use replidedup_storage::{Cluster, Placement};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let parsed = FaultPlan::parse(spec).unwrap_or_else(|e| die(&format!("--fault-plan: {e}")));
+    const N: u32 = 8;
+    // A bare seed derives a two-crash schedule over the dump phases.
+    let plan = if parsed.faults.is_empty() {
+        FaultPlan::seeded(parsed.seed, N, 2, &DUMP_PHASES)
+    } else {
+        parsed
+    };
+    println!("== fault demo: coll-dedup dump, {N} ranks, K = 3 ==");
+    for f in &plan.faults {
+        println!("   fault: {f:?}");
+    }
+    let cluster = Arc::new(Cluster::new(Placement::one_per_node(N)));
+    let hook_cluster = Arc::clone(&cluster);
+    let plan = plan.on_crash(move |rank| hook_cluster.fail_node(hook_cluster.node_of(rank)));
+    let config = WorldConfig::default()
+        .with_recv_timeout(Duration::from_secs(10))
+        .with_faults(plan);
+    let repl = Replicator::builder(Strategy::CollDedup)
+        .cluster(&cluster)
+        .replication(3)
+        .chunk_size(4096)
+        .build()
+        .expect("valid config");
+    let out = World::run_faulty(N, &config, |comm| {
+        let buf = vec![comm.rank() as u8 + 1; 64 * 1024];
+        repl.dump(comm, 1, &buf)
+    });
+    for (rank, o) in out.outcomes.iter().enumerate() {
+        match o {
+            RankOutcome::Crashed { .. } => println!("rank {rank}: crashed (injected)"),
+            RankOutcome::Completed(Ok(s)) if s.degraded => {
+                println!(
+                    "rank {rank}: dump degraded, dead ranks {:?}",
+                    s.failed_ranks
+                )
+            }
+            RankOutcome::Completed(Ok(_)) => println!("rank {rank}: dump clean"),
+            RankOutcome::Completed(Err(e)) => println!("rank {rank}: dump failed: {e}"),
+        }
+    }
+    // Restart: replacement hardware comes up empty, then a full-world
+    // restore pulls surviving replicas back together.
+    for node in 0..N {
+        if !cluster.is_alive(node) {
+            cluster.revive_node(node);
+        }
+    }
+    let out = World::run(N, |comm| {
+        (comm.rank(), repl.restore(comm, 1).map(|b| b.len()))
+    });
+    for (rank, r) in out.results {
+        match r {
+            Ok(len) => println!("rank {rank}: restored {len} bytes"),
+            Err(e) => println!("rank {rank}: {e}"),
+        }
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -109,6 +194,9 @@ fn main() {
 
     if let Some(path) = &args.trace_out {
         write_trace(path);
+    }
+    if let Some(spec) = &args.fault_plan {
+        run_fault_demo(spec);
     }
 
     if want("fig2") {

@@ -18,12 +18,12 @@
 use bytes::Bytes;
 use replidedup_hash::{ChunkHasher, Fingerprint};
 use replidedup_mpi::wire::Wire;
-use replidedup_mpi::{Comm, Tag};
+use replidedup_mpi::{Comm, CommError, Tag};
 use replidedup_storage::{Cluster, DumpId, Manifest, StorageError};
 
 use crate::config::{DumpConfig, Strategy};
 use crate::exchange::{encode_record, parse_records, record_size};
-use crate::global::{reduce_global_view, GlobalView};
+use crate::global::{try_reduce_global_view, GlobalView};
 use crate::local::LocalIndex;
 use crate::offsets::window_plan;
 use crate::plan::plan_chunks;
@@ -32,6 +32,21 @@ use crate::stats::{DumpStats, ReductionStats};
 
 /// User-tag space of the dump/restore protocols.
 pub(crate) const TAG_MANIFEST: Tag = 0x5250_0001;
+
+/// The phases of Algorithm 1 as the dump pipeline traces them, in order.
+/// These names are the fault-injection anchors: a
+/// [`FaultTrigger::PhaseStart`](replidedup_mpi::FaultTrigger) /
+/// [`FaultTrigger::PhaseEnd`](replidedup_mpi::FaultTrigger) naming one of
+/// them fires at that boundary of the dump.
+pub const DUMP_PHASES: [&str; 7] = [
+    "local_dedup",
+    "hmerge_reduce",
+    "load_allgather",
+    "rank_shuffle",
+    "calc_off",
+    "exchange",
+    "commit",
+];
 
 /// Everything a dump needs besides the buffer: where to store, how to hash,
 /// which generation this is.
@@ -54,6 +69,10 @@ pub enum DumpError {
     Config(crate::ConfigError),
     /// The local node's storage failed during commit.
     Storage(StorageError),
+    /// The communication runtime failed in a way graceful degradation
+    /// cannot absorb (a suspected deadlock or a torn-down world — *not* a
+    /// plain rank death, which degrades the dump instead of failing it).
+    Comm(CommError),
 }
 
 impl std::fmt::Display for DumpError {
@@ -61,6 +80,7 @@ impl std::fmt::Display for DumpError {
         match self {
             DumpError::Config(e) => write!(f, "invalid dump config: {e}"),
             DumpError::Storage(e) => write!(f, "storage failure during dump: {e}"),
+            DumpError::Comm(e) => write!(f, "communication failure during dump: {e}"),
         }
     }
 }
@@ -70,6 +90,7 @@ impl std::error::Error for DumpError {
         match self {
             DumpError::Config(e) => Some(e),
             DumpError::Storage(e) => Some(e),
+            DumpError::Comm(e) => Some(e),
         }
     }
 }
@@ -111,26 +132,74 @@ pub(crate) fn dump_impl(
     let me = comm.rank();
     let n = comm.size();
     let k = cfg.replication.min(n);
-    let node = ctx.cluster.node_of(me);
-    let chunk_size = cfg.chunk_size;
     let mut stats = DumpStats {
         rank: me,
         k,
         buffer_bytes: buf.len() as u64,
-        chunks_total: buf.len().div_ceil(chunk_size) as u64,
+        chunks_total: buf.len().div_ceil(cfg.chunk_size) as u64,
         ..Default::default()
     };
     // Defer storage errors so the collective completes on every rank.
     let mut storage_err: Option<StorageError> = None;
-    let mut record_storage = |r: Result<u64, StorageError>, written: &mut u64| match r {
-        Ok(bytes) => *written += bytes,
-        Err(e) => storage_err = storage_err.take().or(Some(e)),
-    };
 
     comm.tracer()
         .gauge_bytes("dump_buffer_bytes", buf.len() as u64);
     comm.tracer()
         .counter("dump_chunks_total", stats.chunks_total);
+
+    match dump_pipeline(comm, ctx, buf, cfg, k, &mut stats, &mut storage_err) {
+        Ok(()) => {}
+        Err(CommError::RankFailed { .. }) => {
+            // A peer died mid-collective. The error may have unwound from
+            // inside a traced phase; rebalance the span stack, then finish
+            // through the communication-free degraded commit so this
+            // rank's data still reaches stable storage.
+            comm.tracer().close_open_spans();
+            degraded_commit(comm, ctx, buf, cfg, &mut stats, &mut storage_err);
+        }
+        Err(CommError::DeadlockSuspected { .. }) if !comm.failed_ranks().is_empty() => {
+            // A point-to-point step timed out while some rank is known
+            // dead: a survivor on the other end observed the death first
+            // and already fell back to its degraded commit, so its sends
+            // will never come. Collateral of the failure, not a protocol
+            // bug — degrade like a direct RankFailed.
+            comm.tracer().close_open_spans();
+            degraded_commit(comm, ctx, buf, cfg, &mut stats, &mut storage_err);
+        }
+        Err(e) => {
+            // Deadlock suspicion with every rank alive / torn-down world:
+            // nothing sane to degrade to — surface the runtime failure.
+            comm.tracer().close_open_spans();
+            return Err(DumpError::Comm(e));
+        }
+    }
+    match storage_err {
+        Some(e) => Err(e.into()),
+        None => Ok(stats),
+    }
+}
+
+/// The fault-aware body of Algorithm 1: every phase boundary is a
+/// [`DUMP_PHASES`] anchor and every collective/RMA step is the fallible
+/// `try_*` variant, so a rank death surfaces here as `Err(CommError)`
+/// instead of a panic or a hang.
+fn dump_pipeline(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    buf: &[u8],
+    cfg: &DumpConfig,
+    k: u32,
+    stats: &mut DumpStats,
+    storage_err: &mut Option<StorageError>,
+) -> Result<(), CommError> {
+    let me = comm.rank();
+    let n = comm.size();
+    let node = ctx.cluster.node_of(me);
+    let chunk_size = cfg.chunk_size;
+    let mut record_storage = |r: Result<u64, StorageError>, written: &mut u64| match r {
+        Ok(bytes) => *written += bytes,
+        Err(e) => *storage_err = storage_err.take().or(Some(e)),
+    };
 
     // ---- Phase 1+2: dedup (strategy dependent) -------------------------
     // `keep_indices` / `send_indices` are chunk indices into `buf`;
@@ -139,7 +208,7 @@ pub(crate) fn dump_impl(
     let view: Option<GlobalView>;
     let keep_indices: Vec<u32>;
     let send_indices: Vec<Vec<u32>>;
-    comm.tracer().enter("local_dedup");
+    comm.enter_phase("local_dedup");
     match cfg.strategy {
         Strategy::NoDedup => {
             // No hashing at all: the raw buffer is the unit of storage.
@@ -153,7 +222,7 @@ pub(crate) fn dump_impl(
             stats.chunks_kept = stats.chunks_total;
             stats.chunks_uncovered = stats.chunks_total;
             stats.bytes_uncovered = buf.len() as u64;
-            comm.tracer().exit("local_dedup");
+            comm.exit_phase("local_dedup");
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
             let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
@@ -162,15 +231,15 @@ pub(crate) fn dump_impl(
             stats.bytes_locally_unique = idx.unique_bytes(buf.len());
             comm.tracer()
                 .counter("chunks_locally_unique", stats.chunks_locally_unique);
-            comm.tracer().exit("local_dedup");
+            comm.exit_phase("local_dedup");
 
             let g = if cfg.strategy == Strategy::CollDedup {
-                comm.tracer().enter("hmerge_reduce");
+                comm.enter_phase("hmerge_reduce");
                 let leaf = GlobalView::from_local(me, idx.unique.keys().copied(), cfg.f_threshold);
                 let coll_before = comm.traffic().coll_sent;
-                let g = reduce_global_view(comm, leaf, k, cfg.f_threshold);
+                let g = try_reduce_global_view(comm, leaf, k, cfg.f_threshold)?;
                 let traffic = comm.traffic().coll_sent - coll_before;
-                comm.tracer().exit("hmerge_reduce");
+                comm.exit_phase("hmerge_reduce");
                 comm.tracer().counter("view_entries", g.len() as u64);
                 comm.tracer().gauge_bytes("hmerge_traffic_bytes", traffic);
                 stats.reduction = Some(ReductionStats {
@@ -217,25 +286,25 @@ pub(crate) fn dump_impl(
     let mut load: Vec<u64> = Vec::with_capacity(k as usize);
     load.push(keep_indices.len() as u64);
     load.extend(send_indices.iter().map(|l| l.len() as u64));
-    comm.tracer().enter("load_allgather");
-    let send_load: Vec<Vec<u64>> = comm.allgather(load);
-    comm.tracer().exit("load_allgather");
-    comm.tracer().enter("rank_shuffle");
+    comm.enter_phase("load_allgather");
+    let send_load: Vec<Vec<u64>> = comm.try_allgather(load)?;
+    comm.exit_phase("load_allgather");
+    comm.enter_phase("rank_shuffle");
     let shuffle = if cfg.shuffle {
         rank_shuffle(&send_load, k)
     } else {
         identity_shuffle(n)
     };
     let positions = positions_of(&shuffle);
-    comm.tracer().exit("rank_shuffle");
-    comm.tracer().enter("calc_off");
+    comm.exit_phase("rank_shuffle");
+    comm.enter_phase("calc_off");
     let wplan = window_plan(&shuffle, &send_load, k);
-    comm.tracer().exit("calc_off");
+    comm.exit_phase("calc_off");
 
     // ---- Single-sided exchange ------------------------------------------
-    comm.tracer().enter("exchange");
+    comm.enter_phase("exchange");
     let cell = record_size(chunk_size);
-    let win = comm.win_create(wplan.recv_counts[me as usize] as usize * cell);
+    let win = comm.try_win_create(wplan.recv_counts[me as usize] as usize * cell)?;
     let chunk_bytes = |i: u32| {
         let start = i as usize * chunk_size;
         &buf[start..(start + chunk_size).min(buf.len())]
@@ -255,19 +324,19 @@ pub(crate) fn dump_impl(
             encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
         }
         stats.bytes_sent_replication += payload.len() as u64;
-        win.put(
+        win.try_put(
             target,
             wplan.send_offsets[me as usize][jm1] as usize * cell,
             &payload,
-        );
+        )?;
     }
-    win.fence(comm);
-    comm.tracer().exit("exchange");
+    win.try_fence(comm)?;
+    comm.exit_phase("exchange");
     comm.tracer()
         .gauge_bytes("bytes_sent_replication", stats.bytes_sent_replication);
 
     // ---- Commit: own data -----------------------------------------------
-    comm.tracer().enter("commit");
+    comm.enter_phase("commit");
     match cfg.strategy {
         Strategy::NoDedup => {
             let blob = Bytes::copy_from_slice(buf);
@@ -309,7 +378,7 @@ pub(crate) fn dump_impl(
             // failed node's recipe survives (restore-path extension; the
             // paper leaves restart implicit).
             for &target in &wplan.partners[me as usize] {
-                comm.send_val(target, TAG_MANIFEST, &manifest);
+                comm.try_send_val(target, TAG_MANIFEST, &manifest)?;
             }
         }
     }
@@ -367,7 +436,7 @@ pub(crate) fn dump_impl(
     if cfg.strategy != Strategy::NoDedup {
         for d in 1..k as usize {
             let sender = shuffle[(p + n as usize - d) % n as usize];
-            let m: Manifest = comm.recv_val(sender, TAG_MANIFEST);
+            let m: Manifest = comm.try_recv_val(sender, TAG_MANIFEST)?;
             record_storage(
                 ctx.cluster.put_manifest(node, m).map(|()| 0),
                 &mut stats.bytes_written_local,
@@ -376,15 +445,92 @@ pub(crate) fn dump_impl(
     }
 
     // The dump completes only when every rank has saved everything.
-    comm.barrier();
-    comm.tracer().exit("commit");
+    comm.try_barrier()?;
+    comm.exit_phase("commit");
     comm.tracer()
         .gauge_bytes("bytes_written_local", stats.bytes_written_local);
     drop(view);
-    match storage_err {
-        Some(e) => Err(e.into()),
-        None => Ok(stats),
+    Ok(())
+}
+
+/// Communication-free fallback after a mid-dump rank death: re-commit
+/// *everything* this rank holds to its own node (an effective `K = 1` for
+/// this generation), record the dead ranks as absent-at-dump-time, and mark
+/// the statistics degraded.
+///
+/// The re-commit is idempotent — chunk stores are content-addressed and
+/// manifest/blob puts overwrite — so it is safe regardless of how far the
+/// pipeline got before failing.
+fn degraded_commit(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    buf: &[u8],
+    cfg: &DumpConfig,
+    stats: &mut DumpStats,
+    storage_err: &mut Option<StorageError>,
+) {
+    let me = comm.rank();
+    let node = ctx.cluster.node_of(me);
+    let chunk_size = cfg.chunk_size;
+    stats.degraded = true;
+    stats.failed_ranks = comm.failed_ranks();
+    comm.enter_phase("degraded_commit");
+    let mut record_storage = |r: Result<u64, StorageError>, written: &mut u64| match r {
+        Ok(bytes) => *written += bytes,
+        Err(e) => *storage_err = storage_err.take().or(Some(e)),
+    };
+    match cfg.strategy {
+        Strategy::NoDedup => {
+            let blob = Bytes::copy_from_slice(buf);
+            let len = blob.len() as u64;
+            record_storage(
+                ctx.cluster
+                    .put_blob(node, me, ctx.dump_id, blob)
+                    .map(|()| len),
+                &mut stats.bytes_written_local,
+            );
+        }
+        Strategy::LocalDedup | Strategy::CollDedup => {
+            // Re-derive the local index: hashing is pure, so this is
+            // correct whether the pipeline died before or after building
+            // (or partially committing) it.
+            let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
+            stats.bytes_hashed = buf.len() as u64;
+            stats.chunks_locally_unique = idx.unique_count() as u64;
+            stats.bytes_locally_unique = idx.unique_bytes(buf.len());
+            stats.chunks_kept = idx.unique_count() as u64;
+            for (fp, c) in &idx.unique {
+                let data = Bytes::copy_from_slice(&buf[idx.chunk_range(c.first_index)]);
+                let len = data.len() as u64;
+                record_storage(
+                    ctx.cluster
+                        .put_chunk(node, *fp, data)
+                        .map(|new| if new { len } else { 0 }),
+                    &mut stats.bytes_written_local,
+                );
+            }
+            let manifest = Manifest {
+                owner_rank: me,
+                dump_id: ctx.dump_id,
+                chunk_size: chunk_size as u32,
+                total_len: buf.len() as u64,
+                chunks: idx.in_order.clone(),
+            };
+            record_storage(
+                ctx.cluster.put_manifest(node, manifest).map(|()| 0),
+                &mut stats.bytes_written_local,
+            );
+        }
     }
+    // Tombstone the dead ranks so restore can tell "absent at dump time"
+    // from "replica holders later failed". Best effort: a down local node
+    // already surfaced through the commit above.
+    for &r in &stats.failed_ranks {
+        ctx.cluster.mark_absent(node, r, ctx.dump_id).ok();
+    }
+    comm.exit_phase("degraded_commit");
+    comm.tracer()
+        .gauge_bytes("bytes_written_local", stats.bytes_written_local);
 }
 
 #[cfg(test)]

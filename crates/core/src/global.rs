@@ -24,7 +24,7 @@
 
 use replidedup_hash::Fingerprint;
 use replidedup_mpi::wire::{Wire, WireError, WireResult};
-use replidedup_mpi::{Comm, Rank};
+use replidedup_mpi::{Comm, CommError, Rank};
 use std::collections::HashMap;
 
 /// One fingerprint's global record: frequency and designated ranks.
@@ -214,6 +214,17 @@ pub fn reduce_global_view(
     f_threshold: usize,
 ) -> GlobalView {
     comm.allreduce(local, |a, b| GlobalView::merge(a, b, k, f_threshold))
+}
+
+/// Fallible [`reduce_global_view`]: surfaces rank deaths during the
+/// reduction as [`CommError`] instead of panicking.
+pub fn try_reduce_global_view(
+    comm: &mut Comm,
+    local: GlobalView,
+    k: u32,
+    f_threshold: usize,
+) -> Result<GlobalView, CommError> {
+    comm.try_allreduce(local, |a, b| GlobalView::merge(a, b, k, f_threshold))
 }
 
 #[cfg(test)]

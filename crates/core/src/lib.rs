@@ -60,8 +60,8 @@ pub mod stats;
 pub use config::{ConfigError, DumpConfig, Strategy};
 #[allow(deprecated)]
 pub use dump::dump_output;
-pub use dump::{DumpContext, DumpError};
-pub use global::{reduce_global_view, GlobalEntry, GlobalView};
+pub use dump::{DumpContext, DumpError, DUMP_PHASES};
+pub use global::{reduce_global_view, try_reduce_global_view, GlobalEntry, GlobalView};
 pub use local::LocalIndex;
 pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};

@@ -25,8 +25,8 @@
 
 use bytes::Bytes;
 use replidedup_hash::{Fingerprint, FpHashSet};
-use replidedup_mpi::{Comm, Tag};
-use replidedup_storage::StorageError;
+use replidedup_mpi::{Comm, CommError, Tag};
+use replidedup_storage::{DumpId, StorageError};
 
 use crate::config::Strategy;
 use crate::dump::DumpContext;
@@ -54,6 +54,19 @@ pub enum RestoreError {
     },
     /// A chunk referenced by the manifest has no live holder.
     ChunkLost(Fingerprint),
+    /// The dump this restore targets committed in degraded mode while this
+    /// rank was dead: its data was never written anywhere. Distinct from
+    /// [`RestoreError::ManifestLost`], where the data existed but every
+    /// replica holder has since failed.
+    AbsentAtDump {
+        /// The rank whose data was absent.
+        rank: u32,
+        /// The degraded dump generation.
+        dump_id: DumpId,
+    },
+    /// A rank died (or a deadlock was suspected) during one of the restore
+    /// protocol's collective steps.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -63,6 +76,11 @@ impl std::fmt::Display for RestoreError {
             RestoreError::ManifestLost { rank } => write!(f, "manifest of rank {rank} lost"),
             RestoreError::BlobLost { rank } => write!(f, "blob of rank {rank} lost"),
             RestoreError::ChunkLost(fp) => write!(f, "chunk {fp} lost on all nodes"),
+            RestoreError::AbsentAtDump { rank, dump_id } => write!(
+                f,
+                "rank {rank}'s data was absent when dump {dump_id} committed (degraded dump)"
+            ),
+            RestoreError::Comm(e) => write!(f, "communication failure during restore: {e}"),
         }
     }
 }
@@ -71,6 +89,7 @@ impl std::error::Error for RestoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RestoreError::Storage(e) => Some(e),
+            RestoreError::Comm(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +98,12 @@ impl std::error::Error for RestoreError {
 impl From<StorageError> for RestoreError {
     fn from(e: StorageError) -> Self {
         RestoreError::Storage(e)
+    }
+}
+
+impl From<CommError> for RestoreError {
+    fn from(e: CommError) -> Self {
+        RestoreError::Comm(e)
     }
 }
 
@@ -141,29 +166,38 @@ fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Resto
         .cluster
         .blob_owners(node, ctx.dump_id)
         .unwrap_or_default();
-    let info = comm.allgather((local.is_none(), advertised));
-    let needs: Vec<bool> = info.iter().map(|(need, _)| *need).collect();
-    let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h)| h).collect();
+    let tombstoned = ctx
+        .cluster
+        .absent_ranks(node, ctx.dump_id)
+        .unwrap_or_default();
+    let info = comm.try_allgather((local.is_none(), advertised, tombstoned))?;
+    let needs: Vec<bool> = info.iter().map(|(need, _, _)| *need).collect();
+    let absent = info.iter().any(|(_, _, a)| a.binary_search(&me).is_ok());
+    let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h, _)| h).collect();
     let (served, server_of) = assign_servers(n, &needs, &holders);
     for &r in &served[me as usize] {
         let blob = ctx.cluster.get_blob(node, r, ctx.dump_id)?;
-        comm.send_val(r, TAG_RESTORE_BLOB, &blob.to_vec());
+        comm.try_send_val(r, TAG_RESTORE_BLOB, &blob.to_vec())?;
     }
     let result = match local {
         Some(b) => Ok(b.to_vec()),
         None => match server_of[me as usize] {
             Some(s) => {
-                let data: Vec<u8> = comm.recv_val(s, TAG_RESTORE_BLOB);
+                let data: Vec<u8> = comm.try_recv_val(s, TAG_RESTORE_BLOB)?;
                 // Re-seed the local device so this node serves next time.
                 ctx.cluster
                     .put_blob(node, me, ctx.dump_id, Bytes::from(data.clone()))
                     .ok();
                 Ok(data)
             }
+            None if absent => Err(RestoreError::AbsentAtDump {
+                rank: me,
+                dump_id: ctx.dump_id,
+            }),
             None => Err(RestoreError::BlobLost { rank: me }),
         },
     };
-    comm.barrier();
+    comm.try_barrier()?;
     comm.tracer().exit("blob_recovery");
     result
 }
@@ -180,17 +214,22 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         .cluster
         .manifest_owners(node, ctx.dump_id)
         .unwrap_or_default();
-    let info = comm.allgather((manifest.is_none(), advertised));
-    let needs: Vec<bool> = info.iter().map(|(need, _)| *need).collect();
-    let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h)| h).collect();
+    let tombstoned = ctx
+        .cluster
+        .absent_ranks(node, ctx.dump_id)
+        .unwrap_or_default();
+    let info = comm.try_allgather((manifest.is_none(), advertised, tombstoned))?;
+    let needs: Vec<bool> = info.iter().map(|(need, _, _)| *need).collect();
+    let absent = info.iter().any(|(_, _, a)| a.binary_search(&me).is_ok());
+    let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h, _)| h).collect();
     let (served, server_of) = assign_servers(n, &needs, &holders);
     for &r in &served[me as usize] {
         let m = ctx.cluster.get_manifest(node, r, ctx.dump_id)?;
-        comm.send_val(r, TAG_RESTORE_MANIFEST, &m);
+        comm.try_send_val(r, TAG_RESTORE_MANIFEST, &m)?;
     }
     if manifest.is_none() {
         if let Some(s) = server_of[me as usize] {
-            let m: replidedup_storage::Manifest = comm.recv_val(s, TAG_RESTORE_MANIFEST);
+            let m: replidedup_storage::Manifest = comm.try_recv_val(s, TAG_RESTORE_MANIFEST)?;
             ctx.cluster.put_manifest(node, m.clone()).ok();
             manifest = Some(m);
         }
@@ -211,7 +250,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         }
         missing.sort_unstable();
     }
-    let all_missing: Vec<Vec<Fingerprint>> = comm.allgather(missing.clone());
+    let all_missing: Vec<Vec<Fingerprint>> = comm.try_allgather(missing.clone())?;
 
     // Union of every requested fingerprint, sorted for stable indexing.
     let mut union: Vec<Fingerprint> = all_missing.iter().flatten().copied().collect();
@@ -223,7 +262,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         .iter()
         .map(|fp| ctx.cluster.has_chunk(node, fp))
         .collect();
-    let all_have: Vec<Vec<bool>> = comm.allgather(my_have);
+    let all_have: Vec<Vec<bool>> = comm.try_allgather(my_have)?;
 
     let index_of = |fp: &Fingerprint| union.binary_search(fp).expect("fp from union");
     let server_of_fp = |fp: &Fingerprint| -> Option<u32> {
@@ -244,7 +283,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
             }
         }
         if !batch.is_empty() {
-            comm.send_val(r as u32, TAG_RESTORE_CHUNKS, &batch);
+            comm.try_send_val(r as u32, TAG_RESTORE_CHUNKS, &batch)?;
         }
     }
 
@@ -261,7 +300,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
     expected_servers.sort_unstable();
     expected_servers.dedup();
     for s in expected_servers {
-        let batch: Vec<(Fingerprint, Vec<u8>)> = comm.recv_val(s, TAG_RESTORE_CHUNKS);
+        let batch: Vec<(Fingerprint, Vec<u8>)> = comm.try_recv_val(s, TAG_RESTORE_CHUNKS)?;
         for (fp, data) in batch {
             // Write back: restores the failed node's share of the data.
             ctx.cluster.put_chunk(node, fp, Bytes::from(data)).ok();
@@ -274,7 +313,12 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
 
     // ---- Step 3: reassemble ----------------------------------------------
     comm.tracer().enter("reassemble");
-    let result = if manifest_lost {
+    let result = if manifest_lost && absent {
+        Err(RestoreError::AbsentAtDump {
+            rank: me,
+            dump_id: ctx.dump_id,
+        })
+    } else if manifest_lost {
         Err(RestoreError::ManifestLost { rank: me })
     } else if let Some(fp) = lost {
         Err(RestoreError::ChunkLost(fp))
@@ -299,7 +343,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
             None => Ok(buf),
         }
     };
-    comm.barrier();
+    comm.try_barrier()?;
     comm.tracer().exit("reassemble");
     result
 }

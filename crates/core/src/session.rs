@@ -11,7 +11,7 @@
 //! execution all hang off the session instead of being re-plumbed per call.
 
 use replidedup_hash::{ChunkHasher, Sha1ChunkHasher};
-use replidedup_mpi::Comm;
+use replidedup_mpi::{Comm, CommError};
 use replidedup_storage::{Cluster, DumpId};
 
 use crate::config::{ConfigError, DumpConfig, Strategy};
@@ -32,6 +32,10 @@ pub enum ReplError {
     Dump(DumpError),
     /// A collective restore failed.
     Restore(RestoreError),
+    /// A rank died (or a deadlock was suspected) inside a collective this
+    /// session drove. Dump-side rank deaths normally degrade instead of
+    /// erroring; this arm carries the cases that cannot be absorbed.
+    RankFailure(CommError),
 }
 
 impl std::fmt::Display for ReplError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for ReplError {
             ReplError::Config(e) => write!(f, "invalid replicator config: {e}"),
             ReplError::Dump(e) => write!(f, "dump failed: {e}"),
             ReplError::Restore(e) => write!(f, "restore failed: {e}"),
+            ReplError::RankFailure(e) => write!(f, "rank failure during collective: {e}"),
         }
     }
 }
@@ -50,6 +55,7 @@ impl std::error::Error for ReplError {
             ReplError::Config(e) => Some(e),
             ReplError::Dump(e) => Some(e),
             ReplError::Restore(e) => Some(e),
+            ReplError::RankFailure(e) => Some(e),
         }
     }
 }
@@ -62,13 +68,19 @@ impl From<ConfigError> for ReplError {
 
 impl From<DumpError> for ReplError {
     fn from(e: DumpError) -> Self {
-        ReplError::Dump(e)
+        match e {
+            DumpError::Comm(c) => ReplError::RankFailure(c),
+            other => ReplError::Dump(other),
+        }
     }
 }
 
 impl From<RestoreError> for ReplError {
     fn from(e: RestoreError) -> Self {
-        ReplError::Restore(e)
+        match e {
+            RestoreError::Comm(c) => ReplError::RankFailure(c),
+            other => ReplError::Restore(other),
+        }
     }
 }
 

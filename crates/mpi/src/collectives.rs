@@ -18,19 +18,39 @@
 //! All internal messages are tagged under the reserved tag space and
 //! namespaced by the per-rank collective sequence number, so a collective
 //! can never consume a message belonging to an earlier or later operation.
+//!
+//! Every collective has a fallible `try_*` twin that surfaces rank deaths
+//! as [`CommError`] instead of panicking. Failure semantics: at entry each
+//! rank snapshots the death epoch and refuses to start if any relevant
+//! rank is already dead; a death *during* the collective fails every
+//! blocked receive. Survivors of an interrupted collective may diverge
+//! (some completed it, some got an error — exactly like real MPI), but all
+//! of them fail deterministically at the *next* collective's entry guard,
+//! so divergence never propagates further than one operation.
 
 use bytes::Bytes;
 
 use crate::comm::{Comm, Rank};
+use crate::fault::CommError;
 use crate::stats::Transport;
 use crate::wire::Wire;
 
 impl Comm {
     /// Block until every rank has entered the barrier.
     pub fn barrier(&mut self) {
-        self.tracer().enter("coll_barrier");
-        self.barrier_impl();
-        self.tracer().exit("coll_barrier");
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Comm::barrier`]: fails with [`CommError::RankFailed`]
+    /// when a rank is dead at entry or dies while the barrier runs.
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
+        self.enter_phase("coll_barrier");
+        let op = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.barrier_impl(op, epoch));
+        self.exit_phase("coll_barrier");
+        out
     }
 
     /// Broadcast `value` from `root` to every rank; `value` is only read at
@@ -39,59 +59,140 @@ impl Comm {
     /// # Panics
     /// If the root passes `None` or `root` is out of range.
     pub fn bcast<T: Wire>(&mut self, root: Rank, value: Option<T>) -> T {
-        self.tracer().enter("coll_bcast");
-        let out = self.bcast_impl(root, value);
-        self.tracer().exit("coll_bcast");
+        self.try_bcast(root, value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::bcast`].
+    pub fn try_bcast<T: Wire>(&mut self, root: Rank, value: Option<T>) -> Result<T, CommError> {
+        self.enter_phase("coll_bcast");
+        let op = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.bcast_impl(root, value, op, epoch));
+        self.exit_phase("coll_bcast");
         out
     }
 
-    /// All-reduce with a user operator; see [`Comm::allreduce`] internals
+    /// All-reduce with a user operator; see the `allreduce_impl` internals
     /// in this module for algorithm and determinism guarantees.
     pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
     where
         T: Wire,
         F: Fn(T, T) -> T,
     {
-        self.tracer().enter("coll_allreduce");
-        let out = self.allreduce_impl(value, op);
-        self.tracer().exit("coll_allreduce");
+        self.try_allreduce(value, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::allreduce`].
+    pub fn try_allreduce<T, F>(&mut self, value: T, op: F) -> Result<T, CommError>
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        self.enter_phase("coll_allreduce");
+        let seq = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.allreduce_impl(value, op, seq, epoch));
+        self.exit_phase("coll_allreduce");
         out
     }
 
     /// Gather one value per rank at `root` (rank order). Non-roots get `None`.
     pub fn gather<T: Wire>(&mut self, root: Rank, value: T) -> Option<Vec<T>> {
-        self.tracer().enter("coll_gather");
-        let out = self.gather_impl(root, value);
-        self.tracer().exit("coll_gather");
+        self.try_gather(root, value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::gather`].
+    pub fn try_gather<T: Wire>(
+        &mut self,
+        root: Rank,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        self.enter_phase("coll_gather");
+        let op = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.gather_impl(root, value, op, epoch));
+        self.exit_phase("coll_gather");
         out
     }
 
     /// All-gather: every rank contributes one value and receives the full
     /// rank-ordered vector.
     pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
-        self.tracer().enter("coll_allgather");
-        let out = self.allgather_impl(value);
-        self.tracer().exit("coll_allgather");
+        self.try_allgather(value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::allgather`].
+    pub fn try_allgather<T: Wire>(&mut self, value: T) -> Result<Vec<T>, CommError> {
+        self.enter_phase("coll_allgather");
+        let op = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.allgather_impl(value, op, epoch));
+        self.exit_phase("coll_allgather");
         out
     }
 
     /// Personalized all-to-all of raw buffers: `sends[d]` goes to rank `d`;
     /// returns the buffer received from each rank.
     pub fn alltoallv(&mut self, sends: Vec<Bytes>) -> Vec<Bytes> {
-        self.tracer().enter("coll_alltoallv");
-        let out = self.alltoallv_impl(sends);
-        self.tracer().exit("coll_alltoallv");
+        self.try_alltoallv(sends).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::alltoallv`].
+    pub fn try_alltoallv(&mut self, sends: Vec<Bytes>) -> Result<Vec<Bytes>, CommError> {
+        self.enter_phase("coll_alltoallv");
+        let op = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.alltoallv_impl(sends, op, epoch));
+        self.exit_phase("coll_alltoallv");
+        out
+    }
+
+    /// Barrier over an explicit rank group (e.g. the survivors of a
+    /// faulted dump). Every group member must call this with the same
+    /// group, ascending and containing the caller; only deaths of group
+    /// members fail it.
+    pub fn try_barrier_group(&mut self, group: &[Rank]) -> Result<(), CommError> {
+        self.enter_phase("coll_barrier");
+        let op = self.next_op();
+        let out = self
+            .group_entry_guard(group)
+            .and_then(|epoch| self.barrier_group_impl(group, op, epoch));
+        self.exit_phase("coll_barrier");
+        out
+    }
+
+    /// All-gather over an explicit rank group: returns one value per group
+    /// member, in group order. Same calling convention as
+    /// [`Comm::try_barrier_group`].
+    pub fn try_allgather_group<T: Wire>(
+        &mut self,
+        group: &[Rank],
+        value: T,
+    ) -> Result<Vec<T>, CommError> {
+        self.enter_phase("coll_allgather");
+        let op = self.next_op();
+        let out = self
+            .group_entry_guard(group)
+            .and_then(|epoch| self.allgather_group_impl(group, value, op, epoch));
+        self.exit_phase("coll_allgather");
         out
     }
 }
 
 impl Comm {
     /// Dissemination barrier, ⌈log₂ N⌉ rounds.
-    fn barrier_impl(&mut self) {
-        let op = self.next_op();
+    fn barrier_impl(&mut self, op: u64, epoch: Option<u64>) -> Result<(), CommError> {
         let n = self.size();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let me = self.rank();
         let mut round = 0u32;
@@ -100,11 +201,43 @@ impl Comm {
             let dst = (me + dist) % n;
             let src = (me + n - dist) % n;
             let tag = Self::coll_tag(op, round);
-            self.send_raw(dst, tag, Bytes::new(), Transport::Collective);
-            self.recv_raw(src, tag, Transport::Collective);
+            self.try_send_raw(dst, tag, Bytes::new(), Transport::Collective)?;
+            self.try_recv_raw_guarded(src, tag, Transport::Collective, epoch)?;
             round += 1;
             dist <<= 1;
         }
+        Ok(())
+    }
+
+    /// Dissemination barrier over the positions of `group`.
+    fn barrier_group_impl(
+        &mut self,
+        group: &[Rank],
+        op: u64,
+        epoch: Option<u64>,
+    ) -> Result<(), CommError> {
+        let n = group.len() as u32;
+        if n <= 1 {
+            return Ok(());
+        }
+        let me = self.rank();
+        let pos = group
+            .iter()
+            .position(|&r| r == me)
+            .unwrap_or_else(|| panic!("rank {me} called a group collective it is not part of"))
+            as u32;
+        let mut round = 0u32;
+        let mut dist = 1u32;
+        while dist < n {
+            let dst = group[((pos + dist) % n) as usize];
+            let src = group[((pos + n - dist) % n) as usize];
+            let tag = Self::coll_tag(op, round);
+            self.try_send_raw(dst, tag, Bytes::new(), Transport::Collective)?;
+            self.try_recv_raw_guarded(src, tag, Transport::Collective, epoch)?;
+            round += 1;
+            dist <<= 1;
+        }
+        Ok(())
     }
 
     /// Broadcast `value` from `root` to every rank; `value` is only read at
@@ -112,8 +245,13 @@ impl Comm {
     ///
     /// # Panics
     /// If the root passes `None` or `root` is out of range.
-    fn bcast_impl<T: Wire>(&mut self, root: Rank, value: Option<T>) -> T {
-        let op = self.next_op();
+    fn bcast_impl<T: Wire>(
+        &mut self,
+        root: Rank,
+        value: Option<T>,
+        op: u64,
+        epoch: Option<u64>,
+    ) -> Result<T, CommError> {
         let n = self.size();
         let me = self.rank();
         assert!(root < n, "bcast root {root} out of range for world of {n}");
@@ -129,7 +267,7 @@ impl Comm {
             // Receive from parent: clear the lowest set bit of vrank.
             let parent_v = vrank & (vrank - 1);
             let parent = (parent_v + root) % n;
-            payload = Some(self.recv_raw(parent, tag, Transport::Collective));
+            payload = Some(self.try_recv_raw_guarded(parent, tag, Transport::Collective, epoch)?);
         }
         let payload = payload.expect("payload present after receive");
         // Forward to children: set each bit above the lowest set bit of
@@ -144,12 +282,12 @@ impl Comm {
             let child_v = vrank | bit;
             if child_v != vrank && child_v < n {
                 let child = (child_v + root) % n;
-                self.send_raw(child, tag, payload.clone(), Transport::Collective);
+                self.try_send_raw(child, tag, payload.clone(), Transport::Collective)?;
             }
             bit <<= 1;
         }
-        T::from_bytes(&payload)
-            .unwrap_or_else(|e| panic!("rank {me} failed to decode bcast payload: {e}"))
+        Ok(T::from_bytes(&payload)
+            .unwrap_or_else(|e| panic!("rank {me} failed to decode bcast payload: {e}")))
     }
 
     /// All-reduce with a user operator. `op(a, b)` must be associative and
@@ -158,15 +296,20 @@ impl Comm {
     /// lower-aggregate-side first), so even an order-sensitive operator
     /// yields bit-identical results on every rank and across runs; in
     /// power-of-two worlds the order is exactly rank order.
-    fn allreduce_impl<T, F>(&mut self, value: T, op: F) -> T
+    fn allreduce_impl<T, F>(
+        &mut self,
+        value: T,
+        op: F,
+        seq: u64,
+        epoch: Option<u64>,
+    ) -> Result<T, CommError>
     where
         T: Wire,
         F: Fn(T, T) -> T,
     {
-        let seq = self.next_op();
         let n = self.size();
         if n == 1 {
-            return value;
+            return Ok(value);
         }
         let me = self.rank();
         let p2 = if n.is_power_of_two() {
@@ -180,16 +323,16 @@ impl Comm {
         // Fold phase: ranks >= p2 hand their value to rank - p2.
         if me >= p2 {
             let tag = Self::coll_tag(seq, 0);
-            self.send_raw(me - p2, tag, acc.to_bytes(), Transport::Collective);
+            self.try_send_raw(me - p2, tag, acc.to_bytes(), Transport::Collective)?;
             // Wait for the final result in the unfold phase.
             let tag = Self::coll_tag(seq, u32::MAX);
-            let payload = self.recv_raw(me - p2, tag, Transport::Collective);
-            return T::from_bytes(&payload)
-                .unwrap_or_else(|e| panic!("rank {me} failed to decode allreduce result: {e}"));
+            let payload = self.try_recv_raw_guarded(me - p2, tag, Transport::Collective, epoch)?;
+            return Ok(T::from_bytes(&payload)
+                .unwrap_or_else(|e| panic!("rank {me} failed to decode allreduce result: {e}")));
         }
         if me < rem {
             let tag = Self::coll_tag(seq, 0);
-            let payload = self.recv_raw(me + p2, tag, Transport::Collective);
+            let payload = self.try_recv_raw_guarded(me + p2, tag, Transport::Collective, epoch)?;
             let other = T::from_bytes(&payload)
                 .unwrap_or_else(|e| panic!("rank {me} failed to decode fold operand: {e}"));
             // Lower-rank operand first: acc belongs to me < me + p2.
@@ -201,8 +344,8 @@ impl Comm {
         while dist < p2 {
             let partner = me ^ dist;
             let tag = Self::coll_tag(seq, round);
-            self.send_raw(partner, tag, acc.to_bytes(), Transport::Collective);
-            let payload = self.recv_raw(partner, tag, Transport::Collective);
+            self.try_send_raw(partner, tag, acc.to_bytes(), Transport::Collective)?;
+            let payload = self.try_recv_raw_guarded(partner, tag, Transport::Collective, epoch)?;
             let other = T::from_bytes(&payload)
                 .unwrap_or_else(|e| panic!("rank {me} failed to decode allreduce operand: {e}"));
             acc = if me < partner {
@@ -216,9 +359,9 @@ impl Comm {
         // Unfold phase: hand the final value back to the folded ranks.
         if me < rem {
             let tag = Self::coll_tag(seq, u32::MAX);
-            self.send_raw(me + p2, tag, acc.to_bytes(), Transport::Collective);
+            self.try_send_raw(me + p2, tag, acc.to_bytes(), Transport::Collective)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Reduce to `root`; non-root ranks get `None`.
@@ -227,18 +370,37 @@ impl Comm {
         T: Wire,
         F: Fn(T, T) -> T,
     {
+        self.try_reduce(root, value, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::reduce`].
+    pub fn try_reduce<T, F>(&mut self, root: Rank, value: T, op: F) -> Result<Option<T>, CommError>
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
         // Implemented over allreduce: at the message sizes this library
         // moves (fingerprint sets), allreduce ≈ reduce + bcast anyway, and
         // the paper itself reasons in terms of an optimized ALLREDUCE.
-        self.tracer().enter("coll_reduce");
-        let result = self.allreduce_impl(value, op);
-        self.tracer().exit("coll_reduce");
-        (self.rank() == root).then_some(result)
+        self.enter_phase("coll_reduce");
+        let seq = self.next_op();
+        let out = self
+            .coll_entry_guard()
+            .and_then(|epoch| self.allreduce_impl(value, op, seq, epoch));
+        self.exit_phase("coll_reduce");
+        let result = out?;
+        Ok((self.rank() == root).then_some(result))
     }
 
     /// Gather one value per rank at `root` (rank order). Non-roots get `None`.
-    fn gather_impl<T: Wire>(&mut self, root: Rank, value: T) -> Option<Vec<T>> {
-        let seq = self.next_op();
+    fn gather_impl<T: Wire>(
+        &mut self,
+        root: Rank,
+        value: T,
+        seq: u64,
+        epoch: Option<u64>,
+    ) -> Result<Option<Vec<T>>, CommError> {
         let n = self.size();
         let me = self.rank();
         assert!(root < n, "gather root {root} out of range for world of {n}");
@@ -250,50 +412,97 @@ impl Comm {
                 if src == me {
                     continue;
                 }
-                let payload = self.recv_raw(src, tag, Transport::Collective);
+                let payload = self.try_recv_raw_guarded(src, tag, Transport::Collective, epoch)?;
                 out[src as usize] = Some(T::from_bytes(&payload).unwrap_or_else(|e| {
                     panic!("rank {me} failed to decode gather item from {src}: {e}")
                 }));
             }
-            Some(
+            Ok(Some(
                 out.into_iter()
                     .map(|v| v.expect("all slots filled"))
                     .collect(),
-            )
+            ))
         } else {
-            self.send_raw(root, tag, value.to_bytes(), Transport::Collective);
-            None
+            self.try_send_raw(root, tag, value.to_bytes(), Transport::Collective)?;
+            Ok(None)
         }
     }
 
     /// All-gather: every rank contributes one value and receives the full
     /// rank-ordered vector. Ring algorithm: N-1 steps, each rank forwards
     /// the block it received in the previous step.
-    fn allgather_impl<T: Wire>(&mut self, value: T) -> Vec<T> {
-        let seq = self.next_op();
+    fn allgather_impl<T: Wire>(
+        &mut self,
+        value: T,
+        seq: u64,
+        epoch: Option<u64>,
+    ) -> Result<Vec<T>, CommError> {
         let n = self.size();
         let me = self.rank();
+        let group: Vec<Rank> = (0..n).collect();
+        self.ring_allgather(&group, me, seq, value.to_bytes(), epoch)
+            .map(|blocks| Self::decode_blocks(me, blocks))
+    }
+
+    /// All-gather over the positions of `group`, group-ordered result.
+    fn allgather_group_impl<T: Wire>(
+        &mut self,
+        group: &[Rank],
+        value: T,
+        seq: u64,
+        epoch: Option<u64>,
+    ) -> Result<Vec<T>, CommError> {
+        let me = self.rank();
+        assert!(
+            group.contains(&me),
+            "rank {me} called a group collective it is not part of"
+        );
+        self.ring_allgather(group, me, seq, value.to_bytes(), epoch)
+            .map(|blocks| Self::decode_blocks(me, blocks))
+    }
+
+    /// Ring all-gather over `group` positions; returns one raw block per
+    /// group member, in group order.
+    fn ring_allgather(
+        &mut self,
+        group: &[Rank],
+        me: Rank,
+        seq: u64,
+        mine: Bytes,
+        epoch: Option<u64>,
+    ) -> Result<Vec<Bytes>, CommError> {
+        let n = group.len() as u32;
+        let pos = group
+            .iter()
+            .position(|&r| r == me)
+            .expect("caller checked membership") as u32;
         let mut blocks: Vec<Option<Bytes>> = (0..n).map(|_| None).collect();
-        blocks[me as usize] = Some(value.to_bytes());
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
+        blocks[pos as usize] = Some(mine);
+        let right = group[((pos + 1) % n) as usize];
+        let left = group[((pos + n.max(1) - 1) % n) as usize];
         for step in 0..n.saturating_sub(1) {
             let tag = Self::coll_tag(seq, step);
-            // Forward the block that originated at (me - step) mod n.
-            let origin_out = ((me + n - step) % n) as usize;
+            // Forward the block that originated at position (pos - step).
+            let origin_out = ((pos + n - step) % n) as usize;
             let payload = blocks[origin_out]
                 .clone()
                 .expect("block to forward is present by induction");
-            self.send_raw(right, tag, payload, Transport::Collective);
-            let origin_in = ((me + n - step - 1) % n) as usize;
-            let incoming = self.recv_raw(left, tag, Transport::Collective);
+            self.try_send_raw(right, tag, payload, Transport::Collective)?;
+            let origin_in = ((pos + n - step - 1) % n) as usize;
+            let incoming = self.try_recv_raw_guarded(left, tag, Transport::Collective, epoch)?;
             blocks[origin_in] = Some(incoming);
         }
+        Ok(blocks
+            .into_iter()
+            .map(|b| b.expect("ring completed: every block present"))
+            .collect())
+    }
+
+    fn decode_blocks<T: Wire>(me: Rank, blocks: Vec<Bytes>) -> Vec<T> {
         blocks
             .into_iter()
             .enumerate()
-            .map(|(i, b)| {
-                let bytes = b.expect("ring completed: every block present");
+            .map(|(i, bytes)| {
                 T::from_bytes(&bytes).unwrap_or_else(|e| {
                     panic!("rank {me} failed to decode allgather block {i}: {e}")
                 })
@@ -304,8 +513,12 @@ impl Comm {
     /// Personalized all-to-all of raw buffers: `sends[d]` goes to rank `d`;
     /// returns the buffer received from each rank. `sends.len()` must equal
     /// the world size; `sends[me]` is returned as-is (self copy, no traffic).
-    fn alltoallv_impl(&mut self, mut sends: Vec<Bytes>) -> Vec<Bytes> {
-        let seq = self.next_op();
+    fn alltoallv_impl(
+        &mut self,
+        mut sends: Vec<Bytes>,
+        seq: u64,
+        epoch: Option<u64>,
+    ) -> Result<Vec<Bytes>, CommError> {
         let n = self.size();
         let me = self.rank();
         assert_eq!(
@@ -322,21 +535,24 @@ impl Comm {
             let dst = (me + step) % n;
             let src = (me + n - step) % n;
             let tag = Self::coll_tag(seq, step);
-            self.send_raw(
+            self.try_send_raw(
                 dst,
                 tag,
                 std::mem::take(&mut sends[dst as usize]),
                 Transport::Collective,
-            );
-            recvs[src as usize] = self.recv_raw(src, tag, Transport::Collective);
+            )?;
+            recvs[src as usize] =
+                self.try_recv_raw_guarded(src, tag, Transport::Collective, epoch)?;
         }
-        recvs
+        Ok(recvs)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::comm::World;
+    use crate::comm::{World, WorldConfig};
+    use crate::fault::{CommError, FaultPlan, FaultTrigger};
+    use std::time::Duration;
 
     #[test]
     fn barrier_all_sizes() {
@@ -508,5 +724,78 @@ mod tests {
     fn allreduce_large_world() {
         let out = World::run(64, |comm| comm.allreduce(1u64, |a, b| a + b));
         assert!(out.results.iter().all(|&r| r == 64));
+    }
+
+    fn fault_config(plan: FaultPlan) -> WorldConfig {
+        WorldConfig::default()
+            .with_recv_timeout(Duration::from_secs(2))
+            .with_faults(plan)
+    }
+
+    #[test]
+    fn collectives_fail_typed_when_a_rank_dies_mid_operation() {
+        // Rank 2 dies at the start of the collective; every survivor gets
+        // a RankFailed error instead of hanging or panicking.
+        let plan = FaultPlan::new(11).crash(2, FaultTrigger::PhaseStart("coll_allreduce".into()));
+        let out = World::run_faulty(5, &fault_config(plan), |comm| {
+            comm.try_allreduce(1u64, |a, b| a + b)
+        });
+        assert_eq!(out.crashed_ranks(), vec![2]);
+        for (rank, o) in out.outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            assert_eq!(
+                o.as_completed(),
+                Some(&Err(CommError::RankFailed { rank: 2 })),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_collective_entry_fails_after_divergence() {
+        // Rank 1 dies between two barriers: whatever each survivor saw of
+        // the first barrier, all of them must fail the second at entry.
+        let plan = FaultPlan::new(12).crash(1, FaultTrigger::PhaseEnd("coll_barrier".into()));
+        let out = World::run_faulty(4, &fault_config(plan), |comm| {
+            let first = comm.try_barrier();
+            let second = comm.try_barrier();
+            (first, second)
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        for (rank, o) in out.outcomes.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            let (_, second) = o.as_completed().unwrap();
+            assert_eq!(
+                *second,
+                Err(CommError::RankFailed { rank: 1 }),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_collectives_run_among_survivors() {
+        let plan = FaultPlan::new(13).crash(2, FaultTrigger::PhaseStart("coll_barrier".into()));
+        let out = World::run_faulty(5, &fault_config(plan), |comm| {
+            let _ = comm.try_barrier();
+            let group = comm.live_ranks();
+            comm.try_barrier_group(&group)?;
+            comm.try_allgather_group(&group, comm.rank() * 10)
+        });
+        assert_eq!(out.crashed_ranks(), vec![2]);
+        for (rank, o) in out.outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            assert_eq!(
+                o.as_completed().unwrap(),
+                &Ok(vec![0, 10, 30, 40]),
+                "rank {rank}"
+            );
+        }
     }
 }

@@ -14,13 +14,16 @@
 //! timings.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use replidedup_trace::{Tracer, WorldTrace};
 
+use crate::fault::{
+    CommError, Fault, FaultAction, FaultPlan, FaultRuntime, FaultTrigger, InjectedCrash,
+};
 use crate::stats::{RankCounters, TrafficReport, Transport};
 use crate::window::WinBuf;
 use crate::wire::Wire;
@@ -34,6 +37,11 @@ pub type Tag = u64;
 
 /// Top bit marks runtime-internal tags.
 pub(crate) const INTERNAL_TAG: Tag = 1 << 63;
+
+/// Death-notice tag: a crashing rank posts one empty message with this tag
+/// to every peer so blocked receives wake up and re-check the dead flags.
+/// Never stashed in the unexpected-message queue, never user-visible.
+pub(crate) const DEATH_TAG: Tag = INTERNAL_TAG | (1 << 62);
 
 /// A matched point-to-point message.
 #[derive(Debug, Clone)]
@@ -52,6 +60,8 @@ pub(crate) enum CtrlMsg {
         seq: u64,
         handle: Arc<WinBuf>,
     },
+    /// Death notice on the control channel (wakes `win_create` handshakes).
+    Dead { src: Rank },
 }
 
 /// Configuration for a [`World`] run.
@@ -63,6 +73,10 @@ pub struct WorldConfig {
     /// Record per-rank phase traces. Off by default: every rank then runs
     /// with the zero-cost no-op [`Tracer`].
     pub trace: bool,
+    /// Deterministic fault schedule to enforce during the run. `None`
+    /// (the default) keeps the fault machinery entirely out of the hot
+    /// paths.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for WorldConfig {
@@ -70,6 +84,7 @@ impl Default for WorldConfig {
         Self {
             recv_timeout: Duration::from_secs(120),
             trace: false,
+            faults: None,
         }
     }
 }
@@ -82,6 +97,19 @@ impl WorldConfig {
             ..Self::default()
         }
     }
+
+    /// Override the deadlock timeout (fault tests use ~2 s instead of the
+    /// generous 120 s default so failure paths resolve in seconds).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Install a fault schedule for the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Result of a world run: one value per rank plus the traffic report.
@@ -93,6 +121,92 @@ pub struct RunOutput<T> {
     pub traffic: TrafficReport,
     /// Per-rank phase traces when [`WorldConfig::trace`] was set.
     pub trace: Option<WorldTrace>,
+}
+
+/// How one rank's thread ended under [`World::run_faulty`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankOutcome<T> {
+    /// The rank ran to completion and returned this value.
+    Completed(T),
+    /// The rank died to an injected crash fault.
+    Crashed {
+        /// The rank that crashed.
+        rank: Rank,
+    },
+}
+
+impl<T> RankOutcome<T> {
+    /// The completed value, if the rank survived.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            RankOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Borrow the completed value, if the rank survived.
+    pub fn as_completed(&self) -> Option<&T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            RankOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Whether the rank died to an injected crash.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, RankOutcome::Crashed { .. })
+    }
+}
+
+/// Result of a fault-injected world run: per-rank outcomes (a crashed rank
+/// has no return value) plus traffic and traces. Crashed ranks' traces end
+/// with their `fault.injected` span.
+#[derive(Debug)]
+pub struct FaultRunOutput<T> {
+    /// Per-rank outcomes, indexed by rank.
+    pub outcomes: Vec<RankOutcome<T>>,
+    /// Per-rank traffic snapshot taken after all ranks ended.
+    pub traffic: TrafficReport,
+    /// Per-rank phase traces when [`WorldConfig::trace`] was set.
+    pub trace: Option<WorldTrace>,
+}
+
+impl<T> FaultRunOutput<T> {
+    /// Ranks that died to injected crashes, ascending.
+    pub fn crashed_ranks(&self) -> Vec<Rank> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                RankOutcome::Crashed { rank } => Some(*rank),
+                RankOutcome::Completed(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// How one rank's closure ended, as carried back over `join`. The `Comm`
+/// rides along so every rank's receiver stays alive until all threads have
+/// joined — otherwise a fast-exiting rank's dropped channel would turn
+/// peers' sends into spurious teardown errors.
+enum ThreadEnd<T> {
+    Done(T, Option<Vec<replidedup_trace::Event>>),
+    Crashed(Rank, Option<Vec<replidedup_trace::Event>>),
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Injected crashes unwind with a private payload; keep the default panic
+/// hook from spamming stderr for them. Installed once, process-wide, and
+/// delegates to the previous hook for every real panic.
+fn silence_injected_crash_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Entry point: spawn `size` ranks and run `f` on each.
@@ -112,12 +226,49 @@ impl World {
     }
 
     /// Run `f` on `size` ranks with explicit configuration.
+    ///
+    /// # Panics
+    /// Propagates any rank's panic; also panics if the configuration
+    /// injects a crash fault that fires (use [`World::run_faulty`] to
+    /// observe crashes as values).
     pub fn run_with<T, F>(size: u32, config: &WorldConfig, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        let out = Self::run_faulty(size, config, f);
+        let results = out
+            .outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Completed(v) => v,
+                RankOutcome::Crashed { rank } => panic!(
+                    "rank {rank} died to an injected crash fault; \
+                     use World::run_faulty to observe crashes"
+                ),
+            })
+            .collect();
+        RunOutput {
+            results,
+            traffic: out.traffic,
+            trace: out.trace,
+        }
+    }
+
+    /// Run `f` on `size` ranks, treating injected crash faults as data:
+    /// a rank that dies to its [`FaultPlan`] entry yields
+    /// [`RankOutcome::Crashed`] instead of unwinding the world. Real
+    /// panics (assertion failures, infallible-API errors) still propagate.
+    pub fn run_faulty<T, F>(size: u32, config: &WorldConfig, f: F) -> FaultRunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(size > 0, "world size must be positive");
+        let fault_rt: Option<Arc<FaultRuntime>> = config.faults.as_ref().map(|plan| {
+            silence_injected_crash_panics();
+            Arc::new(FaultRuntime::new(size, plan.on_crash.clone()))
+        });
         let counters: Arc<Vec<RankCounters>> =
             Arc::new((0..size).map(|_| RankCounters::default()).collect());
 
@@ -136,74 +287,127 @@ impl World {
         let data_senders = Arc::new(data_senders);
         let ctrl_senders = Arc::new(ctrl_senders);
 
-        let (results, traces): (Vec<T>, Vec<Option<Vec<replidedup_trace::Event>>>) =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(size as usize);
-                // Drain receivers in reverse so rank 0 pops the front.
-                let mut receivers: Vec<_> = data_receivers.into_iter().collect();
-                let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
-                for rank in (0..size).rev() {
-                    let receiver = receivers.pop().expect("one receiver per rank");
-                    let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
-                    let data_senders = Arc::clone(&data_senders);
-                    let ctrl_senders = Arc::clone(&ctrl_senders);
-                    let counters = Arc::clone(&counters);
-                    let f = &f;
-                    let config = config.clone();
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name(format!("rank-{rank}"))
-                            .spawn_scoped(scope, move || {
-                                let mut comm = Comm {
-                                    rank,
-                                    size,
-                                    data_senders,
-                                    receiver,
-                                    ctrl_senders,
-                                    ctrl_receiver,
-                                    pending: HashMap::new(),
-                                    pending_ctrl: HashMap::new(),
-                                    counters,
-                                    op_seq: 0,
-                                    win_seq: 0,
-                                    recv_timeout: config.recv_timeout,
-                                    tracer: if config.trace {
-                                        Tracer::enabled()
-                                    } else {
-                                        Tracer::disabled()
-                                    },
-                                };
-                                let result = f(&mut comm);
-                                (result, comm.tracer.take_events())
-                            })
-                            .expect("spawn rank thread"),
-                    );
-                }
-                // handles were pushed for ranks size-1..0; reverse to rank order.
-                handles.reverse();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(v) => v,
-                        // Re-raise with the original payload so callers (and
-                        // #[should_panic] tests) see the rank's own message.
-                        Err(payload) => std::panic::resume_unwind(payload),
+        let ends: Vec<ThreadEnd<T>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size as usize);
+            // Drain receivers in reverse so rank 0 pops the front.
+            let mut receivers: Vec<_> = data_receivers.into_iter().collect();
+            let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
+            for rank in (0..size).rev() {
+                let receiver = receivers.pop().expect("one receiver per rank");
+                let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
+                let data_senders = Arc::clone(&data_senders);
+                let ctrl_senders = Arc::clone(&ctrl_senders);
+                let counters = Arc::clone(&counters);
+                let fault_rt = fault_rt.clone();
+                let my_faults: Vec<Fault> = config
+                    .faults
+                    .as_ref()
+                    .map(|p| {
+                        p.faults
+                            .iter()
+                            .filter(|ft| ft.rank == rank)
+                            .cloned()
+                            .collect()
                     })
-                    .collect()
-            });
+                    .unwrap_or_default();
+                let f = &f;
+                let config = config.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let mut comm = Comm {
+                                rank,
+                                size,
+                                data_senders,
+                                receiver,
+                                ctrl_senders,
+                                ctrl_receiver,
+                                pending: HashMap::new(),
+                                pending_ctrl: HashMap::new(),
+                                counters,
+                                op_seq: 0,
+                                win_seq: 0,
+                                recv_timeout: config.recv_timeout,
+                                tracer: if config.trace {
+                                    Tracer::enabled()
+                                } else {
+                                    Tracer::disabled()
+                                },
+                                fault_rt,
+                                my_faults,
+                                msg_ops: 0,
+                            };
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    f(&mut comm)
+                                }));
+                            let end = match caught {
+                                Ok(v) => ThreadEnd::Done(v, comm.tracer.take_events()),
+                                Err(payload) => match payload.downcast::<InjectedCrash>() {
+                                    Ok(crash) => ThreadEnd::Crashed(crash.rank, crash.events),
+                                    Err(other) => ThreadEnd::Panicked(other),
+                                },
+                            };
+                            // Return the comm alongside the outcome: its
+                            // receivers must outlive every peer's last send.
+                            (end, comm)
+                        })
+                        .expect("spawn rank thread"),
+                );
+            }
+            // handles were pushed for ranks size-1..0; reverse to rank order.
+            handles.reverse();
+            // Join everything before dropping any rank's channels.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            joined
+                .into_iter()
+                .map(|j| match j {
+                    Ok((end, _comm)) => end,
+                    // The closure catches panics from `f`; reaching here
+                    // means the runtime itself failed (e.g. trace
+                    // collection found a leaked span). Re-raise as-is.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut outcomes = Vec::with_capacity(size as usize);
+        let mut streams = Vec::with_capacity(size as usize);
+        let mut panic_payload = None;
+        for end in ends {
+            match end {
+                ThreadEnd::Done(v, ev) => {
+                    outcomes.push(RankOutcome::Completed(v));
+                    streams.push(ev.unwrap_or_default());
+                }
+                ThreadEnd::Crashed(rank, ev) => {
+                    outcomes.push(RankOutcome::Crashed { rank });
+                    streams.push(ev.unwrap_or_default());
+                }
+                ThreadEnd::Panicked(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            // Re-raise with the original payload so callers (and
+            // #[should_panic] tests) see the rank's own message.
+            std::panic::resume_unwind(payload);
+        }
 
         let traffic = TrafficReport {
             ranks: counters.iter().map(|c| c.snapshot()).collect(),
         };
         let trace = if config.trace {
-            Some(WorldTrace::from_rank_events(
-                traces.into_iter().map(|t| t.unwrap_or_default()).collect(),
-            ))
+            Some(WorldTrace::from_rank_events(streams))
         } else {
             None
         };
-        RunOutput {
-            results,
+        FaultRunOutput {
+            outcomes,
             traffic,
             trace,
         }
@@ -231,6 +435,14 @@ pub struct Comm {
     /// Per-rank phase recorder (the no-op sink unless the world enabled
     /// tracing). Owned by this rank: recording never takes a lock.
     tracer: Tracer,
+    /// Shared fault state for the world; `None` when no plan is installed,
+    /// which keeps every fault check a single branch.
+    fault_rt: Option<Arc<FaultRuntime>>,
+    /// This rank's still-pending faults (removed once fired).
+    my_faults: Vec<Fault>,
+    /// Message operations (sends + receives, collective internals
+    /// included) performed so far; drives `FaultTrigger::MessageCount`.
+    msg_ops: u64,
 }
 
 impl Comm {
@@ -280,32 +492,255 @@ impl Comm {
         &self.counters
     }
 
+    /// Shared fault state, if a plan is installed (used by [`crate::window`]).
+    pub(crate) fn fault_rt(&self) -> Option<&Arc<FaultRuntime>> {
+        self.fault_rt.as_ref()
+    }
+
+    // ---- fault injection ----
+
+    /// Ranks that have died to injected crashes, ascending. Empty without
+    /// a fault plan.
+    pub fn failed_ranks(&self) -> Vec<Rank> {
+        self.fault_rt
+            .as_ref()
+            .map(|rt| rt.dead_ranks())
+            .unwrap_or_default()
+    }
+
+    /// Ranks still alive, ascending (all ranks without a fault plan).
+    pub fn live_ranks(&self) -> Vec<Rank> {
+        match &self.fault_rt {
+            Some(rt) => (0..self.size).filter(|&r| !rt.is_dead(r)).collect(),
+            None => (0..self.size).collect(),
+        }
+    }
+
+    /// Whether any rank has died so far.
+    pub fn any_failed(&self) -> bool {
+        self.fault_rt
+            .as_ref()
+            .is_some_and(|rt| rt.first_dead().is_some())
+    }
+
+    /// Open the phase span `name`, firing any `PhaseStart(name)` fault of
+    /// this rank first (so a rank crashing "at the start of exchange"
+    /// never opens the span). Pair with [`Comm::exit_phase`].
+    pub fn enter_phase(&mut self, name: &'static str) {
+        self.maybe_inject_phase(name, true);
+        self.tracer.enter(name);
+    }
+
+    /// Close the phase span `name`, then fire any `PhaseEnd(name)` fault
+    /// of this rank (the span stays balanced even when the rank dies at
+    /// the boundary).
+    pub fn exit_phase(&mut self, name: &'static str) {
+        self.tracer.exit(name);
+        self.maybe_inject_phase(name, false);
+    }
+
+    fn maybe_inject_phase(&mut self, name: &str, at_start: bool) {
+        if self.my_faults.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.my_faults.len() {
+            let hit = match (&self.my_faults[i].trigger, at_start) {
+                (FaultTrigger::PhaseStart(p), true) => p == name,
+                (FaultTrigger::PhaseEnd(p), false) => p == name,
+                _ => false,
+            };
+            if hit {
+                let fault = self.my_faults.remove(i);
+                self.fire(fault.action);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Count one message operation and fire any `MessageCount` fault whose
+    /// threshold it reaches.
+    fn maybe_inject_msg(&mut self) {
+        self.msg_ops += 1;
+        if self.my_faults.is_empty() {
+            return;
+        }
+        let ops = self.msg_ops;
+        let mut i = 0;
+        while i < self.my_faults.len() {
+            if matches!(self.my_faults[i].trigger, FaultTrigger::MessageCount(n) if n <= ops) {
+                let fault = self.my_faults.remove(i);
+                self.fire(fault.action);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn fire(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Delay(dur) => std::thread::sleep(dur),
+            FaultAction::Crash => self.crash_now(),
+        }
+    }
+
+    /// Kill this rank: record the death (flag first — peers that observe
+    /// it are guaranteed to find every earlier message already queued),
+    /// run the crash hook, wake every peer on both channels, balance the
+    /// trace with a `fault.injected` span, and unwind with the private
+    /// payload [`World::run_faulty`] catches.
+    fn crash_now(&mut self) -> ! {
+        let rank = self.rank;
+        if let Some(rt) = &self.fault_rt {
+            rt.mark_dead(rank);
+            if let Some(hook) = &rt.on_crash {
+                hook(rank);
+            }
+        }
+        for dst in 0..self.size {
+            if dst == rank {
+                continue;
+            }
+            // A peer may already be gone; notices are best-effort wakeups.
+            let _ = self.data_senders[dst as usize].send(Message {
+                src: rank,
+                tag: DEATH_TAG,
+                payload: Bytes::new(),
+            });
+            let _ = self.ctrl_senders[dst as usize].send(CtrlMsg::Dead { src: rank });
+        }
+        self.tracer.enter("fault.injected");
+        self.tracer.exit("fault.injected");
+        self.tracer.close_open_spans();
+        let events = self.tracer.take_events();
+        std::panic::panic_any(InjectedCrash { rank, events });
+    }
+
+    /// Collective entry guard: snapshot the death epoch, then refuse to
+    /// start if any rank is already dead (ranks whose last collective
+    /// diverged — some completed it, some errored — all fail here on the
+    /// next one, keeping survivors in lockstep). Receives inside the
+    /// collective pass the snapshot so deaths *during* it surface too.
+    pub(crate) fn coll_entry_guard(&self) -> Result<Option<u64>, CommError> {
+        match &self.fault_rt {
+            Some(rt) => {
+                let snap = rt.epoch();
+                match rt.first_dead() {
+                    Some(rank) => Err(CommError::RankFailed { rank }),
+                    None => Ok(Some(snap)),
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Entry guard for group collectives (e.g. restore over survivors):
+    /// only deaths of `group` members block entry.
+    pub(crate) fn group_entry_guard(&self, group: &[Rank]) -> Result<Option<u64>, CommError> {
+        match &self.fault_rt {
+            Some(rt) => {
+                let snap = rt.epoch();
+                match group.iter().find(|&&r| rt.is_dead(r)) {
+                    Some(&rank) => Err(CommError::RankFailed { rank }),
+                    None => Ok(Some(snap)),
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
     pub(crate) fn ctrl_send(&self, dst: Rank, msg: CtrlMsg) {
         self.ctrl_senders[dst as usize]
             .send(msg)
             .expect("world torn down mid-operation");
     }
 
-    pub(crate) fn ctrl_recv_win(&mut self, src: Rank, seq: u64) -> Arc<WinBuf> {
+    /// Fallible window-handle handshake. `coll_epoch` as in
+    /// [`Comm::try_recv_raw_guarded`].
+    pub(crate) fn try_ctrl_recv_win(
+        &mut self,
+        src: Rank,
+        seq: u64,
+        coll_epoch: Option<u64>,
+    ) -> Result<Arc<WinBuf>, CommError> {
         if let Some(handle) = self.pending_ctrl.remove(&(src, seq)) {
-            return handle;
+            return Ok(handle);
         }
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            match self.ctrl_receiver.recv_timeout(self.recv_timeout) {
-                Ok(CtrlMsg::Win {
-                    src: s,
-                    seq: q,
-                    handle,
-                }) => {
-                    if s == src && q == seq {
-                        return handle;
+            // Drain queued ctrl messages before consulting death flags: a
+            // handle sent before the sender died is already queued.
+            loop {
+                match self.ctrl_receiver.try_recv() {
+                    Ok(msg) => {
+                        if let Some(handle) = self.absorb_ctrl(msg, src, seq) {
+                            return Ok(handle);
+                        }
                     }
-                    self.pending_ctrl.insert((s, q), handle);
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(CommError::WorldTornDown { rank: self.rank })
+                    }
                 }
-                Err(_) => panic!(
-                    "rank {} timed out waiting for window handle from rank {src} (seq {seq})",
-                    self.rank
-                ),
+            }
+            if let Some(rt) = &self.fault_rt {
+                if rt.is_dead(src) {
+                    return Err(CommError::RankFailed { rank: src });
+                }
+                if let Some(snap) = coll_epoch {
+                    if let Some(rank) = rt.newly_dead(snap) {
+                        return Err(CommError::RankFailed { rank });
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::DeadlockSuspected {
+                    rank: self.rank,
+                    src,
+                    tag: INTERNAL_TAG | seq,
+                    waited: self.recv_timeout,
+                });
+            }
+            match self.ctrl_receiver.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    if let Some(handle) = self.absorb_ctrl(msg, src, seq) {
+                        return Ok(handle);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::DeadlockSuspected {
+                        rank: self.rank,
+                        src,
+                        tag: INTERNAL_TAG | seq,
+                        waited: self.recv_timeout,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::WorldTornDown { rank: self.rank })
+                }
+            }
+        }
+    }
+
+    /// Match or stash one ctrl message; death notices are pure wakeups.
+    fn absorb_ctrl(&mut self, msg: CtrlMsg, src: Rank, seq: u64) -> Option<Arc<WinBuf>> {
+        match msg {
+            CtrlMsg::Win {
+                src: s,
+                seq: q,
+                handle,
+            } => {
+                if s == src && q == seq {
+                    return Some(handle);
+                }
+                self.pending_ctrl.insert((s, q), handle);
+                None
+            }
+            CtrlMsg::Dead { src: dead } => {
+                debug_assert!(self.fault_rt.as_ref().is_some_and(|rt| rt.is_dead(dead)));
+                None
             }
         }
     }
@@ -326,37 +761,63 @@ impl Comm {
     /// Send raw bytes to `dst` with `tag`.
     ///
     /// # Panics
-    /// If `tag` uses the reserved internal bit or `dst` is out of range.
-    pub fn send(&self, dst: Rank, tag: Tag, payload: &[u8]) {
-        assert_eq!(
-            tag & INTERNAL_TAG,
-            0,
-            "tag {tag:#x} uses the reserved internal bit"
-        );
-        self.send_raw(
-            dst,
-            tag,
-            Bytes::copy_from_slice(payload),
-            Transport::PointToPoint,
-        );
+    /// If `tag` uses the reserved internal bit, `dst` is out of range, or
+    /// the send fails (dead peer / torn-down world).
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
+        self.try_send(dst, tag, payload)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Comm::send`]: a send to a crashed rank fails fast with
+    /// [`CommError::RankFailed`] instead of silently queueing.
+    pub fn try_send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) -> Result<(), CommError> {
+        self.try_send_bytes(dst, tag, Bytes::copy_from_slice(payload))
     }
 
     /// Send an owned buffer without copying.
-    pub fn send_bytes(&self, dst: Rank, tag: Tag, payload: Bytes) {
+    pub fn send_bytes(&mut self, dst: Rank, tag: Tag, payload: Bytes) {
+        self.try_send_bytes(dst, tag, payload)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Comm::send_bytes`].
+    pub fn try_send_bytes(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), CommError> {
         assert_eq!(
             tag & INTERNAL_TAG,
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
-        self.send_raw(dst, tag, payload, Transport::PointToPoint);
+        self.try_send_raw(dst, tag, payload, Transport::PointToPoint)
     }
 
     /// Encode and send a typed value.
-    pub fn send_val<T: Wire>(&self, dst: Rank, tag: Tag, value: &T) {
+    pub fn send_val<T: Wire>(&mut self, dst: Rank, tag: Tag, value: &T) {
         self.send_bytes(dst, tag, value.to_bytes());
     }
 
-    pub(crate) fn send_raw(&self, dst: Rank, tag: Tag, payload: Bytes, transport: Transport) {
+    /// Fallible [`Comm::send_val`].
+    pub fn try_send_val<T: Wire>(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        value: &T,
+    ) -> Result<(), CommError> {
+        self.try_send_bytes(dst, tag, value.to_bytes())
+    }
+
+    pub(crate) fn try_send_raw(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        payload: Bytes,
+        transport: Transport,
+    ) -> Result<(), CommError> {
+        self.maybe_inject_msg();
+        if let Some(rt) = &self.fault_rt {
+            if rt.is_dead(dst) {
+                return Err(CommError::RankFailed { rank: dst });
+            }
+        }
         let bytes = payload.len() as u64;
         self.counters[self.rank as usize].count_send(transport, bytes);
         self.data_senders[dst as usize]
@@ -365,17 +826,28 @@ impl Comm {
                 tag,
                 payload,
             })
-            .expect("world torn down mid-send");
+            .map_err(|_| CommError::WorldTornDown { rank: self.rank })
     }
 
     /// Blocking matched receive from `(src, tag)`.
+    ///
+    /// # Panics
+    /// On reserved tags and on any [`CommError`] (dead source, deadlock
+    /// timeout, torn-down world).
     pub fn recv(&mut self, src: Rank, tag: Tag) -> Bytes {
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::recv`]: returns [`CommError::RankFailed`] if `src`
+    /// is (or dies while we wait) a crashed rank, and
+    /// [`CommError::DeadlockSuspected`] instead of panicking on timeout.
+    pub fn try_recv(&mut self, src: Rank, tag: Tag) -> Result<Bytes, CommError> {
         assert_eq!(
             tag & INTERNAL_TAG,
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
-        self.recv_raw(src, tag, Transport::PointToPoint)
+        self.try_recv_raw_guarded(src, tag, Transport::PointToPoint, None)
     }
 
     /// Receive and decode a typed value.
@@ -385,47 +857,122 @@ impl Comm {
     /// programming error in an SPMD program, not a recoverable condition.
     pub fn recv_val<T: Wire>(&mut self, src: Rank, tag: Tag) -> T {
         let bytes = self.recv(src, tag);
-        T::from_bytes(&bytes).unwrap_or_else(|e| {
-            panic!(
-                "rank {} failed to decode message from {src} tag {tag}: {e}",
-                self.rank
-            )
+        Self::decode_or_panic(self.rank, src, tag, &bytes)
+    }
+
+    /// Fallible [`Comm::recv_val`] (decode failures still panic; only
+    /// communication errors are values).
+    pub fn try_recv_val<T: Wire>(&mut self, src: Rank, tag: Tag) -> Result<T, CommError> {
+        let bytes = self.try_recv(src, tag)?;
+        Ok(Self::decode_or_panic(self.rank, src, tag, &bytes))
+    }
+
+    fn decode_or_panic<T: Wire>(rank: Rank, src: Rank, tag: Tag, bytes: &Bytes) -> T {
+        T::from_bytes(bytes).unwrap_or_else(|e| {
+            panic!("rank {rank} failed to decode message from {src} tag {tag}: {e}")
         })
     }
 
-    pub(crate) fn recv_raw(&mut self, src: Rank, tag: Tag, transport: Transport) -> Bytes {
+    /// Guarded matched receive. `coll_epoch` is the death-epoch snapshot a
+    /// collective took at entry: when set, *any* new death fails the
+    /// receive (the collective's communication pattern is broken even if
+    /// this particular source is alive).
+    ///
+    /// Ordering argument for the death guards: a crashing rank marks its
+    /// dead flag only after every message it ever sent is already queued,
+    /// so "drain the queue non-blockingly, then check the flags" cannot
+    /// miss a message that happened-before the death.
+    pub(crate) fn try_recv_raw_guarded(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        transport: Transport,
+        coll_epoch: Option<u64>,
+    ) -> Result<Bytes, CommError> {
+        self.maybe_inject_msg();
+        // Unexpected-message-queue fast path: an already-matched message
+        // predates any death and is always delivered.
         if let Some(queue) = self.pending.get_mut(&(src, tag)) {
             if let Some(payload) = queue.pop_front() {
                 if queue.is_empty() {
                     self.pending.remove(&(src, tag));
                 }
                 self.counters[self.rank as usize].count_recv(transport, payload.len() as u64);
-                return payload;
+                return Ok(payload);
             }
         }
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            match self.receiver.recv_timeout(self.recv_timeout) {
-                Ok(msg) => {
-                    if msg.src == src && msg.tag == tag {
-                        self.counters[self.rank as usize]
-                            .count_recv(transport, msg.payload.len() as u64);
-                        return msg.payload;
+            // Drain everything already queued before consulting the flags.
+            loop {
+                match self.receiver.try_recv() {
+                    Ok(msg) => {
+                        if let Some(payload) = self.absorb(msg, src, tag, transport) {
+                            return Ok(payload);
+                        }
                     }
-                    self.pending
-                        .entry((msg.src, msg.tag))
-                        .or_default()
-                        .push_back(msg.payload);
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(CommError::WorldTornDown { rank: self.rank })
+                    }
                 }
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {} timed out after {:?} waiting for message from rank {src} tag {tag:#x} \
-                     (likely deadlock: mismatched send/recv or collective ordering)",
-                    self.rank, self.recv_timeout
-                ),
+            }
+            if let Some(rt) = &self.fault_rt {
+                if rt.is_dead(src) {
+                    return Err(CommError::RankFailed { rank: src });
+                }
+                if let Some(snap) = coll_epoch {
+                    if let Some(rank) = rt.newly_dead(snap) {
+                        return Err(CommError::RankFailed { rank });
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::DeadlockSuspected {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    waited: self.recv_timeout,
+                });
+            }
+            match self.receiver.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    if let Some(payload) = self.absorb(msg, src, tag, transport) {
+                        return Ok(payload);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::DeadlockSuspected {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        waited: self.recv_timeout,
+                    })
+                }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {}: world torn down mid-receive", self.rank)
+                    return Err(CommError::WorldTornDown { rank: self.rank })
                 }
             }
         }
+    }
+
+    /// Match, stash, or discard one incoming message. Death notices wake
+    /// the caller's guard loop and are never stashed.
+    fn absorb(&mut self, msg: Message, src: Rank, tag: Tag, transport: Transport) -> Option<Bytes> {
+        if msg.tag == DEATH_TAG {
+            debug_assert!(self.fault_rt.as_ref().is_some_and(|rt| rt.is_dead(msg.src)));
+            return None;
+        }
+        if msg.src == src && msg.tag == tag {
+            self.counters[self.rank as usize].count_recv(transport, msg.payload.len() as u64);
+            return Some(msg.payload);
+        }
+        self.pending
+            .entry((msg.src, msg.tag))
+            .or_default()
+            .push_back(msg.payload);
+        None
     }
 
     /// Internal tag for round `round` of the collective numbered `op_seq`.
@@ -569,5 +1116,184 @@ mod tests {
         let out = World::run(128, |comm| comm.rank());
         assert_eq!(out.results.len(), 128);
         assert_eq!(out.results[127], 127);
+    }
+
+    fn fault_config(plan: FaultPlan) -> WorldConfig {
+        WorldConfig::default()
+            .with_recv_timeout(Duration::from_secs(2))
+            .with_faults(plan)
+    }
+
+    #[test]
+    fn try_recv_reports_deadlock_with_context() {
+        let config = WorldConfig::default().with_recv_timeout(Duration::from_millis(50));
+        let out = World::run_with(1, &config, |comm| comm.try_recv(0, 9));
+        match &out.results[0] {
+            Err(CommError::DeadlockSuspected { rank, src, tag, .. }) => {
+                assert_eq!((*rank, *src, *tag), (0, 0, 9));
+            }
+            other => panic!("expected DeadlockSuspected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_becomes_an_outcome() {
+        let plan = FaultPlan::new(1).crash(1, FaultTrigger::MessageCount(1));
+        let out = World::run_faulty(3, &fault_config(plan), |comm| {
+            if comm.rank() == 1 {
+                // First message op trips the fault before anything sends.
+                let _ = comm.try_send(0, 1, b"never arrives");
+                unreachable!("rank 1 must crash on its first message op");
+            }
+            comm.rank()
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        assert_eq!(out.outcomes[0], RankOutcome::Completed(0));
+        assert_eq!(out.outcomes[1], RankOutcome::Crashed { rank: 1 });
+        assert_eq!(out.outcomes[2], RankOutcome::Completed(2));
+    }
+
+    #[test]
+    fn send_to_dead_rank_fails_fast() {
+        let plan = FaultPlan::new(2).crash(1, FaultTrigger::PhaseStart("work".into()));
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            if comm.rank() == 1 {
+                comm.enter_phase("work");
+                comm.exit_phase("work");
+                return Ok(());
+            }
+            // Wait for the death, then observe the typed failure.
+            while !comm.any_failed() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            comm.try_send(1, 3, b"too late")
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        assert_eq!(
+            out.outcomes[0].as_completed(),
+            Some(&Err(CommError::RankFailed { rank: 1 }))
+        );
+    }
+
+    #[test]
+    fn recv_from_dying_rank_wakes_and_fails_fast() {
+        let plan = FaultPlan::new(3).crash(1, FaultTrigger::PhaseEnd("prep".into()));
+        let started = Instant::now();
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            if comm.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(50));
+                comm.enter_phase("prep");
+                comm.exit_phase("prep");
+                return Ok(Bytes::new());
+            }
+            comm.try_recv(1, 4)
+        });
+        assert_eq!(
+            out.outcomes[0].as_completed(),
+            Some(&Err(CommError::RankFailed { rank: 1 }))
+        );
+        // The death notice wakes the receive long before the 2 s timeout.
+        assert!(started.elapsed() < Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn message_sent_before_death_is_still_delivered() {
+        let plan = FaultPlan::new(4).crash(1, FaultTrigger::PhaseEnd("send".into()));
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            if comm.rank() == 1 {
+                comm.enter_phase("send");
+                comm.send(0, 5, b"last words");
+                comm.exit_phase("send");
+                return Vec::new();
+            }
+            // Give the crash time to land first: the queued message must
+            // still win over the death flag.
+            while !comm.any_failed() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            comm.try_recv(1, 5).unwrap().to_vec()
+        });
+        assert_eq!(out.outcomes[0].as_completed().unwrap(), b"last words");
+    }
+
+    #[test]
+    fn delay_fault_stalls_without_killing() {
+        let plan =
+            FaultPlan::new(5).delay(0, FaultTrigger::MessageCount(1), Duration::from_millis(80));
+        let started = Instant::now();
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, b"slow");
+            } else {
+                assert_eq!(&comm.recv(0, 6)[..], b"slow");
+            }
+            comm.rank()
+        });
+        assert!(out.crashed_ranks().is_empty());
+        assert_eq!(out.outcomes.len(), 2);
+        assert!(started.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn crash_hook_runs_on_dying_rank() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let died = Arc::new(AtomicU32::new(u32::MAX));
+        let seen = Arc::clone(&died);
+        let plan = FaultPlan::new(6)
+            .crash(2, FaultTrigger::MessageCount(1))
+            .on_crash(move |rank| seen.store(rank, Ordering::SeqCst));
+        let out = World::run_faulty(3, &fault_config(plan), |comm| {
+            if comm.rank() == 2 {
+                let _ = comm.try_send(0, 1, b"x");
+            }
+            comm.rank()
+        });
+        assert_eq!(out.crashed_ranks(), vec![2]);
+        assert_eq!(died.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn live_and_failed_rank_views() {
+        let plan = FaultPlan::new(7).crash(0, FaultTrigger::PhaseStart("go".into()));
+        let out = World::run_faulty(3, &fault_config(plan), |comm| {
+            if comm.rank() == 0 {
+                comm.enter_phase("go");
+                comm.exit_phase("go");
+            }
+            while !comm.any_failed() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (comm.live_ranks(), comm.failed_ranks())
+        });
+        let (live, failed) = out.outcomes[1].as_completed().unwrap();
+        assert_eq!(live, &vec![1, 2]);
+        assert_eq!(failed, &vec![0]);
+    }
+
+    #[test]
+    fn same_plan_replays_the_same_crashes() {
+        let run = || {
+            let plan = FaultPlan::seeded(99, 4, 2, &["a", "b"]);
+            World::run_faulty(4, &fault_config(plan), |comm| {
+                for p in ["a", "b"] {
+                    comm.enter_phase(p);
+                    comm.exit_phase(p);
+                }
+                comm.rank()
+            })
+            .crashed_ranks()
+        };
+        let first = run();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    #[should_panic(expected = "died to an injected crash fault")]
+    fn run_with_refuses_crashed_ranks() {
+        let plan = FaultPlan::new(8).crash(0, FaultTrigger::MessageCount(1));
+        World::run_with(1, &fault_config(plan), |comm| {
+            let _ = comm.try_send(0, 1, b"boom");
+        });
     }
 }

@@ -30,11 +30,13 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod stats;
 pub mod window;
 pub mod wire;
 
-pub use comm::{Comm, Rank, RunOutput, Tag, World, WorldConfig};
+pub use comm::{Comm, FaultRunOutput, Rank, RankOutcome, RunOutput, Tag, World, WorldConfig};
+pub use fault::{CommError, Fault, FaultAction, FaultPlan, FaultSpecError, FaultTrigger};
 pub use replidedup_trace::{Event, EventKind, PhaseAgg, RankTrace, Tracer, WorldTrace};
 pub use stats::{RankTraffic, TrafficReport, Transport};
 pub use window::Window;

@@ -17,6 +17,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::comm::{Comm, CtrlMsg, Rank};
+use crate::fault::{CommError, FaultRuntime};
 
 /// Shared backing buffer of one rank's window.
 pub struct WinBuf {
@@ -36,6 +37,7 @@ pub struct Window {
     rank: Rank,
     handles: Vec<Arc<WinBuf>>,
     counters: Arc<Vec<crate::stats::RankCounters>>,
+    fault_rt: Option<Arc<FaultRuntime>>,
 }
 
 impl std::fmt::Debug for Window {
@@ -51,11 +53,36 @@ impl Comm {
     /// Collectively create a window exposing `local_size` bytes on this
     /// rank (sizes may differ per rank). Must be called by every rank.
     pub fn win_create(&mut self, local_size: usize) -> Window {
-        self.tracer().enter("win_create");
+        self.try_win_create(local_size)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::win_create`]: the handle handshake and the opening
+    /// fence detect rank deaths and fail with [`CommError`] instead of
+    /// timing out.
+    pub fn try_win_create(&mut self, local_size: usize) -> Result<Window, CommError> {
+        self.enter_phase("win_create");
+        let out = self.try_win_create_inner(local_size);
+        self.exit_phase("win_create");
+        out
+    }
+
+    fn try_win_create_inner(&mut self, local_size: usize) -> Result<Window, CommError> {
         self.tracer()
             .gauge_bytes("win_local_bytes", local_size as u64);
+        // Window and collective sequence numbers must advance exactly once
+        // per call on every rank, even when this rank bails out early:
+        // survivors that fail at different points must still agree on the
+        // tag namespace of their next operation.
         self.win_seq += 1;
         let seq = self.win_seq;
+        let epoch = match self.coll_entry_guard() {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                self.next_op(); // the closing fence's sequence slot
+                return Err(e);
+            }
+        };
         let me = self.rank();
         let n = self.size();
         let mine = Arc::new(WinBuf {
@@ -78,7 +105,13 @@ impl Comm {
         handles[me as usize] = Some(mine);
         for src in 0..n {
             if src != me {
-                handles[src as usize] = Some(self.ctrl_recv_win(src, seq));
+                match self.try_ctrl_recv_win(src, seq, epoch) {
+                    Ok(h) => handles[src as usize] = Some(h),
+                    Err(e) => {
+                        self.next_op(); // the closing fence's sequence slot
+                        return Err(e);
+                    }
+                }
             }
         }
         let window = Window {
@@ -88,11 +121,11 @@ impl Comm {
                 .map(|h| h.expect("all handles collected"))
                 .collect(),
             counters: Arc::clone(self.counters()),
+            fault_rt: self.fault_rt().cloned(),
         };
         // Opening fence: no rank may put before every rank has exposed.
-        self.barrier();
-        self.tracer().exit("win_create");
-        window
+        self.try_barrier()?;
+        Ok(window)
     }
 }
 
@@ -114,6 +147,19 @@ impl Window {
     /// RMA access corrupts unrelated memory on real hardware, so the
     /// simulated runtime fails fast instead.
     pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
+        self.try_put(target, offset, data)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Window::put`]: a put to a crashed rank's exposure fails
+    /// fast with [`CommError::RankFailed`] (the memory behind a dead
+    /// node's window is gone).
+    pub fn try_put(&self, target: Rank, offset: usize, data: &[u8]) -> Result<(), CommError> {
+        if let Some(rt) = &self.fault_rt {
+            if rt.is_dead(target) {
+                return Err(CommError::RankFailed { rank: target });
+            }
+        }
         let buf = &self.handles[target as usize];
         assert!(
             offset + data.len() <= buf.size,
@@ -129,6 +175,7 @@ impl Window {
             self.counters[target as usize]
                 .count_recv(crate::stats::Transport::Rma, data.len() as u64);
         }
+        Ok(())
     }
 
     /// One-sided read of `len` bytes from `target`'s window at `offset`.
@@ -136,6 +183,18 @@ impl Window {
     /// # Panics
     /// If the read would overrun the target's exposure.
     pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
+        self.try_get(target, offset, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Window::get`]: reading a crashed rank's exposure fails
+    /// fast with [`CommError::RankFailed`].
+    pub fn try_get(&self, target: Rank, offset: usize, len: usize) -> Result<Vec<u8>, CommError> {
+        if let Some(rt) = &self.fault_rt {
+            if rt.is_dead(target) {
+                return Err(CommError::RankFailed { rank: target });
+            }
+        }
         let buf = &self.handles[target as usize];
         assert!(
             offset + len <= buf.size,
@@ -147,16 +206,23 @@ impl Window {
         if target != self.rank {
             self.counters[self.rank as usize].count_rma_get(len as u64);
         }
-        out
+        Ok(out)
     }
 
     /// Synchronization fence: completes all outstanding one-sided accesses
     /// in this epoch. Local reads of data put by peers are valid only after
     /// a fence. Must be called by every rank.
     pub fn fence(&self, comm: &mut Comm) {
-        comm.tracer().enter("win_fence");
-        comm.barrier();
-        comm.tracer().exit("win_fence");
+        self.try_fence(comm).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Window::fence`]: fails with [`CommError::RankFailed`]
+    /// when a rank died before or during the fence.
+    pub fn try_fence(&self, comm: &mut Comm) -> Result<(), CommError> {
+        comm.enter_phase("win_fence");
+        let out = comm.try_barrier();
+        comm.exit_phase("win_fence");
+        out
     }
 
     /// Copy out the local exposure (valid after a fence).
@@ -312,5 +378,47 @@ mod tests {
             win.local_size()
         });
         assert_eq!(out.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn rma_to_dead_rank_fails_fast() {
+        use crate::comm::WorldConfig;
+        use crate::fault::{CommError, FaultPlan, FaultTrigger};
+        use std::time::Duration;
+
+        let plan = FaultPlan::new(21).crash(1, FaultTrigger::PhaseStart("doomed".into()));
+        let config = WorldConfig::default()
+            .with_recv_timeout(Duration::from_secs(2))
+            .with_faults(plan);
+        let out = World::run_faulty(3, &config, |comm| {
+            let win = comm.try_win_create(8).expect("all ranks alive at create");
+            if comm.rank() == 1 {
+                // Wait for explicit acks so the crash strictly follows every
+                // rank finishing win_create (otherwise a survivor still in
+                // the opening fence would see the death and fail creation).
+                comm.recv(0, 99);
+                comm.recv(2, 99);
+                comm.enter_phase("doomed");
+                comm.exit_phase("doomed");
+                return (Ok(()), Ok(()));
+            }
+            comm.send(1, 99, b"ok");
+            while !comm.any_failed() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let put = win.try_put(1, 0, &[1, 2]);
+            let fence = win.try_fence(comm);
+            (put, fence)
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        for rank in [0usize, 2] {
+            let (put, fence) = out.outcomes[rank].as_completed().unwrap();
+            assert_eq!(*put, Err(CommError::RankFailed { rank: 1 }), "rank {rank}");
+            assert_eq!(
+                *fence,
+                Err(CommError::RankFailed { rank: 1 }),
+                "rank {rank}"
+            );
+        }
     }
 }

@@ -110,6 +110,11 @@ pub struct NodeState {
     /// content addressing (duplicates and all).
     blobs: HashMap<(u32, DumpId), Bytes>,
     blob_bytes: u64,
+    /// Absent-at-dump-time tombstones: `(rank, dump_id)` pairs recorded by
+    /// a degraded dump when `rank` died before contributing its data to
+    /// generation `dump_id`. Restore reports these as a distinct loss class
+    /// (the data never existed) instead of a replica-holder failure.
+    absent: HashMap<DumpId, Vec<u32>>,
     alive: bool,
 }
 
@@ -279,6 +284,26 @@ impl Cluster {
             .unwrap_or(false)
     }
 
+    /// Record that `rank`'s contribution to dump `dump_id` was absent when
+    /// the (degraded) dump committed on `node` — the rank died before its
+    /// data reached any device. Idempotent.
+    pub fn mark_absent(&self, node: NodeId, rank: u32, dump_id: DumpId) -> StorageResult<()> {
+        self.with_node(node, |n| {
+            let ranks = n.absent.entry(dump_id).or_default();
+            if let Err(i) = ranks.binary_search(&rank) {
+                ranks.insert(i, rank);
+            }
+        })
+    }
+
+    /// Ranks tombstoned as absent at dump time for `dump_id` on `node`
+    /// (sorted). Like the device contents, tombstones die with the node.
+    pub fn absent_ranks(&self, node: NodeId, dump_id: DumpId) -> StorageResult<Vec<u32>> {
+        self.with_node(node, |n| {
+            n.absent.get(&dump_id).cloned().unwrap_or_default()
+        })
+    }
+
     /// Raw device usage of a node in bytes: chunk store plus blobs.
     pub fn device_bytes(&self, node: NodeId) -> u64 {
         let s = self.check(node).lock().unwrap();
@@ -308,6 +333,7 @@ impl Cluster {
         state.manifests.clear();
         state.blobs.clear();
         state.blob_bytes = 0;
+        state.absent.clear();
     }
 
     /// Bring a replacement node online (empty device, same identity).
@@ -500,6 +526,21 @@ mod tests {
         c.put_chunk(0, fp(1), Bytes::from_static(b"abcd")).unwrap();
         c.put_blob(0, 0, 1, Bytes::from_static(b"xyz")).unwrap();
         assert_eq!(c.device_bytes(0), 7);
+    }
+
+    #[test]
+    fn absent_tombstones_roundtrip_and_die_with_node() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.mark_absent(0, 3, 7).unwrap();
+        c.mark_absent(0, 1, 7).unwrap();
+        c.mark_absent(0, 3, 7).unwrap(); // idempotent
+        assert_eq!(c.absent_ranks(0, 7).unwrap(), vec![1, 3]);
+        assert_eq!(c.absent_ranks(0, 8).unwrap(), Vec::<u32>::new());
+        assert_eq!(c.absent_ranks(1, 7).unwrap(), Vec::<u32>::new());
+        c.fail_node(0);
+        assert_eq!(c.absent_ranks(0, 7), Err(StorageError::NodeDown(0)));
+        c.revive_node(0);
+        assert_eq!(c.absent_ranks(0, 7).unwrap(), Vec::<u32>::new());
     }
 
     #[test]

@@ -168,6 +168,25 @@ impl Tracer {
         }
     }
 
+    /// Close every open span, innermost first, stamping each with the
+    /// current time. For abnormal unwinding (an injected rank crash, a
+    /// dump aborting mid-phase): the event stream stays balanced so it can
+    /// still be collected and aggregated.
+    pub fn close_open_spans(&mut self) {
+        if let Some(buf) = &mut self.inner {
+            while let Some(name) = buf.stack.pop() {
+                let depth = buf.stack.len() as u16;
+                let t_ns = buf.epoch.elapsed().as_nanos() as u64;
+                buf.events.push(Event {
+                    name,
+                    t_ns,
+                    depth,
+                    kind: EventKind::Exit,
+                });
+            }
+        }
+    }
+
     /// Drain the recorded events, leaving the tracer recording from an
     /// empty buffer. Returns `None` when disabled.
     ///
@@ -523,6 +542,30 @@ mod tests {
         let mut t = Tracer::enabled();
         t.enter("a");
         let _ = t.take_events();
+    }
+
+    #[test]
+    fn close_open_spans_balances_an_unwound_stack() {
+        let mut t = Tracer::enabled();
+        t.enter("dump");
+        t.enter("exchange");
+        t.close_open_spans();
+        let ev = t.take_events().unwrap();
+        let seq: Vec<_> = ev.iter().map(|e| (e.name, e.kind)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                ("dump", EventKind::Enter),
+                ("exchange", EventKind::Enter),
+                ("exchange", EventKind::Exit),
+                ("dump", EventKind::Exit),
+            ]
+        );
+        assert_eq!(ev[2].depth, 1);
+        assert_eq!(ev[3].depth, 0);
+        // A balanced-but-empty tracer is a no-op.
+        t.close_open_spans();
+        assert_eq!(t.take_events().unwrap().len(), 0);
     }
 
     #[test]

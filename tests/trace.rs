@@ -213,3 +213,103 @@ fn traced_restore_after_node_failure_is_byte_exact_and_records_recovery_phases()
         }
     }
 }
+
+#[test]
+fn injected_crash_emits_fault_span_on_dying_rank_and_aggregation_stays_deterministic() {
+    use replidedup::mpi::{FaultPlan, FaultTrigger, WorldTrace};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n = 4;
+    let run = || {
+        let cluster = Arc::new(Cluster::new(Placement::one_per_node(n)));
+        let bufs = buffers(n);
+        let repl = Replicator::builder(Strategy::CollDedup)
+            .cluster(&cluster)
+            .replication(2)
+            .chunk_size(64)
+            .build()
+            .expect("valid config");
+        let hook = Arc::clone(&cluster);
+        let plan = FaultPlan::new(3)
+            .crash(2, FaultTrigger::PhaseStart("exchange".into()))
+            .on_crash(move |r| hook.fail_node(hook.node_of(r)));
+        let config = WorldConfig::traced()
+            .with_recv_timeout(Duration::from_secs(2))
+            .with_faults(plan);
+        replidedup::mpi::World::run_faulty(n, &config, |comm| {
+            // Survivors degrade; the error value itself is not under test.
+            let _ = repl.dump(comm, 1, &bufs[comm.rank() as usize]);
+        })
+    };
+
+    let a = run();
+    assert_eq!(a.crashed_ranks(), vec![2]);
+    let trace_a = a.trace.expect("tracing was enabled");
+    for rank in &trace_a.ranks {
+        assert_balanced(&rank.events);
+        let has_fault_span = rank
+            .events
+            .iter()
+            .any(|e| e.name == "fault.injected" && e.kind == EventKind::Enter);
+        assert_eq!(
+            has_fault_span,
+            rank.rank == 2,
+            "fault.injected must appear on the dying rank and nowhere else \
+             (rank {})",
+            rank.rank
+        );
+    }
+    // Structural invariants of the crashed run: phases before the death
+    // are SPMD (one span per rank), every survivor lands in the degraded
+    // commit, and exactly one fault span exists world-wide.
+    let spans_of = |t: &WorldTrace, name: &str| -> u64 {
+        t.aggregate()
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.spans)
+    };
+    assert_eq!(spans_of(&trace_a, "fault.injected"), 1);
+    assert_eq!(spans_of(&trace_a, "local_dedup"), n as u64);
+    assert_eq!(spans_of(&trace_a, "hmerge_reduce"), n as u64);
+    assert_eq!(spans_of(&trace_a, "degraded_commit"), (n - 1) as u64);
+
+    // World aggregation of a faulted run stays deterministic: a delay
+    // fault perturbs timing without changing control flow, so two runs
+    // must aggregate to the same phases in the same order with the same
+    // span counts (timings of course differ). A *crash* fault does not
+    // get this guarantee — where each survivor's pipeline aborts races
+    // with message draining.
+    let delayed = || {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let bufs = buffers(n);
+        let repl = Replicator::builder(Strategy::CollDedup)
+            .cluster(&cluster)
+            .replication(2)
+            .chunk_size(64)
+            .build()
+            .expect("valid config");
+        let plan = FaultPlan::new(3).delay(
+            1,
+            FaultTrigger::PhaseStart("exchange".into()),
+            Duration::from_millis(30),
+        );
+        let config = WorldConfig::traced()
+            .with_recv_timeout(Duration::from_secs(2))
+            .with_faults(plan);
+        let out = replidedup::mpi::World::run_faulty(n, &config, |comm| {
+            repl.dump(comm, 1, &bufs[comm.rank() as usize])
+                .expect("delayed dump completes");
+        });
+        assert!(out.crashed_ranks().is_empty());
+        out.trace.expect("tracing was enabled")
+    };
+    let shape = |t: &WorldTrace| -> Vec<(&'static str, u64)> {
+        t.aggregate().iter().map(|p| (p.name, p.spans)).collect()
+    };
+    assert_eq!(
+        shape(&delayed()),
+        shape(&delayed()),
+        "aggregated phase structure diverged between identical delayed runs"
+    );
+}
