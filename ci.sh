@@ -21,6 +21,24 @@ echo "== cargo test --test faults (seeded chaos suite) =="
 # fault-injection run is reproducible bit-for-bit across CI machines.
 cargo test --test faults
 
+echo "== cargo test --test repair (self-healing suite) =="
+# Scrub + repair + retrying-restore invariants, also fixed-seed: node
+# failures, corruption injection, and transient hiccups all heal back to
+# K copies with byte-exact restores.
+cargo test --test repair
+
+echo "== dead-code gate (self-healing modules) =="
+# The self-healing modules must be fully wired into the public API —
+# a stray #[allow(dead_code)] means something regressed to unreachable.
+if grep -n '#\[allow(dead_code)\]' \
+    crates/storage/src/scrub.rs \
+    crates/core/src/repair.rs \
+    crates/core/src/retry.rs \
+    tests/repair.rs; then
+  echo "ci: FAIL — #[allow(dead_code)] found in self-healing modules" >&2
+  exit 1
+fi
+
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 

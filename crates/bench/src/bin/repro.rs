@@ -13,10 +13,18 @@
 //!               PATH ending in .csv switches to CSV
 //!   --fault-plan SEED[:ITEM[;ITEM]...] run the fault-injection demo: a
 //!               coll-dedup dump under the given deterministic fault plan
-//!               (ITEM = crash:RANK@TRIGGER | delay:RANK:MS@TRIGGER,
-//!               TRIGGER = start:PHASE | end:PHASE | msg:N), then a
-//!               fresh-world restore showing which data survived. A bare
-//!               SEED derives a two-crash schedule from the seed.
+//!               (ITEM = crash:RANK@TRIGGER | delay:RANK:MS@TRIGGER |
+//!               transient:RANK:OPS@TRIGGER, TRIGGER = start:PHASE |
+//!               end:PHASE | msg:N), then a fresh-world restore showing
+//!               which data survived. A bare SEED derives a two-crash
+//!               schedule from the seed.
+//!   --fail-node N  self-healing demo: after a clean coll-dedup dump,
+//!               fail node N and replace it with an empty device
+//!               (repeatable; combine with --repair / --scrub)
+//!   --scrub     run the collective integrity scrub and print its report
+//!   --repair    run the collective repair, then verify that every chunk
+//!               referenced by the dump is back to K copies and the
+//!               restore is byte-exact
 //! ```
 //!
 //! Absolute times come from the Shamrock cost model fed with measured
@@ -35,6 +43,9 @@ struct Args {
     out: PathBuf,
     trace_out: Option<PathBuf>,
     fault_plan: Option<String>,
+    fail_nodes: Vec<u32>,
+    repair: bool,
+    scrub: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +54,9 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut trace_out = None;
     let mut fault_plan = None;
+    let mut fail_nodes = Vec::new();
+    let mut repair = false;
+    let mut scrub = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,15 +80,29 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--fault-plan needs SEED[:SPEC]")),
                 );
             }
+            "--fail-node" => {
+                fail_nodes.push(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--fail-node needs a node id")),
+                );
+            }
+            "--repair" => repair = true,
+            "--scrub" => scrub = true,
             "--help" | "-h" => {
-                println!("usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]]");
+                println!(
+                    "usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... \
+                     [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]] \
+                     [--fail-node N]... [--scrub] [--repair]"
+                );
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => exps.push(other.to_string()),
             other => die(&format!("unknown flag {other}")),
         }
     }
-    if exps.is_empty() && trace_out.is_none() && fault_plan.is_none() {
+    let healing = !fail_nodes.is_empty() || repair || scrub;
+    if exps.is_empty() && trace_out.is_none() && fault_plan.is_none() && !healing {
         exps.push("all".to_string());
     }
     if scale <= 0.0 {
@@ -86,6 +114,9 @@ fn parse_args() -> Args {
         out,
         trace_out,
         fault_plan,
+        fail_nodes,
+        repair,
+        scrub,
     }
 }
 
@@ -178,6 +209,108 @@ fn run_fault_demo(spec: &str) {
     }
 }
 
+/// The self-healing demo: a clean coll-dedup dump, node failures replaced
+/// by empty devices, optional scrub, collective repair, and a final
+/// verification that every chunk the dump references is back to `K`
+/// copies and every rank restores byte-exactly.
+fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
+    use replidedup_core::{Replicator, Strategy};
+    use replidedup_mpi::World;
+    use replidedup_storage::{Cluster, Placement};
+
+    const N: u32 = 8;
+    const K: u32 = 3;
+    println!("== self-healing demo: coll-dedup dump, {N} ranks, K = {K} ==");
+    let cluster = Cluster::new(Placement::one_per_node(N));
+    let repl = Replicator::builder(Strategy::CollDedup)
+        .cluster(&cluster)
+        .replication(K)
+        .chunk_size(4096)
+        .build()
+        .expect("valid config");
+    let buf_of = |rank: u32| vec![rank as u8 + 1; 64 * 1024];
+    let out = World::run(N, |comm| repl.dump(comm, 1, &buf_of(comm.rank())));
+    for (rank, r) in out.results.iter().enumerate() {
+        if let Err(e) = r {
+            die(&format!("rank {rank}: dump failed: {e}"));
+        }
+    }
+    println!(
+        "dump committed clean ({} bytes on devices)",
+        cluster.total_device_bytes()
+    );
+
+    for &node in fail_nodes {
+        if node >= N {
+            die(&format!(
+                "--fail-node {node}: demo cluster has nodes 0..{N}"
+            ));
+        }
+        cluster.fail_node(node);
+        cluster.revive_node(node);
+        println!("node {node}: failed, replaced with an empty device");
+    }
+
+    if do_scrub {
+        let out = World::run(N, |comm| repl.scrub(comm));
+        let report = out.results[0]
+            .as_ref()
+            .unwrap_or_else(|e| die(&format!("scrub failed: {e}")));
+        println!(
+            "scrub: {} chunks checked, {} corrupt, {} dangling, {} orphaned",
+            report.chunks_checked,
+            report.corrupt.len(),
+            report.dangling.len(),
+            report.orphans.len()
+        );
+    }
+
+    if do_repair {
+        let out = World::run(N, |comm| repl.repair(comm, 1));
+        let stats = out.results[0]
+            .as_ref()
+            .unwrap_or_else(|e| die(&format!("repair failed: {e}")));
+        println!(
+            "repair: {} chunk copies healed ({} bytes), {} manifests re-materialized, {} corrupt quarantined",
+            stats.chunks_healed,
+            stats.bytes_re_replicated,
+            stats.manifests_rematerialized,
+            stats.corrupt_quarantined
+        );
+        if !stats.is_fully_healed() {
+            println!(
+                "repair: UNRECOVERABLE — {} chunks, {} manifests beyond repair (more than K-1 copies lost)",
+                stats.unrepairable_chunks.len(),
+                stats.unrepairable_manifests.len()
+            );
+        }
+        // Verify: every chunk referenced by every rank's manifest is back
+        // to K live copies.
+        let (mut total, mut at_k) = (0u64, 0u64);
+        for rank in 0..N {
+            let m = cluster
+                .get_manifest(cluster.node_of(rank), rank, 1)
+                .unwrap_or_else(|e| die(&format!("rank {rank}'s manifest after repair: {e}")));
+            for fp in &m.chunks {
+                total += 1;
+                if cluster.copies_of(fp) >= K {
+                    at_k += 1;
+                }
+            }
+        }
+        println!("verify: {at_k}/{total} referenced chunks at K = {K} copies");
+    }
+
+    let out = World::run(N, |comm| (comm.rank(), repl.restore(comm, 1)));
+    for (rank, r) in out.results {
+        match r {
+            Ok(b) if b == buf_of(rank) => println!("rank {rank}: restored byte-exact"),
+            Ok(_) => println!("rank {rank}: restored WRONG bytes"),
+            Err(e) => println!("rank {rank}: restore failed: {e}"),
+        }
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -197,6 +330,9 @@ fn main() {
     }
     if let Some(spec) = &args.fault_plan {
         run_fault_demo(spec);
+    }
+    if !args.fail_nodes.is_empty() || args.repair || args.scrub {
+        run_heal_demo(&args.fail_nodes, args.scrub, args.repair);
     }
 
     if want("fig2") {

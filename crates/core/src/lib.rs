@@ -52,7 +52,9 @@ pub mod global;
 pub mod local;
 pub mod offsets;
 pub mod plan;
+pub mod repair;
 pub mod restore;
+pub mod retry;
 pub mod session;
 pub mod shuffle;
 pub mod stats;
@@ -65,9 +67,11 @@ pub use global::{reduce_global_view, try_reduce_global_view, GlobalEntry, Global
 pub use local::LocalIndex;
 pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};
+pub use repair::{RepairError, RepairStats, REPAIR_PHASES};
 #[allow(deprecated)]
 pub use restore::restore_output;
 pub use restore::RestoreError;
+pub use retry::{Backoff, RetryPolicy};
 pub use session::{ReplError, Replicator, ReplicatorBuilder};
 pub use shuffle::{identity_shuffle, rank_shuffle};
 pub use stats::{DumpStats, ReductionStats, WorldDumpStats};

@@ -1,0 +1,741 @@
+//! Collective replication repair: heal a degraded cluster back to `K`
+//! copies of everything a dump still needs.
+//!
+//! The paper replicates at dump time; a node that fails afterwards leaves
+//! every chunk it held one copy short. Restore tolerates that (up to
+//! `K-1` losses), but tolerance is not healing: a second failure eats into
+//! margin that was never rebuilt. This collective closes the loop — run it
+//! after reviving (or replacing) a failed node and the cluster converges
+//! back to full replication:
+//!
+//! 1. **Scrub** (`repair.scrub`) — every node leader re-hashes its node's
+//!    chunks ([`replidedup_storage::Cluster::scrub`]) and quarantines
+//!    corrupt copies, so the planning phase only ever counts intact
+//!    replicas.
+//! 2. **Plan** (`repair.plan`) — leaders contribute their chunk inventory
+//!    to the same `HMERGE` reduction the dump uses
+//!    ([`crate::try_reduce_global_view`] with the full inventory,
+//!    `F = ∞`). Run with `k = K`, the reduced view gives each
+//!    fingerprint's live-copy count, and — the key observation — any entry
+//!    with `freq < K` carries its *complete, untruncated* holder list
+//!    (truncation only triggers past `K`), which is exactly the set of
+//!    fingerprints repair cares about. An allgathered per-node inventory
+//!    (manifest owners, blob owners, referenced fingerprints, tombstones)
+//!    completes the picture, and every rank derives the identical transfer
+//!    plan from the identical inputs: under-replicated chunks go to the
+//!    least-loaded live non-holders, lost manifests/blobs are
+//!    re-materialized from any surviving copy (the owner's own node
+//!    first).
+//! 3. **Transfer** (`repair.transfer`) — leaders execute the plan over the
+//!    fallible point-to-point layer, then allreduce the healing counts so
+//!    every rank returns the same [`RepairStats`].
+//!
+//! The collective is **idempotent**: the plan is derived from the current
+//! cluster state and chunk puts are content-addressed, so re-running a
+//! repair that crashed half-way (every crash surfaces as
+//! [`RepairError::Comm`]) simply finds less work and converges. Data with
+//! zero surviving copies is beyond repair by construction; it is reported
+//! in [`RepairStats`] instead of failing the collective, so one
+//! unrecoverable buffer does not block healing everything else.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use replidedup_hash::{Fingerprint, FpHashSet};
+use replidedup_mpi::wire::{Wire, WireResult};
+use replidedup_mpi::{Comm, CommError, Tag};
+use replidedup_storage::{Cluster, Manifest, NodeId, ScrubReport, StorageError};
+
+use crate::config::Strategy;
+use crate::dump::DumpContext;
+use crate::global::{try_reduce_global_view, GlobalView};
+
+const TAG_REPAIR_MANIFEST: Tag = 0x5250_0005;
+const TAG_REPAIR_CHUNKS: Tag = 0x5250_0006;
+const TAG_REPAIR_BLOB: Tag = 0x5250_0007;
+
+/// Phases of the repair collective, in execution order (trace span names).
+pub const REPAIR_PHASES: [&str; 3] = ["repair.scrub", "repair.plan", "repair.transfer"];
+
+/// What a repair collective did. Identical on every rank (healing counts
+/// are allreduced; the unrepairable lists fall out of the deterministic
+/// plan every rank computes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RepairStats {
+    /// Chunk copies written to bring fingerprints back to `K` live copies.
+    pub chunks_healed: u64,
+    /// Bytes moved for those chunk copies.
+    pub bytes_re_replicated: u64,
+    /// Manifest copies re-materialized on nodes that lost them.
+    pub manifests_rematerialized: u64,
+    /// Raw blob copies re-materialized (`no-dedup` dumps).
+    pub blobs_rematerialized: u64,
+    /// Corrupt chunks the scrub phase quarantined before planning.
+    pub corrupt_quarantined: u64,
+    /// Referenced fingerprints with zero intact live copies: beyond repair.
+    pub unrepairable_chunks: Vec<Fingerprint>,
+    /// Ranks whose manifest for this dump has no surviving copy.
+    pub unrepairable_manifests: Vec<u32>,
+    /// Ranks whose raw blob for this dump has no surviving copy.
+    pub unrepairable_blobs: Vec<u32>,
+}
+
+impl RepairStats {
+    /// Did this repair leave the dump fully healed — nothing lost for good?
+    pub fn is_fully_healed(&self) -> bool {
+        self.unrepairable_chunks.is_empty()
+            && self.unrepairable_manifests.is_empty()
+            && self.unrepairable_blobs.is_empty()
+    }
+}
+
+/// Failures of a collective repair or scrub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RepairError {
+    /// A node refused I/O while scrubbing or moving data.
+    Storage(StorageError),
+    /// A rank died (or a deadlock was suspected) during one of the
+    /// collective steps. Re-running the repair after reviving converges:
+    /// the plan is recomputed from whatever state the crashed run left.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Storage(e) => write!(f, "storage failure during repair: {e}"),
+            RepairError::Comm(e) => write!(f, "communication failure during repair: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairError::Storage(e) => Some(e),
+            RepairError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for RepairError {
+    fn from(e: StorageError) -> Self {
+        RepairError::Storage(e)
+    }
+}
+
+impl From<CommError> for RepairError {
+    fn from(e: CommError) -> Self {
+        RepairError::Comm(e)
+    }
+}
+
+/// One node's allgathered repair inventory, contributed by its leader rank
+/// (every other rank, and leaders of dead nodes, contribute the default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct NodeInventory {
+    /// True only in the entry of a live node's leader rank.
+    leads_live_node: bool,
+    /// Owner ranks whose manifests for the dump this node holds (sorted).
+    manifest_owners: Vec<u32>,
+    /// Owner ranks whose raw blobs for the dump this node holds (sorted).
+    blob_owners: Vec<u32>,
+    /// Fingerprints referenced by this node's manifests for the dump
+    /// (sorted, deduplicated).
+    referenced: Vec<Fingerprint>,
+    /// Ranks tombstoned as absent when the dump committed (sorted).
+    absent: Vec<u32>,
+}
+
+impl Wire for NodeInventory {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.leads_live_node.encode(buf);
+        self.manifest_owners.encode(buf);
+        self.blob_owners.encode(buf);
+        self.referenced.encode(buf);
+        self.absent.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        Ok(NodeInventory {
+            leads_live_node: bool::decode(input)?,
+            manifest_owners: Vec::decode(input)?,
+            blob_owners: Vec::decode(input)?,
+            referenced: Vec::decode(input)?,
+            absent: Vec::decode(input)?,
+        })
+    }
+}
+
+/// The deterministic transfer plan. Every rank computes the identical plan
+/// from the identical allgathered inputs; moves name leader ranks.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct RepairPlan {
+    /// `(src_leader, dst_leader, fp)`: src serves the chunk, dst stores it.
+    chunk_moves: Vec<(u32, u32, Fingerprint)>,
+    /// `(src_leader, dst_leader, owner_rank)` manifest re-materializations.
+    manifest_moves: Vec<(u32, u32, u32)>,
+    /// `(src_leader, dst_leader, owner_rank)` blob re-materializations.
+    blob_moves: Vec<(u32, u32, u32)>,
+    unrepairable_chunks: Vec<Fingerprint>,
+    unrepairable_manifests: Vec<u32>,
+    unrepairable_blobs: Vec<u32>,
+}
+
+/// Pick up to `deficit` destinations among live non-holder leaders,
+/// preferring `home` (the owner's own node leader) and then the least
+/// planned load, ties broken by rank for cross-rank determinism.
+fn pick_destinations(
+    live: &[u32],
+    holders: &[u32],
+    deficit: usize,
+    home: Option<u32>,
+    load: &mut HashMap<u32, u64>,
+) -> Vec<u32> {
+    let mut cands: Vec<u32> = live
+        .iter()
+        .copied()
+        .filter(|r| !holders.contains(r))
+        .collect();
+    cands.sort_by_key(|r| {
+        let is_home = Some(*r) == home;
+        (!is_home, load.get(r).copied().unwrap_or(0), *r)
+    });
+    cands.truncate(deficit);
+    for dst in &cands {
+        *load.entry(*dst).or_insert(0) += 1;
+    }
+    cands
+}
+
+/// Derive the transfer plan. Pure: every rank calls this with the
+/// identical reduced view and inventory and gets the identical plan.
+///
+/// `home_leader[r]` is the leader rank of rank `r`'s own node — the
+/// preferred destination when re-materializing `r`'s manifest or blob, so
+/// a healed cluster restores without network recovery.
+fn build_plan(
+    k: u32,
+    strategy: Strategy,
+    global: &GlobalView,
+    inv: &[NodeInventory],
+    home_leader: &[u32],
+) -> RepairPlan {
+    let mut plan = RepairPlan::default();
+    let live: Vec<u32> = inv
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.leads_live_node)
+        .map(|(r, _)| r as u32)
+        .collect();
+    let target = (k as usize).min(live.len());
+    let tombstoned = |r: u32| inv.iter().any(|i| i.absent.binary_search(&r).is_ok());
+
+    if strategy != Strategy::NoDedup {
+        // ---- chunks: every fingerprint a surviving manifest references --
+        let mut required: Vec<Fingerprint> = inv
+            .iter()
+            .flat_map(|i| i.referenced.iter().copied())
+            .collect();
+        required.sort_unstable();
+        required.dedup();
+        let mut load: HashMap<u32, u64> = HashMap::new();
+        for fp in required {
+            match global.lookup(&fp) {
+                None => plan.unrepairable_chunks.push(fp),
+                // freq >= K: at least K intact copies survive, nothing to do
+                // (the holder list may be truncated, but is not needed).
+                Some(e) if e.freq >= u64::from(k) => {}
+                Some(e) => {
+                    // freq < K: `ranks` is the complete live holder set.
+                    let deficit = target.saturating_sub(e.ranks.len());
+                    for (i, dst) in pick_destinations(&live, &e.ranks, deficit, None, &mut load)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let src = e.ranks[i % e.ranks.len()];
+                        plan.chunk_moves.push((src, dst, fp));
+                    }
+                }
+            }
+        }
+
+        // ---- manifests: one recipe per rank must survive K times --------
+        let mut mload: HashMap<u32, u64> = HashMap::new();
+        for r in 0..home_leader.len() as u32 {
+            if tombstoned(r) {
+                continue; // legitimately absent from this (degraded) dump
+            }
+            let holders: Vec<u32> = live
+                .iter()
+                .copied()
+                .filter(|l| inv[*l as usize].manifest_owners.binary_search(&r).is_ok())
+                .collect();
+            if holders.is_empty() {
+                plan.unrepairable_manifests.push(r);
+                continue;
+            }
+            let deficit = target.saturating_sub(holders.len());
+            let home = Some(home_leader[r as usize]);
+            for (i, dst) in pick_destinations(&live, &holders, deficit, home, &mut mload)
+                .into_iter()
+                .enumerate()
+            {
+                plan.manifest_moves
+                    .push((holders[i % holders.len()], dst, r));
+            }
+        }
+    } else {
+        // ---- blobs: the no-dedup storage format ------------------------
+        let mut bload: HashMap<u32, u64> = HashMap::new();
+        for r in 0..home_leader.len() as u32 {
+            if tombstoned(r) {
+                continue;
+            }
+            let holders: Vec<u32> = live
+                .iter()
+                .copied()
+                .filter(|l| inv[*l as usize].blob_owners.binary_search(&r).is_ok())
+                .collect();
+            if holders.is_empty() {
+                plan.unrepairable_blobs.push(r);
+                continue;
+            }
+            let deficit = target.saturating_sub(holders.len());
+            let home = Some(home_leader[r as usize]);
+            for (i, dst) in pick_destinations(&live, &holders, deficit, home, &mut bload)
+                .into_iter()
+                .enumerate()
+            {
+                plan.blob_moves.push((holders[i % holders.len()], dst, r));
+            }
+        }
+    }
+    plan
+}
+
+/// Leader rank of `node`: the lowest rank placed on it.
+fn leader_of(cluster: &Cluster, node: NodeId, world: u32) -> Option<u32> {
+    let ranks = cluster.placement().ranks_on(node, world);
+    if ranks.is_empty() {
+        None
+    } else {
+        Some(ranks.start)
+    }
+}
+
+/// Collective scrub: every live node is scrubbed by its leader rank and
+/// the per-node reports are merged, so all ranks return the identical
+/// cluster-wide [`ScrubReport`]. Read-only — corrupt chunks are reported,
+/// not quarantined (that is the repair collective's first phase).
+///
+/// Node-local findings are resolved against cluster-wide knowledge before
+/// the report is returned: a manifest on one node legitimately references
+/// chunks that live on *other* nodes (that is how coll-dedup distributes
+/// data), so a reference is only **dangling** if no live node holds the
+/// chunk, and a chunk is only an **orphan** if no manifest anywhere
+/// references it. Corruption is intrinsic to the bytes and passes through
+/// unfiltered.
+pub(crate) fn scrub_impl(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+) -> Result<ScrubReport, RepairError> {
+    let me = comm.rank();
+    let n = comm.size();
+    let node = ctx.cluster.node_of(me);
+    comm.enter_phase("scrub.collect");
+    let contribution = if leader_of(ctx.cluster, node, n) == Some(me) && ctx.cluster.is_alive(node)
+    {
+        (
+            ctx.cluster.scrub(node, ctx.hasher)?,
+            ctx.cluster.chunk_fps(node)?,
+            ctx.cluster.referenced_fps(node)?,
+        )
+    } else {
+        (ScrubReport::default(), Vec::new(), Vec::new())
+    };
+    let all = comm.try_allgather(contribution);
+    comm.exit_phase("scrub.collect");
+    let all = all?;
+    let mut merged = ScrubReport::default();
+    let mut present = FpHashSet::default();
+    let mut referenced = FpHashSet::default();
+    for (report, fps, refs) in &all {
+        merged.merge(report);
+        present.extend(fps.iter().copied());
+        referenced.extend(refs.iter().copied());
+    }
+    merged
+        .dangling
+        .retain(|(_, _, _, fp)| !present.contains(fp));
+    merged.orphans.retain(|(_, fp)| !referenced.contains(fp));
+    comm.tracer()
+        .counter("scrub_corrupt_chunks", merged.corrupt.len() as u64);
+    Ok(merged)
+}
+
+pub(crate) fn repair_impl(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    strategy: Strategy,
+    k: u32,
+) -> Result<RepairStats, RepairError> {
+    let me = comm.rank();
+    let n = comm.size();
+    let cluster = ctx.cluster;
+    let node = cluster.node_of(me);
+    let i_lead = leader_of(cluster, node, n) == Some(me);
+
+    // ---- Phase 1: scrub + quarantine ------------------------------------
+    comm.enter_phase("repair.scrub");
+    let mut corrupt_quarantined = 0u64;
+    if i_lead && cluster.is_alive(node) {
+        let report = cluster.scrub(node, ctx.hasher)?;
+        for (nd, fp) in &report.corrupt {
+            if cluster.quarantine_chunk(*nd, fp)? {
+                corrupt_quarantined += 1;
+            }
+        }
+    }
+    comm.exit_phase("repair.scrub");
+
+    // ---- Phase 2: inventory + plan --------------------------------------
+    comm.enter_phase("repair.plan");
+    let view = if i_lead && cluster.is_alive(node) {
+        GlobalView::from_local(me, cluster.chunk_fps(node)?, usize::MAX)
+    } else {
+        GlobalView::default()
+    };
+    let mut inv = NodeInventory::default();
+    if i_lead && cluster.is_alive(node) {
+        inv.leads_live_node = true;
+        inv.manifest_owners = cluster.manifest_owners(node, ctx.dump_id)?;
+        inv.blob_owners = cluster.blob_owners(node, ctx.dump_id)?;
+        inv.absent = cluster.absent_ranks(node, ctx.dump_id)?;
+        let mut refs = FpHashSet::default();
+        for m in cluster.manifests_for(node, ctx.dump_id)? {
+            refs.extend(m.chunks.iter().copied());
+        }
+        let mut referenced: Vec<Fingerprint> = refs.into_iter().collect();
+        referenced.sort_unstable();
+        inv.referenced = referenced;
+    }
+    let global = try_reduce_global_view(comm, view, k, usize::MAX);
+    let world_inv = comm.try_allgather(inv);
+    comm.exit_phase("repair.plan");
+    let (global, world_inv) = (global?, world_inv?);
+    let home_leader: Vec<u32> = (0..n)
+        .map(|r| leader_of(cluster, cluster.node_of(r), n).unwrap_or(r))
+        .collect();
+    let plan = build_plan(k, strategy, &global, &world_inv, &home_leader);
+
+    // ---- Phase 3: execute the plan --------------------------------------
+    comm.enter_phase("repair.transfer");
+    let mut healed = 0u64;
+    let mut bytes = 0u64;
+    let mut manifests_remat = 0u64;
+    let mut blobs_remat = 0u64;
+    let result = (|| -> Result<(), RepairError> {
+        // Sends first (point-to-point sends are buffered, never blocking),
+        // one batch per (src, dst) pair so recv counts are derivable.
+        let mut chunk_out: BTreeMap<u32, Vec<Fingerprint>> = BTreeMap::new();
+        let mut manifest_out: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut blob_out: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (src, dst, fp) in &plan.chunk_moves {
+            if *src == me {
+                chunk_out.entry(*dst).or_default().push(*fp);
+            }
+        }
+        for (src, dst, owner) in &plan.manifest_moves {
+            if *src == me {
+                manifest_out.entry(*dst).or_default().push(*owner);
+            }
+        }
+        for (src, dst, owner) in &plan.blob_moves {
+            if *src == me {
+                blob_out.entry(*dst).or_default().push(*owner);
+            }
+        }
+        for (dst, fps) in &chunk_out {
+            let mut batch: Vec<(Fingerprint, Vec<u8>)> = Vec::with_capacity(fps.len());
+            for fp in fps {
+                batch.push((*fp, cluster.get_chunk(node, fp)?.to_vec()));
+            }
+            comm.try_send_val(*dst, TAG_REPAIR_CHUNKS, &batch)?;
+        }
+        for (dst, owners) in &manifest_out {
+            let mut batch: Vec<Manifest> = Vec::with_capacity(owners.len());
+            for owner in owners {
+                batch.push(cluster.get_manifest(node, *owner, ctx.dump_id)?);
+            }
+            comm.try_send_val(*dst, TAG_REPAIR_MANIFEST, &batch)?;
+        }
+        for (dst, owners) in &blob_out {
+            let mut batch: Vec<(u32, Vec<u8>)> = Vec::with_capacity(owners.len());
+            for owner in owners {
+                batch.push((
+                    *owner,
+                    cluster.get_blob(node, *owner, ctx.dump_id)?.to_vec(),
+                ));
+            }
+            comm.try_send_val(*dst, TAG_REPAIR_BLOB, &batch)?;
+        }
+
+        // Receives: the plan tells me exactly which sources owe me what.
+        let srcs_for = |moves: &[(u32, u32, Fingerprint)]| -> Vec<u32> {
+            let mut srcs: Vec<u32> = moves
+                .iter()
+                .filter(|(_, dst, _)| *dst == me)
+                .map(|(src, _, _)| *src)
+                .collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            srcs
+        };
+        for src in srcs_for(&plan.chunk_moves) {
+            let batch: Vec<(Fingerprint, Vec<u8>)> = comm.try_recv_val(src, TAG_REPAIR_CHUNKS)?;
+            for (fp, data) in batch {
+                bytes += data.len() as u64;
+                if cluster.put_chunk(node, fp, Bytes::from(data))? {
+                    healed += 1;
+                }
+            }
+        }
+        let owner_srcs = |moves: &[(u32, u32, u32)]| -> Vec<u32> {
+            let mut srcs: Vec<u32> = moves
+                .iter()
+                .filter(|(_, dst, _)| *dst == me)
+                .map(|(src, _, _)| *src)
+                .collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            srcs
+        };
+        for src in owner_srcs(&plan.manifest_moves) {
+            let batch: Vec<Manifest> = comm.try_recv_val(src, TAG_REPAIR_MANIFEST)?;
+            for m in batch {
+                cluster.put_manifest(node, m)?;
+                manifests_remat += 1;
+            }
+        }
+        for src in owner_srcs(&plan.blob_moves) {
+            let batch: Vec<(u32, Vec<u8>)> = comm.try_recv_val(src, TAG_REPAIR_BLOB)?;
+            for (owner, data) in batch {
+                bytes += data.len() as u64;
+                cluster.put_blob(node, owner, ctx.dump_id, Bytes::from(data))?;
+                blobs_remat += 1;
+            }
+        }
+        Ok(())
+    })();
+    comm.exit_phase("repair.transfer");
+    result?;
+
+    // All ranks agree on what the repair did before anyone returns.
+    let sums = comm.try_allreduce(
+        vec![
+            healed,
+            bytes,
+            manifests_remat,
+            blobs_remat,
+            corrupt_quarantined,
+        ],
+        |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect(),
+    )?;
+    comm.tracer().counter("repair_chunks_healed", sums[0]);
+    comm.tracer().counter("repair_bytes_re_replicated", sums[1]);
+    comm.tracer()
+        .counter("repair_manifests_rematerialized", sums[2]);
+    comm.tracer().counter("scrub_corrupt_chunks", sums[4]);
+    Ok(RepairStats {
+        chunks_healed: sums[0],
+        bytes_re_replicated: sums[1],
+        manifests_rematerialized: sums[2],
+        blobs_rematerialized: sums[3],
+        corrupt_quarantined: sums[4],
+        unrepairable_chunks: plan.unrepairable_chunks,
+        unrepairable_manifests: plan.unrepairable_manifests,
+        unrepairable_blobs: plan.unrepairable_blobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    fn entry(n: u64, ranks: Vec<u32>) -> crate::global::GlobalEntry {
+        crate::global::GlobalEntry {
+            fp: fp(n),
+            freq: ranks.len() as u64,
+            ranks,
+        }
+    }
+
+    fn inv(live: bool, manifests: Vec<u32>, referenced: Vec<u64>) -> NodeInventory {
+        NodeInventory {
+            leads_live_node: live,
+            manifest_owners: manifests,
+            blob_owners: Vec::new(),
+            referenced: referenced.into_iter().map(fp).collect(),
+            absent: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn node_inventory_wire_roundtrip() {
+        let i = NodeInventory {
+            leads_live_node: true,
+            manifest_owners: vec![0, 2],
+            blob_owners: vec![1],
+            referenced: vec![fp(9), fp(11)],
+            absent: vec![3],
+        };
+        assert_eq!(NodeInventory::from_bytes(&i.to_bytes()).unwrap(), i);
+    }
+
+    #[test]
+    fn plan_heals_under_replicated_chunks_to_target() {
+        // 4 one-rank nodes, K=3. Chunk 1 has one live copy (node 0),
+        // chunk 2 already has three, chunk 3 is referenced but gone.
+        let global = GlobalView {
+            entries: vec![entry(1, vec![0]), entry(2, vec![0, 1, 2])],
+        };
+        let world_inv = vec![
+            inv(true, vec![0], vec![1, 2, 3]),
+            inv(true, vec![1], vec![]),
+            inv(true, vec![2], vec![]),
+            inv(true, vec![3], vec![]),
+        ];
+        let plan = build_plan(3, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2, 3]);
+        let for_one: Vec<_> = plan
+            .chunk_moves
+            .iter()
+            .filter(|(_, _, f)| *f == fp(1))
+            .collect();
+        assert_eq!(for_one.len(), 2, "deficit of chunk 1 is 3-1=2");
+        assert!(for_one.iter().all(|(src, dst, _)| *src == 0 && *dst != 0));
+        assert!(
+            plan.chunk_moves.iter().all(|(_, _, f)| *f != fp(2)),
+            "healthy chunks are left alone"
+        );
+        assert_eq!(plan.unrepairable_chunks, vec![fp(3)]);
+        assert!(plan.unrepairable_manifests.is_empty());
+    }
+
+    #[test]
+    fn plan_caps_target_at_live_node_count() {
+        // K=3 but only 2 live nodes: target is 2, one extra copy suffices.
+        let global = GlobalView {
+            entries: vec![entry(1, vec![0])],
+        };
+        let world_inv = vec![
+            inv(true, vec![0, 1], vec![1]),
+            inv(true, vec![0, 1], vec![]),
+            inv(false, vec![], vec![]),
+        ];
+        let plan = build_plan(3, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2]);
+        assert_eq!(plan.chunk_moves, vec![(0, 1, fp(1))]);
+    }
+
+    #[test]
+    fn plan_rematerializes_manifest_on_owner_home_node_first() {
+        // Rank 2's manifest survives only on node 0; its home node 2 is
+        // live and empty — it must be the first destination.
+        let world_inv = vec![
+            inv(true, vec![0, 1, 2], vec![]),
+            inv(true, vec![0, 1], vec![]),
+            inv(true, vec![], vec![]),
+        ];
+        let plan = build_plan(
+            2,
+            Strategy::CollDedup,
+            &GlobalView::default(),
+            &world_inv,
+            &[0, 1, 2],
+        );
+        assert!(
+            plan.manifest_moves.contains(&(0, 2, 2)),
+            "rank 2's manifest must land on its own node: {:?}",
+            plan.manifest_moves
+        );
+    }
+
+    #[test]
+    fn plan_skips_tombstoned_ranks_and_flags_truly_lost_manifests() {
+        let mut absent_inv = inv(true, vec![0], vec![]);
+        absent_inv.absent = vec![1];
+        let world_inv = vec![absent_inv, inv(true, vec![0], vec![])];
+        let plan = build_plan(
+            2,
+            Strategy::CollDedup,
+            &GlobalView::default(),
+            &world_inv,
+            &[0, 1],
+        );
+        // Rank 1 is tombstoned (degraded dump): not unrepairable, just
+        // absent. Rank 0's manifest already has 2 copies: nothing to do.
+        assert!(plan.unrepairable_manifests.is_empty());
+        assert!(plan.manifest_moves.is_empty());
+    }
+
+    #[test]
+    fn no_dedup_plan_repairs_blobs_not_manifests() {
+        let mut a = inv(true, vec![], vec![]);
+        a.blob_owners = vec![0, 1];
+        let b = inv(true, vec![], vec![]);
+        let world_inv = vec![a, b];
+        let plan = build_plan(
+            2,
+            Strategy::NoDedup,
+            &GlobalView::default(),
+            &world_inv,
+            &[0, 1],
+        );
+        assert_eq!(plan.blob_moves, vec![(0, 1, 0), (0, 1, 1)]);
+        assert!(plan.manifest_moves.is_empty() && plan.chunk_moves.is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_idempotent_on_healthy_state() {
+        let global = GlobalView {
+            entries: vec![entry(1, vec![0, 1])],
+        };
+        let world_inv = vec![
+            inv(true, vec![0, 1], vec![1]),
+            inv(true, vec![0, 1], vec![]),
+        ];
+        let p1 = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1]);
+        let p2 = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1]);
+        assert_eq!(p1, p2);
+        assert!(p1.chunk_moves.is_empty(), "healthy state plans no work");
+        assert!(p1.unrepairable_chunks.is_empty());
+    }
+
+    #[test]
+    fn destinations_spread_by_planned_load() {
+        // Two one-copy chunks on node 0, three spare nodes, K=2: the two
+        // new copies must land on different nodes.
+        let global = GlobalView {
+            entries: vec![entry(1, vec![0]), entry(2, vec![0])],
+        };
+        let world_inv = vec![
+            inv(true, vec![0], vec![1, 2]),
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+        ];
+        let plan = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2, 3]);
+        assert_eq!(plan.chunk_moves.len(), 2);
+        assert_ne!(
+            plan.chunk_moves[0].1, plan.chunk_moves[1].1,
+            "load balancing must spread new copies: {:?}",
+            plan.chunk_moves
+        );
+    }
+}

@@ -30,6 +30,7 @@ use replidedup_storage::{DumpId, StorageError};
 
 use crate::config::Strategy;
 use crate::dump::DumpContext;
+use crate::retry::RetryPolicy;
 
 const TAG_RESTORE_MANIFEST: Tag = 0x5250_0002;
 const TAG_RESTORE_CHUNKS: Tag = 0x5250_0003;
@@ -118,18 +119,80 @@ pub fn restore_output(
     ctx: &DumpContext<'_>,
     strategy: Strategy,
 ) -> Result<Vec<u8>, RestoreError> {
-    restore_impl(comm, ctx, strategy)
+    restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore())
 }
 
 pub(crate) fn restore_impl(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
     strategy: Strategy,
+    policy: &RetryPolicy,
 ) -> Result<Vec<u8>, RestoreError> {
     match strategy {
-        Strategy::NoDedup => restore_blob(comm, ctx),
-        Strategy::LocalDedup | Strategy::CollDedup => restore_chunks(comm, ctx),
+        Strategy::NoDedup => restore_blob(comm, ctx, policy),
+        Strategy::LocalDedup | Strategy::CollDedup => restore_chunks(comm, ctx, policy),
     }
+}
+
+/// Run one storage read under the restore retry policy. Retries are only
+/// taken on [`StorageError::is_transient`] failures; when any happen, a
+/// zero-length `restore.retry` span marks the spot in the phase trace and
+/// the `restore_retries` counter records how many attempts it cost.
+fn fetch_with_retry<T>(
+    comm: &mut Comm,
+    policy: &RetryPolicy,
+    op: impl FnMut() -> Result<T, StorageError>,
+) -> Result<T, StorageError> {
+    let (out, retries) = policy.run(op);
+    if retries > 0 {
+        comm.tracer().enter("restore.retry");
+        comm.tracer().exit("restore.retry");
+        comm.tracer().counter("restore_retries", u64::from(retries));
+    }
+    out
+}
+
+/// Verified chunk fetch for the reassemble step: read the local copy,
+/// re-hash it against its fingerprint, and on corruption (or a local copy
+/// that is missing / past its retry budget) fall back to any intact live
+/// replica through [`replidedup_storage::Cluster::find_chunk`]'s repair
+/// index — a deliberate storage-layer escape hatch outside the restore
+/// message protocol, taken only when the protocol's own recovery already
+/// ran and the local device still cannot produce intact bytes. Corrupt
+/// copies are quarantined wherever they are found; a rescued chunk is
+/// re-seeded locally so the next read is clean.
+fn fetch_verified(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    policy: &RetryPolicy,
+    node: replidedup_storage::NodeId,
+    fp: &Fingerprint,
+) -> Result<Bytes, RestoreError> {
+    match fetch_with_retry(comm, policy, || ctx.cluster.get_chunk(node, fp)) {
+        Ok(data) if ctx.hasher.fingerprint(&data) == *fp => return Ok(data),
+        Ok(_) => {
+            // Bit rot slipped past the dump: drop the bad copy so it can
+            // never be served again, then go hunting for a good one.
+            ctx.cluster.quarantine_chunk(node, fp).ok();
+        }
+        // Anything else (missing, node down, retries exhausted): the
+        // replica scan below is the last line before declaring loss.
+        Err(_) => {}
+    }
+    comm.tracer().counter("restore_replica_fallback", 1);
+    for nd in 0..ctx.cluster.node_count() {
+        if nd == node || !ctx.cluster.has_chunk(nd, fp) {
+            continue;
+        }
+        if let Ok(data) = fetch_with_retry(comm, policy, || ctx.cluster.get_chunk(nd, fp)) {
+            if ctx.hasher.fingerprint(&data) == *fp {
+                ctx.cluster.put_chunk(node, *fp, data.clone()).ok();
+                return Ok(data);
+            }
+            ctx.cluster.quarantine_chunk(nd, fp).ok();
+        }
+    }
+    Err(RestoreError::ChunkLost(*fp))
 }
 
 /// Deterministic service assignment shared by all ranks: for each needy
@@ -156,12 +219,16 @@ fn assign_servers(
     (served, server_of)
 }
 
-fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, RestoreError> {
+fn restore_blob(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    policy: &RetryPolicy,
+) -> Result<Vec<u8>, RestoreError> {
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
     comm.tracer().enter("blob_recovery");
-    let local = ctx.cluster.get_blob(node, me, ctx.dump_id).ok();
+    let local = fetch_with_retry(comm, policy, || ctx.cluster.get_blob(node, me, ctx.dump_id)).ok();
     let advertised = ctx
         .cluster
         .blob_owners(node, ctx.dump_id)
@@ -176,7 +243,7 @@ fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Resto
     let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h, _)| h).collect();
     let (served, server_of) = assign_servers(n, &needs, &holders);
     for &r in &served[me as usize] {
-        let blob = ctx.cluster.get_blob(node, r, ctx.dump_id)?;
+        let blob = fetch_with_retry(comm, policy, || ctx.cluster.get_blob(node, r, ctx.dump_id))?;
         comm.try_send_val(r, TAG_RESTORE_BLOB, &blob.to_vec())?;
     }
     let result = match local {
@@ -202,14 +269,21 @@ fn restore_blob(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Resto
     result
 }
 
-fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, RestoreError> {
+fn restore_chunks(
+    comm: &mut Comm,
+    ctx: &DumpContext<'_>,
+    policy: &RetryPolicy,
+) -> Result<Vec<u8>, RestoreError> {
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
 
     // ---- Step 1: manifest recovery --------------------------------------
     comm.tracer().enter("manifest_recovery");
-    let mut manifest = ctx.cluster.get_manifest(node, me, ctx.dump_id).ok();
+    let mut manifest = fetch_with_retry(comm, policy, || {
+        ctx.cluster.get_manifest(node, me, ctx.dump_id)
+    })
+    .ok();
     let advertised = ctx
         .cluster
         .manifest_owners(node, ctx.dump_id)
@@ -224,7 +298,9 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
     let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h, _)| h).collect();
     let (served, server_of) = assign_servers(n, &needs, &holders);
     for &r in &served[me as usize] {
-        let m = ctx.cluster.get_manifest(node, r, ctx.dump_id)?;
+        let m = fetch_with_retry(comm, policy, || {
+            ctx.cluster.get_manifest(node, r, ctx.dump_id)
+        })?;
         comm.try_send_val(r, TAG_RESTORE_MANIFEST, &m)?;
     }
     if manifest.is_none() {
@@ -278,7 +354,7 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         let mut batch: Vec<(Fingerprint, Vec<u8>)> = Vec::new();
         for fp in wanted {
             if server_of_fp(fp) == Some(me) {
-                let data = ctx.cluster.get_chunk(node, fp)?;
+                let data = fetch_with_retry(comm, policy, || ctx.cluster.get_chunk(node, fp))?;
                 batch.push((*fp, data.to_vec()));
             }
         }
@@ -327,13 +403,15 @@ fn restore_chunks(comm: &mut Comm, ctx: &DumpContext<'_>) -> Result<Vec<u8>, Res
         let mut buf = Vec::with_capacity(m.total_len as usize);
         let mut err = None;
         for (i, fp) in m.chunks.iter().enumerate() {
-            match ctx.cluster.get_chunk(node, fp) {
+            // Verified reassemble: every chunk is re-hashed before use, so
+            // silent bit rot can never leak into a restored buffer.
+            match fetch_verified(comm, ctx, policy, node, fp) {
                 Ok(data) => {
                     debug_assert_eq!(data.len(), m.chunk_len(i), "chunk {i} length mismatch");
                     buf.extend_from_slice(&data);
                 }
                 Err(e) => {
-                    err = Some(e.into());
+                    err = Some(e);
                     break;
                 }
             }

@@ -12,11 +12,13 @@
 
 use replidedup_hash::{ChunkHasher, Sha1ChunkHasher};
 use replidedup_mpi::{Comm, CommError};
-use replidedup_storage::{Cluster, DumpId};
+use replidedup_storage::{Cluster, DumpId, ScrubReport};
 
 use crate::config::{ConfigError, DumpConfig, Strategy};
 use crate::dump::{dump_impl, DumpContext, DumpError};
+use crate::repair::{repair_impl, scrub_impl, RepairError, RepairStats};
 use crate::restore::{restore_impl, RestoreError};
+use crate::retry::RetryPolicy;
 use crate::stats::DumpStats;
 
 /// Top-level error of the session API: every failure class of the
@@ -32,6 +34,8 @@ pub enum ReplError {
     Dump(DumpError),
     /// A collective restore failed.
     Restore(RestoreError),
+    /// A collective repair or scrub failed.
+    Repair(RepairError),
     /// A rank died (or a deadlock was suspected) inside a collective this
     /// session drove. Dump-side rank deaths normally degrade instead of
     /// erroring; this arm carries the cases that cannot be absorbed.
@@ -44,6 +48,7 @@ impl std::fmt::Display for ReplError {
             ReplError::Config(e) => write!(f, "invalid replicator config: {e}"),
             ReplError::Dump(e) => write!(f, "dump failed: {e}"),
             ReplError::Restore(e) => write!(f, "restore failed: {e}"),
+            ReplError::Repair(e) => write!(f, "repair failed: {e}"),
             ReplError::RankFailure(e) => write!(f, "rank failure during collective: {e}"),
         }
     }
@@ -55,6 +60,7 @@ impl std::error::Error for ReplError {
             ReplError::Config(e) => Some(e),
             ReplError::Dump(e) => Some(e),
             ReplError::Restore(e) => Some(e),
+            ReplError::Repair(e) => Some(e),
             ReplError::RankFailure(e) => Some(e),
         }
     }
@@ -84,6 +90,15 @@ impl From<RestoreError> for ReplError {
     }
 }
 
+impl From<RepairError> for ReplError {
+    fn from(e: RepairError) -> Self {
+        match e {
+            RepairError::Comm(c) => ReplError::RankFailure(c),
+            other => ReplError::Repair(other),
+        }
+    }
+}
+
 /// Builder for a [`Replicator`] session. Obtained from
 /// [`Replicator::builder`]; finished with [`ReplicatorBuilder::build`],
 /// where all validation happens.
@@ -92,6 +107,7 @@ pub struct ReplicatorBuilder<'a> {
     cluster: Option<&'a Cluster>,
     hasher: &'a (dyn ChunkHasher + Sync),
     tracing: Option<bool>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for ReplicatorBuilder<'_> {
@@ -100,6 +116,7 @@ impl std::fmt::Debug for ReplicatorBuilder<'_> {
             .field("cfg", &self.cfg)
             .field("cluster", &self.cluster.map(|_| ".."))
             .field("tracing", &self.tracing)
+            .field("retry", &self.retry)
             .finish_non_exhaustive() // hasher is a plain trait object
     }
 }
@@ -163,6 +180,14 @@ impl<'a> ReplicatorBuilder<'a> {
         self
     }
 
+    /// Retry policy for restore's storage reads (default:
+    /// [`RetryPolicy::default_restore`] — 4 attempts, short exponential
+    /// backoff). [`RetryPolicy::none`] turns retries off.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Validate and build the session.
     pub fn build(self) -> Result<Replicator<'a>, ConfigError> {
         self.cfg.validate()?;
@@ -172,6 +197,7 @@ impl<'a> ReplicatorBuilder<'a> {
             cluster,
             hasher: self.hasher,
             tracing: self.tracing,
+            retry: self.retry,
         })
     }
 }
@@ -202,6 +228,7 @@ pub struct Replicator<'a> {
     cluster: &'a Cluster,
     hasher: &'a (dyn ChunkHasher + Sync),
     tracing: Option<bool>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Replicator<'_> {
@@ -209,6 +236,7 @@ impl std::fmt::Debug for Replicator<'_> {
         f.debug_struct("Replicator")
             .field("cfg", &self.cfg)
             .field("tracing", &self.tracing)
+            .field("retry", &self.retry)
             .finish_non_exhaustive() // cluster/hasher carry no useful Debug
     }
 }
@@ -223,6 +251,7 @@ impl<'a> Replicator<'a> {
             cluster: None,
             hasher: &Sha1ChunkHasher,
             tracing: None,
+            retry: RetryPolicy::default_restore(),
         }
     }
 
@@ -273,7 +302,37 @@ impl<'a> Replicator<'a> {
             hasher: self.hasher,
             dump_id,
         };
-        restore_impl(comm, &ctx, self.cfg.strategy).map_err(ReplError::from)
+        restore_impl(comm, &ctx, self.cfg.strategy, &self.retry).map_err(ReplError::from)
+    }
+
+    /// Collective repair of generation `dump_id`: scrub + quarantine, plan
+    /// against the live-copy census, re-replicate every under-replicated
+    /// chunk and re-materialize lost manifests/blobs until everything the
+    /// dump still references has `min(K, live_nodes)` intact copies.
+    /// Idempotent — re-running after a crash converges. Must be called by
+    /// every rank of the world (a revived node's ranks included).
+    pub fn repair(&self, comm: &mut Comm, dump_id: DumpId) -> Result<RepairStats, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id,
+        };
+        repair_impl(comm, &ctx, self.cfg.strategy, self.cfg.replication).map_err(ReplError::from)
+    }
+
+    /// Collective integrity scrub: every live node is re-hashed and
+    /// cross-checked by its leader rank; all ranks return the identical
+    /// merged cluster-wide [`ScrubReport`]. Read-only — use
+    /// [`Replicator::repair`] to act on what it finds.
+    pub fn scrub(&self, comm: &mut Comm) -> Result<ScrubReport, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id: 0,
+        };
+        scrub_impl(comm, &ctx).map_err(ReplError::from)
     }
 }
 

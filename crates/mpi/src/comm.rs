@@ -267,7 +267,11 @@ impl World {
         assert!(size > 0, "world size must be positive");
         let fault_rt: Option<Arc<FaultRuntime>> = config.faults.as_ref().map(|plan| {
             silence_injected_crash_panics();
-            Arc::new(FaultRuntime::new(size, plan.on_crash.clone()))
+            Arc::new(FaultRuntime::new(
+                size,
+                plan.on_crash.clone(),
+                plan.on_transient.clone(),
+            ))
         });
         let counters: Arc<Vec<RankCounters>> =
             Arc::new((0..size).map(|_| RankCounters::default()).collect());
@@ -582,6 +586,18 @@ impl Comm {
         match action {
             FaultAction::Delay(dur) => std::thread::sleep(dur),
             FaultAction::Crash => self.crash_now(),
+            FaultAction::Transient(ops) => {
+                // Storage degradation is the harness's job: hand the budget
+                // to the plan's hook (a no-op without one — the runtime
+                // owns no storage to make flaky).
+                if let Some(hook) = self
+                    .fault_rt
+                    .as_ref()
+                    .and_then(|rt| rt.on_transient.clone())
+                {
+                    hook(self.rank, ops);
+                }
+            }
         }
     }
 
@@ -1250,6 +1266,25 @@ mod tests {
         });
         assert_eq!(out.crashed_ranks(), vec![2]);
         assert_eq!(died.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn transient_hook_fires_with_budget_and_rank_survives() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let armed = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&armed);
+        let plan = FaultPlan::new(8)
+            .transient(1, FaultTrigger::PhaseStart("fetch".into()), 3)
+            .on_transient(move |rank, ops| {
+                seen.store((u64::from(rank) << 32) | u64::from(ops), Ordering::SeqCst)
+            });
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            comm.enter_phase("fetch");
+            comm.exit_phase("fetch");
+            comm.rank()
+        });
+        assert!(out.crashed_ranks().is_empty(), "transient is not a crash");
+        assert_eq!(armed.load(Ordering::SeqCst), (1 << 32) | 3);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub enum FaultAction {
     /// Straggler injection: the rank sleeps once for this long, then
     /// continues normally.
     Delay(Duration),
+    /// Transient storage-failure injection: the plan's `on_transient` hook
+    /// fires on the rank's thread with this budget of operations. The hook
+    /// typically arms the rank's storage node to fail its next N reads
+    /// recoverably, exercising retry paths; without a hook the action is a
+    /// no-op (the runtime itself has no storage to degrade).
+    Transient(u32),
 }
 
 /// One planned fault: an action on a rank at a trigger point.
@@ -72,6 +78,12 @@ pub struct Fault {
 /// fail the rank's storage node atomically with the process death.
 pub type CrashHook = Arc<dyn Fn(Rank) + Send + Sync>;
 
+/// Callback invoked on a rank's thread when a [`FaultAction::Transient`]
+/// fault fires, with the rank and the planned operation budget. Tests use
+/// it to arm the rank's storage node with that many transient read
+/// failures (`Cluster::inject_transient` in `replidedup-storage`).
+pub type TransientHook = Arc<dyn Fn(Rank, u32) + Send + Sync>;
+
 /// A deterministic fault schedule for one world run.
 ///
 /// Equality and `Debug` ignore the crash hook: two plans with the same seed
@@ -85,6 +97,7 @@ pub struct FaultPlan {
     /// rank at its own trigger).
     pub faults: Vec<Fault>,
     pub(crate) on_crash: Option<CrashHook>,
+    pub(crate) on_transient: Option<TransientHook>,
 }
 
 impl fmt::Debug for FaultPlan {
@@ -93,6 +106,7 @@ impl fmt::Debug for FaultPlan {
             .field("seed", &self.seed)
             .field("faults", &self.faults)
             .field("on_crash", &self.on_crash.as_ref().map(|_| ".."))
+            .field("on_transient", &self.on_transient.as_ref().map(|_| ".."))
             .finish()
     }
 }
@@ -148,11 +162,30 @@ impl FaultPlan {
         })
     }
 
+    /// Add a transient-storage fault on `rank` at `trigger` with an `ops`
+    /// budget (delivered to the `on_transient` hook when it fires).
+    pub fn transient(self, rank: Rank, trigger: FaultTrigger, ops: u32) -> Self {
+        self.with_fault(Fault {
+            rank,
+            trigger,
+            action: FaultAction::Transient(ops),
+        })
+    }
+
     /// Install a callback that runs on the dying rank's thread at the
     /// instant of each injected crash (e.g. to fail the rank's storage
     /// node). The hook does not participate in equality.
     pub fn on_crash(mut self, hook: impl Fn(Rank) + Send + Sync + 'static) -> Self {
         self.on_crash = Some(Arc::new(hook));
+        self
+    }
+
+    /// Install a callback that runs on the faulted rank's thread when a
+    /// [`FaultAction::Transient`] fires (e.g. to arm the rank's storage
+    /// node with that many recoverable read failures). The hook does not
+    /// participate in equality.
+    pub fn on_transient(mut self, hook: impl Fn(Rank, u32) + Send + Sync + 'static) -> Self {
+        self.on_transient = Some(Arc::new(hook));
         self
     }
 
@@ -190,6 +223,8 @@ impl FaultPlan {
     ///
     /// * `crash:RANK@TRIGGER` — crash `RANK` at `TRIGGER`,
     /// * `delay:RANK:MILLIS@TRIGGER` — stall `RANK` once for `MILLIS` ms,
+    /// * `transient:RANK:OPS@TRIGGER` — arm `RANK`'s storage with `OPS`
+    ///   recoverable read failures (via the `on_transient` hook),
     ///
     /// and `TRIGGER` is `start:PHASE`, `end:PHASE` or `msg:N`. A bare
     /// `SEED` yields an empty plan (callers typically combine it with
@@ -231,7 +266,19 @@ impl FaultPlan {
                         ms.parse().map_err(|_| bad("delay needs milliseconds"))?,
                     )),
                 },
-                _ => return Err(bad("action must be crash:RANK or delay:RANK:MS")),
+                ["transient", r, ops] => Fault {
+                    rank: r.parse().map_err(|_| bad("transient needs a rank"))?,
+                    trigger,
+                    action: FaultAction::Transient(
+                        ops.parse()
+                            .map_err(|_| bad("transient needs an op count"))?,
+                    ),
+                },
+                _ => {
+                    return Err(bad(
+                        "action must be crash:RANK, delay:RANK:MS or transient:RANK:OPS",
+                    ))
+                }
             };
             plan.faults.push(fault);
         }
@@ -317,15 +364,21 @@ pub(crate) struct FaultRuntime {
     /// epoch snapshot `e`.
     death_log: Mutex<Vec<Rank>>,
     pub(crate) on_crash: Option<CrashHook>,
+    pub(crate) on_transient: Option<TransientHook>,
 }
 
 impl FaultRuntime {
-    pub(crate) fn new(world: u32, on_crash: Option<CrashHook>) -> Self {
+    pub(crate) fn new(
+        world: u32,
+        on_crash: Option<CrashHook>,
+        on_transient: Option<TransientHook>,
+    ) -> Self {
         Self {
             dead: (0..world).map(|_| AtomicBool::new(false)).collect(),
             epoch: AtomicU64::new(0),
             death_log: Mutex::new(Vec::new()),
             on_crash,
+            on_transient,
         }
     }
 
@@ -435,6 +488,21 @@ mod tests {
     }
 
     #[test]
+    fn parse_transient_action() {
+        let plan = FaultPlan::parse("9:transient:2:5@start:restore.retry").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![Fault {
+                rank: 2,
+                trigger: FaultTrigger::PhaseStart("restore.retry".into()),
+                action: FaultAction::Transient(5),
+            }]
+        );
+        assert!(FaultPlan::parse("9:transient:2@start:p").is_err());
+        assert!(FaultPlan::parse("9:transient:2:x@start:p").is_err());
+    }
+
+    #[test]
     fn parse_bare_seed_is_empty_plan() {
         let plan = FaultPlan::parse("1234").unwrap();
         assert_eq!(plan.seed, 1234);
@@ -480,7 +548,7 @@ mod tests {
 
     #[test]
     fn fault_runtime_tracks_deaths_in_order() {
-        let rt = FaultRuntime::new(4, None);
+        let rt = FaultRuntime::new(4, None, None);
         assert_eq!(rt.first_dead(), None);
         let snap = rt.epoch();
         rt.mark_dead(2);

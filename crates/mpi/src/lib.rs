@@ -36,7 +36,10 @@ pub mod window;
 pub mod wire;
 
 pub use comm::{Comm, FaultRunOutput, Rank, RankOutcome, RunOutput, Tag, World, WorldConfig};
-pub use fault::{CommError, Fault, FaultAction, FaultPlan, FaultSpecError, FaultTrigger};
+pub use fault::{
+    CommError, CrashHook, Fault, FaultAction, FaultPlan, FaultSpecError, FaultTrigger,
+    TransientHook,
+};
 pub use replidedup_trace::{Event, EventKind, PhaseAgg, RankTrace, Tracer, WorldTrace};
 pub use stats::{RankTraffic, TrafficReport, Transport};
 pub use window::Window;

@@ -211,6 +211,24 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        Ok((
+            A::decode(input)?,
+            B::decode(input)?,
+            C::decode(input)?,
+            D::decode(input)?,
+        ))
+    }
+}
+
 impl<const N: usize> Wire for [u8; N] {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(self);
@@ -276,6 +294,7 @@ mod tests {
         roundtrip(None::<u32>);
         roundtrip((1u32, "x".to_string()));
         roundtrip((1u8, 2u16, vec![3u32]));
+        roundtrip((1u8, 2u16, 3u32, "d".to_string()));
         roundtrip([1u8, 2, 3, 4]);
         roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
     }

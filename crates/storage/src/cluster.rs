@@ -19,7 +19,7 @@ use bytes::Bytes;
 use replidedup_hash::Fingerprint;
 use std::sync::Mutex;
 
-use crate::manifest::{DumpId, Manifest};
+use crate::manifest::{DumpId, Manifest, ManifestError};
 use crate::store::ChunkStore;
 
 /// Node index within a cluster.
@@ -27,6 +27,7 @@ pub type NodeId = u32;
 
 /// Storage-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// The node's device is unavailable (node failed).
     NodeDown(NodeId),
@@ -39,6 +40,33 @@ pub enum StorageError {
         /// Dump generation requested.
         dump_id: DumpId,
     },
+    /// A stored chunk's bytes no longer hash to its fingerprint key
+    /// (bit-rot detected by the scrubber).
+    CorruptChunk {
+        /// The fingerprint whose bytes are wrong.
+        fp: Fingerprint,
+        /// The node holding the corrupt copy.
+        node: NodeId,
+    },
+    /// A read failed transiently (injected via
+    /// [`Cluster::inject_transient`]); retrying the same operation may
+    /// succeed. Models recoverable device hiccups, as opposed to the
+    /// permanent [`StorageError::NodeDown`].
+    Transient {
+        /// The node whose read hiccuped.
+        node: NodeId,
+    },
+    /// Manifest ingest rejected an internally inconsistent recipe.
+    InvalidManifest(ManifestError),
+}
+
+impl StorageError {
+    /// Is this failure worth retrying? Only [`StorageError::Transient`] is:
+    /// every other variant is a stable fact about the cluster that a retry
+    /// cannot change.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -49,11 +77,37 @@ impl fmt::Display for StorageError {
             StorageError::MissingManifest { rank, dump_id } => {
                 write!(f, "manifest of rank {rank} dump {dump_id} not on node")
             }
+            StorageError::CorruptChunk { fp, node } => {
+                write!(
+                    f,
+                    "chunk {fp} on node {node} is corrupt (bytes do not match key)"
+                )
+            }
+            StorageError::Transient { node } => {
+                write!(
+                    f,
+                    "transient read failure on node {node} (retry may succeed)"
+                )
+            }
+            StorageError::InvalidManifest(e) => write!(f, "invalid manifest rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for StorageError {}
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::InvalidManifest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ManifestError> for StorageError {
+    fn from(e: ManifestError) -> Self {
+        StorageError::InvalidManifest(e)
+    }
+}
 
 /// Result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;
@@ -104,12 +158,16 @@ impl Placement {
 pub struct NodeState {
     /// The node-local content-addressed chunk store.
     pub store: ChunkStore,
-    manifests: HashMap<(u32, DumpId), Manifest>,
+    pub(crate) manifests: HashMap<(u32, DumpId), Manifest>,
     /// Raw dump blobs keyed by `(owner_rank, dump_id)`: the storage format
     /// of the `no-dedup` baseline, which writes buffers verbatim without
     /// content addressing (duplicates and all).
-    blobs: HashMap<(u32, DumpId), Bytes>,
+    pub(crate) blobs: HashMap<(u32, DumpId), Bytes>,
     blob_bytes: u64,
+    /// Remaining injected transient read failures: while positive, each
+    /// read (chunk/manifest/blob fetch) consumes one and fails with
+    /// [`StorageError::Transient`]. Test/fault-injection state.
+    transient_reads: u32,
     /// Absent-at-dump-time tombstones: `(rank, dump_id)` pairs recorded by
     /// a degraded dump when `rank` died before contributing its data to
     /// generation `dump_id`. Restore reports these as a distinct loss class
@@ -180,6 +238,23 @@ impl Cluster {
         Ok(f(&mut state))
     }
 
+    /// Consume one injected transient read failure, if any are pending.
+    fn take_transient(n: &mut NodeState, node: NodeId) -> StorageResult<()> {
+        if n.transient_reads > 0 {
+            n.transient_reads -= 1;
+            return Err(StorageError::Transient { node });
+        }
+        Ok(())
+    }
+
+    /// Arm `node` to fail its next `ops` reads (chunk/manifest/blob
+    /// fetches) with [`StorageError::Transient`]. Fault-injection hook:
+    /// models a device hiccup that a bounded retry rides out. Liveness
+    /// probes ([`Cluster::has_chunk`] and friends) are unaffected.
+    pub fn inject_transient(&self, node: NodeId, ops: u32) -> StorageResult<()> {
+        self.with_node(node, |n| n.transient_reads += ops)
+    }
+
     /// Store a chunk on `node`. Returns `true` when the bytes were new.
     pub fn put_chunk(&self, node: NodeId, fp: Fingerprint, data: Bytes) -> StorageResult<bool> {
         self.with_node(node, |n| n.store.put(fp, data))
@@ -187,25 +262,99 @@ impl Cluster {
 
     /// Fetch a chunk from `node`.
     pub fn get_chunk(&self, node: NodeId, fp: &Fingerprint) -> StorageResult<Bytes> {
-        self.with_node(node, |n| n.store.get(fp))?
-            .ok_or(StorageError::MissingChunk(*fp))
+        self.with_node(node, |n| {
+            Self::take_transient(n, node)?;
+            n.store.get(fp).ok_or(StorageError::MissingChunk(*fp))
+        })?
     }
 
-    /// Does `node` hold the chunk? (`false` also when the node is down.)
-    pub fn has_chunk(&self, node: NodeId, fp: &Fingerprint) -> bool {
-        self.with_node(node, |n| n.store.contains(fp))
-            .unwrap_or(false)
-    }
-
-    /// Store a manifest on `node`.
+    /// Does a **live** `node` hold the chunk?
     ///
-    /// # Panics
-    /// If the manifest is internally inconsistent — storing a corrupt
-    /// recipe would silently break restart.
+    /// Contract: a `true` answer means the node is alive and its store
+    /// contains the fingerprint right now. A `false` answer means only
+    /// that the chunk is not *reachable* on that node — the node may be
+    /// alive without the chunk, or down while its (wiped) device held the
+    /// only copy. Callers that must distinguish "absent" from "node down"
+    /// (e.g. to report the loss class) use [`Cluster::get_chunk`], whose
+    /// typed error keeps the two apart. Injected transient failures do not
+    /// affect this probe: it is a presence check, not a device read.
+    pub fn has_chunk(&self, node: NodeId, fp: &Fingerprint) -> bool {
+        // A down node's contents are wiped: nothing is reachable there, so
+        // "not held" is the truthful answer — but only get_chunk can tell
+        // the caller *why*.
+        self.with_node(node, |n| n.store.contains(fp))
+            .unwrap_or_default()
+    }
+
+    /// Fingerprints of every chunk stored on `node`, sorted. The repair
+    /// collective's inventory read: leaders list their node's holdings
+    /// once and plan transfers from the allgathered lists. Presence
+    /// listing, not a device read — injected transient failures do not
+    /// affect it.
+    pub fn chunk_fps(&self, node: NodeId) -> StorageResult<Vec<Fingerprint>> {
+        self.with_node(node, |n| {
+            let mut fps: Vec<Fingerprint> = n.store.entries().map(|(fp, _)| *fp).collect();
+            fps.sort_unstable();
+            fps
+        })
+    }
+
+    /// Every fingerprint referenced by any manifest on `node`, across all
+    /// dump generations, sorted and deduplicated. The collective scrub
+    /// resolves node-local findings (dangling references, orphans) against
+    /// the union of these lists: a reference is only broken, and a chunk
+    /// only garbage, relative to the whole cluster.
+    pub fn referenced_fps(&self, node: NodeId) -> StorageResult<Vec<Fingerprint>> {
+        self.with_node(node, |n| {
+            let mut fps: Vec<Fingerprint> = n
+                .manifests
+                .values()
+                .flat_map(|m| m.chunks.iter().copied())
+                .collect();
+            fps.sort_unstable();
+            fps.dedup();
+            fps
+        })
+    }
+
+    /// All manifests for `dump_id` held on `node`, sorted by owner rank.
+    /// Repair walks these to find which chunks the surviving recipes still
+    /// reference and which recipes need re-materialization.
+    pub fn manifests_for(&self, node: NodeId, dump_id: DumpId) -> StorageResult<Vec<Manifest>> {
+        self.with_node(node, |n| {
+            let mut ms: Vec<Manifest> = n
+                .manifests
+                .values()
+                .filter(|m| m.dump_id == dump_id)
+                .cloned()
+                .collect();
+            ms.sort_unstable_by_key(|m| m.owner_rank);
+            ms
+        })
+    }
+
+    /// Corrupt a stored chunk's bytes in place — **test-only** bit-rot
+    /// injection for exercising [`Cluster::scrub`]. The fingerprint key is
+    /// untouched, so subsequent reads return bytes that no longer hash to
+    /// their key. Returns `true` if a chunk was corrupted.
+    pub fn corrupt_chunk(&self, node: NodeId, fp: &Fingerprint) -> StorageResult<bool> {
+        self.with_node(node, |n| n.store.corrupt(fp))
+    }
+
+    /// Evict a chunk from `node` regardless of its reference count.
+    /// Repair quarantines scrub-detected corrupt chunks this way before
+    /// re-replicating a good copy, so [`Cluster::copies_of`] only ever
+    /// counts intact replicas. Returns `true` if the chunk was present.
+    pub fn quarantine_chunk(&self, node: NodeId, fp: &Fingerprint) -> StorageResult<bool> {
+        self.with_node(node, |n| n.store.remove(fp))
+    }
+
+    /// Store a manifest on `node`. The manifest is validated on ingest:
+    /// an internally inconsistent recipe is rejected with
+    /// [`StorageError::InvalidManifest`] instead of silently breaking a
+    /// future restart.
     pub fn put_manifest(&self, node: NodeId, manifest: Manifest) -> StorageResult<()> {
-        manifest
-            .validate()
-            .expect("refusing to store inconsistent manifest");
+        manifest.validate()?;
         self.with_node(node, |n| {
             n.manifests
                 .insert((manifest.owner_rank, manifest.dump_id), manifest);
@@ -219,8 +368,13 @@ impl Cluster {
         rank: u32,
         dump_id: DumpId,
     ) -> StorageResult<Manifest> {
-        self.with_node(node, |n| n.manifests.get(&(rank, dump_id)).cloned())?
-            .ok_or(StorageError::MissingManifest { rank, dump_id })
+        self.with_node(node, |n| {
+            Self::take_transient(n, node)?;
+            n.manifests
+                .get(&(rank, dump_id))
+                .cloned()
+                .ok_or(StorageError::MissingManifest { rank, dump_id })
+        })?
     }
 
     /// Owner ranks whose manifests for `dump_id` are held on `node`
@@ -271,11 +425,16 @@ impl Cluster {
 
     /// Fetch a raw dump blob from `node`.
     pub fn get_blob(&self, node: NodeId, owner: u32, dump_id: DumpId) -> StorageResult<Bytes> {
-        self.with_node(node, |n| n.blobs.get(&(owner, dump_id)).cloned())?
-            .ok_or(StorageError::MissingManifest {
-                rank: owner,
-                dump_id,
-            })
+        self.with_node(node, |n| {
+            Self::take_transient(n, node)?;
+            n.blobs
+                .get(&(owner, dump_id))
+                .cloned()
+                .ok_or(StorageError::MissingManifest {
+                    rank: owner,
+                    dump_id,
+                })
+        })?
     }
 
     /// Does `node` hold the blob? (`false` also when the node is down.)
@@ -334,6 +493,7 @@ impl Cluster {
         state.blobs.clear();
         state.blob_bytes = 0;
         state.absent.clear();
+        state.transient_reads = 0;
     }
 
     /// Bring a replacement node online (empty device, same identity).
@@ -383,9 +543,14 @@ impl Cluster {
             .sum()
     }
 
-    /// First live node holding `fp`, if any (test/diagnostic helper; the
-    /// distributed restore protocol in `replidedup-core` locates chunks via
-    /// messages, not via this shared-memory shortcut).
+    /// First live node holding `fp`, if any. This is the cluster's repair
+    /// index: retrying restore falls back to it when the local copy turns
+    /// out corrupt, and tests use it as a diagnostic. Dead nodes are never
+    /// returned — per the [`Cluster::has_chunk`] contract they hold
+    /// nothing reachable, so a dead node with the (former) only copy
+    /// yields `None`, same as true loss. The distributed restore protocol
+    /// in `replidedup-core` locates chunks via messages first and only
+    /// consults this index as a last resort before declaring loss.
     pub fn find_chunk(&self, fp: &Fingerprint) -> Option<NodeId> {
         (0..self.node_count()).find(|&n| self.has_chunk(n, fp))
     }
@@ -544,8 +709,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inconsistent manifest")]
-    fn inconsistent_manifest_rejected() {
+    fn inconsistent_manifest_rejected_with_typed_error() {
         let c = Cluster::new(Placement::one_per_node(1));
         let bad = Manifest {
             owner_rank: 0,
@@ -554,6 +718,85 @@ mod tests {
             total_len: 100,
             chunks: vec![],
         };
-        let _ = c.put_manifest(0, bad);
+        match c.put_manifest(0, bad) {
+            Err(StorageError::InvalidManifest(ManifestError::ChunkCountMismatch {
+                listed,
+                expected,
+                ..
+            })) => {
+                assert_eq!(listed, 0);
+                assert_eq!(expected, 25);
+            }
+            other => panic!("expected InvalidManifest, got {other:?}"),
+        }
+        // Nothing was stored.
+        assert!(c.get_manifest(0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn storage_error_source_chains_to_manifest_error() {
+        use std::error::Error as _;
+        let e = StorageError::InvalidManifest(ManifestError::ZeroChunkSize {
+            owner_rank: 1,
+            dump_id: 2,
+        });
+        assert!(e.to_string().contains("invalid manifest"));
+        assert!(e
+            .source()
+            .unwrap()
+            .downcast_ref::<ManifestError>()
+            .is_some());
+    }
+
+    /// Regression test for the `find_chunk` / `has_chunk` contract: a dead
+    /// node holding the only copy reads as "not held" from the probes,
+    /// while `get_chunk` keeps the NodeDown / MissingChunk distinction.
+    #[test]
+    fn dead_node_with_only_copy_is_unreachable_not_missing() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_chunk(1, fp(7), Bytes::from_static(b"only")).unwrap();
+        c.fail_node(1);
+        assert!(!c.has_chunk(1, &fp(7)), "dead node holds nothing reachable");
+        assert_eq!(c.find_chunk(&fp(7)), None, "no live holder exists");
+        assert_eq!(c.copies_of(&fp(7)), 0);
+        // The typed read API still tells the caller *why*.
+        assert_eq!(c.get_chunk(1, &fp(7)), Err(StorageError::NodeDown(1)));
+        assert_eq!(
+            c.get_chunk(0, &fp(7)),
+            Err(StorageError::MissingChunk(fp(7)))
+        );
+    }
+
+    #[test]
+    fn injected_transient_failures_are_consumed_by_reads() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        c.put_chunk(0, fp(1), Bytes::from_static(b"data")).unwrap();
+        c.inject_transient(0, 2).unwrap();
+        assert_eq!(
+            c.get_chunk(0, &fp(1)),
+            Err(StorageError::Transient { node: 0 })
+        );
+        assert!(c.has_chunk(0, &fp(1)), "probes are not device reads");
+        assert_eq!(
+            c.get_chunk(0, &fp(1)),
+            Err(StorageError::Transient { node: 0 })
+        );
+        // Third read succeeds: the injected budget is spent.
+        assert_eq!(c.get_chunk(0, &fp(1)).unwrap(), Bytes::from_static(b"data"));
+        assert!(StorageError::Transient { node: 0 }.is_transient());
+        assert!(!StorageError::NodeDown(0).is_transient());
+    }
+
+    #[test]
+    fn corrupt_and_quarantine_roundtrip() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_chunk(0, fp(3), Bytes::from_static(b"abcd")).unwrap();
+        c.put_chunk(1, fp(3), Bytes::from_static(b"abcd")).unwrap();
+        assert!(c.corrupt_chunk(0, &fp(3)).unwrap());
+        assert_ne!(c.get_chunk(0, &fp(3)).unwrap(), Bytes::from_static(b"abcd"));
+        // Quarantine drops the bad copy; the good replica survives.
+        assert!(c.quarantine_chunk(0, &fp(3)).unwrap());
+        assert_eq!(c.copies_of(&fp(3)), 1);
+        assert_eq!(c.find_chunk(&fp(3)), Some(1));
     }
 }

@@ -9,12 +9,16 @@
 //! * [`ChunkStore`] — content-addressed, refcounted chunk storage,
 //! * [`Manifest`] — the ordered fingerprint recipe of one rank's buffer,
 //! * [`Cluster`] / [`Placement`] — node topology, failure injection,
-//!   cluster-wide accounting (unique bytes, physical copy counts).
+//!   cluster-wide accounting (unique bytes, physical copy counts),
+//! * [`ScrubReport`] / [`Cluster::scrub`] — integrity scrubbing: re-hash
+//!   every chunk against its key, cross-check manifests vs. presence.
 
 pub mod cluster;
 pub mod manifest;
+pub mod scrub;
 pub mod store;
 
 pub use cluster::{Cluster, NodeId, NodeState, Placement, StorageError, StorageResult};
-pub use manifest::{DumpId, Manifest};
+pub use manifest::{DumpId, Manifest, ManifestError};
+pub use scrub::ScrubReport;
 pub use store::ChunkStore;

@@ -8,11 +8,66 @@
 //! restore path implicit; we replicate manifests to the same partners as
 //! data so a failed node's dataset remains reconstructible.
 
+use std::fmt;
+
 use replidedup_hash::Fingerprint;
 use replidedup_mpi::wire::{Wire, WireError, WireResult};
 
 /// Identifies one collective dump generation (checkpoint number).
 pub type DumpId = u64;
+
+/// An internally inconsistent manifest: a recipe that could never
+/// reassemble the buffer it claims to describe. Returned by
+/// [`Manifest::validate`] and carried inside
+/// [`crate::StorageError::InvalidManifest`] when ingest rejects one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// `chunk_size` is zero: no buffer can be split into zero-byte chunks.
+    ZeroChunkSize {
+        /// Rank whose manifest is malformed.
+        owner_rank: u32,
+        /// Dump generation of the malformed manifest.
+        dump_id: DumpId,
+    },
+    /// The fingerprint list disagrees with `total_len` / `chunk_size`.
+    ChunkCountMismatch {
+        /// Rank whose manifest is malformed.
+        owner_rank: u32,
+        /// Dump generation of the malformed manifest.
+        dump_id: DumpId,
+        /// Number of fingerprints the manifest lists.
+        listed: u64,
+        /// Number `total_len` and `chunk_size` require.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::ZeroChunkSize {
+                owner_rank,
+                dump_id,
+            } => write!(
+                f,
+                "manifest of rank {owner_rank} dump {dump_id} has chunk_size 0"
+            ),
+            ManifestError::ChunkCountMismatch {
+                owner_rank,
+                dump_id,
+                listed,
+                expected,
+            } => write!(
+                f,
+                "manifest of rank {owner_rank} dump {dump_id} lists {listed} chunks \
+                 but its length and chunk size require {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
 
 /// Ordered chunk recipe for one rank's buffer in one dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,22 +95,21 @@ impl Manifest {
     }
 
     /// Validate internal consistency (chunk count vs. length).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ManifestError> {
         if self.chunk_size == 0 {
-            return Err("chunk_size must be positive".into());
+            return Err(ManifestError::ZeroChunkSize {
+                owner_rank: self.owner_rank,
+                dump_id: self.dump_id,
+            });
         }
         let expected = self.total_len.div_ceil(u64::from(self.chunk_size));
         if expected != self.chunks.len() as u64 {
-            return Err(format!(
-                "manifest for rank {} dump {} lists {} chunks but length {} with chunk size {} \
-                 requires {}",
-                self.owner_rank,
-                self.dump_id,
-                self.chunks.len(),
-                self.total_len,
-                self.chunk_size,
-                expected
-            ));
+            return Err(ManifestError::ChunkCountMismatch {
+                owner_rank: self.owner_rank,
+                dump_id: self.dump_id,
+                listed: self.chunks.len() as u64,
+                expected,
+            });
         }
         Ok(())
     }
@@ -120,14 +174,39 @@ mod tests {
     fn validate_rejects_wrong_chunk_count() {
         let mut m = sample();
         m.chunks.pop();
-        assert!(m.validate().is_err());
+        assert_eq!(
+            m.validate(),
+            Err(ManifestError::ChunkCountMismatch {
+                owner_rank: 3,
+                dump_id: 7,
+                listed: 2,
+                expected: 3,
+            })
+        );
     }
 
     #[test]
     fn validate_rejects_zero_chunk_size() {
         let mut m = sample();
         m.chunk_size = 0;
-        assert!(m.validate().is_err());
+        assert_eq!(
+            m.validate(),
+            Err(ManifestError::ZeroChunkSize {
+                owner_rank: 3,
+                dump_id: 7,
+            })
+        );
+    }
+
+    #[test]
+    fn manifest_error_display_names_the_owner() {
+        let mut m = sample();
+        m.chunks.pop();
+        let msg = m.validate().unwrap_err().to_string();
+        assert!(msg.contains("rank 3") && msg.contains("dump 7"), "{msg}");
+        m.chunk_size = 0;
+        let msg = m.validate().unwrap_err().to_string();
+        assert!(msg.contains("chunk_size 0"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Integrity scrubbing: verify that the bytes behind every fingerprint are
+//! still the bytes that were written.
+//!
+//! The paper's replication scheme survives *losing* devices; it never
+//! checks that surviving devices still hold what they claim. A chunk store
+//! is content-addressed, so the check is self-contained: re-hash every
+//! stored chunk and compare against its key. On top of that per-chunk
+//! check, the scrubber cross-references the node's manifests against its
+//! chunk presence, classifying every inconsistency:
+//!
+//! * **corrupt** — a chunk whose bytes no longer hash to its key (bit-rot),
+//! * **dangling** — a manifest referencing a chunk the node does not hold
+//!   (a broken recipe: restore from this node alone would fail),
+//! * **orphan** — a chunk no manifest on the node references (leaked space;
+//!   harmless to correctness, reclaimable).
+//!
+//! Raw `no-dedup` blobs carry no integrity key, so scrub can only confirm
+//! their presence, not their content — one more reason the paper's
+//! dedup'd format is the robust one.
+//!
+//! Scrubbing is node-local and lock-coupled: one pass under the node lock
+//! yields a consistent snapshot. The collective wrapper (repair in
+//! `replidedup-core`) aggregates per-node reports into a cluster view.
+
+use replidedup_hash::{ChunkHasher, Fingerprint, FpHashSet};
+use replidedup_mpi::wire::{Wire, WireResult};
+
+use crate::cluster::{Cluster, NodeId, StorageResult};
+use crate::manifest::DumpId;
+
+/// What one scrub pass found. Reports from several nodes merge into a
+/// cluster-wide view with [`ScrubReport::merge`]; every finding carries its
+/// node id so merged reports stay attributable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ScrubReport {
+    /// Chunks re-hashed across the scrubbed node(s).
+    pub chunks_checked: u64,
+    /// Corrupt chunks: `(node, fingerprint)` whose bytes no longer hash to
+    /// the key. Sorted, deduplicated.
+    pub corrupt: Vec<(NodeId, Fingerprint)>,
+    /// Dangling manifest references: `(node, owner_rank, dump_id,
+    /// fingerprint)` listed by a manifest on `node` but absent from its
+    /// store. Sorted, deduplicated.
+    pub dangling: Vec<(NodeId, u32, DumpId, Fingerprint)>,
+    /// Orphaned chunks: `(node, fingerprint)` held by `node` but referenced
+    /// by none of its manifests. Sorted, deduplicated.
+    pub orphans: Vec<(NodeId, Fingerprint)>,
+}
+
+impl ScrubReport {
+    /// No findings of any class (checked counts do not matter).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.dangling.is_empty() && self.orphans.is_empty()
+    }
+
+    /// Fold another report (typically from another node) into this one,
+    /// keeping every finding list sorted and deduplicated so merged
+    /// reports compare deterministically regardless of merge order.
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.chunks_checked += other.chunks_checked;
+        self.corrupt.extend_from_slice(&other.corrupt);
+        self.corrupt.sort_unstable();
+        self.corrupt.dedup();
+        self.dangling.extend_from_slice(&other.dangling);
+        self.dangling.sort_unstable();
+        self.dangling.dedup();
+        self.orphans.extend_from_slice(&other.orphans);
+        self.orphans.sort_unstable();
+        self.orphans.dedup();
+    }
+}
+
+impl Wire for ScrubReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.chunks_checked.encode(buf);
+        self.corrupt.encode(buf);
+        self.dangling.encode(buf);
+        self.orphans.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> WireResult<Self> {
+        Ok(ScrubReport {
+            chunks_checked: u64::decode(input)?,
+            corrupt: Vec::decode(input)?,
+            dangling: Vec::decode(input)?,
+            orphans: Vec::decode(input)?,
+        })
+    }
+}
+
+impl Cluster {
+    /// Scrub one node: re-hash every stored chunk against its fingerprint
+    /// key with `hasher` (which must be the hasher the chunks were written
+    /// with) and cross-check the node's manifests — across *all* dump
+    /// generations — against chunk presence. Runs under the node lock, so
+    /// the report is a consistent snapshot. Fails with
+    /// [`crate::StorageError::NodeDown`] when the node is dead: a wiped
+    /// device has nothing to scrub.
+    ///
+    /// Detection only — quarantining and re-replication are repair's job
+    /// (`replidedup-core`), which is also what clears a dirty report.
+    pub fn scrub(&self, node: NodeId, hasher: &dyn ChunkHasher) -> StorageResult<ScrubReport> {
+        self.with_node(node, |state| {
+            let mut report = ScrubReport::default();
+
+            // Pass 1: re-hash every chunk against its key.
+            for (fp, data) in state.store.entries() {
+                report.chunks_checked += 1;
+                if hasher.fingerprint(data) != *fp {
+                    report.corrupt.push((node, *fp));
+                }
+            }
+
+            // Pass 2: manifests vs. chunk presence. `referenced` collects
+            // every fingerprint any manifest on this node lists, so the
+            // orphan pass below is a set difference.
+            let mut referenced = FpHashSet::default();
+            for ((owner, dump_id), m) in &state.manifests {
+                for fp in &m.chunks {
+                    referenced.insert(*fp);
+                    if !state.store.contains(fp) {
+                        report.dangling.push((node, *owner, *dump_id, *fp));
+                    }
+                }
+            }
+
+            // Pass 3: chunks no manifest references. (Blobs are opaque —
+            // no key to verify, no chunk references to cross-check.)
+            for (fp, _) in state.store.entries() {
+                if !referenced.contains(fp) {
+                    report.orphans.push((node, *fp));
+                }
+            }
+
+            report.corrupt.sort_unstable();
+            report.corrupt.dedup();
+            report.dangling.sort_unstable();
+            report.dangling.dedup();
+            report.orphans.sort_unstable();
+            report.orphans.dedup();
+            Ok(report)
+        })?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Placement, StorageError};
+    use crate::manifest::Manifest;
+    use bytes::Bytes;
+    use replidedup_hash::Sha1ChunkHasher;
+
+    /// Store `data` on `node` under its true SHA-1 fingerprint.
+    fn put(c: &Cluster, node: NodeId, data: &'static [u8]) -> Fingerprint {
+        let fp = Sha1ChunkHasher.fingerprint(data);
+        c.put_chunk(node, fp, Bytes::from_static(data)).unwrap();
+        fp
+    }
+
+    fn manifest_of(owner: u32, dump_id: DumpId, chunks: Vec<Fingerprint>) -> Manifest {
+        Manifest {
+            owner_rank: owner,
+            dump_id,
+            chunk_size: 4,
+            total_len: 4 * chunks.len() as u64,
+            chunks,
+        }
+    }
+
+    #[test]
+    fn clean_node_scrubs_clean() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        let b = put(&c, 0, b"bbbb");
+        c.put_manifest(0, manifest_of(0, 1, vec![a, b])).unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.chunks_checked, 2);
+    }
+
+    #[test]
+    fn scrub_detects_exactly_the_injected_corruption() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        let b = put(&c, 0, b"bbbb");
+        c.put_manifest(0, manifest_of(0, 1, vec![a, b])).unwrap();
+        assert!(c.corrupt_chunk(0, &a).unwrap());
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert_eq!(r.corrupt, vec![(0, a)], "exactly the injected corruption");
+        assert!(r.dangling.is_empty() && r.orphans.is_empty());
+    }
+
+    #[test]
+    fn scrub_reports_dangling_manifest_references() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        let ghost = Sha1ChunkHasher.fingerprint(b"neverstored");
+        c.put_manifest(0, manifest_of(3, 7, vec![a, ghost]))
+            .unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert_eq!(r.dangling, vec![(0, 3, 7, ghost)]);
+        assert!(r.corrupt.is_empty() && r.orphans.is_empty());
+    }
+
+    #[test]
+    fn scrub_reports_orphaned_chunks() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        let stray = put(&c, 0, b"stray");
+        c.put_manifest(0, manifest_of(0, 1, vec![a])).unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert_eq!(r.orphans, vec![(0, stray)]);
+    }
+
+    #[test]
+    fn scrub_covers_all_dump_generations() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        c.put_manifest(0, manifest_of(0, 1, vec![a])).unwrap();
+        let ghost = Sha1ChunkHasher.fingerprint(b"gen2only");
+        c.put_manifest(0, manifest_of(0, 2, vec![ghost])).unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert_eq!(r.dangling, vec![(0, 0, 2, ghost)], "generation 2 checked");
+    }
+
+    #[test]
+    fn scrubbing_a_dead_node_is_node_down() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        c.fail_node(0);
+        assert_eq!(c.scrub(0, &Sha1ChunkHasher), Err(StorageError::NodeDown(0)));
+    }
+
+    #[test]
+    fn merge_aggregates_and_dedups_across_nodes() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        let a0 = put(&c, 0, b"aaaa");
+        let a1 = put(&c, 1, b"zzzz");
+        c.corrupt_chunk(0, &a0).unwrap();
+        c.corrupt_chunk(1, &a1).unwrap();
+        let mut merged = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        let r1 = c.scrub(1, &Sha1ChunkHasher).unwrap();
+        merged.merge(&r1);
+        merged.merge(&r1); // idempotent per finding
+        assert_eq!(merged.chunks_checked, 3);
+        let mut want = vec![(0, a0), (1, a1)];
+        want.sort_unstable();
+        assert_eq!(merged.corrupt, want);
+        // Both chunks are orphans too (no manifests stored).
+        assert_eq!(merged.orphans.len(), 2);
+    }
+
+    #[test]
+    fn report_wire_roundtrip() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = put(&c, 0, b"aaaa");
+        c.corrupt_chunk(0, &a).unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        let bytes = r.to_bytes();
+        assert_eq!(ScrubReport::from_bytes(&bytes).unwrap(), r);
+    }
+}

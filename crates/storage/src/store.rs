@@ -106,6 +106,41 @@ impl ChunkStore {
         self.chunks.keys()
     }
 
+    /// Iterate over `(fingerprint, data)` pairs (arbitrary order). The
+    /// scrubber walks this to re-hash every chunk against its key.
+    pub fn entries(&self) -> impl Iterator<Item = (&Fingerprint, &Bytes)> {
+        self.chunks.iter().map(|(fp, e)| (fp, &e.data))
+    }
+
+    /// Flip the stored bytes of a chunk without touching its key — a
+    /// **test-only** bit-rot injection hook for scrub tests. The chunk's
+    /// length is preserved (bit-rot, not truncation). Returns `false` for
+    /// unknown or empty chunks.
+    pub fn corrupt(&mut self, fp: &Fingerprint) -> bool {
+        match self.chunks.get_mut(fp) {
+            Some(e) if !e.data.is_empty() => {
+                let mut bytes = e.data.to_vec();
+                bytes[0] ^= 0xFF;
+                e.data = Bytes::from(bytes);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evict a chunk regardless of its reference count (quarantine of a
+    /// corrupt chunk: the bytes no longer match the key, so every reference
+    /// is equally broken and repair must re-replicate from a good copy).
+    /// Returns `true` if the chunk was present.
+    pub fn remove(&mut self, fp: &Fingerprint) -> bool {
+        if let Some(e) = self.chunks.remove(fp) {
+            self.bytes_stored -= e.data.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drop everything (models device loss during a node failure).
     pub fn wipe(&mut self) {
         self.chunks.clear();
@@ -167,6 +202,39 @@ mod tests {
         assert_eq!(s.chunk_count(), 0);
         assert_eq!(s.bytes_stored(), 0);
         assert_eq!(s.bytes_written(), 4);
+    }
+
+    #[test]
+    fn corrupt_flips_bytes_in_place() {
+        let mut s = ChunkStore::new();
+        s.put(fp(1), Bytes::from_static(b"good"));
+        assert!(s.corrupt(&fp(1)));
+        let data = s.get(&fp(1)).unwrap();
+        assert_eq!(data.len(), 4, "bit-rot preserves length");
+        assert_ne!(data, Bytes::from_static(b"good"));
+        assert!(!s.corrupt(&fp(9)), "unknown chunk cannot be corrupted");
+    }
+
+    #[test]
+    fn remove_evicts_regardless_of_refs() {
+        let mut s = ChunkStore::new();
+        s.put(fp(1), Bytes::from_static(b"xy"));
+        s.put(fp(1), Bytes::from_static(b"xy"));
+        assert_eq!(s.refs(&fp(1)), 2);
+        assert!(s.remove(&fp(1)));
+        assert!(!s.contains(&fp(1)));
+        assert_eq!(s.bytes_stored(), 0);
+        assert!(!s.remove(&fp(1)), "second remove is a no-op");
+    }
+
+    #[test]
+    fn entries_expose_data_for_scrubbing() {
+        let mut s = ChunkStore::new();
+        s.put(fp(1), Bytes::from_static(b"aa"));
+        s.put(fp(2), Bytes::from_static(b"bbb"));
+        let total: usize = s.entries().map(|(_, d)| d.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(s.entries().count(), 2);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Seeded chaos suite for the self-healing layer (DESIGN.md §11):
+//! integrity scrubbing, collective replication repair, retrying restore.
+//!
+//! Promises under test:
+//! 1. After failing at most K−1 nodes of a healthy dump and reviving them
+//!    empty, one repair collective brings every chunk referenced by the
+//!    dump back to `min(K, live_nodes)` intact copies, re-materializes
+//!    every rank's manifest (or blob, for `no-dedup`) on its own node, and
+//!    the subsequent restore is byte-exact — for every strategy and
+//!    K ∈ {2, 3}, with the failed-node set drawn from the seed.
+//! 2. Repair is idempotent and crash-safe: a rank crash in the middle of
+//!    the transfer phase (taking its node's storage with it) surfaces as a
+//!    typed error, and re-running the repair after reviving converges to
+//!    the same healed invariants.
+//! 3. Scrub reports exactly the injected corruptions; repair quarantines
+//!    and re-replicates them; the post-repair scrub is clean.
+//! 4. Injected transient device hiccups are absorbed by the restore retry
+//!    policy (visible in the `restore_retries` counter), not surfaced as
+//!    errors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use replidedup::apps::SyntheticWorkload;
+use replidedup::core::{Replicator, Strategy};
+use replidedup::mpi::{EventKind, FaultPlan, FaultTrigger, World, WorldConfig};
+use replidedup::storage::{Cluster, Placement};
+
+const N: u32 = 6;
+const DUMP: u64 = 1;
+
+fn buffers(n: u32) -> Vec<Vec<u8>> {
+    let workload = SyntheticWorkload {
+        chunk_size: 64,
+        global_chunks: 4,
+        grouped_chunks: 3,
+        group_size: 2,
+        private_chunks: 3,
+        local_dup_chunks: 2,
+        local_repeat: 2,
+        seed: 7,
+    };
+    (0..n).map(|r| workload.generate(r)).collect()
+}
+
+fn replicator(strategy: Strategy, cluster: &Cluster, k: u32) -> Replicator<'_> {
+    Replicator::builder(strategy)
+        .cluster(cluster)
+        .replication(k)
+        .chunk_size(64)
+        .build()
+        .expect("valid config")
+}
+
+/// Derive up to `count` distinct victim nodes from a seed (SplitMix64
+/// step, same mixer the fault plan uses — any deterministic spread works).
+fn seeded_victims(seed: u64, count: u32) -> Vec<u32> {
+    let mut x = seed;
+    let mut victims = Vec::new();
+    while victims.len() < count as usize {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let node = ((z ^ (z >> 31)) % u64::from(N)) as u32;
+        if !victims.contains(&node) {
+            victims.push(node);
+        }
+    }
+    victims.sort_unstable();
+    victims
+}
+
+/// The healed-cluster invariant: every rank's recipe is back on its own
+/// node and everything it references has at least `min(K, live)` copies.
+fn assert_healed(cluster: &Cluster, strategy: Strategy, k: u32, label: &str) {
+    let live = (0..N).filter(|&nd| cluster.is_alive(nd)).count() as u32;
+    let target = k.min(live);
+    for rank in 0..N {
+        let node = cluster.node_of(rank);
+        if strategy == Strategy::NoDedup {
+            let copies = (0..N)
+                .filter(|&nd| cluster.has_blob(nd, rank, DUMP))
+                .count() as u32;
+            assert!(
+                copies >= target,
+                "{label}: rank {rank}'s blob has {copies} copies, need {target}"
+            );
+            assert!(
+                cluster.has_blob(node, rank, DUMP),
+                "{label}: rank {rank}'s blob not re-materialized on its own node"
+            );
+            continue;
+        }
+        let manifest = cluster
+            .get_manifest(node, rank, DUMP)
+            .unwrap_or_else(|e| panic!("{label}: rank {rank}'s manifest not on its node: {e}"));
+        for fp in &manifest.chunks {
+            let copies = cluster.copies_of(fp);
+            assert!(
+                copies >= target,
+                "{label}: chunk {fp} of rank {rank} has {copies} copies, need {target}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Promise 1: fail ≤ K−1 seed-chosen nodes after a healthy dump,
+    /// revive them empty, repair once — full replication is back and every
+    /// rank restores byte-exactly with zero degraded paths.
+    #[test]
+    fn repair_heals_k_minus_1_node_failures_back_to_full_replication(seed in any::<u64>()) {
+        for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
+            for k in [2u32, 3] {
+                let bufs = buffers(N);
+                let cluster = Cluster::new(Placement::one_per_node(N));
+                let repl = replicator(strategy, &cluster, k);
+                let out = World::run(N, |comm| {
+                    repl.dump(comm, DUMP, &bufs[comm.rank() as usize]).map(|_| ())
+                });
+                prop_assert!(out.results.iter().all(Result::is_ok));
+
+                let victims = seeded_victims(seed, k - 1);
+                for &node in &victims {
+                    cluster.fail_node(node);
+                    cluster.revive_node(node); // replacement comes up empty
+                }
+
+                let out = World::run(N, |comm| repl.repair(comm, DUMP));
+                for (rank, r) in out.results.iter().enumerate() {
+                    let stats = r.as_ref().unwrap_or_else(|e| {
+                        panic!("{strategy:?} K={k} seed={seed}: rank {rank} repair failed: {e}")
+                    });
+                    prop_assert!(
+                        stats.is_fully_healed(),
+                        "{strategy:?} K={k} seed={seed} victims={victims:?}: \
+                         losses within K-1 must be repairable: {stats:?}"
+                    );
+                    prop_assert_eq!(
+                        r.as_ref().unwrap(),
+                        out.results[0].as_ref().unwrap(),
+                        "all ranks must agree on the repair stats"
+                    );
+                }
+                assert_healed(&cluster, strategy, k, "after repair");
+
+                // Second repair finds nothing to do (idempotency).
+                let out = World::run(N, |comm| repl.repair(comm, DUMP));
+                for r in &out.results {
+                    let stats = r.as_ref().expect("idempotent repair");
+                    prop_assert_eq!(stats.chunks_healed, 0, "re-repair must be a no-op");
+                    prop_assert_eq!(stats.manifests_rematerialized, 0);
+                    prop_assert_eq!(stats.blobs_rematerialized, 0);
+                }
+
+                let out = World::run(N, |comm| repl.restore(comm, DUMP));
+                for (rank, r) in out.results.iter().enumerate() {
+                    let bytes = r.as_ref().unwrap_or_else(|e| {
+                        panic!("{strategy:?} K={k} seed={seed}: rank {rank} restore failed: {e}")
+                    });
+                    prop_assert_eq!(bytes, &bufs[rank], "rank {} restored wrong bytes", rank);
+                }
+            }
+        }
+    }
+}
+
+/// Promise 2: a rank crash mid-transfer (its node's storage dies with it)
+/// leaves a typed error, and re-running the repair after reviving
+/// converges to the healed invariants.
+#[test]
+fn crash_during_repair_transfer_then_rerun_converges() {
+    let k = 3;
+    let bufs = buffers(N);
+    let cluster = Arc::new(Cluster::new(Placement::one_per_node(N)));
+    let repl = replicator(Strategy::CollDedup, &cluster, k);
+
+    let out = World::run(N, |comm| {
+        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+            .map(|_| ())
+    });
+    assert!(out.results.iter().all(Result::is_ok));
+
+    // One node lost and revived empty: the repair has real work to do.
+    cluster.fail_node(2);
+    cluster.revive_node(2);
+
+    // Crash rank 4 the moment the transfer phase opens; its node's
+    // storage goes down with it.
+    let hook = Arc::clone(&cluster);
+    let plan = FaultPlan::new(99)
+        .crash(4, FaultTrigger::PhaseStart("repair.transfer".into()))
+        .on_crash(move |rank| hook.fail_node(hook.node_of(rank)));
+    let config = WorldConfig::default()
+        .with_recv_timeout(Duration::from_secs(2))
+        .with_faults(plan);
+    let out = World::run_faulty(N, &config, |comm| repl.repair(comm, DUMP));
+    assert_eq!(out.crashed_ranks(), vec![4], "the planned crash must fire");
+
+    // Restart: the crashed node is replaced, the repair is re-run.
+    for node in 0..N {
+        if !cluster.is_alive(node) {
+            cluster.revive_node(node);
+        }
+    }
+    let out = World::run(N, |comm| repl.repair(comm, DUMP));
+    for r in &out.results {
+        let stats = r.as_ref().expect("rerun repair succeeds");
+        assert!(stats.is_fully_healed(), "rerun must converge: {stats:?}");
+    }
+    assert_healed(&cluster, Strategy::CollDedup, k, "after crash + rerun");
+
+    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    for (rank, r) in out.results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("restore after healed rerun"),
+            &bufs[rank],
+            "rank {rank} restored wrong bytes"
+        );
+    }
+}
+
+/// Promise 3: scrub finds exactly the injected corruptions; repair heals
+/// them (quarantine + re-replicate); the post-repair scrub is clean and
+/// the restore byte-exact.
+#[test]
+fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
+    let k = 2;
+    let bufs = buffers(N);
+    let cluster = Cluster::new(Placement::one_per_node(N));
+    let repl = replicator(Strategy::CollDedup, &cluster, k);
+
+    let out = World::run(N, |comm| {
+        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+            .map(|_| ())
+    });
+    assert!(out.results.iter().all(Result::is_ok));
+
+    // Rot one stored chunk on each of two nodes — distinct fingerprints,
+    // so each corrupted chunk keeps one intact copy (K=2) to heal from.
+    let fp1 = cluster.chunk_fps(1).expect("live node")[0];
+    let fp4 = *cluster
+        .chunk_fps(4)
+        .expect("live node")
+        .iter()
+        .find(|fp| **fp != fp1)
+        .expect("node 4 holds more than one chunk");
+    assert!(cluster.corrupt_chunk(1, &fp1).unwrap());
+    assert!(cluster.corrupt_chunk(4, &fp4).unwrap());
+    let mut injected = vec![(1u32, fp1), (4u32, fp4)];
+    injected.sort_unstable();
+
+    let out = World::run(N, |comm| repl.scrub(comm));
+    for r in &out.results {
+        let report = r.as_ref().expect("scrub succeeds");
+        assert_eq!(
+            report.corrupt, injected,
+            "scrub must report exactly the injected corruptions"
+        );
+        assert!(report.chunks_checked > 0);
+        assert!(!report.is_clean());
+    }
+
+    let out = World::run(N, |comm| repl.repair(comm, DUMP));
+    for r in &out.results {
+        let stats = r.as_ref().expect("repair succeeds");
+        assert_eq!(
+            stats.corrupt_quarantined,
+            injected.len() as u64,
+            "repair must quarantine what scrub found"
+        );
+        assert!(
+            stats.is_fully_healed(),
+            "corruption within K-1 copies heals"
+        );
+    }
+    assert_healed(&cluster, Strategy::CollDedup, k, "after corruption repair");
+
+    let out = World::run(N, |comm| repl.scrub(comm));
+    for r in &out.results {
+        assert!(
+            r.as_ref().expect("scrub succeeds").is_clean(),
+            "post-repair scrub must be clean"
+        );
+    }
+
+    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    for (rank, r) in out.results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("restore after corruption repair"),
+            &bufs[rank],
+            "rank {rank} restored wrong bytes"
+        );
+    }
+}
+
+/// Promise 4: transient device hiccups within the retry budget are
+/// absorbed silently — the restore succeeds byte-exactly and the retries
+/// show up in the `restore_retries` counter instead of an error.
+#[test]
+fn transient_hiccups_are_absorbed_by_the_restore_retry_policy() {
+    let bufs = buffers(N);
+    let cluster = Cluster::new(Placement::one_per_node(N));
+    let repl = Replicator::builder(Strategy::CollDedup)
+        .cluster(&cluster)
+        .replication(2)
+        .chunk_size(64)
+        .tracing(true)
+        .build()
+        .expect("valid config");
+
+    let out = World::run(N, |comm| {
+        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+            .map(|_| ())
+    });
+    assert!(out.results.iter().all(Result::is_ok));
+
+    // Two consecutive reads on node 0 will fail before the device
+    // recovers — within the default 4-attempt budget.
+    cluster.inject_transient(0, 2).expect("live node");
+
+    let out = World::run(N, |comm| {
+        let restored = repl.restore(comm, DUMP);
+        let retries: u64 = comm
+            .take_trace_events()
+            .iter()
+            .filter(|e| e.name == "restore_retries")
+            .map(|e| match e.kind {
+                EventKind::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        (comm.rank(), restored, retries)
+    });
+    let mut total_retries = 0;
+    for (rank, restored, retries) in out.results {
+        assert_eq!(
+            restored
+                .as_ref()
+                .expect("transient must not fail the restore"),
+            &bufs[rank as usize],
+            "rank {rank} restored wrong bytes"
+        );
+        total_retries += retries;
+    }
+    assert!(
+        total_retries > 0,
+        "the absorbed hiccups must be visible in the restore_retries counter"
+    );
+}
