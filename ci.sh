@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Full local CI gate: format, lints, build, tests. Mirrors
 # .github/workflows/ci.yml so "ci.sh passes" == "CI is green".
+#
+#   ./ci.sh         the full gate
+#   ./ci.sh bench   the full zero-copy perf harness only (writes
+#                   BENCH_<date>.json; the gate itself runs the tiny
+#                   bench-smoke tier)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "bench" ]]; then
+  echo "== repro --bench (full zero-copy perf harness) =="
+  cargo run --release -p replidedup-bench --bin repro -- --bench
+  exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -27,17 +38,47 @@ echo "== cargo test --test repair (self-healing suite) =="
 # K copies with byte-exact restores.
 cargo test --test repair
 
-echo "== dead-code gate (self-healing modules) =="
-# The self-healing modules must be fully wired into the public API —
-# a stray #[allow(dead_code)] means something regressed to unreachable.
+echo "== cargo test --test zerocopy (zero-copy guarantees) =="
+# Pointer-equality across wire round-trips, byte-exact dump/restore for
+# every strategy x K x copy mode, deprecated shims pinned to the new API.
+cargo test --test zerocopy
+
+echo "== dead-code gate (self-healing + zero-copy modules) =="
+# These modules must be fully wired into the public API — a stray
+# #[allow(dead_code)] means something regressed to unreachable.
 if grep -n '#\[allow(dead_code)\]' \
     crates/storage/src/scrub.rs \
     crates/core/src/repair.rs \
     crates/core/src/retry.rs \
-    tests/repair.rs; then
-  echo "ci: FAIL — #[allow(dead_code)] found in self-healing modules" >&2
+    crates/buf/src/lib.rs \
+    crates/buf/src/chunk.rs \
+    crates/buf/src/pool.rs \
+    crates/core/src/exchange.rs \
+    crates/mpi/src/wire.rs \
+    crates/bench/src/perf.rs \
+    tests/repair.rs \
+    tests/zerocopy.rs; then
+  echo "ci: FAIL — #[allow(dead_code)] found in gated modules" >&2
   exit 1
 fi
+
+echo "== stray-copy gate (hot-path modules) =="
+# The dump/restore/repair hot paths moved to refcounted Chunk payloads;
+# a .to_vec() creeping back in is a silent full-payload copy.
+if grep -n '\.to_vec()' \
+    crates/core/src/dump.rs \
+    crates/core/src/restore.rs \
+    crates/core/src/repair.rs; then
+  echo "ci: FAIL — .to_vec() payload copy in a zero-copy hot path" >&2
+  exit 1
+fi
+
+echo "== bench-smoke (tiny perf harness + schema check) =="
+# The harness validates the report against the replidedup-bench/v1 schema
+# before writing it; a failure here means the bench or schema regressed.
+cargo run --release -p replidedup-bench --bin repro -- \
+  --bench-smoke --bench-out target/bench-smoke.json
+test -s target/bench-smoke.json
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q

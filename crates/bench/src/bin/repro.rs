@@ -25,6 +25,10 @@
 //!   --repair    run the collective repair, then verify that every chunk
 //!               referenced by the dump is back to K copies and the
 //!               restore is byte-exact
+//!   --bench     run the zero-copy perf harness (strategies × K ∈ {2,3} ×
+//!               {staged, zero-copy}) and write BENCH_<date>.json
+//!   --bench-smoke  tiny CI tier of --bench (4 ranks, 1 iteration)
+//!   --bench-out PATH  override the bench report path
 //! ```
 //!
 //! Absolute times come from the Shamrock cost model fed with measured
@@ -46,6 +50,9 @@ struct Args {
     fail_nodes: Vec<u32>,
     repair: bool,
     scrub: bool,
+    bench: bool,
+    bench_smoke: bool,
+    bench_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +64,9 @@ fn parse_args() -> Args {
     let mut fail_nodes = Vec::new();
     let mut repair = false;
     let mut scrub = false;
+    let mut bench = false;
+    let mut bench_smoke = false;
+    let mut bench_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -89,11 +99,19 @@ fn parse_args() -> Args {
             }
             "--repair" => repair = true,
             "--scrub" => scrub = true,
+            "--bench" => bench = true,
+            "--bench-smoke" => bench_smoke = true,
+            "--bench-out" => {
+                bench_out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--bench-out needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... \
                      [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]] \
-                     [--fail-node N]... [--scrub] [--repair]"
+                     [--fail-node N]... [--scrub] [--repair] \
+                     [--bench | --bench-smoke] [--bench-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -102,7 +120,13 @@ fn parse_args() -> Args {
         }
     }
     let healing = !fail_nodes.is_empty() || repair || scrub;
-    if exps.is_empty() && trace_out.is_none() && fault_plan.is_none() && !healing {
+    if exps.is_empty()
+        && trace_out.is_none()
+        && fault_plan.is_none()
+        && !healing
+        && !bench
+        && !bench_smoke
+    {
         exps.push("all".to_string());
     }
     if scale <= 0.0 {
@@ -117,7 +141,74 @@ fn parse_args() -> Args {
         fail_nodes,
         repair,
         scrub,
+        bench,
+        bench_smoke,
+        bench_out,
     }
+}
+
+/// Run the zero-copy perf harness and write (validated) `BENCH_<date>.json`.
+fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
+    use replidedup_bench::perf::{run_zerocopy_bench, BenchOptions};
+    use replidedup_bench::report::validate_bench_json;
+
+    let opts = if smoke {
+        BenchOptions::smoke()
+    } else {
+        BenchOptions::full()
+    };
+    println!(
+        "== zero-copy perf harness: {} ranks, best of {} ==",
+        opts.ranks, opts.iterations
+    );
+    let report = run_zerocopy_bench(&opts);
+    let mut t = report::Table::new(&[
+        "strategy",
+        "K",
+        "mode",
+        "dump (s)",
+        "restore (s)",
+        "MiB/s",
+        "bytes copied",
+        "rma put",
+    ]);
+    for s in &report.scenarios {
+        t.row(vec![
+            s.strategy.clone(),
+            s.k.to_string(),
+            s.copy_mode.clone(),
+            format!("{:.4}", s.dump_seconds),
+            format!("{:.4}", s.restore_seconds),
+            format!("{:.0}", s.dump_throughput_mib_s),
+            report::human_bytes(s.dump_bytes_copied as f64),
+            report::human_bytes(s.bytes_sent_replication as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    for c in &report.comparisons {
+        println!(
+            "{} K={}: copies {} -> {} ({:.1} % less), dump {:.4}s -> {:.4}s ({})",
+            c.strategy,
+            c.k,
+            report::human_bytes(c.staged_bytes_copied as f64),
+            report::human_bytes(c.zero_copy_bytes_copied as f64),
+            c.copy_reduction_percent,
+            c.staged_dump_seconds,
+            c.zero_copy_dump_seconds,
+            if c.dump_time_no_worse {
+                "no worse"
+            } else {
+                "SLOWER"
+            },
+        );
+    }
+    let json = report.to_json();
+    validate_bench_json(&json).unwrap_or_else(|e| die(&format!("emitted report invalid: {e}")));
+    let path = out_override
+        .cloned()
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", report.date)));
+    std::fs::write(&path, &json).unwrap_or_else(|e| die(&format!("write {}: {e}", path.display())));
+    println!("schema OK -> {}", path.display());
 }
 
 /// Run one traced coll-dedup dump over the HPCCG workload and write the
@@ -333,6 +424,9 @@ fn main() {
     }
     if !args.fail_nodes.is_empty() || args.repair || args.scrub {
         run_heal_demo(&args.fail_nodes, args.scrub, args.repair);
+    }
+    if args.bench || args.bench_smoke {
+        run_bench(args.bench_smoke && !args.bench, args.bench_out.as_ref());
     }
 
     if want("fig2") {

@@ -2,11 +2,13 @@
 //!
 //! * [`workloads`] — checkpoint-content generators (real mini-app runs),
 //! * [`experiments`] — one function per table/figure of the paper,
-//! * [`report`] — text-table and CSV rendering.
+//! * [`perf`] — the zero-copy perf harness behind `repro --bench`,
+//! * [`report`] — text-table, CSV, and `BENCH_*.json` rendering.
 //!
 //! The `repro` binary regenerates everything:
 //! `cargo run -p replidedup-bench --release --bin repro -- all`.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod workloads;

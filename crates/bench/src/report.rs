@@ -1,8 +1,10 @@
-//! Text-table and CSV rendering of experiment results.
+//! Text-table, CSV, and bench-report rendering of experiment results.
 //!
 //! The `repro` binary prints paper-style tables to stdout and mirrors each
 //! experiment into `results/<exp>.csv` so plots can be regenerated with
-//! any tool.
+//! any tool. `repro --bench` additionally emits a machine-readable
+//! [`BenchReport`] as `BENCH_<date>.json` (schema
+//! [`BENCH_SCHEMA`], checked by [`validate_bench_json`]).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -234,6 +236,494 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
     t
 }
 
+// ------------------------------------------------------------------
+// Zero-copy perf harness report (`repro --bench` → BENCH_<date>.json)
+// ------------------------------------------------------------------
+
+/// Schema identifier stamped into every bench report.
+pub const BENCH_SCHEMA: &str = "replidedup-bench/v1";
+
+/// One measured dump+restore scenario of the perf harness.
+#[derive(Debug, Clone)]
+pub struct BenchScenario {
+    /// Workload label (e.g. `HPCCG`).
+    pub app: String,
+    /// Strategy label (`no-dedup` / `local-dedup` / `coll-dedup`).
+    pub strategy: String,
+    /// Replication degree.
+    pub k: u32,
+    /// Copy-mode label (`zero-copy` / `staged`).
+    pub copy_mode: String,
+    /// World size.
+    pub ranks: u32,
+    /// Chunk size in bytes.
+    pub chunk_size: u64,
+    /// Total application bytes dumped across all ranks.
+    pub input_bytes: u64,
+    /// Best dump wall time across iterations, seconds.
+    pub dump_seconds: f64,
+    /// Best restore wall time across iterations, seconds.
+    pub restore_seconds: f64,
+    /// Aggregate dump throughput at the best wall time, MiB/s.
+    pub dump_throughput_mib_s: f64,
+    /// Payload bytes memcpy'd between buffers during the dump, summed
+    /// over ranks (the `alloc_bytes_copied` accounting).
+    pub dump_bytes_copied: u64,
+    /// Payload bytes memcpy'd during the restore (process-wide delta).
+    pub restore_bytes_copied: u64,
+    /// Replication bytes pushed over RMA windows, summed over ranks.
+    pub bytes_sent_replication: u64,
+    /// Replication bytes landed in windows, summed over ranks.
+    pub bytes_received_replication: u64,
+    /// Bytes physically written across all node devices.
+    pub bytes_written_devices: u64,
+    /// Buffer-pool takes served from the shelf during the scenario.
+    pub pool_hits: u64,
+    /// Buffer-pool takes that had to allocate fresh.
+    pub pool_misses: u64,
+    /// Pool capacity served from the shelf instead of the allocator.
+    pub pool_bytes_reused: u64,
+    /// Process peak RSS (KiB) after the scenario. Monotonic across the
+    /// process, so only the growth between scenarios is attributable.
+    pub peak_rss_kib: u64,
+}
+
+/// Staged-vs-zero-copy comparison for one (strategy, K) pair — the
+/// acceptance evidence: copies reduced, wall time no worse.
+#[derive(Debug, Clone)]
+pub struct BenchComparison {
+    /// Strategy label.
+    pub strategy: String,
+    /// Replication degree.
+    pub k: u32,
+    /// Dump bytes copied under the staged (pre-change) path.
+    pub staged_bytes_copied: u64,
+    /// Dump bytes copied under the zero-copy path.
+    pub zero_copy_bytes_copied: u64,
+    /// Copy reduction, percent of the staged figure.
+    pub copy_reduction_percent: f64,
+    /// Staged dump wall time, seconds.
+    pub staged_dump_seconds: f64,
+    /// Zero-copy dump wall time, seconds.
+    pub zero_copy_dump_seconds: f64,
+    /// Whether the zero-copy dump was no slower than staged.
+    pub dump_time_no_worse: bool,
+}
+
+/// A full perf-harness run: every scenario plus the per-(strategy, K)
+/// staged-vs-zero-copy comparisons derived from them.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// ISO date of the run (file is named `BENCH_<date>.json`).
+    pub date: String,
+    /// World size shared by all scenarios.
+    pub ranks: u32,
+    /// Timed iterations per scenario (best-of is reported).
+    pub iterations: u32,
+    /// All measured scenarios.
+    pub scenarios: Vec<BenchScenario>,
+    /// Derived staged-vs-zero-copy comparisons.
+    pub comparisons: Vec<BenchComparison>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// Serialize as pretty-printed JSON (no external dependencies; the
+    /// output round-trips through [`validate_bench_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(BENCH_SCHEMA));
+        let _ = writeln!(s, "  \"date\": \"{}\",", json_escape(&self.date));
+        let _ = writeln!(s, "  \"ranks\": {},", self.ranks);
+        let _ = writeln!(s, "  \"iterations\": {},", self.iterations);
+        let _ = writeln!(s, "  \"scenarios\": [");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            let comma = if i + 1 < self.scenarios.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"app\": \"{}\",", json_escape(&sc.app));
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&sc.strategy));
+            let _ = writeln!(s, "      \"k\": {},", sc.k);
+            let _ = writeln!(
+                s,
+                "      \"copy_mode\": \"{}\",",
+                json_escape(&sc.copy_mode)
+            );
+            let _ = writeln!(s, "      \"ranks\": {},", sc.ranks);
+            let _ = writeln!(s, "      \"chunk_size\": {},", sc.chunk_size);
+            let _ = writeln!(s, "      \"input_bytes\": {},", sc.input_bytes);
+            let _ = writeln!(s, "      \"dump_seconds\": {},", json_f64(sc.dump_seconds));
+            let _ = writeln!(
+                s,
+                "      \"restore_seconds\": {},",
+                json_f64(sc.restore_seconds)
+            );
+            let _ = writeln!(
+                s,
+                "      \"dump_throughput_mib_s\": {},",
+                json_f64(sc.dump_throughput_mib_s)
+            );
+            let _ = writeln!(s, "      \"dump_bytes_copied\": {},", sc.dump_bytes_copied);
+            let _ = writeln!(
+                s,
+                "      \"restore_bytes_copied\": {},",
+                sc.restore_bytes_copied
+            );
+            let _ = writeln!(
+                s,
+                "      \"bytes_sent_replication\": {},",
+                sc.bytes_sent_replication
+            );
+            let _ = writeln!(
+                s,
+                "      \"bytes_received_replication\": {},",
+                sc.bytes_received_replication
+            );
+            let _ = writeln!(
+                s,
+                "      \"bytes_written_devices\": {},",
+                sc.bytes_written_devices
+            );
+            let _ = writeln!(s, "      \"pool_hits\": {},", sc.pool_hits);
+            let _ = writeln!(s, "      \"pool_misses\": {},", sc.pool_misses);
+            let _ = writeln!(s, "      \"pool_bytes_reused\": {},", sc.pool_bytes_reused);
+            let _ = writeln!(s, "      \"peak_rss_kib\": {}", sc.peak_rss_kib);
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"comparisons\": [");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            let comma = if i + 1 < self.comparisons.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&c.strategy));
+            let _ = writeln!(s, "      \"k\": {},", c.k);
+            let _ = writeln!(
+                s,
+                "      \"staged_bytes_copied\": {},",
+                c.staged_bytes_copied
+            );
+            let _ = writeln!(
+                s,
+                "      \"zero_copy_bytes_copied\": {},",
+                c.zero_copy_bytes_copied
+            );
+            let _ = writeln!(
+                s,
+                "      \"copy_reduction_percent\": {},",
+                json_f64(c.copy_reduction_percent)
+            );
+            let _ = writeln!(
+                s,
+                "      \"staged_dump_seconds\": {},",
+                json_f64(c.staged_dump_seconds)
+            );
+            let _ = writeln!(
+                s,
+                "      \"zero_copy_dump_seconds\": {},",
+                json_f64(c.zero_copy_dump_seconds)
+            );
+            let _ = writeln!(s, "      \"dump_time_no_worse\": {}", c.dump_time_no_worse);
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A parsed JSON value — the minimal model the schema check needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for the bench report; rejects
+/// trailing garbage).
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut kv = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kv));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                kv.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kv));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 sequences pass through verbatim.
+                        let ch_len = match c {
+                            0x00..=0x7F => 1,
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = b
+                            .get(*pos..*pos + ch_len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        *pos += ch_len;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+/// Required numeric fields of a scenario object.
+const SCENARIO_NUM_FIELDS: [&str; 14] = [
+    "k",
+    "ranks",
+    "chunk_size",
+    "input_bytes",
+    "dump_seconds",
+    "restore_seconds",
+    "dump_throughput_mib_s",
+    "dump_bytes_copied",
+    "restore_bytes_copied",
+    "bytes_sent_replication",
+    "bytes_received_replication",
+    "bytes_written_devices",
+    "pool_hits",
+    "pool_misses",
+];
+
+/// Validate a bench-report JSON document against the
+/// [`BENCH_SCHEMA`] shape. Returns the parsed document on success so
+/// callers can make further assertions.
+pub fn validate_bench_json(input: &str) -> Result<Json, String> {
+    let doc = parse_json(input)?;
+    let schema = doc.get("schema").ok_or("missing \"schema\"")?;
+    if *schema != Json::Str(BENCH_SCHEMA.to_string()) {
+        return Err(format!("schema is {schema:?}, want {BENCH_SCHEMA:?}"));
+    }
+    match doc.get("date") {
+        Some(Json::Str(d)) if d.len() == 10 => {}
+        other => return Err(format!("bad \"date\": {other:?}")),
+    }
+    let Some(Json::Arr(scenarios)) = doc.get("scenarios") else {
+        return Err("missing \"scenarios\" array".into());
+    };
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" must not be empty".into());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        for key in ["app", "strategy", "copy_mode"] {
+            match sc.get(key) {
+                Some(Json::Str(_)) => {}
+                other => return Err(format!("scenario {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in SCENARIO_NUM_FIELDS {
+            match sc.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("scenario {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+    }
+    let Some(Json::Arr(comparisons)) = doc.get("comparisons") else {
+        return Err("missing \"comparisons\" array".into());
+    };
+    for (i, c) in comparisons.iter().enumerate() {
+        for key in [
+            "staged_bytes_copied",
+            "zero_copy_bytes_copied",
+            "copy_reduction_percent",
+            "staged_dump_seconds",
+            "zero_copy_dump_seconds",
+        ] {
+            match c.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("comparison {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        match c.get("dump_time_no_worse") {
+            Some(Json::Bool(_)) => {}
+            other => {
+                return Err(format!(
+                    "comparison {i}: bad \"dump_time_no_worse\": {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(doc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +774,85 @@ mod tests {
         let s = t.render();
         assert!(s.contains("200"));
         assert!(s.contains("110"));
+    }
+
+    fn sample_report() -> BenchReport {
+        let sc = |mode: &str, copied: u64, secs: f64| BenchScenario {
+            app: "HPCCG".into(),
+            strategy: "coll-dedup".into(),
+            k: 2,
+            copy_mode: mode.into(),
+            ranks: 8,
+            chunk_size: 4096,
+            input_bytes: 1 << 20,
+            dump_seconds: secs,
+            restore_seconds: 0.01,
+            dump_throughput_mib_s: 1.0 / secs,
+            dump_bytes_copied: copied,
+            restore_bytes_copied: 1 << 20,
+            bytes_sent_replication: 1 << 19,
+            bytes_received_replication: 1 << 19,
+            bytes_written_devices: 1 << 20,
+            pool_hits: 7,
+            pool_misses: 9,
+            pool_bytes_reused: 4096,
+            peak_rss_kib: 10_000,
+        };
+        BenchReport {
+            date: "2026-08-06".into(),
+            ranks: 8,
+            iterations: 3,
+            scenarios: vec![sc("staged", 2 << 20, 0.02), sc("zero-copy", 0, 0.01)],
+            comparisons: vec![BenchComparison {
+                strategy: "coll-dedup".into(),
+                k: 2,
+                staged_bytes_copied: 2 << 20,
+                zero_copy_bytes_copied: 0,
+                copy_reduction_percent: 100.0,
+                staged_dump_seconds: 0.02,
+                zero_copy_dump_seconds: 0.01,
+                dump_time_no_worse: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_report_json_round_trips_through_the_validator() {
+        let doc = validate_bench_json(&sample_report().to_json()).expect("valid report");
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str(BENCH_SCHEMA.to_string()))
+        );
+        let Some(Json::Arr(scs)) = doc.get("scenarios") else {
+            panic!("scenarios missing");
+        };
+        assert_eq!(scs.len(), 2);
+        assert_eq!(scs[1].get("dump_bytes_copied"), Some(&Json::Num(0.0)));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{\"schema\": \"other/v0\"}").is_err());
+        // A report whose scenario list is empty is also rejected.
+        let mut r = sample_report();
+        r.scenarios.clear();
+        assert!(validate_bench_json(&r.to_json()).is_err());
+        // Dropping a required field must fail, not pass silently.
+        let json = sample_report().to_json().replace("dump_bytes_copied", "x");
+        assert!(validate_bench_json(&json).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": ["A\n", {"b": -1.5e2}], "c": [true, false, null]}"#).unwrap();
+        let Some(Json::Arr(a)) = v.get("a") else {
+            panic!()
+        };
+        assert_eq!(a[0], Json::Str("A\n".into()));
+        assert_eq!(a[1].get("b"), Some(&Json::Num(-150.0)));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, 2").is_err());
     }
 }

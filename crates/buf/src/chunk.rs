@@ -1,0 +1,263 @@
+//! The [`Chunk`] payload type: a reference-counted immutable byte buffer
+//! that the dump/restore pipeline threads end to end. Zero-copy by
+//! construction — every conversion that *does* memcpy is explicit about it
+//! and records the bytes via [`crate::record_copy`].
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+
+use bytes::Bytes;
+
+/// An immutable, reference-counted payload.
+///
+/// `Chunk` is the unit the hot path moves: a window of the application
+/// buffer, a record body on the exchange wire, a stored replica. Cloning
+/// and [slicing](Chunk::slice) share the backing allocation, so the chunk
+/// a writer slices out of its dump buffer is the *same* allocation the
+/// storage node ends up holding.
+///
+/// Zero-copy constructors: `From<Bytes>`, `From<Vec<u8>>`,
+/// [`Chunk::slice`]. Copying constructors (recorded against the
+/// `bytes_copied` accounting): [`Chunk::copy_from_slice`], `From<&[u8]>`,
+/// `From<&Vec<u8>>`, and `From<Chunk> for Vec<u8>` on the way out.
+#[derive(Clone, Default)]
+pub struct Chunk {
+    data: Bytes,
+}
+
+impl Chunk {
+    /// Empty chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `slice` into a fresh allocation. Recorded as a hot-path copy;
+    /// prefer the zero-copy `From<Vec<u8>>` / `From<Bytes>` conversions.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        crate::record_copy(slice.len());
+        Self {
+            data: Bytes::copy_from_slice(slice),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Zero-copy sub-chunk sharing this chunk's allocation. This is how
+    /// the chunker carves the application buffer: no bytes move.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        Self {
+            data: self.data.slice(range),
+        }
+    }
+
+    /// Borrow the underlying [`Bytes`].
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Unwrap into the underlying [`Bytes`] (zero-copy).
+    pub fn into_bytes(self) -> Bytes {
+        self.data
+    }
+
+    /// Whether `self` and `other` are views into the same backing
+    /// allocation — the invariant the zero-copy tests assert end to end.
+    pub fn shares_allocation_with(&self, other: &Chunk) -> bool {
+        self.data.shares_allocation_with(&other.data)
+    }
+}
+
+impl From<Bytes> for Chunk {
+    /// Zero-copy.
+    fn from(data: Bytes) -> Self {
+        Self { data }
+    }
+}
+
+impl From<Chunk> for Bytes {
+    /// Zero-copy.
+    fn from(c: Chunk) -> Self {
+        c.data
+    }
+}
+
+impl From<Vec<u8>> for Chunk {
+    /// Zero-copy: the vector becomes the backing allocation.
+    fn from(v: Vec<u8>) -> Self {
+        Self {
+            data: Bytes::from(v),
+        }
+    }
+}
+
+impl From<&[u8]> for Chunk {
+    /// Copies (recorded); the borrowed bytes must be duplicated to get an
+    /// owned refcounted buffer.
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<&Vec<u8>> for Chunk {
+    /// Copies (recorded). Pass the `Vec` by value for the zero-copy path.
+    fn from(v: &Vec<u8>) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Chunk {
+    /// Copies (recorded); convenience for array literals in tests and
+    /// examples.
+    fn from(a: &[u8; N]) -> Self {
+        Self::copy_from_slice(a)
+    }
+}
+
+impl From<Chunk> for Vec<u8> {
+    /// Copies (recorded): materialises an owned, uniquely-held vector for
+    /// callers leaving the zero-copy world.
+    fn from(c: Chunk) -> Self {
+        crate::record_copy(c.len());
+        c.data.to_vec()
+    }
+}
+
+impl Deref for Chunk {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Chunk {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Chunk {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Hash for Chunk {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl PartialEq for Chunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Chunk {}
+
+impl PartialEq<[u8]> for Chunk {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Chunk {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Chunk {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data == *other
+    }
+}
+
+impl PartialEq<Bytes> for Chunk {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == *other
+    }
+}
+
+impl PartialEq<Chunk> for Vec<u8> {
+    fn eq(&self, other: &Chunk) -> bool {
+        *self == other.data
+    }
+}
+
+impl PartialEq<Chunk> for [u8] {
+    fn eq(&self, other: &Chunk) -> bool {
+        *self == other.data
+    }
+}
+
+impl fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chunk({} B) ", self.len())?;
+        self.data.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_slice_are_zero_copy() {
+        let v = vec![1u8; 4096];
+        let p = v.as_ptr();
+        let whole = Chunk::from(v);
+        assert_eq!(whole.as_ptr(), p);
+        let part = whole.slice(1024..2048);
+        assert_eq!(part.as_ptr(), unsafe { p.add(1024) });
+        assert!(part.shares_allocation_with(&whole));
+        assert_eq!(part.len(), 1024);
+    }
+
+    #[test]
+    fn copying_conversions_are_recorded() {
+        let before = crate::thread_bytes_copied();
+        let c = Chunk::from(&b"0123456789"[..]);
+        assert_eq!(crate::thread_bytes_copied() - before, 10);
+        let v: Vec<u8> = c.into();
+        assert_eq!(v, b"0123456789");
+        assert_eq!(crate::thread_bytes_copied() - before, 20);
+    }
+
+    #[test]
+    fn zero_copy_conversions_are_not_recorded() {
+        let before = crate::thread_bytes_copied();
+        let c = Chunk::from(vec![9u8; 512]);
+        let b: Bytes = c.clone().into();
+        let back = Chunk::from(b);
+        let _sub = back.slice(..100);
+        assert_eq!(crate::thread_bytes_copied(), before);
+    }
+
+    #[test]
+    fn equality_and_ordering_with_plain_buffers() {
+        let c = Chunk::from(vec![1, 2, 3]);
+        assert_eq!(c, vec![1u8, 2, 3]);
+        assert_eq!(vec![1u8, 2, 3], c);
+        assert_eq!(c, &[1u8, 2, 3][..]);
+        assert_eq!(c, Chunk::copy_from_slice(&[1, 2, 3]));
+        assert_ne!(c, Chunk::new());
+    }
+
+    #[test]
+    fn debug_is_length_prefixed() {
+        let c = Chunk::from(vec![b'a', b'b']);
+        assert_eq!(format!("{c:?}"), "Chunk(2 B) b\"ab\"");
+    }
+}

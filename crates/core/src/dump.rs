@@ -16,13 +16,16 @@
 //! the single sided communication planning strategy".
 
 use bytes::Bytes;
+use replidedup_buf::{record_copy, thread_bytes_copied, Chunk};
 use replidedup_hash::{ChunkHasher, Fingerprint};
 use replidedup_mpi::wire::Wire;
 use replidedup_mpi::{Comm, CommError, Tag};
 use replidedup_storage::{Cluster, DumpId, Manifest, StorageError};
 
-use crate::config::{DumpConfig, Strategy};
-use crate::exchange::{encode_record, parse_records, record_size};
+use crate::config::{CopyMode, DumpConfig, Strategy};
+use crate::exchange::{
+    encode_record, parse_records, parse_records_zc, record_header, record_size, RECORD_HEADER,
+};
 use crate::global::{try_reduce_global_view, GlobalView};
 use crate::local::LocalIndex;
 use crate::offsets::window_plan;
@@ -119,16 +122,21 @@ pub fn dump_output(
     buf: &[u8],
     cfg: &DumpConfig,
 ) -> Result<DumpStats, DumpError> {
-    dump_impl(comm, ctx, buf, cfg)
+    // A borrowed slice cannot enter the zero-copy path: this shim pays one
+    // (recorded) copy into a refcounted `Chunk`. `Replicator::dump` accepts
+    // `impl Into<Chunk>` and avoids it.
+    dump_impl(comm, ctx, &Chunk::from(buf), cfg)
 }
 
 pub(crate) fn dump_impl(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
-    buf: &[u8],
+    data: &Chunk,
     cfg: &DumpConfig,
 ) -> Result<DumpStats, DumpError> {
     cfg.validate()?;
+    let buf: &[u8] = data;
+    let copied_before = thread_bytes_copied();
     let me = comm.rank();
     let n = comm.size();
     let k = cfg.replication.min(n);
@@ -147,7 +155,7 @@ pub(crate) fn dump_impl(
     comm.tracer()
         .counter("dump_chunks_total", stats.chunks_total);
 
-    match dump_pipeline(comm, ctx, buf, cfg, k, &mut stats, &mut storage_err) {
+    match dump_pipeline(comm, ctx, data, cfg, k, &mut stats, &mut storage_err) {
         Ok(()) => {}
         Err(CommError::RankFailed { .. }) => {
             // A peer died mid-collective. The error may have unwound from
@@ -155,7 +163,7 @@ pub(crate) fn dump_impl(
             // through the communication-free degraded commit so this
             // rank's data still reaches stable storage.
             comm.tracer().close_open_spans();
-            degraded_commit(comm, ctx, buf, cfg, &mut stats, &mut storage_err);
+            degraded_commit(comm, ctx, data, cfg, &mut stats, &mut storage_err);
         }
         Err(CommError::DeadlockSuspected { .. }) if !comm.failed_ranks().is_empty() => {
             // A point-to-point step timed out while some rank is known
@@ -164,7 +172,7 @@ pub(crate) fn dump_impl(
             // will never come. Collateral of the failure, not a protocol
             // bug — degrade like a direct RankFailed.
             comm.tracer().close_open_spans();
-            degraded_commit(comm, ctx, buf, cfg, &mut stats, &mut storage_err);
+            degraded_commit(comm, ctx, data, cfg, &mut stats, &mut storage_err);
         }
         Err(e) => {
             // Deadlock suspicion with every rank alive / torn-down world:
@@ -173,6 +181,9 @@ pub(crate) fn dump_impl(
             return Err(DumpError::Comm(e));
         }
     }
+    stats.bytes_copied = thread_bytes_copied() - copied_before;
+    comm.tracer()
+        .counter("alloc_bytes_copied", stats.bytes_copied);
     match storage_err {
         Some(e) => Err(e.into()),
         None => Ok(stats),
@@ -186,12 +197,13 @@ pub(crate) fn dump_impl(
 fn dump_pipeline(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
-    buf: &[u8],
+    data: &Chunk,
     cfg: &DumpConfig,
     k: u32,
     stats: &mut DumpStats,
     storage_err: &mut Option<StorageError>,
 ) -> Result<(), CommError> {
+    let buf: &[u8] = data;
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
@@ -244,7 +256,7 @@ fn dump_pipeline(
                 comm.tracer().gauge_bytes("hmerge_traffic_bytes", traffic);
                 stats.reduction = Some(ReductionStats {
                     view_entries: g.len() as u64,
-                    view_bytes: g.to_bytes().len() as u64,
+                    view_bytes: g.wire_size() as u64,
                     designations: g
                         .entries
                         .iter()
@@ -305,10 +317,11 @@ fn dump_pipeline(
     comm.enter_phase("exchange");
     let cell = record_size(chunk_size);
     let win = comm.try_win_create(wplan.recv_counts[me as usize] as usize * cell)?;
-    let chunk_bytes = |i: u32| {
+    let chunk_range = |i: u32| {
         let start = i as usize * chunk_size;
-        &buf[start..(start + chunk_size).min(buf.len())]
+        start..(start + chunk_size).min(buf.len())
     };
+    let chunk_bytes = |i: u32| &buf[chunk_range(i)];
     let fp_of = |i: u32| match &local {
         Some(idx) => idx.in_order[i as usize],
         // no-dedup records carry no meaningful fingerprint (never hashed).
@@ -319,16 +332,33 @@ fn dump_pipeline(
             continue;
         }
         let target = wplan.partners[me as usize][jm1];
-        let mut payload = Vec::with_capacity(list.len() * cell);
-        for &i in list {
-            encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
+        let base = wplan.send_offsets[me as usize][jm1] as usize * cell;
+        match cfg.copy_mode {
+            CopyMode::ZeroCopy => {
+                // Scatter-gather: one vectored put per record, header from
+                // the stack, payload straight out of the application
+                // buffer. The cell's padding gap is never written (windows
+                // are zero-initialised), so each put moves exactly
+                // header + payload bytes.
+                for (r, &i) in list.iter().enumerate() {
+                    let body = chunk_bytes(i);
+                    let header = record_header(&fp_of(i), body.len(), chunk_size);
+                    stats.bytes_sent_replication += (RECORD_HEADER + body.len()) as u64;
+                    win.try_put_vectored(target, base + r * cell, &[&header, body])?;
+                }
+            }
+            CopyMode::Staged => {
+                // Baseline: stage full padded cells into a per-target
+                // buffer, then put the whole region. `encode_record`
+                // charges the staging memcpy to the copy accounting.
+                let mut payload = Vec::with_capacity(list.len() * cell);
+                for &i in list {
+                    encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
+                }
+                stats.bytes_sent_replication += payload.len() as u64;
+                win.try_put(target, base, &payload)?;
+            }
         }
-        stats.bytes_sent_replication += payload.len() as u64;
-        win.try_put(
-            target,
-            wplan.send_offsets[me as usize][jm1] as usize * cell,
-            &payload,
-        )?;
     }
     win.try_fence(comm)?;
     comm.exit_phase("exchange");
@@ -339,7 +369,11 @@ fn dump_pipeline(
     comm.enter_phase("commit");
     match cfg.strategy {
         Strategy::NoDedup => {
-            let blob = Bytes::copy_from_slice(buf);
+            let blob = match cfg.copy_mode {
+                // Refcount bump: the stored blob IS the application buffer.
+                CopyMode::ZeroCopy => data.as_bytes().clone(),
+                CopyMode::Staged => Chunk::copy_from_slice(buf).into_bytes(),
+            };
             let len = blob.len() as u64;
             record_storage(
                 ctx.cluster
@@ -354,11 +388,15 @@ fn dump_pipeline(
                 .expect("dedup strategies build a local index");
             for &i in &keep_indices {
                 let fp = idx.in_order[i as usize];
-                let data = Bytes::copy_from_slice(chunk_bytes(i));
-                let len = data.len() as u64;
+                let payload = match cfg.copy_mode {
+                    // Zero-copy slice of the application buffer.
+                    CopyMode::ZeroCopy => data.slice(chunk_range(i)).into_bytes(),
+                    CopyMode::Staged => Chunk::copy_from_slice(chunk_bytes(i)).into_bytes(),
+                };
+                let len = payload.len() as u64;
                 record_storage(
                     ctx.cluster
-                        .put_chunk(node, fp, data)
+                        .put_chunk(node, fp, payload)
                         .map(|new| if new { len } else { 0 }),
                     &mut stats.bytes_written_local,
                 );
@@ -376,61 +414,89 @@ fn dump_pipeline(
             );
             // Replicate the manifest to the same partners as the data so a
             // failed node's recipe survives (restore-path extension; the
-            // paper leaves restart implicit).
+            // paper leaves restart implicit). Encode the fingerprint list
+            // once and fan the same frozen buffer out to every partner —
+            // re-encoding per partner copied the whole list K-1 times.
+            let encoded = manifest.to_bytes();
             for &target in &wplan.partners[me as usize] {
-                comm.try_send_val(target, TAG_MANIFEST, &manifest)?;
+                comm.try_send_bytes(target, TAG_MANIFEST, encoded.clone())?;
             }
         }
     }
 
     // ---- Commit: received replicas --------------------------------------
     let p = positions[me as usize] as usize;
-    win.with_local(|window| {
-        let mut offset_records = 0u64;
-        for d in 1..k as usize {
-            let sender = shuffle[(p + n as usize - d) % n as usize];
-            let count = send_load[sender as usize][d] as usize;
-            if count == 0 {
-                continue;
+    // Zero-copy mode steals the window's backing allocation after the
+    // closing fence: every record parsed below is a sub-slice of it all the
+    // way into storage. Staged mode borrows and lets `parse_records` copy
+    // each payload out (charged to the copy accounting).
+    let stolen: Option<Bytes> = match cfg.copy_mode {
+        CopyMode::ZeroCopy => Some(win.take_local()),
+        CopyMode::Staged => None,
+    };
+    let mut offset_records = 0u64;
+    for d in 1..k as usize {
+        let sender = shuffle[(p + n as usize - d) % n as usize];
+        let count = send_load[sender as usize][d] as usize;
+        if count == 0 {
+            continue;
+        }
+        let start = offset_records as usize * cell;
+        let records: Vec<(Fingerprint, Chunk)> = match &stolen {
+            Some(window) => {
+                let region = window.slice(start..start + count * cell);
+                parse_records_zc(&region, chunk_size, count)
             }
-            let start = offset_records as usize * cell;
-            let region = &window[start..start + count * cell];
-            stats.bytes_received_replication += region.len() as u64;
-            stats.records_received += count as u64;
-            let records = parse_records(region, chunk_size, count).unwrap_or_else(|e| {
-                panic!("rank {me}: corrupt exchange region from {sender}: {e}")
-            });
-            match cfg.strategy {
-                Strategy::NoDedup => {
-                    // Region payloads concatenate to the sender's raw buffer.
-                    let mut blob = Vec::new();
-                    for (_, data) in &records {
-                        blob.extend_from_slice(data);
-                    }
-                    let len = blob.len() as u64;
+            None => win.with_local(|window| {
+                parse_records(&window[start..start + count * cell], chunk_size, count)
+                    .map(|rs| rs.into_iter().map(|(fp, d)| (fp, Chunk::from(d))).collect())
+            }),
+        }
+        .unwrap_or_else(|e| panic!("rank {me}: corrupt exchange region from {sender}: {e}"));
+        stats.records_received += count as u64;
+        stats.bytes_received_replication += match cfg.copy_mode {
+            // Scatter-gather puts moved exactly header + payload per record.
+            CopyMode::ZeroCopy => records
+                .iter()
+                .map(|(_, c)| (RECORD_HEADER + c.len()) as u64)
+                .sum::<u64>(),
+            // Staged puts moved whole padded cells.
+            CopyMode::Staged => (count * cell) as u64,
+        };
+        match cfg.strategy {
+            Strategy::NoDedup => {
+                // Region payloads concatenate to the sender's raw buffer;
+                // records interleave with headers in the window, so one
+                // real gather copy is unavoidable even on the zero-copy
+                // path.
+                let mut blob = Vec::with_capacity(records.iter().map(|(_, c)| c.len()).sum());
+                for (_, data) in &records {
+                    blob.extend_from_slice(data);
+                }
+                record_copy(blob.len());
+                let len = blob.len() as u64;
+                record_storage(
+                    ctx.cluster
+                        .put_blob(node, sender, ctx.dump_id, Bytes::from(blob))
+                        .map(|()| len),
+                    &mut stats.bytes_written_local,
+                );
+            }
+            Strategy::LocalDedup | Strategy::CollDedup => {
+                for (fp, data) in records {
+                    let len = data.len() as u64;
                     record_storage(
                         ctx.cluster
-                            .put_blob(node, sender, ctx.dump_id, Bytes::from(blob))
-                            .map(|()| len),
+                            .put_chunk(node, fp, data.into_bytes())
+                            .map(|new| if new { len } else { 0 }),
                         &mut stats.bytes_written_local,
                     );
                 }
-                Strategy::LocalDedup | Strategy::CollDedup => {
-                    for (fp, data) in records {
-                        let len = data.len() as u64;
-                        record_storage(
-                            ctx.cluster
-                                .put_chunk(node, fp, data)
-                                .map(|new| if new { len } else { 0 }),
-                            &mut stats.bytes_written_local,
-                        );
-                    }
-                }
             }
-            offset_records += count as u64;
         }
-        debug_assert_eq!(offset_records, wplan.recv_counts[me as usize]);
-    });
+        offset_records += count as u64;
+    }
+    debug_assert_eq!(offset_records, wplan.recv_counts[me as usize]);
 
     // Receive partner manifests (dedup strategies).
     if cfg.strategy != Strategy::NoDedup {
@@ -464,11 +530,12 @@ fn dump_pipeline(
 fn degraded_commit(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
-    buf: &[u8],
+    data: &Chunk,
     cfg: &DumpConfig,
     stats: &mut DumpStats,
     storage_err: &mut Option<StorageError>,
 ) {
+    let buf: &[u8] = data;
     let me = comm.rank();
     let node = ctx.cluster.node_of(me);
     let chunk_size = cfg.chunk_size;
@@ -481,7 +548,8 @@ fn degraded_commit(
     };
     match cfg.strategy {
         Strategy::NoDedup => {
-            let blob = Bytes::copy_from_slice(buf);
+            // Refcount bump: the degraded blob is still the app buffer.
+            let blob = data.as_bytes().clone();
             let len = blob.len() as u64;
             record_storage(
                 ctx.cluster
@@ -500,11 +568,11 @@ fn degraded_commit(
             stats.bytes_locally_unique = idx.unique_bytes(buf.len());
             stats.chunks_kept = idx.unique_count() as u64;
             for (fp, c) in &idx.unique {
-                let data = Bytes::copy_from_slice(&buf[idx.chunk_range(c.first_index)]);
-                let len = data.len() as u64;
+                let payload = data.slice(idx.chunk_range(c.first_index)).into_bytes();
+                let len = payload.len() as u64;
                 record_storage(
                     ctx.cluster
-                        .put_chunk(node, *fp, data)
+                        .put_chunk(node, *fp, payload)
                         .map(|new| if new { len } else { 0 }),
                     &mut stats.bytes_written_local,
                 );

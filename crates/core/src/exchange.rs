@@ -8,6 +8,7 @@
 //! anyway for content-addressed storage on the receiver.
 
 use bytes::Bytes;
+use replidedup_buf::Chunk;
 use replidedup_hash::Fingerprint;
 
 /// Bytes of record header: fingerprint + little-endian `u32` payload length.
@@ -19,6 +20,10 @@ pub const fn record_size(chunk_size: usize) -> usize {
 }
 
 /// Append one record to `out`. `data` must fit in `chunk_size`.
+///
+/// This stages a full copy of the payload, charged to the copy accounting;
+/// the zero-copy exchange uses [`record_header`] plus a vectored put
+/// instead.
 pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_size: usize) {
     assert!(
         data.len() <= chunk_size,
@@ -28,8 +33,25 @@ pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_siz
     out.extend_from_slice(fp.as_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out.extend_from_slice(data);
+    replidedup_buf::record_copy(data.len());
     // Pad to the fixed cell size.
     out.resize(out.len() + (chunk_size - data.len()), 0);
+}
+
+/// The [`RECORD_HEADER`]-byte header of a record whose payload is `len`
+/// bytes, as a stack array. The zero-copy exchange sends `[header, chunk]`
+/// as one vectored RMA put — the chunk's bytes never leave the application
+/// buffer on the sender side, and the cell's padding stays untouched
+/// (windows are zero-initialised, so the gap is already zero).
+pub fn record_header(fp: &Fingerprint, len: usize, chunk_size: usize) -> [u8; RECORD_HEADER] {
+    assert!(
+        len <= chunk_size,
+        "chunk of {len} exceeds chunk size {chunk_size}"
+    );
+    let mut header = [0u8; RECORD_HEADER];
+    header[..Fingerprint::SIZE].copy_from_slice(fp.as_bytes());
+    header[Fingerprint::SIZE..].copy_from_slice(&(len as u32).to_le_bytes());
+    header
 }
 
 /// Record parse failure.
@@ -62,7 +84,9 @@ impl std::fmt::Display for RecordError {
 
 impl std::error::Error for RecordError {}
 
-/// Parse exactly `count` records from the front of `buf`.
+/// Parse exactly `count` records from the front of `buf`, copying every
+/// payload into a fresh allocation (charged to the copy accounting). The
+/// zero-copy commit path uses [`parse_records_zc`] instead.
 pub fn parse_records(
     buf: &[u8],
     chunk_size: usize,
@@ -86,6 +110,40 @@ pub fn parse_records(
             return Err(RecordError::BadLength { at: i, len });
         }
         let payload = Bytes::copy_from_slice(&record[RECORD_HEADER..RECORD_HEADER + len as usize]);
+        replidedup_buf::record_copy(payload.len());
+        out.push((fp, payload));
+    }
+    Ok(out)
+}
+
+/// Parse exactly `count` records from the front of `buf` *without copying
+/// any payload bytes*: each returned [`Chunk`] is a zero-copy sub-slice of
+/// `buf`'s allocation. This is how the commit phase lifts received records
+/// straight out of the (stolen) exchange window into storage.
+pub fn parse_records_zc(
+    buf: &Bytes,
+    chunk_size: usize,
+    count: usize,
+) -> Result<Vec<(Fingerprint, Chunk)>, RecordError> {
+    let cell = record_size(chunk_size);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = i * cell;
+        let Some(record) = buf.get(start..start + cell) else {
+            return Err(RecordError::Truncated { at: i });
+        };
+        let fp =
+            Fingerprint::from_bytes(record[..Fingerprint::SIZE].try_into().expect("fixed slice"));
+        let len = u32::from_le_bytes(
+            record[Fingerprint::SIZE..RECORD_HEADER]
+                .try_into()
+                .expect("fixed slice"),
+        );
+        if len as usize > chunk_size {
+            return Err(RecordError::BadLength { at: i, len });
+        }
+        let payload =
+            Chunk::from(buf.slice(start + RECORD_HEADER..start + RECORD_HEADER + len as usize));
         out.push((fp, payload));
     }
     Ok(out)
@@ -149,6 +207,62 @@ mod tests {
     fn oversized_chunk_panics() {
         let mut buf = Vec::new();
         encode_record(&mut buf, &fp(1), &[1; 9], 8);
+    }
+
+    #[test]
+    fn zc_parse_shares_the_region_allocation() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[0xAA; 8], 8);
+        encode_record(&mut buf, &fp(2), &[0xBB; 3], 8);
+        let region = Bytes::from(buf);
+        let records = parse_records_zc(&region, 8, 2).unwrap();
+        assert_eq!(records[0].0, fp(1));
+        assert_eq!(*records[0].1, [0xAA; 8]);
+        assert_eq!(*records[1].1, [0xBB; 3]);
+        for (_, payload) in &records {
+            assert!(
+                payload.as_bytes().shares_allocation_with(&region),
+                "zero-copy parse must slice, not copy"
+            );
+        }
+    }
+
+    #[test]
+    fn zc_parse_matches_copying_parse() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            encode_record(&mut buf, &fp(i), &vec![i as u8; (i as usize) % 9], 8);
+        }
+        let copied = parse_records(&buf, 8, 5).unwrap();
+        let zc = parse_records_zc(&Bytes::from(buf), 8, 5).unwrap();
+        assert_eq!(copied.len(), zc.len());
+        for ((fa, da), (fb, db)) in copied.iter().zip(&zc) {
+            assert_eq!(fa, fb);
+            assert_eq!(&da[..], &db[..]);
+        }
+    }
+
+    #[test]
+    fn zc_parse_errors_match() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(1), &[1; 8], 8);
+        let short = Bytes::from(buf.clone());
+        assert_eq!(
+            parse_records_zc(&short, 8, 2),
+            Err(RecordError::Truncated { at: 1 })
+        );
+        buf[Fingerprint::SIZE] = 0xFF;
+        assert!(matches!(
+            parse_records_zc(&Bytes::from(buf), 8, 1),
+            Err(RecordError::BadLength { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn record_header_matches_encoded_record_prefix() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &fp(7), &[9; 5], 8);
+        assert_eq!(record_header(&fp(7), 5, 8), buf[..RECORD_HEADER]);
     }
 
     #[test]

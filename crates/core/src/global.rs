@@ -160,6 +160,19 @@ impl GlobalView {
         GlobalView { entries: merged }
     }
 
+    /// Exact size in bytes of this view's [`Wire`] encoding, computed by
+    /// arithmetic instead of encoding the view a second time just to
+    /// measure it (the reduction already paid for the real encodes).
+    pub fn wire_size(&self) -> usize {
+        // Vec length prefix + per entry: fingerprint, u64 freq, ranks
+        // length prefix, 4 bytes per u32 rank.
+        8 + self
+            .entries
+            .iter()
+            .map(|e| Fingerprint::SIZE + 8 + 8 + 4 * e.ranks.len())
+            .sum::<usize>()
+    }
+
     /// Per-rank designation counts of this view (diagnostics / tests).
     pub fn designation_loads(&self) -> HashMap<Rank, u32> {
         let mut loads: HashMap<Rank, u32> = HashMap::new();
@@ -331,6 +344,18 @@ mod tests {
         let m = GlobalView::merge(a, b, 3, usize::MAX);
         let bytes = m.to_bytes();
         assert_eq!(GlobalView::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn wire_size_matches_actual_encoding() {
+        for view in [
+            GlobalView::default(),
+            leaf(0, &[1, 2, 3]),
+            GlobalView::merge(leaf(0, &[1, 2, 3]), leaf(1, &[2, 3, 4]), 3, usize::MAX),
+            GlobalView::merge(leaf(0, &[7]), leaf(1, &[7]), 1, usize::MAX),
+        ] {
+            assert_eq!(view.wire_size(), view.to_bytes().len());
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod session;
 pub mod shuffle;
 pub mod stats;
 
-pub use config::{ConfigError, DumpConfig, Strategy};
+pub use config::{ConfigError, CopyMode, DumpConfig, Strategy};
 #[allow(deprecated)]
 pub use dump::dump_output;
 pub use dump::{DumpContext, DumpError, DUMP_PHASES};

@@ -40,9 +40,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use bytes::Bytes;
 use replidedup_hash::{Fingerprint, FpHashSet};
-use replidedup_mpi::wire::{Wire, WireResult};
+use replidedup_mpi::wire::{FrameReader, FrameWriter, Wire, WireResult};
 use replidedup_mpi::{Comm, CommError, Tag};
 use replidedup_storage::{Cluster, Manifest, NodeId, ScrubReport, StorageError};
 
@@ -459,11 +458,15 @@ pub(crate) fn repair_impl(
             }
         }
         for (dst, fps) in &chunk_out {
-            let mut batch: Vec<(Fingerprint, Vec<u8>)> = Vec::with_capacity(fps.len());
+            // Frame the batch: fingerprint headers interleaved with the
+            // stored payloads, which ride along by reference — the stored
+            // chunk is never copied into a staging buffer.
+            let mut batch = FrameWriter::new();
             for fp in fps {
-                batch.push((*fp, cluster.get_chunk(node, fp)?.to_vec()));
+                batch.put(fp);
+                batch.attach(cluster.get_chunk(node, fp)?);
             }
-            comm.try_send_val(*dst, TAG_REPAIR_CHUNKS, &batch)?;
+            comm.try_send_frame(*dst, TAG_REPAIR_CHUNKS, batch.finish())?;
         }
         for (dst, owners) in &manifest_out {
             let mut batch: Vec<Manifest> = Vec::with_capacity(owners.len());
@@ -473,14 +476,12 @@ pub(crate) fn repair_impl(
             comm.try_send_val(*dst, TAG_REPAIR_MANIFEST, &batch)?;
         }
         for (dst, owners) in &blob_out {
-            let mut batch: Vec<(u32, Vec<u8>)> = Vec::with_capacity(owners.len());
+            let mut batch = FrameWriter::new();
             for owner in owners {
-                batch.push((
-                    *owner,
-                    cluster.get_blob(node, *owner, ctx.dump_id)?.to_vec(),
-                ));
+                batch.put(owner);
+                batch.attach(cluster.get_blob(node, *owner, ctx.dump_id)?);
             }
-            comm.try_send_val(*dst, TAG_REPAIR_BLOB, &batch)?;
+            comm.try_send_frame(*dst, TAG_REPAIR_BLOB, batch.finish())?;
         }
 
         // Receives: the plan tells me exactly which sources owe me what.
@@ -495,10 +496,16 @@ pub(crate) fn repair_impl(
             srcs
         };
         for src in srcs_for(&plan.chunk_moves) {
-            let batch: Vec<(Fingerprint, Vec<u8>)> = comm.try_recv_val(src, TAG_REPAIR_CHUNKS)?;
-            for (fp, data) in batch {
+            let mut batch = FrameReader::new(comm.try_recv_frame(src, TAG_REPAIR_CHUNKS)?);
+            while batch.remaining() > 0 {
+                let fp: Fingerprint = batch
+                    .get()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt repair batch from {src}: {e}"));
+                let data = batch
+                    .take_payload()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt repair batch from {src}: {e}"));
                 bytes += data.len() as u64;
-                if cluster.put_chunk(node, fp, Bytes::from(data))? {
+                if cluster.put_chunk(node, fp, data.into_bytes())? {
                     healed += 1;
                 }
             }
@@ -521,10 +528,16 @@ pub(crate) fn repair_impl(
             }
         }
         for src in owner_srcs(&plan.blob_moves) {
-            let batch: Vec<(u32, Vec<u8>)> = comm.try_recv_val(src, TAG_REPAIR_BLOB)?;
-            for (owner, data) in batch {
+            let mut batch = FrameReader::new(comm.try_recv_frame(src, TAG_REPAIR_BLOB)?);
+            while batch.remaining() > 0 {
+                let owner: u32 = batch
+                    .get()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt blob batch from {src}: {e}"));
+                let data = batch
+                    .take_payload()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt blob batch from {src}: {e}"));
                 bytes += data.len() as u64;
-                cluster.put_blob(node, owner, ctx.dump_id, Bytes::from(data))?;
+                cluster.put_blob(node, owner, ctx.dump_id, data.into_bytes())?;
                 blobs_remat += 1;
             }
         }

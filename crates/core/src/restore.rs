@@ -24,7 +24,9 @@
 //! can never deadlock the others.
 
 use bytes::Bytes;
+use replidedup_buf::{global_pool, record_copy, Chunk};
 use replidedup_hash::{Fingerprint, FpHashSet};
+use replidedup_mpi::wire::{FrameReader, FrameWriter};
 use replidedup_mpi::{Comm, CommError, Tag};
 use replidedup_storage::{DumpId, StorageError};
 
@@ -119,7 +121,9 @@ pub fn restore_output(
     ctx: &DumpContext<'_>,
     strategy: Strategy,
 ) -> Result<Vec<u8>, RestoreError> {
-    restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore())
+    // `Vec::from(Chunk)` is one recorded copy; `Replicator::restore`
+    // returns the `Chunk` itself.
+    restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore()).map(Vec::from)
 }
 
 pub(crate) fn restore_impl(
@@ -127,7 +131,7 @@ pub(crate) fn restore_impl(
     ctx: &DumpContext<'_>,
     strategy: Strategy,
     policy: &RetryPolicy,
-) -> Result<Vec<u8>, RestoreError> {
+) -> Result<Chunk, RestoreError> {
     match strategy {
         Strategy::NoDedup => restore_blob(comm, ctx, policy),
         Strategy::LocalDedup | Strategy::CollDedup => restore_chunks(comm, ctx, policy),
@@ -223,7 +227,7 @@ fn restore_blob(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
     policy: &RetryPolicy,
-) -> Result<Vec<u8>, RestoreError> {
+) -> Result<Chunk, RestoreError> {
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
@@ -243,17 +247,20 @@ fn restore_blob(
     let holders: Vec<Vec<u32>> = info.into_iter().map(|(_, h, _)| h).collect();
     let (served, server_of) = assign_servers(n, &needs, &holders);
     for &r in &served[me as usize] {
+        // The served blob travels as the stored allocation itself — no
+        // length-prefixed re-encode, no copy.
         let blob = fetch_with_retry(comm, policy, || ctx.cluster.get_blob(node, r, ctx.dump_id))?;
-        comm.try_send_val(r, TAG_RESTORE_BLOB, &blob.to_vec())?;
+        comm.try_send_bytes(r, TAG_RESTORE_BLOB, blob)?;
     }
     let result = match local {
-        Some(b) => Ok(b.to_vec()),
+        Some(b) => Ok(Chunk::from(b)),
         None => match server_of[me as usize] {
             Some(s) => {
-                let data: Vec<u8> = comm.try_recv_val(s, TAG_RESTORE_BLOB)?;
-                // Re-seed the local device so this node serves next time.
+                let data = comm.try_recv_chunk(s, TAG_RESTORE_BLOB)?;
+                // Re-seed the local device so this node serves next time
+                // (refcount bump — the stored blob is the received one).
                 ctx.cluster
-                    .put_blob(node, me, ctx.dump_id, Bytes::from(data.clone()))
+                    .put_blob(node, me, ctx.dump_id, data.as_bytes().clone())
                     .ok();
                 Ok(data)
             }
@@ -273,7 +280,7 @@ fn restore_chunks(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
     policy: &RetryPolicy,
-) -> Result<Vec<u8>, RestoreError> {
+) -> Result<Chunk, RestoreError> {
     let me = comm.rank();
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
@@ -346,20 +353,25 @@ fn restore_chunks(
         (0..n).find(|&s| all_have[s as usize][i])
     };
 
-    // Serve: group my outgoing chunks per requester into one message.
+    // Serve: group my outgoing chunks per requester into one scatter-gather
+    // frame — fingerprints in the header segments, chunk bodies attached as
+    // zero-copy slices of the store's own allocations.
     for (r, wanted) in all_missing.iter().enumerate() {
         if r as u32 == me || wanted.is_empty() {
             continue;
         }
-        let mut batch: Vec<(Fingerprint, Vec<u8>)> = Vec::new();
+        let mut batch = FrameWriter::new();
+        let mut batched = 0usize;
         for fp in wanted {
             if server_of_fp(fp) == Some(me) {
                 let data = fetch_with_retry(comm, policy, || ctx.cluster.get_chunk(node, fp))?;
-                batch.push((*fp, data.to_vec()));
+                batch.put(fp);
+                batch.attach(data);
+                batched += 1;
             }
         }
-        if !batch.is_empty() {
-            comm.try_send_val(r as u32, TAG_RESTORE_CHUNKS, &batch)?;
+        if batched > 0 {
+            comm.try_send_frame(r as u32, TAG_RESTORE_CHUNKS, batch.finish())?;
         }
     }
 
@@ -376,10 +388,17 @@ fn restore_chunks(
     expected_servers.sort_unstable();
     expected_servers.dedup();
     for s in expected_servers {
-        let batch: Vec<(Fingerprint, Vec<u8>)> = comm.try_recv_val(s, TAG_RESTORE_CHUNKS)?;
-        for (fp, data) in batch {
-            // Write back: restores the failed node's share of the data.
-            ctx.cluster.put_chunk(node, fp, Bytes::from(data)).ok();
+        let mut batch = FrameReader::new(comm.try_recv_frame(s, TAG_RESTORE_CHUNKS)?);
+        while batch.remaining() > 0 {
+            let fp: Fingerprint = batch
+                .get()
+                .unwrap_or_else(|e| panic!("rank {me}: corrupt chunk batch from {s}: {e}"));
+            let data = batch
+                .take_payload()
+                .unwrap_or_else(|e| panic!("rank {me}: corrupt chunk batch from {s}: {e}"));
+            // Write back: restores the failed node's share of the data
+            // (zero-copy — the stored chunk is a slice of the frame).
+            ctx.cluster.put_chunk(node, fp, data.into_bytes()).ok();
         }
     }
 
@@ -400,7 +419,12 @@ fn restore_chunks(
         Err(RestoreError::ChunkLost(fp))
     } else {
         let m = manifest.expect("checked above");
-        let mut buf = Vec::with_capacity(m.total_len as usize);
+        // Pool-recycled reassembly buffer; the gather below is the one
+        // unavoidable copy of a chunked restore (scattered chunks into a
+        // contiguous buffer), so it is charged to the copy accounting. The
+        // filled buffer freezes into the returned `Chunk` without another
+        // copy.
+        let mut buf = global_pool().take(m.total_len as usize);
         let mut err = None;
         for (i, fp) in m.chunks.iter().enumerate() {
             // Verified reassemble: every chunk is re-hashed before use, so
@@ -409,6 +433,7 @@ fn restore_chunks(
                 Ok(data) => {
                     debug_assert_eq!(data.len(), m.chunk_len(i), "chunk {i} length mismatch");
                     buf.extend_from_slice(&data);
+                    record_copy(data.len());
                 }
                 Err(e) => {
                     err = Some(e);
@@ -418,7 +443,7 @@ fn restore_chunks(
         }
         match err {
             Some(e) => Err(e),
-            None => Ok(buf),
+            None => Ok(Chunk::from(buf)),
         }
     };
     comm.try_barrier()?;

@@ -10,6 +10,7 @@
 //! through one handle. Instrumentation, validation and future pipelined
 //! execution all hang off the session instead of being re-plumbed per call.
 
+use replidedup_buf::Chunk;
 use replidedup_hash::{ChunkHasher, Sha1ChunkHasher};
 use replidedup_mpi::{Comm, CommError};
 use replidedup_storage::{Cluster, DumpId, ScrubReport};
@@ -219,7 +220,8 @@ impl<'a> ReplicatorBuilder<'a> {
 ///     .unwrap();
 /// let out = World::run(4, |comm| {
 ///     let buf = vec![comm.rank() as u8; 256];
-///     repl.dump(comm, 1, &buf).unwrap();
+///     // Passing the Vec by value enters the zero-copy path.
+///     repl.dump(comm, 1, buf.clone()).unwrap();
 ///     assert_eq!(repl.restore(comm, 1).unwrap(), buf);
 /// });
 /// ```
@@ -276,13 +278,19 @@ impl<'a> Replicator<'a> {
         }
     }
 
-    /// Collective `DUMP_OUTPUT(buffer, K)`: dump `buf` as generation
+    /// Collective `DUMP_OUTPUT(buffer, K)`: dump `data` as generation
     /// `dump_id`. Must be called by every rank of the world.
+    ///
+    /// Accepts anything convertible to a [`Chunk`]: a `Vec<u8>`, a
+    /// [`bytes::Bytes`] or an existing [`Chunk`] enters the zero-copy hot
+    /// path (the dumped chunks are slices of the buffer you pass); a
+    /// borrowed `&[u8]` / `&Vec<u8>` still works but pays one recorded
+    /// copy at the boundary.
     pub fn dump(
         &self,
         comm: &mut Comm,
         dump_id: DumpId,
-        buf: &[u8],
+        data: impl Into<Chunk>,
     ) -> Result<DumpStats, ReplError> {
         self.apply_tracing(comm);
         let ctx = DumpContext {
@@ -290,12 +298,15 @@ impl<'a> Replicator<'a> {
             hasher: self.hasher,
             dump_id,
         };
-        dump_impl(comm, &ctx, buf, &self.cfg).map_err(ReplError::from)
+        dump_impl(comm, &ctx, &data.into(), &self.cfg).map_err(ReplError::from)
     }
 
     /// Collective restore of this rank's buffer from generation `dump_id`.
     /// Must be called by every rank of the world.
-    pub fn restore(&self, comm: &mut Comm, dump_id: DumpId) -> Result<Vec<u8>, ReplError> {
+    ///
+    /// Returns the reassembled buffer as a [`Chunk`]; callers that need a
+    /// `Vec<u8>` can use `Vec::from(chunk)` (one recorded copy).
+    pub fn restore(&self, comm: &mut Comm, dump_id: DumpId) -> Result<Chunk, ReplError> {
         self.apply_tracing(comm);
         let ctx = DumpContext {
             cluster: self.cluster,

@@ -59,6 +59,11 @@ pub struct DumpStats {
     /// Bytes physically written to the local device by this rank (own data
     /// plus received replicas; content-address hits write nothing).
     pub bytes_written_local: u64,
+    /// Payload bytes memcpy'd between buffers on this rank during the dump
+    /// (the allocator copy accounting; 0 on the zero-copy path except for
+    /// unavoidable gathers). RMA window writes — the modelled network
+    /// transfer — are not counted.
+    pub bytes_copied: u64,
     /// Reduction statistics (`Some` only for coll-dedup).
     pub reduction: Option<ReductionStats>,
     /// The dump completed in degraded mode: one or more ranks died
@@ -182,6 +187,11 @@ impl WorldDumpStats {
     /// Maximum bytes hashed by any rank.
     pub fn max_hashed_bytes(&self) -> u64 {
         self.ranks.iter().map(|r| r.bytes_hashed).max().unwrap_or(0)
+    }
+
+    /// Total payload bytes memcpy'd across all ranks (copy accounting).
+    pub fn total_copied_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_copied).sum()
     }
 }
 

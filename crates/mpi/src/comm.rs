@@ -26,7 +26,7 @@ use crate::fault::{
 };
 use crate::stats::{RankCounters, TrafficReport, Transport};
 use crate::window::WinBuf;
-use crate::wire::Wire;
+use crate::wire::{Chunk, Frame, Wire};
 
 /// Rank index within a world (MPI `comm_rank`).
 pub type Rank = u32;
@@ -43,12 +43,14 @@ pub(crate) const INTERNAL_TAG: Tag = 1 << 63;
 /// Never stashed in the unexpected-message queue, never user-visible.
 pub(crate) const DEATH_TAG: Tag = INTERNAL_TAG | (1 << 62);
 
-/// A matched point-to-point message.
+/// A matched point-to-point message. The payload is a scatter-gather
+/// [`Frame`]: bulk segments stay zero-copy views of the sender's
+/// allocations all the way into the receiver's hands.
 #[derive(Debug, Clone)]
 pub(crate) struct Message {
     pub src: Rank,
     pub tag: Tag,
-    pub payload: Bytes,
+    pub payload: Frame,
 }
 
 /// Out-of-band control messages (RMA window registration). Real MPI also
@@ -427,7 +429,7 @@ pub struct Comm {
     ctrl_senders: Arc<Vec<Sender<CtrlMsg>>>,
     ctrl_receiver: Receiver<CtrlMsg>,
     /// Unexpected-message queue: messages that arrived before their receive.
-    pending: HashMap<(Rank, Tag), VecDeque<Bytes>>,
+    pending: HashMap<(Rank, Tag), VecDeque<Frame>>,
     pending_ctrl: HashMap<(Rank, u64), Arc<WinBuf>>,
     counters: Arc<Vec<RankCounters>>,
     /// Collective sequence number; SPMD programs call collectives in the
@@ -622,7 +624,7 @@ impl Comm {
             let _ = self.data_senders[dst as usize].send(Message {
                 src: rank,
                 tag: DEATH_TAG,
-                payload: Bytes::new(),
+                payload: Frame::new(),
             });
             let _ = self.ctrl_senders[dst as usize].send(CtrlMsg::Dead { src: rank });
         }
@@ -774,20 +776,34 @@ impl Comm {
 
     // ---- point-to-point ----
 
-    /// Send raw bytes to `dst` with `tag`.
+    /// Send raw borrowed bytes to `dst` with `tag`. The borrowed slice must
+    /// be copied into an owned buffer, which is exactly the per-hop memcpy
+    /// the zero-copy path removes — hence the deprecation.
     ///
     /// # Panics
     /// If `tag` uses the reserved internal bit, `dst` is out of range, or
     /// the send fails (dead peer / torn-down world).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `send_chunk` (zero-copy) or `send_bytes` instead; \
+                this method copies the payload"
+    )]
     pub fn send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
+        #[allow(deprecated)]
         self.try_send(dst, tag, payload)
             .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    /// Fallible [`Comm::send`]: a send to a crashed rank fails fast with
-    /// [`CommError::RankFailed`] instead of silently queueing.
+    /// Fallible deprecated [`Comm::send`]: a send to a crashed rank fails
+    /// fast with [`CommError::RankFailed`] instead of silently queueing.
+    /// Copies the payload (recorded against the copy accounting).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `try_send_chunk` (zero-copy) or `try_send_bytes` instead; \
+                this method copies the payload"
+    )]
     pub fn try_send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) -> Result<(), CommError> {
-        self.try_send_bytes(dst, tag, Bytes::copy_from_slice(payload))
+        self.try_send_chunk(dst, tag, Chunk::from(payload))
     }
 
     /// Send an owned buffer without copying.
@@ -798,12 +814,36 @@ impl Comm {
 
     /// Fallible [`Comm::send_bytes`].
     pub fn try_send_bytes(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), CommError> {
+        self.try_send_frame(dst, tag, Frame::single(payload))
+    }
+
+    /// Send a [`Chunk`] without copying: the receiver's
+    /// [`Comm::recv_chunk`] observes the very same allocation.
+    pub fn send_chunk(&mut self, dst: Rank, tag: Tag, payload: Chunk) {
+        self.try_send_chunk(dst, tag, payload)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Comm::send_chunk`].
+    pub fn try_send_chunk(&mut self, dst: Rank, tag: Tag, payload: Chunk) -> Result<(), CommError> {
+        self.try_send_bytes(dst, tag, payload.into_bytes())
+    }
+
+    /// Send a scatter-gather [`Frame`]: header segments and attached
+    /// payloads travel as-is, with no coalescing memcpy on either side.
+    pub fn send_frame(&mut self, dst: Rank, tag: Tag, frame: Frame) {
+        self.try_send_frame(dst, tag, frame)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Comm::send_frame`].
+    pub fn try_send_frame(&mut self, dst: Rank, tag: Tag, frame: Frame) -> Result<(), CommError> {
         assert_eq!(
             tag & INTERNAL_TAG,
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
-        self.try_send_raw(dst, tag, payload, Transport::PointToPoint)
+        self.try_send_frame_raw(dst, tag, frame, Transport::PointToPoint)
     }
 
     /// Encode and send a typed value.
@@ -828,6 +868,16 @@ impl Comm {
         payload: Bytes,
         transport: Transport,
     ) -> Result<(), CommError> {
+        self.try_send_frame_raw(dst, tag, Frame::single(payload), transport)
+    }
+
+    pub(crate) fn try_send_frame_raw(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        payload: Frame,
+        transport: Transport,
+    ) -> Result<(), CommError> {
         self.maybe_inject_msg();
         if let Some(rt) = &self.fault_rt {
             if rt.is_dead(dst) {
@@ -845,7 +895,10 @@ impl Comm {
             .map_err(|_| CommError::WorldTornDown { rank: self.rank })
     }
 
-    /// Blocking matched receive from `(src, tag)`.
+    /// Blocking matched receive from `(src, tag)`, flattened to contiguous
+    /// [`Bytes`]. Zero-copy when the sender's frame had a single segment
+    /// (every `send_bytes`/`send_chunk`); a multi-segment frame is
+    /// coalesced here (recorded) — use [`Comm::recv_frame`] to avoid that.
     ///
     /// # Panics
     /// On reserved tags and on any [`CommError`] (dead source, deadlock
@@ -858,12 +911,37 @@ impl Comm {
     /// is (or dies while we wait) a crashed rank, and
     /// [`CommError::DeadlockSuspected`] instead of panicking on timeout.
     pub fn try_recv(&mut self, src: Rank, tag: Tag) -> Result<Bytes, CommError> {
+        Ok(self.try_recv_frame(src, tag)?.gather())
+    }
+
+    /// Blocking matched receive as a zero-copy [`Chunk`]: the chunk shares
+    /// the sender's allocation when it was sent via [`Comm::send_chunk`] /
+    /// [`Comm::send_bytes`].
+    pub fn recv_chunk(&mut self, src: Rank, tag: Tag) -> Chunk {
+        self.try_recv_chunk(src, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::recv_chunk`].
+    pub fn try_recv_chunk(&mut self, src: Rank, tag: Tag) -> Result<Chunk, CommError> {
+        Ok(Chunk::from(self.try_recv_frame(src, tag)?.gather()))
+    }
+
+    /// Blocking matched receive of a scatter-gather [`Frame`] exactly as
+    /// the sender shaped it.
+    pub fn recv_frame(&mut self, src: Rank, tag: Tag) -> Frame {
+        self.try_recv_frame(src, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::recv_frame`].
+    pub fn try_recv_frame(&mut self, src: Rank, tag: Tag) -> Result<Frame, CommError> {
         assert_eq!(
             tag & INTERNAL_TAG,
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
-        self.try_recv_raw_guarded(src, tag, Transport::PointToPoint, None)
+        self.try_recv_frame_guarded(src, tag, Transport::PointToPoint, None)
     }
 
     /// Receive and decode a typed value.
@@ -905,6 +983,18 @@ impl Comm {
         transport: Transport,
         coll_epoch: Option<u64>,
     ) -> Result<Bytes, CommError> {
+        Ok(self
+            .try_recv_frame_guarded(src, tag, transport, coll_epoch)?
+            .gather())
+    }
+
+    pub(crate) fn try_recv_frame_guarded(
+        &mut self,
+        src: Rank,
+        tag: Tag,
+        transport: Transport,
+        coll_epoch: Option<u64>,
+    ) -> Result<Frame, CommError> {
         self.maybe_inject_msg();
         // Unexpected-message-queue fast path: an already-matched message
         // predates any death and is always delivered.
@@ -975,7 +1065,7 @@ impl Comm {
 
     /// Match, stash, or discard one incoming message. Death notices wake
     /// the caller's guard loop and are never stashed.
-    fn absorb(&mut self, msg: Message, src: Rank, tag: Tag, transport: Transport) -> Option<Bytes> {
+    fn absorb(&mut self, msg: Message, src: Rank, tag: Tag, transport: Transport) -> Option<Frame> {
         if msg.tag == DEATH_TAG {
             debug_assert!(self.fault_rt.as_ref().is_some_and(|rt| rt.is_dead(msg.src)));
             return None;
@@ -1004,6 +1094,7 @@ impl Comm {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated copying shims must keep passing
 mod tests {
     use super::*;
 

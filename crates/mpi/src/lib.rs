@@ -43,4 +43,4 @@ pub use fault::{
 pub use replidedup_trace::{Event, EventKind, PhaseAgg, RankTrace, Tracer, WorldTrace};
 pub use stats::{RankTraffic, TrafficReport, Transport};
 pub use window::Window;
-pub use wire::{Wire, WireError, WireResult};
+pub use wire::{Chunk, Frame, FrameReader, FrameWriter, Wire, WireError, WireResult};

@@ -16,13 +16,27 @@
 
 use std::sync::{Arc, Mutex};
 
+use bytes::Bytes;
+use replidedup_buf::{global_pool, Chunk};
+
 use crate::comm::{Comm, CtrlMsg, Rank};
 use crate::fault::{CommError, FaultRuntime};
 
-/// Shared backing buffer of one rank's window.
+/// Shared backing buffer of one rank's window. Backed by the global
+/// [`BufferPool`](replidedup_buf::BufferPool): creation takes a recycled
+/// buffer, and dropping the window returns it — unless
+/// [`Window::take_local`] already froze it into long-lived [`Bytes`].
 pub struct WinBuf {
     data: Mutex<Vec<u8>>,
     size: usize,
+}
+
+impl Drop for WinBuf {
+    fn drop(&mut self) {
+        if let Ok(buf) = self.data.get_mut() {
+            global_pool().put_back(std::mem::take(buf));
+        }
+    }
 }
 
 impl std::fmt::Debug for WinBuf {
@@ -85,8 +99,13 @@ impl Comm {
         };
         let me = self.rank();
         let n = self.size();
+        // Pool-backed exposure: recycled buffers arrive cleared, so the
+        // resize zero-fills and every window starts all-zero (put offsets
+        // may leave gaps that readers expect to be zero).
+        let mut backing = global_pool().take(local_size);
+        backing.resize(local_size, 0);
         let mine = Arc::new(WinBuf {
-            data: Mutex::new(vec![0u8; local_size]),
+            data: Mutex::new(backing),
             size: local_size,
         });
         for dst in 0..n {
@@ -155,25 +174,68 @@ impl Window {
     /// fast with [`CommError::RankFailed`] (the memory behind a dead
     /// node's window is gone).
     pub fn try_put(&self, target: Rank, offset: usize, data: &[u8]) -> Result<(), CommError> {
+        self.try_put_vectored(target, offset, &[data])
+    }
+
+    /// One-sided write of a [`Chunk`] into `target`'s window at `offset`.
+    /// The local side performs no staging copy: the chunk's bytes are the
+    /// RMA transfer's source buffer.
+    pub fn put_chunk(&self, target: Rank, offset: usize, chunk: &Chunk) {
+        self.try_put_chunk(target, offset, chunk)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Window::put_chunk`].
+    pub fn try_put_chunk(
+        &self,
+        target: Rank,
+        offset: usize,
+        chunk: &Chunk,
+    ) -> Result<(), CommError> {
+        self.try_put_vectored(target, offset, &[chunk])
+    }
+
+    /// Scatter-gather one-sided write: `parts` land back-to-back at
+    /// `offset` in `target`'s window under a single exposure lock. This is
+    /// how a record header on the stack and a payload still inside the
+    /// application buffer travel as *one* RMA transfer with no local
+    /// coalescing copy.
+    pub fn put_vectored(&self, target: Rank, offset: usize, parts: &[&[u8]]) {
+        self.try_put_vectored(target, offset, parts)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Window::put_vectored`].
+    pub fn try_put_vectored(
+        &self,
+        target: Rank,
+        offset: usize,
+        parts: &[&[u8]],
+    ) -> Result<(), CommError> {
         if let Some(rt) = &self.fault_rt {
             if rt.is_dead(target) {
                 return Err(CommError::RankFailed { rank: target });
             }
         }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
         let buf = &self.handles[target as usize];
         assert!(
-            offset + data.len() <= buf.size,
-            "rank {}: put of {} bytes at offset {offset} overruns window of {} on rank {target}",
+            offset + total <= buf.size,
+            "rank {}: put of {total} bytes at offset {offset} overruns window of {} on rank {target}",
             self.rank,
-            data.len(),
             buf.size
         );
-        buf.data.lock().unwrap()[offset..offset + data.len()].copy_from_slice(data);
+        let mut guard = buf.data.lock().unwrap();
+        let mut at = offset;
+        for part in parts {
+            guard[at..at + part.len()].copy_from_slice(part);
+            at += part.len();
+        }
+        drop(guard);
         if target != self.rank {
             self.counters[self.rank as usize]
-                .count_send(crate::stats::Transport::Rma, data.len() as u64);
-            self.counters[target as usize]
-                .count_recv(crate::stats::Transport::Rma, data.len() as u64);
+                .count_send(crate::stats::Transport::Rma, total as u64);
+            self.counters[target as usize].count_recv(crate::stats::Transport::Rma, total as u64);
         }
         Ok(())
     }
@@ -182,14 +244,38 @@ impl Window {
     ///
     /// # Panics
     /// If the read would overrun the target's exposure.
+    #[deprecated(since = "0.3.0", note = "use `get_chunk` instead")]
     pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
-        self.try_get(target, offset, len)
+        self.get_vec(target, offset, len)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`Window::get`]: reading a crashed rank's exposure fails
-    /// fast with [`CommError::RankFailed`].
+    /// Fallible deprecated [`Window::get`]: reading a crashed rank's
+    /// exposure fails fast with [`CommError::RankFailed`].
+    #[deprecated(since = "0.3.0", note = "use `try_get_chunk` instead")]
     pub fn try_get(&self, target: Rank, offset: usize, len: usize) -> Result<Vec<u8>, CommError> {
+        self.get_vec(target, offset, len)
+    }
+
+    /// One-sided read of `len` bytes from `target`'s window at `offset` as
+    /// an owned [`Chunk`]. The one memcpy out of the exposure *is* the
+    /// modelled RMA transfer; no second local copy happens.
+    pub fn get_chunk(&self, target: Rank, offset: usize, len: usize) -> Chunk {
+        self.try_get_chunk(target, offset, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Window::get_chunk`].
+    pub fn try_get_chunk(
+        &self,
+        target: Rank,
+        offset: usize,
+        len: usize,
+    ) -> Result<Chunk, CommError> {
+        self.get_vec(target, offset, len).map(Chunk::from)
+    }
+
+    fn get_vec(&self, target: Rank, offset: usize, len: usize) -> Result<Vec<u8>, CommError> {
         if let Some(rt) = &self.fault_rt {
             if rt.is_dead(target) {
                 return Err(CommError::RankFailed { rank: target });
@@ -226,12 +312,29 @@ impl Window {
     }
 
     /// Copy out the local exposure (valid after a fence).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `take_local` (zero-copy, consumes the exposure) or \
+                `with_local` (borrow) instead; this method copies"
+    )]
     pub fn local_data(&self) -> Vec<u8> {
+        replidedup_buf::record_copy(self.local_size());
         self.handles[self.rank as usize]
             .data
             .lock()
             .unwrap()
             .clone()
+    }
+
+    /// Steal the local exposure as frozen [`Bytes`] without copying (valid
+    /// after the *closing* fence — no further puts may target this rank).
+    /// The window's backing buffer moves into the returned `Bytes`; the
+    /// exposure is left empty, so later RMA access to this rank's window
+    /// is a bounds violation by construction.
+    pub fn take_local(&self) -> Bytes {
+        Bytes::from(std::mem::take(
+            &mut *self.handles[self.rank as usize].data.lock().unwrap(),
+        ))
     }
 
     /// Run `f` over the local exposure without copying (valid after fence).
@@ -241,6 +344,7 @@ impl Window {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated copying accessors must keep passing
 mod tests {
     use crate::comm::World;
 
@@ -368,6 +472,82 @@ mod tests {
             let win = comm.win_create(4);
             win.put(0, 2, &[0; 4]);
         });
+    }
+
+    #[test]
+    fn vectored_put_lands_parts_back_to_back() {
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(8);
+            if comm.rank() == 0 {
+                win.put_vectored(1, 1, &[&[1, 2], &[3], &[4, 5]]);
+            }
+            win.fence(comm);
+            win.with_local(|d| d.to_vec())
+        });
+        assert_eq!(out.results[1], vec![0, 1, 2, 3, 4, 5, 0, 0]);
+        // The vectored put counts once, as the sum of its parts.
+        assert_eq!(out.traffic.ranks[0].rma_put, 5);
+        assert_eq!(out.traffic.ranks[1].rma_recv, 5);
+    }
+
+    #[test]
+    fn chunk_put_and_get_roundtrip() {
+        use replidedup_buf::Chunk;
+        let out = World::run(2, |comm| {
+            let win = comm.win_create(4);
+            if comm.rank() == 0 {
+                let app_buffer = Chunk::from(vec![7u8, 8, 9, 10]);
+                win.put_chunk(1, 0, &app_buffer.slice(1..3));
+            }
+            win.fence(comm);
+            let got = if comm.rank() == 1 {
+                win.get_chunk(1, 0, 2)
+            } else {
+                Chunk::new()
+            };
+            win.fence(comm);
+            got.to_vec()
+        });
+        assert_eq!(out.results[1], vec![8, 9]);
+    }
+
+    #[test]
+    fn take_local_is_zero_copy_and_empties_the_exposure() {
+        let out = World::run(1, |comm| {
+            let win = comm.win_create(4);
+            win.put(0, 0, &[1, 2, 3, 4]);
+            win.fence(comm);
+            let copied_before = replidedup_buf::thread_bytes_copied();
+            let frozen = win.take_local();
+            let copied = replidedup_buf::thread_bytes_copied() - copied_before;
+            (frozen.to_vec(), win.with_local(|d| d.len()), copied)
+        });
+        let (frozen, left, copied_by_steal) = &out.results[0];
+        assert_eq!(*frozen, vec![1, 2, 3, 4]);
+        assert_eq!(*left, 0, "exposure stolen");
+        // The steal records no copy: the backing Vec moves into the Bytes.
+        assert_eq!(*copied_by_steal, 0);
+    }
+
+    #[test]
+    fn dropped_windows_recycle_their_backing() {
+        use replidedup_buf::global_pool;
+        // Warm the shelf, then show a same-sized window reuses it.
+        let size = 1 << 16;
+        World::run(1, |comm| {
+            let win = comm.win_create(size);
+            win.fence(comm);
+        });
+        let before = global_pool().stats();
+        World::run(1, |comm| {
+            let win = comm.win_create(size);
+            win.fence(comm);
+        });
+        let after = global_pool().stats();
+        assert!(
+            after.hits > before.hits,
+            "second window must come from the pool shelf"
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use bytes::Bytes;
 use std::fmt;
 
+pub use replidedup_buf::Chunk;
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -259,6 +261,258 @@ impl Wire for replidedup_hash::Fingerprint {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scatter-gather frames
+// ---------------------------------------------------------------------------
+
+/// A scatter-gather message body: an ordered sequence of [`Bytes`] segments
+/// that is *logically* one contiguous byte stream but is never coalesced on
+/// the send path. Headers live in small owned segments; bulk payloads ride
+/// along as zero-copy [`Bytes`] views of whatever allocation the sender
+/// already holds (an application buffer, a stored chunk). Concatenating the
+/// segments yields the frame's canonical contiguous encoding, so a frame
+/// that *does* get flattened (e.g. by [`Frame::gather`]) decodes
+/// identically to one that stayed scattered.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    segments: Vec<Bytes>,
+}
+
+impl Frame {
+    /// Empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frame of a single contiguous segment (the shape every pre-frame
+    /// message had).
+    pub fn single(payload: Bytes) -> Self {
+        Self {
+            segments: vec![payload],
+        }
+    }
+
+    /// Append a segment (zero-copy).
+    pub fn push(&mut self, segment: Bytes) {
+        self.segments.push(segment);
+    }
+
+    /// Total logical length: the sum over all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Bytes::len).sum()
+    }
+
+    /// Whether the frame carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(Bytes::is_empty)
+    }
+
+    /// The underlying segments.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Flatten into one contiguous [`Bytes`]. Zero-copy when the frame has
+    /// at most one segment; otherwise the segments are coalesced into a
+    /// fresh buffer and the memcpy is recorded against the copy accounting
+    /// ([`replidedup_buf::record_copy`]).
+    pub fn gather(mut self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments.pop().expect("one segment"),
+            _ => {
+                let total = self.len();
+                replidedup_buf::record_copy(total);
+                let mut out = Vec::with_capacity(total);
+                for seg in &self.segments {
+                    out.extend_from_slice(seg);
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+}
+
+impl From<Bytes> for Frame {
+    fn from(payload: Bytes) -> Self {
+        Self::single(payload)
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    /// Zero-copy: the vector becomes the single segment's allocation.
+    fn from(v: Vec<u8>) -> Self {
+        Self::single(Bytes::from(v))
+    }
+}
+
+/// Builds a [`Frame`] by interleaving [`Wire`]-encoded header fields with
+/// zero-copy payload attachments.
+///
+/// `put` appends to the current header segment; [`FrameWriter::attach`]
+/// writes the payload's `u64` length into the header, seals it, and appends
+/// the payload as its own segment — so the payload bytes are never copied,
+/// yet the concatenation of all segments is a self-describing contiguous
+/// encoding that [`FrameReader`] can replay from either shape.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    done: Vec<Bytes>,
+    header: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode a header value into the current header segment.
+    pub fn put<T: Wire>(&mut self, value: &T) {
+        value.encode(&mut self.header);
+    }
+
+    /// Attach a bulk payload without copying it: its length goes into the
+    /// header, the bytes ride as their own segment.
+    pub fn attach(&mut self, payload: impl Into<Bytes>) {
+        let payload = payload.into();
+        (payload.len() as u64).encode(&mut self.header);
+        if !self.header.is_empty() {
+            self.done
+                .push(Bytes::from(std::mem::take(&mut self.header)));
+        }
+        self.done.push(payload);
+    }
+
+    /// Seal the writer into a [`Frame`].
+    pub fn finish(mut self) -> Frame {
+        if !self.header.is_empty() {
+            self.done.push(Bytes::from(self.header));
+        }
+        Frame {
+            segments: self.done,
+        }
+    }
+}
+
+/// Replays a [`Frame`] written by [`FrameWriter`]: header values via
+/// [`FrameReader::get`], payloads via [`FrameReader::take_payload`].
+///
+/// Works on both shapes of the same logical stream — a still-scattered
+/// frame (payloads are whole segments, taken zero-copy) and a contiguous
+/// one (payloads are zero-copy sub-slices of the single segment). Neither
+/// path copies payload bytes; a debug assertion enforces this.
+#[derive(Debug)]
+pub struct FrameReader {
+    segments: Vec<Bytes>,
+    /// Index of the segment the cursor is in.
+    seg: usize,
+    /// Byte offset inside that segment.
+    off: usize,
+}
+
+impl FrameReader {
+    /// Start reading `frame` from the beginning.
+    pub fn new(frame: Frame) -> Self {
+        Self {
+            segments: frame.segments,
+            seg: 0,
+            off: 0,
+        }
+    }
+
+    /// Advance past exhausted segments.
+    fn normalize(&mut self) {
+        while self.seg < self.segments.len() && self.off >= self.segments[self.seg].len() {
+            debug_assert_eq!(self.off, self.segments[self.seg].len());
+            self.seg += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        let mut total = 0;
+        if self.seg < self.segments.len() {
+            total += self.segments[self.seg].len() - self.off;
+            for s in &self.segments[self.seg + 1..] {
+                total += s.len();
+            }
+        }
+        total
+    }
+
+    /// Decode a header value. Header fields never span segment boundaries
+    /// in writer-produced frames; a value that would is reported as
+    /// truncated.
+    pub fn get<T: Wire>(&mut self) -> WireResult<T> {
+        self.normalize();
+        let Some(seg) = self.segments.get(self.seg) else {
+            return Err(WireError::Truncated {
+                what: "frame header",
+            });
+        };
+        let mut input = &seg[self.off..];
+        let before = input.len();
+        let v = T::decode(&mut input)?;
+        self.off += before - input.len();
+        Ok(v)
+    }
+
+    /// Take the next attached payload as a zero-copy [`Chunk`].
+    pub fn take_payload(&mut self) -> WireResult<Chunk> {
+        let len = usize::try_from(self.get::<u64>()?).map_err(|_| WireError::Malformed {
+            what: "payload length",
+        })?;
+        self.normalize();
+        if len == 0 {
+            return Ok(Chunk::new());
+        }
+        let Some(seg) = self.segments.get(self.seg) else {
+            return Err(WireError::Truncated {
+                what: "frame payload",
+            });
+        };
+        let avail = seg.len() - self.off;
+        if avail >= len {
+            // Contiguous case: the payload is a zero-copy sub-slice of the
+            // current segment (for a flattened frame, of the whole frame).
+            let payload = seg.slice(self.off..self.off + len);
+            debug_assert!(
+                payload.shares_allocation_with(seg),
+                "contiguous frame decode must not copy the payload"
+            );
+            self.off += len;
+            return Ok(Chunk::from(payload));
+        }
+        // Scattered payload straddling segments: only reachable for frames
+        // assembled outside FrameWriter. Coalesce (recorded).
+        if self.remaining() < len {
+            return Err(WireError::Truncated {
+                what: "frame payload",
+            });
+        }
+        replidedup_buf::record_copy(len);
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            self.normalize();
+            let seg = &self.segments[self.seg];
+            let want = (len - out.len()).min(seg.len() - self.off);
+            out.extend_from_slice(&seg[self.off..self.off + want]);
+            self.off += want;
+        }
+        Ok(Chunk::from(out))
+    }
+
+    /// Assert the whole frame was consumed.
+    pub fn finish(mut self) -> WireResult<()> {
+        self.normalize();
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(WireError::TrailingBytes { remaining }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,7 +611,114 @@ mod tests {
             .contains("bool"));
     }
 
+    #[test]
+    fn frame_writer_payloads_are_zero_copy() {
+        let big = Chunk::from(vec![0xAB; 4096]);
+        let mut w = FrameWriter::new();
+        w.put(&7u32);
+        w.attach(big.clone());
+        w.put(&"tail".to_string());
+        let frame = w.finish();
+        // The payload segment IS the chunk's allocation, not a copy.
+        assert!(frame
+            .segments()
+            .iter()
+            .any(|s| s.shares_allocation_with(big.as_bytes())));
+
+        let mut r = FrameReader::new(frame);
+        assert_eq!(r.get::<u32>().unwrap(), 7);
+        let payload = r.take_payload().unwrap();
+        assert!(payload.shares_allocation_with(&big));
+        assert_eq!(r.get::<String>().unwrap(), "tail");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn gathered_frame_decodes_identically_and_slices_zero_copy() {
+        let mut w = FrameWriter::new();
+        w.put(&1u8);
+        w.attach(Chunk::from(vec![9u8; 100]));
+        w.attach(Chunk::from(vec![8u8; 50]));
+        let flat = w.finish().gather();
+        let mut r = FrameReader::new(Frame::single(flat.clone()));
+        assert_eq!(r.get::<u8>().unwrap(), 1);
+        let a = r.take_payload().unwrap();
+        let b = r.take_payload().unwrap();
+        assert_eq!(*a, vec![9u8; 100]);
+        assert_eq!(*b, vec![8u8; 50]);
+        // Contiguous decode: payloads are sub-slices of the flat buffer.
+        assert!(a.as_bytes().shares_allocation_with(&flat));
+        assert!(b.as_bytes().shares_allocation_with(&flat));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn frame_len_and_gather_single_segment() {
+        let payload = Bytes::from(vec![1u8, 2, 3]);
+        let frame = Frame::single(payload.clone());
+        assert_eq!(frame.len(), 3);
+        assert!(!frame.is_empty());
+        let gathered = frame.gather();
+        assert!(gathered.shares_allocation_with(&payload));
+        assert!(Frame::new().is_empty());
+        assert!(Frame::new().gather().is_empty());
+    }
+
+    #[test]
+    fn empty_payload_attach_roundtrips() {
+        let mut w = FrameWriter::new();
+        w.attach(Chunk::new());
+        w.put(&42u64);
+        let mut r = FrameReader::new(w.finish());
+        assert!(r.take_payload().unwrap().is_empty());
+        assert_eq!(r.get::<u64>().unwrap(), 42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_frame_errors_not_panics() {
+        let mut r = FrameReader::new(Frame::new());
+        assert!(matches!(r.get::<u32>(), Err(WireError::Truncated { .. })));
+        // A header claiming a longer payload than present.
+        let mut w = FrameWriter::new();
+        w.put(&(1000u64)); // masquerades as a payload length
+        let mut r = FrameReader::new(w.finish());
+        assert!(matches!(r.take_payload(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unconsumed_frame_reports_trailing() {
+        let mut w = FrameWriter::new();
+        w.put(&5u32);
+        let r = FrameReader::new(w.finish());
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { remaining: 4 }));
+    }
+
     proptest! {
+        #[test]
+        fn prop_frame_roundtrip_shares_allocations(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+            heads in proptest::collection::vec(any::<u64>(), 1..8),
+        ) {
+            let chunks: Vec<Chunk> = payloads.into_iter().map(Chunk::from).collect();
+            let mut w = FrameWriter::new();
+            for (i, c) in chunks.iter().enumerate() {
+                w.put(&heads[i % heads.len()]);
+                w.attach(c.clone());
+            }
+            let mut r = FrameReader::new(w.finish());
+            for (i, c) in chunks.iter().enumerate() {
+                prop_assert_eq!(r.get::<u64>().unwrap(), heads[i % heads.len()]);
+                let got = r.take_payload().unwrap();
+                prop_assert_eq!(&got, c);
+                // Non-empty payloads must share the sender's allocation.
+                if !c.is_empty() {
+                    prop_assert!(got.shares_allocation_with(c));
+                }
+            }
+            r.finish().unwrap();
+        }
+
         #[test]
         fn prop_vec_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..200)) {
             let bytes = v.to_bytes();

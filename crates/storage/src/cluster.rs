@@ -256,7 +256,15 @@ impl Cluster {
     }
 
     /// Store a chunk on `node`. Returns `true` when the bytes were new.
-    pub fn put_chunk(&self, node: NodeId, fp: Fingerprint, data: Bytes) -> StorageResult<bool> {
+    /// Accepts anything that freezes into [`Bytes`] (zero-copy for `Bytes`
+    /// and `Chunk` payloads).
+    pub fn put_chunk(
+        &self,
+        node: NodeId,
+        fp: Fingerprint,
+        data: impl Into<Bytes>,
+    ) -> StorageResult<bool> {
+        let data = data.into();
         self.with_node(node, |n| n.store.put(fp, data))
     }
 
@@ -408,13 +416,15 @@ impl Cluster {
 
     /// Store a raw dump blob on `node` (the `no-dedup` storage format).
     /// Overwriting the same `(owner, dump)` replaces the previous blob.
+    /// Accepts anything that freezes into [`Bytes`] without copying.
     pub fn put_blob(
         &self,
         node: NodeId,
         owner: u32,
         dump_id: DumpId,
-        data: Bytes,
+        data: impl Into<Bytes>,
     ) -> StorageResult<()> {
+        let data = data.into();
         self.with_node(node, |n| {
             if let Some(old) = n.blobs.insert((owner, dump_id), data.clone()) {
                 n.blob_bytes -= old.len() as u64;

@@ -35,7 +35,11 @@ impl ChunkStore {
 
     /// Insert a chunk (or bump its refcount if already present).
     /// Returns `true` when the chunk was new, i.e. bytes hit the device.
-    pub fn put(&mut self, fp: Fingerprint, data: Bytes) -> bool {
+    ///
+    /// Accepts anything that freezes into [`Bytes`] — a `Chunk` sliced
+    /// from the application buffer stores without copying.
+    pub fn put(&mut self, fp: Fingerprint, data: impl Into<Bytes>) -> bool {
+        let data = data.into();
         match self.chunks.entry(fp) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 debug_assert_eq!(

@@ -18,6 +18,7 @@
 
 pub use replidedup_apps as apps;
 pub use replidedup_bench as bench;
+pub use replidedup_buf as buf;
 pub use replidedup_ckpt as ckpt;
 pub use replidedup_core as core;
 pub use replidedup_hash as hash;

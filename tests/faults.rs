@@ -89,7 +89,7 @@ fn run_chaos(
             cluster.revive_node(node);
         }
     }
-    let out = World::run(N, |comm| repl.restore(comm, 1));
+    let out = World::run(N, |comm| repl.restore(comm, 1).map(Vec::from));
     (crashed, out.results)
 }
 

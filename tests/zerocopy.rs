@@ -1,0 +1,221 @@
+//! Zero-copy guarantees, end to end.
+//!
+//! Three promises of the `Chunk` hot path:
+//!
+//! 1. **No payload copy across a wire round-trip** — a payload attached to
+//!    a [`FrameWriter`] comes back out of the receiving [`FrameReader`] as
+//!    a view of the *same allocation* (pointer equality via
+//!    [`Chunk::shares_allocation_with`]), both locally and across ranks.
+//! 2. **Dump → restore is byte-exact** for every strategy × K ∈ {2, 3},
+//!    under both copy modes, through the `Chunk`-based session API.
+//! 3. **The deprecated shims still behave identically** — the `&[u8]`
+//!    free functions and point-to-point methods produce the same stored
+//!    state and the same restored bytes as the session API.
+
+use proptest::prelude::*;
+use replidedup::buf::Chunk;
+use replidedup::core::{CopyMode, DumpConfig, Replicator, Strategy};
+use replidedup::hash::Sha1ChunkHasher;
+use replidedup::mpi::{FrameReader, FrameWriter, World};
+use replidedup::storage::{Cluster, Placement};
+
+const STRATEGIES: [Strategy; 3] = [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
+const CHUNK: usize = 512;
+
+/// Deterministic per-rank buffers with cross-rank redundancy and a ragged
+/// tail (not a multiple of the chunk size).
+fn buffers(n: u32) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|r| {
+            let mut b = Vec::new();
+            for c in 0..24u32 {
+                // Two thirds shared across ranks, one third rank-private.
+                let fill = if c % 3 == 0 { 0x40 + r as u8 } else { c as u8 };
+                b.extend(std::iter::repeat_n(fill, CHUNK));
+            }
+            b.extend_from_slice(&[r as u8; 129]); // ragged tail
+            b
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Promise 1, locally: framing and unframing never copies a payload.
+    #[test]
+    fn wire_round_trip_shares_payload_allocations(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..2048), 1..8)
+    ) {
+        let chunks: Vec<Chunk> = payloads.iter().map(|p| Chunk::from(p.clone())).collect();
+        let mut w = FrameWriter::new();
+        for (i, c) in chunks.iter().enumerate() {
+            w.put(&(i as u64));
+            w.attach(c.clone());
+        }
+        let mut r = FrameReader::new(w.finish());
+        for (i, c) in chunks.iter().enumerate() {
+            let idx: u64 = r.get().unwrap();
+            prop_assert_eq!(idx, i as u64);
+            let got = r.take_payload().unwrap();
+            prop_assert_eq!(&got[..], &c[..]);
+            prop_assert!(
+                got.shares_allocation_with(c),
+                "payload {} was copied on the round-trip", i
+            );
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+}
+
+/// Promise 1, across ranks: the payload a rank receives over the
+/// point-to-point layer is the very allocation the sender attached.
+#[test]
+fn comm_frame_round_trip_is_zero_copy_across_ranks() {
+    const TAG: replidedup::mpi::Tag = 0x7A7A_0001;
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            let chunk = Chunk::from(vec![0xAB; 1 << 16]);
+            let mut w = FrameWriter::new();
+            w.put(&7u32);
+            w.attach(chunk.clone());
+            comm.try_send_frame(1, TAG, w.finish()).unwrap();
+            chunk
+        } else {
+            let mut r = FrameReader::new(comm.try_recv_frame(0, TAG).unwrap());
+            let marker: u32 = r.get().unwrap();
+            assert_eq!(marker, 7);
+            r.take_payload().unwrap()
+        }
+    });
+    assert_eq!(out.results[0], out.results[1]);
+    assert!(
+        out.results[1].shares_allocation_with(&out.results[0]),
+        "payload was copied crossing the wire"
+    );
+}
+
+/// Promise 2: dump → restore is byte-exact for every strategy × K ∈ {2, 3}
+/// under both copy modes, via the `Chunk`-based session API.
+#[test]
+fn dump_restore_byte_exact_all_strategies_and_k() {
+    const N: u32 = 6;
+    let bufs = buffers(N);
+    for strategy in STRATEGIES {
+        for k in [2u32, 3] {
+            for mode in [CopyMode::ZeroCopy, CopyMode::Staged] {
+                let cluster = Cluster::new(Placement::one_per_node(N));
+                let cfg = DumpConfig::paper_defaults(strategy)
+                    .with_replication(k)
+                    .with_chunk_size(CHUNK)
+                    .with_copy_mode(mode);
+                let repl = Replicator::builder(strategy)
+                    .with_config(cfg)
+                    .cluster(&cluster)
+                    .hasher(&Sha1ChunkHasher)
+                    .build()
+                    .expect("valid config");
+                let chunks: Vec<Chunk> = bufs.iter().map(|b| Chunk::from(b.clone())).collect();
+                let out = World::run(N, |comm| {
+                    repl.dump(comm, 1, chunks[comm.rank() as usize].clone())
+                        .expect("dump succeeds");
+                    repl.restore(comm, 1).expect("restore succeeds")
+                });
+                for (rank, got) in out.results.iter().enumerate() {
+                    assert!(
+                        *got == bufs[rank],
+                        "{} K={k} {}: rank {rank} restored wrong bytes",
+                        strategy.label(),
+                        mode.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Promise 3: the deprecated `&[u8]` free functions leave the same bytes
+/// on the devices and restore the same buffers as the session API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_the_session_api() {
+    use replidedup::core::{dump_output, restore_output, DumpContext};
+
+    const N: u32 = 4;
+    let bufs = buffers(N);
+    for strategy in STRATEGIES {
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(2)
+            .with_chunk_size(CHUNK);
+
+        let cluster_new = Cluster::new(Placement::one_per_node(N));
+        let repl = Replicator::builder(strategy)
+            .with_config(cfg)
+            .cluster(&cluster_new)
+            .hasher(&Sha1ChunkHasher)
+            .build()
+            .expect("valid config");
+        let new_out = World::run(N, |comm| {
+            repl.dump(comm, 1, bufs[comm.rank() as usize].clone())
+                .expect("dump succeeds");
+            repl.restore(comm, 1).expect("restore succeeds")
+        });
+
+        let cluster_old = Cluster::new(Placement::one_per_node(N));
+        let old_out = World::run(N, |comm| {
+            let ctx = DumpContext {
+                cluster: &cluster_old,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
+            dump_output(comm, &ctx, &bufs[comm.rank() as usize], &cfg).expect("dump succeeds");
+            restore_output(comm, &ctx, cfg.strategy).expect("restore succeeds")
+        });
+
+        for (rank, buf) in bufs.iter().enumerate() {
+            assert!(
+                new_out.results[rank] == old_out.results[rank],
+                "{}: deprecated shim restored different bytes for rank {rank}",
+                strategy.label()
+            );
+            assert!(
+                new_out.results[rank] == *buf,
+                "{}: rank {rank} restored wrong bytes",
+                strategy.label()
+            );
+        }
+        assert_eq!(
+            cluster_new.total_device_bytes(),
+            cluster_old.total_device_bytes(),
+            "{}: shim left different device state",
+            strategy.label()
+        );
+    }
+}
+
+/// Promise 3, point-to-point: the deprecated `&[u8]` send shim delivers
+/// the same bytes as `send_bytes`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_send_shim_delivers_identical_bytes() {
+    const TAG_OLD: replidedup::mpi::Tag = 0x7A7A_0002;
+    const TAG_NEW: replidedup::mpi::Tag = 0x7A7A_0003;
+    let payload = vec![0x5C_u8; 4096];
+    let sent = payload.clone();
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.try_send(1, TAG_OLD, &sent).unwrap();
+            comm.try_send_bytes(1, TAG_NEW, bytes::Bytes::from(sent.clone()))
+                .unwrap();
+            (Vec::new(), Vec::new())
+        } else {
+            let old = comm.try_recv(0, TAG_OLD).unwrap().to_vec();
+            let new = comm.try_recv(0, TAG_NEW).unwrap().to_vec();
+            (old, new)
+        }
+    });
+    let (old, new) = &out.results[1];
+    assert_eq!(old, &payload);
+    assert_eq!(new, &payload);
+}

@@ -2,58 +2,93 @@
 //!
 //! The build must be hermetic (no registry access), so this vendored crate
 //! provides the small slice of the real `bytes` API the workspace uses: an
-//! immutable, cheaply cloneable byte buffer backed by `Arc<[u8]>`. Clones
-//! share the allocation, which is what the message-passing runtime relies on
-//! when forwarding the same payload to several ranks.
+//! immutable, cheaply cloneable byte buffer. A `Bytes` is a *view* —
+//! `(Arc<Vec<u8>>, offset, len)` — so clones **and sub-slices** share the
+//! backing allocation. `From<Vec<u8>>` is zero-copy (the vector is moved
+//! into the shared allocation, not re-copied), which is what the
+//! message-passing runtime and the zero-copy dump/restore hot path rely on:
+//! a chunk sliced out of an application buffer is the same allocation that
+//! crosses the wire and lands in storage.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Cheaply cloneable immutable contiguous byte buffer.
+/// Cheaply cloneable immutable contiguous byte buffer. Sub-slicing via
+/// [`Bytes::slice`] is zero-copy: the sub-buffer keeps the parent's
+/// allocation alive and adjusts only its `(offset, len)` view.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Empty buffer. Does not allocate a unique backing store per call.
     pub fn new() -> Self {
-        Self {
-            data: Arc::from(&[][..]),
-        }
+        Self::from(Vec::new())
     }
 
-    /// Copy `slice` into a fresh buffer.
+    /// Copy `slice` into a fresh buffer. This is the *only* constructor
+    /// that memcpys; prefer `Bytes::from(vec)` or [`Bytes::slice`] on the
+    /// hot path.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Self {
-            data: Arc::from(slice),
-        }
+        Self::from(slice.to_vec())
     }
 
     /// Buffer viewing static data. (The vendored version copies; semantics
     /// are identical, only the allocation differs from upstream.)
     pub fn from_static(slice: &'static [u8]) -> Self {
-        Self {
-            data: Arc::from(slice),
-        }
+        Self::copy_from_slice(slice)
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Sub-buffer covering `range` of this buffer (copies in this stand-in).
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Self::copy_from_slice(&self.data[range])
+    /// Zero-copy sub-buffer covering `range` of this buffer: shares the
+    /// backing allocation (`slice(..).as_ptr()` lies inside `self`'s
+    /// allocation). Note that a slice keeps the *whole* parent allocation
+    /// alive; use [`Bytes::copy_from_slice`] to detach.
+    ///
+    /// # Panics
+    /// If the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for Bytes of len {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Whether `self` and `other` are views into the same backing
+    /// allocation (regardless of offset). Used by the zero-copy tests.
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
@@ -64,8 +99,14 @@ impl Default for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: moves the vector into the shared allocation.
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v) }
+        let len = v.len();
+        Self {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -79,31 +120,31 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self[..].hash(state);
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -117,44 +158,44 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self[..].cmp(&other[..])
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self[..] == *other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self[..] == **other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self[..] == other[..]
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.data[..]
+        *self == other[..]
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             match b {
                 b'"' => write!(f, "\\\"")?,
                 b'\\' => write!(f, "\\\\")?,
@@ -195,11 +236,55 @@ mod tests {
     }
 
     #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![9u8; 64];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), p);
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let a = Bytes::from(vec![3u8; 256]);
+        let s = a.slice(16..32);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(16) });
+        assert!(s.shares_allocation_with(&a));
+        let nested = s.slice(4..8);
+        assert_eq!(nested.as_ptr(), unsafe { a.as_ptr().add(20) });
+        assert!(nested.shares_allocation_with(&a));
+    }
+
+    #[test]
+    fn slice_open_ranges() {
+        let b = Bytes::from_static(b"hello world");
+        assert_eq!(b.slice(..5), Bytes::from_static(b"hello"));
+        assert_eq!(b.slice(6..), Bytes::from_static(b"world"));
+        assert_eq!(b.slice(..), b);
+        assert!(b.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"abc").slice(1..4);
+    }
+
+    #[test]
     fn deref_and_slice() {
         let b = Bytes::from_static(b"hello world");
         assert_eq!(&b[0..5], b"hello");
         assert_eq!(b.slice(6..11), Bytes::from_static(b"world"));
         assert_eq!(b.to_vec(), b"hello world".to_vec());
+    }
+
+    #[test]
+    fn slice_keeps_parent_allocation_alive() {
+        let s = {
+            let a = Bytes::from(vec![5u8; 128]);
+            a.slice(100..128)
+        };
+        assert_eq!(s, vec![5u8; 28]);
     }
 
     #[test]
