@@ -43,6 +43,12 @@ echo "== cargo test --test zerocopy (zero-copy guarantees) =="
 # every strategy x K x copy mode, deprecated shims pinned to the new API.
 cargo test --test zerocopy
 
+echo "== cargo test --test chunking (chunking engine) =="
+# Tiling/bounds/determinism/shift-resilience properties for every
+# chunker, golden cut-point fixtures (frozen on-disk format), and the
+# end-to-end CDC-beats-fixed dedup claim.
+cargo test --test chunking
+
 echo "== dead-code gate (self-healing + zero-copy modules) =="
 # These modules must be fully wired into the public API — a stray
 # #[allow(dead_code)] means something regressed to unreachable.
@@ -73,12 +79,33 @@ if grep -n '\.to_vec()' \
   exit 1
 fi
 
+echo "== stride-math gate (variable-length chunk paths) =="
+# Chunk geometry is carried as explicit per-chunk lengths end to end; a
+# hardcoded `i * chunk_size` (or `* 4096`) creeping back into a hot-path
+# module silently re-assumes fixed-stride chunking. The fixed chunker
+# itself (crates/hash) is the one legitimate home for stride math.
+if grep -nE '\* *(cfg\.|self\.|idx\.)?chunk_size|chunk_size *\*|\* *4096|4096 *\*' \
+    crates/core/src/dump.rs \
+    crates/core/src/restore.rs \
+    crates/core/src/exchange.rs \
+    crates/core/src/local.rs \
+    crates/core/src/offsets.rs \
+    crates/core/src/plan.rs \
+    crates/storage/src/manifest.rs \
+    crates/storage/src/scrub.rs; then
+  echo "ci: FAIL — fixed-stride chunk math outside the fixed chunker" >&2
+  exit 1
+fi
+
 echo "== bench-smoke (tiny perf harness + schema check) =="
-# The harness validates the report against the replidedup-bench/v1 schema
+# The harness validates the report against the replidedup-bench/v2 schema
 # before writing it; a failure here means the bench or schema regressed.
+# The smoke JSON must carry the chunker x strategy x workload matrix.
 cargo run --release -p replidedup-bench --bin repro -- \
   --bench-smoke --bench-out target/bench-smoke.json
 test -s target/bench-smoke.json
+grep -q '"chunker_matrix"' target/bench-smoke.json
+grep -q '"cdc_beats_fixed": true' target/bench-smoke.json
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q

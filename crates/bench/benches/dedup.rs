@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use replidedup_core::{GlobalView, LocalIndex, Replicator, Strategy};
-use replidedup_hash::{Fingerprint, Sha1ChunkHasher};
+use replidedup_hash::{Fingerprint, FixedChunker, Sha1ChunkHasher};
 use replidedup_mpi::{World, WorldConfig};
 use replidedup_storage::{Cluster, Placement};
 
@@ -29,7 +29,14 @@ fn bench_local_index(c: &mut Criterion) {
         let buf = buffer_with_dup_ratio(256, distinct);
         g.throughput(Throughput::Bytes(buf.len() as u64));
         g.bench_with_input(BenchmarkId::new("build_1mib", label), &buf, |b, buf| {
-            b.iter(|| LocalIndex::build(&Sha1ChunkHasher, std::hint::black_box(buf), 4096, false))
+            b.iter(|| {
+                LocalIndex::build(
+                    &Sha1ChunkHasher,
+                    std::hint::black_box(buf),
+                    &FixedChunker::new(4096),
+                    false,
+                )
+            })
         });
     }
     g.finish();

@@ -202,6 +202,45 @@ fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
             },
         );
     }
+    println!("\n== chunker x strategy x workload dedup matrix ==");
+    let mut t = report::Table::new(&[
+        "workload",
+        "strategy",
+        "chunker",
+        "K",
+        "dedup ratio",
+        "chunk MiB/s",
+        "dump (s)",
+        "written",
+    ]);
+    for s in &report.chunker_matrix {
+        t.row(vec![
+            s.workload.clone(),
+            s.strategy.clone(),
+            s.chunker.clone(),
+            s.k.to_string(),
+            format!("{:.2}", s.dedup_ratio),
+            format!("{:.0}", s.chunking_mib_s),
+            format!("{:.4}", s.dump_seconds),
+            report::human_bytes(s.bytes_written_devices as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    for c in &report.chunker_comparisons {
+        println!(
+            "{} K={} {}: dedup ratio {:.2} vs fixed {:.2} ({})",
+            c.workload,
+            c.k,
+            c.chunker,
+            c.cdc_dedup_ratio,
+            c.fixed_dedup_ratio,
+            if c.cdc_beats_fixed {
+                "CDC wins"
+            } else {
+                "CDC DOES NOT WIN"
+            },
+        );
+    }
     let json = report.to_json();
     validate_bench_json(&json).unwrap_or_else(|e| die(&format!("emitted report invalid: {e}")));
     let path = out_override

@@ -83,8 +83,8 @@ fn scenario_of(app: AppKind) -> AppScenario {
     match app {
         AppKind::Hpccg { .. } => HPCCG,
         AppKind::Cm1 { .. } => CM1,
-        // Synthetic workloads reuse the HPCCG envelope.
-        AppKind::Synthetic(_) => HPCCG,
+        // Synthetic and CDC micro-workloads reuse the HPCCG envelope.
+        AppKind::Synthetic(_) | AppKind::ShiftedDup { .. } | AppKind::InsertHeavy { .. } => HPCCG,
     }
 }
 

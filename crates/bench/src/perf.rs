@@ -23,13 +23,18 @@
 use std::time::Instant;
 
 use replidedup_buf::{global_pool, process_bytes_copied, reset_process_bytes_copied, Chunk};
-use replidedup_core::{CopyMode, DumpConfig, Replicator, Strategy, WorldDumpStats};
-use replidedup_hash::Sha1ChunkHasher;
+use replidedup_core::{
+    ChunkerKind, CopyMode, DumpConfig, GearParams, RabinParams, Replicator, Strategy,
+    WorldDumpStats,
+};
+use replidedup_hash::{Chunker, Sha1ChunkHasher};
 use replidedup_mpi::World;
 use replidedup_storage::{Cluster, Placement};
 
 use crate::experiments::{RANKS_PER_NODE, STRATEGIES};
-use crate::report::{BenchComparison, BenchReport, BenchScenario};
+use crate::report::{
+    BenchComparison, BenchReport, BenchScenario, ChunkerComparison, ChunkerScenario,
+};
 use crate::workloads::{make_buffers, AppKind};
 
 /// Replication degrees the harness sweeps.
@@ -76,6 +81,20 @@ impl BenchOptions {
     }
 }
 
+/// The chunkers the dedup-quality matrix sweeps, with report labels.
+pub fn bench_chunkers() -> [(&'static str, ChunkerKind); 3] {
+    [
+        ("fixed", ChunkerKind::Fixed),
+        ("rabin", ChunkerKind::Rabin(RabinParams::default())),
+        ("gear", ChunkerKind::Gear(GearParams::default())),
+    ]
+}
+
+/// The CDC workloads the dedup-quality matrix sweeps.
+pub fn bench_cdc_workloads() -> [AppKind; 2] {
+    [AppKind::shifted_dup(), AppKind::insert_heavy()]
+}
+
 /// Run the whole scenario matrix and assemble the report.
 pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
     let buffers = make_buffers(opts.app, opts.ranks);
@@ -90,13 +109,170 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
         }
     }
     let comparisons = derive_comparisons(&scenarios);
+    let chunker_matrix = run_chunker_matrix(opts);
+    let chunker_comparisons = derive_chunker_comparisons(&chunker_matrix);
     BenchReport {
         date: today_utc(),
         ranks: opts.ranks,
         iterations: opts.iterations,
         scenarios,
         comparisons,
+        chunker_matrix,
+        chunker_comparisons,
     }
+}
+
+/// Pure chunking throughput (MiB/s) of `kind` over the workload buffers:
+/// repeated cut-point scans (no hashing) until at least 16 MiB has been
+/// processed, so even sub-MiB smoke workloads get a stable figure.
+pub fn chunking_throughput_mib_s(kind: ChunkerKind, chunk_size: usize, buffers: &[Vec<u8>]) -> f64 {
+    const TARGET_BYTES: u64 = 16 << 20;
+    let chunker = kind.resolve(chunk_size);
+    let mut processed = 0u64;
+    let mut cuts = 0usize;
+    let t0 = Instant::now();
+    while processed < TARGET_BYTES {
+        for b in buffers {
+            cuts += chunker.chunks(b).len();
+            processed += b.len() as u64;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(cuts > 0, "chunker produced no chunks");
+    processed as f64 / (1 << 20) as f64 / secs
+}
+
+/// Run the chunker × strategy × workload dedup-quality matrix.
+///
+/// Per workload and K, the matrix holds a `no-dedup`/`fixed` baseline row
+/// plus every dedup strategy × chunker combination. Dedup quality is the
+/// storage-level ratio `input_bytes * K / bytes_written_devices`: how many
+/// times cheaper the replicated dump was than blind K-way replication.
+/// Every row's restore is verified byte-exact.
+pub fn run_chunker_matrix(opts: &BenchOptions) -> Vec<ChunkerScenario> {
+    let mut rows = Vec::new();
+    for app in bench_cdc_workloads() {
+        let buffers = make_buffers(app, opts.ranks);
+        let throughput: Vec<f64> = bench_chunkers()
+            .iter()
+            .map(|(_, kind)| chunking_throughput_mib_s(*kind, opts.chunk_size, &buffers))
+            .collect();
+        for k in BENCH_KS {
+            rows.push(run_chunker_scenario(
+                opts,
+                &buffers,
+                app,
+                Strategy::NoDedup,
+                ("fixed", ChunkerKind::Fixed),
+                throughput[0],
+                k,
+            ));
+            for strategy in [Strategy::LocalDedup, Strategy::CollDedup] {
+                for (i, (label, kind)) in bench_chunkers().into_iter().enumerate() {
+                    rows.push(run_chunker_scenario(
+                        opts,
+                        &buffers,
+                        app,
+                        strategy,
+                        (label, kind),
+                        throughput[i],
+                        k,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chunker_scenario(
+    opts: &BenchOptions,
+    buffers: &[Vec<u8>],
+    app: AppKind,
+    strategy: Strategy,
+    (chunker_label, kind): (&str, ChunkerKind),
+    chunking_mib_s: f64,
+    k: u32,
+) -> ChunkerScenario {
+    let n = buffers.len() as u32;
+    let input_bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+    let cfg = DumpConfig::paper_defaults(strategy)
+        .with_replication(k)
+        .with_chunk_size(opts.chunk_size)
+        .with_chunker(kind);
+
+    let mut best_dump = f64::INFINITY;
+    let mut written = 0u64;
+    for _ in 0..opts.iterations.max(1) {
+        let cluster = Cluster::new(Placement::pack(n, RANKS_PER_NODE));
+        let repl = Replicator::builder(strategy)
+            .with_config(cfg)
+            .cluster(&cluster)
+            .hasher(&Sha1ChunkHasher)
+            .build()
+            .expect("bench configs are valid");
+        let t0 = Instant::now();
+        World::run(n, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("bench dump succeeds")
+        });
+        best_dump = best_dump.min(t0.elapsed().as_secs_f64());
+        written = cluster.total_device_bytes();
+        let out = World::run(n, |comm| {
+            repl.restore(comm, 1).expect("bench restore succeeds")
+        });
+        for (rank, restored) in out.results.iter().enumerate() {
+            assert!(
+                *restored == buffers[rank],
+                "{} {} K={k} {}: rank {rank} restored wrong bytes",
+                app.label(),
+                strategy.label(),
+                chunker_label
+            );
+        }
+    }
+
+    ChunkerScenario {
+        workload: app.label().to_string(),
+        strategy: strategy.label().to_string(),
+        chunker: chunker_label.to_string(),
+        k,
+        ranks: n,
+        input_bytes,
+        bytes_written_devices: written,
+        dedup_ratio: input_bytes as f64 * f64::from(k) / written.max(1) as f64,
+        chunking_mib_s,
+        dump_seconds: best_dump,
+    }
+}
+
+/// Pair each coll-dedup CDC row with the coll-dedup fixed row of the same
+/// (workload, K): the dedup-quality headline of the matrix.
+fn derive_chunker_comparisons(rows: &[ChunkerScenario]) -> Vec<ChunkerComparison> {
+    let mut out = Vec::new();
+    for cdc in rows
+        .iter()
+        .filter(|r| r.strategy == "coll-dedup" && r.chunker != "fixed")
+    {
+        let Some(fixed) = rows.iter().find(|r| {
+            r.strategy == "coll-dedup"
+                && r.chunker == "fixed"
+                && r.workload == cdc.workload
+                && r.k == cdc.k
+        }) else {
+            continue;
+        };
+        out.push(ChunkerComparison {
+            workload: cdc.workload.clone(),
+            k: cdc.k,
+            chunker: cdc.chunker.clone(),
+            fixed_dedup_ratio: fixed.dedup_ratio,
+            cdc_dedup_ratio: cdc.dedup_ratio,
+            cdc_beats_fixed: cdc.dedup_ratio > fixed.dedup_ratio,
+        });
+    }
+    out
 }
 
 /// Run one (strategy, K, copy-mode) scenario: `iterations` dump+restore
@@ -302,6 +478,10 @@ mod tests {
         let report = run_zerocopy_bench(&opts);
         assert_eq!(report.scenarios.len(), 12); // 3 strategies × K∈{2,3} × 2 modes
         assert_eq!(report.comparisons.len(), 6);
+        // 2 workloads × K∈{2,3} × (no-dedup baseline + 2 strategies × 3 chunkers)
+        assert_eq!(report.chunker_matrix.len(), 28);
+        // 2 workloads × K∈{2,3} × 2 CDC chunkers
+        assert_eq!(report.chunker_comparisons.len(), 8);
         validate_bench_json(&report.to_json()).expect("emitted JSON validates");
         for c in &report.comparisons {
             assert!(
@@ -311,6 +491,31 @@ mod tests {
                 c.k,
                 c.zero_copy_bytes_copied,
                 c.staged_bytes_copied
+            );
+        }
+        // The headline dedup-quality claim: on the shifted-duplicate
+        // workload, every CDC chunker strictly beats fixed chunking.
+        for c in report
+            .chunker_comparisons
+            .iter()
+            .filter(|c| c.workload == "shifted-dup")
+        {
+            assert!(
+                c.cdc_beats_fixed,
+                "{} K={}: CDC ratio {:.2} must beat fixed {:.2}",
+                c.chunker, c.k, c.cdc_dedup_ratio, c.fixed_dedup_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_throughput_is_finite_and_positive() {
+        let buffers = make_buffers(AppKind::shifted_dup(), 2);
+        for (label, kind) in bench_chunkers() {
+            let mib_s = chunking_throughput_mib_s(kind, 4096, &buffers);
+            assert!(
+                mib_s.is_finite() && mib_s > 0.0,
+                "{label}: bad throughput {mib_s}"
             );
         }
     }

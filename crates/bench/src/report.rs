@@ -240,8 +240,9 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
 // Zero-copy perf harness report (`repro --bench` → BENCH_<date>.json)
 // ------------------------------------------------------------------
 
-/// Schema identifier stamped into every bench report.
-pub const BENCH_SCHEMA: &str = "replidedup-bench/v1";
+/// Schema identifier stamped into every bench report. `v2` added the
+/// chunker-matrix arrays (`chunker_matrix`, `chunker_comparisons`).
+pub const BENCH_SCHEMA: &str = "replidedup-bench/v2";
 
 /// One measured dump+restore scenario of the perf harness.
 #[derive(Debug, Clone)]
@@ -310,8 +311,55 @@ pub struct BenchComparison {
     pub dump_time_no_worse: bool,
 }
 
+/// One row of the chunker × strategy × workload dedup-quality matrix.
+#[derive(Debug, Clone)]
+pub struct ChunkerScenario {
+    /// Workload label (`shifted-dup` / `insert-heavy`).
+    pub workload: String,
+    /// Strategy label (`no-dedup` / `local-dedup` / `coll-dedup`).
+    pub strategy: String,
+    /// Chunker label (`fixed` / `rabin` / `gear`).
+    pub chunker: String,
+    /// Replication degree.
+    pub k: u32,
+    /// World size.
+    pub ranks: u32,
+    /// Total application bytes dumped across all ranks.
+    pub input_bytes: u64,
+    /// Bytes physically written across all node devices.
+    pub bytes_written_devices: u64,
+    /// Dedup ratio: `input_bytes * k / bytes_written_devices`. 1.0 means
+    /// no redundancy found; higher is better.
+    pub dedup_ratio: f64,
+    /// Pure chunking throughput of this chunker over this workload's
+    /// buffers, MiB/s (cut-point scan only, no hashing).
+    pub chunking_mib_s: f64,
+    /// Best end-to-end dump wall time across iterations, seconds.
+    pub dump_seconds: f64,
+}
+
+/// Fixed-vs-CDC dedup-quality comparison for one (workload, K, chunker) —
+/// the acceptance evidence that content-defined chunking recovers the
+/// shifted redundancy fixed-stride chunking misses.
+#[derive(Debug, Clone)]
+pub struct ChunkerComparison {
+    /// Workload label.
+    pub workload: String,
+    /// Replication degree.
+    pub k: u32,
+    /// The CDC chunker being compared against fixed (`rabin` / `gear`).
+    pub chunker: String,
+    /// coll-dedup dedup ratio under fixed chunking.
+    pub fixed_dedup_ratio: f64,
+    /// coll-dedup dedup ratio under this CDC chunker.
+    pub cdc_dedup_ratio: f64,
+    /// Whether the CDC ratio strictly beats the fixed ratio.
+    pub cdc_beats_fixed: bool,
+}
+
 /// A full perf-harness run: every scenario plus the per-(strategy, K)
-/// staged-vs-zero-copy comparisons derived from them.
+/// staged-vs-zero-copy comparisons derived from them, and the
+/// chunker × strategy × workload dedup-quality matrix.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// ISO date of the run (file is named `BENCH_<date>.json`).
@@ -324,6 +372,10 @@ pub struct BenchReport {
     pub scenarios: Vec<BenchScenario>,
     /// Derived staged-vs-zero-copy comparisons.
     pub comparisons: Vec<BenchComparison>,
+    /// Chunker × strategy × workload dedup-quality rows.
+    pub chunker_matrix: Vec<ChunkerScenario>,
+    /// Derived fixed-vs-CDC dedup comparisons.
+    pub chunker_comparisons: Vec<ChunkerComparison>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -456,6 +508,60 @@ impl BenchReport {
                 json_f64(c.zero_copy_dump_seconds)
             );
             let _ = writeln!(s, "      \"dump_time_no_worse\": {}", c.dump_time_no_worse);
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"chunker_matrix\": [");
+        for (i, sc) in self.chunker_matrix.iter().enumerate() {
+            let comma = if i + 1 < self.chunker_matrix.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"workload\": \"{}\",", json_escape(&sc.workload));
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&sc.strategy));
+            let _ = writeln!(s, "      \"chunker\": \"{}\",", json_escape(&sc.chunker));
+            let _ = writeln!(s, "      \"k\": {},", sc.k);
+            let _ = writeln!(s, "      \"ranks\": {},", sc.ranks);
+            let _ = writeln!(s, "      \"input_bytes\": {},", sc.input_bytes);
+            let _ = writeln!(
+                s,
+                "      \"bytes_written_devices\": {},",
+                sc.bytes_written_devices
+            );
+            let _ = writeln!(s, "      \"dedup_ratio\": {},", json_f64(sc.dedup_ratio));
+            let _ = writeln!(
+                s,
+                "      \"chunking_mib_s\": {},",
+                json_f64(sc.chunking_mib_s)
+            );
+            let _ = writeln!(s, "      \"dump_seconds\": {}", json_f64(sc.dump_seconds));
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"chunker_comparisons\": [");
+        for (i, c) in self.chunker_comparisons.iter().enumerate() {
+            let comma = if i + 1 < self.chunker_comparisons.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"workload\": \"{}\",", json_escape(&c.workload));
+            let _ = writeln!(s, "      \"k\": {},", c.k);
+            let _ = writeln!(s, "      \"chunker\": \"{}\",", json_escape(&c.chunker));
+            let _ = writeln!(
+                s,
+                "      \"fixed_dedup_ratio\": {},",
+                json_f64(c.fixed_dedup_ratio)
+            );
+            let _ = writeln!(
+                s,
+                "      \"cdc_dedup_ratio\": {},",
+                json_f64(c.cdc_dedup_ratio)
+            );
+            let _ = writeln!(s, "      \"cdc_beats_fixed\": {}", c.cdc_beats_fixed);
             let _ = writeln!(s, "    }}{comma}");
         }
         let _ = writeln!(s, "  ]");
@@ -721,6 +827,59 @@ pub fn validate_bench_json(input: &str) -> Result<Json, String> {
             }
         }
     }
+    let Some(Json::Arr(matrix)) = doc.get("chunker_matrix") else {
+        return Err("missing \"chunker_matrix\" array".into());
+    };
+    if matrix.is_empty() {
+        return Err("\"chunker_matrix\" must not be empty".into());
+    }
+    for (i, sc) in matrix.iter().enumerate() {
+        for key in ["workload", "strategy", "chunker"] {
+            match sc.get(key) {
+                Some(Json::Str(_)) => {}
+                other => return Err(format!("chunker row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in [
+            "k",
+            "ranks",
+            "input_bytes",
+            "bytes_written_devices",
+            "dedup_ratio",
+            "chunking_mib_s",
+            "dump_seconds",
+        ] {
+            match sc.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("chunker row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+    }
+    let Some(Json::Arr(ccs)) = doc.get("chunker_comparisons") else {
+        return Err("missing \"chunker_comparisons\" array".into());
+    };
+    for (i, c) in ccs.iter().enumerate() {
+        for key in ["workload", "chunker"] {
+            match c.get(key) {
+                Some(Json::Str(_)) => {}
+                other => return Err(format!("chunker comparison {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in ["k", "fixed_dedup_ratio", "cdc_dedup_ratio"] {
+            match c.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("chunker comparison {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        match c.get("cdc_beats_fixed") {
+            Some(Json::Bool(_)) => {}
+            other => {
+                return Err(format!(
+                    "chunker comparison {i}: bad \"cdc_beats_fixed\": {other:?}"
+                ))
+            }
+        }
+    }
     Ok(doc)
 }
 
@@ -813,6 +972,26 @@ mod tests {
                 zero_copy_dump_seconds: 0.01,
                 dump_time_no_worse: true,
             }],
+            chunker_matrix: vec![ChunkerScenario {
+                workload: "shifted-dup".into(),
+                strategy: "coll-dedup".into(),
+                chunker: "gear".into(),
+                k: 2,
+                ranks: 8,
+                input_bytes: 1 << 20,
+                bytes_written_devices: 1 << 19,
+                dedup_ratio: 4.0,
+                chunking_mib_s: 900.0,
+                dump_seconds: 0.01,
+            }],
+            chunker_comparisons: vec![ChunkerComparison {
+                workload: "shifted-dup".into(),
+                k: 2,
+                chunker: "gear".into(),
+                fixed_dedup_ratio: 1.0,
+                cdc_dedup_ratio: 4.0,
+                cdc_beats_fixed: true,
+            }],
         }
     }
 
@@ -841,6 +1020,13 @@ mod tests {
         assert!(validate_bench_json(&r.to_json()).is_err());
         // Dropping a required field must fail, not pass silently.
         let json = sample_report().to_json().replace("dump_bytes_copied", "x");
+        assert!(validate_bench_json(&json).is_err());
+        // An empty chunker matrix is rejected: v2 reports must carry the
+        // dedup-quality evidence.
+        let mut r = sample_report();
+        r.chunker_matrix.clear();
+        assert!(validate_bench_json(&r.to_json()).is_err());
+        let json = sample_report().to_json().replace("dedup_ratio", "x");
         assert!(validate_bench_json(&json).is_err());
     }
 

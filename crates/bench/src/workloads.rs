@@ -25,6 +25,24 @@ pub enum AppKind {
     },
     /// Synthetic workload with dialed-in redundancy.
     Synthetic(SyntheticWorkload),
+    /// Shifted-duplicate workload: every rank holds the same base content
+    /// behind a rank-private prefix whose length is *not* a multiple of
+    /// any page size. Cross-rank redundancy is total, but byte-shifted —
+    /// invisible to fixed chunking, fully visible to CDC.
+    ShiftedDup {
+        /// Bytes of pseudo-random base content shared by all ranks.
+        base_len: usize,
+    },
+    /// Insert-heavy workload: all ranks start from the same base and each
+    /// rank splices small rank-private runs at rank-dependent offsets —
+    /// the classic editing pattern that shifts everything after each
+    /// insertion.
+    InsertHeavy {
+        /// Bytes of pseudo-random base content shared by all ranks.
+        base_len: usize,
+        /// Number of rank-private insertions.
+        inserts: usize,
+    },
 }
 
 impl AppKind {
@@ -42,14 +60,96 @@ impl AppKind {
         AppKind::Cm1 { warmup: 3 }
     }
 
+    /// Shifted-duplicate workload at bench scale: ~192 KiB of shared base
+    /// content behind a rank-private misaligning prefix.
+    pub fn shifted_dup() -> Self {
+        AppKind::ShiftedDup {
+            base_len: 192 * 1024,
+        }
+    }
+
+    /// Insert-heavy workload at bench scale: ~192 KiB of shared base
+    /// content with 16 rank-private splices.
+    pub fn insert_heavy() -> Self {
+        AppKind::InsertHeavy {
+            base_len: 192 * 1024,
+            inserts: 16,
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
             AppKind::Hpccg { .. } => "HPCCG",
             AppKind::Cm1 { .. } => "CM1",
             AppKind::Synthetic(_) => "synthetic",
+            AppKind::ShiftedDup { .. } => "shifted-dup",
+            AppKind::InsertHeavy { .. } => "insert-heavy",
         }
     }
+}
+
+/// splitmix64: the workload generators' only source of pseudo-randomness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pseudo-random bytes shared by every rank of the CDC workloads.
+fn shared_base(len: usize) -> Vec<u8> {
+    let mut state = 0x5348_4946_5445_4421; // b"SHIFTED!"
+    let mut base = Vec::with_capacity(len);
+    while base.len() < len {
+        base.extend_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    base.truncate(len);
+    base
+}
+
+/// Rank-private pseudo-random bytes (distinct stream per rank).
+fn private_bytes(rank: u32, len: usize) -> Vec<u8> {
+    let mut state = 0xC0FF_EE00_0000_0000 ^ (u64::from(rank) << 8) ^ 0x55;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Shifted-duplicate buffer for one rank: `rank * 97 + 13` bytes of
+/// rank-private prefix (never page- or power-of-two-aligned), then the
+/// shared base. Identical content at different byte offsets on every rank.
+fn shifted_dup_buffer(rank: u32, base: &[u8]) -> Vec<u8> {
+    let prefix_len = rank as usize * 97 + 13;
+    let mut buf = private_bytes(rank, prefix_len);
+    buf.extend_from_slice(base);
+    buf
+}
+
+/// Insert-heavy buffer for one rank: the shared base with `inserts` small
+/// rank-private runs (1–32 bytes) spliced at rank-dependent offsets. Each
+/// splice shifts everything after it, like interleaved edits.
+fn insert_heavy_buffer(rank: u32, base: &[u8], inserts: usize) -> Vec<u8> {
+    let mut state = 0x494E_5345_5254_2100 ^ u64::from(rank); // b"INSERT!"
+    let mut offsets: Vec<usize> = (0..inserts)
+        .map(|_| splitmix64(&mut state) as usize % base.len().max(1))
+        .collect();
+    offsets.sort_unstable();
+    let mut buf = Vec::with_capacity(base.len() + inserts * 32);
+    let mut prev = 0;
+    for off in offsets {
+        buf.extend_from_slice(&base[prev..off]);
+        let len = 1 + (splitmix64(&mut state) as usize % 32);
+        let run = private_bytes(rank ^ 0x8000_0000, len);
+        buf.extend_from_slice(&run);
+        prev = off;
+    }
+    buf.extend_from_slice(&base[prev..]);
+    buf
 }
 
 /// Laptop-scale HPCCG sub-block (≈ 90 pages of checkpoint per rank; the
@@ -91,6 +191,16 @@ pub fn cm1_config() -> Cm1Config {
 pub fn make_buffers(app: AppKind, n: u32) -> Vec<Vec<u8>> {
     match app {
         AppKind::Synthetic(w) => (0..n).map(|r| w.generate(r)).collect(),
+        AppKind::ShiftedDup { base_len } => {
+            let base = shared_base(base_len);
+            (0..n).map(|r| shifted_dup_buffer(r, &base)).collect()
+        }
+        AppKind::InsertHeavy { base_len, inserts } => {
+            let base = shared_base(base_len);
+            (0..n)
+                .map(|r| insert_heavy_buffer(r, &base, inserts))
+                .collect()
+        }
         AppKind::Hpccg { warmup } => {
             World::run(n, |comm| {
                 let mut app = Hpccg::new(comm.rank(), comm.size(), hpccg_config());
@@ -209,5 +319,65 @@ mod tests {
         let a = make_buffers(AppKind::hpccg(), 4);
         let b = make_buffers(AppKind::hpccg(), 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shifted_dup_shares_content_at_misaligned_offsets() {
+        let bufs = make_buffers(AppKind::shifted_dup(), 4);
+        for (r, b) in bufs.iter().enumerate() {
+            let prefix = r * 97 + 13;
+            assert_eq!(b.len(), prefix + 192 * 1024);
+            // The base is bit-identical across ranks, just shifted.
+            assert_eq!(&b[prefix..], &bufs[0][13..]);
+            // The shift is never page-aligned, so fixed 4 KiB chunking
+            // sees (almost) nothing in common across ranks.
+            assert_ne!(prefix % 4096, 0);
+        }
+        // Rank-private prefixes differ.
+        assert_ne!(&bufs[1][..13], &bufs[0][..13]);
+        // Fixed-stride pages barely overlap between shifted ranks.
+        let same_pages = bufs[0]
+            .chunks(4096)
+            .zip(bufs[1].chunks(4096))
+            .filter(|(a, b)| a == b)
+            .count();
+        assert_eq!(same_pages, 0, "shifted ranks must share no aligned pages");
+    }
+
+    #[test]
+    fn insert_heavy_keeps_long_shared_runs() {
+        let bufs = make_buffers(AppKind::insert_heavy(), 3);
+        // Each rank grew by its private insertions only.
+        for b in &bufs {
+            assert!(b.len() > 192 * 1024);
+            assert!(b.len() < 192 * 1024 + 16 * 33);
+        }
+        // Different ranks splice at different offsets with different bytes.
+        assert_ne!(bufs[0], bufs[1]);
+        // But both still contain a long run of the shared base verbatim:
+        // the suffix after the last insertion is common content.
+        let tail = &bufs[0][bufs[0].len() - 1024..];
+        assert!(
+            bufs[1].windows(tail.len()).any(|w| w == tail),
+            "insert-heavy ranks must share long base runs"
+        );
+    }
+
+    #[test]
+    fn cdc_workloads_are_deterministic() {
+        assert_eq!(
+            make_buffers(AppKind::shifted_dup(), 3),
+            make_buffers(AppKind::shifted_dup(), 3)
+        );
+        assert_eq!(
+            make_buffers(AppKind::insert_heavy(), 3),
+            make_buffers(AppKind::insert_heavy(), 3)
+        );
+    }
+
+    #[test]
+    fn cdc_workload_labels() {
+        assert_eq!(AppKind::shifted_dup().label(), "shifted-dup");
+        assert_eq!(AppKind::insert_heavy().label(), "insert-heavy");
     }
 }

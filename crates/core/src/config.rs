@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use replidedup_hash::ChunkerKind;
+
 /// A dump configuration rejected at build/validation time.
 ///
 /// Produced by [`DumpConfig::validate`] and by
@@ -23,6 +25,12 @@ pub enum ConfigError {
     ZeroFThreshold,
     /// No [`replidedup_storage::Cluster`] was supplied to the builder.
     MissingCluster,
+    /// The chunker's parameters are inconsistent (e.g. `min_size >
+    /// max_size`).
+    InvalidChunker {
+        /// What the chunker validation rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -39,6 +47,9 @@ impl fmt::Display for ConfigError {
                     f,
                     "a target cluster is required: call .cluster(..) before .build()"
                 )
+            }
+            ConfigError::InvalidChunker { reason } => {
+                write!(f, "invalid chunker parameters: {reason}")
             }
         }
     }
@@ -118,7 +129,13 @@ pub struct DumpConfig {
     /// one). Clamped to the world size at run time.
     pub replication: u32,
     /// Fixed chunk size in bytes (paper: 4 KiB, the memory page size).
+    /// Used by the [`ChunkerKind::Fixed`] chunker and as the transport
+    /// framing unit for `no-dedup` dumps (which never hash or chunk by
+    /// content).
     pub chunk_size: usize,
+    /// Chunking algorithm for the dedup strategies (default: fixed-size,
+    /// the paper's scheme). CDC kinds carry their own size parameters.
+    pub chunker: ChunkerKind,
     /// Reduction threshold `F`: at most this many fingerprints survive each
     /// merge; the rest are conservatively treated as unique. Paper: 2^17.
     pub f_threshold: usize,
@@ -140,6 +157,7 @@ impl DumpConfig {
             strategy,
             replication: 3,
             chunk_size: 4096,
+            chunker: ChunkerKind::Fixed,
             f_threshold: 1 << 17,
             shuffle: matches!(strategy, Strategy::CollDedup),
             parallel_hash: false,
@@ -156,6 +174,12 @@ impl DumpConfig {
     /// Builder-style: set the chunk size.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Builder-style: select the chunking algorithm.
+    pub fn with_chunker(mut self, chunker: ChunkerKind) -> Self {
+        self.chunker = chunker;
         self
     }
 
@@ -199,7 +223,28 @@ impl DumpConfig {
         if self.f_threshold == 0 {
             return Err(ConfigError::ZeroFThreshold);
         }
+        self.chunker
+            .validate()
+            .map_err(|reason| ConfigError::InvalidChunker { reason })?;
+        if self.record_payload_cap() > u32::MAX as usize {
+            return Err(ConfigError::ChunkSizeOverflow {
+                chunk_size: self.record_payload_cap(),
+            });
+        }
         Ok(())
+    }
+
+    /// Largest chunk payload one exchange-record cell must hold for this
+    /// config: the fixed chunk size for `no-dedup` (pure transport
+    /// framing, no content chunking) and for the fixed chunker; the CDC
+    /// chunker's `max_size` otherwise.
+    pub fn record_payload_cap(&self) -> usize {
+        match self.strategy {
+            Strategy::NoDedup => self.chunk_size,
+            Strategy::LocalDedup | Strategy::CollDedup => {
+                self.chunker.max_chunk_len(self.chunk_size)
+            }
+        }
     }
 }
 
@@ -261,6 +306,36 @@ mod tests {
             })
         );
         assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn chunker_selection_validates_and_sizes_the_cell() {
+        use replidedup_hash::{GearParams, RabinParams};
+        let base = DumpConfig::paper_defaults(Strategy::CollDedup);
+        assert_eq!(base.chunker, ChunkerKind::Fixed);
+        assert_eq!(base.record_payload_cap(), 4096);
+
+        let gear = base.with_chunker(ChunkerKind::Gear(GearParams::default()));
+        assert!(gear.validate().is_ok());
+        assert_eq!(gear.record_payload_cap(), GearParams::default().max_size);
+
+        let rabin = base.with_chunker(ChunkerKind::Rabin(RabinParams::default()));
+        assert_eq!(rabin.record_payload_cap(), RabinParams::default().max_size);
+
+        // no-dedup never chunks by content: the cap is transport framing.
+        let nd = DumpConfig::paper_defaults(Strategy::NoDedup)
+            .with_chunker(ChunkerKind::Gear(GearParams::default()));
+        assert_eq!(nd.record_payload_cap(), 4096);
+
+        let bad = base.with_chunker(ChunkerKind::Gear(GearParams {
+            min_size: 0,
+            avg_size: 64,
+            max_size: 128,
+        }));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::InvalidChunker { .. })
+        ));
     }
 
     #[test]

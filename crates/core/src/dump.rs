@@ -17,7 +17,7 @@
 
 use bytes::Bytes;
 use replidedup_buf::{record_copy, thread_bytes_copied, Chunk};
-use replidedup_hash::{ChunkHasher, Fingerprint};
+use replidedup_hash::{chunk_ranges, ChunkHasher, ChunkRange, Fingerprint};
 use replidedup_mpi::wire::Wire;
 use replidedup_mpi::{Comm, CommError, Tag};
 use replidedup_storage::{Cluster, DumpId, Manifest, StorageError};
@@ -144,7 +144,6 @@ pub(crate) fn dump_impl(
         rank: me,
         k,
         buffer_bytes: buf.len() as u64,
-        chunks_total: buf.len().div_ceil(cfg.chunk_size) as u64,
         ..Default::default()
     };
     // Defer storage errors so the collective completes on every rank.
@@ -152,8 +151,6 @@ pub(crate) fn dump_impl(
 
     comm.tracer()
         .gauge_bytes("dump_buffer_bytes", buf.len() as u64);
-    comm.tracer()
-        .counter("dump_chunks_total", stats.chunks_total);
 
     match dump_pipeline(comm, ctx, data, cfg, k, &mut stats, &mut storage_err) {
         Ok(()) => {}
@@ -220,12 +217,18 @@ fn dump_pipeline(
     let view: Option<GlobalView>;
     let keep_indices: Vec<u32>;
     let send_indices: Vec<Vec<u32>>;
+    // Transport framing for no-dedup: fixed-size ranges, no hashing. The
+    // dedup strategies carry their (possibly variable-length) geometry in
+    // the `LocalIndex` instead.
+    let transport_ranges: Vec<ChunkRange>;
     comm.enter_phase("local_dedup");
     match cfg.strategy {
         Strategy::NoDedup => {
             // No hashing at all: the raw buffer is the unit of storage.
             local = None;
             view = None;
+            transport_ranges = chunk_ranges(buf.len(), chunk_size);
+            stats.chunks_total = transport_ranges.len() as u64;
             let all: Vec<u32> = (0..stats.chunks_total as u32).collect();
             keep_indices = all.clone();
             send_indices = vec![all; (k - 1) as usize];
@@ -237,7 +240,10 @@ fn dump_pipeline(
             comm.exit_phase("local_dedup");
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
-            let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
+            let chunker = cfg.chunker.resolve(chunk_size);
+            let idx = LocalIndex::build(ctx.hasher, buf, &chunker, cfg.parallel_hash);
+            transport_ranges = Vec::new();
+            stats.chunks_total = idx.chunk_count() as u64;
             stats.bytes_hashed = buf.len() as u64;
             stats.chunks_locally_unique = idx.unique_count() as u64;
             stats.bytes_locally_unique = idx.unique_bytes(buf.len());
@@ -293,6 +299,8 @@ fn dump_pipeline(
         }
     }
     stats.chunks_sent = send_indices.iter().map(|l| l.len() as u64).collect();
+    comm.tracer()
+        .counter("dump_chunks_total", stats.chunks_total);
 
     // ---- Load allgather + partner selection ----------------------------
     let mut load: Vec<u64> = Vec::with_capacity(k as usize);
@@ -315,11 +323,18 @@ fn dump_pipeline(
 
     // ---- Single-sided exchange ------------------------------------------
     comm.enter_phase("exchange");
-    let cell = record_size(chunk_size);
+    // Cells are sized for the largest chunk the configured chunker can
+    // emit; the plan stays in record counts, so variable-length chunks
+    // need no offset changes — their true length rides in each header.
+    let payload_cap = cfg.record_payload_cap();
+    let cell = record_size(payload_cap);
     let win = comm.try_win_create(wplan.recv_counts[me as usize] as usize * cell)?;
-    let chunk_range = |i: u32| {
-        let start = i as usize * chunk_size;
-        start..(start + chunk_size).min(buf.len())
+    let chunk_range = |i: u32| match &local {
+        Some(idx) => idx.chunk_range(i),
+        None => {
+            let r = transport_ranges[i as usize];
+            r.start..r.end
+        }
     };
     let chunk_bytes = |i: u32| &buf[chunk_range(i)];
     let fp_of = |i: u32| match &local {
@@ -342,7 +357,7 @@ fn dump_pipeline(
                 // header + payload bytes.
                 for (r, &i) in list.iter().enumerate() {
                     let body = chunk_bytes(i);
-                    let header = record_header(&fp_of(i), body.len(), chunk_size);
+                    let header = record_header(&fp_of(i), body.len(), payload_cap);
                     stats.bytes_sent_replication += (RECORD_HEADER + body.len()) as u64;
                     win.try_put_vectored(target, base + r * cell, &[&header, body])?;
                 }
@@ -353,7 +368,7 @@ fn dump_pipeline(
                 // charges the staging memcpy to the copy accounting.
                 let mut payload = Vec::with_capacity(list.len() * cell);
                 for &i in list {
-                    encode_record(&mut payload, &fp_of(i), chunk_bytes(i), chunk_size);
+                    encode_record(&mut payload, &fp_of(i), chunk_bytes(i), payload_cap);
                 }
                 stats.bytes_sent_replication += payload.len() as u64;
                 win.try_put(target, base, &payload)?;
@@ -404,9 +419,9 @@ fn dump_pipeline(
             let manifest = Manifest {
                 owner_rank: me,
                 dump_id: ctx.dump_id,
-                chunk_size: chunk_size as u32,
                 total_len: buf.len() as u64,
                 chunks: idx.in_order.clone(),
+                chunk_lens: idx.chunk_lens(),
             };
             record_storage(
                 ctx.cluster.put_manifest(node, manifest.clone()).map(|()| 0),
@@ -445,10 +460,10 @@ fn dump_pipeline(
         let records: Vec<(Fingerprint, Chunk)> = match &stolen {
             Some(window) => {
                 let region = window.slice(start..start + count * cell);
-                parse_records_zc(&region, chunk_size, count)
+                parse_records_zc(&region, payload_cap, count)
             }
             None => win.with_local(|window| {
-                parse_records(&window[start..start + count * cell], chunk_size, count)
+                parse_records(&window[start..start + count * cell], payload_cap, count)
                     .map(|rs| rs.into_iter().map(|(fp, d)| (fp, Chunk::from(d))).collect())
             }),
         }
@@ -549,6 +564,7 @@ fn degraded_commit(
     match cfg.strategy {
         Strategy::NoDedup => {
             // Refcount bump: the degraded blob is still the app buffer.
+            stats.chunks_total = buf.len().div_ceil(chunk_size) as u64;
             let blob = data.as_bytes().clone();
             let len = blob.len() as u64;
             record_storage(
@@ -559,10 +575,12 @@ fn degraded_commit(
             );
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
-            // Re-derive the local index: hashing is pure, so this is
-            // correct whether the pipeline died before or after building
-            // (or partially committing) it.
-            let idx = LocalIndex::build(ctx.hasher, buf, chunk_size, cfg.parallel_hash);
+            // Re-derive the local index: hashing and chunking are pure, so
+            // this is correct whether the pipeline died before or after
+            // building (or partially committing) it.
+            let chunker = cfg.chunker.resolve(chunk_size);
+            let idx = LocalIndex::build(ctx.hasher, buf, &chunker, cfg.parallel_hash);
+            stats.chunks_total = idx.chunk_count() as u64;
             stats.bytes_hashed = buf.len() as u64;
             stats.chunks_locally_unique = idx.unique_count() as u64;
             stats.bytes_locally_unique = idx.unique_bytes(buf.len());
@@ -580,9 +598,9 @@ fn degraded_commit(
             let manifest = Manifest {
                 owner_rank: me,
                 dump_id: ctx.dump_id,
-                chunk_size: chunk_size as u32,
                 total_len: buf.len() as u64,
                 chunks: idx.in_order.clone(),
+                chunk_lens: idx.chunk_lens(),
             };
             record_storage(
                 ctx.cluster.put_manifest(node, manifest).map(|()| 0),

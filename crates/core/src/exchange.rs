@@ -2,10 +2,16 @@
 //!
 //! Partners `put` chunk *records* into each other's windows. A record is a
 //! fixed-size cell — fingerprint, payload length, payload padded to the
-//! chunk size — so that record offsets are pure arithmetic on the globally
-//! known chunk counts (Algorithm 3 plans in chunks, not bytes). The 24-byte
-//! header on a 4 KiB chunk costs 0.6 % — the fingerprint has to travel
-//! anyway for content-addressed storage on the receiver.
+//! *payload cap* — so that record offsets are pure arithmetic on the
+//! globally known chunk counts (Algorithm 3 plans in chunks, not bytes).
+//! The cap is the largest chunk the configured chunker can emit: the
+//! fixed chunk size for the paper's page chunker, `max_size` for the CDC
+//! chunkers. Variable-length chunks ride in the same cells — the header's
+//! explicit length says how much of the cell is payload; padding costs
+//! window memory, never wire traffic (the vectored put sends header +
+//! payload only). The 24-byte header on a 4 KiB chunk costs 0.6 % — the
+//! fingerprint has to travel anyway for content-addressed storage on the
+//! receiver.
 
 use bytes::Bytes;
 use replidedup_buf::Chunk;
@@ -15,19 +21,19 @@ use replidedup_hash::Fingerprint;
 pub const RECORD_HEADER: usize = Fingerprint::SIZE + 4;
 
 /// Total record cell size for a given chunk size.
-pub const fn record_size(chunk_size: usize) -> usize {
-    RECORD_HEADER + chunk_size
+pub const fn record_size(payload_cap: usize) -> usize {
+    RECORD_HEADER + payload_cap
 }
 
-/// Append one record to `out`. `data` must fit in `chunk_size`.
+/// Append one record to `out`. `data` must fit in `payload_cap`.
 ///
 /// This stages a full copy of the payload, charged to the copy accounting;
 /// the zero-copy exchange uses [`record_header`] plus a vectored put
 /// instead.
-pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_size: usize) {
+pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], payload_cap: usize) {
     assert!(
-        data.len() <= chunk_size,
-        "chunk of {} exceeds chunk size {chunk_size}",
+        data.len() <= payload_cap,
+        "chunk of {} exceeds payload cap {payload_cap}",
         data.len()
     );
     out.extend_from_slice(fp.as_bytes());
@@ -35,7 +41,7 @@ pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_siz
     out.extend_from_slice(data);
     replidedup_buf::record_copy(data.len());
     // Pad to the fixed cell size.
-    out.resize(out.len() + (chunk_size - data.len()), 0);
+    out.resize(out.len() + (payload_cap - data.len()), 0);
 }
 
 /// The [`RECORD_HEADER`]-byte header of a record whose payload is `len`
@@ -43,10 +49,10 @@ pub fn encode_record(out: &mut Vec<u8>, fp: &Fingerprint, data: &[u8], chunk_siz
 /// as one vectored RMA put — the chunk's bytes never leave the application
 /// buffer on the sender side, and the cell's padding stays untouched
 /// (windows are zero-initialised, so the gap is already zero).
-pub fn record_header(fp: &Fingerprint, len: usize, chunk_size: usize) -> [u8; RECORD_HEADER] {
+pub fn record_header(fp: &Fingerprint, len: usize, payload_cap: usize) -> [u8; RECORD_HEADER] {
     assert!(
-        len <= chunk_size,
-        "chunk of {len} exceeds chunk size {chunk_size}"
+        len <= payload_cap,
+        "chunk of {len} exceeds payload cap {payload_cap}"
     );
     let mut header = [0u8; RECORD_HEADER];
     header[..Fingerprint::SIZE].copy_from_slice(fp.as_bytes());
@@ -89,10 +95,10 @@ impl std::error::Error for RecordError {}
 /// zero-copy commit path uses [`parse_records_zc`] instead.
 pub fn parse_records(
     buf: &[u8],
-    chunk_size: usize,
+    payload_cap: usize,
     count: usize,
 ) -> Result<Vec<(Fingerprint, Bytes)>, RecordError> {
-    let cell = record_size(chunk_size);
+    let cell = record_size(payload_cap);
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let start = i * cell;
@@ -106,7 +112,7 @@ pub fn parse_records(
                 .try_into()
                 .expect("fixed slice"),
         );
-        if len as usize > chunk_size {
+        if len as usize > payload_cap {
             return Err(RecordError::BadLength { at: i, len });
         }
         let payload = Bytes::copy_from_slice(&record[RECORD_HEADER..RECORD_HEADER + len as usize]);
@@ -122,10 +128,10 @@ pub fn parse_records(
 /// straight out of the (stolen) exchange window into storage.
 pub fn parse_records_zc(
     buf: &Bytes,
-    chunk_size: usize,
+    payload_cap: usize,
     count: usize,
 ) -> Result<Vec<(Fingerprint, Chunk)>, RecordError> {
-    let cell = record_size(chunk_size);
+    let cell = record_size(payload_cap);
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let start = i * cell;
@@ -139,7 +145,7 @@ pub fn parse_records_zc(
                 .try_into()
                 .expect("fixed slice"),
         );
-        if len as usize > chunk_size {
+        if len as usize > payload_cap {
             return Err(RecordError::BadLength { at: i, len });
         }
         let payload =
@@ -203,7 +209,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds chunk size")]
+    #[should_panic(expected = "exceeds payload cap")]
     fn oversized_chunk_panics() {
         let mut buf = Vec::new();
         encode_record(&mut buf, &fp(1), &[1; 9], 8);

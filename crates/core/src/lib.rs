@@ -68,6 +68,7 @@ pub use local::LocalIndex;
 pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};
 pub use repair::{RepairError, RepairStats, REPAIR_PHASES};
+pub use replidedup_hash::{ChunkerKind, GearParams, RabinParams};
 #[allow(deprecated)]
 pub use restore::restore_output;
 pub use restore::RestoreError;

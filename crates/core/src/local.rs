@@ -10,19 +10,24 @@
 //! dataset.
 
 use replidedup_hash::{
-    fingerprint_buffer, fingerprint_buffer_parallel, ChunkHasher, Fingerprint, FpHashMap,
+    fingerprint_ranges, fingerprint_ranges_parallel, ChunkHasher, ChunkRange, Chunker, Fingerprint,
+    FpHashMap,
 };
 
 /// Result of locally deduplicating one rank's buffer.
+///
+/// Chunk geometry is carried as explicit per-chunk byte ranges rather than
+/// a fixed stride, so content-defined chunkers (variable-length chunks)
+/// flow through the same index as the paper's fixed-size pages.
 #[derive(Debug, Clone)]
 pub struct LocalIndex {
     /// Fingerprint of every chunk, in buffer order (the manifest recipe).
     pub in_order: Vec<Fingerprint>,
+    /// Byte range of every chunk, parallel to `in_order`.
+    pub ranges: Vec<ChunkRange>,
     /// Locally unique fingerprints mapped to the first chunk index holding
     /// their bytes and the number of local occurrences.
     pub unique: FpHashMap<LocalChunk>,
-    /// Chunk size the buffer was split with.
-    pub chunk_size: usize,
     /// Total buffer length in bytes.
     pub total_len: usize,
 }
@@ -37,17 +42,19 @@ pub struct LocalChunk {
 }
 
 impl LocalIndex {
-    /// Chunk and fingerprint `buf`, deduplicating locally.
+    /// Chunk `buf` with `chunker`, fingerprint every chunk, and
+    /// deduplicate locally.
     pub fn build(
         hasher: &(dyn ChunkHasher + Sync),
         buf: &[u8],
-        chunk_size: usize,
+        chunker: &dyn Chunker,
         parallel: bool,
     ) -> Self {
+        let ranges = chunker.chunks(buf);
         let in_order = if parallel {
-            fingerprint_buffer_parallel(hasher, buf, chunk_size)
+            fingerprint_ranges_parallel(hasher, buf, &ranges)
         } else {
-            fingerprint_buffer(hasher, buf, chunk_size)
+            fingerprint_ranges(hasher, buf, &ranges)
         };
         let mut unique: FpHashMap<LocalChunk> = FpHashMap::default();
         unique.reserve(in_order.len());
@@ -62,8 +69,8 @@ impl LocalIndex {
         }
         Self {
             in_order,
+            ranges,
             unique,
-            chunk_size,
             total_len: buf.len(),
         }
     }
@@ -80,9 +87,13 @@ impl LocalIndex {
 
     /// Byte range of chunk `index` within the original buffer.
     pub fn chunk_range(&self, index: u32) -> std::ops::Range<usize> {
-        let start = index as usize * self.chunk_size;
-        let end = (start + self.chunk_size).min(self.total_len);
-        start..end
+        let r = self.ranges[index as usize];
+        r.start..r.end
+    }
+
+    /// Per-chunk byte lengths in buffer order (the manifest's geometry).
+    pub fn chunk_lens(&self) -> Vec<u32> {
+        self.ranges.iter().map(|r| r.len() as u32).collect()
     }
 
     /// Borrow the bytes of the canonical (first) occurrence of `fp`.
@@ -106,15 +117,15 @@ impl LocalIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replidedup_hash::Sha1ChunkHasher;
+    use replidedup_hash::{FixedChunker, GearChunker, GearParams, Sha1ChunkHasher};
 
     fn build(buf: &[u8], cs: usize) -> LocalIndex {
-        LocalIndex::build(&Sha1ChunkHasher, buf, cs, false)
+        LocalIndex::build(&Sha1ChunkHasher, buf, &FixedChunker::new(cs), false)
     }
 
     #[test]
     fn all_identical_chunks_dedup_to_one() {
-        let buf = vec![9u8; 4096 * 8];
+        let buf = vec![9u8; 32 * 1024];
         let idx = build(&buf, 4096);
         assert_eq!(idx.chunk_count(), 8);
         assert_eq!(idx.unique_count(), 1);
@@ -187,9 +198,41 @@ mod tests {
     #[test]
     fn parallel_build_matches_sequential() {
         let buf: Vec<u8> = (0..64 * 1024u32).map(|i| (i / 4096) as u8 % 4).collect();
-        let seq = LocalIndex::build(&Sha1ChunkHasher, &buf, 4096, false);
-        let par = LocalIndex::build(&Sha1ChunkHasher, &buf, 4096, true);
+        let fixed = FixedChunker::new(4096);
+        let seq = LocalIndex::build(&Sha1ChunkHasher, &buf, &fixed, false);
+        let par = LocalIndex::build(&Sha1ChunkHasher, &buf, &fixed, true);
         assert_eq!(seq.in_order, par.in_order);
         assert_eq!(seq.unique_count(), par.unique_count());
+    }
+
+    #[test]
+    fn variable_length_chunks_index_by_range() {
+        // A gear-chunked buffer with a repeated region: the index must
+        // track true per-chunk geometry, and `unique_bytes` must sum the
+        // variable lengths, not a stride.
+        let mut buf: Vec<u8> = (0..40_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
+        let len = buf.len();
+        buf.extend_from_within(..len); // exact duplicate half
+        let chunker = GearChunker::new(GearParams {
+            min_size: 128,
+            avg_size: 512,
+            max_size: 4096,
+        });
+        let idx = LocalIndex::build(&Sha1ChunkHasher, &buf, &chunker, false);
+        assert_eq!(idx.ranges.len(), idx.in_order.len());
+        assert_eq!(idx.chunk_lens().len(), idx.chunk_count());
+        let summed: u64 = idx.chunk_lens().iter().map(|&l| l as u64).sum();
+        assert_eq!(summed, buf.len() as u64, "ranges tile the buffer");
+        assert!(
+            idx.unique_count() < idx.chunk_count(),
+            "duplicate half must dedup"
+        );
+        assert!(idx.unique_bytes(buf.len()) < buf.len() as u64);
+        for i in 0..idx.chunk_count() as u32 {
+            let r = idx.chunk_range(i);
+            assert_eq!(r.len(), idx.chunk_lens()[i as usize] as usize);
+        }
     }
 }

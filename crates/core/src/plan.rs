@@ -100,10 +100,10 @@ pub fn plan_chunks(me: Rank, local: &LocalIndex, view: &GlobalView, k: u32) -> C
 mod tests {
     use super::*;
     use crate::global::GlobalEntry;
-    use replidedup_hash::Sha1ChunkHasher;
+    use replidedup_hash::{FixedChunker, Sha1ChunkHasher};
 
     fn index_of(buf: &[u8], cs: usize) -> LocalIndex {
-        LocalIndex::build(&Sha1ChunkHasher, buf, cs, false)
+        LocalIndex::build(&Sha1ChunkHasher, buf, &FixedChunker::new(cs), false)
     }
 
     fn view(entries: Vec<GlobalEntry>) -> GlobalView {

@@ -11,7 +11,7 @@
 //! execution all hang off the session instead of being re-plumbed per call.
 
 use replidedup_buf::Chunk;
-use replidedup_hash::{ChunkHasher, Sha1ChunkHasher};
+use replidedup_hash::{ChunkHasher, ChunkerKind, Sha1ChunkHasher};
 use replidedup_mpi::{Comm, CommError};
 use replidedup_storage::{Cluster, DumpId, ScrubReport};
 
@@ -144,6 +144,16 @@ impl<'a> ReplicatorBuilder<'a> {
     /// Fixed chunk size in bytes.
     pub fn chunk_size(mut self, chunk_size: usize) -> Self {
         self.cfg = self.cfg.with_chunk_size(chunk_size);
+        self
+    }
+
+    /// Chunking algorithm (default: fixed-size, the paper's scheme).
+    /// Content-defined kinds ([`ChunkerKind::Rabin`],
+    /// [`ChunkerKind::Gear`]) carry their own min/avg/max parameters and
+    /// realign chunk boundaries under byte shifts, trading hashing
+    /// throughput for dedup on shifted duplicates.
+    pub fn with_chunker(mut self, chunker: ChunkerKind) -> Self {
+        self.cfg = self.cfg.with_chunker(chunker);
         self
     }
 

@@ -7,6 +7,9 @@
 //! trait with a fixed-size implementation here and a content-defined one in
 //! [`crate::rabin`].
 
+use super::gear::{GearChunker, GearParams};
+use super::rabin::{CdcChunker, RabinParams};
+
 /// Default chunk size: one 4 KiB memory page, as in the paper.
 pub const DEFAULT_CHUNK_SIZE: usize = 4096;
 
@@ -76,6 +79,104 @@ impl FixedChunker {
 impl Chunker for FixedChunker {
     fn chunks(&self, buf: &[u8]) -> Vec<ChunkRange> {
         chunk_ranges(buf.len(), self.chunk_size)
+    }
+}
+
+/// Which chunking algorithm a dump runs, with its parameters.
+///
+/// This is the value that travels through `DumpConfig`: a small `Copy`
+/// descriptor rather than a trait object, so configs stay `Copy` and the
+/// choice can be compared, logged, and validated before any buffer is
+/// touched. [`ChunkerKind::resolve`] turns it into a runnable
+/// [`ResolvedChunker`] at dump time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ChunkerKind {
+    /// Fixed-size chunking at the config's `chunk_size` (paper default).
+    #[default]
+    Fixed,
+    /// Rabin rolling-hash CDC ([`crate::rabin`]).
+    Rabin(RabinParams),
+    /// Gear-hash CDC with SeqCDC-style skipping ([`crate::gear`]).
+    Gear(GearParams),
+}
+
+impl ChunkerKind {
+    /// Short label for logs, bench reports, and test names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChunkerKind::Fixed => "fixed",
+            ChunkerKind::Rabin(_) => "rabin",
+            ChunkerKind::Gear(_) => "gear",
+        }
+    }
+
+    /// Check the embedded parameters, reporting the first violation.
+    /// `Fixed` is always valid here — its chunk size lives in the dump
+    /// config and is validated there.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            ChunkerKind::Fixed => Ok(()),
+            ChunkerKind::Rabin(p) => {
+                if p.window == 0 {
+                    Err("rabin window must be positive")
+                } else if p.min_size == 0 {
+                    Err("rabin min_size must be positive")
+                } else if p.min_size > p.max_size {
+                    Err("rabin min_size must be <= max_size")
+                } else {
+                    Ok(())
+                }
+            }
+            ChunkerKind::Gear(p) => p.validate(),
+        }
+    }
+
+    /// Largest chunk this kind can emit, given the config's fixed chunk
+    /// size. Sizes the fixed exchange-record cell (`record_size`) so one
+    /// cell always fits any chunk payload.
+    pub fn max_chunk_len(&self, fixed_size: usize) -> usize {
+        match self {
+            ChunkerKind::Fixed => fixed_size,
+            ChunkerKind::Rabin(p) => p.max_size,
+            ChunkerKind::Gear(p) => p.max_size,
+        }
+    }
+
+    /// Instantiate the runnable chunker. `fixed_size` is the config's
+    /// `chunk_size`, used only by [`ChunkerKind::Fixed`].
+    ///
+    /// # Panics
+    /// If the parameters are invalid (call [`ChunkerKind::validate`]
+    /// first) or `fixed_size` is zero for the fixed kind.
+    pub fn resolve(&self, fixed_size: usize) -> ResolvedChunker {
+        match self {
+            ChunkerKind::Fixed => ResolvedChunker::Fixed(FixedChunker::new(fixed_size)),
+            ChunkerKind::Rabin(p) => ResolvedChunker::Rabin(CdcChunker::new(*p)),
+            ChunkerKind::Gear(p) => ResolvedChunker::Gear(GearChunker::new(*p)),
+        }
+    }
+}
+
+/// A [`ChunkerKind`] instantiated into a runnable chunker (enum dispatch
+/// keeps the dump path free of boxing).
+#[derive(Debug, Clone, Copy)]
+pub enum ResolvedChunker {
+    /// Fixed-size chunking.
+    Fixed(FixedChunker),
+    /// Rabin CDC.
+    Rabin(CdcChunker),
+    /// Gear CDC.
+    Gear(GearChunker),
+}
+
+impl Chunker for ResolvedChunker {
+    fn chunks(&self, buf: &[u8]) -> Vec<ChunkRange> {
+        match self {
+            ResolvedChunker::Fixed(c) => c.chunks(buf),
+            ResolvedChunker::Rabin(c) => c.chunks(buf),
+            ResolvedChunker::Gear(c) => c.chunks(buf),
+        }
     }
 }
 
@@ -166,5 +267,66 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_size_panics() {
         FixedChunker::new(0);
+    }
+
+    #[test]
+    fn kind_labels_and_default() {
+        assert_eq!(ChunkerKind::default(), ChunkerKind::Fixed);
+        assert_eq!(ChunkerKind::Fixed.label(), "fixed");
+        assert_eq!(ChunkerKind::Rabin(RabinParams::default()).label(), "rabin");
+        assert_eq!(ChunkerKind::Gear(GearParams::default()).label(), "gear");
+    }
+
+    #[test]
+    fn kind_validate_catches_bad_params() {
+        assert!(ChunkerKind::Fixed.validate().is_ok());
+        assert!(ChunkerKind::Rabin(RabinParams::default())
+            .validate()
+            .is_ok());
+        assert!(ChunkerKind::Gear(GearParams::default()).validate().is_ok());
+        let bad_rabin = RabinParams {
+            min_size: 10,
+            max_size: 5,
+            ..RabinParams::default()
+        };
+        assert!(ChunkerKind::Rabin(bad_rabin).validate().is_err());
+        let bad_gear = GearParams {
+            min_size: 0,
+            avg_size: 64,
+            max_size: 128,
+        };
+        assert!(ChunkerKind::Gear(bad_gear).validate().is_err());
+    }
+
+    #[test]
+    fn kind_max_chunk_len_sizes_the_record_cell() {
+        assert_eq!(ChunkerKind::Fixed.max_chunk_len(4096), 4096);
+        let r = RabinParams::default();
+        assert_eq!(ChunkerKind::Rabin(r).max_chunk_len(4096), r.max_size);
+        let g = GearParams::default();
+        assert_eq!(ChunkerKind::Gear(g).max_chunk_len(4096), g.max_size);
+    }
+
+    #[test]
+    fn resolved_chunkers_match_their_direct_implementations() {
+        let buf: Vec<u8> = (0..20_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        assert_eq!(
+            ChunkerKind::Fixed.resolve(4096).chunks(&buf),
+            FixedChunker::new(4096).chunks(&buf)
+        );
+        assert_eq!(
+            ChunkerKind::Rabin(RabinParams::default())
+                .resolve(4096)
+                .chunks(&buf),
+            CdcChunker::default().chunks(&buf)
+        );
+        assert_eq!(
+            ChunkerKind::Gear(GearParams::default())
+                .resolve(4096)
+                .chunks(&buf),
+            GearChunker::default().chunks(&buf)
+        );
     }
 }

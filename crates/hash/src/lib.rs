@@ -20,12 +20,14 @@
 pub mod chunk;
 pub mod fingerprint;
 pub mod fnv;
+pub mod gear;
 pub mod rabin;
 pub mod sha1;
 
-pub use chunk::{chunk_ranges, ChunkRange, Chunker, FixedChunker};
+pub use chunk::{chunk_ranges, ChunkRange, Chunker, ChunkerKind, FixedChunker, ResolvedChunker};
 pub use fingerprint::{Fingerprint, FpBuildHasher, FpHashMap, FpHashSet};
 pub use fnv::{fnv1a_64, Fnv64};
+pub use gear::{GearChunker, GearParams};
 pub use rabin::{CdcChunker, RabinHasher, RabinParams};
 pub use sha1::Sha1;
 
@@ -136,6 +138,49 @@ pub fn fingerprint_buffer_parallel(
     out
 }
 
+/// Fingerprint each of `ranges` (as produced by a [`Chunker`]) over `buf`,
+/// sequentially. The variable-length analogue of [`fingerprint_buffer`].
+pub fn fingerprint_ranges(
+    hasher: &dyn ChunkHasher,
+    buf: &[u8],
+    ranges: &[ChunkRange],
+) -> Vec<Fingerprint> {
+    ranges
+        .iter()
+        .map(|r| hasher.fingerprint(r.slice(buf)))
+        .collect()
+}
+
+/// Fingerprint each of `ranges` over `buf` across all cores.
+///
+/// Shards the *range list* (not the byte buffer) into contiguous runs,
+/// one scoped worker per run, so variable-length chunks never straddle a
+/// shard. Bit-identical to [`fingerprint_ranges`].
+pub fn fingerprint_ranges_parallel(
+    hasher: &(dyn ChunkHasher + Sync),
+    buf: &[u8],
+    ranges: &[ChunkRange],
+) -> Vec<Fingerprint> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(ranges.len());
+    if workers <= 1 {
+        return fingerprint_ranges(hasher, buf, ranges);
+    }
+    let per_worker = ranges.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .chunks(per_worker)
+            .map(|shard| scope.spawn(move || fingerprint_ranges(hasher, buf, shard)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("hash worker panicked"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +235,34 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_panics() {
         fingerprint_buffer(&Sha1ChunkHasher, b"x", 0);
+    }
+
+    #[test]
+    fn fingerprint_ranges_matches_fixed_buffer_path() {
+        let buf = vec![7u8; 10];
+        let ranges = chunk_ranges(buf.len(), 4);
+        let by_range = fingerprint_ranges(&Sha1ChunkHasher, &buf, &ranges);
+        let by_buffer = fingerprint_buffer(&Sha1ChunkHasher, &buf, 4);
+        assert_eq!(by_range, by_buffer);
+    }
+
+    #[test]
+    fn fingerprint_ranges_parallel_matches_sequential_on_variable_chunks() {
+        let buf: Vec<u8> = (0..120_000u32).map(|i| (i % 251) as u8).collect();
+        let ranges = GearChunker::new(GearParams {
+            min_size: 64,
+            avg_size: 256,
+            max_size: 2048,
+        })
+        .chunks(&buf);
+        assert!(ranges.len() > 8, "want enough chunks to shard");
+        let seq = fingerprint_ranges(&Sha1ChunkHasher, &buf, &ranges);
+        let par = fingerprint_ranges_parallel(&Sha1ChunkHasher, &buf, &ranges);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fingerprint_ranges_empty() {
+        assert!(fingerprint_ranges(&Sha1ChunkHasher, &[], &[]).is_empty());
     }
 }

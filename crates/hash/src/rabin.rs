@@ -14,7 +14,7 @@
 use super::chunk::{ChunkRange, Chunker};
 
 /// Parameters for Rabin-based CDC.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RabinParams {
     /// Sliding window width in bytes (LBFS used 48).
     pub window: usize,
@@ -187,28 +187,69 @@ impl CdcChunker {
 }
 
 impl Chunker for CdcChunker {
+    /// Scan for cut points without materializing a ring buffer.
+    ///
+    /// Equivalent to rolling a fresh [`RabinHasher`] from every chunk
+    /// start (the reference loop pinned by
+    /// `optimized_scan_matches_reference_hasher_loop`), but exploits that
+    /// the hash only depends on the trailing `window` bytes: the first
+    /// `min_size - window` bytes of each chunk are skipped without
+    /// hashing, and the steady-state loop reads the outgoing byte
+    /// straight from the buffer instead of a modulo-indexed ring.
     fn chunks(&self, buf: &[u8]) -> Vec<ChunkRange> {
         let p = self.params;
+        let win = p.window;
+        // Built once per call: the tables depend only on the window.
+        let hasher = RabinHasher::new(win);
+        let (push, pop) = (&hasher.push_table, &hasher.pop_table);
         let mut out = Vec::new();
-        let mut hasher = RabinHasher::new(p.window);
         let mut start = 0usize;
-        let mut i = 0usize;
-        while i < buf.len() {
-            let h = hasher.roll(buf[i]);
-            let size = i + 1 - start;
-            let cut = (size >= p.min_size && (h & p.mask) == p.mask_value) || size >= p.max_size;
-            if cut {
-                out.push(ChunkRange { start, end: i + 1 });
-                start = i + 1;
-                hasher.reset();
+        let len = buf.len();
+        while start < len {
+            let end_max = (start + p.max_size).min(len);
+            // Earliest admissible chunk end. At or past `end_max` the cut
+            // is forced (max_size or buffer tail), hash regardless.
+            let first_cut = start + p.min_size;
+            if first_cut >= end_max {
+                out.push(ChunkRange {
+                    start,
+                    end: end_max,
+                });
+                start = end_max;
+                continue;
             }
-            i += 1;
-        }
-        if start < buf.len() {
-            out.push(ChunkRange {
-                start,
-                end: buf.len(),
-            });
+            let mut cut = end_max;
+            let mut hash = 0u64;
+            // Warm-up: fill the window (no outgoing byte yet). Starts
+            // late enough that the window is exactly full at `first_cut`.
+            let warm_start = first_cut.saturating_sub(win).max(start);
+            let fill_end = (warm_start + win).min(end_max);
+            let mut i = warm_start;
+            let mut found = false;
+            while i < fill_end {
+                hash = shift8_mod(hash, push) ^ u64::from(buf[i]);
+                hash = poly_mod_step(hash);
+                i += 1;
+                if i >= first_cut && (hash & p.mask) == p.mask_value {
+                    cut = i;
+                    found = true;
+                    break;
+                }
+            }
+            // Steady state: window full, every position is admissible
+            // (`i >= warm_start + win >= first_cut`).
+            while !found && i < end_max {
+                hash ^= pop[buf[i - win] as usize];
+                hash = shift8_mod(hash, push) ^ u64::from(buf[i]);
+                hash = poly_mod_step(hash);
+                i += 1;
+                if (hash & p.mask) == p.mask_value {
+                    cut = i;
+                    break;
+                }
+            }
+            out.push(ChunkRange { start, end: cut });
+            start = cut;
         }
         out
     }
@@ -312,6 +353,63 @@ mod tests {
     #[test]
     fn cdc_empty_input() {
         assert!(CdcChunker::default().chunks(&[]).is_empty());
+    }
+
+    #[test]
+    fn optimized_scan_matches_reference_hasher_loop() {
+        // The production scan skips min-size prefixes and reads the
+        // outgoing byte straight from the buffer; this reference rolls a
+        // fresh RabinHasher over every byte of every chunk. Both must cut
+        // identically — the cut points are on-disk format.
+        fn reference_chunks(p: RabinParams, buf: &[u8]) -> Vec<ChunkRange> {
+            let mut out = Vec::new();
+            let mut hasher = RabinHasher::new(p.window);
+            let mut start = 0usize;
+            for i in 0..buf.len() {
+                let h = hasher.roll(buf[i]);
+                let size = i + 1 - start;
+                if (size >= p.min_size && (h & p.mask) == p.mask_value) || size >= p.max_size {
+                    out.push(ChunkRange { start, end: i + 1 });
+                    start = i + 1;
+                    hasher.reset();
+                }
+            }
+            if start < buf.len() {
+                out.push(ChunkRange {
+                    start,
+                    end: buf.len(),
+                });
+            }
+            out
+        }
+        let data: Vec<u8> = (0..300_001u32) // odd length: exercise the tail
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
+        for params in [
+            RabinParams::default(),
+            // min_size smaller than the window: partial-window cuts.
+            RabinParams {
+                window: 32,
+                mask: (1 << 6) - 1,
+                mask_value: (1 << 6) - 1,
+                min_size: 16,
+                max_size: 1024,
+            },
+            // min_size == max_size: every cut is forced.
+            RabinParams {
+                window: 8,
+                mask: 3,
+                mask_value: 3,
+                min_size: 128,
+                max_size: 128,
+            },
+        ] {
+            assert_eq!(
+                CdcChunker::new(params).chunks(&data),
+                reference_chunks(params, &data),
+                "optimized scan diverged for {params:?}"
+            );
+        }
     }
 
     #[test]

@@ -628,13 +628,7 @@ mod tests {
     #[test]
     fn manifests_roundtrip_and_die_with_node() {
         let c = Cluster::new(Placement::one_per_node(2));
-        let m = Manifest {
-            owner_rank: 1,
-            dump_id: 5,
-            chunk_size: 4,
-            total_len: 4,
-            chunks: vec![fp(9)],
-        };
+        let m = Manifest::fixed_stride(1, 5, 4, 4, vec![fp(9)]);
         c.put_manifest(0, m.clone()).unwrap();
         assert_eq!(c.get_manifest(0, 1, 5).unwrap(), m);
         assert_eq!(
@@ -724,18 +718,18 @@ mod tests {
         let bad = Manifest {
             owner_rank: 0,
             dump_id: 0,
-            chunk_size: 4,
             total_len: 100,
             chunks: vec![],
+            chunk_lens: vec![],
         };
         match c.put_manifest(0, bad) {
-            Err(StorageError::InvalidManifest(ManifestError::ChunkCountMismatch {
-                listed,
-                expected,
+            Err(StorageError::InvalidManifest(ManifestError::LengthSumMismatch {
+                sum,
+                total_len,
                 ..
             })) => {
-                assert_eq!(listed, 0);
-                assert_eq!(expected, 25);
+                assert_eq!(sum, 0);
+                assert_eq!(total_len, 100);
             }
             other => panic!("expected InvalidManifest, got {other:?}"),
         }
@@ -746,9 +740,10 @@ mod tests {
     #[test]
     fn storage_error_source_chains_to_manifest_error() {
         use std::error::Error as _;
-        let e = StorageError::InvalidManifest(ManifestError::ZeroChunkSize {
+        let e = StorageError::InvalidManifest(ManifestError::ZeroLengthChunk {
             owner_rank: 1,
             dump_id: 2,
+            index: 0,
         });
         assert!(e.to_string().contains("invalid manifest"));
         assert!(e

@@ -1,12 +1,18 @@
 //! Dump manifests: the recipe for reassembling a rank's dataset.
 //!
 //! A collective dump stores each rank's buffer as an ordered list of chunk
-//! fingerprints plus the buffer length (the tail chunk may be short). The
-//! manifest is what makes the paper's scheme *recoverable*: a rank may have
-//! discarded chunks that K other ranks were designated to hold, so restart
-//! needs the fingerprint list to know what to fetch. The paper leaves the
-//! restore path implicit; we replicate manifests to the same partners as
-//! data so a failed node's dataset remains reconstructible.
+//! fingerprints plus each chunk's byte length. The manifest is what makes
+//! the paper's scheme *recoverable*: a rank may have discarded chunks that
+//! K other ranks were designated to hold, so restart needs the fingerprint
+//! list to know what to fetch. The paper leaves the restore path implicit;
+//! we replicate manifests to the same partners as data so a failed node's
+//! dataset remains reconstructible.
+//!
+//! Chunk geometry is an explicit per-chunk length list, not a fixed chunk
+//! size: content-defined chunkers emit variable-length chunks, and the
+//! fixed chunker is just the special case where every length but the tail
+//! is equal. (Earlier manifest versions stored a single `chunk_size`; the
+//! wire format changed with the length list — see DESIGN.md §14.)
 
 use std::fmt;
 
@@ -23,45 +29,72 @@ pub type DumpId = u64;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ManifestError {
-    /// `chunk_size` is zero: no buffer can be split into zero-byte chunks.
-    ZeroChunkSize {
-        /// Rank whose manifest is malformed.
-        owner_rank: u32,
-        /// Dump generation of the malformed manifest.
-        dump_id: DumpId,
-    },
-    /// The fingerprint list disagrees with `total_len` / `chunk_size`.
-    ChunkCountMismatch {
+    /// The fingerprint list and the length list differ in size: every
+    /// chunk needs exactly one length.
+    LengthCountMismatch {
         /// Rank whose manifest is malformed.
         owner_rank: u32,
         /// Dump generation of the malformed manifest.
         dump_id: DumpId,
         /// Number of fingerprints the manifest lists.
-        listed: u64,
-        /// Number `total_len` and `chunk_size` require.
-        expected: u64,
+        chunks: u64,
+        /// Number of per-chunk lengths the manifest lists.
+        lens: u64,
+    },
+    /// The per-chunk lengths do not sum to `total_len`: the recipe cannot
+    /// tile the buffer it claims to describe.
+    LengthSumMismatch {
+        /// Rank whose manifest is malformed.
+        owner_rank: u32,
+        /// Dump generation of the malformed manifest.
+        dump_id: DumpId,
+        /// Sum of the listed chunk lengths.
+        sum: u64,
+        /// The buffer length the manifest claims.
+        total_len: u64,
+    },
+    /// A listed chunk has length zero: chunkers never emit empty chunks.
+    ZeroLengthChunk {
+        /// Rank whose manifest is malformed.
+        owner_rank: u32,
+        /// Dump generation of the malformed manifest.
+        dump_id: DumpId,
+        /// Index of the zero-length chunk.
+        index: u64,
     },
 }
 
 impl fmt::Display for ManifestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ManifestError::ZeroChunkSize {
+            ManifestError::LengthCountMismatch {
                 owner_rank,
                 dump_id,
+                chunks,
+                lens,
             } => write!(
                 f,
-                "manifest of rank {owner_rank} dump {dump_id} has chunk_size 0"
+                "manifest of rank {owner_rank} dump {dump_id} lists {chunks} chunks \
+                 but {lens} chunk lengths"
             ),
-            ManifestError::ChunkCountMismatch {
+            ManifestError::LengthSumMismatch {
                 owner_rank,
                 dump_id,
-                listed,
-                expected,
+                sum,
+                total_len,
             } => write!(
                 f,
-                "manifest of rank {owner_rank} dump {dump_id} lists {listed} chunks \
-                 but its length and chunk size require {expected}"
+                "manifest of rank {owner_rank} dump {dump_id} chunk lengths sum to \
+                 {sum} but claims total length {total_len}"
+            ),
+            ManifestError::ZeroLengthChunk {
+                owner_rank,
+                dump_id,
+                index,
+            } => write!(
+                f,
+                "manifest of rank {owner_rank} dump {dump_id} lists a zero-length \
+                 chunk at index {index}"
             ),
         }
     }
@@ -76,39 +109,73 @@ pub struct Manifest {
     pub owner_rank: u32,
     /// Dump generation.
     pub dump_id: DumpId,
-    /// Chunk size used when the buffer was split.
-    pub chunk_size: u32,
-    /// Total buffer length in bytes (the last chunk may be shorter than
-    /// `chunk_size`).
+    /// Total buffer length in bytes.
     pub total_len: u64,
     /// Fingerprints of the chunks, in buffer order.
     pub chunks: Vec<Fingerprint>,
+    /// Byte length of each chunk, parallel to `chunks`. Variable when the
+    /// dump used a content-defined chunker.
+    pub chunk_lens: Vec<u32>,
 }
 
 impl Manifest {
-    /// Expected byte length of chunk `i`.
-    pub fn chunk_len(&self, i: usize) -> usize {
-        let cs = self.chunk_size as u64;
-        let start = i as u64 * cs;
-        let end = (start + cs).min(self.total_len);
-        (end - start) as usize
+    /// Manifest for a fixed-stride dump: every chunk is `chunk_size` bytes
+    /// except a possibly shorter tail. Mirrors the pre-CDC manifest shape;
+    /// mostly a convenience for tests and fixed-chunking callers.
+    pub fn fixed_stride(
+        owner_rank: u32,
+        dump_id: DumpId,
+        chunk_size: u32,
+        total_len: u64,
+        chunks: Vec<Fingerprint>,
+    ) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let mut chunk_lens = Vec::with_capacity(chunks.len());
+        let mut remaining = total_len;
+        while remaining > 0 {
+            let len = remaining.min(u64::from(chunk_size)) as u32;
+            chunk_lens.push(len);
+            remaining -= u64::from(len);
+        }
+        Self {
+            owner_rank,
+            dump_id,
+            total_len,
+            chunks,
+            chunk_lens,
+        }
     }
 
-    /// Validate internal consistency (chunk count vs. length).
+    /// Byte length of chunk `i`.
+    pub fn chunk_len(&self, i: usize) -> usize {
+        self.chunk_lens[i] as usize
+    }
+
+    /// Validate internal consistency (length list vs. fingerprints and
+    /// total length).
     pub fn validate(&self) -> Result<(), ManifestError> {
-        if self.chunk_size == 0 {
-            return Err(ManifestError::ZeroChunkSize {
+        if self.chunks.len() != self.chunk_lens.len() {
+            return Err(ManifestError::LengthCountMismatch {
                 owner_rank: self.owner_rank,
                 dump_id: self.dump_id,
+                chunks: self.chunks.len() as u64,
+                lens: self.chunk_lens.len() as u64,
             });
         }
-        let expected = self.total_len.div_ceil(u64::from(self.chunk_size));
-        if expected != self.chunks.len() as u64 {
-            return Err(ManifestError::ChunkCountMismatch {
+        if let Some(index) = self.chunk_lens.iter().position(|&l| l == 0) {
+            return Err(ManifestError::ZeroLengthChunk {
                 owner_rank: self.owner_rank,
                 dump_id: self.dump_id,
-                listed: self.chunks.len() as u64,
-                expected,
+                index: index as u64,
+            });
+        }
+        let sum: u64 = self.chunk_lens.iter().map(|&l| u64::from(l)).sum();
+        if sum != self.total_len {
+            return Err(ManifestError::LengthSumMismatch {
+                owner_rank: self.owner_rank,
+                dump_id: self.dump_id,
+                sum,
+                total_len: self.total_len,
             });
         }
         Ok(())
@@ -119,18 +186,18 @@ impl Wire for Manifest {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.owner_rank.encode(buf);
         self.dump_id.encode(buf);
-        self.chunk_size.encode(buf);
         self.total_len.encode(buf);
         self.chunks.encode(buf);
+        self.chunk_lens.encode(buf);
     }
 
     fn decode(input: &mut &[u8]) -> WireResult<Self> {
         let m = Manifest {
             owner_rank: u32::decode(input)?,
             dump_id: u64::decode(input)?,
-            chunk_size: u32::decode(input)?,
             total_len: u64::decode(input)?,
             chunks: Vec::decode(input)?,
+            chunk_lens: Vec::decode(input)?,
         };
         if m.validate().is_err() {
             return Err(WireError::Malformed { what: "Manifest" });
@@ -144,17 +211,17 @@ mod tests {
     use super::*;
 
     fn sample() -> Manifest {
-        Manifest {
-            owner_rank: 3,
-            dump_id: 7,
-            chunk_size: 4,
-            total_len: 10,
-            chunks: vec![
+        Manifest::fixed_stride(
+            3,
+            7,
+            4,
+            10,
+            vec![
                 Fingerprint::synthetic(1),
                 Fingerprint::synthetic(2),
                 Fingerprint::synthetic(3),
             ],
-        }
+        )
     }
 
     #[test]
@@ -163,6 +230,7 @@ mod tests {
         assert_eq!(m.chunk_len(0), 4);
         assert_eq!(m.chunk_len(1), 4);
         assert_eq!(m.chunk_len(2), 2);
+        assert_eq!(m.chunk_lens, vec![4, 4, 2]);
     }
 
     #[test]
@@ -171,29 +239,63 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_wrong_chunk_count() {
+    fn variable_lengths_are_first_class() {
+        let m = Manifest {
+            owner_rank: 1,
+            dump_id: 2,
+            total_len: 70,
+            chunks: vec![
+                Fingerprint::synthetic(1),
+                Fingerprint::synthetic(2),
+                Fingerprint::synthetic(3),
+            ],
+            chunk_lens: vec![50, 13, 7],
+        };
+        assert!(m.validate().is_ok());
+        assert_eq!(m.chunk_len(1), 13);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_length_count() {
         let mut m = sample();
         m.chunks.pop();
         assert_eq!(
             m.validate(),
-            Err(ManifestError::ChunkCountMismatch {
+            Err(ManifestError::LengthCountMismatch {
                 owner_rank: 3,
                 dump_id: 7,
-                listed: 2,
-                expected: 3,
+                chunks: 2,
+                lens: 3,
             })
         );
     }
 
     #[test]
-    fn validate_rejects_zero_chunk_size() {
+    fn validate_rejects_wrong_length_sum() {
         let mut m = sample();
-        m.chunk_size = 0;
+        m.total_len = 100;
         assert_eq!(
             m.validate(),
-            Err(ManifestError::ZeroChunkSize {
+            Err(ManifestError::LengthSumMismatch {
                 owner_rank: 3,
                 dump_id: 7,
+                sum: 10,
+                total_len: 100,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_length_chunk() {
+        let mut m = sample();
+        m.chunk_lens[1] = 0;
+        m.total_len = 6;
+        assert_eq!(
+            m.validate(),
+            Err(ManifestError::ZeroLengthChunk {
+                owner_rank: 3,
+                dump_id: 7,
+                index: 1,
             })
         );
     }
@@ -204,21 +306,17 @@ mod tests {
         m.chunks.pop();
         let msg = m.validate().unwrap_err().to_string();
         assert!(msg.contains("rank 3") && msg.contains("dump 7"), "{msg}");
-        m.chunk_size = 0;
+        let mut m = sample();
+        m.total_len = 100;
         let msg = m.validate().unwrap_err().to_string();
-        assert!(msg.contains("chunk_size 0"), "{msg}");
+        assert!(msg.contains("100"), "{msg}");
     }
 
     #[test]
     fn empty_buffer_manifest_is_valid() {
-        let m = Manifest {
-            owner_rank: 0,
-            dump_id: 0,
-            chunk_size: 4096,
-            total_len: 0,
-            chunks: vec![],
-        };
+        let m = Manifest::fixed_stride(0, 0, 4096, 0, vec![]);
         assert!(m.validate().is_ok());
+        assert!(m.chunk_lens.is_empty());
     }
 
     #[test]
@@ -229,15 +327,28 @@ mod tests {
     }
 
     #[test]
+    fn wire_roundtrip_variable_lengths() {
+        let m = Manifest {
+            owner_rank: 9,
+            dump_id: 4,
+            total_len: 31,
+            chunks: vec![Fingerprint::synthetic(8), Fingerprint::synthetic(9)],
+            chunk_lens: vec![17, 14],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
     fn wire_rejects_inconsistent_manifest() {
         let mut m = sample();
-        m.total_len = 100; // now chunk count is wrong
+        m.total_len = 100; // lengths no longer sum to the claimed total
         let mut buf = Vec::new();
         m.owner_rank.encode(&mut buf);
         m.dump_id.encode(&mut buf);
-        m.chunk_size.encode(&mut buf);
         m.total_len.encode(&mut buf);
         m.chunks.encode(&mut buf);
+        m.chunk_lens.encode(&mut buf);
         assert!(matches!(
             Manifest::from_bytes(&buf),
             Err(WireError::Malformed { what: "Manifest" })

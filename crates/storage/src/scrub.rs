@@ -11,6 +11,10 @@
 //! * **corrupt** — a chunk whose bytes no longer hash to its key (bit-rot),
 //! * **dangling** — a manifest referencing a chunk the node does not hold
 //!   (a broken recipe: restore from this node alone would fail),
+//! * **length mismatch** — a held chunk whose stored byte count disagrees
+//!   with the manifest's per-chunk length (a truncated or padded write;
+//!   chunks are variable-length under CDC, so the check reads each
+//!   manifest's explicit length list, never a fixed chunk size),
 //! * **orphan** — a chunk no manifest on the node references (leaked space;
 //!   harmless to correctness, reclaimable).
 //!
@@ -43,6 +47,10 @@ pub struct ScrubReport {
     /// fingerprint)` listed by a manifest on `node` but absent from its
     /// store. Sorted, deduplicated.
     pub dangling: Vec<(NodeId, u32, DumpId, Fingerprint)>,
+    /// Held chunks whose stored length disagrees with the manifest's
+    /// per-chunk length list: `(node, owner_rank, dump_id, fingerprint)`.
+    /// Sorted, deduplicated.
+    pub length_mismatch: Vec<(NodeId, u32, DumpId, Fingerprint)>,
     /// Orphaned chunks: `(node, fingerprint)` held by `node` but referenced
     /// by none of its manifests. Sorted, deduplicated.
     pub orphans: Vec<(NodeId, Fingerprint)>,
@@ -51,7 +59,10 @@ pub struct ScrubReport {
 impl ScrubReport {
     /// No findings of any class (checked counts do not matter).
     pub fn is_clean(&self) -> bool {
-        self.corrupt.is_empty() && self.dangling.is_empty() && self.orphans.is_empty()
+        self.corrupt.is_empty()
+            && self.dangling.is_empty()
+            && self.length_mismatch.is_empty()
+            && self.orphans.is_empty()
     }
 
     /// Fold another report (typically from another node) into this one,
@@ -65,6 +76,10 @@ impl ScrubReport {
         self.dangling.extend_from_slice(&other.dangling);
         self.dangling.sort_unstable();
         self.dangling.dedup();
+        self.length_mismatch
+            .extend_from_slice(&other.length_mismatch);
+        self.length_mismatch.sort_unstable();
+        self.length_mismatch.dedup();
         self.orphans.extend_from_slice(&other.orphans);
         self.orphans.sort_unstable();
         self.orphans.dedup();
@@ -76,6 +91,7 @@ impl Wire for ScrubReport {
         self.chunks_checked.encode(buf);
         self.corrupt.encode(buf);
         self.dangling.encode(buf);
+        self.length_mismatch.encode(buf);
         self.orphans.encode(buf);
     }
 
@@ -84,6 +100,7 @@ impl Wire for ScrubReport {
             chunks_checked: u64::decode(input)?,
             corrupt: Vec::decode(input)?,
             dangling: Vec::decode(input)?,
+            length_mismatch: Vec::decode(input)?,
             orphans: Vec::decode(input)?,
         })
     }
@@ -112,15 +129,23 @@ impl Cluster {
                 }
             }
 
-            // Pass 2: manifests vs. chunk presence. `referenced` collects
-            // every fingerprint any manifest on this node lists, so the
-            // orphan pass below is a set difference.
+            // Pass 2: manifests vs. chunk presence and geometry.
+            // `referenced` collects every fingerprint any manifest on this
+            // node lists, so the orphan pass below is a set difference.
+            // Held chunks are re-checked against the manifest's explicit
+            // per-chunk length — chunks are variable-length under CDC, so
+            // the stored byte count must match the recipe's, or restore
+            // would reassemble a buffer of the wrong shape.
             let mut referenced = FpHashSet::default();
             for ((owner, dump_id), m) in &state.manifests {
-                for fp in &m.chunks {
+                for (i, fp) in m.chunks.iter().enumerate() {
                     referenced.insert(*fp);
-                    if !state.store.contains(fp) {
-                        report.dangling.push((node, *owner, *dump_id, *fp));
+                    match state.store.get(fp) {
+                        None => report.dangling.push((node, *owner, *dump_id, *fp)),
+                        Some(data) if data.len() != m.chunk_len(i) => {
+                            report.length_mismatch.push((node, *owner, *dump_id, *fp));
+                        }
+                        Some(_) => {}
                     }
                 }
             }
@@ -137,6 +162,8 @@ impl Cluster {
             report.corrupt.dedup();
             report.dangling.sort_unstable();
             report.dangling.dedup();
+            report.length_mismatch.sort_unstable();
+            report.length_mismatch.dedup();
             report.orphans.sort_unstable();
             report.orphans.dedup();
             Ok(report)
@@ -160,13 +187,7 @@ mod tests {
     }
 
     fn manifest_of(owner: u32, dump_id: DumpId, chunks: Vec<Fingerprint>) -> Manifest {
-        Manifest {
-            owner_rank: owner,
-            dump_id,
-            chunk_size: 4,
-            total_len: 4 * chunks.len() as u64,
-            chunks,
-        }
+        Manifest::fixed_stride(owner, dump_id, 4, 4 * chunks.len() as u64, chunks)
     }
 
     #[test]
@@ -202,6 +223,54 @@ mod tests {
         let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
         assert_eq!(r.dangling, vec![(0, 3, 7, ghost)]);
         assert!(r.corrupt.is_empty() && r.orphans.is_empty());
+    }
+
+    #[test]
+    fn scrub_detects_truncated_variable_length_chunk() {
+        // A manifest with an explicit variable length list promises a
+        // 9-byte chunk, but the store holds a truncated 4-byte version
+        // (stored under the truncated content's own fingerprint, so the
+        // per-chunk hash check alone cannot see the damage). Scrub must
+        // compare stored lengths against the manifest's length list —
+        // never a fixed chunk size — and flag exactly this chunk.
+        let c = Cluster::new(Placement::one_per_node(1));
+        let ok = put(&c, 0, b"intact-chunk");
+        let truncated = put(&c, 0, b"trun"); // 4 bytes actually stored
+        let m = Manifest {
+            owner_rank: 2,
+            dump_id: 5,
+            total_len: 12 + 9,
+            chunks: vec![ok, truncated],
+            chunk_lens: vec![12, 9], // recipe expects 9 bytes, store has 4
+        };
+        c.put_manifest(0, m).unwrap();
+        let r = c.scrub(0, &Sha1ChunkHasher).unwrap();
+        assert_eq!(r.length_mismatch, vec![(0, 2, 5, truncated)]);
+        assert!(
+            r.corrupt.is_empty() && r.dangling.is_empty() && r.orphans.is_empty(),
+            "only the length check can catch this: {r:?}"
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn length_mismatch_merges_and_roundtrips() {
+        let mut a = ScrubReport {
+            length_mismatch: vec![(0, 1, 2, Fingerprint::synthetic(9))],
+            ..ScrubReport::default()
+        };
+        let b = ScrubReport {
+            length_mismatch: vec![
+                (0, 1, 2, Fingerprint::synthetic(9)),
+                (1, 4, 2, Fingerprint::synthetic(3)),
+            ],
+            ..ScrubReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.length_mismatch.len(), 2, "deduplicated");
+        assert!(!a.is_clean());
+        let bytes = a.to_bytes();
+        assert_eq!(ScrubReport::from_bytes(&bytes).unwrap(), a);
     }
 
     #[test]
