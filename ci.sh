@@ -40,7 +40,7 @@ cargo test --test repair
 
 echo "== cargo test --test zerocopy (zero-copy guarantees) =="
 # Pointer-equality across wire round-trips, byte-exact dump/restore for
-# every strategy x K x copy mode, deprecated shims pinned to the new API.
+# every strategy x K x copy mode.
 cargo test --test zerocopy
 
 echo "== cargo test --test chunking (chunking engine) =="
@@ -48,6 +48,17 @@ echo "== cargo test --test chunking (chunking engine) =="
 # chunker, golden cut-point fixtures (frozen on-disk format), and the
 # end-to-end CDC-beats-fixed dedup claim.
 cargo test --test chunking
+
+echo "== cargo test --test ec (erasure-coding chaos suite) =="
+# Rs(4+2) on 6 nodes: every 2-of-6 node-loss pattern restores byte-exact
+# through reconstruction alone, repair rebuilds shards idempotently,
+# >m losses degrade to typed errors, and the dedup credit cuts parity.
+cargo test --test ec
+
+echo "== cargo test -p replidedup-ec (GF/RS property suite) =="
+# GF(2^8) field axioms (proptest), systematic-encode identity, and
+# decode round-trips across every loss pattern of at most m shards.
+cargo test -p replidedup-ec -q
 
 echo "== dead-code gate (self-healing + zero-copy modules) =="
 # These modules must be fully wired into the public API — a stray
@@ -67,6 +78,29 @@ if grep -n '#\[allow(dead_code)\]' \
   echo "ci: FAIL — #[allow(dead_code)] found in gated modules" >&2
   exit 1
 fi
+
+echo "== no-deprecated-shims gate =="
+# The transitional &[u8] shims (dump_output/restore_output, Comm::send,
+# Window::get/local_data) were removed after one release of deprecation;
+# a #[deprecated] attribute reappearing in the workspace means a shim
+# crept back instead of the API being designed right.
+if grep -rn '#\[deprecated' crates/*/src tests; then
+  echo "ci: FAIL — deprecated shim reintroduced; extend the API instead" >&2
+  exit 1
+fi
+
+echo "== panic-free-decode gate (erasure coding) =="
+# RS decode/reconstruct run against possibly corrupt or incomplete
+# shards; every failure there must surface as a typed EcError, never a
+# panic. The gate covers the whole crate's non-test code (everything
+# above the `#[cfg(test)]` module) to keep the contract simple.
+for f in crates/ec/src/*.rs; do
+  if sed '/#\[cfg(test)\]/,$d' "$f" | grep -v '^\s*//' \
+      | grep -nE 'panic!|\.unwrap\(\)|\.expect\(|unreachable!'; then
+    echo "ci: FAIL — panic path in replidedup-ec non-test code ($f)" >&2
+    exit 1
+  fi
+done
 
 echo "== stray-copy gate (hot-path modules) =="
 # The dump/restore/repair hot paths moved to refcounted Chunk payloads;
@@ -98,14 +132,20 @@ if grep -nE '\* *(cfg\.|self\.|idx\.)?chunk_size|chunk_size *\*|\* *4096|4096 *\
 fi
 
 echo "== bench-smoke (tiny perf harness + schema check) =="
-# The harness validates the report against the replidedup-bench/v2 schema
+# The harness validates the report against the replidedup-bench/v3 schema
 # before writing it; a failure here means the bench or schema regressed.
-# The smoke JSON must carry the chunker x strategy x workload matrix.
+# The smoke JSON must carry the chunker x strategy x workload matrix and
+# the redundancy-policy matrix, and the headline claims must hold: CDC
+# beats fixed chunking, and Rs(4+2) beats 3x replication at equal
+# tolerance.
 cargo run --release -p replidedup-bench --bin repro -- \
   --bench-smoke --bench-out target/bench-smoke.json
 test -s target/bench-smoke.json
 grep -q '"chunker_matrix"' target/bench-smoke.json
 grep -q '"cdc_beats_fixed": true' target/bench-smoke.json
+grep -q '"policy_matrix"' target/bench-smoke.json
+grep -q '"rs_beats_replication": true' target/bench-smoke.json
+grep -q '"dedup_credit_cuts_parity": true' target/bench-smoke.json
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q

@@ -13,7 +13,7 @@ fn bench_strategies(c: &mut Criterion) {
     // Table I kernel: one dump per strategy over identical HPCCG buffers.
     let buffers = make_buffers(AppKind::hpccg(), WORLD);
     let bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
-    let mut g = c.benchmark_group("dump_output_hpccg16");
+    let mut g = c.benchmark_group("dump_hpccg16");
     g.sample_size(10);
     g.throughput(Throughput::Bytes(bytes));
     for strategy in [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup] {
@@ -30,7 +30,7 @@ fn bench_strategies(c: &mut Criterion) {
 fn bench_replication_factor(c: &mut Criterion) {
     // Figures 4(a)/5(a) kernel: coll-dedup cost versus K.
     let buffers = make_buffers(AppKind::cm1(), WORLD);
-    let mut g = c.benchmark_group("dump_output_cm1_k");
+    let mut g = c.benchmark_group("dump_cm1_k");
     g.sample_size(10);
     for k in [2u32, 4, 6] {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(k);
@@ -44,7 +44,7 @@ fn bench_replication_factor(c: &mut Criterion) {
 fn bench_shuffle_ablation(c: &mut Criterion) {
     // Figures 4(c)/5(c) kernel: same dump with and without Algorithm 2.
     let buffers = make_buffers(AppKind::cm1(), WORLD);
-    let mut g = c.benchmark_group("dump_output_shuffle");
+    let mut g = c.benchmark_group("dump_shuffle");
     g.sample_size(10);
     for (label, shuffle) in [("no_shuffle", false), ("shuffle", true)] {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
@@ -61,7 +61,7 @@ fn bench_f_threshold(c: &mut Criterion) {
     // Sensitivity to the reduction threshold F (design-choice ablation
     // from DESIGN.md): tiny F degrades dedup but caps reduction cost.
     let buffers = make_buffers(AppKind::hpccg(), WORLD);
-    let mut g = c.benchmark_group("dump_output_f_threshold");
+    let mut g = c.benchmark_group("dump_f_threshold");
     g.sample_size(10);
     for f in [64usize, 1 << 10, 1 << 17] {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_f_threshold(f);

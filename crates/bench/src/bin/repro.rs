@@ -241,6 +241,57 @@ fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
             },
         );
     }
+    println!("\n== redundancy policy x strategy x workload matrix ==");
+    let mut t = report::Table::new(&[
+        "workload",
+        "strategy",
+        "policy",
+        "tolerates",
+        "written",
+        "parity",
+        "coded chunks",
+        "dump (s)",
+        "restore after loss",
+    ]);
+    for s in &report.policy_matrix {
+        t.row(vec![
+            s.workload.clone(),
+            s.strategy.clone(),
+            s.policy.clone(),
+            format!("{} losses", s.loss_tolerance),
+            report::human_bytes(s.bytes_written_devices as f64),
+            report::human_bytes(s.parity_bytes as f64),
+            s.chunks_coded.to_string(),
+            format!("{:.4}", s.dump_seconds),
+            if s.restore_after_loss_verified {
+                "byte-exact".into()
+            } else {
+                "FAILED".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    for c in &report.policy_comparisons {
+        println!(
+            "{}: rs4+2 {} vs rep{} {} ({}); parity {} coll-dedup vs {} no-dedup ({})",
+            c.workload,
+            report::human_bytes(c.rs_bytes_devices as f64),
+            c.replicate_k,
+            report::human_bytes(c.replicate_bytes_devices as f64),
+            if c.rs_beats_replication {
+                "EC wins"
+            } else {
+                "EC DOES NOT WIN"
+            },
+            report::human_bytes(c.coll_dedup_parity_bytes as f64),
+            report::human_bytes(c.no_dedup_parity_bytes as f64),
+            if c.dedup_credit_cuts_parity {
+                "credit cuts parity"
+            } else {
+                "NO CREDIT"
+            },
+        );
+    }
     let json = report.to_json();
     validate_bench_json(&json).unwrap_or_else(|e| die(&format!("emitted report invalid: {e}")));
     let path = out_override

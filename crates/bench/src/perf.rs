@@ -24,8 +24,8 @@ use std::time::Instant;
 
 use replidedup_buf::{global_pool, process_bytes_copied, reset_process_bytes_copied, Chunk};
 use replidedup_core::{
-    ChunkerKind, CopyMode, DumpConfig, GearParams, RabinParams, Replicator, Strategy,
-    WorldDumpStats,
+    ChunkerKind, CopyMode, DumpConfig, GearParams, RabinParams, RedundancyPolicy, Replicator,
+    Strategy, WorldDumpStats,
 };
 use replidedup_hash::{Chunker, Sha1ChunkHasher};
 use replidedup_mpi::World;
@@ -34,6 +34,7 @@ use replidedup_storage::{Cluster, Placement};
 use crate::experiments::{RANKS_PER_NODE, STRATEGIES};
 use crate::report::{
     BenchComparison, BenchReport, BenchScenario, ChunkerComparison, ChunkerScenario,
+    PolicyComparison, PolicyScenario,
 };
 use crate::workloads::{make_buffers, AppKind};
 
@@ -111,6 +112,8 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
     let comparisons = derive_comparisons(&scenarios);
     let chunker_matrix = run_chunker_matrix(opts);
     let chunker_comparisons = derive_chunker_comparisons(&chunker_matrix);
+    let policy_matrix = run_policy_matrix(opts);
+    let policy_comparisons = derive_policy_comparisons(&policy_matrix);
     BenchReport {
         date: today_utc(),
         ranks: opts.ranks,
@@ -119,6 +122,8 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
         comparisons,
         chunker_matrix,
         chunker_comparisons,
+        policy_matrix,
+        policy_comparisons,
     }
 }
 
@@ -245,6 +250,161 @@ fn run_chunker_scenario(
         chunking_mib_s,
         dump_seconds: best_dump,
     }
+}
+
+/// The redundancy policies the matrix sweeps, with report labels.
+/// `Replicate(3)` and `Rs(4+2)` both tolerate two losses — that pair is
+/// the like-for-like storage comparison; `Auto` codes page-sized chunks
+/// and keeps sub-KiB ones replicated.
+pub fn bench_policies() -> [RedundancyPolicy; 4] {
+    [
+        RedundancyPolicy::Replicate(2),
+        RedundancyPolicy::Replicate(3),
+        RedundancyPolicy::Rs { k: 4, m: 2 },
+        RedundancyPolicy::Auto {
+            k: 4,
+            m: 2,
+            replicate_below: 1 << 10,
+        },
+    ]
+}
+
+/// The workloads the redundancy-policy matrix sweeps: both carry real
+/// cross-rank redundancy under fixed page chunking, so the dedup credit
+/// has natural copies to find.
+pub fn bench_policy_workloads() -> [AppKind; 2] {
+    [AppKind::hpccg(), AppKind::insert_heavy()]
+}
+
+/// Run the redundancy-policy × strategy × workload matrix.
+///
+/// One rank per node (stripes need `k + m = 6` distinct devices, so the
+/// world is widened to at least 6 ranks), `no-dedup` and `coll-dedup`
+/// per policy. Every row wipes `loss_tolerance` nodes after the dump and
+/// verifies the restore byte-exact — coded rows thereby prove the
+/// Reed-Solomon reconstruction path, not just the happy path.
+pub fn run_policy_matrix(opts: &BenchOptions) -> Vec<PolicyScenario> {
+    let ranks = opts.ranks.max(6);
+    let mut rows = Vec::new();
+    for app in bench_policy_workloads() {
+        let buffers = make_buffers(app, ranks);
+        for policy in bench_policies() {
+            for strategy in [Strategy::NoDedup, Strategy::CollDedup] {
+                rows.push(run_policy_scenario(opts, &buffers, app, strategy, policy));
+            }
+        }
+    }
+    rows
+}
+
+fn run_policy_scenario(
+    opts: &BenchOptions,
+    buffers: &[Vec<u8>],
+    app: AppKind,
+    strategy: Strategy,
+    policy: RedundancyPolicy,
+) -> PolicyScenario {
+    let n = buffers.len() as u32;
+    let input_bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+    let cfg = DumpConfig::paper_defaults(strategy)
+        .with_replication(3)
+        .with_chunk_size(opts.chunk_size)
+        .with_policy(policy);
+    let tolerance = policy.fault_tolerance();
+
+    let mut best_dump = f64::INFINITY;
+    let mut written = 0u64;
+    let mut parity = 0u64;
+    let mut coded = 0u64;
+    let mut verified = true;
+    for _ in 0..opts.iterations.max(1) {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let repl = Replicator::builder(strategy)
+            .with_config(cfg)
+            .cluster(&cluster)
+            .hasher(&Sha1ChunkHasher)
+            .build()
+            .expect("bench configs are valid");
+        let t0 = Instant::now();
+        let out = World::run(n, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("bench dump succeeds")
+        });
+        best_dump = best_dump.min(t0.elapsed().as_secs_f64());
+        coded = out.results.iter().map(|s| s.chunks_coded).sum();
+        written = cluster.total_device_bytes();
+        parity = cluster.total_parity_bytes();
+
+        // Wipe exactly as many nodes as the policy claims to tolerate,
+        // then demand a byte-exact restore from what survives.
+        for node in 0..tolerance {
+            cluster.fail_node(node);
+            cluster.revive_node(node);
+        }
+        let out = World::run(n, |comm| repl.restore(comm, 1).map(Vec::from));
+        for (rank, restored) in out.results.iter().enumerate() {
+            let ok = restored.as_ref().is_ok_and(|b| b == &buffers[rank]);
+            assert!(
+                ok,
+                "{} {} {}: rank {rank} failed to restore after {tolerance} losses",
+                app.label(),
+                strategy.label(),
+                policy.label()
+            );
+            verified &= ok;
+        }
+    }
+
+    PolicyScenario {
+        workload: app.label().to_string(),
+        strategy: strategy.label().to_string(),
+        policy: policy.label(),
+        loss_tolerance: tolerance,
+        ranks: n,
+        input_bytes,
+        bytes_written_devices: written,
+        parity_bytes: parity,
+        chunks_coded: coded,
+        dump_seconds: best_dump,
+        restore_after_loss_verified: verified,
+    }
+}
+
+/// Pair the `Rs(4+2)` coll-dedup row of each workload, per strategy,
+/// with the matched-tolerance `Replicate(3)` row (both survive two node
+/// losses) and with its own no-dedup twin: the storage headline (EC
+/// beats replication at equal tolerance) and the dedup-credit headline
+/// (natural copies cut parity). `Replicate(2)` is deliberately not a
+/// "beats" cell — it tolerates half the losses, so the comparison would
+/// be apples to oranges.
+fn derive_policy_comparisons(rows: &[PolicyScenario]) -> Vec<PolicyComparison> {
+    let mut out = Vec::new();
+    let find = |workload: &str, strategy: &str, policy: &str| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.strategy == strategy && r.policy == policy)
+    };
+    for rs in rows
+        .iter()
+        .filter(|r| r.strategy == "coll-dedup" && r.policy == "rs4+2")
+    {
+        let Some(nd) = find(&rs.workload, "no-dedup", "rs4+2") else {
+            continue;
+        };
+        let Some(rep) = find(&rs.workload, "coll-dedup", "rep3") else {
+            continue;
+        };
+        out.push(PolicyComparison {
+            workload: rs.workload.clone(),
+            replicate_k: 3,
+            replicate_bytes_devices: rep.bytes_written_devices,
+            rs_bytes_devices: rs.bytes_written_devices,
+            rs_beats_replication: rs.bytes_written_devices < rep.bytes_written_devices,
+            no_dedup_parity_bytes: nd.parity_bytes,
+            coll_dedup_parity_bytes: rs.parity_bytes,
+            dedup_credit_cuts_parity: rs.parity_bytes < nd.parity_bytes,
+        });
+    }
+    out
 }
 
 /// Pair each coll-dedup CDC row with the coll-dedup fixed row of the same
@@ -482,6 +642,9 @@ mod tests {
         assert_eq!(report.chunker_matrix.len(), 28);
         // 2 workloads × K∈{2,3} × 2 CDC chunkers
         assert_eq!(report.chunker_comparisons.len(), 8);
+        // 2 workloads × 4 policies × {no-dedup, coll-dedup}
+        assert_eq!(report.policy_matrix.len(), 16);
+        assert_eq!(report.policy_comparisons.len(), 2);
         validate_bench_json(&report.to_json()).expect("emitted JSON validates");
         for c in &report.comparisons {
             assert!(
@@ -504,6 +667,28 @@ mod tests {
                 c.cdc_beats_fixed,
                 "{} K={}: CDC ratio {:.2} must beat fixed {:.2}",
                 c.chunker, c.k, c.cdc_dedup_ratio, c.fixed_dedup_ratio
+            );
+        }
+        // The redundancy-policy headlines: every row survived its claimed
+        // loss tolerance, Rs(4+2) stores less than 3× replication at the
+        // same tolerance, and the dedup credit cuts parity.
+        for r in &report.policy_matrix {
+            assert!(
+                r.restore_after_loss_verified,
+                "{} {} {}: restore after loss must verify",
+                r.workload, r.strategy, r.policy
+            );
+        }
+        for c in &report.policy_comparisons {
+            assert!(
+                c.rs_beats_replication,
+                "{}: rs {} must beat rep3 {}",
+                c.workload, c.rs_bytes_devices, c.replicate_bytes_devices
+            );
+            assert!(
+                c.dedup_credit_cuts_parity,
+                "{}: coll parity {} must be under no-dedup parity {}",
+                c.workload, c.coll_dedup_parity_bytes, c.no_dedup_parity_bytes
             );
         }
     }

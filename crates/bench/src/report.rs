@@ -241,8 +241,10 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
 // ------------------------------------------------------------------
 
 /// Schema identifier stamped into every bench report. `v2` added the
-/// chunker-matrix arrays (`chunker_matrix`, `chunker_comparisons`).
-pub const BENCH_SCHEMA: &str = "replidedup-bench/v2";
+/// chunker-matrix arrays (`chunker_matrix`, `chunker_comparisons`); `v3`
+/// added the redundancy-policy arrays (`policy_matrix`,
+/// `policy_comparisons`).
+pub const BENCH_SCHEMA: &str = "replidedup-bench/v3";
 
 /// One measured dump+restore scenario of the perf harness.
 #[derive(Debug, Clone)]
@@ -357,9 +359,66 @@ pub struct ChunkerComparison {
     pub cdc_beats_fixed: bool,
 }
 
+/// One row of the redundancy-policy × strategy × workload matrix: the
+/// storage cost of one [`replidedup_core::RedundancyPolicy`] on one
+/// workload, with the restore re-verified byte-exact after wiping as many
+/// nodes as the policy claims to tolerate.
+#[derive(Debug, Clone)]
+pub struct PolicyScenario {
+    /// Workload label (`HPCCG` / `insert-heavy`).
+    pub workload: String,
+    /// Strategy label (`no-dedup` / `coll-dedup`).
+    pub strategy: String,
+    /// Policy label (`rep2` / `rep3` / `rs4+2` / `auto4+2`).
+    pub policy: String,
+    /// Node losses the policy tolerates (`K - 1` replicated, `m` coded).
+    pub loss_tolerance: u32,
+    /// World size (one rank per node: stripes need distinct devices).
+    pub ranks: u32,
+    /// Total application bytes dumped across all ranks.
+    pub input_bytes: u64,
+    /// Bytes physically written across all node devices (data + parity).
+    pub bytes_written_devices: u64,
+    /// Parity shard bytes within `bytes_written_devices`.
+    pub parity_bytes: u64,
+    /// Chunks whose redundancy came from a stripe, summed over ranks.
+    pub chunks_coded: u64,
+    /// Best end-to-end dump wall time across iterations, seconds.
+    pub dump_seconds: f64,
+    /// Whether every rank restored byte-exactly after `loss_tolerance`
+    /// nodes were wiped (failed and revived empty).
+    pub restore_after_loss_verified: bool,
+}
+
+/// Erasure-coding vs replication storage verdict for one (workload,
+/// replicate-K) cell, plus the dedup-credit evidence — the two headline
+/// claims of the redundancy-policy subsystem.
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// Workload label.
+    pub workload: String,
+    /// The replication degree being compared against.
+    pub replicate_k: u32,
+    /// Device bytes under `Replicate(replicate_k)`, coll-dedup.
+    pub replicate_bytes_devices: u64,
+    /// Device bytes under `Rs(4+2)`, coll-dedup.
+    pub rs_bytes_devices: u64,
+    /// Whether Rs(4+2) stored strictly less than the replication row. At
+    /// `replicate_k = 3` both tolerate two losses, so this is the
+    /// like-for-like storage win.
+    pub rs_beats_replication: bool,
+    /// Parity bytes under `Rs(4+2)` with `no-dedup` (blind striping).
+    pub no_dedup_parity_bytes: u64,
+    /// Parity bytes under `Rs(4+2)` with `coll-dedup` (dedup credit).
+    pub coll_dedup_parity_bytes: u64,
+    /// Whether the dedup credit cut parity strictly below blind striping.
+    pub dedup_credit_cuts_parity: bool,
+}
+
 /// A full perf-harness run: every scenario plus the per-(strategy, K)
-/// staged-vs-zero-copy comparisons derived from them, and the
-/// chunker × strategy × workload dedup-quality matrix.
+/// staged-vs-zero-copy comparisons derived from them, the
+/// chunker × strategy × workload dedup-quality matrix, and the
+/// redundancy-policy matrix.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// ISO date of the run (file is named `BENCH_<date>.json`).
@@ -376,6 +435,10 @@ pub struct BenchReport {
     pub chunker_matrix: Vec<ChunkerScenario>,
     /// Derived fixed-vs-CDC dedup comparisons.
     pub chunker_comparisons: Vec<ChunkerComparison>,
+    /// Redundancy-policy × strategy × workload rows.
+    pub policy_matrix: Vec<PolicyScenario>,
+    /// Derived EC-vs-replication and dedup-credit comparisons.
+    pub policy_comparisons: Vec<PolicyComparison>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -562,6 +625,75 @@ impl BenchReport {
                 json_f64(c.cdc_dedup_ratio)
             );
             let _ = writeln!(s, "      \"cdc_beats_fixed\": {}", c.cdc_beats_fixed);
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"policy_matrix\": [");
+        for (i, sc) in self.policy_matrix.iter().enumerate() {
+            let comma = if i + 1 < self.policy_matrix.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"workload\": \"{}\",", json_escape(&sc.workload));
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&sc.strategy));
+            let _ = writeln!(s, "      \"policy\": \"{}\",", json_escape(&sc.policy));
+            let _ = writeln!(s, "      \"loss_tolerance\": {},", sc.loss_tolerance);
+            let _ = writeln!(s, "      \"ranks\": {},", sc.ranks);
+            let _ = writeln!(s, "      \"input_bytes\": {},", sc.input_bytes);
+            let _ = writeln!(
+                s,
+                "      \"bytes_written_devices\": {},",
+                sc.bytes_written_devices
+            );
+            let _ = writeln!(s, "      \"parity_bytes\": {},", sc.parity_bytes);
+            let _ = writeln!(s, "      \"chunks_coded\": {},", sc.chunks_coded);
+            let _ = writeln!(s, "      \"dump_seconds\": {},", json_f64(sc.dump_seconds));
+            let _ = writeln!(
+                s,
+                "      \"restore_after_loss_verified\": {}",
+                sc.restore_after_loss_verified
+            );
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"policy_comparisons\": [");
+        for (i, c) in self.policy_comparisons.iter().enumerate() {
+            let comma = if i + 1 < self.policy_comparisons.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"workload\": \"{}\",", json_escape(&c.workload));
+            let _ = writeln!(s, "      \"replicate_k\": {},", c.replicate_k);
+            let _ = writeln!(
+                s,
+                "      \"replicate_bytes_devices\": {},",
+                c.replicate_bytes_devices
+            );
+            let _ = writeln!(s, "      \"rs_bytes_devices\": {},", c.rs_bytes_devices);
+            let _ = writeln!(
+                s,
+                "      \"rs_beats_replication\": {},",
+                c.rs_beats_replication
+            );
+            let _ = writeln!(
+                s,
+                "      \"no_dedup_parity_bytes\": {},",
+                c.no_dedup_parity_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"coll_dedup_parity_bytes\": {},",
+                c.coll_dedup_parity_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"dedup_credit_cuts_parity\": {}",
+                c.dedup_credit_cuts_parity
+            );
             let _ = writeln!(s, "    }}{comma}");
         }
         let _ = writeln!(s, "  ]");
@@ -880,6 +1012,73 @@ pub fn validate_bench_json(input: &str) -> Result<Json, String> {
             }
         }
     }
+    let Some(Json::Arr(policies)) = doc.get("policy_matrix") else {
+        return Err("missing \"policy_matrix\" array".into());
+    };
+    if policies.is_empty() {
+        return Err("\"policy_matrix\" must not be empty".into());
+    }
+    for (i, sc) in policies.iter().enumerate() {
+        for key in ["workload", "strategy", "policy"] {
+            match sc.get(key) {
+                Some(Json::Str(_)) => {}
+                other => return Err(format!("policy row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in [
+            "loss_tolerance",
+            "ranks",
+            "input_bytes",
+            "bytes_written_devices",
+            "parity_bytes",
+            "chunks_coded",
+            "dump_seconds",
+        ] {
+            match sc.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("policy row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        match sc.get("restore_after_loss_verified") {
+            Some(Json::Bool(_)) => {}
+            other => {
+                return Err(format!(
+                    "policy row {i}: bad \"restore_after_loss_verified\": {other:?}"
+                ))
+            }
+        }
+    }
+    let Some(Json::Arr(pcs)) = doc.get("policy_comparisons") else {
+        return Err("missing \"policy_comparisons\" array".into());
+    };
+    for (i, c) in pcs.iter().enumerate() {
+        match c.get("workload") {
+            Some(Json::Str(_)) => {}
+            other => {
+                return Err(format!(
+                    "policy comparison {i}: bad \"workload\": {other:?}"
+                ))
+            }
+        }
+        for key in [
+            "replicate_k",
+            "replicate_bytes_devices",
+            "rs_bytes_devices",
+            "no_dedup_parity_bytes",
+            "coll_dedup_parity_bytes",
+        ] {
+            match c.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("policy comparison {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in ["rs_beats_replication", "dedup_credit_cuts_parity"] {
+            match c.get(key) {
+                Some(Json::Bool(_)) => {}
+                other => return Err(format!("policy comparison {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+    }
     Ok(doc)
 }
 
@@ -992,6 +1191,29 @@ mod tests {
                 cdc_dedup_ratio: 4.0,
                 cdc_beats_fixed: true,
             }],
+            policy_matrix: vec![PolicyScenario {
+                workload: "HPCCG".into(),
+                strategy: "coll-dedup".into(),
+                policy: "rs4+2".into(),
+                loss_tolerance: 2,
+                ranks: 8,
+                input_bytes: 1 << 20,
+                bytes_written_devices: 3 << 19,
+                parity_bytes: 1 << 19,
+                chunks_coded: 200,
+                dump_seconds: 0.01,
+                restore_after_loss_verified: true,
+            }],
+            policy_comparisons: vec![PolicyComparison {
+                workload: "HPCCG".into(),
+                replicate_k: 3,
+                replicate_bytes_devices: 3 << 20,
+                rs_bytes_devices: 3 << 19,
+                rs_beats_replication: true,
+                no_dedup_parity_bytes: 1 << 20,
+                coll_dedup_parity_bytes: 1 << 19,
+                dedup_credit_cuts_parity: true,
+            }],
         }
     }
 
@@ -1027,6 +1249,16 @@ mod tests {
         r.chunker_matrix.clear();
         assert!(validate_bench_json(&r.to_json()).is_err());
         let json = sample_report().to_json().replace("dedup_ratio", "x");
+        assert!(validate_bench_json(&json).is_err());
+        // Likewise the v3 policy matrix and its headline booleans.
+        let mut r = sample_report();
+        r.policy_matrix.clear();
+        assert!(validate_bench_json(&r.to_json()).is_err());
+        let json = sample_report()
+            .to_json()
+            .replace("rs_beats_replication", "x");
+        assert!(validate_bench_json(&json).is_err());
+        let json = sample_report().to_json().replace("parity_bytes", "x");
         assert!(validate_bench_json(&json).is_err());
     }
 

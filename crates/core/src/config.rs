@@ -31,6 +31,15 @@ pub enum ConfigError {
         /// What the chunker validation rejected.
         reason: &'static str,
     },
+    /// The Reed-Solomon geometry of a [`RedundancyPolicy`] is unusable:
+    /// `k` and `m` must both be at least 1 and `k + m` must fit GF(2^8)
+    /// (at most 255 shards).
+    InvalidRsParams {
+        /// Data shard count of the rejected policy.
+        k: u8,
+        /// Parity shard count of the rejected policy.
+        m: u8,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -50,6 +59,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidChunker { reason } => {
                 write!(f, "invalid chunker parameters: {reason}")
+            }
+            ConfigError::InvalidRsParams { k, m } => {
+                write!(
+                    f,
+                    "invalid Reed-Solomon geometry k={k} m={m}: need k >= 1, m >= 1, k + m <= 255"
+                )
             }
         }
     }
@@ -82,6 +97,125 @@ impl Strategy {
             Strategy::NoDedup => "no-dedup",
             Strategy::LocalDedup => "local-dedup",
             Strategy::CollDedup => "coll-dedup",
+        }
+    }
+}
+
+/// Per-chunk redundancy scheme: how a chunk survives node losses once the
+/// dedup pass has decided who holds it.
+///
+/// The paper's scheme is [`RedundancyPolicy::Replicate`] — `K` full
+/// copies, fault tolerance `K - 1` at `K`× storage. Erasure coding
+/// ([`RedundancyPolicy::Rs`]) reaches the same tolerance `m` at
+/// `(k + m) / k`× storage by striping each payload into `k` data +
+/// `m` parity shards on distinct nodes. [`RedundancyPolicy::Auto`]
+/// chooses per chunk.
+///
+/// Both coded policies apply the *dedup credit*: a chunk the application
+/// already wrote on `m + 1` or more ranks survives any `m` losses with no
+/// redundancy added, so the HMERGE reduction keeps `m + 1` of its natural
+/// copies and skips parity generation entirely. Only chunks the cluster
+/// cannot cover naturally pay for a stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RedundancyPolicy {
+    /// Full replication with `K` total copies (the paper's scheme).
+    Replicate(u32),
+    /// Reed-Solomon `k + m` striping for every chunk that is not already
+    /// naturally duplicated on `m + 1` ranks.
+    Rs {
+        /// Data shards per stripe.
+        k: u8,
+        /// Parity shards per stripe; the stripe survives any `m` losses.
+        m: u8,
+    },
+    /// Per-chunk choice: chunks smaller than `replicate_below` bytes or
+    /// naturally duplicated on `m + 1` ranks stay replicated (striping a
+    /// tiny chunk costs more in shard bookkeeping than the parity saves);
+    /// large cold chunks are coded as `k + m` stripes.
+    Auto {
+        /// Data shards per stripe for the coded chunks.
+        k: u8,
+        /// Parity shards per stripe for the coded chunks.
+        m: u8,
+        /// Chunks strictly smaller than this many bytes are replicated.
+        replicate_below: usize,
+    },
+}
+
+impl Default for RedundancyPolicy {
+    /// The paper's default: 3× replication.
+    fn default() -> Self {
+        RedundancyPolicy::Replicate(3)
+    }
+}
+
+impl RedundancyPolicy {
+    /// Short label used in benchmark output: `rep3`, `rs4+2`, `auto4+2`.
+    pub fn label(self) -> String {
+        match self {
+            RedundancyPolicy::Replicate(k) => format!("rep{k}"),
+            RedundancyPolicy::Rs { k, m } => format!("rs{k}+{m}"),
+            RedundancyPolicy::Auto { k, m, .. } => format!("auto{k}+{m}"),
+        }
+    }
+
+    /// The Reed-Solomon geometry, when the policy can code chunks.
+    pub fn rs_params(self) -> Option<(u8, u8)> {
+        match self {
+            RedundancyPolicy::Replicate(_) => None,
+            RedundancyPolicy::Rs { k, m } | RedundancyPolicy::Auto { k, m, .. } => Some((k, m)),
+        }
+    }
+
+    /// Losses this policy tolerates: `K - 1` for replication, `m` for the
+    /// coded policies (the dedup credit keeps `m + 1` natural copies, so
+    /// replicated-by-credit chunks match the stripes' tolerance).
+    pub fn fault_tolerance(self) -> u32 {
+        match self {
+            RedundancyPolicy::Replicate(k) => k.saturating_sub(1),
+            RedundancyPolicy::Rs { m, .. } | RedundancyPolicy::Auto { m, .. } => u32::from(m),
+        }
+    }
+
+    /// Whether a chunk of `len` bytes that the reduction saw on `freq`
+    /// ranks gets coded into a stripe (as opposed to replicated / credited
+    /// with its natural copies).
+    pub fn codes_chunk(self, len: usize, freq: usize) -> bool {
+        match self {
+            RedundancyPolicy::Replicate(_) => false,
+            RedundancyPolicy::Rs { m, .. } => freq <= m as usize,
+            RedundancyPolicy::Auto {
+                m, replicate_below, ..
+            } => len >= replicate_below && freq <= m as usize,
+        }
+    }
+
+    /// The copy target the HMERGE reduction designates keepers for. Under
+    /// replication this is `K`; under `Rs` it is `m + 1`, so naturally
+    /// duplicated chunks retain exactly enough copies to match the stripe
+    /// tolerance and surplus copies are still discarded. `Auto` keeps the
+    /// larger of the two, since its small chunks are replicated to `K`.
+    pub fn hmerge_k(self, cfg_k: u32) -> u32 {
+        match self {
+            RedundancyPolicy::Replicate(k) => k,
+            RedundancyPolicy::Rs { m, .. } => u32::from(m) + 1,
+            RedundancyPolicy::Auto { m, .. } => cfg_k.max(u32::from(m) + 1),
+        }
+    }
+
+    /// Validate the policy parameters.
+    pub fn validate(self) -> Result<(), ConfigError> {
+        match self {
+            RedundancyPolicy::Replicate(0) => Err(ConfigError::ZeroReplication),
+            RedundancyPolicy::Replicate(_) => Ok(()),
+            RedundancyPolicy::Rs { k, m } | RedundancyPolicy::Auto { k, m, .. } => {
+                if k == 0 || m == 0 || u16::from(k) + u16::from(m) > 255 {
+                    Err(ConfigError::InvalidRsParams { k, m })
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -147,6 +281,10 @@ pub struct DumpConfig {
     /// Payload movement discipline (zero-copy hot path vs the staged
     /// baseline the benchmark compares against).
     pub copy_mode: CopyMode,
+    /// Per-chunk redundancy scheme (replication, Reed-Solomon stripes, or
+    /// the automatic per-chunk choice). Defaults to the paper's `K`×
+    /// replication.
+    pub policy: RedundancyPolicy,
 }
 
 impl DumpConfig {
@@ -162,12 +300,30 @@ impl DumpConfig {
             shuffle: matches!(strategy, Strategy::CollDedup),
             parallel_hash: false,
             copy_mode: CopyMode::ZeroCopy,
+            policy: RedundancyPolicy::Replicate(3),
         }
     }
 
-    /// Builder-style: set the replication factor.
+    /// Builder-style: set the replication factor. Keeps a
+    /// [`RedundancyPolicy::Replicate`] policy in sync so the two `K`s
+    /// cannot silently diverge.
     pub fn with_replication(mut self, k: u32) -> Self {
         self.replication = k;
+        if matches!(self.policy, RedundancyPolicy::Replicate(_)) {
+            self.policy = RedundancyPolicy::Replicate(k);
+        }
+        self
+    }
+
+    /// Builder-style: select the redundancy policy. A
+    /// [`RedundancyPolicy::Replicate`] policy also sets the replication
+    /// factor; the coded policies leave `K` in place for the chunks they
+    /// keep replicated (manifests, `Auto`'s small chunks).
+    pub fn with_policy(mut self, policy: RedundancyPolicy) -> Self {
+        self.policy = policy;
+        if let RedundancyPolicy::Replicate(k) = policy {
+            self.replication = k;
+        }
         self
     }
 
@@ -226,6 +382,7 @@ impl DumpConfig {
         self.chunker
             .validate()
             .map_err(|reason| ConfigError::InvalidChunker { reason })?;
+        self.policy.validate()?;
         if self.record_payload_cap() > u32::MAX as usize {
             return Err(ConfigError::ChunkSizeOverflow {
                 chunk_size: self.record_payload_cap(),
@@ -336,6 +493,80 @@ mod tests {
             bad.validate(),
             Err(ConfigError::InvalidChunker { .. })
         ));
+    }
+
+    #[test]
+    fn policy_validation_and_selection() {
+        let base = DumpConfig::paper_defaults(Strategy::CollDedup);
+        assert_eq!(base.policy, RedundancyPolicy::Replicate(3));
+
+        // Replicate policy and K stay in sync in both directions.
+        let c = base.with_policy(RedundancyPolicy::Replicate(2));
+        assert_eq!(c.replication, 2);
+        let c = base.with_replication(5);
+        assert_eq!(c.policy, RedundancyPolicy::Replicate(5));
+
+        // Coded policies leave K alone (manifests and Auto's small chunks
+        // still replicate K times).
+        let rs = base.with_policy(RedundancyPolicy::Rs { k: 4, m: 2 });
+        assert_eq!(rs.replication, 3);
+        assert!(rs.validate().is_ok());
+
+        for bad in [
+            RedundancyPolicy::Rs { k: 0, m: 2 },
+            RedundancyPolicy::Rs { k: 4, m: 0 },
+            RedundancyPolicy::Auto {
+                k: 200,
+                m: 56,
+                replicate_below: 0,
+            },
+        ] {
+            let (k, m) = bad.rs_params().unwrap();
+            assert_eq!(
+                base.with_policy(bad).validate(),
+                Err(ConfigError::InvalidRsParams { k, m })
+            );
+        }
+        assert_eq!(
+            base.with_policy(RedundancyPolicy::Replicate(0)).validate(),
+            Err(ConfigError::ZeroReplication)
+        );
+    }
+
+    #[test]
+    fn policy_chunk_classification() {
+        let rep = RedundancyPolicy::Replicate(3);
+        let rs = RedundancyPolicy::Rs { k: 4, m: 2 };
+        let auto = RedundancyPolicy::Auto {
+            k: 4,
+            m: 2,
+            replicate_below: 1024,
+        };
+
+        // Replication never codes.
+        assert!(!rep.codes_chunk(1 << 20, 1));
+        // Rs codes everything the cluster does not cover naturally: the
+        // dedup credit keeps m+1 natural copies instead of a stripe.
+        assert!(rs.codes_chunk(100, 1));
+        assert!(rs.codes_chunk(100, 2));
+        assert!(!rs.codes_chunk(100, 3), "freq >= m+1 is credited");
+        // Auto also exempts small chunks.
+        assert!(!auto.codes_chunk(1023, 1));
+        assert!(auto.codes_chunk(1024, 1));
+        assert!(!auto.codes_chunk(1 << 20, 3), "hot chunks stay replicated");
+
+        assert_eq!(rep.hmerge_k(3), 3);
+        assert_eq!(rs.hmerge_k(3), 3, "m + 1 natural copies");
+        assert_eq!(RedundancyPolicy::Rs { k: 4, m: 1 }.hmerge_k(3), 2);
+        assert_eq!(auto.hmerge_k(2), 3, "Auto keeps max(K, m+1)");
+
+        assert_eq!(rep.fault_tolerance(), 2);
+        assert_eq!(rs.fault_tolerance(), 2);
+        assert_eq!(rep.label(), "rep3");
+        assert_eq!(rs.label(), "rs4+2");
+        assert_eq!(auto.label(), "auto4+2");
+        assert_eq!(rep.rs_params(), None);
+        assert_eq!(auto.rs_params(), Some((4, 2)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `DUMP_OUTPUT(buffer, K)` — the paper's collective I/O write primitive.
 //!
-//! All ranks call [`dump_output`] simultaneously (it is a synchronization
-//! point). Depending on [`Strategy`] the call runs:
+//! All ranks of a [`replidedup_mpi::World`] enter the dump simultaneously
+//! (it is a synchronization point) via `Replicator::dump`. Depending on [`Strategy`] the call runs:
 //!
 //! * `no-dedup` — raw buffer to local storage, all chunks to `K-1`
 //!   partners via the single-sided plan;
@@ -17,10 +17,11 @@
 
 use bytes::Bytes;
 use replidedup_buf::{record_copy, thread_bytes_copied, Chunk};
-use replidedup_hash::{chunk_ranges, ChunkHasher, ChunkRange, Fingerprint};
-use replidedup_mpi::wire::Wire;
+use replidedup_ec::{shard_nodes, RsCode};
+use replidedup_hash::{chunk_ranges, ChunkHasher, ChunkRange, Fingerprint, FpHashSet};
+use replidedup_mpi::wire::{FrameReader, FrameWriter, Wire};
 use replidedup_mpi::{Comm, CommError, Tag};
-use replidedup_storage::{Cluster, DumpId, Manifest, StorageError};
+use replidedup_storage::{Cluster, DumpId, Manifest, ShardMeta, StorageError, StripeKey};
 
 use crate::config::{CopyMode, DumpConfig, Strategy};
 use crate::exchange::{
@@ -36,12 +37,15 @@ use crate::stats::{DumpStats, ReductionStats};
 /// User-tag space of the dump/restore protocols.
 pub(crate) const TAG_MANIFEST: Tag = 0x5250_0001;
 
+/// Stripe-assembly shard fan-out (coded redundancy policies).
+pub(crate) const TAG_STRIPE: Tag = 0x5250_0008;
+
 /// The phases of Algorithm 1 as the dump pipeline traces them, in order.
 /// These names are the fault-injection anchors: a
 /// [`FaultTrigger::PhaseStart`](replidedup_mpi::FaultTrigger) /
 /// [`FaultTrigger::PhaseEnd`](replidedup_mpi::FaultTrigger) naming one of
 /// them fires at that boundary of the dump.
-pub const DUMP_PHASES: [&str; 7] = [
+pub const DUMP_PHASES: [&str; 8] = [
     "local_dedup",
     "hmerge_reduce",
     "load_allgather",
@@ -49,6 +53,7 @@ pub const DUMP_PHASES: [&str; 7] = [
     "calc_off",
     "exchange",
     "commit",
+    "stripe_assembly",
 ];
 
 /// Everything a dump needs besides the buffer: where to store, how to hash,
@@ -110,24 +115,6 @@ impl From<crate::ConfigError> for DumpError {
     }
 }
 
-/// The collective dump primitive. Must be called by every rank of the
-/// world with the same configuration and dump id.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `replidedup_core::Replicator` and call `.dump()`"
-)]
-pub fn dump_output(
-    comm: &mut Comm,
-    ctx: &DumpContext<'_>,
-    buf: &[u8],
-    cfg: &DumpConfig,
-) -> Result<DumpStats, DumpError> {
-    // A borrowed slice cannot enter the zero-copy path: this shim pays one
-    // (recorded) copy into a refcounted `Chunk`. `Replicator::dump` accepts
-    // `impl Into<Chunk>` and avoids it.
-    dump_impl(comm, ctx, &Chunk::from(buf), cfg)
-}
-
 pub(crate) fn dump_impl(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
@@ -139,7 +126,11 @@ pub(crate) fn dump_impl(
     let copied_before = thread_bytes_copied();
     let me = comm.rank();
     let n = comm.size();
-    let k = cfg.replication.min(n);
+    // The pipeline's copy target: `K` under replication, `m + 1` under
+    // `Rs` (naturally duplicated chunks keep exactly enough natural
+    // copies to match the stripe tolerance), the larger of the two under
+    // `Auto` — always clamped to the world size.
+    let k = cfg.policy.hmerge_k(cfg.replication).min(n);
     let mut stats = DumpStats {
         rank: me,
         k,
@@ -221,6 +212,14 @@ fn dump_pipeline(
     // dedup strategies carry their (possibly variable-length) geometry in
     // the `LocalIndex` instead.
     let transport_ranges: Vec<ChunkRange>;
+    // Redundancy-policy classification (coded policies only): chunks whose
+    // redundancy comes from a Reed-Solomon stripe instead of replication.
+    // `stripe_fps` is the subset *this* rank assembles; `blob_coded` marks
+    // a no-dedup buffer that is striped whole instead of replicated.
+    let rs = cfg.policy.rs_params();
+    let mut coded_fps = FpHashSet::default();
+    let mut stripe_fps: Vec<Fingerprint> = Vec::new();
+    let mut blob_coded = false;
     comm.enter_phase("local_dedup");
     match cfg.strategy {
         Strategy::NoDedup => {
@@ -231,7 +230,15 @@ fn dump_pipeline(
             stats.chunks_total = transport_ranges.len() as u64;
             let all: Vec<u32> = (0..stats.chunks_total as u32).collect();
             keep_indices = all.clone();
-            send_indices = vec![all; (k - 1) as usize];
+            // A coded blob skips the replication exchange entirely: its
+            // redundancy is the stripe assembled after commit.
+            blob_coded = !buf.is_empty() && cfg.policy.codes_chunk(buf.len(), 1);
+            send_indices = if blob_coded {
+                stats.chunks_coded = stats.chunks_total;
+                vec![Vec::new(); (k - 1) as usize]
+            } else {
+                vec![all; (k - 1) as usize]
+            };
             stats.chunks_locally_unique = stats.chunks_total;
             stats.bytes_locally_unique = buf.len() as u64;
             stats.chunks_kept = stats.chunks_total;
@@ -275,7 +282,36 @@ fn dump_pipeline(
                 GlobalView::default()
             };
 
-            let plan = plan_chunks(me, &idx, &g, k);
+            let mut plan = plan_chunks(me, &idx, &g, k);
+            // Policy classification with dedup credit: a chunk whose view
+            // entry already designates `m + 1` natural holders has its
+            // distributed copies credited against stripe redundancy — it
+            // stays replicated and generates no parity. The rest of the
+            // coded set leaves the replication exchange; exactly one
+            // designated rank (the lowest) assembles its stripe, and every
+            // holder stripes an uncovered chunk (shard puts are
+            // idempotent and content-addressed, so concurrent assemblies
+            // of the same chunk converge).
+            if rs.is_some() {
+                for (fp, c) in &idx.unique {
+                    let len = idx.chunk_range(c.first_index).len();
+                    let entry = g.lookup(fp);
+                    let freq = entry.map_or(1, |e| e.ranks.len());
+                    if cfg.policy.codes_chunk(len, freq) {
+                        coded_fps.insert(*fp);
+                        let striper = entry.and_then(|e| e.ranks.first()).copied().unwrap_or(me);
+                        if striper == me {
+                            stripe_fps.push(*fp);
+                        }
+                    }
+                }
+                stripe_fps.sort_unstable();
+                plan.keep.retain(|fp| !coded_fps.contains(fp));
+                for list in &mut plan.send_lists {
+                    list.retain(|fp| !coded_fps.contains(fp));
+                }
+                stats.chunks_coded = coded_fps.len() as u64;
+            }
             stats.chunks_kept = plan.keep.len() as u64;
             stats.chunks_discarded = plan.discarded.len() as u64;
             let covered = |fp: &Fingerprint| g.lookup(fp).is_some();
@@ -384,18 +420,22 @@ fn dump_pipeline(
     comm.enter_phase("commit");
     match cfg.strategy {
         Strategy::NoDedup => {
-            let blob = match cfg.copy_mode {
-                // Refcount bump: the stored blob IS the application buffer.
-                CopyMode::ZeroCopy => data.as_bytes().clone(),
-                CopyMode::Staged => Chunk::copy_from_slice(buf).into_bytes(),
-            };
-            let len = blob.len() as u64;
-            record_storage(
-                ctx.cluster
-                    .put_blob(node, me, ctx.dump_id, blob)
-                    .map(|()| len),
-                &mut stats.bytes_written_local,
-            );
+            if !blob_coded {
+                let blob = match cfg.copy_mode {
+                    // Refcount bump: the stored blob IS the app buffer.
+                    CopyMode::ZeroCopy => data.as_bytes().clone(),
+                    CopyMode::Staged => Chunk::copy_from_slice(buf).into_bytes(),
+                };
+                let len = blob.len() as u64;
+                record_storage(
+                    ctx.cluster
+                        .put_blob(node, me, ctx.dump_id, blob)
+                        .map(|()| len),
+                    &mut stats.bytes_written_local,
+                );
+            }
+            // A coded blob stores no full copy anywhere: its data shards
+            // (payload slices) and parity land in the stripe phase below.
         }
         Strategy::LocalDedup | Strategy::CollDedup => {
             let idx = local
@@ -416,12 +456,25 @@ fn dump_pipeline(
                     &mut stats.bytes_written_local,
                 );
             }
+            // Stripe membership rides in the manifest: `coded` lists the
+            // chunk positions whose redundancy is a stripe, so restore
+            // knows reconstruction is worth attempting before declaring a
+            // chunk lost. Strictly increasing by construction.
+            let coded: Vec<u64> = idx
+                .in_order
+                .iter()
+                .enumerate()
+                .filter(|(_, fp)| coded_fps.contains(*fp))
+                .map(|(i, _)| i as u64)
+                .collect();
             let manifest = Manifest {
                 owner_rank: me,
                 dump_id: ctx.dump_id,
                 total_len: buf.len() as u64,
                 chunks: idx.in_order.clone(),
                 chunk_lens: idx.chunk_lens(),
+                rs: rs.filter(|_| !coded.is_empty()),
+                coded,
             };
             record_storage(
                 ctx.cluster.put_manifest(node, manifest.clone()).map(|()| 0),
@@ -525,9 +578,109 @@ fn dump_pipeline(
         }
     }
 
-    // The dump completes only when every rank has saved everything.
     comm.try_barrier()?;
     comm.exit_phase("commit");
+
+    // ---- Stripe assembly (coded policies) -------------------------------
+    if let Some((rk, rm)) = rs {
+        comm.enter_phase("stripe_assembly");
+        let node_count = ctx.cluster.node_count();
+        let code = RsCode::new(rk, rm).expect("geometry checked by DumpConfig::validate");
+        // Payloads this rank stripes: its coded blob (no-dedup) or the
+        // coded chunks it is the designated assembler for. Data shards are
+        // zero-copy slices of the application buffer.
+        let mut stripes: Vec<(StripeKey, Bytes)> = Vec::new();
+        if blob_coded {
+            stripes.push((
+                StripeKey::Blob {
+                    owner: me,
+                    dump_id: ctx.dump_id,
+                },
+                data.as_bytes().clone(),
+            ));
+        }
+        if let Some(idx) = &local {
+            for fp in &stripe_fps {
+                let first = idx.unique[fp].first_index;
+                stripes.push((
+                    StripeKey::Chunk(*fp),
+                    data.slice(idx.chunk_range(first)).into_bytes(),
+                ));
+            }
+        }
+        stats.stripes_assembled = stripes.len() as u64;
+
+        // Encode and bucket shards by home node (deterministic rotation
+        // seeded by the stripe key — every rank re-derives the same
+        // layout with no negotiation).
+        let mut outbound: Vec<Vec<(StripeKey, ShardMeta, Bytes)>> =
+            vec![Vec::new(); node_count as usize];
+        for (key, payload) in &stripes {
+            let shards = code.encode(payload);
+            stats.parity_bytes += shards[rk as usize..]
+                .iter()
+                .map(|s| s.len() as u64)
+                .sum::<u64>();
+            let homes = shard_nodes(key.seed(), code.shards(), node_count);
+            for (index, (shard, &home)) in shards.into_iter().zip(&homes).enumerate() {
+                let meta = ShardMeta {
+                    k: rk,
+                    m: rm,
+                    index: index as u8,
+                    total_len: payload.len() as u64,
+                };
+                outbound[home as usize].push((*key, meta, shard));
+            }
+        }
+
+        // Deterministic sends-then-receives over the existing wire
+        // framing: every rank sends one (possibly empty) scatter-gather
+        // frame to each node's leader; each leader then drains one frame
+        // from every rank and commits the shards to its device.
+        for nd in 0..node_count {
+            let ranks = ctx.cluster.placement().ranks_on(nd, n);
+            if ranks.is_empty() {
+                continue;
+            }
+            let leader = ranks.start;
+            let mut w = FrameWriter::new();
+            w.put(&(outbound[nd as usize].len() as u64));
+            for (key, meta, shard) in outbound[nd as usize].drain(..) {
+                w.put(&key);
+                w.put(&meta);
+                stats.bytes_sent_stripes += shard.len() as u64;
+                w.attach(shard);
+            }
+            comm.try_send_frame(leader, TAG_STRIPE, w.finish())?;
+        }
+        if ctx.cluster.placement().ranks_on(node, n).start == me {
+            for r in 0..n {
+                let mut reader = FrameReader::new(comm.try_recv_frame(r, TAG_STRIPE)?);
+                let count: u64 = reader
+                    .get()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt stripe frame from {r}: {e}"));
+                for _ in 0..count {
+                    let (key, meta, shard) = (|| -> replidedup_mpi::wire::WireResult<_> {
+                        let key: StripeKey = reader.get()?;
+                        let meta: ShardMeta = reader.get()?;
+                        let shard = reader.take_payload()?;
+                        Ok((key, meta, shard))
+                    })()
+                    .unwrap_or_else(|e| panic!("rank {me}: corrupt stripe frame from {r}: {e}"));
+                    let len = shard.len() as u64;
+                    record_storage(
+                        ctx.cluster
+                            .put_shard(node, key, meta, shard.into_bytes())
+                            .map(|new| if new { len } else { 0 }),
+                        &mut stats.bytes_written_local,
+                    );
+                }
+            }
+        }
+        // The dump completes only when every shard reached its device.
+        comm.try_barrier()?;
+        comm.exit_phase("stripe_assembly");
+    }
     comm.tracer()
         .gauge_bytes("bytes_written_local", stats.bytes_written_local);
     drop(view);
@@ -595,12 +748,16 @@ fn degraded_commit(
                     &mut stats.bytes_written_local,
                 );
             }
+            // Degraded dumps skip striping: the manifest claims full local
+            // chunks (an effective `K = 1`), never stripe membership.
             let manifest = Manifest {
                 owner_rank: me,
                 dump_id: ctx.dump_id,
                 total_len: buf.len() as u64,
                 chunks: idx.in_order.clone(),
                 chunk_lens: idx.chunk_lens(),
+                rs: None,
+                coded: vec![],
             };
             record_storage(
                 ctx.cluster.put_manifest(node, manifest).map(|()| 0),
@@ -620,7 +777,6 @@ fn degraded_commit(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated free functions must keep passing
 mod tests {
     use super::*;
     use replidedup_hash::Sha1ChunkHasher;
@@ -645,7 +801,7 @@ mod tests {
                 dump_id: 1,
             };
             let buf = mk_buf(comm.rank());
-            dump_output(comm, &ctx, &buf, &cfg).expect("dump succeeds")
+            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
         });
         (out.results, cluster)
     }
@@ -828,7 +984,7 @@ mod tests {
                 dump_id: 1,
             };
             let buf = vec![comm.rank() as u8; 128];
-            dump_output(comm, &ctx, &buf, &cfg)
+            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg)
         });
         // Rank 1's node is down: it errors; the others still complete
         // (no deadlock, no panic).
@@ -853,12 +1009,171 @@ mod tests {
                 dump_id: 1,
             };
             let buf = private_buffer(comm.rank());
-            let stats = dump_output(comm, &ctx, &buf, &cfg).unwrap();
+            let stats = dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).unwrap();
             (stats, comm.traffic())
         });
         for (stats, traffic) in &out.results {
             assert_eq!(stats.bytes_sent_replication, traffic.rma_put);
             assert_eq!(stats.bytes_received_replication, traffic.rma_recv);
         }
+    }
+
+    fn run_dump_with(
+        n: u32,
+        strategy: Strategy,
+        k: u32,
+        policy: crate::config::RedundancyPolicy,
+        mk_buf: impl Fn(u32) -> Vec<u8> + Sync,
+    ) -> (Vec<DumpStats>, Cluster) {
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(strategy)
+            .with_replication(k)
+            .with_chunk_size(64)
+            .with_f_threshold(1 << 12)
+            .with_policy(policy);
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
+            let buf = mk_buf(comm.rank());
+            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
+        });
+        (out.results, cluster)
+    }
+
+    /// One chunk shared by every rank, one rank-private chunk.
+    fn mixed_buffer(rank: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[0xEE; 64]);
+        buf.extend_from_slice(&[rank as u8 + 1; 64]);
+        buf
+    }
+
+    #[test]
+    fn rs_policy_codes_private_chunks_and_credits_shared() {
+        use crate::config::RedundancyPolicy;
+        let (stats, cluster) = run_dump_with(
+            6,
+            Strategy::CollDedup,
+            3,
+            RedundancyPolicy::Rs { k: 4, m: 2 },
+            mixed_buffer,
+        );
+        // The shared chunk is naturally duplicated on 6 ≥ m+1 ranks: the
+        // dedup credit keeps it replicated and skips parity. Each private
+        // chunk (freq 1 ≤ m) is striped instead of replicated.
+        let coded: u64 = stats.iter().map(|s| s.chunks_coded).sum();
+        assert_eq!(coded, 6, "exactly the six private chunks are coded");
+        let stripes: u64 = stats.iter().map(|s| s.stripes_assembled).sum();
+        assert_eq!(stripes, 6, "each coded chunk striped exactly once");
+        assert!(cluster.total_parity_bytes() > 0);
+        // The credited shared chunk keeps the policy floor of m+1 copies.
+        let shared_fp = Sha1ChunkHasher.fingerprint(&[0xEE; 64]);
+        assert_eq!(cluster.copies_of(&shared_fp), 3, "m+1 natural copies");
+        // Coded chunks are not replicated as plain chunks anywhere.
+        for rank in 0..6u32 {
+            let fp = Sha1ChunkHasher.fingerprint(&[rank as u8 + 1; 64]);
+            assert_eq!(cluster.copies_of(&fp), 0, "coded chunk lives as shards");
+        }
+        // Manifests record the stripe membership.
+        let m = cluster.get_manifest(0, 0, 1).unwrap();
+        assert_eq!(m.rs, Some((4, 2)));
+        assert!(!m.coded.is_empty());
+    }
+
+    #[test]
+    fn auto_policy_replicates_below_threshold() {
+        use crate::config::RedundancyPolicy;
+        let (stats, cluster) = run_dump_with(
+            6,
+            Strategy::CollDedup,
+            3,
+            RedundancyPolicy::Auto {
+                k: 4,
+                m: 2,
+                replicate_below: 128,
+            },
+            private_buffer,
+        );
+        // Every chunk is 64 < 128 bytes: nothing is coded, no parity.
+        assert!(stats.iter().all(|s| s.chunks_coded == 0));
+        assert_eq!(cluster.total_parity_bytes(), 0);
+        // Dropping the size floor flips all private chunks to coded.
+        let (stats, cluster) = run_dump_with(
+            6,
+            Strategy::CollDedup,
+            3,
+            RedundancyPolicy::Auto {
+                k: 4,
+                m: 2,
+                replicate_below: 1,
+            },
+            private_buffer,
+        );
+        assert!(stats.iter().all(|s| s.chunks_coded == 4));
+        assert!(cluster.total_parity_bytes() > 0);
+    }
+
+    #[test]
+    fn rs_storage_overhead_beats_replication() {
+        use crate::config::RedundancyPolicy;
+        // All-private data, so dedup saves nothing: the comparison is
+        // purely 3× replication vs (k+m)/k = 1.5× coding.
+        let (_, c_rep) = run_dump(6, Strategy::CollDedup, 3, private_buffer);
+        let (_, c_rs) = run_dump_with(
+            6,
+            Strategy::CollDedup,
+            3,
+            RedundancyPolicy::Rs { k: 4, m: 2 },
+            private_buffer,
+        );
+        assert!(
+            c_rs.total_device_bytes() < c_rep.total_device_bytes(),
+            "rs {} vs rep3 {}",
+            c_rs.total_device_bytes(),
+            c_rep.total_device_bytes()
+        );
+    }
+
+    #[test]
+    fn coll_dedup_parity_strictly_below_no_dedup() {
+        use crate::config::RedundancyPolicy;
+        // Same data, same Rs policy: no-dedup codes whole blobs, blind to
+        // the shared chunk; coll-dedup credits it and only generates
+        // parity for the private chunks.
+        let rs = RedundancyPolicy::Rs { k: 4, m: 2 };
+        let (_, c_nd) = run_dump_with(6, Strategy::NoDedup, 3, rs, mixed_buffer);
+        let (_, c_cd) = run_dump_with(6, Strategy::CollDedup, 3, rs, mixed_buffer);
+        assert!(c_cd.total_parity_bytes() > 0);
+        assert!(
+            c_cd.total_parity_bytes() < c_nd.total_parity_bytes(),
+            "dedup credit must cut parity: coll {} vs none {}",
+            c_cd.total_parity_bytes(),
+            c_nd.total_parity_bytes()
+        );
+    }
+
+    #[test]
+    fn no_dedup_rs_stripes_blob_instead_of_replicating() {
+        use crate::config::RedundancyPolicy;
+        let (stats, cluster) = run_dump_with(
+            4,
+            Strategy::NoDedup,
+            3,
+            RedundancyPolicy::Rs { k: 2, m: 2 },
+            private_buffer,
+        );
+        for s in &stats {
+            assert_eq!(s.chunks_coded, s.chunks_total, "whole blob is coded");
+            assert_eq!(s.bytes_sent_replication, 0, "no replica fan-out");
+        }
+        // No raw blob copies anywhere — the data lives as shards.
+        for rank in 0..4u32 {
+            let holders = (0..4).filter(|&nd| cluster.has_blob(nd, rank, 1)).count();
+            assert_eq!(holders, 0, "rank {rank} blob must be striped, not stored");
+        }
+        assert!(cluster.total_parity_bytes() > 0);
     }
 }

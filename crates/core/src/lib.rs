@@ -3,9 +3,9 @@
 //! Rust reproduction of Bogdan Nicolae, *"Leveraging Naturally Distributed
 //! Data Redundancy to Reduce Collective I/O Replication Overhead"*
 //! (IPDPS 2015). The library exposes the paper's collective I/O write
-//! primitive `DUMP_OUTPUT(buffer, K)` ([`dump_output`]) plus the restore
-//! collective ([`restore_output`]) and implements all four design
-//! principles of Section III:
+//! primitive `DUMP_OUTPUT(buffer, K)` plus the restore collective (both
+//! driven through the [`Replicator`] session) and implements all four
+//! design principles of Section III:
 //!
 //! 1. collective interprocess deduplication ([`local`], [`global`]),
 //! 2. load balancing via uniform rank assignment (inside
@@ -59,9 +59,7 @@ pub mod session;
 pub mod shuffle;
 pub mod stats;
 
-pub use config::{ConfigError, CopyMode, DumpConfig, Strategy};
-#[allow(deprecated)]
-pub use dump::dump_output;
+pub use config::{ConfigError, CopyMode, DumpConfig, RedundancyPolicy, Strategy};
 pub use dump::{DumpContext, DumpError, DUMP_PHASES};
 pub use global::{reduce_global_view, try_reduce_global_view, GlobalEntry, GlobalView};
 pub use local::LocalIndex;
@@ -69,8 +67,6 @@ pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};
 pub use repair::{RepairError, RepairStats, REPAIR_PHASES};
 pub use replidedup_hash::{ChunkerKind, GearParams, RabinParams};
-#[allow(deprecated)]
-pub use restore::restore_output;
 pub use restore::RestoreError;
 pub use retry::{Backoff, RetryPolicy};
 pub use session::{ReplError, Replicator, ReplicatorBuilder};

@@ -30,20 +30,35 @@
 //!    fallible point-to-point layer, then allreduce the healing counts so
 //!    every rank returns the same [`RepairStats`].
 //!
+//! Dumps taken under an erasure-coding redundancy policy add a fourth
+//! concern: coded payloads live as Reed-Solomon stripes, not replicas, so
+//! the plan treats a referenced chunk (or blob) with no replica as healthy
+//! as long as its stripe keeps at least `k` shards, and a dedicated
+//! **stripe phase** (`repair.stripes`) rebuilds every missing shard on its
+//! home node from any `k` survivors
+//! ([`replidedup_storage::Cluster::rebuild_shard`]). Stripe parity
+//! verification is inherently cluster-wide — a stripe's shards span nodes
+//! — so the lowest live node leader runs it once and quarantines flagged
+//! shard copies before planning.
+//!
 //! The collective is **idempotent**: the plan is derived from the current
-//! cluster state and chunk puts are content-addressed, so re-running a
-//! repair that crashed half-way (every crash surfaces as
+//! cluster state and chunk/shard puts are content-addressed, so re-running
+//! a repair that crashed half-way (every crash surfaces as
 //! [`RepairError::Comm`]) simply finds less work and converges. Data with
-//! zero surviving copies is beyond repair by construction; it is reported
-//! in [`RepairStats`] instead of failing the collective, so one
-//! unrecoverable buffer does not block healing everything else.
+//! zero surviving copies — or a stripe with fewer than `k` shards — is
+//! beyond repair by construction; it is reported in [`RepairStats`]
+//! instead of failing the collective, so one unrecoverable buffer does not
+//! block healing everything else.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
+use replidedup_ec::shard_nodes;
 use replidedup_hash::{Fingerprint, FpHashSet};
 use replidedup_mpi::wire::{FrameReader, FrameWriter, Wire, WireResult};
 use replidedup_mpi::{Comm, CommError, Tag};
-use replidedup_storage::{Cluster, Manifest, NodeId, ScrubReport, StorageError};
+use replidedup_storage::{
+    Cluster, DumpId, Manifest, NodeId, ScrubReport, ShardMeta, StorageError, StripeKey,
+};
 
 use crate::config::Strategy;
 use crate::dump::DumpContext;
@@ -54,7 +69,12 @@ const TAG_REPAIR_CHUNKS: Tag = 0x5250_0006;
 const TAG_REPAIR_BLOB: Tag = 0x5250_0007;
 
 /// Phases of the repair collective, in execution order (trace span names).
-pub const REPAIR_PHASES: [&str; 3] = ["repair.scrub", "repair.plan", "repair.transfer"];
+pub const REPAIR_PHASES: [&str; 4] = [
+    "repair.scrub",
+    "repair.plan",
+    "repair.stripes",
+    "repair.transfer",
+];
 
 /// What a repair collective did. Identical on every rank (healing counts
 /// are allreduced; the unrepairable lists fall out of the deterministic
@@ -72,20 +92,38 @@ pub struct RepairStats {
     pub blobs_rematerialized: u64,
     /// Corrupt chunks the scrub phase quarantined before planning.
     pub corrupt_quarantined: u64,
-    /// Referenced fingerprints with zero intact live copies: beyond repair.
+    /// Erasure-coded shards reconstructed from `k` survivors and re-homed
+    /// (the coded policies' analogue of `chunks_healed`).
+    pub shards_rebuilt: u64,
+    /// Bytes of reconstructed shard payloads written back.
+    pub bytes_reconstructed: u64,
+    /// Parity-inconsistent shard copies the stripe scrub quarantined
+    /// before rebuilding (the coded analogue of `corrupt_quarantined`).
+    pub shards_quarantined: u64,
+    /// Referenced fingerprints with zero intact live copies (and, for
+    /// coded chunks, no viable stripe): beyond repair.
     pub unrepairable_chunks: Vec<Fingerprint>,
     /// Ranks whose manifest for this dump has no surviving copy.
     pub unrepairable_manifests: Vec<u32>,
-    /// Ranks whose raw blob for this dump has no surviving copy.
+    /// Ranks whose raw blob for this dump has no surviving copy (and no
+    /// viable stripe).
     pub unrepairable_blobs: Vec<u32>,
+    /// Stripes with fewer than `k` surviving shards: beyond
+    /// reconstruction. Disjoint per policy from the replica lists — a
+    /// payload appears here exactly when it was *coded*, there when it was
+    /// *replicated* — so [`RepairStats::is_fully_healed`] stays meaningful
+    /// under mixed `Auto` policies.
+    pub unrepairable_stripes: Vec<StripeKey>,
 }
 
 impl RepairStats {
-    /// Did this repair leave the dump fully healed — nothing lost for good?
+    /// Did this repair leave the dump fully healed — nothing lost for
+    /// good, whether it was replicated or erasure-coded?
     pub fn is_fully_healed(&self) -> bool {
         self.unrepairable_chunks.is_empty()
             && self.unrepairable_manifests.is_empty()
             && self.unrepairable_blobs.is_empty()
+            && self.unrepairable_stripes.is_empty()
     }
 }
 
@@ -146,6 +184,9 @@ struct NodeInventory {
     referenced: Vec<Fingerprint>,
     /// Ranks tombstoned as absent when the dump committed (sorted).
     absent: Vec<u32>,
+    /// Erasure-coded shards this node holds, as `(stripe, meta)` pairs
+    /// sorted by stripe then shard index.
+    shards: Vec<(StripeKey, ShardMeta)>,
 }
 
 impl Wire for NodeInventory {
@@ -155,6 +196,7 @@ impl Wire for NodeInventory {
         self.blob_owners.encode(buf);
         self.referenced.encode(buf);
         self.absent.encode(buf);
+        self.shards.encode(buf);
     }
 
     fn decode(input: &mut &[u8]) -> WireResult<Self> {
@@ -164,6 +206,7 @@ impl Wire for NodeInventory {
             blob_owners: Vec::decode(input)?,
             referenced: Vec::decode(input)?,
             absent: Vec::decode(input)?,
+            shards: Vec::decode(input)?,
         })
     }
 }
@@ -178,9 +221,13 @@ struct RepairPlan {
     manifest_moves: Vec<(u32, u32, u32)>,
     /// `(src_leader, dst_leader, owner_rank)` blob re-materializations.
     blob_moves: Vec<(u32, u32, u32)>,
+    /// `(dst_leader, stripe, shard index)`: dst reconstructs the shard
+    /// from any `k` survivors and re-homes it on its node.
+    shard_rebuilds: Vec<(u32, StripeKey, u8)>,
     unrepairable_chunks: Vec<Fingerprint>,
     unrepairable_manifests: Vec<u32>,
     unrepairable_blobs: Vec<u32>,
+    unrepairable_stripes: Vec<StripeKey>,
 }
 
 /// Pick up to `deficit` destinations among live non-holder leaders,
@@ -218,9 +265,11 @@ fn pick_destinations(
 fn build_plan(
     k: u32,
     strategy: Strategy,
+    dump_id: DumpId,
     global: &GlobalView,
     inv: &[NodeInventory],
     home_leader: &[u32],
+    leader_of_node: &[Option<u32>],
 ) -> RepairPlan {
     let mut plan = RepairPlan::default();
     let live: Vec<u32> = inv
@@ -231,6 +280,28 @@ fn build_plan(
         .collect();
     let target = (k as usize).min(live.len());
     let tombstoned = |r: u32| inv.iter().any(|i| i.absent.binary_search(&r).is_ok());
+
+    // Cluster-wide stripe map from the allgathered shard inventories:
+    // geometry (from any shard's self-describing meta) plus surviving
+    // indices, and which leader holds which shard.
+    let mut stripes: BTreeMap<StripeKey, (ShardMeta, Vec<u8>)> = BTreeMap::new();
+    let mut held: HashSet<(u32, StripeKey, u8)> = HashSet::new();
+    for (r, i) in inv.iter().enumerate() {
+        for (key, meta) in &i.shards {
+            held.insert((r as u32, *key, meta.index));
+            let e = stripes.entry(*key).or_insert((*meta, Vec::new()));
+            if !e.1.contains(&meta.index) {
+                e.1.push(meta.index);
+            }
+        }
+    }
+    // A coded payload is healthy — no replicas required — as long as its
+    // stripe keeps at least `k` shards; the stripe pass heals the rest.
+    let stripe_viable = |key: &StripeKey| {
+        stripes
+            .get(key)
+            .is_some_and(|(meta, have)| have.len() >= meta.k as usize)
+    };
 
     if strategy != Strategy::NoDedup {
         // ---- chunks: every fingerprint a surviving manifest references --
@@ -243,7 +314,11 @@ fn build_plan(
         let mut load: HashMap<u32, u64> = HashMap::new();
         for fp in required {
             match global.lookup(&fp) {
-                None => plan.unrepairable_chunks.push(fp),
+                None => {
+                    if !stripe_viable(&StripeKey::Chunk(fp)) {
+                        plan.unrepairable_chunks.push(fp);
+                    }
+                }
                 // freq >= K: at least K intact copies survive, nothing to do
                 // (the holder list may be truncated, but is not needed).
                 Some(e) if e.freq >= u64::from(k) => {}
@@ -299,7 +374,9 @@ fn build_plan(
                 .filter(|l| inv[*l as usize].blob_owners.binary_search(&r).is_ok())
                 .collect();
             if holders.is_empty() {
-                plan.unrepairable_blobs.push(r);
+                if !stripe_viable(&StripeKey::Blob { owner: r, dump_id }) {
+                    plan.unrepairable_blobs.push(r);
+                }
                 continue;
             }
             let deficit = target.saturating_sub(holders.len());
@@ -309,6 +386,28 @@ fn build_plan(
                 .enumerate()
             {
                 plan.blob_moves.push((holders[i % holders.len()], dst, r));
+            }
+        }
+    }
+
+    // ---- stripes: every viable stripe healed back to full k+m shards on
+    // their home nodes (a stripe below k survivors is beyond rebuild) ----
+    let node_count = leader_of_node.len() as u32;
+    for (key, (meta, have)) in &stripes {
+        if have.len() < meta.k as usize {
+            plan.unrepairable_stripes.push(*key);
+            continue;
+        }
+        let shards = meta.k + meta.m;
+        let homes = shard_nodes(key.seed(), shards, node_count);
+        for index in 0..shards {
+            // Dead (or unpopulated) home nodes have nowhere to re-home the
+            // shard; a later repair after reviving picks them up.
+            let Some(leader) = leader_of_node[homes[index as usize] as usize] else {
+                continue;
+            };
+            if !held.contains(&(leader, *key, index)) {
+                plan.shard_rebuilds.push((leader, *key, index));
             }
         }
     }
@@ -323,6 +422,16 @@ fn leader_of(cluster: &Cluster, node: NodeId, world: u32) -> Option<u32> {
     } else {
         Some(ranks.start)
     }
+}
+
+/// The lowest rank leading a live node: the one rank that runs the
+/// cluster-wide stripe verification (a stripe's shards span nodes, so no
+/// single node's leader can check parity consistency alone).
+fn lowest_live_leader(cluster: &Cluster, world: u32) -> Option<u32> {
+    (0..world).find(|&r| {
+        let nd = cluster.node_of(r);
+        leader_of(cluster, nd, world) == Some(r) && cluster.is_alive(nd)
+    })
 }
 
 /// Collective scrub: every live node is scrubbed by its leader rank and
@@ -345,16 +454,22 @@ pub(crate) fn scrub_impl(
     let n = comm.size();
     let node = ctx.cluster.node_of(me);
     comm.enter_phase("scrub.collect");
-    let contribution = if leader_of(ctx.cluster, node, n) == Some(me) && ctx.cluster.is_alive(node)
-    {
-        (
-            ctx.cluster.scrub(node, ctx.hasher)?,
-            ctx.cluster.chunk_fps(node)?,
-            ctx.cluster.referenced_fps(node)?,
-        )
-    } else {
-        (ScrubReport::default(), Vec::new(), Vec::new())
-    };
+    let mut contribution =
+        if leader_of(ctx.cluster, node, n) == Some(me) && ctx.cluster.is_alive(node) {
+            (
+                ctx.cluster.scrub(node, ctx.hasher)?,
+                ctx.cluster.chunk_fps(node)?,
+                ctx.cluster.referenced_fps(node)?,
+            )
+        } else {
+            (ScrubReport::default(), Vec::new(), Vec::new())
+        };
+    if lowest_live_leader(ctx.cluster, n) == Some(me) {
+        // Parity consistency is a property of whole stripes, not single
+        // nodes: exactly one rank verifies every stripe cluster-wide and
+        // folds the findings into its contribution.
+        contribution.0.merge(&ctx.cluster.scrub_stripes(ctx.hasher));
+    }
     let all = comm.try_allgather(contribution);
     comm.exit_phase("scrub.collect");
     let all = all?;
@@ -390,11 +505,23 @@ pub(crate) fn repair_impl(
     // ---- Phase 1: scrub + quarantine ------------------------------------
     comm.enter_phase("repair.scrub");
     let mut corrupt_quarantined = 0u64;
+    let mut shards_quarantined = 0u64;
     if i_lead && cluster.is_alive(node) {
         let report = cluster.scrub(node, ctx.hasher)?;
         for (nd, fp) in &report.corrupt {
             if cluster.quarantine_chunk(*nd, fp)? {
                 corrupt_quarantined += 1;
+            }
+        }
+    }
+    if lowest_live_leader(cluster, n) == Some(me) {
+        // Cluster-wide stripe verification, run once: quarantine every
+        // parity-inconsistent shard copy so the stripe phase below rebuilds
+        // it from intact survivors instead of propagating rot.
+        let report = cluster.scrub_stripes(ctx.hasher);
+        for (nd, key, index) in &report.stripe_mismatches {
+            if cluster.quarantine_shard(*nd, *key, *index)? {
+                shards_quarantined += 1;
             }
         }
     }
@@ -413,6 +540,7 @@ pub(crate) fn repair_impl(
         inv.manifest_owners = cluster.manifest_owners(node, ctx.dump_id)?;
         inv.blob_owners = cluster.blob_owners(node, ctx.dump_id)?;
         inv.absent = cluster.absent_ranks(node, ctx.dump_id)?;
+        inv.shards = cluster.shard_inventory(node)?;
         let mut refs = FpHashSet::default();
         for m in cluster.manifests_for(node, ctx.dump_id)? {
             refs.extend(m.chunks.iter().copied());
@@ -428,9 +556,41 @@ pub(crate) fn repair_impl(
     let home_leader: Vec<u32> = (0..n)
         .map(|r| leader_of(cluster, cluster.node_of(r), n).unwrap_or(r))
         .collect();
-    let plan = build_plan(k, strategy, &global, &world_inv, &home_leader);
+    let leader_of_node: Vec<Option<u32>> = (0..cluster.node_count())
+        .map(|nd| leader_of(cluster, nd, n).filter(|_| cluster.is_alive(nd)))
+        .collect();
+    let plan = build_plan(
+        k,
+        strategy,
+        ctx.dump_id,
+        &global,
+        &world_inv,
+        &home_leader,
+        &leader_of_node,
+    );
 
-    // ---- Phase 3: execute the plan --------------------------------------
+    // ---- Phase 3: rebuild erasure-coded shards ---------------------------
+    comm.enter_phase("repair.stripes");
+    let mut shards_rebuilt = 0u64;
+    let mut bytes_reconstructed = 0u64;
+    for (leader, key, index) in &plan.shard_rebuilds {
+        if *leader != me {
+            continue;
+        }
+        // Reconstruction reads any `k` survivors through the storage
+        // repair index — the same escape hatch restore's last-resort path
+        // uses — and the content-addressed put keeps re-runs idempotent.
+        if let Some(shard) = cluster.rebuild_shard(*key, *index) {
+            let len = shard.data.len() as u64;
+            if cluster.put_shard(node, *key, shard.meta, shard.data)? {
+                shards_rebuilt += 1;
+                bytes_reconstructed += len;
+            }
+        }
+    }
+    comm.exit_phase("repair.stripes");
+
+    // ---- Phase 4: execute the transfer plan ------------------------------
     comm.enter_phase("repair.transfer");
     let mut healed = 0u64;
     let mut bytes = 0u64;
@@ -554,6 +714,9 @@ pub(crate) fn repair_impl(
             manifests_remat,
             blobs_remat,
             corrupt_quarantined,
+            shards_rebuilt,
+            bytes_reconstructed,
+            shards_quarantined,
         ],
         |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect(),
     )?;
@@ -562,15 +725,20 @@ pub(crate) fn repair_impl(
     comm.tracer()
         .counter("repair_manifests_rematerialized", sums[2]);
     comm.tracer().counter("scrub_corrupt_chunks", sums[4]);
+    comm.tracer().counter("repair_shards_rebuilt", sums[5]);
     Ok(RepairStats {
         chunks_healed: sums[0],
         bytes_re_replicated: sums[1],
         manifests_rematerialized: sums[2],
         blobs_rematerialized: sums[3],
         corrupt_quarantined: sums[4],
+        shards_rebuilt: sums[5],
+        bytes_reconstructed: sums[6],
+        shards_quarantined: sums[7],
         unrepairable_chunks: plan.unrepairable_chunks,
         unrepairable_manifests: plan.unrepairable_manifests,
         unrepairable_blobs: plan.unrepairable_blobs,
+        unrepairable_stripes: plan.unrepairable_stripes,
     })
 }
 
@@ -597,7 +765,25 @@ mod tests {
             blob_owners: Vec::new(),
             referenced: referenced.into_iter().map(fp).collect(),
             absent: Vec::new(),
+            shards: Vec::new(),
         }
+    }
+
+    /// `build_plan` over a one-rank-per-node world: home leaders are the
+    /// ranks themselves and live leaders fall out of the inventory.
+    fn plan_for(
+        k: u32,
+        strategy: Strategy,
+        global: &GlobalView,
+        inv: &[NodeInventory],
+    ) -> RepairPlan {
+        let home: Vec<u32> = (0..inv.len() as u32).collect();
+        let leaders: Vec<Option<u32>> = inv
+            .iter()
+            .enumerate()
+            .map(|(r, i)| i.leads_live_node.then_some(r as u32))
+            .collect();
+        build_plan(k, strategy, 1, global, inv, &home, &leaders)
     }
 
     #[test]
@@ -608,6 +794,7 @@ mod tests {
             blob_owners: vec![1],
             referenced: vec![fp(9), fp(11)],
             absent: vec![3],
+            shards: vec![(StripeKey::Chunk(fp(9)), meta(4, 2, 5))],
         };
         assert_eq!(NodeInventory::from_bytes(&i.to_bytes()).unwrap(), i);
     }
@@ -625,7 +812,7 @@ mod tests {
             inv(true, vec![2], vec![]),
             inv(true, vec![3], vec![]),
         ];
-        let plan = build_plan(3, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2, 3]);
+        let plan = plan_for(3, Strategy::CollDedup, &global, &world_inv);
         let for_one: Vec<_> = plan
             .chunk_moves
             .iter()
@@ -652,7 +839,7 @@ mod tests {
             inv(true, vec![0, 1], vec![]),
             inv(false, vec![], vec![]),
         ];
-        let plan = build_plan(3, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2]);
+        let plan = plan_for(3, Strategy::CollDedup, &global, &world_inv);
         assert_eq!(plan.chunk_moves, vec![(0, 1, fp(1))]);
     }
 
@@ -665,13 +852,7 @@ mod tests {
             inv(true, vec![0, 1], vec![]),
             inv(true, vec![], vec![]),
         ];
-        let plan = build_plan(
-            2,
-            Strategy::CollDedup,
-            &GlobalView::default(),
-            &world_inv,
-            &[0, 1, 2],
-        );
+        let plan = plan_for(2, Strategy::CollDedup, &GlobalView::default(), &world_inv);
         assert!(
             plan.manifest_moves.contains(&(0, 2, 2)),
             "rank 2's manifest must land on its own node: {:?}",
@@ -684,13 +865,7 @@ mod tests {
         let mut absent_inv = inv(true, vec![0], vec![]);
         absent_inv.absent = vec![1];
         let world_inv = vec![absent_inv, inv(true, vec![0], vec![])];
-        let plan = build_plan(
-            2,
-            Strategy::CollDedup,
-            &GlobalView::default(),
-            &world_inv,
-            &[0, 1],
-        );
+        let plan = plan_for(2, Strategy::CollDedup, &GlobalView::default(), &world_inv);
         // Rank 1 is tombstoned (degraded dump): not unrepairable, just
         // absent. Rank 0's manifest already has 2 copies: nothing to do.
         assert!(plan.unrepairable_manifests.is_empty());
@@ -703,13 +878,7 @@ mod tests {
         a.blob_owners = vec![0, 1];
         let b = inv(true, vec![], vec![]);
         let world_inv = vec![a, b];
-        let plan = build_plan(
-            2,
-            Strategy::NoDedup,
-            &GlobalView::default(),
-            &world_inv,
-            &[0, 1],
-        );
+        let plan = plan_for(2, Strategy::NoDedup, &GlobalView::default(), &world_inv);
         assert_eq!(plan.blob_moves, vec![(0, 1, 0), (0, 1, 1)]);
         assert!(plan.manifest_moves.is_empty() && plan.chunk_moves.is_empty());
     }
@@ -723,8 +892,8 @@ mod tests {
             inv(true, vec![0, 1], vec![1]),
             inv(true, vec![0, 1], vec![]),
         ];
-        let p1 = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1]);
-        let p2 = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1]);
+        let p1 = plan_for(2, Strategy::CollDedup, &global, &world_inv);
+        let p2 = plan_for(2, Strategy::CollDedup, &global, &world_inv);
         assert_eq!(p1, p2);
         assert!(p1.chunk_moves.is_empty(), "healthy state plans no work");
         assert!(p1.unrepairable_chunks.is_empty());
@@ -743,12 +912,91 @@ mod tests {
             inv(true, vec![], vec![]),
             inv(true, vec![], vec![]),
         ];
-        let plan = build_plan(2, Strategy::CollDedup, &global, &world_inv, &[0, 1, 2, 3]);
+        let plan = plan_for(2, Strategy::CollDedup, &global, &world_inv);
         assert_eq!(plan.chunk_moves.len(), 2);
         assert_ne!(
             plan.chunk_moves[0].1, plan.chunk_moves[1].1,
             "load balancing must spread new copies: {:?}",
             plan.chunk_moves
         );
+    }
+
+    fn meta(k: u8, m: u8, index: u8) -> ShardMeta {
+        ShardMeta {
+            k,
+            m,
+            index,
+            total_len: 64,
+        }
+    }
+
+    #[test]
+    fn plan_rebuilds_missing_shards_on_their_home_leaders() {
+        let key = StripeKey::Chunk(fp(7));
+        let homes = shard_nodes(key.seed(), 3, 4);
+        let mut world_inv = vec![
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+        ];
+        // Indices 0 and 1 sit on their home nodes; index 2 is lost.
+        for index in [0u8, 1] {
+            world_inv[homes[index as usize] as usize]
+                .shards
+                .push((key, meta(2, 1, index)));
+        }
+        let plan = plan_for(2, Strategy::CollDedup, &GlobalView::default(), &world_inv);
+        assert_eq!(
+            plan.shard_rebuilds,
+            vec![(homes[2], key, 2)],
+            "exactly the lost shard is rebuilt, on its home node's leader"
+        );
+        assert!(plan.unrepairable_stripes.is_empty());
+    }
+
+    #[test]
+    fn plan_flags_stripes_below_k_survivors() {
+        let key = StripeKey::Chunk(fp(9));
+        let mut world_inv = vec![inv(true, vec![], vec![]), inv(true, vec![], vec![])];
+        world_inv[0].shards.push((key, meta(2, 1, 0)));
+        let plan = plan_for(2, Strategy::CollDedup, &GlobalView::default(), &world_inv);
+        assert_eq!(plan.unrepairable_stripes, vec![key]);
+        assert!(
+            plan.shard_rebuilds.is_empty(),
+            "a dead stripe plans no rebuilds"
+        );
+    }
+
+    #[test]
+    fn coded_chunks_with_viable_stripes_are_not_unrepairable() {
+        // fp 7 has no replica anywhere but a viable 2-survivor stripe;
+        // fp 8 has neither replicas nor shards.
+        let key = StripeKey::Chunk(fp(7));
+        let mut world_inv = vec![
+            inv(true, vec![0], vec![7, 8]),
+            inv(true, vec![], vec![]),
+            inv(true, vec![], vec![]),
+        ];
+        world_inv[0].shards.push((key, meta(2, 1, 0)));
+        world_inv[1].shards.push((key, meta(2, 1, 1)));
+        let plan = plan_for(2, Strategy::CollDedup, &GlobalView::default(), &world_inv);
+        assert_eq!(plan.unrepairable_chunks, vec![fp(8)]);
+        assert!(plan.unrepairable_stripes.is_empty());
+    }
+
+    #[test]
+    fn coded_blob_with_viable_stripe_is_not_unrepairable() {
+        // Neither rank has a stored blob; rank 1's was striped at dump
+        // time (dump_id 1 — the one `plan_for` plans for), rank 0's is
+        // truly gone.
+        let key = StripeKey::Blob {
+            owner: 1,
+            dump_id: 1,
+        };
+        let mut world_inv = vec![inv(true, vec![], vec![]), inv(true, vec![], vec![])];
+        world_inv[0].shards.push((key, meta(1, 1, 0)));
+        let plan = plan_for(2, Strategy::NoDedup, &GlobalView::default(), &world_inv);
+        assert_eq!(plan.unrepairable_blobs, vec![0]);
     }
 }

@@ -19,6 +19,13 @@
 //! `no-dedup` dumps restore the raw blob through the same
 //! advertise/assign/serve pattern at blob granularity.
 //!
+//! When the dump ran under an erasure-coding redundancy policy, a payload
+//! whose replicas are all gone gets one last chance: Reed-Solomon
+//! reconstruction from any `k` surviving shards of its stripe
+//! ([`replidedup_storage::Cluster::reconstruct_payload`]). Reconstructed
+//! payloads are hash-verified and re-seeded locally, exactly like replica
+//! rescues.
+//!
 //! Every rank participates in every collective step even when its own
 //! restore already failed (e.g. manifest unrecoverable), so one lost rank
 //! can never deadlock the others.
@@ -28,7 +35,7 @@ use replidedup_buf::{global_pool, record_copy, Chunk};
 use replidedup_hash::{Fingerprint, FpHashSet};
 use replidedup_mpi::wire::{FrameReader, FrameWriter};
 use replidedup_mpi::{Comm, CommError, Tag};
-use replidedup_storage::{DumpId, StorageError};
+use replidedup_storage::{DumpId, StorageError, StripeKey};
 
 use crate::config::Strategy;
 use crate::dump::DumpContext;
@@ -110,22 +117,6 @@ impl From<CommError> for RestoreError {
     }
 }
 
-/// Collectively restore this rank's buffer from dump `ctx.dump_id`.
-/// `strategy` must match the strategy the dump was written with.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `replidedup_core::Replicator` and call `.restore()`"
-)]
-pub fn restore_output(
-    comm: &mut Comm,
-    ctx: &DumpContext<'_>,
-    strategy: Strategy,
-) -> Result<Vec<u8>, RestoreError> {
-    // `Vec::from(Chunk)` is one recorded copy; `Replicator::restore`
-    // returns the `Chunk` itself.
-    restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore()).map(Vec::from)
-}
-
 pub(crate) fn restore_impl(
     comm: &mut Comm,
     ctx: &DumpContext<'_>,
@@ -196,6 +187,15 @@ fn fetch_verified(
             ctx.cluster.quarantine_chunk(nd, fp).ok();
         }
     }
+    // Last line of defence: the chunk was erasure-coded and any `k` of its
+    // stripe's shards survive somewhere in the cluster.
+    if let Some(data) = ctx.cluster.reconstruct_payload(StripeKey::Chunk(*fp)) {
+        if ctx.hasher.fingerprint(&data) == *fp {
+            comm.tracer().counter("restore_rs_reconstructed", 1);
+            ctx.cluster.put_chunk(node, *fp, data.clone()).ok();
+            return Ok(data);
+        }
+    }
     Err(RestoreError::ChunkLost(*fp))
 }
 
@@ -264,11 +264,28 @@ fn restore_blob(
                     .ok();
                 Ok(data)
             }
-            None if absent => Err(RestoreError::AbsentAtDump {
-                rank: me,
-                dump_id: ctx.dump_id,
-            }),
-            None => Err(RestoreError::BlobLost { rank: me }),
+            None => {
+                // No live replica — but a blob dumped under an `Rs` policy
+                // was striped instead of replicated, so any `k` surviving
+                // shards can still rebuild it.
+                if let Some(data) = ctx.cluster.reconstruct_payload(StripeKey::Blob {
+                    owner: me,
+                    dump_id: ctx.dump_id,
+                }) {
+                    comm.tracer().counter("restore_rs_reconstructed", 1);
+                    ctx.cluster
+                        .put_blob(node, me, ctx.dump_id, data.clone())
+                        .ok();
+                    Ok(Chunk::from(data))
+                } else if absent {
+                    Err(RestoreError::AbsentAtDump {
+                        rank: me,
+                        dump_id: ctx.dump_id,
+                    })
+                } else {
+                    Err(RestoreError::BlobLost { rank: me })
+                }
+            }
         },
     };
     comm.try_barrier()?;
@@ -382,7 +399,23 @@ fn restore_chunks(
         match server_of_fp(fp) {
             Some(s) if s != me => expected_servers.push(s),
             Some(_) => {} // cannot happen: missing means I do not have it
-            None => lost = lost.or(Some(*fp)),
+            None => {
+                // No live holder anywhere — try Reed-Solomon reconstruction
+                // from surviving shards before declaring the chunk lost.
+                // A rescued chunk is seeded locally so the reassemble step
+                // (and every later restore) reads it like any other copy.
+                let rebuilt = ctx
+                    .cluster
+                    .reconstruct_payload(StripeKey::Chunk(*fp))
+                    .filter(|data| ctx.hasher.fingerprint(data) == *fp);
+                match rebuilt {
+                    Some(data) => {
+                        comm.tracer().counter("restore_rs_reconstructed", 1);
+                        ctx.cluster.put_chunk(node, *fp, data).ok();
+                    }
+                    None => lost = lost.or(Some(*fp)),
+                }
+            }
         }
     }
     expected_servers.sort_unstable();
@@ -452,11 +485,11 @@ fn restore_chunks(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated free functions must keep passing
 mod tests {
     use super::*;
     use crate::config::{DumpConfig, Strategy};
-    use crate::dump::dump_output;
+    use crate::dump::dump_impl;
+    use replidedup_buf::Chunk;
     use replidedup_hash::Sha1ChunkHasher;
     use replidedup_mpi::World;
     use replidedup_storage::{Cluster, Placement};
@@ -487,7 +520,7 @@ mod tests {
                 dump_id: 1,
             };
             let buf = buffer_of(comm.rank());
-            dump_output(comm, &ctx, &buf, &cfg).expect("dump");
+            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
             comm.barrier();
             if comm.rank() == 0 {
                 between(&cluster);
@@ -507,7 +540,9 @@ mod tests {
                 3,
                 |_| {},
                 |comm, ctx| {
-                    let buf = restore_output(comm, ctx, strategy).expect("restore");
+                    let buf = restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore())
+                        .map(Vec::from)
+                        .expect("restore");
                     (comm.rank(), buf)
                 },
             );
@@ -532,7 +567,9 @@ mod tests {
                     cluster.revive_node(3);
                 },
                 |comm, ctx| {
-                    let buf = restore_output(comm, ctx, strategy).expect("restore after failures");
+                    let buf = restore_impl(comm, ctx, strategy, &RetryPolicy::default_restore())
+                        .map(Vec::from)
+                        .expect("restore after failures");
                     (comm.rank(), buf)
                 },
             );
@@ -553,7 +590,14 @@ mod tests {
                 cluster.revive_node(2);
             },
             |comm, ctx| {
-                restore_output(comm, ctx, Strategy::CollDedup).expect("restore");
+                restore_impl(
+                    comm,
+                    ctx,
+                    Strategy::CollDedup,
+                    &RetryPolicy::default_restore(),
+                )
+                .map(Vec::from)
+                .expect("restore");
                 comm.barrier();
                 // After restore, node 2 must again hold rank 2's chunks.
                 if comm.rank() == 2 {
@@ -591,7 +635,18 @@ mod tests {
                     cluster.revive_node(nd);
                 }
             },
-            |comm, ctx| (comm.rank(), restore_output(comm, ctx, Strategy::CollDedup)),
+            |comm, ctx| {
+                (
+                    comm.rank(),
+                    restore_impl(
+                        comm,
+                        ctx,
+                        Strategy::CollDedup,
+                        &RetryPolicy::default_restore(),
+                    )
+                    .map(Vec::from),
+                )
+            },
         );
         // Node 0 alone cannot hold all four ranks' data for K=2: at least
         // one rank must report loss — as a typed error, not a deadlock or
@@ -645,20 +700,75 @@ mod tests {
                 hasher: &Sha1ChunkHasher,
                 dump_id: 1,
             };
-            dump_output(comm, &ctx1, &[rank as u8; 100], &cfg).unwrap();
+            dump_impl(comm, &ctx1, &Chunk::from(&[rank as u8; 100][..]), &cfg).unwrap();
             let ctx2 = DumpContext {
                 cluster: &cluster,
                 hasher: &Sha1ChunkHasher,
                 dump_id: 2,
             };
-            dump_output(comm, &ctx2, &[rank as u8 + 100; 100], &cfg).unwrap();
-            let b1 = restore_output(comm, &ctx1, Strategy::CollDedup).unwrap();
-            let b2 = restore_output(comm, &ctx2, Strategy::CollDedup).unwrap();
+            dump_impl(
+                comm,
+                &ctx2,
+                &Chunk::from(&[rank as u8 + 100; 100][..]),
+                &cfg,
+            )
+            .unwrap();
+            let b1 = restore_impl(
+                comm,
+                &ctx1,
+                Strategy::CollDedup,
+                &RetryPolicy::default_restore(),
+            )
+            .map(Vec::from)
+            .unwrap();
+            let b2 = restore_impl(
+                comm,
+                &ctx2,
+                Strategy::CollDedup,
+                &RetryPolicy::default_restore(),
+            )
+            .map(Vec::from)
+            .unwrap();
             (b1, b2, rank)
         });
         for (b1, b2, rank) in out.results {
             assert_eq!(b1, vec![rank as u8; 100]);
             assert_eq!(b2, vec![rank as u8 + 100; 100]);
+        }
+    }
+
+    #[test]
+    fn rs_coded_dump_restores_via_reconstruction() {
+        use crate::config::RedundancyPolicy;
+        // Under Rs(4+2) the private chunks exist only as stripe shards —
+        // no replicas anywhere — so a successful restore proves the
+        // decode-from-any-k reconstruction path end to end.
+        let n = 6;
+        let cluster = Cluster::new(Placement::one_per_node(n));
+        let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
+            .with_replication(3)
+            .with_chunk_size(64)
+            .with_policy(RedundancyPolicy::Rs { k: 4, m: 2 });
+        let out = World::run(n, |comm| {
+            let ctx = DumpContext {
+                cluster: &cluster,
+                hasher: &Sha1ChunkHasher,
+                dump_id: 1,
+            };
+            let buf = buffer_of(comm.rank());
+            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
+            comm.barrier();
+            restore_impl(
+                comm,
+                &ctx,
+                Strategy::CollDedup,
+                &RetryPolicy::default_restore(),
+            )
+            .map(Vec::from)
+            .expect("restore reconstructs coded chunks")
+        });
+        for (rank, buf) in out.results.into_iter().enumerate() {
+            assert_eq!(buf, buffer_of(rank as u32), "rank {rank} byte-exact");
         }
     }
 }

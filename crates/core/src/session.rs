@@ -1,8 +1,8 @@
 //! The session-based public API: [`Replicator`].
 //!
-//! The free functions [`crate::dump_output`] / [`crate::restore_output`]
-//! take four loose parameters per call and validate the configuration at
-//! run time, inside the collective. A [`Replicator`] is built once via
+//! The pre-session free functions took four loose parameters per call and
+//! validated the configuration at run time, inside the collective. A
+//! [`Replicator`] is built once via
 //! [`Replicator::builder`] — which absorbs the [`DumpConfig`] fields, the
 //! cluster, the hasher and the trace preference, and rejects invalid
 //! configurations with a typed [`ConfigError`] *before* any rank enters a
@@ -15,7 +15,7 @@ use replidedup_hash::{ChunkHasher, ChunkerKind, Sha1ChunkHasher};
 use replidedup_mpi::{Comm, CommError};
 use replidedup_storage::{Cluster, DumpId, ScrubReport};
 
-use crate::config::{ConfigError, DumpConfig, Strategy};
+use crate::config::{ConfigError, DumpConfig, RedundancyPolicy, Strategy};
 use crate::dump::{dump_impl, DumpContext, DumpError};
 use crate::repair::{repair_impl, scrub_impl, RepairError, RepairStats};
 use crate::restore::{restore_impl, RestoreError};
@@ -154,6 +154,15 @@ impl<'a> ReplicatorBuilder<'a> {
     /// throughput for dedup on shifted duplicates.
     pub fn with_chunker(mut self, chunker: ChunkerKind) -> Self {
         self.cfg = self.cfg.with_chunker(chunker);
+        self
+    }
+
+    /// Per-chunk redundancy policy: `K`× replication (the default and the
+    /// paper's scheme), Reed-Solomon `k + m` striping, or the automatic
+    /// per-chunk choice. See [`RedundancyPolicy`] for the dedup-credit
+    /// rule the coded policies apply.
+    pub fn with_policy(mut self, policy: RedundancyPolicy) -> Self {
+        self.cfg = self.cfg.with_policy(policy);
         self
     }
 
@@ -328,10 +337,14 @@ impl<'a> Replicator<'a> {
 
     /// Collective repair of generation `dump_id`: scrub + quarantine, plan
     /// against the live-copy census, re-replicate every under-replicated
-    /// chunk and re-materialize lost manifests/blobs until everything the
-    /// dump still references has `min(K, live_nodes)` intact copies.
-    /// Idempotent — re-running after a crash converges. Must be called by
-    /// every rank of the world (a revived node's ranks included).
+    /// chunk, rebuild every missing erasure-coded shard on its home node,
+    /// and re-materialize lost manifests/blobs until everything the dump
+    /// still references has `min(K, live_nodes)` intact copies (or a full
+    /// `k+m` stripe). Under an `Rs`/`Auto` policy the replica target is the
+    /// same `m+1` floor the dump's pipeline used, so repair converges to
+    /// exactly the dump's redundancy, not past it. Idempotent — re-running
+    /// after a crash converges. Must be called by every rank of the world
+    /// (a revived node's ranks included).
     pub fn repair(&self, comm: &mut Comm, dump_id: DumpId) -> Result<RepairStats, ReplError> {
         self.apply_tracing(comm);
         let ctx = DumpContext {
@@ -339,12 +352,14 @@ impl<'a> Replicator<'a> {
             hasher: self.hasher,
             dump_id,
         };
-        repair_impl(comm, &ctx, self.cfg.strategy, self.cfg.replication).map_err(ReplError::from)
+        let k = self.cfg.policy.hmerge_k(self.cfg.replication);
+        repair_impl(comm, &ctx, self.cfg.strategy, k).map_err(ReplError::from)
     }
 
     /// Collective integrity scrub: every live node is re-hashed and
-    /// cross-checked by its leader rank; all ranks return the identical
-    /// merged cluster-wide [`ScrubReport`]. Read-only — use
+    /// cross-checked by its leader rank, stripe parity is verified
+    /// cluster-wide, and all ranks return the identical merged
+    /// cluster-wide [`ScrubReport`]. Read-only — use
     /// [`Replicator::repair`] to act on what it finds.
     pub fn scrub(&self, comm: &mut Comm) -> Result<ScrubReport, ReplError> {
         self.apply_tracing(comm);

@@ -21,7 +21,7 @@ pub struct ReductionStats {
     pub traffic_bytes: u64,
 }
 
-/// Per-rank statistics of one `dump_output` call.
+/// Per-rank statistics of one collective dump.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DumpStats {
     /// Rank these statistics belong to.
@@ -64,6 +64,21 @@ pub struct DumpStats {
     /// unavoidable gathers). RMA window writes — the modelled network
     /// transfer — are not counted.
     pub bytes_copied: u64,
+    /// Locally unique chunks classified for erasure coding by the
+    /// redundancy policy (0 under pure replication).
+    pub chunks_coded: u64,
+    /// Stripes this rank encoded and fanned out in the stripe-assembly
+    /// phase (each coded chunk/blob is striped by exactly one designated
+    /// rank, or by every holder when uncovered — shard puts are
+    /// idempotent).
+    pub stripes_assembled: u64,
+    /// Parity bytes this rank generated (`m × shard_len` per assembled
+    /// stripe). The dedup-credit metric: naturally duplicated chunks skip
+    /// parity generation entirely, so coll-dedup drives this strictly
+    /// below the baselines under the same `Rs` policy.
+    pub parity_bytes: u64,
+    /// Shard payload bytes sent during stripe assembly (data + parity).
+    pub bytes_sent_stripes: u64,
     /// Reduction statistics (`Some` only for coll-dedup).
     pub reduction: Option<ReductionStats>,
     /// The dump completed in degraded mode: one or more ranks died

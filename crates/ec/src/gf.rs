@@ -1,0 +1,109 @@
+//! Arithmetic in GF(2^8), the byte field of Reed-Solomon coding.
+//!
+//! Elements are bytes; addition is XOR (characteristic 2) and
+//! multiplication is polynomial multiplication modulo the AES-adjacent
+//! primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d, the classic
+//! RS-erasure choice). Multiplication and division go through log/exp
+//! tables generated at compile time by a `const fn`, so the hot encode
+//! loop is two lookups and an add.
+//!
+//! Every function in this module is total and panic-free: division and
+//! inversion of zero return `None` instead of faulting, and the table
+//! indices are bounded by construction (`log` of a non-zero byte is at
+//! most 254, so `log[a] + log[b] <= 508 < 512`).
+
+/// The field's primitive polynomial (x^8 + x^4 + x^3 + x^2 + 1).
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+const fn build_tables() -> ([u8; FIELD_SIZE], [u8; 512]) {
+    let mut log = [0u8; FIELD_SIZE];
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Mirror the cycle so `exp[log[a] + log[b]]` never needs a mod 255.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (log, exp)
+}
+
+const TABLES: ([u8; FIELD_SIZE], [u8; 512]) = build_tables();
+/// `LOG[a]` = discrete log of `a` to the generator (undefined at 0).
+pub const LOG: [u8; FIELD_SIZE] = TABLES.0;
+/// `EXP[i]` = generator to the `i`-th power, doubled up to 512 entries.
+pub const EXP: [u8; 512] = TABLES.1;
+
+/// Field addition (and subtraction — characteristic 2): XOR.
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/exp tables.
+#[inline]
+pub const fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse; `None` for zero (which has none).
+#[inline]
+pub const fn inv(a: u8) -> Option<u8> {
+    if a == 0 {
+        None
+    } else {
+        Some(EXP[255 - LOG[a as usize] as usize])
+    }
+}
+
+/// Field division `a / b`; `None` when `b` is zero.
+#[inline]
+pub const fn div(a: u8, b: u8) -> Option<u8> {
+    if b == 0 {
+        None
+    } else if a == 0 {
+        Some(0)
+    } else {
+        Some(EXP[LOG[a as usize] as usize + 255 - LOG[b as usize] as usize])
+    }
+}
+
+/// XOR-accumulate `coef * src[i]` into `dst[i]` for every overlapping
+/// index — the inner loop of systematic RS encoding. `src` and `dst` may
+/// have different lengths (short data shards are logically zero-padded);
+/// only the overlap is touched because the missing tail contributes zero.
+#[inline]
+pub fn mul_acc(dst: &mut [u8], src: &[u8], coef: u8) {
+    if coef == 0 {
+        return;
+    }
+    if coef == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let log_c = LOG[coef as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[log_c + LOG[*s as usize] as usize];
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! `replidedup-ec` — Reed-Solomon erasure coding for the redundancy
+//! policy engine.
+//!
+//! The paper replicates every chunk `K` times; erasure coding is the
+//! other classic redundancy lever: `k` data shards plus `m` parity shards
+//! survive any `m` losses at a storage cost of `(k + m) / k` instead of
+//! `K`. This crate supplies the math and the layout — [`gf`] (GF(2^8)
+//! log/exp arithmetic), [`RsCode`] (systematic Cauchy-matrix encode and
+//! decode-from-any-`k`), and [`stripe`] (deterministic shard-to-node
+//! rotation) — while `replidedup-core` decides *which* chunks get coded
+//! and credits naturally duplicated chunks against stripe redundancy.
+//!
+//! Decode paths are panic-free by contract: every failure is a typed
+//! [`EcError`], and CI greps this crate for stray `unwrap()`/`panic!`.
+
+pub mod gf;
+pub mod rs;
+pub mod stripe;
+
+pub use rs::{EcError, RsCode};
+pub use stripe::{shard_node, shard_nodes};

@@ -1,0 +1,36 @@
+//! Stripe layout: deterministic shard-to-node placement.
+//!
+//! A stripe is one payload (a dedup chunk or a `no-dedup` blob) encoded
+//! into `k + m` shards. Fault tolerance requires the shards to land on
+//! distinct nodes, and every rank must agree on the placement without
+//! negotiation — restore and repair re-derive it from the stripe's seed
+//! (a fingerprint digest or an `(owner, dump)` pair) exactly like the
+//! dump's offset planning re-derives window layouts.
+//!
+//! Placement is a rotation: shard `i` goes to node `(seed + i) mod N`.
+//! Rotating by the seed spreads parity load across the cluster (stripe
+//! seeds are hash-distributed), and consecutive shards are on distinct
+//! nodes whenever `k + m <= N`. Smaller clusters wrap — the stripe still
+//! encodes and decodes, with proportionally reduced loss tolerance.
+
+/// Nodes assigned to the `shards` shards of the stripe seeded by `seed`,
+/// in shard-index order. Empty when the cluster has no nodes.
+pub fn shard_nodes(seed: u64, shards: u8, node_count: u32) -> Vec<u32> {
+    if node_count == 0 {
+        return Vec::new();
+    }
+    let start = (seed % u64::from(node_count)) as u32;
+    (0..u32::from(shards))
+        .map(|i| (start + i) % node_count)
+        .collect()
+}
+
+/// Node of a single shard (same rotation as [`shard_nodes`]); `None` when
+/// the cluster has no nodes.
+pub fn shard_node(seed: u64, index: u8, node_count: u32) -> Option<u32> {
+    if node_count == 0 {
+        return None;
+    }
+    let start = (seed % u64::from(node_count)) as u32;
+    Some((start + u32::from(index)) % node_count)
+}

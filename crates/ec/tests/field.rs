@@ -1,0 +1,112 @@
+//! GF(2^8) field axioms, property-tested over random elements.
+//!
+//! These are the load-bearing algebraic facts behind Reed-Solomon
+//! decoding: if any of them fails, Gauss-Jordan elimination over the
+//! field silently produces garbage instead of inverses.
+
+use proptest::prelude::*;
+use replidedup_ec::gf;
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf::add(a, b), gf::add(b, a));
+        prop_assert_eq!(gf::add(gf::add(a, b), c), gf::add(a, gf::add(b, c)));
+    }
+
+    #[test]
+    fn addition_has_identity_and_self_inverse(a in any::<u8>()) {
+        prop_assert_eq!(gf::add(a, 0), a);
+        // Characteristic 2: every element is its own additive inverse.
+        prop_assert_eq!(gf::add(a, a), 0);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf::mul(a, b), gf::mul(b, a));
+        prop_assert_eq!(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+    }
+
+    #[test]
+    fn multiplication_has_identity_and_annihilator(a in any::<u8>()) {
+        prop_assert_eq!(gf::mul(a, 1), a);
+        prop_assert_eq!(gf::mul(a, 0), 0);
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(
+            gf::mul(a, gf::add(b, c)),
+            gf::add(gf::mul(a, b), gf::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn nonzero_elements_have_multiplicative_inverses(a in any::<u8>()) {
+        if a == 0 {
+            prop_assert_eq!(gf::inv(a), None);
+        } else {
+            let ai = gf::inv(a).unwrap();
+            prop_assert_ne!(ai, 0);
+            prop_assert_eq!(gf::mul(a, ai), 1);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in any::<u8>(), b in any::<u8>()) {
+        if b == 0 {
+            prop_assert_eq!(gf::div(a, b), None);
+        } else {
+            prop_assert_eq!(gf::div(gf::mul(a, b), b), Some(a));
+        }
+    }
+
+    #[test]
+    fn no_zero_divisors(a in any::<u8>(), b in any::<u8>()) {
+        if a != 0 && b != 0 {
+            prop_assert_ne!(gf::mul(a, b), 0);
+        }
+    }
+}
+
+/// The field is closed and multiplication is a bijection per row: exhaustive
+/// check that each non-zero row of the multiplication table is a permutation.
+#[test]
+fn nonzero_rows_are_permutations() {
+    for a in 1..=255u8 {
+        let mut seen = [false; 256];
+        for b in 0..=255u8 {
+            let p = gf::mul(a, b) as usize;
+            assert!(!seen[p] || p == 0, "row {a} repeats {p}");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "row {a} is not a permutation");
+    }
+}
+
+/// Log/exp tables are mutually inverse on the non-zero elements.
+#[test]
+fn log_exp_tables_are_inverse() {
+    for a in 1..=255u8 {
+        assert_eq!(gf::EXP[gf::LOG[a as usize] as usize], a);
+    }
+    for i in 0..255usize {
+        assert_eq!(gf::LOG[gf::EXP[i] as usize] as usize, i);
+        assert_eq!(gf::EXP[i], gf::EXP[i + 255], "doubled table mirrors");
+    }
+}
+
+/// `mul_acc` agrees with scalar multiply-accumulate, including the
+/// short-source (logical zero-pad) case.
+#[test]
+fn mul_acc_matches_scalar_math() {
+    let src = [3u8, 0, 250, 17];
+    for coef in [0u8, 1, 2, 91, 255] {
+        let mut dst = [9u8, 9, 9, 9, 9, 9];
+        gf::mul_acc(&mut dst, &src, coef);
+        for i in 0..6 {
+            let s = if i < src.len() { src[i] } else { 0 };
+            assert_eq!(dst[i], gf::add(9, gf::mul(coef, s)), "coef {coef} idx {i}");
+        }
+    }
+}

@@ -776,36 +776,6 @@ impl Comm {
 
     // ---- point-to-point ----
 
-    /// Send raw borrowed bytes to `dst` with `tag`. The borrowed slice must
-    /// be copied into an owned buffer, which is exactly the per-hop memcpy
-    /// the zero-copy path removes — hence the deprecation.
-    ///
-    /// # Panics
-    /// If `tag` uses the reserved internal bit, `dst` is out of range, or
-    /// the send fails (dead peer / torn-down world).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `send_chunk` (zero-copy) or `send_bytes` instead; \
-                this method copies the payload"
-    )]
-    pub fn send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) {
-        #[allow(deprecated)]
-        self.try_send(dst, tag, payload)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    /// Fallible deprecated [`Comm::send`]: a send to a crashed rank fails
-    /// fast with [`CommError::RankFailed`] instead of silently queueing.
-    /// Copies the payload (recorded against the copy accounting).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `try_send_chunk` (zero-copy) or `try_send_bytes` instead; \
-                this method copies the payload"
-    )]
-    pub fn try_send(&mut self, dst: Rank, tag: Tag, payload: &[u8]) -> Result<(), CommError> {
-        self.try_send_chunk(dst, tag, Chunk::from(payload))
-    }
-
     /// Send an owned buffer without copying.
     pub fn send_bytes(&mut self, dst: Rank, tag: Tag, payload: Bytes) {
         self.try_send_bytes(dst, tag, payload)
@@ -1094,7 +1064,6 @@ impl Comm {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated copying shims must keep passing
 mod tests {
     use super::*;
 
@@ -1119,12 +1088,12 @@ mod tests {
     fn ping_pong() {
         let out = World::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 7, b"ping");
+                comm.send_bytes(1, 7, Bytes::from_static(b"ping"));
                 comm.recv(1, 8).to_vec()
             } else {
                 let m = comm.recv(0, 7);
                 assert_eq!(&m[..], b"ping");
-                comm.send(0, 8, b"pong");
+                comm.send_bytes(0, 8, Bytes::from_static(b"pong"));
                 m.to_vec()
             }
         });
@@ -1138,8 +1107,8 @@ mod tests {
     fn out_of_order_tags_are_matched() {
         let out = World::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, b"first");
-                comm.send(1, 2, b"second");
+                comm.send_bytes(1, 1, Bytes::from_static(b"first"));
+                comm.send_bytes(1, 2, Bytes::from_static(b"second"));
                 0
             } else {
                 // Receive in the opposite order of sending.
@@ -1158,7 +1127,7 @@ mod tests {
         let out = World::run(2, |comm| {
             if comm.rank() == 0 {
                 for i in 0..10u8 {
-                    comm.send(1, 5, &[i]);
+                    comm.send_bytes(1, 5, Bytes::from(vec![i]));
                 }
                 Vec::new()
             } else {
@@ -1186,7 +1155,7 @@ mod tests {
         let out = World::run(4, |comm| {
             let dst = (comm.rank() + 1) % comm.size();
             let src = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(dst, 1, &[0u8; 100]);
+            comm.send_bytes(dst, 1, Bytes::from_static(&[0u8; 100]));
             comm.recv(src, 1);
         });
         assert_eq!(out.traffic.total_sent(), out.traffic.total_recv());
@@ -1198,7 +1167,7 @@ mod tests {
     fn internal_tag_rejected_for_users() {
         World::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, INTERNAL_TAG | 1, b"nope");
+                comm.send_bytes(1, INTERNAL_TAG | 1, Bytes::from_static(b"nope"));
             } else {
                 // Rank 1 must not block forever while rank 0 panics.
             }
@@ -1249,7 +1218,7 @@ mod tests {
         let out = World::run_faulty(3, &fault_config(plan), |comm| {
             if comm.rank() == 1 {
                 // First message op trips the fault before anything sends.
-                let _ = comm.try_send(0, 1, b"never arrives");
+                let _ = comm.try_send_bytes(0, 1, Bytes::from_static(b"never arrives"));
                 unreachable!("rank 1 must crash on its first message op");
             }
             comm.rank()
@@ -1273,7 +1242,7 @@ mod tests {
             while !comm.any_failed() {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            comm.try_send(1, 3, b"too late")
+            comm.try_send_bytes(1, 3, Bytes::from_static(b"too late"))
         });
         assert_eq!(out.crashed_ranks(), vec![1]);
         assert_eq!(
@@ -1309,7 +1278,7 @@ mod tests {
         let out = World::run_faulty(2, &fault_config(plan), |comm| {
             if comm.rank() == 1 {
                 comm.enter_phase("send");
-                comm.send(0, 5, b"last words");
+                comm.send_bytes(0, 5, Bytes::from_static(b"last words"));
                 comm.exit_phase("send");
                 return Vec::new();
             }
@@ -1330,7 +1299,7 @@ mod tests {
         let started = Instant::now();
         let out = World::run_faulty(2, &fault_config(plan), |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 6, b"slow");
+                comm.send_bytes(1, 6, Bytes::from_static(b"slow"));
             } else {
                 assert_eq!(&comm.recv(0, 6)[..], b"slow");
             }
@@ -1351,7 +1320,7 @@ mod tests {
             .on_crash(move |rank| seen.store(rank, Ordering::SeqCst));
         let out = World::run_faulty(3, &fault_config(plan), |comm| {
             if comm.rank() == 2 {
-                let _ = comm.try_send(0, 1, b"x");
+                let _ = comm.try_send_bytes(0, 1, Bytes::from_static(b"x"));
             }
             comm.rank()
         });
@@ -1419,7 +1388,7 @@ mod tests {
     fn run_with_refuses_crashed_ranks() {
         let plan = FaultPlan::new(8).crash(0, FaultTrigger::MessageCount(1));
         World::run_with(1, &fault_config(plan), |comm| {
-            let _ = comm.try_send(0, 1, b"boom");
+            let _ = comm.try_send_bytes(0, 1, Bytes::from_static(b"boom"));
         });
     }
 }

@@ -240,23 +240,6 @@ impl Window {
         Ok(())
     }
 
-    /// One-sided read of `len` bytes from `target`'s window at `offset`.
-    ///
-    /// # Panics
-    /// If the read would overrun the target's exposure.
-    #[deprecated(since = "0.3.0", note = "use `get_chunk` instead")]
-    pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
-        self.get_vec(target, offset, len)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible deprecated [`Window::get`]: reading a crashed rank's
-    /// exposure fails fast with [`CommError::RankFailed`].
-    #[deprecated(since = "0.3.0", note = "use `try_get_chunk` instead")]
-    pub fn try_get(&self, target: Rank, offset: usize, len: usize) -> Result<Vec<u8>, CommError> {
-        self.get_vec(target, offset, len)
-    }
-
     /// One-sided read of `len` bytes from `target`'s window at `offset` as
     /// an owned [`Chunk`]. The one memcpy out of the exposure *is* the
     /// modelled RMA transfer; no second local copy happens.
@@ -311,21 +294,6 @@ impl Window {
         out
     }
 
-    /// Copy out the local exposure (valid after a fence).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `take_local` (zero-copy, consumes the exposure) or \
-                `with_local` (borrow) instead; this method copies"
-    )]
-    pub fn local_data(&self) -> Vec<u8> {
-        replidedup_buf::record_copy(self.local_size());
-        self.handles[self.rank as usize]
-            .data
-            .lock()
-            .unwrap()
-            .clone()
-    }
-
     /// Steal the local exposure as frozen [`Bytes`] without copying (valid
     /// after the *closing* fence — no further puts may target this rank).
     /// The window's backing buffer moves into the returned `Bytes`; the
@@ -344,7 +312,6 @@ impl Window {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated copying accessors must keep passing
 mod tests {
     use crate::comm::World;
 
@@ -356,7 +323,7 @@ mod tests {
                 win.put(1, 2, &[1, 2, 3]);
             }
             win.fence(comm);
-            win.local_data()
+            win.with_local(|d| d.to_vec())
         });
         assert_eq!(out.results[1], vec![0, 0, 1, 2, 3, 0, 0, 0]);
         assert_eq!(out.results[0], vec![0; 8]);
@@ -374,7 +341,7 @@ mod tests {
                 win.put(2, me, &[me as u8 + 10]);
             }
             win.fence(comm);
-            win.local_data()
+            win.with_local(|d| d.to_vec())
         });
         assert_eq!(out.results[2][..2], [10, 11]);
     }
@@ -386,7 +353,7 @@ mod tests {
             let win = comm.win_create(if comm.rank() == 0 { n } else { 0 });
             win.put(0, comm.rank() as usize, &[comm.rank() as u8 + 1]);
             win.fence(comm);
-            win.local_data()
+            win.with_local(|d| d.to_vec())
         });
         assert_eq!(out.results[0], (1..=8u8).collect::<Vec<_>>());
     }
@@ -400,7 +367,7 @@ mod tests {
             }
             win.fence(comm);
             let data = if comm.rank() == 0 {
-                win.get(1, 1, 2)
+                Vec::from(win.get_chunk(1, 1, 2))
             } else {
                 Vec::new()
             };
@@ -416,7 +383,7 @@ mod tests {
             let win = comm.win_create(4);
             win.put(0, 0, &[1, 2, 3, 4]);
             win.fence(comm);
-            win.local_data()
+            win.with_local(|d| d.to_vec())
         });
         assert_eq!(out.results[0], vec![1, 2, 3, 4]);
         assert_eq!(out.traffic.ranks[0].rma_put, 0);
@@ -448,7 +415,7 @@ mod tests {
             }
             w1.fence(comm);
             w2.fence(comm);
-            (w1.local_data(), w2.local_data())
+            (w1.with_local(|d| d.to_vec()), w2.with_local(|d| d.to_vec()))
         });
         assert_eq!(out.results[1].0, vec![1, 1]);
         assert_eq!(out.results[1].1, vec![2, 2]);
@@ -582,7 +549,7 @@ mod tests {
                 comm.exit_phase("doomed");
                 return (Ok(()), Ok(()));
             }
-            comm.send(1, 99, b"ok");
+            comm.send_bytes(1, 99, bytes::Bytes::from_static(b"ok"));
             while !comm.any_failed() {
                 std::thread::sleep(Duration::from_millis(1));
             }

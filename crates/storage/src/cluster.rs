@@ -20,6 +20,7 @@ use replidedup_hash::Fingerprint;
 use std::sync::Mutex;
 
 use crate::manifest::{DumpId, Manifest, ManifestError};
+use crate::shard::{ShardMeta, StoredShard, StripeKey};
 use crate::store::ChunkStore;
 
 /// Node index within a cluster.
@@ -56,6 +57,13 @@ pub enum StorageError {
         /// The node whose read hiccuped.
         node: NodeId,
     },
+    /// A requested erasure-coded shard is not present on the node.
+    MissingShard {
+        /// The stripe whose shard was requested.
+        key: StripeKey,
+        /// Shard index within the stripe.
+        index: u8,
+    },
     /// Manifest ingest rejected an internally inconsistent recipe.
     InvalidManifest(ManifestError),
 }
@@ -88,6 +96,9 @@ impl fmt::Display for StorageError {
                     f,
                     "transient read failure on node {node} (retry may succeed)"
                 )
+            }
+            StorageError::MissingShard { key, index } => {
+                write!(f, "shard {index} of stripe {key:?} not on node")
             }
             StorageError::InvalidManifest(e) => write!(f, "invalid manifest rejected: {e}"),
         }
@@ -164,6 +175,11 @@ pub struct NodeState {
     /// content addressing (duplicates and all).
     pub(crate) blobs: HashMap<(u32, DumpId), Bytes>,
     blob_bytes: u64,
+    /// Erasure-coded shards keyed by `(stripe, shard index)`: each entry is
+    /// self-describing (geometry + role in [`ShardMeta`]), so any `k`
+    /// survivors of a stripe reconstruct the payload without a manifest.
+    pub(crate) shards: HashMap<(StripeKey, u8), StoredShard>,
+    shard_bytes: u64,
     /// Remaining injected transient read failures: while positive, each
     /// read (chunk/manifest/blob fetch) consumes one and fails with
     /// [`StorageError::Transient`]. Test/fault-injection state.
@@ -349,6 +365,21 @@ impl Cluster {
         self.with_node(node, |n| n.store.corrupt(fp))
     }
 
+    /// Corrupt a stored shard's bytes in place — **test-only** bit-rot
+    /// injection for exercising the parity-consistency scrub. Returns
+    /// `true` if a shard was corrupted.
+    pub fn corrupt_shard(&self, node: NodeId, key: StripeKey, index: u8) -> StorageResult<bool> {
+        self.with_node(node, |n| match n.shards.get_mut(&(key, index)) {
+            Some(s) if !s.data.is_empty() => {
+                let mut bytes = s.data.to_vec();
+                bytes[0] ^= 0xFF;
+                s.data = Bytes::from(bytes);
+                true
+            }
+            _ => false,
+        })
+    }
+
     /// Evict a chunk from `node` regardless of its reference count.
     /// Repair quarantines scrub-detected corrupt chunks this way before
     /// re-replicating a good copy, so [`Cluster::copies_of`] only ever
@@ -453,6 +484,152 @@ impl Cluster {
             .unwrap_or(false)
     }
 
+    /// Store an erasure-coded shard on `node`. Content-addressed by
+    /// `(key, meta.index)`: re-putting the same shard is idempotent (the
+    /// bytes are replaced and the accounting adjusted), which lets every
+    /// holder of an uncovered chunk stripe it independently. Returns `true`
+    /// when the slot was new.
+    pub fn put_shard(
+        &self,
+        node: NodeId,
+        key: StripeKey,
+        meta: ShardMeta,
+        data: impl Into<Bytes>,
+    ) -> StorageResult<bool> {
+        let data = data.into();
+        self.with_node(node, |n| {
+            let len = data.len() as u64;
+            let old = n
+                .shards
+                .insert((key, meta.index), StoredShard { meta, data });
+            let was_new = old.is_none();
+            if let Some(old) = old {
+                n.shard_bytes -= old.data.len() as u64;
+            }
+            n.shard_bytes += len;
+            was_new
+        })
+    }
+
+    /// Fetch one shard of a stripe from `node`.
+    pub fn get_shard(&self, node: NodeId, key: StripeKey, index: u8) -> StorageResult<StoredShard> {
+        self.with_node(node, |n| {
+            Self::take_transient(n, node)?;
+            n.shards
+                .get(&(key, index))
+                .cloned()
+                .ok_or(StorageError::MissingShard { key, index })
+        })?
+    }
+
+    /// Does a live `node` hold shard `index` of the stripe? Same contract
+    /// as [`Cluster::has_chunk`]: a presence probe, not a device read.
+    pub fn has_shard(&self, node: NodeId, key: StripeKey, index: u8) -> bool {
+        self.with_node(node, |n| n.shards.contains_key(&(key, index)))
+            .unwrap_or_default()
+    }
+
+    /// Every shard held on `node`, as `(stripe, meta)` pairs sorted by
+    /// stripe then shard index. The repair collective's stripe inventory,
+    /// analogous to [`Cluster::chunk_fps`].
+    pub fn shard_inventory(&self, node: NodeId) -> StorageResult<Vec<(StripeKey, ShardMeta)>> {
+        self.with_node(node, |n| {
+            let mut inv: Vec<(StripeKey, ShardMeta)> = n
+                .shards
+                .iter()
+                .map(|((key, _), s)| (*key, s.meta))
+                .collect();
+            inv.sort_unstable_by_key(|(key, meta)| (*key, meta.index));
+            inv
+        })
+    }
+
+    /// Evict one shard from `node` regardless of stripe health — the scrub
+    /// quarantine for shards whose bytes no longer match the stripe's
+    /// parity. Returns `true` if the shard was present.
+    pub fn quarantine_shard(&self, node: NodeId, key: StripeKey, index: u8) -> StorageResult<bool> {
+        self.with_node(node, |n| match n.shards.remove(&(key, index)) {
+            Some(old) => {
+                n.shard_bytes -= old.data.len() as u64;
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// All live copies of the stripe's shards across the cluster, one per
+    /// shard index (lowest node wins on duplicates), sorted by index.
+    ///
+    /// Like [`Cluster::find_chunk`], this is the shared-storage escape
+    /// hatch: the distributed protocols locate shards via messages first,
+    /// and reconstruction consults the cluster directly only as the
+    /// last-resort repair index.
+    pub fn gather_shards(&self, key: StripeKey) -> Vec<StoredShard> {
+        let mut found: HashMap<u8, StoredShard> = HashMap::new();
+        for node in 0..self.node_count() {
+            let shards = self
+                .with_node(node, |n| {
+                    n.shards
+                        .iter()
+                        .filter(|((k, _), _)| *k == key)
+                        .map(|(_, s)| s.clone())
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            for s in shards {
+                found.entry(s.meta.index).or_insert(s);
+            }
+        }
+        let mut out: Vec<StoredShard> = found.into_values().collect();
+        out.sort_unstable_by_key(|s| s.meta.index);
+        out
+    }
+
+    /// Reconstruct a stripe's payload from any `k` surviving shards across
+    /// live nodes. `None` when fewer than `k` shards survive, when the
+    /// survivors disagree on geometry, or when decode fails — the caller
+    /// maps that to its own loss class (restore's `ChunkLost`/`BlobLost`).
+    pub fn reconstruct_payload(&self, key: StripeKey) -> Option<Bytes> {
+        let shards = self.gather_shards(key);
+        let first = shards.first()?;
+        let (k, m, total_len) = (first.meta.k, first.meta.m, first.meta.total_len);
+        let total_len = usize::try_from(total_len).ok()?;
+        let consistent: Vec<(u8, &[u8])> = shards
+            .iter()
+            .filter(|s| s.meta.k == k && s.meta.m == m)
+            .map(|s| (s.meta.index, s.data.as_ref()))
+            .collect();
+        let code = replidedup_ec::RsCode::new(k, m).ok()?;
+        code.decode(&consistent, total_len).ok().map(Bytes::from)
+    }
+
+    /// Rebuild one shard of a stripe from any `k` surviving shards across
+    /// live nodes, returned ready to store (the caller decides which node
+    /// re-homes it). `None` when fewer than `k` consistent shards survive,
+    /// when the survivors disagree on geometry, or when decode fails.
+    pub fn rebuild_shard(&self, key: StripeKey, index: u8) -> Option<StoredShard> {
+        let shards = self.gather_shards(key);
+        let first = shards.first()?;
+        let (k, m, total_len) = (first.meta.k, first.meta.m, first.meta.total_len);
+        let len = usize::try_from(total_len).ok()?;
+        let consistent: Vec<(u8, &[u8])> = shards
+            .iter()
+            .filter(|s| s.meta.k == k && s.meta.m == m)
+            .map(|s| (s.meta.index, s.data.as_ref()))
+            .collect();
+        let code = replidedup_ec::RsCode::new(k, m).ok()?;
+        let data = code.reconstruct_shard(&consistent, index, len).ok()?;
+        Some(StoredShard {
+            meta: ShardMeta {
+                k,
+                m,
+                index,
+                total_len,
+            },
+            data: Bytes::from(data),
+        })
+    }
+
     /// Record that `rank`'s contribution to dump `dump_id` was absent when
     /// the (degraded) dump committed on `node` — the rank died before its
     /// data reached any device. Idempotent.
@@ -473,14 +650,37 @@ impl Cluster {
         })
     }
 
-    /// Raw device usage of a node in bytes: chunk store plus blobs.
+    /// Raw device usage of a node in bytes: chunk store plus blobs plus
+    /// erasure-coded shards.
     pub fn device_bytes(&self, node: NodeId) -> u64 {
         let s = self.check(node).lock().unwrap();
         if s.alive {
-            s.store.bytes_stored() + s.blob_bytes
+            s.store.bytes_stored() + s.blob_bytes + s.shard_bytes
         } else {
             0
         }
+    }
+
+    /// Parity bytes stored across live nodes: the redundancy the coded
+    /// policies *add* (data shards are slices of the payload, so only
+    /// parity is overhead). The bench's dedup-credit metric: chunks whose
+    /// natural copies were credited never generated parity.
+    pub fn total_parity_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let s = n.lock().unwrap();
+                if s.alive {
+                    s.shards
+                        .values()
+                        .filter(|sh| sh.meta.is_parity())
+                        .map(|sh| sh.data.len() as u64)
+                        .sum()
+                } else {
+                    0
+                }
+            })
+            .sum()
     }
 
     /// Total device usage across live nodes (what Figures 4(b)/5(b)'s
@@ -502,6 +702,8 @@ impl Cluster {
         state.manifests.clear();
         state.blobs.clear();
         state.blob_bytes = 0;
+        state.shards.clear();
+        state.shard_bytes = 0;
         state.absent.clear();
         state.transient_reads = 0;
     }
@@ -721,6 +923,8 @@ mod tests {
             total_len: 100,
             chunks: vec![],
             chunk_lens: vec![],
+            rs: None,
+            coded: vec![],
         };
         match c.put_manifest(0, bad) {
             Err(StorageError::InvalidManifest(ManifestError::LengthSumMismatch {
@@ -790,6 +994,109 @@ mod tests {
         assert_eq!(c.get_chunk(0, &fp(1)).unwrap(), Bytes::from_static(b"data"));
         assert!(StorageError::Transient { node: 0 }.is_transient());
         assert!(!StorageError::NodeDown(0).is_transient());
+    }
+
+    fn encode_stripe(
+        c: &Cluster,
+        key: StripeKey,
+        k: u8,
+        m: u8,
+        payload: &Bytes,
+    ) -> Vec<StoredShard> {
+        let code = replidedup_ec::RsCode::new(k, m).unwrap();
+        let shards = code.encode(payload);
+        let nodes = replidedup_ec::shard_nodes(key.seed(), code.shards(), c.node_count());
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, data)| {
+                let meta = ShardMeta {
+                    k,
+                    m,
+                    index: i as u8,
+                    total_len: payload.len() as u64,
+                };
+                c.put_shard(nodes[i], key, meta, data.clone()).unwrap();
+                StoredShard {
+                    meta,
+                    data: data.clone(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_roundtrip_and_account() {
+        let c = Cluster::new(Placement::one_per_node(8));
+        let key = StripeKey::Chunk(fp(9));
+        let payload = Bytes::from(vec![7u8; 400]);
+        let shards = encode_stripe(&c, key, 4, 2, &payload);
+        let nodes = replidedup_ec::shard_nodes(key.seed(), 6, 8);
+        for (i, node) in nodes.iter().enumerate() {
+            assert!(c.has_shard(*node, key, i as u8));
+            assert_eq!(c.get_shard(*node, key, i as u8).unwrap(), shards[i]);
+        }
+        // 4 data shards of 100 bytes + 2 parity of 100: 600 device bytes,
+        // of which 200 are parity overhead.
+        assert_eq!(c.total_device_bytes(), 600);
+        assert_eq!(c.total_parity_bytes(), 200);
+        // Re-put is idempotent on the accounting.
+        assert!(!c
+            .put_shard(nodes[0], key, shards[0].meta, shards[0].data.clone())
+            .unwrap());
+        assert_eq!(c.total_device_bytes(), 600);
+        // Inventory lists every shard with its stripe.
+        let inv = c.shard_inventory(nodes[0]).unwrap();
+        assert_eq!(inv, vec![(key, shards[0].meta)]);
+        // Quarantine evicts and un-accounts.
+        assert!(c.quarantine_shard(nodes[0], key, 0).unwrap());
+        assert!(!c.quarantine_shard(nodes[0], key, 0).unwrap());
+        assert_eq!(c.total_device_bytes(), 500);
+        assert_eq!(
+            c.get_shard(nodes[0], key, 0),
+            Err(StorageError::MissingShard { key, index: 0 })
+        );
+    }
+
+    #[test]
+    fn stripe_reconstructs_after_m_node_losses() {
+        let c = Cluster::new(Placement::one_per_node(8));
+        let key = StripeKey::Chunk(fp(3));
+        let payload = Bytes::from((0..997u32).map(|i| i as u8).collect::<Vec<u8>>());
+        encode_stripe(&c, key, 4, 2, &payload);
+        let nodes = replidedup_ec::shard_nodes(key.seed(), 6, 8);
+        // Any 2 of the stripe's nodes can die; 4 survivors suffice.
+        c.fail_node(nodes[0]);
+        c.fail_node(nodes[5]);
+        assert_eq!(c.reconstruct_payload(key).unwrap(), payload);
+        // A third loss leaves only 3 shards: unrecoverable.
+        c.fail_node(nodes[1]);
+        assert_eq!(c.reconstruct_payload(key), None);
+        // An unknown stripe is simply absent.
+        assert_eq!(c.reconstruct_payload(StripeKey::Chunk(fp(999))), None);
+    }
+
+    #[test]
+    fn shards_die_with_node() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        let key = StripeKey::Blob {
+            owner: 0,
+            dump_id: 1,
+        };
+        let meta = ShardMeta {
+            k: 1,
+            m: 1,
+            index: 0,
+            total_len: 4,
+        };
+        c.put_shard(0, key, meta, Bytes::from_static(b"abcd"))
+            .unwrap();
+        assert_eq!(c.device_bytes(0), 4);
+        c.fail_node(0);
+        c.revive_node(0);
+        assert!(!c.has_shard(0, key, 0));
+        assert_eq!(c.device_bytes(0), 0);
+        assert!(c.shard_inventory(0).unwrap().is_empty());
     }
 
     #[test]

@@ -10,15 +10,19 @@
 //! * [`Manifest`] — the ordered fingerprint recipe of one rank's buffer,
 //! * [`Cluster`] / [`Placement`] — node topology, failure injection,
 //!   cluster-wide accounting (unique bytes, physical copy counts),
+//! * [`StripeKey`] / [`ShardMeta`] — erasure-coded shards at rest, with
+//!   cluster-wide stripe reconstruction from any `k` survivors,
 //! * [`ScrubReport`] / [`Cluster::scrub`] — integrity scrubbing: re-hash
 //!   every chunk against its key, cross-check manifests vs. presence.
 
 pub mod cluster;
 pub mod manifest;
 pub mod scrub;
+pub mod shard;
 pub mod store;
 
 pub use cluster::{Cluster, NodeId, NodeState, Placement, StorageError, StorageResult};
 pub use manifest::{DumpId, Manifest, ManifestError};
 pub use scrub::ScrubReport;
+pub use shard::{ShardMeta, StoredShard, StripeKey};
 pub use store::ChunkStore;

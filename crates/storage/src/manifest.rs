@@ -62,6 +62,17 @@ pub enum ManifestError {
         /// Index of the zero-length chunk.
         index: u64,
     },
+    /// The coded-chunk list is inconsistent: an index out of range, not
+    /// strictly increasing, or coded chunks listed without a Reed-Solomon
+    /// geometry to decode them with.
+    InvalidCoded {
+        /// Rank whose manifest is malformed.
+        owner_rank: u32,
+        /// Dump generation of the malformed manifest.
+        dump_id: DumpId,
+        /// What the coded-list validation rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ManifestError {
@@ -96,6 +107,15 @@ impl fmt::Display for ManifestError {
                 "manifest of rank {owner_rank} dump {dump_id} lists a zero-length \
                  chunk at index {index}"
             ),
+            ManifestError::InvalidCoded {
+                owner_rank,
+                dump_id,
+                reason,
+            } => write!(
+                f,
+                "manifest of rank {owner_rank} dump {dump_id} has an invalid \
+                 coded-chunk list: {reason}"
+            ),
         }
     }
 }
@@ -116,6 +136,16 @@ pub struct Manifest {
     /// Byte length of each chunk, parallel to `chunks`. Variable when the
     /// dump used a content-defined chunker.
     pub chunk_lens: Vec<u32>,
+    /// Reed-Solomon geometry `(k, m)` in effect when a coded redundancy
+    /// policy dumped this generation; `None` for pure replication. Restore
+    /// uses it to know reconstruction is worth attempting before declaring
+    /// a chunk lost.
+    pub rs: Option<(u8, u8)>,
+    /// Indices into `chunks` stored as erasure-coded stripes instead of
+    /// replicas, strictly increasing. Empty under pure replication — and
+    /// for every chunk whose naturally distributed copies were credited
+    /// against stripe redundancy (those stay replicated).
+    pub coded: Vec<u64>,
 }
 
 impl Manifest {
@@ -143,7 +173,14 @@ impl Manifest {
             total_len,
             chunks,
             chunk_lens,
+            rs: None,
+            coded: Vec::new(),
         }
+    }
+
+    /// Is chunk `i` stored as an erasure-coded stripe?
+    pub fn is_coded(&self, i: usize) -> bool {
+        self.coded.binary_search(&(i as u64)).is_ok()
     }
 
     /// Byte length of chunk `i`.
@@ -178,6 +215,29 @@ impl Manifest {
                 total_len: self.total_len,
             });
         }
+        let invalid_coded = |reason| ManifestError::InvalidCoded {
+            owner_rank: self.owner_rank,
+            dump_id: self.dump_id,
+            reason,
+        };
+        if !self.coded.is_empty() && self.rs.is_none() {
+            return Err(invalid_coded("coded chunks without an RS geometry"));
+        }
+        if let Some((k, m)) = self.rs {
+            if k == 0 || m == 0 {
+                return Err(invalid_coded("degenerate RS geometry"));
+            }
+        }
+        if !self.coded.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid_coded("coded indices not strictly increasing"));
+        }
+        if self
+            .coded
+            .last()
+            .is_some_and(|&i| i >= self.chunks.len() as u64)
+        {
+            return Err(invalid_coded("coded index out of range"));
+        }
         Ok(())
     }
 }
@@ -189,6 +249,8 @@ impl Wire for Manifest {
         self.total_len.encode(buf);
         self.chunks.encode(buf);
         self.chunk_lens.encode(buf);
+        self.rs.encode(buf);
+        self.coded.encode(buf);
     }
 
     fn decode(input: &mut &[u8]) -> WireResult<Self> {
@@ -198,6 +260,8 @@ impl Wire for Manifest {
             total_len: u64::decode(input)?,
             chunks: Vec::decode(input)?,
             chunk_lens: Vec::decode(input)?,
+            rs: Option::decode(input)?,
+            coded: Vec::decode(input)?,
         };
         if m.validate().is_err() {
             return Err(WireError::Malformed { what: "Manifest" });
@@ -250,6 +314,8 @@ mod tests {
                 Fingerprint::synthetic(3),
             ],
             chunk_lens: vec![50, 13, 7],
+            rs: None,
+            coded: vec![],
         };
         assert!(m.validate().is_ok());
         assert_eq!(m.chunk_len(1), 13);
@@ -334,9 +400,50 @@ mod tests {
             total_len: 31,
             chunks: vec![Fingerprint::synthetic(8), Fingerprint::synthetic(9)],
             chunk_lens: vec![17, 14],
+            rs: Some((4, 2)),
+            coded: vec![0],
         };
         let bytes = m.to_bytes();
         assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_coded_metadata() {
+        // Coded indices without a geometry to decode them.
+        let mut m = sample();
+        m.coded = vec![0];
+        assert!(matches!(
+            m.validate(),
+            Err(ManifestError::InvalidCoded { .. })
+        ));
+        // Degenerate geometry.
+        let mut m = sample();
+        m.rs = Some((0, 2));
+        assert!(matches!(
+            m.validate(),
+            Err(ManifestError::InvalidCoded { .. })
+        ));
+        // Out-of-order (and duplicate) coded indices.
+        let mut m = sample();
+        m.rs = Some((4, 2));
+        m.coded = vec![1, 1];
+        assert!(matches!(
+            m.validate(),
+            Err(ManifestError::InvalidCoded { .. })
+        ));
+        // Coded index past the chunk list.
+        let mut m = sample();
+        m.rs = Some((4, 2));
+        m.coded = vec![3];
+        assert!(matches!(
+            m.validate(),
+            Err(ManifestError::InvalidCoded { .. })
+        ));
+        // A consistent coded manifest passes.
+        let mut m = sample();
+        m.rs = Some((4, 2));
+        m.coded = vec![0, 2];
+        assert!(m.validate().is_ok());
     }
 
     #[test]
@@ -349,6 +456,8 @@ mod tests {
         m.total_len.encode(&mut buf);
         m.chunks.encode(&mut buf);
         m.chunk_lens.encode(&mut buf);
+        m.rs.encode(&mut buf);
+        m.coded.encode(&mut buf);
         assert!(matches!(
             Manifest::from_bytes(&buf),
             Err(WireError::Malformed { what: "Manifest" })

@@ -11,6 +11,7 @@
 //! * [`mpi`] — the in-process message-passing runtime (collectives, RMA),
 //! * [`hash`] — SHA-1, fingerprints, fixed and content-defined chunking,
 //! * [`storage`] — node-local chunk stores, manifests, failure injection,
+//! * [`ec`] — GF(2^8) Reed-Solomon codes behind the redundancy policies,
 //! * [`ckpt`] — AC-FTE-style checkpoint/restart runtime,
 //! * [`apps`] — HPCCG and CM1-like mini-apps plus synthetic workloads,
 //! * [`sim`] — the Shamrock-testbed cost model,
@@ -21,6 +22,7 @@ pub use replidedup_bench as bench;
 pub use replidedup_buf as buf;
 pub use replidedup_ckpt as ckpt;
 pub use replidedup_core as core;
+pub use replidedup_ec as ec;
 pub use replidedup_hash as hash;
 pub use replidedup_mpi as mpi;
 pub use replidedup_sim as sim;

@@ -15,8 +15,6 @@
 //!    `CommError::DeadlockSuspected` with rank/tag context through
 //!    `ReplError::source()`, bounded by the injected receive timeout.
 
-#![allow(deprecated)]
-
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -3,22 +3,15 @@
 //!
 //! These check the invariants DESIGN.md §6 promises: byte-exact restore
 //! round-trips under any strategy and any tolerated failure set, traffic
-//! conservation, and dedup accounting consistency.
-//!
-//! Deliberately exercises the deprecated free-function API (`dump_output`
-//! / `restore_output`): the wrappers must behave identically to the
-//! `Replicator` session used everywhere else.
-#![allow(deprecated)]
+//! conservation, and dedup accounting consistency. Driven through the
+//! `Replicator` session API (the pre-session free functions are gone).
 
 use proptest::prelude::*;
 // Our `Strategy` enum shadows proptest's `Strategy` trait from the prelude
 // glob; re-import the trait under an alias so combinators resolve.
 use proptest::strategy::Strategy as PropStrategy;
 use replidedup::apps::SyntheticWorkload;
-use replidedup::core::{
-    dump_output, restore_output, DumpConfig, DumpContext, Strategy, WorldDumpStats,
-};
-use replidedup::hash::Sha1ChunkHasher;
+use replidedup::core::{DumpConfig, Replicator, Strategy, WorldDumpStats};
 use replidedup::mpi::World;
 use replidedup::storage::{Cluster, Placement};
 
@@ -76,9 +69,13 @@ proptest! {
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
         let out = World::run(n, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
-            restore_output(comm, &ctx, strategy).expect("restore")
+            let repl = Replicator::builder(strategy)
+                .cluster(&cluster)
+                .with_config(cfg)
+                .build()
+                .expect("valid config");
+            repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump");
+            Vec::from(repl.restore(comm, 1).expect("restore"))
         });
         for (r, restored) in out.results.iter().enumerate() {
             prop_assert_eq!(restored, &buffers[r], "rank {}", r);
@@ -102,15 +99,19 @@ proptest! {
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
         let out = World::run(n, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
+            let repl = Replicator::builder(strategy)
+                .cluster(&cluster)
+                .with_config(cfg)
+                .build()
+                .expect("valid config");
+            repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump");
             comm.barrier();
             if comm.rank() == 0 {
                 cluster.fail_node(victim);
                 cluster.revive_node(victim);
             }
             comm.barrier();
-            restore_output(comm, &ctx, strategy).expect("restore after failure")
+            Vec::from(repl.restore(comm, 1).expect("restore after failure"))
         });
         for (r, restored) in out.results.iter().enumerate() {
             prop_assert_eq!(restored, &buffers[r], "rank {} after failing node {}", r, victim);
@@ -132,8 +133,12 @@ proptest! {
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
         let out = World::run(n, |comm| {
-            let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-            dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+            let repl = Replicator::builder(strategy)
+                .cluster(&cluster)
+                .with_config(cfg)
+                .build()
+                .expect("valid config");
+            repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump")
         });
         let traffic_sent: u64 = out.traffic.total_sent();
         let traffic_recv: u64 = out.traffic.total_recv();
@@ -161,8 +166,12 @@ proptest! {
                 .with_replication(k)
                 .with_chunk_size(128);
             let out = World::run(n, |comm| {
-                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump")
+                let repl = Replicator::builder(strategy)
+                    .cluster(&cluster)
+                    .with_config(cfg)
+                    .build()
+                    .expect("valid config");
+                repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump")
             });
             let stats = WorldDumpStats::from_ranks(strategy, 128, out.results);
             for r in &stats.ranks {
@@ -194,8 +203,12 @@ proptest! {
                 .with_replication(k)
                 .with_chunk_size(128);
             World::run(n, |comm| {
-                let ctx = DumpContext { cluster: &cluster, hasher: &Sha1ChunkHasher, dump_id: 1 };
-                dump_output(comm, &ctx, &buffers[comm.rank() as usize], &cfg).expect("dump");
+                let repl = Replicator::builder(strategy)
+                    .cluster(&cluster)
+                    .with_config(cfg)
+                    .build()
+                    .expect("valid config");
+                repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump");
             });
             device.push(cluster.total_unique_bytes());
         }

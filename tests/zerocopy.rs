@@ -1,6 +1,6 @@
 //! Zero-copy guarantees, end to end.
 //!
-//! Three promises of the `Chunk` hot path:
+//! Two promises of the `Chunk` hot path:
 //!
 //! 1. **No payload copy across a wire round-trip** — a payload attached to
 //!    a [`FrameWriter`] comes back out of the receiving [`FrameReader`] as
@@ -8,9 +8,6 @@
 //!    [`Chunk::shares_allocation_with`]), both locally and across ranks.
 //! 2. **Dump → restore is byte-exact** for every strategy × K ∈ {2, 3},
 //!    under both copy modes, through the `Chunk`-based session API.
-//! 3. **The deprecated shims still behave identically** — the `&[u8]`
-//!    free functions and point-to-point methods produce the same stored
-//!    state and the same restored bytes as the session API.
 
 use proptest::prelude::*;
 use replidedup::buf::Chunk;
@@ -135,87 +132,28 @@ fn dump_restore_byte_exact_all_strategies_and_k() {
     }
 }
 
-/// Promise 3: the deprecated `&[u8]` free functions leave the same bytes
-/// on the devices and restore the same buffers as the session API.
+/// Point-to-point owned-buffer sends deliver identical bytes whether the
+/// payload is built from a `'static` slice or an owned allocation.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_the_session_api() {
-    use replidedup::core::{dump_output, restore_output, DumpContext};
-
-    const N: u32 = 4;
-    let bufs = buffers(N);
-    for strategy in STRATEGIES {
-        let cfg = DumpConfig::paper_defaults(strategy)
-            .with_replication(2)
-            .with_chunk_size(CHUNK);
-
-        let cluster_new = Cluster::new(Placement::one_per_node(N));
-        let repl = Replicator::builder(strategy)
-            .with_config(cfg)
-            .cluster(&cluster_new)
-            .hasher(&Sha1ChunkHasher)
-            .build()
-            .expect("valid config");
-        let new_out = World::run(N, |comm| {
-            repl.dump(comm, 1, bufs[comm.rank() as usize].clone())
-                .expect("dump succeeds");
-            repl.restore(comm, 1).expect("restore succeeds")
-        });
-
-        let cluster_old = Cluster::new(Placement::one_per_node(N));
-        let old_out = World::run(N, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster_old,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            dump_output(comm, &ctx, &bufs[comm.rank() as usize], &cfg).expect("dump succeeds");
-            restore_output(comm, &ctx, cfg.strategy).expect("restore succeeds")
-        });
-
-        for (rank, buf) in bufs.iter().enumerate() {
-            assert!(
-                new_out.results[rank] == old_out.results[rank],
-                "{}: deprecated shim restored different bytes for rank {rank}",
-                strategy.label()
-            );
-            assert!(
-                new_out.results[rank] == *buf,
-                "{}: rank {rank} restored wrong bytes",
-                strategy.label()
-            );
-        }
-        assert_eq!(
-            cluster_new.total_device_bytes(),
-            cluster_old.total_device_bytes(),
-            "{}: shim left different device state",
-            strategy.label()
-        );
-    }
-}
-
-/// Promise 3, point-to-point: the deprecated `&[u8]` send shim delivers
-/// the same bytes as `send_bytes`.
-#[test]
-#[allow(deprecated)]
-fn deprecated_send_shim_delivers_identical_bytes() {
-    const TAG_OLD: replidedup::mpi::Tag = 0x7A7A_0002;
-    const TAG_NEW: replidedup::mpi::Tag = 0x7A7A_0003;
+fn send_bytes_delivers_identical_bytes() {
+    const TAG_STATIC: replidedup::mpi::Tag = 0x7A7A_0002;
+    const TAG_OWNED: replidedup::mpi::Tag = 0x7A7A_0003;
     let payload = vec![0x5C_u8; 4096];
     let sent = payload.clone();
     let out = World::run(2, |comm| {
         if comm.rank() == 0 {
-            comm.try_send(1, TAG_OLD, &sent).unwrap();
-            comm.try_send_bytes(1, TAG_NEW, bytes::Bytes::from(sent.clone()))
+            comm.try_send_bytes(1, TAG_STATIC, bytes::Bytes::from_static(&[0x5C_u8; 4096]))
+                .unwrap();
+            comm.try_send_bytes(1, TAG_OWNED, bytes::Bytes::from(sent.clone()))
                 .unwrap();
             (Vec::new(), Vec::new())
         } else {
-            let old = comm.try_recv(0, TAG_OLD).unwrap().to_vec();
-            let new = comm.try_recv(0, TAG_NEW).unwrap().to_vec();
-            (old, new)
+            let from_static = comm.try_recv(0, TAG_STATIC).unwrap().to_vec();
+            let owned = comm.try_recv(0, TAG_OWNED).unwrap().to_vec();
+            (from_static, owned)
         }
     });
-    let (old, new) = &out.results[1];
-    assert_eq!(old, &payload);
-    assert_eq!(new, &payload);
+    let (from_static, owned) = &out.results[1];
+    assert_eq!(from_static, &payload);
+    assert_eq!(owned, &payload);
 }
