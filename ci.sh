@@ -6,12 +6,21 @@
 #   ./ci.sh bench   the full zero-copy perf harness only (writes
 #                   BENCH_<date>.json; the gate itself runs the tiny
 #                   bench-smoke tier)
+#   ./ci.sh drill   the full recovery-drill matrix only (all five
+#                   scenarios x strategies x policies; the gate itself
+#                   runs the smoke drill subset inside bench-smoke)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== repro --bench (full zero-copy perf harness) =="
   cargo run --release -p replidedup-bench --bin repro -- --bench
+  exit 0
+fi
+
+if [[ "${1:-}" == "drill" ]]; then
+  echo "== repro --drill all (full recovery-drill matrix) =="
+  cargo run --release -p replidedup-bench --bin repro -- --drill all
   exit 0
 fi
 
@@ -60,6 +69,13 @@ echo "== cargo test -p replidedup-ec (GF/RS property suite) =="
 # decode round-trips across every loss pattern of at most m shards.
 cargo test -p replidedup-ec -q
 
+echo "== cargo test --test healing (continuous-healing suite) =="
+# Incremental resumable heal: kill a healer mid-repair and resume from
+# its persisted cursor, heal while a concurrent dump runs, crash a dump
+# mid-commit and heal the wreckage, and converge from arbitrary
+# proptest-generated cursors — all to the same fully healed state.
+cargo test --test healing
+
 echo "== dead-code gate (self-healing + zero-copy modules) =="
 # These modules must be fully wired into the public API — a stray
 # #[allow(dead_code)] means something regressed to unreachable.
@@ -102,13 +118,24 @@ for f in crates/ec/src/*.rs; do
   fi
 done
 
+echo "== panic-free gate (heal engine) =="
+# The background healer runs unattended against degraded, possibly
+# corrupt clusters; every failure must surface as a typed error the
+# operator's loop can retry, never a panic that kills the healer.
+if sed '/#\[cfg(test)\]/,$d' crates/core/src/heal.rs | grep -v '^\s*//' \
+    | grep -nE 'panic!|\.unwrap\(\)|\.expect\(|unreachable!'; then
+  echo "ci: FAIL — panic path in heal-engine non-test code" >&2
+  exit 1
+fi
+
 echo "== stray-copy gate (hot-path modules) =="
 # The dump/restore/repair hot paths moved to refcounted Chunk payloads;
 # a .to_vec() creeping back in is a silent full-payload copy.
 if grep -n '\.to_vec()' \
     crates/core/src/dump.rs \
     crates/core/src/restore.rs \
-    crates/core/src/repair.rs; then
+    crates/core/src/repair.rs \
+    crates/core/src/heal.rs; then
   echo "ci: FAIL — .to_vec() payload copy in a zero-copy hot path" >&2
   exit 1
 fi
@@ -132,12 +159,14 @@ if grep -nE '\* *(cfg\.|self\.|idx\.)?chunk_size|chunk_size *\*|\* *4096|4096 *\
 fi
 
 echo "== bench-smoke (tiny perf harness + schema check) =="
-# The harness validates the report against the replidedup-bench/v3 schema
+# The harness validates the report against the replidedup-bench/v4 schema
 # before writing it; a failure here means the bench or schema regressed.
-# The smoke JSON must carry the chunker x strategy x workload matrix and
-# the redundancy-policy matrix, and the headline claims must hold: CDC
-# beats fixed chunking, and Rs(4+2) beats 3x replication at equal
-# tolerance.
+# The smoke JSON must carry the chunker x strategy x workload matrix,
+# the redundancy-policy matrix, and the recovery-drill matrix, and the
+# headline claims must hold: CDC beats fixed chunking, Rs(4+2) beats 3x
+# replication at equal tolerance, and every smoke drill converged with
+# byte-exact restores (recovery_ms is recorded but never gated — drill
+# timings are classified against a noise band, not asserted).
 cargo run --release -p replidedup-bench --bin repro -- \
   --bench-smoke --bench-out target/bench-smoke.json
 test -s target/bench-smoke.json
@@ -146,6 +175,14 @@ grep -q '"cdc_beats_fixed": true' target/bench-smoke.json
 grep -q '"policy_matrix"' target/bench-smoke.json
 grep -q '"rs_beats_replication": true' target/bench-smoke.json
 grep -q '"dedup_credit_cuts_parity": true' target/bench-smoke.json
+grep -q '"drill_matrix"' target/bench-smoke.json
+grep -q '"recovery_ms"' target/bench-smoke.json
+grep -q '"converged": true' target/bench-smoke.json
+if grep -q '"converged": false' target/bench-smoke.json \
+    || grep -q '"restore_verified": false' target/bench-smoke.json; then
+  echo "ci: FAIL — a smoke recovery drill did not converge or verify" >&2
+  exit 1
+fi
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q

@@ -29,6 +29,12 @@
 //!               {staged, zero-copy}) and write BENCH_<date>.json
 //!   --bench-smoke  tiny CI tier of --bench (4 ranks, 1 iteration)
 //!   --bench-out PATH  override the bench report path
+//!   --drill SCENARIO  scripted recovery drill: inject the scenario's
+//!               damage, heal in the background while a foreground dump
+//!               runs, verify both generations byte-exactly (repeatable;
+//!               SCENARIO = node-loss | healer-crash | dump-crash |
+//!               corruption | gc-pressure | all; exits non-zero if any
+//!               drill fails to converge or verify)
 //! ```
 //!
 //! Absolute times come from the Shamrock cost model fed with measured
@@ -53,6 +59,7 @@ struct Args {
     bench: bool,
     bench_smoke: bool,
     bench_out: Option<PathBuf>,
+    drills: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
     let mut bench = false;
     let mut bench_smoke = false;
     let mut bench_out = None;
+    let mut drills = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -106,12 +114,18 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--bench-out needs a path")),
                 ));
             }
+            "--drill" => {
+                drills.push(
+                    it.next()
+                        .unwrap_or_else(|| die("--drill needs a scenario name or \"all\"")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... \
                      [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]] \
                      [--fail-node N]... [--scrub] [--repair] \
-                     [--bench | --bench-smoke] [--bench-out PATH]"
+                     [--bench | --bench-smoke] [--bench-out PATH] [--drill SCENARIO]..."
                 );
                 std::process::exit(0);
             }
@@ -126,6 +140,7 @@ fn parse_args() -> Args {
         && !healing
         && !bench
         && !bench_smoke
+        && drills.is_empty()
     {
         exps.push("all".to_string());
     }
@@ -144,6 +159,7 @@ fn parse_args() -> Args {
         bench,
         bench_smoke,
         bench_out,
+        drills,
     }
 }
 
@@ -292,6 +308,8 @@ fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
             },
         );
     }
+    println!("\n== recovery drills: fail -> heal under live dump -> verify ==");
+    print_drill_table(&report.drill_matrix);
     let json = report.to_json();
     validate_bench_json(&json).unwrap_or_else(|e| die(&format!("emitted report invalid: {e}")));
     let path = out_override
@@ -299,6 +317,83 @@ fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
         .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", report.date)));
     std::fs::write(&path, &json).unwrap_or_else(|e| die(&format!("write {}: {e}", path.display())));
     println!("schema OK -> {}", path.display());
+}
+
+/// Render the drill rows as the shared recovery table.
+fn print_drill_table(rows: &[report::DrillScenario]) {
+    let mut t = report::Table::new(&[
+        "scenario",
+        "strategy",
+        "policy",
+        "recovery (ms)",
+        "healed",
+        "steps",
+        "fg slowdown",
+        "converged",
+        "restore",
+    ]);
+    for d in rows {
+        t.row(vec![
+            d.scenario.clone(),
+            d.strategy.clone(),
+            d.policy.clone(),
+            format!("{:.1}", d.recovery_ms),
+            report::human_bytes(d.heal_bytes as f64),
+            d.heal_steps.to_string(),
+            format!("{:.2}x", d.foreground_slowdown),
+            if d.converged { "yes" } else { "NO" }.into(),
+            if d.restore_verified {
+                "byte-exact"
+            } else {
+                "FAILED"
+            }
+            .into(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Run scripted recovery drills (see `drill::DRILL_SCENARIOS`), print
+/// the recovery table, and exit non-zero if any drill failed to converge
+/// or verify. `--drill all` sweeps the full matrix.
+fn run_drills(specs: &[String]) {
+    use replidedup_bench::drill::{run_drill, run_drill_matrix, DRILL_NOISE_BAND, DRILL_SCENARIOS};
+    use replidedup_bench::perf::BenchOptions;
+
+    let opts = BenchOptions::full();
+    println!(
+        "== recovery drills: fail -> heal under live dump -> verify ({} ranks) ==",
+        opts.ranks.max(6)
+    );
+    let rows = if specs.iter().any(|s| s == "all") {
+        run_drill_matrix(&opts, true)
+    } else {
+        let mut rows = Vec::new();
+        for spec in specs {
+            rows.extend(run_drill(&opts, spec).unwrap_or_else(|| {
+                die(&format!(
+                    "--drill {spec}: unknown scenario (valid: {}, all)",
+                    DRILL_SCENARIOS.join(", ")
+                ))
+            }));
+        }
+        rows
+    };
+    print_drill_table(&rows);
+    let noisy = rows
+        .iter()
+        .filter(|d| d.foreground_slowdown > DRILL_NOISE_BAND)
+        .count();
+    println!(
+        "{} drills, {noisy} with foreground slowdown beyond the {DRILL_NOISE_BAND:.1}x noise band",
+        rows.len()
+    );
+    if let Some(bad) = rows.iter().find(|d| !d.converged || !d.restore_verified) {
+        die(&format!(
+            "drill {} {} {} did not recover (converged={}, restore_verified={})",
+            bad.scenario, bad.strategy, bad.policy, bad.converged, bad.restore_verified
+        ));
+    }
 }
 
 /// Run one traced coll-dedup dump over the HPCCG workload and write the
@@ -517,6 +612,9 @@ fn main() {
     }
     if args.bench || args.bench_smoke {
         run_bench(args.bench_smoke && !args.bench, args.bench_out.as_ref());
+    }
+    if !args.drills.is_empty() {
+        run_drills(&args.drills);
     }
 
     if want("fig2") {

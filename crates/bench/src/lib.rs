@@ -3,11 +3,14 @@
 //! * [`workloads`] — checkpoint-content generators (real mini-app runs),
 //! * [`experiments`] — one function per table/figure of the paper,
 //! * [`perf`] — the zero-copy perf harness behind `repro --bench`,
+//! * [`drill`] — scripted recovery drills (fail → heal under live
+//!   traffic → verify) behind `repro --drill`,
 //! * [`report`] — text-table, CSV, and `BENCH_*.json` rendering.
 //!
 //! The `repro` binary regenerates everything:
 //! `cargo run -p replidedup-bench --release --bin repro -- all`.
 
+pub mod drill;
 pub mod experiments;
 pub mod perf;
 pub mod report;

@@ -114,6 +114,9 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
     let chunker_comparisons = derive_chunker_comparisons(&chunker_matrix);
     let policy_matrix = run_policy_matrix(opts);
     let policy_comparisons = derive_policy_comparisons(&policy_matrix);
+    // Single-iteration runs are the CI smoke tier and get the smoke
+    // drill subset; the full harness sweeps every recovery scenario.
+    let drill_matrix = crate::drill::run_drill_matrix(opts, opts.iterations > 1);
     BenchReport {
         date: today_utc(),
         ranks: opts.ranks,
@@ -124,6 +127,7 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
         chunker_comparisons,
         policy_matrix,
         policy_comparisons,
+        drill_matrix,
     }
 }
 
@@ -645,6 +649,8 @@ mod tests {
         // 2 workloads × 4 policies × {no-dedup, coll-dedup}
         assert_eq!(report.policy_matrix.len(), 16);
         assert_eq!(report.policy_comparisons.len(), 2);
+        // Smoke drill subset: {node-loss, healer-crash} × {rep3, rs4+2}
+        assert_eq!(report.drill_matrix.len(), 4);
         validate_bench_json(&report.to_json()).expect("emitted JSON validates");
         for c in &report.comparisons {
             assert!(
@@ -690,6 +696,22 @@ mod tests {
                 "{}: coll parity {} must be under no-dedup parity {}",
                 c.workload, c.coll_dedup_parity_bytes, c.no_dedup_parity_bytes
             );
+        }
+        // The recovery-drill headlines: every scripted failure healed to
+        // convergence and both generations restored byte-exactly.
+        for d in &report.drill_matrix {
+            assert!(
+                d.converged,
+                "{} {} {}: drill must converge",
+                d.scenario, d.strategy, d.policy
+            );
+            assert!(
+                d.restore_verified,
+                "{} {} {}: restores must verify",
+                d.scenario, d.strategy, d.policy
+            );
+            assert!(d.heal_steps > 0, "{}: healer must take steps", d.scenario);
+            assert!(d.recovery_ms.is_finite() && d.recovery_ms >= 0.0);
         }
     }
 

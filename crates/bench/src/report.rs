@@ -243,8 +243,43 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
 /// Schema identifier stamped into every bench report. `v2` added the
 /// chunker-matrix arrays (`chunker_matrix`, `chunker_comparisons`); `v3`
 /// added the redundancy-policy arrays (`policy_matrix`,
-/// `policy_comparisons`).
-pub const BENCH_SCHEMA: &str = "replidedup-bench/v3";
+/// `policy_comparisons`); `v4` added the recovery-drill array
+/// (`drill_matrix`).
+pub const BENCH_SCHEMA: &str = "replidedup-bench/v4";
+
+/// One scripted recovery drill: fail → heal under live traffic →
+/// verify, for one (scenario, strategy, policy) cell of the drill
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct DrillScenario {
+    /// Drill scenario label (`node-loss`, `healer-crash`, `dump-crash`,
+    /// `corruption`, `gc-pressure`).
+    pub scenario: String,
+    /// Strategy label (`no-dedup` / `coll-dedup`).
+    pub strategy: String,
+    /// Redundancy-policy label (`rep3` / `rs4+2` / `auto4+2`).
+    pub policy: String,
+    /// World size (one rank per node).
+    pub ranks: u32,
+    /// Bounded healer steps driven to convergence, counted across
+    /// resumes by the persisted cursor.
+    pub heal_steps: u64,
+    /// Payload bytes the healer re-replicated or reconstructed.
+    pub heal_bytes: u64,
+    /// Wall time of the (resumed) background heal, milliseconds.
+    pub recovery_ms: f64,
+    /// Foreground dump wall time alone on the healthy cluster, ms.
+    pub baseline_dump_ms: f64,
+    /// Foreground dump wall time while the healer ran, ms.
+    pub contended_dump_ms: f64,
+    /// `contended_dump_ms / baseline_dump_ms`.
+    pub foreground_slowdown: f64,
+    /// The healer reached `Done` with nothing unrepairable (and, for gc
+    /// drills, every superseded generation collected).
+    pub converged: bool,
+    /// Healed and foreground generations both restored byte-exactly.
+    pub restore_verified: bool,
+}
 
 /// One measured dump+restore scenario of the perf harness.
 #[derive(Debug, Clone)]
@@ -439,6 +474,9 @@ pub struct BenchReport {
     pub policy_matrix: Vec<PolicyScenario>,
     /// Derived EC-vs-replication and dedup-credit comparisons.
     pub policy_comparisons: Vec<PolicyComparison>,
+    /// Scripted recovery drills (fail → heal under live traffic →
+    /// verify).
+    pub drill_matrix: Vec<DrillScenario>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -694,6 +732,41 @@ impl BenchReport {
                 "      \"dedup_credit_cuts_parity\": {}",
                 c.dedup_credit_cuts_parity
             );
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"drill_matrix\": [");
+        for (i, d) in self.drill_matrix.iter().enumerate() {
+            let comma = if i + 1 < self.drill_matrix.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"scenario\": \"{}\",", json_escape(&d.scenario));
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&d.strategy));
+            let _ = writeln!(s, "      \"policy\": \"{}\",", json_escape(&d.policy));
+            let _ = writeln!(s, "      \"ranks\": {},", d.ranks);
+            let _ = writeln!(s, "      \"heal_steps\": {},", d.heal_steps);
+            let _ = writeln!(s, "      \"heal_bytes\": {},", d.heal_bytes);
+            let _ = writeln!(s, "      \"recovery_ms\": {},", json_f64(d.recovery_ms));
+            let _ = writeln!(
+                s,
+                "      \"baseline_dump_ms\": {},",
+                json_f64(d.baseline_dump_ms)
+            );
+            let _ = writeln!(
+                s,
+                "      \"contended_dump_ms\": {},",
+                json_f64(d.contended_dump_ms)
+            );
+            let _ = writeln!(
+                s,
+                "      \"foreground_slowdown\": {},",
+                json_f64(d.foreground_slowdown)
+            );
+            let _ = writeln!(s, "      \"converged\": {},", d.converged);
+            let _ = writeln!(s, "      \"restore_verified\": {}", d.restore_verified);
             let _ = writeln!(s, "    }}{comma}");
         }
         let _ = writeln!(s, "  ]");
@@ -1079,6 +1152,40 @@ pub fn validate_bench_json(input: &str) -> Result<Json, String> {
             }
         }
     }
+    let Some(Json::Arr(drills)) = doc.get("drill_matrix") else {
+        return Err("missing \"drill_matrix\" array".into());
+    };
+    if drills.is_empty() {
+        return Err("\"drill_matrix\" must not be empty".into());
+    }
+    for (i, d) in drills.iter().enumerate() {
+        for key in ["scenario", "strategy", "policy"] {
+            match d.get(key) {
+                Some(Json::Str(_)) => {}
+                other => return Err(format!("drill row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in [
+            "ranks",
+            "heal_steps",
+            "heal_bytes",
+            "recovery_ms",
+            "baseline_dump_ms",
+            "contended_dump_ms",
+            "foreground_slowdown",
+        ] {
+            match d.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("drill row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        for key in ["converged", "restore_verified"] {
+            match d.get(key) {
+                Some(Json::Bool(_)) => {}
+                other => return Err(format!("drill row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+    }
     Ok(doc)
 }
 
@@ -1214,6 +1321,20 @@ mod tests {
                 coll_dedup_parity_bytes: 1 << 19,
                 dedup_credit_cuts_parity: true,
             }],
+            drill_matrix: vec![DrillScenario {
+                scenario: "healer-crash".into(),
+                strategy: "coll-dedup".into(),
+                policy: "rs4+2".into(),
+                ranks: 6,
+                heal_steps: 17,
+                heal_bytes: 1 << 20,
+                recovery_ms: 42.0,
+                baseline_dump_ms: 10.0,
+                contended_dump_ms: 12.0,
+                foreground_slowdown: 1.2,
+                converged: true,
+                restore_verified: true,
+            }],
         }
     }
 
@@ -1259,6 +1380,16 @@ mod tests {
             .replace("rs_beats_replication", "x");
         assert!(validate_bench_json(&json).is_err());
         let json = sample_report().to_json().replace("parity_bytes", "x");
+        assert!(validate_bench_json(&json).is_err());
+        // And the v4 drill matrix with its recovery evidence.
+        let mut r = sample_report();
+        r.drill_matrix.clear();
+        assert!(validate_bench_json(&r.to_json()).is_err());
+        let json = sample_report().to_json().replace("recovery_ms", "x");
+        assert!(validate_bench_json(&json).is_err());
+        let json = sample_report().to_json().replace("restore_verified", "x");
+        assert!(validate_bench_json(&json).is_err());
+        let json = sample_report().to_json().replace("\"converged\"", "\"x\"");
         assert!(validate_bench_json(&json).is_err());
     }
 

@@ -49,6 +49,7 @@ pub mod config;
 pub mod dump;
 pub mod exchange;
 pub mod global;
+pub mod heal;
 pub mod local;
 pub mod offsets;
 pub mod plan;
@@ -62,6 +63,9 @@ pub mod stats;
 pub use config::{ConfigError, CopyMode, DumpConfig, RedundancyPolicy, Strategy};
 pub use dump::{DumpContext, DumpError, DUMP_PHASES};
 pub use global::{reduce_global_view, try_reduce_global_view, GlobalEntry, GlobalView};
+pub use heal::{
+    HealCursor, HealOptions, HealReport, HealStage, RateLimit, TokenBucket, HEAL_PHASES,
+};
 pub use local::LocalIndex;
 pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};

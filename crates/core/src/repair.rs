@@ -137,6 +137,14 @@ pub enum RepairError {
     /// collective steps. Re-running the repair after reviving converges:
     /// the plan is recomputed from whatever state the crashed run left.
     Comm(CommError),
+    /// A healing transfer frame from `from` failed to decode — the batch
+    /// was truncated or malformed in flight. The step fails cleanly
+    /// instead of panicking; a resumed heal re-plans the window and
+    /// re-requests the data.
+    CorruptFrame {
+        /// Rank whose batch failed to decode.
+        from: u32,
+    },
 }
 
 impl std::fmt::Display for RepairError {
@@ -144,6 +152,9 @@ impl std::fmt::Display for RepairError {
         match self {
             RepairError::Storage(e) => write!(f, "storage failure during repair: {e}"),
             RepairError::Comm(e) => write!(f, "communication failure during repair: {e}"),
+            RepairError::CorruptFrame { from } => {
+                write!(f, "corrupt healing frame from rank {from}")
+            }
         }
     }
 }
@@ -153,6 +164,7 @@ impl std::error::Error for RepairError {
         match self {
             RepairError::Storage(e) => Some(e),
             RepairError::Comm(e) => Some(e),
+            RepairError::CorruptFrame { .. } => None,
         }
     }
 }
@@ -172,21 +184,21 @@ impl From<CommError> for RepairError {
 /// One node's allgathered repair inventory, contributed by its leader rank
 /// (every other rank, and leaders of dead nodes, contribute the default).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct NodeInventory {
+pub(crate) struct NodeInventory {
     /// True only in the entry of a live node's leader rank.
-    leads_live_node: bool,
+    pub(crate) leads_live_node: bool,
     /// Owner ranks whose manifests for the dump this node holds (sorted).
-    manifest_owners: Vec<u32>,
+    pub(crate) manifest_owners: Vec<u32>,
     /// Owner ranks whose raw blobs for the dump this node holds (sorted).
-    blob_owners: Vec<u32>,
+    pub(crate) blob_owners: Vec<u32>,
     /// Fingerprints referenced by this node's manifests for the dump
     /// (sorted, deduplicated).
-    referenced: Vec<Fingerprint>,
+    pub(crate) referenced: Vec<Fingerprint>,
     /// Ranks tombstoned as absent when the dump committed (sorted).
-    absent: Vec<u32>,
+    pub(crate) absent: Vec<u32>,
     /// Erasure-coded shards this node holds, as `(stripe, meta)` pairs
     /// sorted by stripe then shard index.
-    shards: Vec<(StripeKey, ShardMeta)>,
+    pub(crate) shards: Vec<(StripeKey, ShardMeta)>,
 }
 
 impl Wire for NodeInventory {
@@ -214,26 +226,26 @@ impl Wire for NodeInventory {
 /// The deterministic transfer plan. Every rank computes the identical plan
 /// from the identical allgathered inputs; moves name leader ranks.
 #[derive(Debug, Default, PartialEq, Eq)]
-struct RepairPlan {
+pub(crate) struct RepairPlan {
     /// `(src_leader, dst_leader, fp)`: src serves the chunk, dst stores it.
-    chunk_moves: Vec<(u32, u32, Fingerprint)>,
+    pub(crate) chunk_moves: Vec<(u32, u32, Fingerprint)>,
     /// `(src_leader, dst_leader, owner_rank)` manifest re-materializations.
-    manifest_moves: Vec<(u32, u32, u32)>,
+    pub(crate) manifest_moves: Vec<(u32, u32, u32)>,
     /// `(src_leader, dst_leader, owner_rank)` blob re-materializations.
-    blob_moves: Vec<(u32, u32, u32)>,
+    pub(crate) blob_moves: Vec<(u32, u32, u32)>,
     /// `(dst_leader, stripe, shard index)`: dst reconstructs the shard
     /// from any `k` survivors and re-homes it on its node.
-    shard_rebuilds: Vec<(u32, StripeKey, u8)>,
-    unrepairable_chunks: Vec<Fingerprint>,
-    unrepairable_manifests: Vec<u32>,
-    unrepairable_blobs: Vec<u32>,
-    unrepairable_stripes: Vec<StripeKey>,
+    pub(crate) shard_rebuilds: Vec<(u32, StripeKey, u8)>,
+    pub(crate) unrepairable_chunks: Vec<Fingerprint>,
+    pub(crate) unrepairable_manifests: Vec<u32>,
+    pub(crate) unrepairable_blobs: Vec<u32>,
+    pub(crate) unrepairable_stripes: Vec<StripeKey>,
 }
 
 /// Pick up to `deficit` destinations among live non-holder leaders,
 /// preferring `home` (the owner's own node leader) and then the least
 /// planned load, ties broken by rank for cross-rank determinism.
-fn pick_destinations(
+pub(crate) fn pick_destinations(
     live: &[u32],
     holders: &[u32],
     deficit: usize,
@@ -262,7 +274,7 @@ fn pick_destinations(
 /// `home_leader[r]` is the leader rank of rank `r`'s own node — the
 /// preferred destination when re-materializing `r`'s manifest or blob, so
 /// a healed cluster restores without network recovery.
-fn build_plan(
+pub(crate) fn build_plan(
     k: u32,
     strategy: Strategy,
     dump_id: DumpId,
@@ -415,7 +427,7 @@ fn build_plan(
 }
 
 /// Leader rank of `node`: the lowest rank placed on it.
-fn leader_of(cluster: &Cluster, node: NodeId, world: u32) -> Option<u32> {
+pub(crate) fn leader_of(cluster: &Cluster, node: NodeId, world: u32) -> Option<u32> {
     let ranks = cluster.placement().ranks_on(node, world);
     if ranks.is_empty() {
         None
@@ -427,7 +439,7 @@ fn leader_of(cluster: &Cluster, node: NodeId, world: u32) -> Option<u32> {
 /// The lowest rank leading a live node: the one rank that runs the
 /// cluster-wide stripe verification (a stripe's shards span nodes, so no
 /// single node's leader can check parity consistency alone).
-fn lowest_live_leader(cluster: &Cluster, world: u32) -> Option<u32> {
+pub(crate) fn lowest_live_leader(cluster: &Cluster, world: u32) -> Option<u32> {
     (0..world).find(|&r| {
         let nd = cluster.node_of(r);
         leader_of(cluster, nd, world) == Some(r) && cluster.is_alive(nd)

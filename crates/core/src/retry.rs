@@ -77,7 +77,16 @@ impl RetryPolicy {
             Backoff::Fixed(d) => d,
             Backoff::Linear(base) => base.saturating_mul(attempt),
             Backoff::Exponential { base, cap } => {
-                let factor = 1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX);
+                // Every step saturates: the doubling factor pins to
+                // u32::MAX once the shift leaves the type's width, the
+                // multiply saturates Duration's range, and the cap bounds
+                // the result — so even `attempt == u32::MAX` with a huge
+                // base lands exactly on `cap` instead of wrapping.
+                let factor = if attempt > u32::BITS {
+                    u32::MAX
+                } else {
+                    1u32 << (attempt - 1)
+                };
                 base.saturating_mul(factor).min(cap)
             }
         }
@@ -152,6 +161,39 @@ mod tests {
         assert_eq!(exp.delay(3), Duration::from_millis(4));
         assert_eq!(exp.delay(40), Duration::from_millis(16), "cap holds");
         assert_eq!(RetryPolicy::none().delay(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn exponential_backoff_saturates_at_the_cap_for_extreme_attempts() {
+        // The cap must hold at every point where the doubling could
+        // overflow: right at the shift width, just past it, and at the
+        // largest representable attempt count.
+        let exp = RetryPolicy::default_restore();
+        for attempt in [31, 32, 33, 64, 1_000_000, u32::MAX] {
+            assert_eq!(
+                exp.delay(attempt),
+                Duration::from_millis(16),
+                "attempt {attempt} must pin to the cap, never wrap"
+            );
+        }
+        // Even a pathological base (Duration::MAX) cannot overflow — the
+        // multiply saturates and the cap still bounds the pause.
+        let huge = RetryPolicy {
+            max_attempts: u32::MAX,
+            backoff: Backoff::Exponential {
+                base: Duration::MAX,
+                cap: Duration::from_secs(30),
+            },
+        };
+        for attempt in [1, 2, 40, u32::MAX] {
+            assert_eq!(huge.delay(attempt), Duration::from_secs(30));
+        }
+        // Linear saturates the same way instead of wrapping.
+        let linear = RetryPolicy {
+            max_attempts: u32::MAX,
+            backoff: Backoff::Linear(Duration::MAX),
+        };
+        assert_eq!(linear.delay(u32::MAX), Duration::MAX);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use replidedup_storage::{Cluster, DumpId, ScrubReport};
 
 use crate::config::{ConfigError, DumpConfig, RedundancyPolicy, Strategy};
 use crate::dump::{dump_impl, DumpContext, DumpError};
+use crate::heal::{heal_impl, heal_step_impl, HealCursor, HealOptions, HealReport, TokenBucket};
 use crate::repair::{repair_impl, scrub_impl, RepairError, RepairStats};
 use crate::restore::{restore_impl, RestoreError};
 use crate::retry::RetryPolicy;
@@ -109,6 +110,7 @@ pub struct ReplicatorBuilder<'a> {
     hasher: &'a (dyn ChunkHasher + Sync),
     tracing: Option<bool>,
     retry: RetryPolicy,
+    heal: HealOptions,
 }
 
 impl std::fmt::Debug for ReplicatorBuilder<'_> {
@@ -118,6 +120,7 @@ impl std::fmt::Debug for ReplicatorBuilder<'_> {
             .field("cluster", &self.cluster.map(|_| ".."))
             .field("tracing", &self.tracing)
             .field("retry", &self.retry)
+            .field("heal", &self.heal)
             .finish_non_exhaustive() // hasher is a plain trait object
     }
 }
@@ -208,6 +211,15 @@ impl<'a> ReplicatorBuilder<'a> {
         self
     }
 
+    /// Tuning for the incremental background healer
+    /// ([`Replicator::heal`] and friends): window sizes, the optional
+    /// byte rate limit, and the optional superseded-generation GC bound.
+    /// Must be identical on every rank driving the same heal.
+    pub fn heal_options(mut self, opts: HealOptions) -> Self {
+        self.heal = opts;
+        self
+    }
+
     /// Validate and build the session.
     pub fn build(self) -> Result<Replicator<'a>, ConfigError> {
         self.cfg.validate()?;
@@ -218,6 +230,7 @@ impl<'a> ReplicatorBuilder<'a> {
             hasher: self.hasher,
             tracing: self.tracing,
             retry: self.retry,
+            heal: self.heal,
         })
     }
 }
@@ -250,6 +263,7 @@ pub struct Replicator<'a> {
     hasher: &'a (dyn ChunkHasher + Sync),
     tracing: Option<bool>,
     retry: RetryPolicy,
+    heal: HealOptions,
 }
 
 impl std::fmt::Debug for Replicator<'_> {
@@ -273,6 +287,7 @@ impl<'a> Replicator<'a> {
             hasher: &Sha1ChunkHasher,
             tracing: None,
             retry: RetryPolicy::default_restore(),
+            heal: HealOptions::default(),
         }
     }
 
@@ -354,6 +369,69 @@ impl<'a> Replicator<'a> {
         };
         let k = self.cfg.policy.hmerge_k(self.cfg.replication);
         repair_impl(comm, &ctx, self.cfg.strategy, k).map_err(ReplError::from)
+    }
+
+    /// Collective incremental heal of generation `dump_id`, from the
+    /// beginning: equivalent to [`Replicator::repair`] in outcome, but
+    /// executed as a sequence of bounded, rate-limited steps (see
+    /// [`ReplicatorBuilder::heal_options`]) that other collectives can
+    /// interleave with. Must be called by every rank of the world.
+    pub fn heal(&self, comm: &mut Comm, dump_id: DumpId) -> Result<HealReport, ReplError> {
+        let mut cursor = HealCursor::new(dump_id);
+        self.heal_from(comm, &mut cursor)
+    }
+
+    /// Collective incremental heal resumed from `cursor` — typically a
+    /// [`HealCursor`] decoded from bytes a killed healer persisted.
+    /// Drives the cursor to [`crate::HealStage::Done`]; the report
+    /// covers the steps this call drove. Must be called by every rank
+    /// of the world with an identical cursor.
+    pub fn heal_from(
+        &self,
+        comm: &mut Comm,
+        cursor: &mut HealCursor,
+    ) -> Result<HealReport, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id: cursor.dump_id,
+        };
+        let k = self.cfg.policy.hmerge_k(self.cfg.replication);
+        heal_impl(comm, &ctx, self.cfg.strategy, k, &self.heal, cursor).map_err(ReplError::from)
+    }
+
+    /// Advance one bounded healing step, folding what it did into
+    /// `report`. Returns `true` while steps remain — the operator's
+    /// loop shape for healing under live traffic, pausing, persisting
+    /// the cursor, or yielding the world between steps. Each call
+    /// grants the rate limiter's burst anew; for a sustained bound over
+    /// a whole heal prefer [`Replicator::heal_from`]. Collective.
+    pub fn heal_step(
+        &self,
+        comm: &mut Comm,
+        cursor: &mut HealCursor,
+        report: &mut HealReport,
+    ) -> Result<bool, ReplError> {
+        self.apply_tracing(comm);
+        let ctx = DumpContext {
+            cluster: self.cluster,
+            hasher: self.hasher,
+            dump_id: cursor.dump_id,
+        };
+        let k = self.cfg.policy.hmerge_k(self.cfg.replication);
+        let mut bucket = self.heal.rate.map(TokenBucket::new);
+        heal_step_impl(
+            comm,
+            &ctx,
+            self.cfg.strategy,
+            k,
+            &self.heal,
+            &mut bucket,
+            cursor,
+            report,
+        )?;
+        Ok(!cursor.is_done())
     }
 
     /// Collective integrity scrub: every live node is re-hashed and

@@ -551,9 +551,16 @@ impl Comm {
         }
         let mut i = 0;
         while i < self.my_faults.len() {
-            let hit = match (&self.my_faults[i].trigger, at_start) {
+            let hit = match (&mut self.my_faults[i].trigger, at_start) {
                 (FaultTrigger::PhaseStart(p), true) => p == name,
                 (FaultTrigger::PhaseEnd(p), false) => p == name,
+                // Occurrence countdown held in the fault itself: each
+                // matching phase start decrements in place, and the fault
+                // fires on the opening that takes the count to zero.
+                (FaultTrigger::PhaseStartNth(p, n), true) if p == name => {
+                    *n = n.saturating_sub(1);
+                    *n == 0
+                }
                 _ => false,
             };
             if hit {
@@ -1249,6 +1256,34 @@ mod tests {
             out.outcomes[0].as_completed(),
             Some(&Err(CommError::RankFailed { rank: 1 }))
         );
+    }
+
+    #[test]
+    fn nth_phase_start_fires_on_the_exact_occurrence() {
+        let plan = FaultPlan::new(17).crash(1, FaultTrigger::PhaseStartNth("step".into(), 3));
+        let out = World::run_faulty(2, &fault_config(plan), |comm| {
+            let mut opened = 0u32;
+            for _ in 0..5 {
+                comm.enter_phase("step");
+                opened += 1;
+                comm.exit_phase("step");
+            }
+            (comm.rank(), opened)
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        // Rank 1 survived two full openings and died entering the third.
+        assert_eq!(out.outcomes[0], RankOutcome::Completed((0, 5)));
+        assert!(out.outcomes[1].is_crashed());
+    }
+
+    #[test]
+    fn nth_phase_start_with_count_one_matches_plain_start() {
+        let plan = FaultPlan::new(18).crash(0, FaultTrigger::PhaseStartNth("go".into(), 1));
+        let out = World::run_faulty(1, &fault_config(plan), |comm| {
+            comm.enter_phase("go");
+            comm.exit_phase("go");
+        });
+        assert_eq!(out.crashed_ranks(), vec![0]);
     }
 
     #[test]

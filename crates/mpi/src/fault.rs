@@ -31,6 +31,12 @@ pub enum FaultTrigger {
     PhaseStart(String),
     /// Immediately after the named phase span closes on the rank.
     PhaseEnd(String),
+    /// Immediately before the n-th (1-based) opening of the named phase
+    /// span on the rank. Incremental collectives such as healing re-enter
+    /// the same phase every step; this trigger picks a specific occurrence
+    /// (e.g. "kill the healer the second time it starts transferring").
+    /// `PhaseStartNth(p, 1)` behaves exactly like `PhaseStart(p)`.
+    PhaseStartNth(String, u32),
     /// When the rank's cumulative count of message operations (sends plus
     /// receives, collective internals included) reaches this value.
     MessageCount(u64),
@@ -41,6 +47,7 @@ impl fmt::Display for FaultTrigger {
         match self {
             FaultTrigger::PhaseStart(p) => write!(f, "start:{p}"),
             FaultTrigger::PhaseEnd(p) => write!(f, "end:{p}"),
+            FaultTrigger::PhaseStartNth(p, n) => write!(f, "start:{p}#{n}"),
             FaultTrigger::MessageCount(n) => write!(f, "msg:{n}"),
         }
     }
@@ -245,12 +252,26 @@ impl FaultPlan {
                 .split_once('@')
                 .ok_or_else(|| bad("fault item needs ACTION@TRIGGER"))?;
             let trigger = match trigger_str.split_once(':') {
-                Some(("start", p)) if !p.is_empty() => FaultTrigger::PhaseStart(p.to_string()),
+                Some(("start", p)) if !p.is_empty() => match p.split_once('#') {
+                    Some((phase, nth)) if !phase.is_empty() => FaultTrigger::PhaseStartNth(
+                        phase.to_string(),
+                        nth.parse()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| bad("start:PHASE#N needs an occurrence >= 1"))?,
+                    ),
+                    Some(_) => return Err(bad("start:PHASE#N needs a phase name")),
+                    None => FaultTrigger::PhaseStart(p.to_string()),
+                },
                 Some(("end", p)) if !p.is_empty() => FaultTrigger::PhaseEnd(p.to_string()),
                 Some(("msg", n)) => FaultTrigger::MessageCount(
                     n.parse().map_err(|_| bad("msg trigger needs a count"))?,
                 ),
-                _ => return Err(bad("trigger must be start:PHASE, end:PHASE or msg:N")),
+                _ => {
+                    return Err(bad(
+                        "trigger must be start:PHASE, start:PHASE#N, end:PHASE or msg:N",
+                    ))
+                }
             };
             let parts: Vec<&str> = action_str.split(':').collect();
             let fault = match parts.as_slice() {
@@ -500,6 +521,32 @@ mod tests {
         );
         assert!(FaultPlan::parse("9:transient:2@start:p").is_err());
         assert!(FaultPlan::parse("9:transient:2:x@start:p").is_err());
+    }
+
+    #[test]
+    fn parse_nth_phase_start_trigger() {
+        let plan = FaultPlan::parse("3:crash:1@start:heal.transfer#2").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![Fault {
+                rank: 1,
+                trigger: FaultTrigger::PhaseStartNth("heal.transfer".into(), 2),
+                action: FaultAction::Crash,
+            }]
+        );
+        assert_eq!(
+            plan.faults[0].trigger.to_string(),
+            "start:heal.transfer#2",
+            "Display round-trips the CLI syntax"
+        );
+        for bad in [
+            "3:crash:1@start:p#0",
+            "3:crash:1@start:p#",
+            "3:crash:1@start:#2",
+            "3:crash:1@start:p#x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

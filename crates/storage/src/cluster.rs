@@ -192,6 +192,46 @@ pub struct NodeState {
     alive: bool,
 }
 
+/// What one [`Cluster::gc_superseded`] sweep reclaimed.
+///
+/// `generations_collected` counts the distinct superseded dump ids that
+/// still had any on-device footprint (manifests, blobs, blob stripes or
+/// tombstones) when the sweep ran — the long-drill health metric: a
+/// healthy steady state collects every generation it supersedes, so the
+/// count stays bounded by the dump rate instead of growing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Distinct superseded dump generations that had surviving state.
+    pub generations_collected: u64,
+    /// Manifests dropped across live nodes.
+    pub manifests_removed: u64,
+    /// Raw `no-dedup` blobs dropped across live nodes.
+    pub blobs_removed: u64,
+    /// Chunks no longer referenced by any surviving manifest, dropped.
+    pub chunks_removed: u64,
+    /// Erasure-coded shards dropped (superseded blob stripes plus stripes
+    /// of unreferenced chunks).
+    pub shards_removed: u64,
+    /// Absent-at-dump-time tombstone entries dropped.
+    pub tombstones_removed: u64,
+    /// Device bytes freed by the sweep.
+    pub bytes_reclaimed: u64,
+}
+
+impl GcStats {
+    /// Fold another sweep's counters into this one (heal aggregates the
+    /// per-step sweeps it ran).
+    pub fn merge(&mut self, other: &GcStats) {
+        self.generations_collected += other.generations_collected;
+        self.manifests_removed += other.manifests_removed;
+        self.blobs_removed += other.blobs_removed;
+        self.chunks_removed += other.chunks_removed;
+        self.shards_removed += other.shards_removed;
+        self.tombstones_removed += other.tombstones_removed;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
 /// The cluster: shared by all rank threads.
 pub struct Cluster {
     nodes: Vec<Mutex<NodeState>>,
@@ -766,6 +806,154 @@ impl Cluster {
     pub fn find_chunk(&self, fp: &Fingerprint) -> Option<NodeId> {
         (0..self.node_count()).find(|&n| self.has_chunk(n, fp))
     }
+
+    /// Every dump generation with any footprint on a live node (manifests,
+    /// blobs, blob stripes or absence tombstones), sorted ascending. The
+    /// background healer schedules from this list: generations currently
+    /// being written are skipped by the caller, superseded ones are handed
+    /// to [`Cluster::gc_superseded`].
+    pub fn generations(&self) -> Vec<DumpId> {
+        let mut gens: Vec<DumpId> = Vec::new();
+        for node in 0..self.node_count() {
+            let s = self.check(node).lock().unwrap();
+            if !s.alive {
+                continue;
+            }
+            gens.extend(s.manifests.keys().map(|(_, d)| *d));
+            gens.extend(s.blobs.keys().map(|(_, d)| *d));
+            gens.extend(s.shards.keys().filter_map(|(key, _)| match key {
+                StripeKey::Blob { dump_id, .. } => Some(*dump_id),
+                StripeKey::Chunk(_) => None,
+            }));
+            gens.extend(s.absent.keys().copied());
+        }
+        gens.sort_unstable();
+        gens.dedup();
+        gens
+    }
+
+    /// Collect every dump generation older than `before`: drop its
+    /// manifests, raw blobs, blob stripes and absence tombstones, then drop
+    /// any chunk (and chunk stripe) no surviving manifest references. A
+    /// chunk shared with a surviving generation keeps its copies — GC is
+    /// reference-driven, never generation-tagged, because content
+    /// addressing deliberately shares chunk bytes across generations.
+    ///
+    /// Must not run concurrently with an in-flight dump of a *surviving*
+    /// generation: dumps store chunks before committing the manifests that
+    /// reference them, so a concurrent sweep would see those chunks as
+    /// garbage. The healing engine runs the sweep as its own step between
+    /// collectives, which serializes it against dump traffic.
+    pub fn gc_superseded(&self, before: DumpId) -> GcStats {
+        let mut stats = GcStats::default();
+        let mut collected: Vec<DumpId> = Vec::new();
+        // Pass 1: drop everything tagged with a superseded generation.
+        for node in 0..self.node_count() {
+            let mut s = self.check(node).lock().unwrap();
+            if !s.alive {
+                continue;
+            }
+            let victims: Vec<(u32, DumpId)> = s
+                .manifests
+                .keys()
+                .filter(|(_, d)| *d < before)
+                .copied()
+                .collect();
+            for key in victims {
+                s.manifests.remove(&key);
+                stats.manifests_removed += 1;
+                collected.push(key.1);
+            }
+            let victims: Vec<(u32, DumpId)> = s
+                .blobs
+                .keys()
+                .filter(|(_, d)| *d < before)
+                .copied()
+                .collect();
+            for key in victims {
+                if let Some(old) = s.blobs.remove(&key) {
+                    s.blob_bytes -= old.len() as u64;
+                    stats.blobs_removed += 1;
+                    stats.bytes_reclaimed += old.len() as u64;
+                    collected.push(key.1);
+                }
+            }
+            let victims: Vec<(StripeKey, u8)> = s
+                .shards
+                .keys()
+                .filter(
+                    |(key, _)| matches!(key, StripeKey::Blob { dump_id, .. } if *dump_id < before),
+                )
+                .copied()
+                .collect();
+            for key in victims {
+                if let Some(old) = s.shards.remove(&key) {
+                    s.shard_bytes -= old.data.len() as u64;
+                    stats.shards_removed += 1;
+                    stats.bytes_reclaimed += old.data.len() as u64;
+                    if let StripeKey::Blob { dump_id, .. } = key.0 {
+                        collected.push(dump_id);
+                    }
+                }
+            }
+            let victims: Vec<DumpId> = s.absent.keys().filter(|d| **d < before).copied().collect();
+            for d in victims {
+                if let Some(ranks) = s.absent.remove(&d) {
+                    stats.tombstones_removed += ranks.len() as u64;
+                    collected.push(d);
+                }
+            }
+        }
+        // Pass 2: with the superseded recipes gone, compute the set of
+        // fingerprints any surviving manifest still references, cluster
+        // wide, and drop the rest (plus their chunk stripes).
+        let mut referenced: Vec<Fingerprint> = Vec::new();
+        for node in 0..self.node_count() {
+            let s = self.check(node).lock().unwrap();
+            if s.alive {
+                referenced.extend(s.manifests.values().flat_map(|m| m.chunks.iter().copied()));
+            }
+        }
+        referenced.sort_unstable();
+        referenced.dedup();
+        for node in 0..self.node_count() {
+            let mut s = self.check(node).lock().unwrap();
+            if !s.alive {
+                continue;
+            }
+            let victims: Vec<(Fingerprint, u64)> = s
+                .store
+                .entries()
+                .filter(|(fp, _)| referenced.binary_search(fp).is_err())
+                .map(|(fp, data)| (*fp, data.len() as u64))
+                .collect();
+            for (fp, len) in victims {
+                if s.store.remove(&fp) {
+                    stats.chunks_removed += 1;
+                    stats.bytes_reclaimed += len;
+                }
+            }
+            let victims: Vec<(StripeKey, u8)> = s
+                .shards
+                .keys()
+                .filter(
+                    |(key, _)| matches!(key, StripeKey::Chunk(fp) if referenced.binary_search(fp).is_err()),
+                )
+                .copied()
+                .collect();
+            for key in victims {
+                if let Some(old) = s.shards.remove(&key) {
+                    s.shard_bytes -= old.data.len() as u64;
+                    stats.shards_removed += 1;
+                    stats.bytes_reclaimed += old.data.len() as u64;
+                }
+            }
+        }
+        collected.sort_unstable();
+        collected.dedup();
+        stats.generations_collected = collected.len() as u64;
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -1097,6 +1285,99 @@ mod tests {
         assert!(!c.has_shard(0, key, 0));
         assert_eq!(c.device_bytes(0), 0);
         assert!(c.shard_inventory(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_superseded_reclaims_old_generations_but_keeps_shared_chunks() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        // Generation 1 and generation 2 share fp(1); fp(2) is gen-1-only
+        // and fp(3) is gen-2-only.
+        c.put_chunk(0, fp(1), Bytes::from_static(b"shared"))
+            .unwrap();
+        c.put_chunk(0, fp(2), Bytes::from_static(b"old")).unwrap();
+        c.put_chunk(1, fp(3), Bytes::from_static(b"new")).unwrap();
+        c.put_manifest(0, Manifest::fixed_stride(0, 1, 6, 9, vec![fp(1), fp(2)]))
+            .unwrap();
+        c.put_manifest(0, Manifest::fixed_stride(0, 2, 6, 12, vec![fp(1), fp(3)]))
+            .unwrap();
+        c.put_blob(1, 1, 1, Bytes::from_static(b"blob1")).unwrap();
+        c.mark_absent(1, 3, 1).unwrap();
+        assert_eq!(c.generations(), vec![1, 2]);
+
+        let stats = c.gc_superseded(2);
+        assert_eq!(stats.generations_collected, 1);
+        assert_eq!(stats.manifests_removed, 1);
+        assert_eq!(stats.blobs_removed, 1);
+        assert_eq!(stats.chunks_removed, 1, "only the gen-1-only chunk goes");
+        assert_eq!(stats.tombstones_removed, 1);
+        // "old" (3) + "blob1" (5) reclaimed.
+        assert_eq!(stats.bytes_reclaimed, 8);
+        assert!(c.has_chunk(0, &fp(1)), "shared chunk survives");
+        assert!(!c.has_chunk(0, &fp(2)));
+        assert!(c.has_chunk(1, &fp(3)));
+        assert!(!c.has_blob(1, 1, 1));
+        assert_eq!(c.generations(), vec![2]);
+        assert_eq!(c.absent_ranks(1, 1).unwrap(), Vec::<u32>::new());
+
+        // Idempotent: a second sweep finds nothing.
+        assert_eq!(c.gc_superseded(2), GcStats::default());
+    }
+
+    #[test]
+    fn gc_superseded_drops_blob_stripes_and_orphan_chunk_stripes() {
+        let c = Cluster::new(Placement::one_per_node(8));
+        let old_blob = StripeKey::Blob {
+            owner: 0,
+            dump_id: 1,
+        };
+        let live_blob = StripeKey::Blob {
+            owner: 0,
+            dump_id: 2,
+        };
+        let payload = Bytes::from(vec![5u8; 400]);
+        encode_stripe(&c, old_blob, 4, 2, &payload);
+        encode_stripe(&c, live_blob, 4, 2, &payload);
+        // A chunk stripe whose fingerprint no manifest references.
+        encode_stripe(&c, StripeKey::Chunk(fp(77)), 4, 2, &payload);
+        let stats = c.gc_superseded(2);
+        // 6 shards of the superseded blob stripe + 6 of the orphan chunk
+        // stripe; the live blob stripe survives untouched.
+        assert_eq!(stats.shards_removed, 12);
+        assert_eq!(stats.generations_collected, 1);
+        assert!(c.reconstruct_payload(live_blob).is_some());
+        assert!(c.reconstruct_payload(old_blob).is_none());
+        assert_eq!(c.generations(), vec![2]);
+    }
+
+    #[test]
+    fn gc_superseded_skips_dead_nodes() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        c.put_blob(0, 0, 1, Bytes::from_static(b"x")).unwrap();
+        c.put_blob(1, 1, 1, Bytes::from_static(b"y")).unwrap();
+        c.fail_node(1);
+        let stats = c.gc_superseded(5);
+        assert_eq!(stats.blobs_removed, 1, "only the live node is swept");
+        assert_eq!(c.generations(), Vec::<DumpId>::new());
+    }
+
+    #[test]
+    fn gc_stats_merge_accumulates() {
+        let mut a = GcStats {
+            generations_collected: 1,
+            manifests_removed: 2,
+            bytes_reclaimed: 10,
+            ..GcStats::default()
+        };
+        a.merge(&GcStats {
+            generations_collected: 2,
+            chunks_removed: 3,
+            bytes_reclaimed: 5,
+            ..GcStats::default()
+        });
+        assert_eq!(a.generations_collected, 3);
+        assert_eq!(a.manifests_removed, 2);
+        assert_eq!(a.chunks_removed, 3);
+        assert_eq!(a.bytes_reclaimed, 15);
     }
 
     #[test]

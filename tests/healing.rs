@@ -1,0 +1,406 @@
+//! Chaos suite for the continuous background healer (DESIGN.md §16):
+//! incremental, resumable scrub/repair under live traffic.
+//!
+//! Promises under test:
+//! 1. A heal resumed from an *arbitrary* persisted [`HealCursor`]
+//!    position is idempotent and converges: for every strategy × policy
+//!    and ≤ tolerance seed-chosen node losses, stopping the healer after
+//!    a seed-chosen number of steps, round-tripping the cursor through
+//!    its wire form and resuming heals everything — the follow-up
+//!    monolithic repair finds zero work and every rank restores
+//!    byte-exactly.
+//! 2. The ISSUE's acceptance drill: a node crashes mid-dump (taking its
+//!    storage), then the healer itself is killed mid-repair (second
+//!    transfer window, via `start:heal.transfer#2`) — and a fresh healer
+//!    resumed from the last persisted cursor still converges.
+//! 3. Healing runs *under* live traffic: a foreground dump of a newer
+//!    generation and a background heal of an older one interleave on the
+//!    same cluster without corrupting either generation.
+//! 4. The superseded-generation GC step reclaims old dumps without
+//!    touching chunks the surviving generation still references.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use replidedup::apps::SyntheticWorkload;
+use replidedup::core::{
+    HealCursor, HealOptions, HealReport, RedundancyPolicy, Replicator, Strategy,
+};
+use replidedup::mpi::wire::Wire;
+use replidedup::mpi::{FaultPlan, FaultTrigger, World, WorldConfig};
+use replidedup::storage::{Cluster, Placement};
+
+const N: u32 = 6;
+const DUMP: u64 = 1;
+
+/// Small windows so even the test-sized workloads take several steps per
+/// stage — resumability is only meaningful with multiple windows.
+fn small_windows() -> HealOptions {
+    HealOptions {
+        chunk_batch: 8,
+        owner_batch: 2,
+        stripe_batch: 8,
+        ..HealOptions::default()
+    }
+}
+
+fn buffers(n: u32) -> Vec<Vec<u8>> {
+    let workload = SyntheticWorkload {
+        chunk_size: 64,
+        global_chunks: 4,
+        grouped_chunks: 3,
+        group_size: 2,
+        private_chunks: 3,
+        local_dup_chunks: 2,
+        local_repeat: 2,
+        seed: 7,
+    };
+    (0..n).map(|r| workload.generate(r)).collect()
+}
+
+fn replicator<'a>(
+    strategy: Strategy,
+    cluster: &'a Cluster,
+    policy: RedundancyPolicy,
+    opts: HealOptions,
+) -> Replicator<'a> {
+    Replicator::builder(strategy)
+        .cluster(cluster)
+        .replication(3)
+        .chunk_size(64)
+        .with_policy(policy)
+        .heal_options(opts)
+        .build()
+        .expect("valid config")
+}
+
+/// The bench drill's policy axis: replication, pure Reed-Solomon, and
+/// the automatic per-chunk choice — each with the node losses it
+/// tolerates by construction.
+fn policies() -> [(&'static str, RedundancyPolicy, u32); 3] {
+    [
+        ("rep3", RedundancyPolicy::Replicate(3), 2),
+        ("rs4+2", RedundancyPolicy::Rs { k: 4, m: 2 }, 2),
+        (
+            "auto4+2",
+            RedundancyPolicy::Auto {
+                k: 4,
+                m: 2,
+                replicate_below: 1 << 10,
+            },
+            2,
+        ),
+    ]
+}
+
+/// Seed-derived distinct victim nodes (SplitMix64 spread).
+fn seeded_victims(seed: u64, count: u32) -> Vec<u32> {
+    let mut x = seed;
+    let mut victims = Vec::new();
+    while victims.len() < count as usize {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let node = ((z ^ (z >> 31)) % u64::from(N)) as u32;
+        if !victims.contains(&node) {
+            victims.push(node);
+        }
+    }
+    victims.sort_unstable();
+    victims
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Promise 1: stop the healer after an arbitrary number of steps,
+    /// persist the cursor through its wire bytes, resume — converged,
+    /// byte-exact, and the monolithic repair agrees there is nothing
+    /// left. Mixed policies, both storage formats, ≤ tolerance losses.
+    #[test]
+    fn heal_resumed_from_arbitrary_cursor_position_converges(seed in any::<u64>()) {
+        let stop_after = 1 + (seed % 7);
+        for strategy in [Strategy::CollDedup, Strategy::NoDedup] {
+            for (label, policy, tolerance) in policies() {
+                let bufs = buffers(N);
+                let cluster = Cluster::new(Placement::one_per_node(N));
+                let repl = replicator(strategy, &cluster, policy, small_windows());
+                let out = World::run(N, |comm| {
+                    repl.dump(comm, DUMP, &bufs[comm.rank() as usize]).map(|_| ())
+                });
+                prop_assert!(out.results.iter().all(Result::is_ok));
+
+                let victims = seeded_victims(seed, tolerance);
+                for &node in &victims {
+                    cluster.fail_node(node);
+                    cluster.revive_node(node); // replacement disk, empty
+                }
+
+                let out = World::run(N, |comm| {
+                    let mut cursor = HealCursor::new(DUMP);
+                    let mut head = HealReport::default();
+                    for _ in 0..stop_after {
+                        if !repl.heal_step(comm, &mut cursor, &mut head)? {
+                            break;
+                        }
+                    }
+                    // Kill the healer: all that survives is the cursor's
+                    // wire bytes. A fresh healer picks them up.
+                    let mut resumed = HealCursor::from_bytes(&cursor.to_bytes())
+                        .expect("cursor wire round-trip");
+                    let tail = repl.heal_from(comm, &mut resumed)?;
+                    let after = repl.repair(comm, DUMP)?;
+                    Ok::<_, replidedup::core::ReplError>((resumed, tail, after))
+                });
+                for r in &out.results {
+                    let (cursor, tail, after) = r.as_ref().unwrap_or_else(|e| {
+                        panic!("{strategy:?} {label} seed={seed}: heal failed: {e}")
+                    });
+                    prop_assert!(cursor.is_done());
+                    prop_assert!(
+                        tail.is_fully_healed(),
+                        "{strategy:?} {label} seed={seed} victims={victims:?}: {tail:?}"
+                    );
+                    prop_assert!(after.is_fully_healed());
+                    prop_assert_eq!(after.chunks_healed, 0, "heal left repair no chunk work");
+                    prop_assert_eq!(after.manifests_rematerialized, 0);
+                    prop_assert_eq!(after.blobs_rematerialized, 0);
+                    prop_assert_eq!(after.shards_rebuilt, 0, "heal left repair no shard work");
+                }
+
+                let out = World::run(N, |comm| repl.restore(comm, DUMP));
+                for (rank, r) in out.results.iter().enumerate() {
+                    let bytes = r.as_ref().unwrap_or_else(|e| {
+                        panic!("{strategy:?} {label} seed={seed}: rank {rank} restore: {e}")
+                    });
+                    prop_assert_eq!(bytes, &bufs[rank], "rank {} bytes", rank);
+                }
+            }
+        }
+    }
+}
+
+/// Promise 2, the ISSUE's acceptance drill: gen 2's dump crashes rank 3
+/// (its node's storage dies with it), the replacement disk comes up
+/// empty, and the healer mending gen 1 is itself killed the moment its
+/// *second* transfer window opens. The last cursor persisted before the
+/// kill — wire bytes, as an operator would store them — seeds a fresh
+/// healer that converges; gen 1 restores byte-exactly everywhere.
+#[test]
+fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
+    let bufs = buffers(N);
+    let cluster = Arc::new(Cluster::new(Placement::one_per_node(N)));
+    let repl = replicator(
+        Strategy::CollDedup,
+        &cluster,
+        RedundancyPolicy::Replicate(3),
+        small_windows(),
+    );
+
+    let out = World::run(N, |comm| {
+        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+            .map(|_| ())
+    });
+    assert!(out.results.iter().all(Result::is_ok), "healthy gen 1");
+
+    // Gen 2 dies mid-commit: rank 3 crashes and takes its node down.
+    let hook = Arc::clone(&cluster);
+    let plan = FaultPlan::new(11)
+        .crash(3, FaultTrigger::PhaseStart("commit".into()))
+        .on_crash(move |rank| hook.fail_node(hook.node_of(rank)));
+    let config = WorldConfig::default()
+        .with_recv_timeout(Duration::from_secs(2))
+        .with_faults(plan);
+    let out = World::run_faulty(N, &config, |comm| {
+        repl.dump(comm, 2, &bufs[comm.rank() as usize]).map(|_| ())
+    });
+    assert_eq!(out.crashed_ranks(), vec![3], "the dump crash must fire");
+    for node in 0..N {
+        if !cluster.is_alive(node) {
+            cluster.revive_node(node); // replacement disk, empty
+        }
+    }
+
+    // Heal gen 1, persisting the cursor after every completed step; the
+    // healer (rank 4) is killed when the second transfer window opens.
+    // No storage hook — killing a healer process leaves disks intact.
+    let persisted = Arc::new(Mutex::new(Vec::new()));
+    let plan = FaultPlan::new(12).crash(4, FaultTrigger::PhaseStartNth("heal.transfer".into(), 2));
+    let config = WorldConfig::default()
+        .with_recv_timeout(Duration::from_secs(2))
+        .with_faults(plan);
+    let store = Arc::clone(&persisted);
+    let out = World::run_faulty(N, &config, move |comm| {
+        let mut cursor = HealCursor::new(DUMP);
+        let mut report = HealReport::default();
+        loop {
+            match repl.heal_step(comm, &mut cursor, &mut report) {
+                Ok(true) => {
+                    if comm.rank() == 0 {
+                        *store.lock().unwrap() = cursor.to_bytes().to_vec();
+                    }
+                }
+                Ok(false) => break, // finished before the kill landed
+                Err(_) => break,    // the kill reached this rank's step
+            }
+        }
+    });
+    assert_eq!(out.crashed_ranks(), vec![4], "the healer kill must fire");
+
+    let snapshot = persisted.lock().unwrap().clone();
+    let mut resumed = HealCursor::from_bytes(&snapshot).expect("persisted cursor decodes");
+    assert!(
+        !resumed.is_done() && resumed.steps_taken > 0,
+        "the kill must land mid-heal: {resumed:?}"
+    );
+
+    // A fresh healer in a fresh world resumes from the snapshot.
+    let repl = replicator(
+        Strategy::CollDedup,
+        &cluster,
+        RedundancyPolicy::Replicate(3),
+        small_windows(),
+    );
+    let cursor0 = resumed.clone();
+    let out = World::run(N, |comm| {
+        let mut cursor = cursor0.clone();
+        repl.heal_from(comm, &mut cursor).map(|r| (cursor, r))
+    });
+    for r in &out.results {
+        let (cursor, report) = r.as_ref().expect("resumed heal succeeds");
+        assert!(cursor.is_done());
+        assert!(
+            report.is_fully_healed(),
+            "resumed heal converges: {report:?}"
+        );
+    }
+    resumed = out.results[0].as_ref().unwrap().0.clone();
+    assert!(resumed.steps_taken > 0);
+
+    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    for (rank, r) in out.results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("restore after resumed heal"),
+            &bufs[rank],
+            "rank {rank} restored wrong bytes"
+        );
+    }
+}
+
+/// Promise 3: a background heal of gen 1 and a foreground dump of gen 2
+/// run *simultaneously* — two worlds, two thread pools, one cluster —
+/// and both generations come out intact. The heal only ever considers
+/// committed gen-1 state, so the in-flight gen 2 is invisible to it.
+#[test]
+fn heal_interleaves_with_a_live_foreground_dump() {
+    let bufs = buffers(N);
+    let cluster = Arc::new(Cluster::new(Placement::one_per_node(N)));
+    {
+        let repl = replicator(
+            Strategy::CollDedup,
+            &cluster,
+            RedundancyPolicy::Replicate(3),
+            small_windows(),
+        );
+        let out = World::run(N, |comm| {
+            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                .map(|_| ())
+        });
+        assert!(out.results.iter().all(Result::is_ok));
+        cluster.fail_node(5);
+        cluster.revive_node(5);
+    }
+
+    let healer = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let repl = replicator(
+                Strategy::CollDedup,
+                &cluster,
+                RedundancyPolicy::Replicate(3),
+                small_windows(),
+            );
+            let out = World::run(N, |comm| repl.heal(comm, DUMP));
+            out.results
+                .into_iter()
+                .map(|r| r.expect("background heal succeeds"))
+                .collect::<Vec<_>>()
+        })
+    };
+    let dumper = {
+        let cluster = Arc::clone(&cluster);
+        let bufs = bufs.clone();
+        std::thread::spawn(move || {
+            let repl = replicator(
+                Strategy::CollDedup,
+                &cluster,
+                RedundancyPolicy::Replicate(3),
+                small_windows(),
+            );
+            let out = World::run(N, |comm| {
+                repl.dump(comm, 2, &bufs[comm.rank() as usize]).map(|_| ())
+            });
+            assert!(out.results.iter().all(Result::is_ok), "foreground dump");
+        })
+    };
+    let reports = healer.join().expect("healer thread");
+    dumper.join().expect("dumper thread");
+    assert!(reports.iter().all(HealReport::is_fully_healed));
+
+    let repl = replicator(
+        Strategy::CollDedup,
+        &cluster,
+        RedundancyPolicy::Replicate(3),
+        small_windows(),
+    );
+    for gen in [DUMP, 2] {
+        let out = World::run(N, |comm| repl.restore(comm, gen));
+        for (rank, r) in out.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref()
+                    .unwrap_or_else(|e| panic!("gen {gen} rank {rank}: {e}")),
+                &bufs[rank],
+                "gen {gen} rank {rank} restored wrong bytes"
+            );
+        }
+    }
+}
+
+/// Promise 4: with `gc_before` set, the heal's first step collects the
+/// superseded generation — and the surviving generation still restores,
+/// proving shared content-addressed chunks were not swept with it.
+#[test]
+fn heal_gc_step_reclaims_superseded_generations_safely() {
+    let bufs = buffers(N);
+    let cluster = Cluster::new(Placement::one_per_node(N));
+    let repl = replicator(
+        Strategy::CollDedup,
+        &cluster,
+        RedundancyPolicy::Replicate(3),
+        HealOptions {
+            gc_before: Some(2),
+            ..small_windows()
+        },
+    );
+    let out = World::run(N, |comm| {
+        // Gen 1 and gen 2 share most chunks (same workload, one byte of
+        // per-generation skew via the dump id in the first chunk).
+        let mut buf = bufs[comm.rank() as usize].clone();
+        repl.dump(comm, DUMP, &buf)?;
+        buf[0] ^= 0x5A;
+        repl.dump(comm, 2, &buf)?;
+        let mut cursor = HealCursor::new(2);
+        let report = repl.heal_from(comm, &mut cursor)?;
+        repl.restore(comm, 2).map(|r| (report, Vec::from(r), buf))
+    });
+    for (rank, r) in out.results.iter().enumerate() {
+        let (report, restored, expected) = r.as_ref().expect("heal with gc succeeds");
+        assert_eq!(report.gc.generations_collected, 1, "gen 1 swept");
+        assert!(report.is_fully_healed());
+        assert_eq!(restored, expected, "rank {rank}: gen 2 intact after gc");
+    }
+    assert_eq!(cluster.generations(), vec![2], "only gen 2 remains at rest");
+}
