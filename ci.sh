@@ -76,6 +76,12 @@ echo "== cargo test --test healing (continuous-healing suite) =="
 # proptest-generated cursors — all to the same fully healed state.
 cargo test --test healing
 
+echo "== cargo test --test sessions (scale-out runtime suite) =="
+# Pooled-scheduler equivalence (64 ranks on 4 workers == thread-per-rank,
+# bytes and trace spans) and concurrent labeled sessions: a crash in one
+# session never poisons another's byte-exact restore.
+cargo test --test sessions
+
 echo "== dead-code gate (self-healing + zero-copy modules) =="
 # These modules must be fully wired into the public API — a stray
 # #[allow(dead_code)] means something regressed to unreachable.
@@ -158,15 +164,38 @@ if grep -nE '\* *(cfg\.|self\.|idx\.)?chunk_size|chunk_size *\*|\* *4096|4096 *\
   exit 1
 fi
 
+echo "== thread-spawn gate (all threads go through the scheduler) =="
+# Every thread in the tree must be named and accounted for: rank bodies
+# run under sched::run_tasks, background work under sched::spawn. A raw
+# std::thread::spawn / spawn_scoped / thread::Builder outside sched.rs
+# bypasses the worker pool and the crash accounting.
+if grep -rnE 'std::thread::spawn|spawn_scoped|thread::Builder' \
+    crates tests examples \
+    --include='*.rs' \
+    | grep -v 'crates/mpi/src/sched.rs'; then
+  echo "ci: FAIL — raw thread spawn outside crates/mpi/src/sched.rs" >&2
+  exit 1
+fi
+
+echo "== ranks-smoke (128-rank dump/restore on the pooled scheduler) =="
+# One real scale point per CI run: 128 ranks multiplexed onto the worker
+# pool, all four paper strategies, every restore byte-verified and the
+# measured replication + parity traffic cross-checked against the sim
+# cost model (repro exits non-zero on any out-of-band cell).
+cargo run --release -p replidedup-bench --bin repro -- \
+  --ranks 128 --out target/ranks-smoke
+
 echo "== bench-smoke (tiny perf harness + schema check) =="
-# The harness validates the report against the replidedup-bench/v4 schema
+# The harness validates the report against the replidedup-bench/v5 schema
 # before writing it; a failure here means the bench or schema regressed.
 # The smoke JSON must carry the chunker x strategy x workload matrix,
-# the redundancy-policy matrix, and the recovery-drill matrix, and the
-# headline claims must hold: CDC beats fixed chunking, Rs(4+2) beats 3x
-# replication at equal tolerance, and every smoke drill converged with
-# byte-exact restores (recovery_ms is recorded but never gated — drill
-# timings are classified against a noise band, not asserted).
+# the redundancy-policy matrix, the recovery-drill matrix, and the
+# pooled-scheduler ranks matrix, and the headline claims must hold: CDC
+# beats fixed chunking, Rs(4+2) beats 3x replication at equal tolerance,
+# every smoke drill converged with byte-exact restores, and measured
+# traffic agrees with the sim cost model (recovery_ms is recorded but
+# never gated — drill timings are classified against a noise band, not
+# asserted).
 cargo run --release -p replidedup-bench --bin repro -- \
   --bench-smoke --bench-out target/bench-smoke.json
 test -s target/bench-smoke.json
@@ -181,6 +210,12 @@ grep -q '"converged": true' target/bench-smoke.json
 if grep -q '"converged": false' target/bench-smoke.json \
     || grep -q '"restore_verified": false' target/bench-smoke.json; then
   echo "ci: FAIL — a smoke recovery drill did not converge or verify" >&2
+  exit 1
+fi
+grep -q '"ranks_matrix"' target/bench-smoke.json
+grep -q '"sim_within_band": true' target/bench-smoke.json
+if grep -q '"sim_within_band": false' target/bench-smoke.json; then
+  echo "ci: FAIL — a ranks-sweep cell fell outside the sim traffic band" >&2
   exit 1
 fi
 

@@ -373,7 +373,7 @@ impl Cm1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
 
     fn small() -> Cm1Config {
         Cm1Config {
@@ -396,11 +396,13 @@ mod tests {
 
     #[test]
     fn far_ranks_stay_bit_identical_under_stepping() {
-        let out = World::run(6, |comm| {
-            let mut app = Cm1::new(comm.rank(), comm.size(), small());
-            app.run(comm, 5);
-            app.theta().to_vec()
-        });
+        let out = WorldConfig::default()
+            .launch(6, |comm| {
+                let mut app = Cm1::new(comm.rank(), comm.size(), small());
+                app.run(comm, 5);
+                app.theta().to_vec()
+            })
+            .expect_all();
         // Ranks 0 and 5 are far from the center (48 rows, vortex support
         // rows 18..30, spreading ≤ one row per step): fully ambient.
         assert_eq!(out.results[0], out.results[5]);
@@ -411,13 +413,15 @@ mod tests {
 
     #[test]
     fn heat_anomaly_is_conserved_early() {
-        let out = World::run(4, |comm| {
-            let mut app = Cm1::new(comm.rank(), comm.size(), small());
-            let before = app.heat_anomaly(comm);
-            app.run(comm, 5);
-            let after = app.heat_anomaly(comm);
-            (before, after)
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let mut app = Cm1::new(comm.rank(), comm.size(), small());
+                let before = app.heat_anomaly(comm);
+                app.run(comm, 5);
+                let after = app.heat_anomaly(comm);
+                (before, after)
+            })
+            .expect_all();
         let (before, after) = out.results[0];
         assert!(before > 0.0, "warm core present");
         let rel = ((after - before) / before).abs();
@@ -426,13 +430,15 @@ mod tests {
 
     #[test]
     fn stepping_changes_the_field_near_the_vortex() {
-        let out = World::run(2, |comm| {
-            let mut app = Cm1::new(comm.rank(), comm.size(), small());
-            let t0 = app.theta().to_vec();
-            app.step(comm);
-            let changed = app.theta().iter().zip(&t0).filter(|(a, b)| a != b).count();
-            (comm.rank(), changed)
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let mut app = Cm1::new(comm.rank(), comm.size(), small());
+                let t0 = app.theta().to_vec();
+                app.step(comm);
+                let changed = app.theta().iter().zip(&t0).filter(|(a, b)| a != b).count();
+                (comm.rank(), changed)
+            })
+            .expect_all();
         // With 2 ranks the vortex straddles both.
         for (_, changed) in out.results {
             assert!(changed > 0, "time stepping must change the field");
@@ -442,31 +448,37 @@ mod tests {
     #[test]
     fn single_rank_matches_halo_free_reference() {
         // With one rank, halos are ambient — the global boundary condition.
-        let out = World::run(1, |comm| {
-            let mut app = Cm1::new(0, 1, small());
-            app.run(comm, 3);
-            app.theta().to_vec()
-        });
+        let out = WorldConfig::default()
+            .launch(1, |comm| {
+                let mut app = Cm1::new(0, 1, small());
+                app.run(comm, 3);
+                app.theta().to_vec()
+            })
+            .expect_all();
         assert!(out.results[0].iter().all(|t| t.is_finite()));
     }
 
     #[test]
     fn decomposition_invariance() {
         // 1 rank with 32 rows must equal 4 ranks with 8 rows each.
-        let whole = World::run(1, |comm| {
-            let cfg = Cm1Config {
-                ny_per_rank: 32,
-                ..small()
-            };
-            let mut app = Cm1::new(0, 1, cfg);
-            app.run(comm, 8);
-            app.theta().to_vec()
-        });
-        let split = World::run(4, |comm| {
-            let mut app = Cm1::new(comm.rank(), comm.size(), small());
-            app.run(comm, 8);
-            app.theta().to_vec()
-        });
+        let whole = WorldConfig::default()
+            .launch(1, |comm| {
+                let cfg = Cm1Config {
+                    ny_per_rank: 32,
+                    ..small()
+                };
+                let mut app = Cm1::new(0, 1, cfg);
+                app.run(comm, 8);
+                app.theta().to_vec()
+            })
+            .expect_all();
+        let split = WorldConfig::default()
+            .launch(4, |comm| {
+                let mut app = Cm1::new(comm.rank(), comm.size(), small());
+                app.run(comm, 8);
+                app.theta().to_vec()
+            })
+            .expect_all();
         let stitched: Vec<f64> = split.results.into_iter().flatten().collect();
         assert_eq!(
             whole.results[0], stitched,
@@ -476,19 +488,21 @@ mod tests {
 
     #[test]
     fn heap_roundtrip_resumes_exactly() {
-        let out = World::run(3, |comm| {
-            let mut app = Cm1::new(comm.rank(), comm.size(), small());
-            app.run(comm, 4);
-            let mut heap = TrackedHeap::new(4096);
-            let regions = app.alloc_regions(&mut heap);
-            app.sync_to_heap(&mut heap, &regions);
-            app.run(comm, 4);
-            let mut replay =
-                Cm1::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
-            assert_eq!(replay.steps(), 4);
-            replay.run(comm, 4);
-            (app.theta().to_vec(), replay.theta().to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let mut app = Cm1::new(comm.rank(), comm.size(), small());
+                app.run(comm, 4);
+                let mut heap = TrackedHeap::new(4096);
+                let regions = app.alloc_regions(&mut heap);
+                app.sync_to_heap(&mut heap, &regions);
+                app.run(comm, 4);
+                let mut replay =
+                    Cm1::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
+                assert_eq!(replay.steps(), 4);
+                replay.run(comm, 4);
+                (app.theta().to_vec(), replay.theta().to_vec())
+            })
+            .expect_all();
         for (a, b) in out.results {
             assert_eq!(a, b, "bit-identical resume");
         }

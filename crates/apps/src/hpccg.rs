@@ -375,7 +375,7 @@ impl Hpccg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
 
     fn small() -> HpccgConfig {
         HpccgConfig {
@@ -419,11 +419,13 @@ mod tests {
 
     #[test]
     fn single_rank_cg_converges_to_ones() {
-        let out = World::run(1, |comm| {
-            let mut app = Hpccg::new(0, 1, small());
-            let res = app.run(comm, 60);
-            (res, app.solution_error())
-        });
+        let out = WorldConfig::default()
+            .launch(1, |comm| {
+                let mut app = Hpccg::new(0, 1, small());
+                let res = app.run(comm, 60);
+                (res, app.solution_error())
+            })
+            .expect_all();
         let (res, err) = out.results[0];
         assert!(res < 1e-8, "residual {res}");
         assert!(err < 1e-6, "solution error {err}");
@@ -431,11 +433,13 @@ mod tests {
 
     #[test]
     fn distributed_cg_converges_and_matches_single_rank_shape() {
-        let out = World::run(4, |comm| {
-            let mut app = Hpccg::new(comm.rank(), comm.size(), small());
-            let res = app.run(comm, 80);
-            (res, app.solution_error())
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let mut app = Hpccg::new(comm.rank(), comm.size(), small());
+                let res = app.run(comm, 80);
+                (res, app.solution_error())
+            })
+            .expect_all();
         for (res, err) in out.results {
             assert!(res < 1e-8, "residual {res}");
             assert!(err < 1e-6, "solution error {err}");
@@ -448,11 +452,13 @@ mod tests {
         // identical local problems for the first iterations (boundary
         // effects propagate one plane per matvec; nz=4 gives a few clean
         // steps).
-        let out = World::run(5, |comm| {
-            let mut app = Hpccg::new(comm.rank(), comm.size(), small());
-            app.run(comm, 2);
-            app.state().0.to_vec()
-        });
+        let out = WorldConfig::default()
+            .launch(5, |comm| {
+                let mut app = Hpccg::new(comm.rank(), comm.size(), small());
+                app.run(comm, 2);
+                app.state().0.to_vec()
+            })
+            .expect_all();
         assert_eq!(
             out.results[1], out.results[2],
             "interior ranks identical at iter 2"
@@ -463,12 +469,14 @@ mod tests {
 
     #[test]
     fn residual_decreases_monotonically_early() {
-        let out = World::run(2, |comm| {
-            let mut app = Hpccg::new(comm.rank(), comm.size(), small());
-            let r1 = app.step(comm);
-            let r5 = app.run(comm, 4);
-            (r1, r5)
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let mut app = Hpccg::new(comm.rank(), comm.size(), small());
+                let r1 = app.step(comm);
+                let r5 = app.run(comm, 4);
+                (r1, r5)
+            })
+            .expect_all();
         for (r1, r5) in out.results {
             assert!(r5 < r1, "CG must reduce the residual: {r1} -> {r5}");
         }
@@ -476,26 +484,28 @@ mod tests {
 
     #[test]
     fn heap_roundtrip_resumes_exactly() {
-        let out = World::run(3, |comm| {
-            let mut app = Hpccg::new(comm.rank(), comm.size(), small());
-            app.run(comm, 5);
-            let mut heap = TrackedHeap::new(4096);
-            let regions = app.alloc_regions(&mut heap);
-            app.sync_to_heap(&mut heap, &regions);
-            // Continue the original 3 more steps.
-            let expect = app.run(comm, 3);
-            // Restore the snapshot and replay the same 3 steps.
-            let mut replay =
-                Hpccg::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
-            assert_eq!(replay.iterations(), 5);
-            let got = replay.run(comm, 3);
-            (
-                expect,
-                got,
-                app.state().0.to_vec(),
-                replay.state().0.to_vec(),
-            )
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let mut app = Hpccg::new(comm.rank(), comm.size(), small());
+                app.run(comm, 5);
+                let mut heap = TrackedHeap::new(4096);
+                let regions = app.alloc_regions(&mut heap);
+                app.sync_to_heap(&mut heap, &regions);
+                // Continue the original 3 more steps.
+                let expect = app.run(comm, 3);
+                // Restore the snapshot and replay the same 3 steps.
+                let mut replay =
+                    Hpccg::load_from_heap(&heap, &regions, comm.rank(), comm.size(), small());
+                assert_eq!(replay.iterations(), 5);
+                let got = replay.run(comm, 3);
+                (
+                    expect,
+                    got,
+                    app.state().0.to_vec(),
+                    replay.state().0.to_vec(),
+                )
+            })
+            .expect_all();
         for (expect, got, x1, x2) in out.results {
             assert_eq!(expect.to_bits(), got.to_bits(), "bit-identical resume");
             assert_eq!(x1, x2);

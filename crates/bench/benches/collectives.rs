@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use replidedup_core::{reduce_global_view, GlobalView};
 use replidedup_hash::Fingerprint;
-use replidedup_mpi::World;
+use replidedup_mpi::WorldConfig;
 
 fn bench_barrier(c: &mut Criterion) {
     let mut g = c.benchmark_group("barrier");
@@ -17,11 +17,13 @@ fn bench_barrier(c: &mut Criterion) {
     for n in [4u32, 16, 64] {
         g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
             b.iter(|| {
-                World::run(n, |comm| {
-                    for _ in 0..10 {
-                        comm.barrier();
-                    }
-                })
+                WorldConfig::default()
+                    .launch(n, |comm| {
+                        for _ in 0..10 {
+                            comm.barrier();
+                        }
+                    })
+                    .expect_all()
             })
         });
     }
@@ -34,9 +36,11 @@ fn bench_allreduce_sum(c: &mut Criterion) {
     for n in [4u32, 16, 64] {
         g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
             b.iter(|| {
-                World::run(n, |comm| {
-                    comm.allreduce(u64::from(comm.rank()), |a, b| a + b)
-                })
+                WorldConfig::default()
+                    .launch(n, |comm| {
+                        comm.allreduce(u64::from(comm.rank()), |a, b| a + b)
+                    })
+                    .expect_all()
             })
         });
     }
@@ -49,10 +53,12 @@ fn bench_allgather(c: &mut Criterion) {
     for n in [16u32, 64] {
         g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
             b.iter(|| {
-                World::run(n, |comm| {
-                    // One Load vector per rank, as the dump gathers.
-                    comm.allgather(vec![comm.rank() as u64; 6])
-                })
+                WorldConfig::default()
+                    .launch(n, |comm| {
+                        // One Load vector per rank, as the dump gathers.
+                        comm.allgather(vec![comm.rank() as u64; 6])
+                    })
+                    .expect_all()
             })
         });
     }
@@ -67,18 +73,20 @@ fn bench_hmerge_reduction(c: &mut Criterion) {
     for n in [8u32, 32] {
         g.bench_with_input(BenchmarkId::new("world", n), &n, |b, &n| {
             b.iter(|| {
-                World::run(n, |comm| {
-                    let me = comm.rank();
-                    let fps = (0..512u64).map(|i| {
-                        if i % 2 == 0 {
-                            Fingerprint::synthetic(i) // shared everywhere
-                        } else {
-                            Fingerprint::synthetic((u64::from(me) << 32) | i)
-                        }
-                    });
-                    let leaf = GlobalView::from_local(me, fps, 1 << 17);
-                    reduce_global_view(comm, leaf, 3, 1 << 17).len()
-                })
+                WorldConfig::default()
+                    .launch(n, |comm| {
+                        let me = comm.rank();
+                        let fps = (0..512u64).map(|i| {
+                            if i % 2 == 0 {
+                                Fingerprint::synthetic(i) // shared everywhere
+                            } else {
+                                Fingerprint::synthetic((u64::from(me) << 32) | i)
+                            }
+                        });
+                        let leaf = GlobalView::from_local(me, fps, 1 << 17);
+                        reduce_global_view(comm, leaf, 3, 1 << 17).len()
+                    })
+                    .expect_all()
             })
         });
     }

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use replidedup_core::{GlobalView, LocalIndex, Replicator, Strategy};
 use replidedup_hash::{Fingerprint, FixedChunker, Sha1ChunkHasher};
-use replidedup_mpi::{World, WorldConfig};
+use replidedup_mpi::WorldConfig;
 use replidedup_storage::{Cluster, Placement};
 
 fn buffer_with_dup_ratio(pages: usize, distinct: usize) -> Vec<u8> {
@@ -128,10 +128,11 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     .chunk_size(4096)
                     .build()
                     .expect("valid config");
-                World::run_with(n, &cfg, |comm| {
+                cfg.launch(n, |comm| {
                     repl.dump(comm, 1, &bufs[comm.rank() as usize])
                         .expect("dump");
                 })
+                .expect_all()
             })
         });
     }

@@ -26,9 +26,15 @@
 //!               referenced by the dump is back to K copies and the
 //!               restore is byte-exact
 //!   --bench     run the zero-copy perf harness (strategies × K ∈ {2,3} ×
-//!               {staged, zero-copy}) and write BENCH_<date>.json
+//!               {staged, zero-copy}) and write BENCH_<date>.json; includes
+//!               the full pooled-scheduler ranks sweep through 512
 //!   --bench-smoke  tiny CI tier of --bench (4 ranks, 1 iteration)
 //!   --bench-out PATH  override the bench report path
+//!   --ranks N   pooled-scheduler scale-out sweep: run every sweep point up
+//!               to N ranks (plus N itself) × the four paper strategies,
+//!               cross-check measured replication + parity traffic against
+//!               the sim cost model, print the table and write ranks.csv;
+//!               exits non-zero if any point falls outside the sim band
 //!   --drill SCENARIO  scripted recovery drill: inject the scenario's
 //!               damage, heal in the background while a foreground dump
 //!               runs, verify both generations byte-exactly (repeatable;
@@ -60,6 +66,7 @@ struct Args {
     bench_smoke: bool,
     bench_out: Option<PathBuf>,
     drills: Vec<String>,
+    ranks: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -75,6 +82,7 @@ fn parse_args() -> Args {
     let mut bench_smoke = false;
     let mut bench_out = None;
     let mut drills = Vec::new();
+    let mut ranks = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -120,12 +128,21 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--drill needs a scenario name or \"all\"")),
                 );
             }
+            "--ranks" => {
+                ranks = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 2)
+                        .unwrap_or_else(|| die("--ranks needs a world size >= 2")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig2|fig3a|fig3b|fig3c|tab1|fig4|fig5|all]... \
                      [--scale S] [--out DIR] [--trace-out PATH] [--fault-plan SEED[:SPEC]] \
                      [--fail-node N]... [--scrub] [--repair] \
-                     [--bench | --bench-smoke] [--bench-out PATH] [--drill SCENARIO]..."
+                     [--bench | --bench-smoke] [--bench-out PATH] [--drill SCENARIO]... \
+                     [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -141,6 +158,7 @@ fn parse_args() -> Args {
         && !bench
         && !bench_smoke
         && drills.is_empty()
+        && ranks.is_none()
     {
         exps.push("all".to_string());
     }
@@ -160,6 +178,7 @@ fn parse_args() -> Args {
         bench_smoke,
         bench_out,
         drills,
+        ranks,
     }
 }
 
@@ -310,6 +329,8 @@ fn run_bench(smoke: bool, out_override: Option<&PathBuf>) {
     }
     println!("\n== recovery drills: fail -> heal under live dump -> verify ==");
     print_drill_table(&report.drill_matrix);
+    println!("\n== pooled-scheduler ranks sweep: measured vs sim-predicted traffic ==");
+    println!("{}", report::ranks_table(&report.ranks_matrix).render());
     let json = report.to_json();
     validate_bench_json(&json).unwrap_or_else(|e| die(&format!("emitted report invalid: {e}")));
     let path = out_override
@@ -396,6 +417,38 @@ fn run_drills(specs: &[String]) {
     }
 }
 
+/// Run the pooled-scheduler scale-out sweep: every sweep point up to
+/// `max` ranks (plus `max` itself) × the four paper strategies, the
+/// measured replication + parity traffic cross-checked against the sim
+/// cost model. Writes `ranks.csv` and exits non-zero if any point falls
+/// outside the noise band.
+fn run_ranks_sweep(max: u32, out: &std::path::Path) {
+    let points: Vec<u32> = exp::RANKS_SWEEP_POINTS
+        .iter()
+        .copied()
+        .filter(|&p| p <= max)
+        .chain((!exp::RANKS_SWEEP_POINTS.contains(&max)).then_some(max))
+        .collect();
+    println!(
+        "== pooled-scheduler ranks sweep: {points:?} ranks x 4 strategies, {} workers ==",
+        exp::default_sweep_workers()
+    );
+    let rows = exp::ranks_sweep(&points);
+    let t = report::ranks_table(&rows);
+    println!("{}", t.render());
+    t.write_csv(&out.join("ranks.csv"))
+        .expect("write ranks.csv");
+    if let Some(bad) = rows.iter().find(|r| !r.sim_within_band) {
+        die(&format!(
+            "{} at {} ranks: measured traffic deviates {:.1} % from the sim model (band {:.0} %)",
+            bad.strategy,
+            bad.ranks,
+            bad.deviation_pct,
+            exp::SIM_TRAFFIC_BAND_PCT
+        ));
+    }
+}
+
 /// Run one traced coll-dedup dump over the HPCCG workload and write the
 /// world-aggregated phase trace (JSON, or CSV for a `.csv` path).
 fn write_trace(path: &PathBuf) {
@@ -421,7 +474,7 @@ fn write_trace(path: &PathBuf) {
 /// data survived.
 fn run_fault_demo(spec: &str) {
     use replidedup_core::{Replicator, Strategy, DUMP_PHASES};
-    use replidedup_mpi::{FaultPlan, RankOutcome, World, WorldConfig};
+    use replidedup_mpi::{FaultPlan, RankOutcome, WorldConfig};
     use replidedup_storage::{Cluster, Placement};
     use std::sync::Arc;
     use std::time::Duration;
@@ -450,7 +503,7 @@ fn run_fault_demo(spec: &str) {
         .chunk_size(4096)
         .build()
         .expect("valid config");
-    let out = World::run_faulty(N, &config, |comm| {
+    let out = config.launch(N, |comm| {
         let buf = vec![comm.rank() as u8 + 1; 64 * 1024];
         repl.dump(comm, 1, &buf)
     });
@@ -474,9 +527,11 @@ fn run_fault_demo(spec: &str) {
             cluster.revive_node(node);
         }
     }
-    let out = World::run(N, |comm| {
-        (comm.rank(), repl.restore(comm, 1).map(|b| b.len()))
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            (comm.rank(), repl.restore(comm, 1).map(|b| b.len()))
+        })
+        .expect_all();
     for (rank, r) in out.results {
         match r {
             Ok(len) => println!("rank {rank}: restored {len} bytes"),
@@ -491,7 +546,7 @@ fn run_fault_demo(spec: &str) {
 /// copies and every rank restores byte-exactly.
 fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
     use replidedup_core::{Replicator, Strategy};
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::{Cluster, Placement};
 
     const N: u32 = 8;
@@ -505,7 +560,9 @@ fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
         .build()
         .expect("valid config");
     let buf_of = |rank: u32| vec![rank as u8 + 1; 64 * 1024];
-    let out = World::run(N, |comm| repl.dump(comm, 1, &buf_of(comm.rank())));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.dump(comm, 1, &buf_of(comm.rank())))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         if let Err(e) = r {
             die(&format!("rank {rank}: dump failed: {e}"));
@@ -528,7 +585,9 @@ fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
     }
 
     if do_scrub {
-        let out = World::run(N, |comm| repl.scrub(comm));
+        let out = WorldConfig::default()
+            .launch(N, |comm| repl.scrub(comm))
+            .expect_all();
         let report = out.results[0]
             .as_ref()
             .unwrap_or_else(|e| die(&format!("scrub failed: {e}")));
@@ -542,7 +601,9 @@ fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
     }
 
     if do_repair {
-        let out = World::run(N, |comm| repl.repair(comm, 1));
+        let out = WorldConfig::default()
+            .launch(N, |comm| repl.repair(comm, 1))
+            .expect_all();
         let stats = out.results[0]
             .as_ref()
             .unwrap_or_else(|e| die(&format!("repair failed: {e}")));
@@ -577,7 +638,9 @@ fn run_heal_demo(fail_nodes: &[u32], do_scrub: bool, do_repair: bool) {
         println!("verify: {at_k}/{total} referenced chunks at K = {K} copies");
     }
 
-    let out = World::run(N, |comm| (comm.rank(), repl.restore(comm, 1)));
+    let out = WorldConfig::default()
+        .launch(N, |comm| (comm.rank(), repl.restore(comm, 1)))
+        .expect_all();
     for (rank, r) in out.results {
         match r {
             Ok(b) if b == buf_of(rank) => println!("rank {rank}: restored byte-exact"),
@@ -615,6 +678,9 @@ fn main() {
     }
     if !args.drills.is_empty() {
         run_drills(&args.drills);
+    }
+    if let Some(max) = args.ranks {
+        run_ranks_sweep(max, &args.out);
     }
 
     if want("fig2") {

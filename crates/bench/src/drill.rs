@@ -38,7 +38,7 @@ use replidedup_core::{
     HealCursor, HealOptions, HealReport, RateLimit, RedundancyPolicy, Replicator, Strategy,
 };
 use replidedup_mpi::wire::Wire;
-use replidedup_mpi::{FaultPlan, FaultTrigger, World, WorldConfig};
+use replidedup_mpi::{FaultPlan, FaultTrigger, WorldConfig};
 use replidedup_storage::{Cluster, Placement};
 
 use crate::perf::BenchOptions;
@@ -195,26 +195,32 @@ fn run_drill_row(
 
     for &gen in stale {
         let bufs = gen_bufs(&base, gen);
-        let out = World::run(n, |comm| {
-            repl.dump(comm, gen, &bufs[comm.rank() as usize])
-                .map(|_| ())
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                repl.dump(comm, gen, &bufs[comm.rank() as usize])
+                    .map(|_| ())
+            })
+            .expect_all();
         assert!(out.results.iter().all(Result::is_ok), "stale dump {gen}");
     }
     let bufs_target = gen_bufs(&base, target);
-    let out = World::run(n, |comm| {
-        repl.dump(comm, target, &bufs_target[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(n, |comm| {
+            repl.dump(comm, target, &bufs_target[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     assert!(out.results.iter().all(Result::is_ok), "target dump");
 
     // Baseline: the foreground dump alone, on the healthy cluster.
     let bufs_base = gen_bufs(&base, base_gen);
     let t0 = Instant::now();
-    let out = World::run(n, |comm| {
-        repl.dump(comm, base_gen, &bufs_base[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(n, |comm| {
+            repl.dump(comm, base_gen, &bufs_base[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     let baseline = t0.elapsed();
     assert!(out.results.iter().all(Result::is_ok), "baseline dump");
 
@@ -238,22 +244,26 @@ fn run_drill_row(
         let cluster = Arc::clone(&cluster);
         let start = start_cursor.clone();
         let chunk_size = opts.chunk_size;
-        std::thread::spawn(move || {
+        replidedup_mpi::sched::spawn("drill-healer", move || {
             let repl = build_replicator(strategy, &cluster, policy, chunk_size, heal);
             let t0 = Instant::now();
-            let out = World::run(n, |comm| {
-                let mut cursor = start.clone();
-                repl.heal_from(comm, &mut cursor).map(|r| (cursor, r))
-            });
+            let out = WorldConfig::default()
+                .launch(n, |comm| {
+                    let mut cursor = start.clone();
+                    repl.heal_from(comm, &mut cursor).map(|r| (cursor, r))
+                })
+                .expect_all();
             (t0.elapsed(), out.results)
         })
     };
     let bufs_fg = gen_bufs(&base, fg_gen);
     let t0 = Instant::now();
-    let out = World::run(n, |comm| {
-        repl.dump(comm, fg_gen, &bufs_fg[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(n, |comm| {
+            repl.dump(comm, fg_gen, &bufs_fg[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     let contended = t0.elapsed();
     let fg_ok = out.results.iter().all(Result::is_ok);
     let (recovery, heal_results) = healer.join().expect("healer thread");
@@ -276,7 +286,9 @@ fn run_drill_row(
 
     let mut verified = fg_ok;
     for (gen, expect) in [(target, &bufs_target), (fg_gen, &bufs_fg)] {
-        let out = World::run(n, |comm| repl.restore(comm, gen));
+        let out = WorldConfig::default()
+            .launch(n, |comm| repl.restore(comm, gen))
+            .expect_all();
         for (rank, r) in out.results.iter().enumerate() {
             verified &= r.as_ref().is_ok_and(|b| b == &expect[rank]);
         }
@@ -345,7 +357,7 @@ fn inject_damage(
                 .with_faults(plan);
             let store = Arc::clone(&persisted);
             let hc = Arc::clone(cluster);
-            World::run_faulty(n, &config, move |comm| {
+            config.launch(n, move |comm| {
                 let repl = build_replicator(strategy, &hc, policy, chunk_size, heal);
                 let mut cursor = HealCursor::new(target);
                 let mut report = HealReport::default();
@@ -371,7 +383,7 @@ fn inject_damage(
                 .with_recv_timeout(Duration::from_secs(2))
                 .with_faults(plan);
             let hc = Arc::clone(cluster);
-            World::run_faulty(n, &config, move |comm| {
+            config.launch(n, move |comm| {
                 let repl = build_replicator(strategy, &hc, policy, chunk_size, heal);
                 let _ = repl.dump(comm, crash_gen, &bufs[comm.rank() as usize]);
             });

@@ -11,9 +11,13 @@
 //! CSV writers serialize, so integration tests can assert the paper's
 //! qualitative claims (who wins, by roughly what factor) directly.
 
-use replidedup_core::{DumpConfig, Replicator, Strategy, WorldDumpStats};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use replidedup_apps::SyntheticWorkload;
+use replidedup_core::{DumpConfig, RedundancyPolicy, Replicator, Strategy, WorldDumpStats};
 use replidedup_hash::Sha1ChunkHasher;
-use replidedup_mpi::{World, WorldConfig, WorldTrace};
+use replidedup_mpi::{RankTraffic, WorldConfig, WorldTrace};
 use replidedup_sim::{AppScenario, ClusterModel, DumpMeasurement, CM1, HPCCG};
 use replidedup_storage::{Cluster, Placement};
 
@@ -43,10 +47,12 @@ pub fn dump_world(buffers: &[Vec<u8>], cfg: DumpConfig) -> DumpRun {
         .hasher(&Sha1ChunkHasher)
         .build()
         .expect("experiment configs are valid");
-    let out = World::run(n, |comm| {
-        repl.dump(comm, 1, &buffers[comm.rank() as usize])
-            .expect("dump succeeds")
-    });
+    let out = WorldConfig::default()
+        .launch(n, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("dump succeeds")
+        })
+        .expect_all();
     DumpRun {
         stats: WorldDumpStats::from_ranks(cfg.strategy, cfg.chunk_size, out.results),
         cluster_unique_bytes: cluster.total_unique_bytes(),
@@ -66,10 +72,12 @@ pub fn dump_world_traced(buffers: &[Vec<u8>], cfg: DumpConfig) -> (DumpRun, Worl
         .hasher(&Sha1ChunkHasher)
         .build()
         .expect("experiment configs are valid");
-    let out = World::run_with(n, &WorldConfig::traced(), |comm| {
-        repl.dump(comm, 1, &buffers[comm.rank() as usize])
-            .expect("dump succeeds")
-    });
+    let out = WorldConfig::traced()
+        .launch(n, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("dump succeeds")
+        })
+        .expect_all();
     let trace = out.trace.expect("tracing was enabled");
     let run = DumpRun {
         stats: WorldDumpStats::from_ranks(cfg.strategy, cfg.chunk_size, out.results),
@@ -407,6 +415,188 @@ pub fn fig_shuffle(app: AppKind, proc_scale: f64) -> Vec<FigShuffleRow> {
         .collect()
 }
 
+// ------------------------------------------------------------------
+// Ranks sweep — pooled scheduler scale-out, validated against the model
+// ------------------------------------------------------------------
+
+/// World sizes of the scale-out sweep: small sanity points, the paper's
+/// 408-process configuration, and a 512-rank headroom point.
+pub const RANKS_SWEEP_POINTS: [u32; 7] = [8, 32, 64, 128, 256, 408, 512];
+
+/// Agreement band between the transport-layer traffic measurement and the
+/// content-level prediction, in percent. The gap between the two
+/// accounting paths is wire frame headers and per-record control bytes
+/// the content counters cannot see; empirically the paths agree to a few
+/// percent, so 15% flags a real leak, not noise.
+pub const SIM_TRAFFIC_BAND_PCT: f64 = 15.0;
+
+/// The four strategy settings of the paper's evaluation, as
+/// `(label, strategy, shuffle)`: the three [`Strategy`] values plus the
+/// `coll-no-shuffle` ablation.
+pub const RANKS_SWEEP_STRATEGIES: [(&str, Strategy, bool); 4] = [
+    ("no-dedup", Strategy::NoDedup, true),
+    ("local-dedup", Strategy::LocalDedup, true),
+    ("coll-dedup", Strategy::CollDedup, true),
+    ("coll-no-shuffle", Strategy::CollDedup, false),
+];
+
+/// One `(ranks, strategy)` cell of the scale-out sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RanksRow {
+    /// World size of this run.
+    pub ranks: u32,
+    /// Strategy label (paper naming, incl. `coll-no-shuffle`).
+    pub strategy: String,
+    /// Worker-pool slots the scheduler multiplexed the ranks onto.
+    pub workers: usize,
+    /// Wall-clock seconds of the in-process dump collective.
+    pub wall_seconds: f64,
+    /// Transport-layer wire bytes: point-to-point sends plus RMA puts,
+    /// summed over ranks (collective traffic excluded — the cross-check
+    /// targets the replication/stripe exchange).
+    pub measured_wire_bytes: u64,
+    /// Parity bytes at rest on the cluster's devices after the dump.
+    pub measured_parity_bytes: u64,
+    /// Content-level predicted wire bytes (replication + stripe fan-out).
+    pub predicted_wire_bytes: u64,
+    /// Content-level predicted parity bytes.
+    pub predicted_parity_bytes: u64,
+    /// Symmetric deviation between measurement and prediction (%).
+    pub deviation_pct: f64,
+    /// Did measurement and prediction agree within
+    /// [`SIM_TRAFFIC_BAND_PCT`]?
+    pub sim_within_band: bool,
+    /// Paper-scale modeled dump seconds for this measured run.
+    pub modeled_seconds: f64,
+}
+
+/// The sweep's checkpoint content: a dialed-in synthetic workload whose
+/// per-rank buffer (~120 KiB) mixes globally shared, group-shared,
+/// rank-private and locally repeated chunks, so every strategy and the
+/// erasure coder all have work to do at every world size.
+pub fn ranks_sweep_workload(chunk_size: usize) -> SyntheticWorkload {
+    SyntheticWorkload {
+        chunk_size,
+        global_chunks: 4,
+        grouped_chunks: 8,
+        group_size: 4,
+        private_chunks: 12,
+        local_dup_chunks: 2,
+        local_repeat: 3,
+        seed: 0x5241_4e4b_5357_5045, // b"RANKSWPE"
+    }
+}
+
+/// Dump configuration of the sweep: paper defaults for the strategy, the
+/// requested shuffle setting, and the `Auto` redundancy policy (RS 4+2,
+/// tiny chunks replicated) so parity traffic is exercised — the paper's
+/// dedup credit makes coll-dedup generate strictly less of it.
+pub fn ranks_sweep_config(strategy: Strategy, shuffle: bool) -> DumpConfig {
+    DumpConfig::paper_defaults(strategy)
+        .with_shuffle(shuffle)
+        .with_policy(RedundancyPolicy::Auto {
+            k: 4,
+            m: 2,
+            replicate_below: 1024,
+        })
+}
+
+/// Default worker-pool width for the sweep: the host's parallelism, but
+/// at least 4 so even single-core CI runs exercise real cross-worker
+/// multiplexing (park points make oversubscription safe either way).
+pub fn default_sweep_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, NonZeroUsize::get)
+        .max(4)
+}
+
+/// Run one `(ranks, strategy)` cell of the sweep on a pooled scheduler.
+pub fn ranks_run(ranks: u32, label: &str, strategy: Strategy, shuffle: bool) -> RanksRow {
+    let cfg = ranks_sweep_config(strategy, shuffle);
+    let buffers: Vec<Vec<u8>> = {
+        let w = ranks_sweep_workload(cfg.chunk_size);
+        (0..ranks).map(|r| w.generate(r)).collect()
+    };
+    let cluster = Cluster::new(Placement::pack(ranks, RANKS_PER_NODE));
+    let repl = Replicator::builder(cfg.strategy)
+        .with_config(cfg)
+        .cluster(&cluster)
+        .hasher(&Sha1ChunkHasher)
+        .build()
+        .expect("sweep configs are valid");
+    let workers = default_sweep_workers();
+    let world = WorldConfig::default().with_workers(workers);
+    let t0 = Instant::now();
+    let out = world
+        .launch(ranks, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("sweep dump succeeds")
+        })
+        .expect_all();
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let measured_wire_bytes = out
+        .traffic
+        .ranks
+        .iter()
+        .map(|r: &RankTraffic| r.p2p_sent + r.rma_put)
+        .sum();
+    let measured_parity_bytes = cluster.total_parity_bytes();
+
+    // Every sweep cell proves itself: a pooled restore must hand every
+    // rank its bytes back exactly (outside the timed window).
+    let restored = world
+        .launch(ranks, |comm| {
+            Vec::from(repl.restore(comm, 1).expect("sweep restore succeeds"))
+        })
+        .expect_all();
+    for (rank, bytes) in restored.results.iter().enumerate() {
+        assert!(
+            *bytes == buffers[rank],
+            "{label} at {ranks} ranks: rank {rank} restored wrong bytes on the pooled scheduler"
+        );
+    }
+
+    let stats = WorldDumpStats::from_ranks(cfg.strategy, cfg.chunk_size, out.results);
+    let f_threshold = cfg.f_threshold as u64;
+    let m = DumpMeasurement::from_stats(&stats, f_threshold);
+    let pred = ClusterModel::default().predicted_traffic(&m);
+    RanksRow {
+        ranks,
+        strategy: label.to_string(),
+        workers,
+        wall_seconds,
+        measured_wire_bytes,
+        measured_parity_bytes,
+        predicted_wire_bytes: pred.wire_bytes(),
+        predicted_parity_bytes: pred.parity_bytes,
+        deviation_pct: pred.deviation_pct(measured_wire_bytes, measured_parity_bytes),
+        sim_within_band: pred.within_band(
+            measured_wire_bytes,
+            measured_parity_bytes,
+            SIM_TRAFFIC_BAND_PCT,
+        ),
+        modeled_seconds: modeled_dump_seconds(
+            AppKind::Synthetic(ranks_sweep_workload(cfg.chunk_size)),
+            &stats,
+            f_threshold,
+        ),
+    }
+}
+
+/// The full scale-out sweep: every strategy setting at every point of
+/// `points`, each run multiplexed onto the pooled scheduler.
+pub fn ranks_sweep(points: &[u32]) -> Vec<RanksRow> {
+    points
+        .iter()
+        .flat_map(|&ranks| {
+            RANKS_SWEEP_STRATEGIES
+                .iter()
+                .map(move |&(label, strategy, shuffle)| ranks_run(ranks, label, strategy, shuffle))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +633,34 @@ mod tests {
             assert!(row.completion[1] >= row.completion[2], "{row:?}");
             assert!(row.completion[2] >= row.baseline, "{row:?}");
         }
+    }
+
+    #[test]
+    fn ranks_sweep_cross_checks_traffic_within_band() {
+        for row in ranks_sweep(&[16]) {
+            assert!(
+                row.sim_within_band,
+                "measured vs predicted traffic diverged: {row:?}"
+            );
+            assert!(row.measured_wire_bytes > 0, "{row:?}");
+            assert!(
+                row.measured_parity_bytes > 0,
+                "the Auto policy must generate parity: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coll_dedup_sends_less_than_no_dedup_at_scale() {
+        let rows = ranks_sweep(&[24]);
+        let wire = |label: &str| {
+            rows.iter()
+                .find(|r| r.strategy == label)
+                .map(|r| r.measured_wire_bytes)
+                .unwrap()
+        };
+        assert!(wire("coll-dedup") < wire("no-dedup"));
+        assert!(wire("coll-dedup") <= wire("local-dedup"));
     }
 
     #[test]

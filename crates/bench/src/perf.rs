@@ -28,7 +28,7 @@ use replidedup_core::{
     Strategy, WorldDumpStats,
 };
 use replidedup_hash::{Chunker, Sha1ChunkHasher};
-use replidedup_mpi::World;
+use replidedup_mpi::WorldConfig;
 use replidedup_storage::{Cluster, Placement};
 
 use crate::experiments::{RANKS_PER_NODE, STRATEGIES};
@@ -117,6 +117,15 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
     // Single-iteration runs are the CI smoke tier and get the smoke
     // drill subset; the full harness sweeps every recovery scenario.
     let drill_matrix = crate::drill::run_drill_matrix(opts, opts.iterations > 1);
+    // Likewise the pooled-scheduler scale-out sweep: the full harness
+    // runs every point through 512 ranks (408 is the paper's scale); the
+    // smoke tier cross-checks a single small point against the sim.
+    let ranks_points: &[u32] = if opts.iterations > 1 {
+        &crate::experiments::RANKS_SWEEP_POINTS
+    } else {
+        &[16]
+    };
+    let ranks_matrix = crate::experiments::ranks_sweep(ranks_points);
     BenchReport {
         date: today_utc(),
         ranks: opts.ranks,
@@ -128,6 +137,7 @@ pub fn run_zerocopy_bench(opts: &BenchOptions) -> BenchReport {
         policy_matrix,
         policy_comparisons,
         drill_matrix,
+        ranks_matrix,
     }
 }
 
@@ -222,15 +232,19 @@ fn run_chunker_scenario(
             .build()
             .expect("bench configs are valid");
         let t0 = Instant::now();
-        World::run(n, |comm| {
-            repl.dump(comm, 1, &buffers[comm.rank() as usize])
-                .expect("bench dump succeeds")
-        });
+        WorldConfig::default()
+            .launch(n, |comm| {
+                repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                    .expect("bench dump succeeds")
+            })
+            .expect_all();
         best_dump = best_dump.min(t0.elapsed().as_secs_f64());
         written = cluster.total_device_bytes();
-        let out = World::run(n, |comm| {
-            repl.restore(comm, 1).expect("bench restore succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                repl.restore(comm, 1).expect("bench restore succeeds")
+            })
+            .expect_all();
         for (rank, restored) in out.results.iter().enumerate() {
             assert!(
                 *restored == buffers[rank],
@@ -330,10 +344,12 @@ fn run_policy_scenario(
             .build()
             .expect("bench configs are valid");
         let t0 = Instant::now();
-        let out = World::run(n, |comm| {
-            repl.dump(comm, 1, &buffers[comm.rank() as usize])
-                .expect("bench dump succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                    .expect("bench dump succeeds")
+            })
+            .expect_all();
         best_dump = best_dump.min(t0.elapsed().as_secs_f64());
         coded = out.results.iter().map(|s| s.chunks_coded).sum();
         written = cluster.total_device_bytes();
@@ -345,7 +361,9 @@ fn run_policy_scenario(
             cluster.fail_node(node);
             cluster.revive_node(node);
         }
-        let out = World::run(n, |comm| repl.restore(comm, 1).map(Vec::from));
+        let out = WorldConfig::default()
+            .launch(n, |comm| repl.restore(comm, 1).map(Vec::from))
+            .expect_all();
         for (rank, restored) in out.results.iter().enumerate() {
             let ok = restored.as_ref().is_ok_and(|b| b == &buffers[rank]);
             assert!(
@@ -478,19 +496,23 @@ fn run_scenario(
 
         global_pool().reset_stats();
         let t0 = Instant::now();
-        let out = World::run(n, |comm| {
-            repl.dump(comm, 1, chunks[comm.rank() as usize].clone())
-                .expect("bench dump succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                repl.dump(comm, 1, chunks[comm.rank() as usize].clone())
+                    .expect("bench dump succeeds")
+            })
+            .expect_all();
         best_dump = best_dump.min(t0.elapsed().as_secs_f64());
         stats = WorldDumpStats::from_ranks(strategy, opts.chunk_size, out.results);
         written = cluster.total_device_bytes();
 
         reset_process_bytes_copied();
         let t1 = Instant::now();
-        let out = World::run(n, |comm| {
-            repl.restore(comm, 1).expect("bench restore succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                repl.restore(comm, 1).expect("bench restore succeeds")
+            })
+            .expect_all();
         best_restore = best_restore.min(t1.elapsed().as_secs_f64());
         restore_copied = process_bytes_copied();
         pool = global_pool().stats();
@@ -651,6 +673,8 @@ mod tests {
         assert_eq!(report.policy_comparisons.len(), 2);
         // Smoke drill subset: {node-loss, healer-crash} × {rep3, rs4+2}
         assert_eq!(report.drill_matrix.len(), 4);
+        // Smoke ranks sweep: 1 point × 4 strategies
+        assert_eq!(report.ranks_matrix.len(), 4);
         validate_bench_json(&report.to_json()).expect("emitted JSON validates");
         for c in &report.comparisons {
             assert!(
@@ -712,6 +736,16 @@ mod tests {
             );
             assert!(d.heal_steps > 0, "{}: healer must take steps", d.scenario);
             assert!(d.recovery_ms.is_finite() && d.recovery_ms >= 0.0);
+        }
+        // The scale-out headline: every ranks-sweep row moved real wire
+        // and parity bytes and agrees with the sim cost model.
+        for r in &report.ranks_matrix {
+            assert!(r.measured_wire_bytes > 0, "{}: no wire traffic", r.strategy);
+            assert!(
+                r.sim_within_band,
+                "{} @ {} ranks: deviation {:.1}% outside sim band",
+                r.strategy, r.ranks, r.deviation_pct
+            );
         }
     }
 

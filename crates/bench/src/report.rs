@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
-use crate::experiments::{Fig2, Fig3aRow, Fig3bcRow, FigKRow, FigShuffleRow, Tab1Row};
+use crate::experiments::{Fig2, Fig3aRow, Fig3bcRow, FigKRow, FigShuffleRow, RanksRow, Tab1Row};
 
 /// Render bytes as a human-friendly quantity.
 pub fn human_bytes(b: f64) -> String {
@@ -236,6 +236,45 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
     t
 }
 
+/// The pooled-scheduler ranks sweep as a table: measured wire/parity
+/// traffic next to the `crates/sim` prediction and whether the two agree
+/// within the noise band.
+pub fn ranks_table(rows: &[RanksRow]) -> Table {
+    let mut t = Table::new(&[
+        "ranks",
+        "strategy",
+        "workers",
+        "wall (s)",
+        "wire meas/pred",
+        "parity meas/pred",
+        "dev %",
+        "in band",
+        "modeled (s)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.ranks.to_string(),
+            r.strategy.clone(),
+            r.workers.to_string(),
+            format!("{:.2}", r.wall_seconds),
+            format!(
+                "{} / {}",
+                human_bytes(r.measured_wire_bytes as f64),
+                human_bytes(r.predicted_wire_bytes as f64)
+            ),
+            format!(
+                "{} / {}",
+                human_bytes(r.measured_parity_bytes as f64),
+                human_bytes(r.predicted_parity_bytes as f64)
+            ),
+            format!("{:.1}", r.deviation_pct),
+            if r.sim_within_band { "yes" } else { "NO" }.into(),
+            format!("{:.2}", r.modeled_seconds),
+        ]);
+    }
+    t
+}
+
 // ------------------------------------------------------------------
 // Zero-copy perf harness report (`repro --bench` → BENCH_<date>.json)
 // ------------------------------------------------------------------
@@ -244,8 +283,9 @@ pub fn fig_shuffle_table(rows: &[FigShuffleRow]) -> Table {
 /// chunker-matrix arrays (`chunker_matrix`, `chunker_comparisons`); `v3`
 /// added the redundancy-policy arrays (`policy_matrix`,
 /// `policy_comparisons`); `v4` added the recovery-drill array
-/// (`drill_matrix`).
-pub const BENCH_SCHEMA: &str = "replidedup-bench/v4";
+/// (`drill_matrix`); `v5` added the pooled-scheduler scale-out array
+/// (`ranks_matrix`) with its measured-vs-predicted traffic cross-check.
+pub const BENCH_SCHEMA: &str = "replidedup-bench/v5";
 
 /// One scripted recovery drill: fail → heal under live traffic →
 /// verify, for one (scenario, strategy, policy) cell of the drill
@@ -477,6 +517,9 @@ pub struct BenchReport {
     /// Scripted recovery drills (fail → heal under live traffic →
     /// verify).
     pub drill_matrix: Vec<DrillScenario>,
+    /// Pooled-scheduler scale-out sweep: `(ranks, strategy)` cells with
+    /// the measured-vs-predicted traffic cross-check.
+    pub ranks_matrix: Vec<RanksRow>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -767,6 +810,48 @@ impl BenchReport {
             );
             let _ = writeln!(s, "      \"converged\": {},", d.converged);
             let _ = writeln!(s, "      \"restore_verified\": {}", d.restore_verified);
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"ranks_matrix\": [");
+        for (i, r) in self.ranks_matrix.iter().enumerate() {
+            let comma = if i + 1 < self.ranks_matrix.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"ranks\": {},", r.ranks);
+            let _ = writeln!(s, "      \"strategy\": \"{}\",", json_escape(&r.strategy));
+            let _ = writeln!(s, "      \"workers\": {},", r.workers);
+            let _ = writeln!(s, "      \"wall_seconds\": {},", json_f64(r.wall_seconds));
+            let _ = writeln!(
+                s,
+                "      \"measured_wire_bytes\": {},",
+                r.measured_wire_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"measured_parity_bytes\": {},",
+                r.measured_parity_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"predicted_wire_bytes\": {},",
+                r.predicted_wire_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"predicted_parity_bytes\": {},",
+                r.predicted_parity_bytes
+            );
+            let _ = writeln!(s, "      \"deviation_pct\": {},", json_f64(r.deviation_pct));
+            let _ = writeln!(s, "      \"sim_within_band\": {},", r.sim_within_band);
+            let _ = writeln!(
+                s,
+                "      \"modeled_seconds\": {}",
+                json_f64(r.modeled_seconds)
+            );
             let _ = writeln!(s, "    }}{comma}");
         }
         let _ = writeln!(s, "  ]");
@@ -1186,6 +1271,38 @@ pub fn validate_bench_json(input: &str) -> Result<Json, String> {
             }
         }
     }
+    let Some(Json::Arr(ranks_rows)) = doc.get("ranks_matrix") else {
+        return Err("missing \"ranks_matrix\" array".into());
+    };
+    if ranks_rows.is_empty() {
+        return Err("\"ranks_matrix\" must not be empty".into());
+    }
+    for (i, r) in ranks_rows.iter().enumerate() {
+        match r.get("strategy") {
+            Some(Json::Str(_)) => {}
+            other => return Err(format!("ranks row {i}: bad \"strategy\": {other:?}")),
+        }
+        for key in [
+            "ranks",
+            "workers",
+            "wall_seconds",
+            "measured_wire_bytes",
+            "measured_parity_bytes",
+            "predicted_wire_bytes",
+            "predicted_parity_bytes",
+            "deviation_pct",
+            "modeled_seconds",
+        ] {
+            match r.get(key) {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("ranks row {i}: bad \"{key}\": {other:?}")),
+            }
+        }
+        match r.get("sim_within_band") {
+            Some(Json::Bool(_)) => {}
+            other => return Err(format!("ranks row {i}: bad \"sim_within_band\": {other:?}")),
+        }
+    }
     Ok(doc)
 }
 
@@ -1335,6 +1452,19 @@ mod tests {
                 converged: true,
                 restore_verified: true,
             }],
+            ranks_matrix: vec![RanksRow {
+                ranks: 408,
+                strategy: "coll-dedup".into(),
+                workers: 8,
+                wall_seconds: 3.5,
+                measured_wire_bytes: 1 << 24,
+                measured_parity_bytes: 1 << 21,
+                predicted_wire_bytes: (1 << 24) + (1 << 16),
+                predicted_parity_bytes: 1 << 21,
+                deviation_pct: 0.4,
+                sim_within_band: true,
+                modeled_seconds: 2.9,
+            }],
         }
     }
 
@@ -1390,6 +1520,16 @@ mod tests {
         let json = sample_report().to_json().replace("restore_verified", "x");
         assert!(validate_bench_json(&json).is_err());
         let json = sample_report().to_json().replace("\"converged\"", "\"x\"");
+        assert!(validate_bench_json(&json).is_err());
+        // And the v5 ranks matrix with its sim cross-check evidence.
+        let mut r = sample_report();
+        r.ranks_matrix.clear();
+        assert!(validate_bench_json(&r.to_json()).is_err());
+        let json = sample_report().to_json().replace("sim_within_band", "x");
+        assert!(validate_bench_json(&json).is_err());
+        let json = sample_report()
+            .to_json()
+            .replace("predicted_wire_bytes", "x");
         assert!(validate_bench_json(&json).is_err());
     }
 

@@ -8,7 +8,7 @@
 
 use replidedup_apps::{Cm1, Cm1Config, Hpccg, HpccgConfig, SyntheticWorkload};
 use replidedup_ckpt::TrackedHeap;
-use replidedup_mpi::World;
+use replidedup_mpi::WorldConfig;
 
 /// Which application produces the checkpoint content.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,26 +202,30 @@ pub fn make_buffers(app: AppKind, n: u32) -> Vec<Vec<u8>> {
                 .collect()
         }
         AppKind::Hpccg { warmup } => {
-            World::run(n, |comm| {
-                let mut app = Hpccg::new(comm.rank(), comm.size(), hpccg_config());
-                app.run(comm, warmup);
-                let mut heap = TrackedHeap::default();
-                let regions = app.alloc_regions(&mut heap);
-                app.sync_to_heap(&mut heap, &regions);
-                heap.snapshot_bytes()
-            })
-            .results
+            WorldConfig::default()
+                .launch(n, |comm| {
+                    let mut app = Hpccg::new(comm.rank(), comm.size(), hpccg_config());
+                    app.run(comm, warmup);
+                    let mut heap = TrackedHeap::default();
+                    let regions = app.alloc_regions(&mut heap);
+                    app.sync_to_heap(&mut heap, &regions);
+                    heap.snapshot_bytes()
+                })
+                .expect_all()
+                .results
         }
         AppKind::Cm1 { warmup } => {
-            World::run(n, |comm| {
-                let mut app = Cm1::new(comm.rank(), comm.size(), cm1_config());
-                app.run(comm, warmup);
-                let mut heap = TrackedHeap::default();
-                let regions = app.alloc_regions(&mut heap);
-                app.sync_to_heap(&mut heap, &regions);
-                heap.snapshot_bytes()
-            })
-            .results
+            WorldConfig::default()
+                .launch(n, |comm| {
+                    let mut app = Cm1::new(comm.rank(), comm.size(), cm1_config());
+                    app.run(comm, warmup);
+                    let mut heap = TrackedHeap::default();
+                    let regions = app.alloc_regions(&mut heap);
+                    app.sync_to_heap(&mut heap, &regions);
+                    heap.snapshot_bytes()
+                })
+                .expect_all()
+                .results
         }
     }
 }

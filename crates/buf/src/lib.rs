@@ -79,13 +79,15 @@ mod tests {
         record_copy(28);
         assert_eq!(thread_bytes_copied() - t0, 128);
         assert!(process_bytes_copied() - p0 >= 128);
-        let other = std::thread::spawn(|| {
-            let t = thread_bytes_copied();
-            record_copy(7);
-            thread_bytes_copied() - t
-        })
-        .join()
-        .unwrap();
+        let other = std::thread::scope(|s| {
+            s.spawn(|| {
+                let t = thread_bytes_copied();
+                record_copy(7);
+                thread_bytes_copied() - t
+            })
+            .join()
+            .unwrap()
+        });
         assert_eq!(other, 7);
         // The sibling thread's copies never leak into this thread's view.
         assert_eq!(thread_bytes_copied() - t0, 128);

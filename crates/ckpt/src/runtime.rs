@@ -180,7 +180,7 @@ mod tests {
     use super::*;
     use replidedup_core::Strategy;
     use replidedup_hash::Sha1ChunkHasher;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::Placement;
 
     #[test]
@@ -208,20 +208,22 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
             .with_replication(3)
             .with_chunk_size(64);
-        let out = World::run(4, |comm| {
-            let mut heap = TrackedHeap::new(64);
-            let r = heap.alloc(200);
-            heap.write(r, 0, &[comm.rank() as u8 + 1; 200]);
-            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-            assert!(rt.latest_dump_id().is_none());
-            let stats = rt.checkpoint(comm, &mut heap).unwrap();
-            assert_eq!(rt.latest_dump_id(), Some(1));
-            assert_eq!(heap.dirty_page_count(), 0, "checkpoint clears dirty bits");
-            // Clobber the heap, then restart.
-            heap.write(r, 0, &[0xFF; 200]);
-            let restored = rt.restart(comm).unwrap();
-            (stats.k, restored.read(r).to_vec(), comm.rank())
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let mut heap = TrackedHeap::new(64);
+                let r = heap.alloc(200);
+                heap.write(r, 0, &[comm.rank() as u8 + 1; 200]);
+                let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+                assert!(rt.latest_dump_id().is_none());
+                let stats = rt.checkpoint(comm, &mut heap).unwrap();
+                assert_eq!(rt.latest_dump_id(), Some(1));
+                assert_eq!(heap.dirty_page_count(), 0, "checkpoint clears dirty bits");
+                // Clobber the heap, then restart.
+                heap.write(r, 0, &[0xFF; 200]);
+                let restored = rt.restart(comm).unwrap();
+                (stats.k, restored.read(r).to_vec(), comm.rank())
+            })
+            .expect_all();
         for (k, data, rank) in out.results {
             assert_eq!(k, 3);
             assert_eq!(data, vec![rank as u8 + 1; 200]);
@@ -232,10 +234,12 @@ mod tests {
     fn restart_without_checkpoint_errors() {
         let cluster = Cluster::new(Placement::one_per_node(2));
         let cfg = DumpConfig::paper_defaults(Strategy::LocalDedup).with_chunk_size(64);
-        let out = World::run(2, |comm| {
-            let rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-            rt.restart(comm).err()
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+                rt.restart(comm).err()
+            })
+            .expect_all();
         assert!(out
             .results
             .iter()
@@ -248,20 +252,22 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
             .with_replication(2)
             .with_chunk_size(64);
-        let out = World::run(2, |comm| {
-            let mut heap = TrackedHeap::new(64);
-            let r = heap.alloc(100);
-            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-            heap.write(r, 0, &[1; 100]);
-            rt.checkpoint(comm, &mut heap).unwrap();
-            heap.write(r, 0, &[2; 100]);
-            rt.checkpoint(comm, &mut heap).unwrap();
-            // Restore generation 1, not 2.
-            let old = rt.restart_from(comm, 1).unwrap();
-            let new = rt.restart(comm).unwrap();
-            assert_eq!(rt.history.len(), 2);
-            (old.read(r)[0], new.read(r)[0])
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let mut heap = TrackedHeap::new(64);
+                let r = heap.alloc(100);
+                let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+                heap.write(r, 0, &[1; 100]);
+                rt.checkpoint(comm, &mut heap).unwrap();
+                heap.write(r, 0, &[2; 100]);
+                rt.checkpoint(comm, &mut heap).unwrap();
+                // Restore generation 1, not 2.
+                let old = rt.restart_from(comm, 1).unwrap();
+                let new = rt.restart(comm).unwrap();
+                assert_eq!(rt.history.len(), 2);
+                (old.read(r)[0], new.read(r)[0])
+            })
+            .expect_all();
         assert!(out.results.iter().all(|&(a, b)| a == 1 && b == 2));
     }
 
@@ -271,21 +277,23 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
             .with_replication(2)
             .with_chunk_size(64);
-        let out = World::run(3, |comm| {
-            let mut heap = TrackedHeap::new(64);
-            let r = heap.alloc(128);
-            heap.write(r, 0, &[comm.rank() as u8 + 10; 128]);
-            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-            rt.checkpoint(comm, &mut heap).unwrap();
-            comm.barrier();
-            if comm.rank() == 0 {
-                cluster.fail_node(1);
-                cluster.revive_node(1);
-            }
-            comm.barrier();
-            let restored = rt.restart(comm).unwrap();
-            (comm.rank(), restored.read(r).to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let mut heap = TrackedHeap::new(64);
+                let r = heap.alloc(128);
+                heap.write(r, 0, &[comm.rank() as u8 + 10; 128]);
+                let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+                rt.checkpoint(comm, &mut heap).unwrap();
+                comm.barrier();
+                if comm.rank() == 0 {
+                    cluster.fail_node(1);
+                    cluster.revive_node(1);
+                }
+                comm.barrier();
+                let restored = rt.restart(comm).unwrap();
+                (comm.rank(), restored.read(r).to_vec())
+            })
+            .expect_all();
         for (rank, data) in out.results {
             assert_eq!(data, vec![rank as u8 + 10; 128]);
         }

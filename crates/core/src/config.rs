@@ -9,7 +9,7 @@ use replidedup_hash::ChunkerKind;
 /// Produced by [`DumpConfig::validate`] and by
 /// [`crate::ReplicatorBuilder::build`], so malformed parameters surface as
 /// typed errors before any collective starts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// `K = 0`: at least the local copy is required.
@@ -40,6 +40,14 @@ pub enum ConfigError {
         /// Parity shard count of the rejected policy.
         m: u8,
     },
+    /// Another live [`crate::Replicator`] already registered the same
+    /// `session_label` on the target cluster. Concurrent sessions must
+    /// carry distinct labels so their tag namespaces and dump-id
+    /// generations cannot collide.
+    DuplicateSession {
+        /// The label that is already active on the cluster.
+        label: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -64,6 +72,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "invalid Reed-Solomon geometry k={k} m={m}: need k >= 1, m >= 1, k + m <= 255"
+                )
+            }
+            ConfigError::DuplicateSession { label } => {
+                write!(
+                    f,
+                    "session label {label:?} is already active on this cluster; \
+                     concurrent sessions need distinct labels"
                 )
             }
         }

@@ -780,7 +780,7 @@ fn degraded_commit(
 mod tests {
     use super::*;
     use replidedup_hash::Sha1ChunkHasher;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::Placement;
 
     fn run_dump(
@@ -794,15 +794,17 @@ mod tests {
             .with_replication(k)
             .with_chunk_size(64)
             .with_f_threshold(1 << 12);
-        let out = World::run(n, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = mk_buf(comm.rank());
-            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = mk_buf(comm.rank());
+                dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
+            })
+            .expect_all();
         (out.results, cluster)
     }
 
@@ -977,15 +979,17 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
             .with_replication(2)
             .with_chunk_size(64);
-        let out = World::run(3, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = vec![comm.rank() as u8; 128];
-            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg)
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = vec![comm.rank() as u8; 128];
+                dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg)
+            })
+            .expect_all();
         // Rank 1's node is down: it errors; the others still complete
         // (no deadlock, no panic).
         assert!(out.results[0].is_ok());
@@ -1002,16 +1006,18 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::LocalDedup)
             .with_replication(3)
             .with_chunk_size(64);
-        let out = World::run(4, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = private_buffer(comm.rank());
-            let stats = dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).unwrap();
-            (stats, comm.traffic())
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = private_buffer(comm.rank());
+                let stats = dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).unwrap();
+                (stats, comm.traffic())
+            })
+            .expect_all();
         for (stats, traffic) in &out.results {
             assert_eq!(stats.bytes_sent_replication, traffic.rma_put);
             assert_eq!(stats.bytes_received_replication, traffic.rma_recv);
@@ -1031,15 +1037,17 @@ mod tests {
             .with_chunk_size(64)
             .with_f_threshold(1 << 12)
             .with_policy(policy);
-        let out = World::run(n, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = mk_buf(comm.rank());
-            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = mk_buf(comm.rank());
+                dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump succeeds")
+            })
+            .expect_all();
         (out.results, cluster)
     }
 

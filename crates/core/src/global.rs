@@ -243,7 +243,7 @@ pub fn try_reduce_global_view(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
 
     fn fp(n: u64) -> Fingerprint {
         Fingerprint::synthetic(n)
@@ -383,15 +383,17 @@ mod tests {
     fn reduction_counts_exactly_across_world() {
         // 8 ranks; rank r holds chunks {r, r+1, 100}: chunk 100 is on all 8,
         // interior chunks on exactly 2 ranks, endpoints on 1.
-        let out = World::run(8, |comm| {
-            let me = comm.rank();
-            let local = GlobalView::from_local(
-                me,
-                [fp(u64::from(me)), fp(u64::from(me) + 1), fp(100)],
-                usize::MAX,
-            );
-            reduce_global_view(comm, local, 3, usize::MAX)
-        });
+        let out = WorldConfig::default()
+            .launch(8, |comm| {
+                let me = comm.rank();
+                let local = GlobalView::from_local(
+                    me,
+                    [fp(u64::from(me)), fp(u64::from(me) + 1), fp(100)],
+                    usize::MAX,
+                );
+                reduce_global_view(comm, local, 3, usize::MAX)
+            })
+            .expect_all();
         let first = &out.results[0];
         for r in &out.results {
             assert_eq!(r, first, "all ranks must hold the identical view");
@@ -406,14 +408,16 @@ mod tests {
 
     #[test]
     fn reduction_respects_f_threshold() {
-        let out = World::run(5, |comm| {
-            let me = comm.rank();
-            // Every rank holds chunk 0 (freq 5) plus 10 private chunks.
-            let mut ids = vec![0u64];
-            ids.extend((0..10).map(|i| 1000 + u64::from(me) * 100 + i));
-            let local = GlobalView::from_local(me, ids.into_iter().map(fp), 4);
-            reduce_global_view(comm, local, 2, 4)
-        });
+        let out = WorldConfig::default()
+            .launch(5, |comm| {
+                let me = comm.rank();
+                // Every rank holds chunk 0 (freq 5) plus 10 private chunks.
+                let mut ids = vec![0u64];
+                ids.extend((0..10).map(|i| 1000 + u64::from(me) * 100 + i));
+                let local = GlobalView::from_local(me, ids.into_iter().map(fp), 4);
+                reduce_global_view(comm, local, 2, 4)
+            })
+            .expect_all();
         for view in &out.results {
             assert!(view.len() <= 4);
             assert_eq!(
@@ -426,13 +430,15 @@ mod tests {
 
     #[test]
     fn designated_ranks_are_actual_holders() {
-        let out = World::run(6, |comm| {
-            let me = comm.rank();
-            // Even ranks hold chunk 42; odd ranks hold chunk 43.
-            let id = if me % 2 == 0 { 42 } else { 43 };
-            let local = GlobalView::from_local(me, [fp(id)], usize::MAX);
-            reduce_global_view(comm, local, 2, usize::MAX)
-        });
+        let out = WorldConfig::default()
+            .launch(6, |comm| {
+                let me = comm.rank();
+                // Even ranks hold chunk 42; odd ranks hold chunk 43.
+                let id = if me % 2 == 0 { 42 } else { 43 };
+                let local = GlobalView::from_local(me, [fp(id)], usize::MAX);
+                reduce_global_view(comm, local, 2, usize::MAX)
+            })
+            .expect_all();
         let view = &out.results[0];
         for &r in &view.lookup(&fp(42)).unwrap().ranks {
             assert_eq!(r % 2, 0, "designated rank {r} does not hold chunk 42");

@@ -51,7 +51,7 @@ use std::time::Duration;
 use replidedup_hash::{Fingerprint, FpHashSet};
 use replidedup_mpi::wire::{FrameReader, FrameWriter, Wire, WireError, WireResult};
 use replidedup_mpi::{Comm, Tag};
-use replidedup_storage::{DumpId, GcStats, Manifest, StripeKey};
+use replidedup_storage::{DumpId, GcStats, Manifest, SessionId, StripeKey};
 
 use crate::config::Strategy;
 use crate::dump::DumpContext;
@@ -277,6 +277,9 @@ impl Wire for HealCursor {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct HealReport {
+    /// The [`crate::Replicator`] session that drove these steps
+    /// ([`SessionId::DEFAULT`] for an unlabeled session).
+    pub session: SessionId,
     /// Bounded steps driven.
     pub steps: u64,
     /// Chunk copies written to close replication deficits.
@@ -970,7 +973,7 @@ fn transfer_blobs(
 mod tests {
     use super::*;
     use crate::session::Replicator;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::{Cluster, Placement};
 
     #[test]
@@ -1049,13 +1052,15 @@ mod tests {
             .chunk_size(64)
             .build()
             .unwrap();
-        let out = World::run(4, |comm| {
-            let buf = vec![comm.rank() as u8 + 1; 256];
-            repl.dump(comm, 1, buf).unwrap();
-            let mut cursor = HealCursor::new(1);
-            let report = repl.heal_from(comm, &mut cursor).unwrap();
-            (cursor, report)
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let buf = vec![comm.rank() as u8 + 1; 256];
+                repl.dump(comm, 1, buf).unwrap();
+                let mut cursor = HealCursor::new(1);
+                let report = repl.heal_from(comm, &mut cursor).unwrap();
+                (cursor, report)
+            })
+            .expect_all();
         let (c0, r0) = &out.results[0];
         assert!(c0.is_done());
         assert!(r0.is_fully_healed());
@@ -1078,25 +1083,27 @@ mod tests {
             .chunk_size(32)
             .build()
             .unwrap();
-        let out = World::run(4, |comm| {
-            let buf = vec![comm.rank() as u8 * 3 + 1; 400];
-            repl.dump(comm, 1, buf.clone()).unwrap();
-            comm.barrier();
-            if comm.rank() == 0 {
-                repl.cluster().fail_node(2);
-                repl.cluster().revive_node(2);
-            }
-            comm.barrier();
-            let mut cursor = HealCursor::new(1);
-            let mut report = HealReport::default();
-            let mut steps = 0u32;
-            while repl.heal_step(comm, &mut cursor, &mut report).unwrap() {
-                steps += 1;
-                assert!(steps < 1_000, "the cursor must be monotonic");
-            }
-            let after = repl.repair(comm, 1).unwrap();
-            (report, after, repl.restore(comm, 1).unwrap(), buf)
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let buf = vec![comm.rank() as u8 * 3 + 1; 400];
+                repl.dump(comm, 1, buf.clone()).unwrap();
+                comm.barrier();
+                if comm.rank() == 0 {
+                    repl.cluster().fail_node(2);
+                    repl.cluster().revive_node(2);
+                }
+                comm.barrier();
+                let mut cursor = HealCursor::new(1);
+                let mut report = HealReport::default();
+                let mut steps = 0u32;
+                while repl.heal_step(comm, &mut cursor, &mut report).unwrap() {
+                    steps += 1;
+                    assert!(steps < 1_000, "the cursor must be monotonic");
+                }
+                let after = repl.repair(comm, 1).unwrap();
+                (report, after, repl.restore(comm, 1).unwrap(), buf)
+            })
+            .expect_all();
         for (report, after, restored, buf) in out.results {
             assert!(report.is_fully_healed());
             assert!(report.chunks_healed > 0, "the lost node's copies return");
@@ -1118,29 +1125,31 @@ mod tests {
             .chunk_size(32)
             .build()
             .unwrap();
-        let out = World::run(3, |comm| {
-            let buf = vec![comm.rank() as u8 + 5; 320];
-            repl.dump(comm, 1, buf.clone()).unwrap();
-            comm.barrier();
-            if comm.rank() == 0 {
-                repl.cluster().fail_node(1);
-                repl.cluster().revive_node(1);
-            }
-            comm.barrier();
-            // Drive three steps, "kill" the healer, persist the cursor.
-            let mut cursor = HealCursor::new(1);
-            let mut report = HealReport::default();
-            for _ in 0..3 {
-                repl.heal_step(comm, &mut cursor, &mut report).unwrap();
-            }
-            let persisted = cursor.to_bytes();
-            drop(cursor);
-            // A fresh healer resumes from the decoded bytes.
-            let mut resumed = HealCursor::from_bytes(&persisted).unwrap();
-            assert!(!resumed.is_done(), "mid-heal snapshot");
-            let tail = repl.heal_from(comm, &mut resumed).unwrap();
-            (tail, repl.restore(comm, 1).unwrap(), buf)
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let buf = vec![comm.rank() as u8 + 5; 320];
+                repl.dump(comm, 1, buf.clone()).unwrap();
+                comm.barrier();
+                if comm.rank() == 0 {
+                    repl.cluster().fail_node(1);
+                    repl.cluster().revive_node(1);
+                }
+                comm.barrier();
+                // Drive three steps, "kill" the healer, persist the cursor.
+                let mut cursor = HealCursor::new(1);
+                let mut report = HealReport::default();
+                for _ in 0..3 {
+                    repl.heal_step(comm, &mut cursor, &mut report).unwrap();
+                }
+                let persisted = cursor.to_bytes();
+                drop(cursor);
+                // A fresh healer resumes from the decoded bytes.
+                let mut resumed = HealCursor::from_bytes(&persisted).unwrap();
+                assert!(!resumed.is_done(), "mid-heal snapshot");
+                let tail = repl.heal_from(comm, &mut resumed).unwrap();
+                (tail, repl.restore(comm, 1).unwrap(), buf)
+            })
+            .expect_all();
         for (tail, restored, buf) in out.results {
             assert!(tail.is_fully_healed());
             assert_eq!(restored, buf);
@@ -1158,19 +1167,21 @@ mod tests {
             .chunk_size(64)
             .build()
             .unwrap();
-        let out = World::run(3, |comm| {
-            let buf = vec![comm.rank() as u8 + 9; 200];
-            repl.dump(comm, 1, buf.clone()).unwrap();
-            comm.barrier();
-            if comm.rank() == 0 {
-                repl.cluster().fail_node(0);
-                repl.cluster().revive_node(0);
-            }
-            comm.barrier();
-            let mut cursor = HealCursor::new(1);
-            let report = repl.heal_from(comm, &mut cursor).unwrap();
-            (report, repl.restore(comm, 1).unwrap(), buf)
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let buf = vec![comm.rank() as u8 + 9; 200];
+                repl.dump(comm, 1, buf.clone()).unwrap();
+                comm.barrier();
+                if comm.rank() == 0 {
+                    repl.cluster().fail_node(0);
+                    repl.cluster().revive_node(0);
+                }
+                comm.barrier();
+                let mut cursor = HealCursor::new(1);
+                let report = repl.heal_from(comm, &mut cursor).unwrap();
+                (report, repl.restore(comm, 1).unwrap(), buf)
+            })
+            .expect_all();
         for (report, restored, buf) in out.results {
             assert!(report.is_fully_healed());
             assert!(report.blobs_rematerialized > 0);
@@ -1194,16 +1205,18 @@ mod tests {
             })
             .build()
             .unwrap();
-        let out = World::run(3, |comm| {
-            repl.dump(comm, 1, vec![comm.rank() as u8 + 1; 128])
-                .unwrap();
-            let buf = vec![comm.rank() as u8 + 101; 128];
-            repl.dump(comm, 2, buf.clone()).unwrap();
-            comm.barrier();
-            let mut cursor = HealCursor::new(2);
-            let report = repl.heal_from(comm, &mut cursor).unwrap();
-            (report, repl.restore(comm, 2).unwrap(), buf)
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                repl.dump(comm, 1, vec![comm.rank() as u8 + 1; 128])
+                    .unwrap();
+                let buf = vec![comm.rank() as u8 + 101; 128];
+                repl.dump(comm, 2, buf.clone()).unwrap();
+                comm.barrier();
+                let mut cursor = HealCursor::new(2);
+                let report = repl.heal_from(comm, &mut cursor).unwrap();
+                (report, repl.restore(comm, 2).unwrap(), buf)
+            })
+            .expect_all();
         for (report, restored, buf) in out.results {
             assert_eq!(report.gc.generations_collected, 1, "gen 1 collected");
             assert!(report.gc.bytes_reclaimed > 0);
@@ -1229,18 +1242,20 @@ mod tests {
                 })
                 .build()
                 .unwrap();
-            let out = World::run(3, |comm| {
-                repl.dump(comm, 1, vec![comm.rank() as u8 + 1; 192])
-                    .unwrap();
-                comm.barrier();
-                if comm.rank() == 0 {
-                    repl.cluster().fail_node(2);
-                    repl.cluster().revive_node(2);
-                }
-                comm.barrier();
-                let mut cursor = HealCursor::new(1);
-                repl.heal_from(comm, &mut cursor).unwrap()
-            });
+            let out = WorldConfig::default()
+                .launch(3, |comm| {
+                    repl.dump(comm, 1, vec![comm.rank() as u8 + 1; 192])
+                        .unwrap();
+                    comm.barrier();
+                    if comm.rank() == 0 {
+                        repl.cluster().fail_node(2);
+                        repl.cluster().revive_node(2);
+                    }
+                    comm.barrier();
+                    let mut cursor = HealCursor::new(1);
+                    repl.heal_from(comm, &mut cursor).unwrap()
+                })
+                .expect_all();
             out.results.into_iter().next().unwrap()
         };
         let free = run(None);

@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use replidedup_core::{Replicator, Strategy};
-//! use replidedup_mpi::World;
+//! use replidedup_mpi::WorldConfig;
 //! use replidedup_storage::{Cluster, Placement};
 //!
 //! let cluster = Cluster::new(Placement::one_per_node(4));
@@ -35,13 +35,13 @@
 //!     .chunk_size(64)
 //!     .build()
 //!     .expect("valid config");
-//! let out = World::run(4, |comm| {
+//! let out = WorldConfig::default().launch(4, |comm| {
 //!     let buf = vec![comm.rank() as u8; 256];
 //!     let stats = repl.dump(comm, 1, &buf).unwrap();
 //!     let restored = repl.restore(comm, 1).unwrap();
 //!     assert_eq!(restored, buf);
 //!     stats
-//! });
+//! }).expect_all();
 //! assert!(out.results.iter().all(|s| s.k == 3));
 //! ```
 
@@ -71,6 +71,7 @@ pub use offsets::{window_plan, WindowPlan};
 pub use plan::{plan_chunks, ChunkPlan};
 pub use repair::{RepairError, RepairStats, REPAIR_PHASES};
 pub use replidedup_hash::{ChunkerKind, GearParams, RabinParams};
+pub use replidedup_storage::SessionId;
 pub use restore::RestoreError;
 pub use retry::{Backoff, RetryPolicy};
 pub use session::{ReplError, Replicator, ReplicatorBuilder};

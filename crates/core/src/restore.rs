@@ -491,7 +491,7 @@ mod tests {
     use crate::dump::dump_impl;
     use replidedup_buf::Chunk;
     use replidedup_hash::Sha1ChunkHasher;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::{Cluster, Placement};
 
     fn buffer_of(rank: u32) -> Vec<u8> {
@@ -513,21 +513,23 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(strategy)
             .with_replication(k)
             .with_chunk_size(64);
-        let out = World::run(n, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = buffer_of(comm.rank());
-            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
-            comm.barrier();
-            if comm.rank() == 0 {
-                between(&cluster);
-            }
-            comm.barrier();
-            after(comm, &ctx)
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = buffer_of(comm.rank());
+                dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
+                comm.barrier();
+                if comm.rank() == 0 {
+                    between(&cluster);
+                }
+                comm.barrier();
+                after(comm, &ctx)
+            })
+            .expect_all();
         out.results
     }
 
@@ -693,44 +695,46 @@ mod tests {
         let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
             .with_replication(2)
             .with_chunk_size(64);
-        let out = World::run(3, |comm| {
-            let rank = comm.rank();
-            let ctx1 = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            dump_impl(comm, &ctx1, &Chunk::from(&[rank as u8; 100][..]), &cfg).unwrap();
-            let ctx2 = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 2,
-            };
-            dump_impl(
-                comm,
-                &ctx2,
-                &Chunk::from(&[rank as u8 + 100; 100][..]),
-                &cfg,
-            )
-            .unwrap();
-            let b1 = restore_impl(
-                comm,
-                &ctx1,
-                Strategy::CollDedup,
-                &RetryPolicy::default_restore(),
-            )
-            .map(Vec::from)
-            .unwrap();
-            let b2 = restore_impl(
-                comm,
-                &ctx2,
-                Strategy::CollDedup,
-                &RetryPolicy::default_restore(),
-            )
-            .map(Vec::from)
-            .unwrap();
-            (b1, b2, rank)
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let rank = comm.rank();
+                let ctx1 = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                dump_impl(comm, &ctx1, &Chunk::from(&[rank as u8; 100][..]), &cfg).unwrap();
+                let ctx2 = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 2,
+                };
+                dump_impl(
+                    comm,
+                    &ctx2,
+                    &Chunk::from(&[rank as u8 + 100; 100][..]),
+                    &cfg,
+                )
+                .unwrap();
+                let b1 = restore_impl(
+                    comm,
+                    &ctx1,
+                    Strategy::CollDedup,
+                    &RetryPolicy::default_restore(),
+                )
+                .map(Vec::from)
+                .unwrap();
+                let b2 = restore_impl(
+                    comm,
+                    &ctx2,
+                    Strategy::CollDedup,
+                    &RetryPolicy::default_restore(),
+                )
+                .map(Vec::from)
+                .unwrap();
+                (b1, b2, rank)
+            })
+            .expect_all();
         for (b1, b2, rank) in out.results {
             assert_eq!(b1, vec![rank as u8; 100]);
             assert_eq!(b2, vec![rank as u8 + 100; 100]);
@@ -749,24 +753,26 @@ mod tests {
             .with_replication(3)
             .with_chunk_size(64)
             .with_policy(RedundancyPolicy::Rs { k: 4, m: 2 });
-        let out = World::run(n, |comm| {
-            let ctx = DumpContext {
-                cluster: &cluster,
-                hasher: &Sha1ChunkHasher,
-                dump_id: 1,
-            };
-            let buf = buffer_of(comm.rank());
-            dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
-            comm.barrier();
-            restore_impl(
-                comm,
-                &ctx,
-                Strategy::CollDedup,
-                &RetryPolicy::default_restore(),
-            )
-            .map(Vec::from)
-            .expect("restore reconstructs coded chunks")
-        });
+        let out = WorldConfig::default()
+            .launch(n, |comm| {
+                let ctx = DumpContext {
+                    cluster: &cluster,
+                    hasher: &Sha1ChunkHasher,
+                    dump_id: 1,
+                };
+                let buf = buffer_of(comm.rank());
+                dump_impl(comm, &ctx, &Chunk::from(&buf[..]), &cfg).expect("dump");
+                comm.barrier();
+                restore_impl(
+                    comm,
+                    &ctx,
+                    Strategy::CollDedup,
+                    &RetryPolicy::default_restore(),
+                )
+                .map(Vec::from)
+                .expect("restore reconstructs coded chunks")
+            })
+            .expect_all();
         for (rank, buf) in out.results.into_iter().enumerate() {
             assert_eq!(buf, buffer_of(rank as u32), "rank {rank} byte-exact");
         }

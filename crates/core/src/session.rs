@@ -13,7 +13,7 @@
 use replidedup_buf::Chunk;
 use replidedup_hash::{ChunkHasher, ChunkerKind, Sha1ChunkHasher};
 use replidedup_mpi::{Comm, CommError};
-use replidedup_storage::{Cluster, DumpId, ScrubReport};
+use replidedup_storage::{Cluster, DumpId, ScrubReport, SessionId};
 
 use crate::config::{ConfigError, DumpConfig, RedundancyPolicy, Strategy};
 use crate::dump::{dump_impl, DumpContext, DumpError};
@@ -111,6 +111,7 @@ pub struct ReplicatorBuilder<'a> {
     tracing: Option<bool>,
     retry: RetryPolicy,
     heal: HealOptions,
+    session_label: Option<String>,
 }
 
 impl std::fmt::Debug for ReplicatorBuilder<'_> {
@@ -121,6 +122,7 @@ impl std::fmt::Debug for ReplicatorBuilder<'_> {
             .field("tracing", &self.tracing)
             .field("retry", &self.retry)
             .field("heal", &self.heal)
+            .field("session_label", &self.session_label)
             .finish_non_exhaustive() // hasher is a plain trait object
     }
 }
@@ -220,10 +222,36 @@ impl<'a> ReplicatorBuilder<'a> {
         self
     }
 
+    /// Name this session on the cluster. Labeled sessions get their own
+    /// [`SessionId`]: a private dump-id generation space and a private
+    /// point-to-point tag namespace, so several labeled [`Replicator`]s
+    /// can dump, restore and heal against the same cluster concurrently
+    /// without their generations or in-flight messages colliding.
+    ///
+    /// Labels must be unique among *live* sessions on the cluster —
+    /// [`ReplicatorBuilder::build`] returns
+    /// [`ConfigError::DuplicateSession`] otherwise. The registration is
+    /// released when the [`Replicator`] is dropped, but its [`SessionId`]
+    /// is never reused, so a crashed session's stale messages and
+    /// generations can never alias a later one's.
+    pub fn session_label(mut self, label: impl Into<String>) -> Self {
+        self.session_label = Some(label.into());
+        self
+    }
+
     /// Validate and build the session.
     pub fn build(self) -> Result<Replicator<'a>, ConfigError> {
         self.cfg.validate()?;
         let cluster = self.cluster.ok_or(ConfigError::MissingCluster)?;
+        let session =
+            match &self.session_label {
+                Some(label) => Some(cluster.begin_session(label).ok_or_else(|| {
+                    ConfigError::DuplicateSession {
+                        label: label.clone(),
+                    }
+                })?),
+                None => None,
+            };
         Ok(Replicator {
             cfg: self.cfg,
             cluster,
@@ -231,6 +259,7 @@ impl<'a> ReplicatorBuilder<'a> {
             tracing: self.tracing,
             retry: self.retry,
             heal: self.heal,
+            session,
         })
     }
 }
@@ -240,7 +269,7 @@ impl<'a> ReplicatorBuilder<'a> {
 ///
 /// ```
 /// use replidedup_core::{Replicator, Strategy};
-/// use replidedup_mpi::World;
+/// use replidedup_mpi::WorldConfig;
 /// use replidedup_storage::{Cluster, Placement};
 ///
 /// let cluster = Cluster::new(Placement::one_per_node(4));
@@ -250,12 +279,12 @@ impl<'a> ReplicatorBuilder<'a> {
 ///     .chunk_size(64)
 ///     .build()
 ///     .unwrap();
-/// let out = World::run(4, |comm| {
+/// let out = WorldConfig::default().launch(4, |comm| {
 ///     let buf = vec![comm.rank() as u8; 256];
 ///     // Passing the Vec by value enters the zero-copy path.
 ///     repl.dump(comm, 1, buf.clone()).unwrap();
 ///     assert_eq!(repl.restore(comm, 1).unwrap(), buf);
-/// });
+/// }).expect_all();
 /// ```
 pub struct Replicator<'a> {
     cfg: DumpConfig,
@@ -264,6 +293,17 @@ pub struct Replicator<'a> {
     tracing: Option<bool>,
     retry: RetryPolicy,
     heal: HealOptions,
+    session: Option<SessionId>,
+}
+
+impl Drop for Replicator<'_> {
+    fn drop(&mut self) {
+        // Release the label so it can be claimed again; the SessionId
+        // itself is never reused (see `Cluster::begin_session`).
+        if let Some(id) = self.session {
+            self.cluster.end_session(id);
+        }
+    }
 }
 
 impl std::fmt::Debug for Replicator<'_> {
@@ -272,6 +312,7 @@ impl std::fmt::Debug for Replicator<'_> {
             .field("cfg", &self.cfg)
             .field("tracing", &self.tracing)
             .field("retry", &self.retry)
+            .field("session", &self.session)
             .finish_non_exhaustive() // cluster/hasher carry no useful Debug
     }
 }
@@ -288,6 +329,7 @@ impl<'a> Replicator<'a> {
             tracing: None,
             retry: RetryPolicy::default_restore(),
             heal: HealOptions::default(),
+            session_label: None,
         }
     }
 
@@ -306,10 +348,25 @@ impl<'a> Replicator<'a> {
         self.cluster
     }
 
-    fn apply_tracing(&self, comm: &mut Comm) {
+    /// The session id this replicator operates under:
+    /// [`SessionId::DEFAULT`] unless the builder registered a
+    /// [`ReplicatorBuilder::session_label`].
+    pub fn session_id(&self) -> SessionId {
+        self.session.unwrap_or(SessionId::DEFAULT)
+    }
+
+    /// Fold the session into `dump_id`: labeled sessions address their
+    /// own generation space ([`SessionId::scope`]); the default session
+    /// keeps raw ids, so unlabeled callers see the historical layout.
+    fn scoped_id(&self, dump_id: DumpId) -> DumpId {
+        self.session_id().scope(dump_id)
+    }
+
+    fn apply_session(&self, comm: &mut Comm) {
         if let Some(on) = self.tracing {
             comm.set_tracing(on);
         }
+        comm.set_tag_namespace(self.session_id().as_u16());
     }
 
     /// Collective `DUMP_OUTPUT(buffer, K)`: dump `data` as generation
@@ -326,13 +383,18 @@ impl<'a> Replicator<'a> {
         dump_id: DumpId,
         data: impl Into<Chunk>,
     ) -> Result<DumpStats, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
-            dump_id,
+            dump_id: self.scoped_id(dump_id),
         };
-        dump_impl(comm, &ctx, &data.into(), &self.cfg).map_err(ReplError::from)
+        dump_impl(comm, &ctx, &data.into(), &self.cfg)
+            .map(|mut stats| {
+                stats.session = self.session_id();
+                stats
+            })
+            .map_err(ReplError::from)
     }
 
     /// Collective restore of this rank's buffer from generation `dump_id`.
@@ -341,11 +403,11 @@ impl<'a> Replicator<'a> {
     /// Returns the reassembled buffer as a [`Chunk`]; callers that need a
     /// `Vec<u8>` can use `Vec::from(chunk)` (one recorded copy).
     pub fn restore(&self, comm: &mut Comm, dump_id: DumpId) -> Result<Chunk, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
-            dump_id,
+            dump_id: self.scoped_id(dump_id),
         };
         restore_impl(comm, &ctx, self.cfg.strategy, &self.retry).map_err(ReplError::from)
     }
@@ -361,11 +423,11 @@ impl<'a> Replicator<'a> {
     /// after a crash converges. Must be called by every rank of the world
     /// (a revived node's ranks included).
     pub fn repair(&self, comm: &mut Comm, dump_id: DumpId) -> Result<RepairStats, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
-            dump_id,
+            dump_id: self.scoped_id(dump_id),
         };
         let k = self.cfg.policy.hmerge_k(self.cfg.replication);
         repair_impl(comm, &ctx, self.cfg.strategy, k).map_err(ReplError::from)
@@ -377,7 +439,7 @@ impl<'a> Replicator<'a> {
     /// [`ReplicatorBuilder::heal_options`]) that other collectives can
     /// interleave with. Must be called by every rank of the world.
     pub fn heal(&self, comm: &mut Comm, dump_id: DumpId) -> Result<HealReport, ReplError> {
-        let mut cursor = HealCursor::new(dump_id);
+        let mut cursor = HealCursor::new(self.scoped_id(dump_id));
         self.heal_from(comm, &mut cursor)
     }
 
@@ -391,14 +453,19 @@ impl<'a> Replicator<'a> {
         comm: &mut Comm,
         cursor: &mut HealCursor,
     ) -> Result<HealReport, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
             dump_id: cursor.dump_id,
         };
         let k = self.cfg.policy.hmerge_k(self.cfg.replication);
-        heal_impl(comm, &ctx, self.cfg.strategy, k, &self.heal, cursor).map_err(ReplError::from)
+        heal_impl(comm, &ctx, self.cfg.strategy, k, &self.heal, cursor)
+            .map(|mut report| {
+                report.session = self.session_id();
+                report
+            })
+            .map_err(ReplError::from)
     }
 
     /// Advance one bounded healing step, folding what it did into
@@ -413,7 +480,7 @@ impl<'a> Replicator<'a> {
         cursor: &mut HealCursor,
         report: &mut HealReport,
     ) -> Result<bool, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
@@ -421,6 +488,7 @@ impl<'a> Replicator<'a> {
         };
         let k = self.cfg.policy.hmerge_k(self.cfg.replication);
         let mut bucket = self.heal.rate.map(TokenBucket::new);
+        report.session = self.session_id();
         heal_step_impl(
             comm,
             &ctx,
@@ -440,7 +508,7 @@ impl<'a> Replicator<'a> {
     /// cluster-wide [`ScrubReport`]. Read-only — use
     /// [`Replicator::repair`] to act on what it finds.
     pub fn scrub(&self, comm: &mut Comm) -> Result<ScrubReport, ReplError> {
-        self.apply_tracing(comm);
+        self.apply_session(comm);
         let ctx = DumpContext {
             cluster: self.cluster,
             hasher: self.hasher,
@@ -454,7 +522,7 @@ impl<'a> Replicator<'a> {
 mod tests {
     use super::*;
     use replidedup_hash::FnvChunkHasher;
-    use replidedup_mpi::World;
+    use replidedup_mpi::WorldConfig;
     use replidedup_storage::Placement;
     use std::error::Error as _;
 
@@ -522,11 +590,13 @@ mod tests {
                 .chunk_size(64)
                 .build()
                 .unwrap();
-            let out = World::run(3, |comm| {
-                let buf = vec![comm.rank() as u8 + 1; 300];
-                repl.dump(comm, 7, &buf).unwrap();
-                (repl.restore(comm, 7).unwrap(), buf)
-            });
+            let out = WorldConfig::default()
+                .launch(3, |comm| {
+                    let buf = vec![comm.rank() as u8 + 1; 300];
+                    repl.dump(comm, 7, &buf).unwrap();
+                    (repl.restore(comm, 7).unwrap(), buf)
+                })
+                .expect_all();
             for (restored, original) in out.results {
                 assert_eq!(restored, original, "{}", strategy.label());
             }
@@ -542,13 +612,15 @@ mod tests {
             .chunk_size(32)
             .build()
             .unwrap();
-        let out = World::run(2, |comm| {
-            for gen in 1..=3u64 {
-                let buf = vec![(comm.rank() as u8) ^ (gen as u8); 128];
-                repl.dump(comm, gen, &buf).unwrap();
-            }
-            repl.restore(comm, 2).unwrap()
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                for gen in 1..=3u64 {
+                    let buf = vec![(comm.rank() as u8) ^ (gen as u8); 128];
+                    repl.dump(comm, gen, &buf).unwrap();
+                }
+                repl.restore(comm, 2).unwrap()
+            })
+            .expect_all();
         assert_eq!(out.results[0], vec![2u8; 128]);
         assert_eq!(out.results[1], vec![1u8 ^ 2; 128]);
     }
@@ -565,6 +637,79 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_session_labels_are_rejected_until_dropped() {
+        let c = cluster(2);
+        let build = |label: &str| {
+            Replicator::builder(Strategy::CollDedup)
+                .cluster(&c)
+                .replication(2)
+                .chunk_size(64)
+                .session_label(label)
+                .build()
+        };
+        let a = build("app-a").unwrap();
+        let id_a = a.session_id();
+        assert_ne!(id_a, SessionId::DEFAULT);
+        assert_eq!(
+            build("app-a").err().unwrap(),
+            ConfigError::DuplicateSession {
+                label: "app-a".into()
+            }
+        );
+        let b = build("app-b").unwrap();
+        assert_ne!(b.session_id(), id_a);
+        drop(a);
+        // The label frees on drop, but the id is never reused.
+        let a2 = build("app-a").unwrap();
+        assert_ne!(a2.session_id(), id_a);
+        assert_ne!(a2.session_id(), b.session_id());
+    }
+
+    #[test]
+    fn labeled_sessions_partition_generations_and_stamp_stats() {
+        let c = cluster(2);
+        let mk = |label: &str| {
+            Replicator::builder(Strategy::CollDedup)
+                .cluster(&c)
+                .replication(2)
+                .chunk_size(32)
+                .session_label(label)
+                .build()
+                .unwrap()
+        };
+        let a = mk("writer-a");
+        let b = mk("writer-b");
+        // The same user-facing dump id in both sessions, different data.
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let buf_a = vec![0xAAu8 ^ comm.rank() as u8; 128];
+                let buf_b = vec![0xBBu8 ^ comm.rank() as u8; 128];
+                let sa = a.dump(comm, 1, &buf_a).unwrap();
+                let sb = b.dump(comm, 1, &buf_b).unwrap();
+                assert_eq!(sa.session, a.session_id());
+                assert_eq!(sb.session, b.session_id());
+                let ra = Vec::from(a.restore(comm, 1).unwrap());
+                let rb = Vec::from(b.restore(comm, 1).unwrap());
+                (ra == buf_a, rb == buf_b)
+            })
+            .expect_all();
+        assert!(out.results.iter().all(|&(ra, rb)| ra && rb));
+    }
+
+    #[test]
+    fn default_session_keeps_raw_dump_ids() {
+        let c = cluster(2);
+        let repl = Replicator::builder(Strategy::LocalDedup)
+            .cluster(&c)
+            .replication(2)
+            .chunk_size(64)
+            .build()
+            .unwrap();
+        assert_eq!(repl.session_id(), SessionId::DEFAULT);
+        assert_eq!(repl.scoped_id(42), 42);
+    }
+
+    #[test]
     fn session_tracing_override_enables_recorder() {
         let c = cluster(2);
         let repl = Replicator::builder(Strategy::CollDedup)
@@ -574,10 +719,12 @@ mod tests {
             .tracing(true)
             .build()
             .unwrap();
-        let out = World::run(2, |comm| {
-            repl.dump(comm, 1, &[7u8; 128]).unwrap();
-            comm.take_trace_events().len()
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                repl.dump(comm, 1, &[7u8; 128]).unwrap();
+                comm.take_trace_events().len()
+            })
+            .expect_all();
         assert!(
             out.results.iter().all(|&n| n > 0),
             "tracing(true) must record events"

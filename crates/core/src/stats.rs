@@ -6,6 +6,8 @@
 //! sizes (Figs. 4(c)/5(c)). Byte counts are *measured* from the runtime's
 //! traffic instrumentation and the storage layer, never estimated.
 
+use replidedup_storage::SessionId;
+
 use crate::config::Strategy;
 
 /// Statistics of the collective fingerprint reduction (coll-dedup only).
@@ -26,6 +28,9 @@ pub struct ReductionStats {
 pub struct DumpStats {
     /// Rank these statistics belong to.
     pub rank: u32,
+    /// The [`crate::Replicator`] session that drove this dump
+    /// ([`SessionId::DEFAULT`] for an unlabeled session).
+    pub session: SessionId,
     /// Effective replication factor (clamped to the world size).
     pub k: u32,
     /// Buffer length in bytes.
@@ -110,7 +115,7 @@ pub struct WorldDumpStats {
 }
 
 impl WorldDumpStats {
-    /// Assemble from per-rank stats (as returned by `World::run`).
+    /// Assemble from per-rank stats (as returned by `WorldConfig::launch`).
     pub fn from_ranks(strategy: Strategy, chunk_size: usize, ranks: Vec<DumpStats>) -> Self {
         let view_entries = ranks
             .first()

@@ -550,19 +550,21 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::comm::{World, WorldConfig};
+    use crate::comm::WorldConfig;
     use crate::fault::{CommError, FaultPlan, FaultTrigger};
     use std::time::Duration;
 
     #[test]
     fn barrier_all_sizes() {
         for n in [1u32, 2, 3, 4, 7, 8, 13] {
-            let out = World::run(n, |comm| {
-                for _ in 0..3 {
-                    comm.barrier();
-                }
-                comm.rank()
-            });
+            let out = WorldConfig::default()
+                .launch(n, |comm| {
+                    for _ in 0..3 {
+                        comm.barrier();
+                    }
+                    comm.rank()
+                })
+                .expect_all();
             assert_eq!(out.results.len(), n as usize);
         }
     }
@@ -571,10 +573,12 @@ mod tests {
     fn bcast_from_every_root() {
         for n in [1u32, 2, 3, 5, 8] {
             for root in 0..n {
-                let out = World::run(n, move |comm| {
-                    let v = (comm.rank() == root).then(|| vec![root, 42u32]);
-                    comm.bcast(root, v)
-                });
+                let out = WorldConfig::default()
+                    .launch(n, move |comm| {
+                        let v = (comm.rank() == root).then(|| vec![root, 42u32]);
+                        comm.bcast(root, v)
+                    })
+                    .expect_all();
                 for r in out.results {
                     assert_eq!(r, vec![root, 42]);
                 }
@@ -585,9 +589,11 @@ mod tests {
     #[test]
     fn allreduce_sum_matches_closed_form() {
         for n in [1u32, 2, 3, 4, 5, 6, 7, 8, 12, 17] {
-            let out = World::run(n, |comm| {
-                comm.allreduce(u64::from(comm.rank()) + 1, |a, b| a + b)
-            });
+            let out = WorldConfig::default()
+                .launch(n, |comm| {
+                    comm.allreduce(u64::from(comm.rank()) + 1, |a, b| a + b)
+                })
+                .expect_all();
             let expect = u64::from(n) * (u64::from(n) + 1) / 2;
             for r in out.results {
                 assert_eq!(r, expect, "n={n}");
@@ -601,12 +607,14 @@ mod tests {
         // the result must contain each contribution exactly once. In
         // power-of-two worlds the order is additionally rank order.
         for n in [2u32, 3, 5, 8, 11, 16] {
-            let out = World::run(n, |comm| {
-                comm.allreduce(vec![comm.rank()], |mut a, b| {
-                    a.extend(b);
-                    a
+            let out = WorldConfig::default()
+                .launch(n, |comm| {
+                    comm.allreduce(vec![comm.rank()], |mut a, b| {
+                        a.extend(b);
+                        a
+                    })
                 })
-            });
+                .expect_all();
             let first = out.results[0].clone();
             for r in &out.results {
                 assert_eq!(*r, first, "n={n}: ranks disagree on merge order");
@@ -626,13 +634,17 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let out = World::run(6, |comm| comm.allreduce(comm.rank(), |a, b| a.max(b)));
+        let out = WorldConfig::default()
+            .launch(6, |comm| comm.allreduce(comm.rank(), |a, b| a.max(b)))
+            .expect_all();
         assert!(out.results.iter().all(|&r| r == 5));
     }
 
     #[test]
     fn reduce_only_root_gets_result() {
-        let out = World::run(5, |comm| comm.reduce(2, 1u64, |a, b| a + b));
+        let out = WorldConfig::default()
+            .launch(5, |comm| comm.reduce(2, 1u64, |a, b| a + b))
+            .expect_all();
         for (rank, r) in out.results.iter().enumerate() {
             if rank == 2 {
                 assert_eq!(*r, Some(5));
@@ -644,7 +656,9 @@ mod tests {
 
     #[test]
     fn gather_is_rank_ordered() {
-        let out = World::run(6, |comm| comm.gather(0, comm.rank() * comm.rank()));
+        let out = WorldConfig::default()
+            .launch(6, |comm| comm.gather(0, comm.rank() * comm.rank()))
+            .expect_all();
         assert_eq!(out.results[0], Some(vec![0, 1, 4, 9, 16, 25]));
         assert!(out.results[1..].iter().all(Option::is_none));
     }
@@ -652,7 +666,9 @@ mod tests {
     #[test]
     fn allgather_all_sizes() {
         for n in [1u32, 2, 3, 4, 7, 9, 16] {
-            let out = World::run(n, |comm| comm.allgather(u64::from(comm.rank()) * 3));
+            let out = WorldConfig::default()
+                .launch(n, |comm| comm.allgather(u64::from(comm.rank()) * 3))
+                .expect_all();
             let expect: Vec<u64> = (0..u64::from(n)).map(|r| r * 3).collect();
             for r in out.results {
                 assert_eq!(r, expect, "n={n}");
@@ -662,10 +678,12 @@ mod tests {
 
     #[test]
     fn allgather_heterogeneous_payload_sizes() {
-        let out = World::run(4, |comm| {
-            let v: Vec<u8> = vec![comm.rank() as u8; comm.rank() as usize * 3];
-            comm.allgather(v)
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let v: Vec<u8> = vec![comm.rank() as u8; comm.rank() as usize * 3];
+                comm.allgather(v)
+            })
+            .expect_all();
         for r in out.results {
             assert_eq!(r.len(), 4);
             for (i, v) in r.iter().enumerate() {
@@ -677,16 +695,18 @@ mod tests {
 
     #[test]
     fn alltoallv_exchanges_personalized_buffers() {
-        let out = World::run(4, |comm| {
-            let me = comm.rank() as u8;
-            let sends: Vec<bytes::Bytes> = (0..4u8)
-                .map(|d| bytes::Bytes::from(vec![me * 16 + d; usize::from(d) + 1]))
-                .collect();
-            comm.alltoallv(sends)
-                .iter()
-                .map(|b| b.to_vec())
-                .collect::<Vec<_>>()
-        });
+        let out = WorldConfig::default()
+            .launch(4, |comm| {
+                let me = comm.rank() as u8;
+                let sends: Vec<bytes::Bytes> = (0..4u8)
+                    .map(|d| bytes::Bytes::from(vec![me * 16 + d; usize::from(d) + 1]))
+                    .collect();
+                comm.alltoallv(sends)
+                    .iter()
+                    .map(|b| b.to_vec())
+                    .collect::<Vec<_>>()
+            })
+            .expect_all();
         for (me, recvs) in out.results.iter().enumerate() {
             for (src, buf) in recvs.iter().enumerate() {
                 assert_eq!(buf.len(), me + 1, "rank {me} from {src}");
@@ -698,13 +718,15 @@ mod tests {
     #[test]
     fn collectives_compose_in_sequence() {
         // Back-to-back collectives must not steal each other's messages.
-        let out = World::run(5, |comm| {
-            let sum = comm.allreduce(1u64, |a, b| a + b);
-            comm.barrier();
-            let all = comm.allgather(comm.rank());
-            let b = comm.bcast(3, (comm.rank() == 3).then_some(sum));
-            (sum, all.len() as u64, b)
-        });
+        let out = WorldConfig::default()
+            .launch(5, |comm| {
+                let sum = comm.allreduce(1u64, |a, b| a + b);
+                comm.barrier();
+                let all = comm.allgather(comm.rank());
+                let b = comm.bcast(3, (comm.rank() == 3).then_some(sum));
+                (sum, all.len() as u64, b)
+            })
+            .expect_all();
         for r in out.results {
             assert_eq!(r, (5, 5, 5));
         }
@@ -712,17 +734,21 @@ mod tests {
 
     #[test]
     fn traffic_conservation_across_collectives() {
-        let out = World::run(7, |comm| {
-            comm.allreduce(vec![comm.rank(); 10], |a, _| a);
-            comm.allgather(comm.rank());
-            comm.barrier();
-        });
+        let out = WorldConfig::default()
+            .launch(7, |comm| {
+                comm.allreduce(vec![comm.rank(); 10], |a, _| a);
+                comm.allgather(comm.rank());
+                comm.barrier();
+            })
+            .expect_all();
         assert_eq!(out.traffic.total_sent(), out.traffic.total_recv());
     }
 
     #[test]
     fn allreduce_large_world() {
-        let out = World::run(64, |comm| comm.allreduce(1u64, |a, b| a + b));
+        let out = WorldConfig::default()
+            .launch(64, |comm| comm.allreduce(1u64, |a, b| a + b))
+            .expect_all();
         assert!(out.results.iter().all(|&r| r == 64));
     }
 
@@ -737,9 +763,7 @@ mod tests {
         // Rank 2 dies at the start of the collective; every survivor gets
         // a RankFailed error instead of hanging or panicking.
         let plan = FaultPlan::new(11).crash(2, FaultTrigger::PhaseStart("coll_allreduce".into()));
-        let out = World::run_faulty(5, &fault_config(plan), |comm| {
-            comm.try_allreduce(1u64, |a, b| a + b)
-        });
+        let out = fault_config(plan).launch(5, |comm| comm.try_allreduce(1u64, |a, b| a + b));
         assert_eq!(out.crashed_ranks(), vec![2]);
         for (rank, o) in out.outcomes.iter().enumerate() {
             if rank == 2 {
@@ -758,7 +782,7 @@ mod tests {
         // Rank 1 dies between two barriers: whatever each survivor saw of
         // the first barrier, all of them must fail the second at entry.
         let plan = FaultPlan::new(12).crash(1, FaultTrigger::PhaseEnd("coll_barrier".into()));
-        let out = World::run_faulty(4, &fault_config(plan), |comm| {
+        let out = fault_config(plan).launch(4, |comm| {
             let first = comm.try_barrier();
             let second = comm.try_barrier();
             (first, second)
@@ -780,7 +804,7 @@ mod tests {
     #[test]
     fn group_collectives_run_among_survivors() {
         let plan = FaultPlan::new(13).crash(2, FaultTrigger::PhaseStart("coll_barrier".into()));
-        let out = World::run_faulty(5, &fault_config(plan), |comm| {
+        let out = fault_config(plan).launch(5, |comm| {
             let _ = comm.try_barrier();
             let group = comm.live_ranks();
             comm.try_barrier_group(&group)?;

@@ -14,6 +14,7 @@
 //! timings.
 
 use std::collections::{HashMap, VecDeque};
+use std::num::NonZeroUsize;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
@@ -24,9 +25,10 @@ use replidedup_trace::{Tracer, WorldTrace};
 use crate::fault::{
     CommError, Fault, FaultAction, FaultPlan, FaultRuntime, FaultTrigger, InjectedCrash,
 };
+use crate::sched::{self, SchedSlot};
 use crate::stats::{RankCounters, TrafficReport, Transport};
 use crate::window::WinBuf;
-use crate::wire::{Chunk, Frame, Wire};
+use crate::wire::{self, Chunk, Frame, Wire};
 
 /// Rank index within a world (MPI `comm_rank`).
 pub type Rank = u32;
@@ -66,7 +68,9 @@ pub(crate) enum CtrlMsg {
     Dead { src: Rank },
 }
 
-/// Configuration for a [`World`] run.
+/// Configuration for a [`World`] run. The one launch entry point is
+/// [`WorldConfig::launch`]; everything a run can vary — worker pool size,
+/// fault schedule, tracing, receive timeout — lives here.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
     /// How long a blocking receive may wait before the runtime declares the
@@ -79,6 +83,12 @@ pub struct WorldConfig {
     /// (the default) keeps the fault machinery entirely out of the hot
     /// paths.
     pub faults: Option<FaultPlan>,
+    /// Bound on simultaneously *runnable* ranks. `None` (the default) is
+    /// classic thread-per-rank execution; `Some(w)` multiplexes all ranks
+    /// onto `w` worker slots via [`crate::sched`], parking ranks at
+    /// blocking collective/RMA edges. Results and trace span sets are
+    /// identical either way — only wall-clock interleaving changes.
+    pub workers: Option<NonZeroUsize>,
 }
 
 impl Default for WorldConfig {
@@ -87,6 +97,7 @@ impl Default for WorldConfig {
             recv_timeout: Duration::from_secs(120),
             trace: false,
             faults: None,
+            workers: None,
         }
     }
 }
@@ -111,6 +122,30 @@ impl WorldConfig {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Bound the worker pool to `workers` runnable ranks (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = NonZeroUsize::new(workers.max(1));
+        self
+    }
+
+    /// Launch `size` ranks running `f` under this configuration and wait
+    /// for the world to finish. This is the single entry point behind the
+    /// [`World::run`] family: injected crash faults surface as
+    /// [`RankOutcome::Crashed`] values (never unwinds the caller), real
+    /// panics from a rank propagate, and [`Launch::expect_all`] recovers
+    /// the strict "every rank completed" contract.
+    ///
+    /// # Panics
+    /// If `size == 0`, or if a rank panics for any reason other than an
+    /// injected crash fault.
+    pub fn launch<T, F>(&self, size: u32, f: F) -> Launch<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        launch_world(size, self, f)
     }
 }
 
@@ -160,11 +195,11 @@ impl<T> RankOutcome<T> {
     }
 }
 
-/// Result of a fault-injected world run: per-rank outcomes (a crashed rank
+/// Result of a [`WorldConfig::launch`]: per-rank outcomes (a crashed rank
 /// has no return value) plus traffic and traces. Crashed ranks' traces end
 /// with their `fault.injected` span.
 #[derive(Debug)]
-pub struct FaultRunOutput<T> {
+pub struct Launch<T> {
     /// Per-rank outcomes, indexed by rank.
     pub outcomes: Vec<RankOutcome<T>>,
     /// Per-rank traffic snapshot taken after all ranks ended.
@@ -173,7 +208,11 @@ pub struct FaultRunOutput<T> {
     pub trace: Option<WorldTrace>,
 }
 
-impl<T> FaultRunOutput<T> {
+/// Former name of [`Launch`], kept for one release for downstream readers;
+/// in-repo callers all use `WorldConfig::launch` / [`Launch`].
+pub type FaultRunOutput<T> = Launch<T>;
+
+impl<T> Launch<T> {
     /// Ranks that died to injected crashes, ascending.
     pub fn crashed_ranks(&self) -> Vec<Rank> {
         self.outcomes
@@ -183,6 +222,30 @@ impl<T> FaultRunOutput<T> {
                 RankOutcome::Completed(_) => None,
             })
             .collect()
+    }
+
+    /// Demand that every rank completed, yielding plain per-rank results.
+    ///
+    /// # Panics
+    /// If any rank died to an injected crash fault — use the
+    /// [`Launch::outcomes`] directly to observe crashes as values.
+    pub fn expect_all(self) -> RunOutput<T> {
+        let results = self
+            .outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Completed(v) => v,
+                RankOutcome::Crashed { rank } => panic!(
+                    "rank {rank} died to an injected crash fault; \
+                     inspect Launch::outcomes to observe crashes"
+                ),
+            })
+            .collect();
+        RunOutput {
+            results,
+            traffic: self.traffic,
+            trace: self.trace,
+        }
     }
 }
 
@@ -212,10 +275,15 @@ fn silence_injected_crash_panics() {
 }
 
 /// Entry point: spawn `size` ranks and run `f` on each.
+///
+/// These free functions are thin delegating wrappers over the one real
+/// entry point, [`WorldConfig::launch`]; they remain for one release (see
+/// the README migration notes) and all in-repo callers use `launch`.
 pub struct World;
 
 impl World {
-    /// Run `f` on `size` ranks with default configuration.
+    /// Run `f` on `size` ranks with default configuration. Wrapper over
+    /// `WorldConfig::default().launch(..).expect_all()`.
     ///
     /// # Panics
     /// Propagates a panic from any rank and panics if `size == 0`.
@@ -224,199 +292,186 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_with(size, &WorldConfig::default(), f)
+        WorldConfig::default().launch(size, f).expect_all()
     }
 
-    /// Run `f` on `size` ranks with explicit configuration.
+    /// Run `f` on `size` ranks with explicit configuration. Wrapper over
+    /// [`WorldConfig::launch`] + [`Launch::expect_all`].
     ///
     /// # Panics
     /// Propagates any rank's panic; also panics if the configuration
-    /// injects a crash fault that fires (use [`World::run_faulty`] to
+    /// injects a crash fault that fires (use [`WorldConfig::launch`] to
     /// observe crashes as values).
     pub fn run_with<T, F>(size: u32, config: &WorldConfig, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let out = Self::run_faulty(size, config, f);
-        let results = out
-            .outcomes
-            .into_iter()
-            .map(|o| match o {
-                RankOutcome::Completed(v) => v,
-                RankOutcome::Crashed { rank } => panic!(
-                    "rank {rank} died to an injected crash fault; \
-                     use World::run_faulty to observe crashes"
-                ),
-            })
-            .collect();
-        RunOutput {
-            results,
-            traffic: out.traffic,
-            trace: out.trace,
-        }
+        config.launch(size, f).expect_all()
     }
 
-    /// Run `f` on `size` ranks, treating injected crash faults as data:
-    /// a rank that dies to its [`FaultPlan`] entry yields
-    /// [`RankOutcome::Crashed`] instead of unwinding the world. Real
-    /// panics (assertion failures, infallible-API errors) still propagate.
-    pub fn run_faulty<T, F>(size: u32, config: &WorldConfig, f: F) -> FaultRunOutput<T>
+    /// Run `f` on `size` ranks, treating injected crash faults as data.
+    /// Wrapper over [`WorldConfig::launch`].
+    pub fn run_faulty<T, F>(size: u32, config: &WorldConfig, f: F) -> Launch<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        assert!(size > 0, "world size must be positive");
-        let fault_rt: Option<Arc<FaultRuntime>> = config.faults.as_ref().map(|plan| {
-            silence_injected_crash_panics();
-            Arc::new(FaultRuntime::new(
-                size,
-                plan.on_crash.clone(),
-                plan.on_transient.clone(),
-            ))
-        });
-        let counters: Arc<Vec<RankCounters>> =
-            Arc::new((0..size).map(|_| RankCounters::default()).collect());
+        config.launch(size, f)
+    }
+}
 
-        let mut data_senders = Vec::with_capacity(size as usize);
-        let mut data_receivers = Vec::with_capacity(size as usize);
-        let mut ctrl_senders = Vec::with_capacity(size as usize);
-        let mut ctrl_receivers = Vec::with_capacity(size as usize);
-        for _ in 0..size {
-            let (ts, tr) = channel::<Message>();
-            data_senders.push(ts);
-            data_receivers.push(tr);
-            let (cs, cr) = channel::<CtrlMsg>();
-            ctrl_senders.push(cs);
-            ctrl_receivers.push(cr);
-        }
-        let data_senders = Arc::new(data_senders);
-        let ctrl_senders = Arc::new(ctrl_senders);
+/// The world launcher behind [`WorldConfig::launch`]: builds the per-rank
+/// channel mesh, hands every rank body to the [`sched`] executor (bounded
+/// worker pool when `config.workers` is set, thread-per-rank otherwise),
+/// and assembles outcomes, traffic, and traces after all ranks ended.
+fn launch_world<T, F>(size: u32, config: &WorldConfig, f: F) -> Launch<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(size > 0, "world size must be positive");
+    let fault_rt: Option<Arc<FaultRuntime>> = config.faults.as_ref().map(|plan| {
+        silence_injected_crash_panics();
+        Arc::new(FaultRuntime::new(
+            size,
+            plan.on_crash.clone(),
+            plan.on_transient.clone(),
+        ))
+    });
+    let counters: Arc<Vec<RankCounters>> =
+        Arc::new((0..size).map(|_| RankCounters::default()).collect());
 
-        let ends: Vec<ThreadEnd<T>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size as usize);
-            // Drain receivers in reverse so rank 0 pops the front.
-            let mut receivers: Vec<_> = data_receivers.into_iter().collect();
-            let mut ctrl_rx: Vec<_> = ctrl_receivers.into_iter().collect();
-            for rank in (0..size).rev() {
-                let receiver = receivers.pop().expect("one receiver per rank");
-                let ctrl_receiver = ctrl_rx.pop().expect("one ctrl receiver per rank");
-                let data_senders = Arc::clone(&data_senders);
-                let ctrl_senders = Arc::clone(&ctrl_senders);
-                let counters = Arc::clone(&counters);
-                let fault_rt = fault_rt.clone();
-                let my_faults: Vec<Fault> = config
-                    .faults
-                    .as_ref()
-                    .map(|p| {
-                        p.faults
-                            .iter()
-                            .filter(|ft| ft.rank == rank)
-                            .cloned()
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                let f = &f;
-                let config = config.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .spawn_scoped(scope, move || {
-                            let mut comm = Comm {
-                                rank,
-                                size,
-                                data_senders,
-                                receiver,
-                                ctrl_senders,
-                                ctrl_receiver,
-                                pending: HashMap::new(),
-                                pending_ctrl: HashMap::new(),
-                                counters,
-                                op_seq: 0,
-                                win_seq: 0,
-                                recv_timeout: config.recv_timeout,
-                                tracer: if config.trace {
-                                    Tracer::enabled()
-                                } else {
-                                    Tracer::disabled()
-                                },
-                                fault_rt,
-                                my_faults,
-                                msg_ops: 0,
-                            };
-                            let caught =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    f(&mut comm)
-                                }));
-                            let end = match caught {
-                                Ok(v) => ThreadEnd::Done(v, comm.tracer.take_events()),
-                                Err(payload) => match payload.downcast::<InjectedCrash>() {
-                                    Ok(crash) => ThreadEnd::Crashed(crash.rank, crash.events),
-                                    Err(other) => ThreadEnd::Panicked(other),
-                                },
-                            };
-                            // Return the comm alongside the outcome: its
-                            // receivers must outlive every peer's last send.
-                            (end, comm)
-                        })
-                        .expect("spawn rank thread"),
-                );
-            }
-            // handles were pushed for ranks size-1..0; reverse to rank order.
-            handles.reverse();
-            // Join everything before dropping any rank's channels.
-            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            joined
-                .into_iter()
-                .map(|j| match j {
-                    Ok((end, _comm)) => end,
-                    // The closure catches panics from `f`; reaching here
-                    // means the runtime itself failed (e.g. trace
-                    // collection found a leaked span). Re-raise as-is.
-                    Err(payload) => std::panic::resume_unwind(payload),
+    let mut data_senders = Vec::with_capacity(size as usize);
+    let mut data_receivers = Vec::with_capacity(size as usize);
+    let mut ctrl_senders = Vec::with_capacity(size as usize);
+    let mut ctrl_receivers = Vec::with_capacity(size as usize);
+    for _ in 0..size {
+        let (ts, tr) = channel::<Message>();
+        data_senders.push(ts);
+        data_receivers.push(tr);
+        let (cs, cr) = channel::<CtrlMsg>();
+        ctrl_senders.push(cs);
+        ctrl_receivers.push(cr);
+    }
+    let data_senders = Arc::new(data_senders);
+    let ctrl_senders = Arc::new(ctrl_senders);
+
+    let f = &f;
+    let tasks: Vec<_> = data_receivers
+        .into_iter()
+        .zip(ctrl_receivers)
+        .enumerate()
+        .map(|(rank, (receiver, ctrl_receiver))| {
+            let rank = rank as Rank;
+            let data_senders = Arc::clone(&data_senders);
+            let ctrl_senders = Arc::clone(&ctrl_senders);
+            let counters = Arc::clone(&counters);
+            let fault_rt = fault_rt.clone();
+            let my_faults: Vec<Fault> = config
+                .faults
+                .as_ref()
+                .map(|p| {
+                    p.faults
+                        .iter()
+                        .filter(|ft| ft.rank == rank)
+                        .cloned()
+                        .collect()
                 })
-                .collect()
-        });
+                .unwrap_or_default();
+            let config = config.clone();
+            move |slot: SchedSlot| {
+                let mut comm = Comm {
+                    rank,
+                    size,
+                    data_senders,
+                    receiver,
+                    ctrl_senders,
+                    ctrl_receiver,
+                    pending: HashMap::new(),
+                    pending_ctrl: HashMap::new(),
+                    counters,
+                    op_seq: 0,
+                    win_seq: 0,
+                    recv_timeout: config.recv_timeout,
+                    tracer: if config.trace {
+                        Tracer::enabled()
+                    } else {
+                        Tracer::disabled()
+                    },
+                    fault_rt,
+                    my_faults,
+                    msg_ops: 0,
+                    sched: slot,
+                    tag_ns: 0,
+                };
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                let end = match caught {
+                    Ok(v) => ThreadEnd::Done(v, comm.tracer.take_events()),
+                    Err(payload) => match payload.downcast::<InjectedCrash>() {
+                        Ok(crash) => ThreadEnd::Crashed(crash.rank, crash.events),
+                        Err(other) => ThreadEnd::Panicked(other),
+                    },
+                };
+                // Return the comm alongside the outcome: its receivers must
+                // outlive every peer's last send.
+                (end, comm)
+            }
+        })
+        .collect();
 
-        let mut outcomes = Vec::with_capacity(size as usize);
-        let mut streams = Vec::with_capacity(size as usize);
-        let mut panic_payload = None;
-        for end in ends {
-            match end {
-                ThreadEnd::Done(v, ev) => {
-                    outcomes.push(RankOutcome::Completed(v));
-                    streams.push(ev.unwrap_or_default());
-                }
-                ThreadEnd::Crashed(rank, ev) => {
-                    outcomes.push(RankOutcome::Crashed { rank });
-                    streams.push(ev.unwrap_or_default());
-                }
-                ThreadEnd::Panicked(payload) => {
-                    if panic_payload.is_none() {
-                        panic_payload = Some(payload);
-                    }
+    // All ranks end (and their channels stay alive) before run_tasks
+    // returns, exactly like the scoped-join it replaces.
+    let ends: Vec<ThreadEnd<T>> = sched::run_tasks("rank", config.workers, tasks)
+        .into_iter()
+        .map(|j| match j {
+            Ok((end, _comm)) => end,
+            // The task catches panics from `f`; reaching here means the
+            // runtime itself failed (e.g. trace collection found a leaked
+            // span). Re-raise as-is.
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect();
+
+    let mut outcomes = Vec::with_capacity(size as usize);
+    let mut streams = Vec::with_capacity(size as usize);
+    let mut panic_payload = None;
+    for end in ends {
+        match end {
+            ThreadEnd::Done(v, ev) => {
+                outcomes.push(RankOutcome::Completed(v));
+                streams.push(ev.unwrap_or_default());
+            }
+            ThreadEnd::Crashed(rank, ev) => {
+                outcomes.push(RankOutcome::Crashed { rank });
+                streams.push(ev.unwrap_or_default());
+            }
+            ThreadEnd::Panicked(payload) => {
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
                 }
             }
         }
-        if let Some(payload) = panic_payload {
-            // Re-raise with the original payload so callers (and
-            // #[should_panic] tests) see the rank's own message.
-            std::panic::resume_unwind(payload);
-        }
+    }
+    if let Some(payload) = panic_payload {
+        // Re-raise with the original payload so callers (and
+        // #[should_panic] tests) see the rank's own message.
+        std::panic::resume_unwind(payload);
+    }
 
-        let traffic = TrafficReport {
-            ranks: counters.iter().map(|c| c.snapshot()).collect(),
-        };
-        let trace = if config.trace {
-            Some(WorldTrace::from_rank_events(streams))
-        } else {
-            None
-        };
-        FaultRunOutput {
-            outcomes,
-            traffic,
-            trace,
-        }
+    let traffic = TrafficReport {
+        ranks: counters.iter().map(|c| c.snapshot()).collect(),
+    };
+    let trace = if config.trace {
+        Some(WorldTrace::from_rank_events(streams))
+    } else {
+        None
+    };
+    Launch {
+        outcomes,
+        traffic,
+        trace,
     }
 }
 
@@ -449,6 +504,14 @@ pub struct Comm {
     /// Message operations (sends + receives, collective internals
     /// included) performed so far; drives `FaultTrigger::MessageCount`.
     msg_ops: u64,
+    /// This rank's scheduler slot: blocking waits park through it so a
+    /// bounded worker pool can run a peer. A no-op in unpooled worlds.
+    sched: SchedSlot,
+    /// Session tag namespace, pre-shifted into the reserved high bits
+    /// (see [`crate::wire::session_tag`]). Folded into every user tag on
+    /// send and receive so overlapping sessions on one communicator can
+    /// never match each other's stale messages. 0 = default namespace.
+    tag_ns: Tag,
 }
 
 impl Comm {
@@ -491,6 +554,32 @@ impl Comm {
     /// Drain this rank's recorded trace events (empty when tracing is off).
     pub fn take_trace_events(&mut self) -> Vec<replidedup_trace::Event> {
         self.tracer.take_events().unwrap_or_default()
+    }
+
+    // ---- session tag namespaces ----
+
+    /// Scope all subsequent user tags to session `ns`. Messages sent under
+    /// one namespace are invisible to receives under another, so two
+    /// sessions interleaved on this communicator (or a session started
+    /// after a crashed one left stale messages queued) can never cross
+    /// wires. Namespace 0 is the default (unlabeled) session.
+    pub fn set_tag_namespace(&mut self, ns: u16) {
+        self.tag_ns = wire::session_tag(ns, 0);
+    }
+
+    /// The session namespace user tags are currently scoped to.
+    pub fn tag_namespace(&self) -> u16 {
+        wire::tag_session(self.tag_ns)
+    }
+
+    /// Fold the active session namespace into a user tag.
+    fn ns_tag(&self, tag: Tag) -> Tag {
+        debug_assert_eq!(
+            tag & wire::SESSION_TAG_MASK,
+            0,
+            "user tag {tag:#x} collides with the session namespace bits"
+        );
+        self.tag_ns | tag
     }
 
     /// Borrow the shared per-rank counters (used by [`crate::window`]).
@@ -593,7 +682,9 @@ impl Comm {
 
     fn fire(&mut self, action: FaultAction) {
         match action {
-            FaultAction::Delay(dur) => std::thread::sleep(dur),
+            // A delayed rank is parked, not runnable: release the worker
+            // slot so a pooled world keeps making progress underneath it.
+            FaultAction::Delay(dur) => self.sched.park_while(|| std::thread::sleep(dur)),
             FaultAction::Crash => self.crash_now(),
             FaultAction::Transient(ops) => {
                 // Storage degradation is the harness's job: hand the budget
@@ -728,7 +819,13 @@ impl Comm {
                     waited: self.recv_timeout,
                 });
             }
-            match self.ctrl_receiver.recv_timeout(deadline - now) {
+            // Blocking RMA-handshake edge: park the worker slot while the
+            // control channel sleeps so a pooled peer can run.
+            let received = {
+                let (sched, ctrl_receiver) = (&self.sched, &self.ctrl_receiver);
+                sched.park_while(|| ctrl_receiver.recv_timeout(deadline - now))
+            };
+            match received {
                 Ok(msg) => {
                     if let Some(handle) = self.absorb_ctrl(msg, src, seq) {
                         return Ok(handle);
@@ -820,6 +917,7 @@ impl Comm {
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
+        let tag = self.ns_tag(tag);
         self.try_send_frame_raw(dst, tag, frame, Transport::PointToPoint)
     }
 
@@ -918,6 +1016,7 @@ impl Comm {
             0,
             "tag {tag:#x} uses the reserved internal bit"
         );
+        let tag = self.ns_tag(tag);
         self.try_recv_frame_guarded(src, tag, Transport::PointToPoint, None)
     }
 
@@ -1019,7 +1118,13 @@ impl Comm {
                     waited: self.recv_timeout,
                 });
             }
-            match self.receiver.recv_timeout(deadline - now) {
+            // Blocking collective/p2p edge: park the worker slot while the
+            // data channel sleeps so a pooled peer can run.
+            let received = {
+                let (sched, receiver) = (&self.sched, &self.receiver);
+                sched.park_while(|| receiver.recv_timeout(deadline - now))
+            };
+            match received {
                 Ok(msg) => {
                     if let Some(payload) = self.absorb(msg, src, tag, transport) {
                         return Ok(payload);
@@ -1199,6 +1304,89 @@ mod tests {
         let out = World::run(128, |comm| comm.rank());
         assert_eq!(out.results.len(), 128);
         assert_eq!(out.results[127], 127);
+    }
+
+    #[test]
+    fn pooled_world_matches_thread_per_rank() {
+        let body = |comm: &mut Comm| {
+            let sum = comm.allreduce(u64::from(comm.rank()), |a, b| a + b);
+            let dst = (comm.rank() + 1) % comm.size();
+            let src = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_val(dst, 4, &comm.rank());
+            let from = comm.recv_val::<Rank>(src, 4);
+            (sum, from)
+        };
+        let unpooled = WorldConfig::default().launch(32, body).expect_all();
+        let pooled = WorldConfig::default()
+            .with_workers(3)
+            .launch(32, body)
+            .expect_all();
+        assert_eq!(unpooled.results, pooled.results);
+        assert_eq!(
+            unpooled.traffic.total_sent(),
+            pooled.traffic.total_sent(),
+            "scheduling must not change traffic"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes_heavy_collectives() {
+        // 64 ranks on 2 workers: every collective edge must park, or the
+        // world deadlocks well before the recv timeout.
+        let out = WorldConfig::default()
+            .with_workers(2)
+            .with_recv_timeout(Duration::from_secs(30))
+            .launch(64, |comm| {
+                let mut acc = 0u64;
+                for round in 0..4 {
+                    acc += comm.allreduce(u64::from(comm.rank()) + round, |a, b| a + b);
+                    comm.barrier();
+                }
+                acc
+            })
+            .expect_all();
+        let per_round: u64 = (0..64u64).sum();
+        assert!(out.results.iter().all(|&v| v >= 4 * per_round));
+    }
+
+    #[test]
+    fn pooled_world_observes_injected_crashes() {
+        let plan = FaultPlan::new(1).crash(1, FaultTrigger::MessageCount(1));
+        let out = fault_config(plan).with_workers(2).launch(8, |comm| {
+            if comm.rank() == 1 {
+                let _ = comm.try_send_bytes(0, 1, Bytes::from_static(b"boom"));
+                unreachable!("rank 1 must crash on its first message op");
+            }
+            comm.rank()
+        });
+        assert_eq!(out.crashed_ranks(), vec![1]);
+        assert_eq!(out.outcomes.len(), 8);
+    }
+
+    #[test]
+    fn tag_namespaces_isolate_sessions() {
+        let config = WorldConfig::default().with_recv_timeout(Duration::from_millis(100));
+        let out = config.launch(2, |comm| {
+            if comm.rank() == 0 {
+                comm.set_tag_namespace(1);
+                comm.send_bytes(1, 5, Bytes::from_static(b"session-one"));
+                true
+            } else {
+                // A receive scoped to session 2 must never match session
+                // 1's message, even though (src, user tag) agree.
+                comm.set_tag_namespace(2);
+                assert!(matches!(
+                    comm.try_recv(0, 5),
+                    Err(CommError::DeadlockSuspected { .. })
+                ));
+                // Rescoped to session 1, the stashed message matches.
+                comm.set_tag_namespace(1);
+                assert_eq!(&comm.recv(0, 5)[..], b"session-one");
+                assert_eq!(comm.tag_namespace(), 1);
+                true
+            }
+        });
+        assert!(out.expect_all().results.iter().all(|&ok| ok));
     }
 
     fn fault_config(plan: FaultPlan) -> WorldConfig {

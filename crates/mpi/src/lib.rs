@@ -17,30 +17,34 @@
 //! # Example
 //!
 //! ```
-//! use replidedup_mpi::World;
+//! use replidedup_mpi::WorldConfig;
 //!
-//! let out = World::run(4, |comm| {
+//! let out = WorldConfig::default().launch(4, |comm| {
 //!     let sum = comm.allreduce(u64::from(comm.rank()), |a, b| a + b);
 //!     let all = comm.allgather(comm.rank());
 //!     assert_eq!(all, vec![0, 1, 2, 3]);
 //!     sum
-//! });
+//! }).expect_all();
 //! assert!(out.results.iter().all(|&s| s == 6));
 //! ```
 
 pub mod collectives;
 pub mod comm;
 pub mod fault;
+pub mod sched;
 pub mod stats;
 pub mod window;
 pub mod wire;
 
-pub use comm::{Comm, FaultRunOutput, Rank, RankOutcome, RunOutput, Tag, World, WorldConfig};
+pub use comm::{
+    Comm, FaultRunOutput, Launch, Rank, RankOutcome, RunOutput, Tag, World, WorldConfig,
+};
 pub use fault::{
     CommError, CrashHook, Fault, FaultAction, FaultPlan, FaultSpecError, FaultTrigger,
     TransientHook,
 };
 pub use replidedup_trace::{Event, EventKind, PhaseAgg, RankTrace, Tracer, WorldTrace};
+pub use sched::SchedSlot;
 pub use stats::{RankTraffic, TrafficReport, Transport};
 pub use window::Window;
 pub use wire::{Chunk, Frame, FrameReader, FrameWriter, Wire, WireError, WireResult};

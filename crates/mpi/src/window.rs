@@ -313,78 +313,88 @@ impl Window {
 
 #[cfg(test)]
 mod tests {
-    use crate::comm::World;
+    use crate::comm::WorldConfig;
 
     #[test]
     fn put_lands_at_offset() {
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(8);
-            if comm.rank() == 0 {
-                win.put(1, 2, &[1, 2, 3]);
-            }
-            win.fence(comm);
-            win.with_local(|d| d.to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(8);
+                if comm.rank() == 0 {
+                    win.put(1, 2, &[1, 2, 3]);
+                }
+                win.fence(comm);
+                win.with_local(|d| d.to_vec())
+            })
+            .expect_all();
         assert_eq!(out.results[1], vec![0, 0, 1, 2, 3, 0, 0, 0]);
         assert_eq!(out.results[0], vec![0; 8]);
     }
 
     #[test]
     fn heterogeneous_window_sizes() {
-        let out = World::run(3, |comm| {
-            let me = comm.rank() as usize;
-            let win = comm.win_create(me * 4);
-            assert_eq!(win.local_size(), me * 4);
-            assert_eq!(win.size_of(2), 8);
-            // Everyone writes one byte into rank 2's window, disjointly.
-            if me < 2 {
-                win.put(2, me, &[me as u8 + 10]);
-            }
-            win.fence(comm);
-            win.with_local(|d| d.to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let me = comm.rank() as usize;
+                let win = comm.win_create(me * 4);
+                assert_eq!(win.local_size(), me * 4);
+                assert_eq!(win.size_of(2), 8);
+                // Everyone writes one byte into rank 2's window, disjointly.
+                if me < 2 {
+                    win.put(2, me, &[me as u8 + 10]);
+                }
+                win.fence(comm);
+                win.with_local(|d| d.to_vec())
+            })
+            .expect_all();
         assert_eq!(out.results[2][..2], [10, 11]);
     }
 
     #[test]
     fn disjoint_concurrent_puts_all_land() {
-        let out = World::run(8, |comm| {
-            let n = comm.size() as usize;
-            let win = comm.win_create(if comm.rank() == 0 { n } else { 0 });
-            win.put(0, comm.rank() as usize, &[comm.rank() as u8 + 1]);
-            win.fence(comm);
-            win.with_local(|d| d.to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(8, |comm| {
+                let n = comm.size() as usize;
+                let win = comm.win_create(if comm.rank() == 0 { n } else { 0 });
+                win.put(0, comm.rank() as usize, &[comm.rank() as u8 + 1]);
+                win.fence(comm);
+                win.with_local(|d| d.to_vec())
+            })
+            .expect_all();
         assert_eq!(out.results[0], (1..=8u8).collect::<Vec<_>>());
     }
 
     #[test]
     fn get_reads_remote_exposure() {
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(4);
-            if comm.rank() == 1 {
-                win.put(1, 0, &[9, 8, 7, 6]); // local put
-            }
-            win.fence(comm);
-            let data = if comm.rank() == 0 {
-                Vec::from(win.get_chunk(1, 1, 2))
-            } else {
-                Vec::new()
-            };
-            win.fence(comm);
-            data
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(4);
+                if comm.rank() == 1 {
+                    win.put(1, 0, &[9, 8, 7, 6]); // local put
+                }
+                win.fence(comm);
+                let data = if comm.rank() == 0 {
+                    Vec::from(win.get_chunk(1, 1, 2))
+                } else {
+                    Vec::new()
+                };
+                win.fence(comm);
+                data
+            })
+            .expect_all();
         assert_eq!(out.results[0], vec![8, 7]);
     }
 
     #[test]
     fn self_put_is_not_counted_as_traffic() {
-        let out = World::run(1, |comm| {
-            let win = comm.win_create(4);
-            win.put(0, 0, &[1, 2, 3, 4]);
-            win.fence(comm);
-            win.with_local(|d| d.to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(4);
+                win.put(0, 0, &[1, 2, 3, 4]);
+                win.fence(comm);
+                win.with_local(|d| d.to_vec())
+            })
+            .expect_all();
         assert_eq!(out.results[0], vec![1, 2, 3, 4]);
         assert_eq!(out.traffic.ranks[0].rma_put, 0);
         assert_eq!(out.traffic.ranks[0].rma_recv, 0);
@@ -392,13 +402,15 @@ mod tests {
 
     #[test]
     fn rma_traffic_is_attributed_to_both_sides() {
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(100);
-            if comm.rank() == 0 {
-                win.put(1, 0, &[0xAA; 64]);
-            }
-            win.fence(comm);
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(100);
+                if comm.rank() == 0 {
+                    win.put(1, 0, &[0xAA; 64]);
+                }
+                win.fence(comm);
+            })
+            .expect_all();
         assert_eq!(out.traffic.ranks[0].rma_put, 64);
         assert_eq!(out.traffic.ranks[1].rma_recv, 64);
         assert_eq!(out.traffic.ranks[1].rma_put, 0);
@@ -406,51 +418,59 @@ mod tests {
 
     #[test]
     fn successive_windows_do_not_cross_talk() {
-        let out = World::run(2, |comm| {
-            let w1 = comm.win_create(2);
-            let w2 = comm.win_create(2);
-            if comm.rank() == 0 {
-                w1.put(1, 0, &[1, 1]);
-                w2.put(1, 0, &[2, 2]);
-            }
-            w1.fence(comm);
-            w2.fence(comm);
-            (w1.with_local(|d| d.to_vec()), w2.with_local(|d| d.to_vec()))
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let w1 = comm.win_create(2);
+                let w2 = comm.win_create(2);
+                if comm.rank() == 0 {
+                    w1.put(1, 0, &[1, 1]);
+                    w2.put(1, 0, &[2, 2]);
+                }
+                w1.fence(comm);
+                w2.fence(comm);
+                (w1.with_local(|d| d.to_vec()), w2.with_local(|d| d.to_vec()))
+            })
+            .expect_all();
         assert_eq!(out.results[1].0, vec![1, 1]);
         assert_eq!(out.results[1].1, vec![2, 2]);
     }
 
     #[test]
     fn with_local_avoids_copy() {
-        let out = World::run(1, |comm| {
-            let win = comm.win_create(3);
-            win.put(0, 0, &[5, 6, 7]);
-            win.fence(comm);
-            win.with_local(|d| d.iter().map(|&b| u32::from(b)).sum::<u32>())
-        });
+        let out = WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(3);
+                win.put(0, 0, &[5, 6, 7]);
+                win.fence(comm);
+                win.with_local(|d| d.iter().map(|&b| u32::from(b)).sum::<u32>())
+            })
+            .expect_all();
         assert_eq!(out.results[0], 18);
     }
 
     #[test]
     #[should_panic(expected = "overruns window")]
     fn out_of_bounds_put_panics() {
-        World::run(1, |comm| {
-            let win = comm.win_create(4);
-            win.put(0, 2, &[0; 4]);
-        });
+        WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(4);
+                win.put(0, 2, &[0; 4]);
+            })
+            .expect_all();
     }
 
     #[test]
     fn vectored_put_lands_parts_back_to_back() {
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(8);
-            if comm.rank() == 0 {
-                win.put_vectored(1, 1, &[&[1, 2], &[3], &[4, 5]]);
-            }
-            win.fence(comm);
-            win.with_local(|d| d.to_vec())
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(8);
+                if comm.rank() == 0 {
+                    win.put_vectored(1, 1, &[&[1, 2], &[3], &[4, 5]]);
+                }
+                win.fence(comm);
+                win.with_local(|d| d.to_vec())
+            })
+            .expect_all();
         assert_eq!(out.results[1], vec![0, 1, 2, 3, 4, 5, 0, 0]);
         // The vectored put counts once, as the sum of its parts.
         assert_eq!(out.traffic.ranks[0].rma_put, 5);
@@ -460,35 +480,39 @@ mod tests {
     #[test]
     fn chunk_put_and_get_roundtrip() {
         use replidedup_buf::Chunk;
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(4);
-            if comm.rank() == 0 {
-                let app_buffer = Chunk::from(vec![7u8, 8, 9, 10]);
-                win.put_chunk(1, 0, &app_buffer.slice(1..3));
-            }
-            win.fence(comm);
-            let got = if comm.rank() == 1 {
-                win.get_chunk(1, 0, 2)
-            } else {
-                Chunk::new()
-            };
-            win.fence(comm);
-            got.to_vec()
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(4);
+                if comm.rank() == 0 {
+                    let app_buffer = Chunk::from(vec![7u8, 8, 9, 10]);
+                    win.put_chunk(1, 0, &app_buffer.slice(1..3));
+                }
+                win.fence(comm);
+                let got = if comm.rank() == 1 {
+                    win.get_chunk(1, 0, 2)
+                } else {
+                    Chunk::new()
+                };
+                win.fence(comm);
+                got.to_vec()
+            })
+            .expect_all();
         assert_eq!(out.results[1], vec![8, 9]);
     }
 
     #[test]
     fn take_local_is_zero_copy_and_empties_the_exposure() {
-        let out = World::run(1, |comm| {
-            let win = comm.win_create(4);
-            win.put(0, 0, &[1, 2, 3, 4]);
-            win.fence(comm);
-            let copied_before = replidedup_buf::thread_bytes_copied();
-            let frozen = win.take_local();
-            let copied = replidedup_buf::thread_bytes_copied() - copied_before;
-            (frozen.to_vec(), win.with_local(|d| d.len()), copied)
-        });
+        let out = WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(4);
+                win.put(0, 0, &[1, 2, 3, 4]);
+                win.fence(comm);
+                let copied_before = replidedup_buf::thread_bytes_copied();
+                let frozen = win.take_local();
+                let copied = replidedup_buf::thread_bytes_copied() - copied_before;
+                (frozen.to_vec(), win.with_local(|d| d.len()), copied)
+            })
+            .expect_all();
         let (frozen, left, copied_by_steal) = &out.results[0];
         assert_eq!(*frozen, vec![1, 2, 3, 4]);
         assert_eq!(*left, 0, "exposure stolen");
@@ -501,15 +525,19 @@ mod tests {
         use replidedup_buf::global_pool;
         // Warm the shelf, then show a same-sized window reuses it.
         let size = 1 << 16;
-        World::run(1, |comm| {
-            let win = comm.win_create(size);
-            win.fence(comm);
-        });
+        WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(size);
+                win.fence(comm);
+            })
+            .expect_all();
         let before = global_pool().stats();
-        World::run(1, |comm| {
-            let win = comm.win_create(size);
-            win.fence(comm);
-        });
+        WorldConfig::default()
+            .launch(1, |comm| {
+                let win = comm.win_create(size);
+                win.fence(comm);
+            })
+            .expect_all();
         let after = global_pool().stats();
         assert!(
             after.hits > before.hits,
@@ -519,11 +547,13 @@ mod tests {
 
     #[test]
     fn zero_sized_window_is_legal() {
-        let out = World::run(2, |comm| {
-            let win = comm.win_create(0);
-            win.fence(comm);
-            win.local_size()
-        });
+        let out = WorldConfig::default()
+            .launch(2, |comm| {
+                let win = comm.win_create(0);
+                win.fence(comm);
+                win.local_size()
+            })
+            .expect_all();
         assert_eq!(out.results, vec![0, 0]);
     }
 
@@ -537,7 +567,7 @@ mod tests {
         let config = WorldConfig::default()
             .with_recv_timeout(Duration::from_secs(2))
             .with_faults(plan);
-        let out = World::run_faulty(3, &config, |comm| {
+        let out = config.launch(3, |comm| {
             let win = comm.try_win_create(8).expect("all ranks alive at create");
             if comm.rank() == 1 {
                 // Wait for explicit acks so the crash strictly follows every

@@ -12,6 +12,46 @@ use std::fmt;
 
 pub use replidedup_buf::Chunk;
 
+// ---------------------------------------------------------------------------
+// Session tag namespaces
+// ---------------------------------------------------------------------------
+
+/// Bit position of the 16-bit session namespace inside a message tag.
+/// Layout of a tag, most significant bits first: bit 63 marks
+/// runtime-internal tags, bit 62 the death notice, bits 60..=45 the session
+/// namespace, and everything below is the caller's tag space. User tags
+/// must therefore stay below 2^45.
+pub const SESSION_TAG_SHIFT: u32 = 45;
+
+/// Mask selecting the session-namespace bits of a tag.
+pub const SESSION_TAG_MASK: u64 = 0xFFFF << SESSION_TAG_SHIFT;
+
+/// Scope `tag` to session namespace `session`. Tags scoped to different
+/// sessions never compare equal, so concurrent (or crash-interleaved)
+/// sessions multiplexed over one communicator cannot match each other's
+/// messages.
+///
+/// # Panics
+/// Debug-asserts that `tag` does not already carry namespace bits.
+pub fn session_tag(session: u16, tag: u64) -> u64 {
+    debug_assert_eq!(
+        tag & SESSION_TAG_MASK,
+        0,
+        "tag {tag:#x} already carries session bits"
+    );
+    (u64::from(session) << SESSION_TAG_SHIFT) | tag
+}
+
+/// The session namespace a tag is scoped to (0 = default session).
+pub fn tag_session(tag: u64) -> u16 {
+    ((tag & SESSION_TAG_MASK) >> SESSION_TAG_SHIFT) as u16
+}
+
+/// Strip the session namespace, recovering the caller's original tag.
+pub fn user_tag(tag: u64) -> u64 {
+    tag & !SESSION_TAG_MASK
+}
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -521,6 +561,24 @@ mod tests {
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
         assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn session_tags_partition_the_tag_space() {
+        assert_eq!(session_tag(0, 7), 7);
+        let a = session_tag(1, 7);
+        let b = session_tag(2, 7);
+        assert_ne!(a, b);
+        assert_eq!(tag_session(a), 1);
+        assert_eq!(tag_session(b), 2);
+        assert_eq!(user_tag(a), 7);
+        assert_eq!(user_tag(b), 7);
+        // The namespace stays clear of the runtime-internal bits 62/63.
+        let top = session_tag(u16::MAX, (1 << SESSION_TAG_SHIFT) - 1);
+        assert_eq!(top & (1 << 63), 0);
+        assert_eq!(top & (1 << 62), 0);
+        assert_eq!(tag_session(top), u16::MAX);
+        assert_eq!(user_tag(top), (1 << SESSION_TAG_SHIFT) - 1);
     }
 
     #[test]

@@ -11,5 +11,5 @@
 pub mod model;
 pub mod scenario;
 
-pub use model::{ClusterModel, DumpMeasurement, PhaseTimes};
+pub use model::{ClusterModel, DumpMeasurement, PhaseTimes, TrafficPrediction};
 pub use scenario::{AppScenario, BaselineModel, CM1, HPCCG};

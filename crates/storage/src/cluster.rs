@@ -26,6 +26,66 @@ use crate::store::ChunkStore;
 /// Node index within a cluster.
 pub type NodeId = u32;
 
+/// Identifies one live replication session against a cluster. Sessions
+/// partition the dump-generation space: a scoped [`DumpId`] carries its
+/// session in the high 16 bits ([`SessionId::scope`]), so two overlapping
+/// sessions — two concurrent dumps, a heal racing a dump — can use the
+/// same caller-visible generation numbers without colliding in manifests,
+/// blobs, stripes, or GC. Session 0 is the default (unlabeled) session;
+/// unscoped generations are exactly the historical behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SessionId(u16);
+
+impl SessionId {
+    /// The default (unlabeled) session.
+    pub const DEFAULT: SessionId = SessionId(0);
+
+    /// Bits of a [`DumpId`] left to the caller's generation counter.
+    pub const GENERATION_BITS: u32 = 48;
+
+    /// Raw numeric id (also the session's tag namespace on the wire).
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Scope a caller-visible dump generation into this session's slice of
+    /// the generation space. The default session scopes to the identity.
+    pub fn scope(self, dump_id: DumpId) -> DumpId {
+        debug_assert_eq!(
+            dump_id >> Self::GENERATION_BITS,
+            0,
+            "dump id {dump_id:#x} already carries session bits"
+        );
+        (u64::from(self.0) << Self::GENERATION_BITS) | dump_id
+    }
+
+    /// The session a scoped generation belongs to.
+    pub fn of(dump_id: DumpId) -> SessionId {
+        SessionId((dump_id >> Self::GENERATION_BITS) as u16)
+    }
+
+    /// The caller-visible generation within its session.
+    pub fn local_generation(dump_id: DumpId) -> DumpId {
+        dump_id & ((1 << Self::GENERATION_BITS) - 1)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Active-session registry of one cluster: label → id for every session
+/// currently open. Ids are handed out monotonically and never reused, so a
+/// generation scoped by a finished session can never be confused with a
+/// later session's.
+#[derive(Debug, Default)]
+struct SessionRegistry {
+    active: HashMap<String, SessionId>,
+    last: u16,
+}
+
 /// Storage-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -236,6 +296,7 @@ impl GcStats {
 pub struct Cluster {
     nodes: Vec<Mutex<NodeState>>,
     placement: Placement,
+    sessions: Mutex<SessionRegistry>,
 }
 
 impl fmt::Debug for Cluster {
@@ -259,12 +320,58 @@ impl Cluster {
                 })
             })
             .collect();
-        Self { nodes, placement }
+        Self {
+            nodes,
+            placement,
+            sessions: Mutex::new(SessionRegistry::default()),
+        }
     }
 
     /// The rank-to-node placement.
     pub fn placement(&self) -> Placement {
         self.placement
+    }
+
+    // ---- session registry ----
+
+    /// Open a replication session named `label` against this cluster.
+    /// Returns `None` while a session with the same label is still active
+    /// (the caller surfaces that as a typed duplicate-session error).
+    /// Session ids are monotonic and never reused, so generations scoped
+    /// by distinct sessions never collide — even across reopenings of the
+    /// same label.
+    pub fn begin_session(&self, label: &str) -> Option<SessionId> {
+        let mut reg = self.sessions.lock().unwrap();
+        if reg.active.contains_key(label) {
+            return None;
+        }
+        reg.last = reg.last.checked_add(1).expect("session ids exhausted");
+        let id = SessionId(reg.last);
+        reg.active.insert(label.to_string(), id);
+        Some(id)
+    }
+
+    /// Close a session, freeing its label for reuse. Returns whether the
+    /// id named an active session. Stored data is untouched: generations
+    /// the session wrote remain addressable by their scoped ids.
+    pub fn end_session(&self, id: SessionId) -> bool {
+        let mut reg = self.sessions.lock().unwrap();
+        let label = reg
+            .active
+            .iter()
+            .find_map(|(l, s)| (*s == id).then(|| l.clone()));
+        match label {
+            Some(l) => reg.active.remove(&l).is_some(),
+            None => false,
+        }
+    }
+
+    /// Currently active sessions as `(label, id)`, sorted by id.
+    pub fn active_sessions(&self) -> Vec<(String, SessionId)> {
+        let reg = self.sessions.lock().unwrap();
+        let mut out: Vec<_> = reg.active.iter().map(|(l, s)| (l.clone(), *s)).collect();
+        out.sort_by_key(|(_, s)| *s);
+        out
     }
 
     /// Number of nodes.
@@ -845,6 +952,10 @@ impl Cluster {
     /// garbage. The healing engine runs the sweep as its own step between
     /// collectives, which serializes it against dump traffic.
     pub fn gc_superseded(&self, before: DumpId) -> GcStats {
+        // Generations are scoped per session: the sweep only ever collects
+        // within `before`'s own session, so a heal GC-ing session A can
+        // never reap a concurrent session B's generations.
+        let superseded = |d: DumpId| SessionId::of(d) == SessionId::of(before) && d < before;
         let mut stats = GcStats::default();
         let mut collected: Vec<DumpId> = Vec::new();
         // Pass 1: drop everything tagged with a superseded generation.
@@ -856,7 +967,7 @@ impl Cluster {
             let victims: Vec<(u32, DumpId)> = s
                 .manifests
                 .keys()
-                .filter(|(_, d)| *d < before)
+                .filter(|(_, d)| superseded(*d))
                 .copied()
                 .collect();
             for key in victims {
@@ -867,7 +978,7 @@ impl Cluster {
             let victims: Vec<(u32, DumpId)> = s
                 .blobs
                 .keys()
-                .filter(|(_, d)| *d < before)
+                .filter(|(_, d)| superseded(*d))
                 .copied()
                 .collect();
             for key in victims {
@@ -882,7 +993,7 @@ impl Cluster {
                 .shards
                 .keys()
                 .filter(
-                    |(key, _)| matches!(key, StripeKey::Blob { dump_id, .. } if *dump_id < before),
+                    |(key, _)| matches!(key, StripeKey::Blob { dump_id, .. } if superseded(*dump_id)),
                 )
                 .copied()
                 .collect();
@@ -896,7 +1007,12 @@ impl Cluster {
                     }
                 }
             }
-            let victims: Vec<DumpId> = s.absent.keys().filter(|d| **d < before).copied().collect();
+            let victims: Vec<DumpId> = s
+                .absent
+                .keys()
+                .filter(|d| superseded(**d))
+                .copied()
+                .collect();
             for d in victims {
                 if let Some(ranks) = s.absent.remove(&d) {
                     stats.tombstones_removed += ranks.len() as u64;
@@ -1358,6 +1474,70 @@ mod tests {
         let stats = c.gc_superseded(5);
         assert_eq!(stats.blobs_removed, 1, "only the live node is swept");
         assert_eq!(c.generations(), Vec::<DumpId>::new());
+    }
+
+    #[test]
+    fn session_registry_rejects_duplicate_labels_and_never_reuses_ids() {
+        let c = Cluster::new(Placement::one_per_node(1));
+        let a = c.begin_session("nightly").unwrap();
+        assert!(a > SessionId::DEFAULT);
+        assert_eq!(c.begin_session("nightly"), None, "label is active");
+        let b = c.begin_session("hourly").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(
+            c.active_sessions(),
+            vec![("nightly".to_string(), a), ("hourly".to_string(), b)]
+        );
+        assert!(c.end_session(a));
+        assert!(!c.end_session(a), "already closed");
+        // Reopening the label hands out a fresh id.
+        let a2 = c.begin_session("nightly").unwrap();
+        assert_ne!(a2, a);
+        assert_ne!(a2, b);
+    }
+
+    #[test]
+    fn session_scoped_generations_partition_the_dump_space() {
+        let s1 = SessionId::of(1u64 << SessionId::GENERATION_BITS);
+        let gen = s1.scope(7);
+        assert_eq!(SessionId::of(gen), s1);
+        assert_eq!(SessionId::local_generation(gen), 7);
+        assert_eq!(
+            SessionId::DEFAULT.scope(7),
+            7,
+            "default session is identity"
+        );
+        assert_ne!(gen, 7);
+    }
+
+    #[test]
+    fn gc_superseded_never_crosses_sessions() {
+        let c = Cluster::new(Placement::one_per_node(2));
+        let a = c.begin_session("a").unwrap();
+        let b = c.begin_session("b").unwrap();
+        // Session A writes generations 1 and 2; session B writes 1. B's
+        // scoped generation is numerically *between* A's two.
+        c.put_chunk(0, fp(10), Bytes::from_static(b"a-old"))
+            .unwrap();
+        c.put_manifest(0, Manifest::fixed_stride(0, a.scope(1), 5, 5, vec![fp(10)]))
+            .unwrap();
+        c.put_chunk(0, fp(11), Bytes::from_static(b"a-new"))
+            .unwrap();
+        c.put_manifest(0, Manifest::fixed_stride(0, a.scope(2), 5, 5, vec![fp(11)]))
+            .unwrap();
+        c.put_chunk(1, fp(12), Bytes::from_static(b"b-one"))
+            .unwrap();
+        c.put_manifest(1, Manifest::fixed_stride(1, b.scope(1), 5, 5, vec![fp(12)]))
+            .unwrap();
+        assert!(b.scope(1) > a.scope(2));
+
+        // GC session A up to generation 2: A's gen 1 goes, B untouched.
+        let stats = c.gc_superseded(a.scope(2));
+        assert_eq!(stats.generations_collected, 1);
+        assert!(!c.has_chunk(0, &fp(10)));
+        assert!(c.has_chunk(0, &fp(11)));
+        assert!(c.has_chunk(1, &fp(12)), "session B must survive A's GC");
+        assert_eq!(c.generations(), vec![a.scope(2), b.scope(1)]);
     }
 
     #[test]

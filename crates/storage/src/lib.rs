@@ -21,7 +21,9 @@ pub mod scrub;
 pub mod shard;
 pub mod store;
 
-pub use cluster::{Cluster, GcStats, NodeId, NodeState, Placement, StorageError, StorageResult};
+pub use cluster::{
+    Cluster, GcStats, NodeId, NodeState, Placement, SessionId, StorageError, StorageResult,
+};
 pub use manifest::{DumpId, Manifest, ManifestError};
 pub use scrub::ScrubReport;
 pub use shard::{ShardMeta, StoredShard, StripeKey};

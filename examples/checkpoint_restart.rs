@@ -14,7 +14,7 @@ use replidedup::apps::{Hpccg, HpccgConfig};
 use replidedup::ckpt::{CheckpointRuntime, CheckpointSchedule, TrackedHeap};
 use replidedup::core::{DumpConfig, Strategy};
 use replidedup::hash::Sha1ChunkHasher;
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 fn main() {
@@ -31,57 +31,60 @@ fn main() {
     };
     let cluster = Cluster::new(Placement::one_per_node(RANKS));
 
-    let out = World::run(RANKS, |comm| {
-        let rank = comm.rank();
-        let mut app = Hpccg::new(rank, comm.size(), problem);
-        let mut heap = TrackedHeap::default();
-        let regions = app.alloc_regions(&mut heap);
-        let mut runtime = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+    let out = WorldConfig::default()
+        .launch(RANKS, |comm| {
+            let rank = comm.rank();
+            let mut app = Hpccg::new(rank, comm.size(), problem);
+            let mut heap = TrackedHeap::default();
+            let regions = app.alloc_regions(&mut heap);
+            let mut runtime = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
 
-        let mut iter = 0u64;
-        let mut failed_already = false;
-        let mut residual = f64::NAN;
-        while iter < TOTAL_ITERS {
-            residual = app.step(comm);
-            iter += 1;
-            if schedule.due(iter) {
-                app.sync_to_heap(&mut heap, &regions);
-                let stats = runtime.checkpoint(comm, &mut heap).expect("checkpoint");
-                if rank == 0 {
-                    println!(
-                        "iter {iter:>3}: residual {residual:.3e} — checkpoint #{} \
+            let mut iter = 0u64;
+            let mut failed_already = false;
+            let mut residual = f64::NAN;
+            while iter < TOTAL_ITERS {
+                residual = app.step(comm);
+                iter += 1;
+                if schedule.due(iter) {
+                    app.sync_to_heap(&mut heap, &regions);
+                    let stats = runtime.checkpoint(comm, &mut heap).expect("checkpoint");
+                    if rank == 0 {
+                        println!(
+                            "iter {iter:>3}: residual {residual:.3e} — checkpoint #{} \
                          ({} chunks kept, {} discarded as natural replicas)",
-                        runtime.latest_dump_id().unwrap(),
-                        stats.chunks_kept,
-                        stats.chunks_discarded
-                    );
+                            runtime.latest_dump_id().unwrap(),
+                            stats.chunks_kept,
+                            stats.chunks_discarded
+                        );
+                    }
+                }
+                // Disaster strikes once, at iteration 25: node 3 burns down.
+                if iter == 25 && !failed_already {
+                    failed_already = true;
+                    comm.barrier();
+                    if rank == 0 {
+                        cluster.fail_node(3);
+                        cluster.revive_node(3);
+                        println!("iter {iter:>3}: *** node 3 failed, local storage lost ***");
+                    }
+                    comm.barrier();
+                    // Roll every rank back to the last checkpoint (iteration 20).
+                    let restored_heap = runtime.restart(comm).expect("restart from checkpoint");
+                    app =
+                        Hpccg::load_from_heap(&restored_heap, &regions, rank, comm.size(), problem);
+                    heap = restored_heap;
+                    iter = app.iterations();
+                    if rank == 0 {
+                        println!(
+                            "iter {iter:>3}: restarted from checkpoint #{}",
+                            runtime.latest_dump_id().unwrap()
+                        );
+                    }
                 }
             }
-            // Disaster strikes once, at iteration 25: node 3 burns down.
-            if iter == 25 && !failed_already {
-                failed_already = true;
-                comm.barrier();
-                if rank == 0 {
-                    cluster.fail_node(3);
-                    cluster.revive_node(3);
-                    println!("iter {iter:>3}: *** node 3 failed, local storage lost ***");
-                }
-                comm.barrier();
-                // Roll every rank back to the last checkpoint (iteration 20).
-                let restored_heap = runtime.restart(comm).expect("restart from checkpoint");
-                app = Hpccg::load_from_heap(&restored_heap, &regions, rank, comm.size(), problem);
-                heap = restored_heap;
-                iter = app.iterations();
-                if rank == 0 {
-                    println!(
-                        "iter {iter:>3}: restarted from checkpoint #{}",
-                        runtime.latest_dump_id().unwrap()
-                    );
-                }
-            }
-        }
-        (residual, app.solution_error())
-    });
+            (residual, app.solution_error())
+        })
+        .expect_all();
 
     let (residual, error) = out.results[0];
     println!(

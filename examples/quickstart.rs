@@ -13,7 +13,7 @@
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{Replicator, Strategy};
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 fn main() {
@@ -49,29 +49,31 @@ fn main() {
             .replication(K)
             .build()
             .expect("valid config");
-        let out = World::run(RANKS, |comm| {
-            let stats = repl
-                .dump(comm, 1, &buffers[comm.rank() as usize])
-                .expect("dump succeeds");
+        let out = WorldConfig::default()
+            .launch(RANKS, |comm| {
+                let stats = repl
+                    .dump(comm, 1, &buffers[comm.rank() as usize])
+                    .expect("dump succeeds");
 
-            // Kill two nodes after the dump, then restore through the
-            // surviving replicas.
-            comm.barrier();
-            if comm.rank() == 0 {
-                cluster.fail_node(2);
-                cluster.fail_node(5);
-                cluster.revive_node(2);
-                cluster.revive_node(5);
-            }
-            comm.barrier();
-            let restored = repl.restore(comm, 1).expect("restore succeeds");
-            assert_eq!(
-                restored,
-                buffers[comm.rank() as usize],
-                "byte-exact restore"
-            );
-            stats
-        });
+                // Kill two nodes after the dump, then restore through the
+                // surviving replicas.
+                comm.barrier();
+                if comm.rank() == 0 {
+                    cluster.fail_node(2);
+                    cluster.fail_node(5);
+                    cluster.revive_node(2);
+                    cluster.revive_node(5);
+                }
+                comm.barrier();
+                let restored = repl.restore(comm, 1).expect("restore succeeds");
+                assert_eq!(
+                    restored,
+                    buffers[comm.rank() as usize],
+                    "byte-exact restore"
+                );
+                stats
+            })
+            .expect_all();
         let world = replidedup::core::WorldDumpStats::from_ranks(strategy, 4096, out.results);
         println!(
             "{:>12}  {:>10.1} MiB  {:>10.1} MiB  {:>10.1} MiB",

@@ -13,7 +13,7 @@
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{Replicator, Strategy, WorldDumpStats};
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 fn main() {
@@ -50,10 +50,12 @@ fn main() {
                 .replication(k)
                 .build()
                 .expect("valid config");
-            let out = World::run(RANKS, |comm| {
-                repl.dump(comm, 1, &buffers[comm.rank() as usize])
-                    .expect("dump")
-            });
+            let out = WorldConfig::default()
+                .launch(RANKS, |comm| {
+                    repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                        .expect("dump")
+                })
+                .expect_all();
             let world = WorldDumpStats::from_ranks(strategy, 4096, out.results);
             let mib = |b: f64| b / (1 << 20) as f64;
             println!(

@@ -16,7 +16,7 @@ use replidedup::apps::{Cm1, Cm1Config};
 use replidedup::ckpt::{CheckpointRuntime, TrackedHeap};
 use replidedup::core::{DumpConfig, Strategy};
 use replidedup::hash::Sha1ChunkHasher;
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 fn main() {
@@ -40,26 +40,28 @@ fn main() {
         "step", "ambient", "dataset", "unique", "replicated", "saved"
     );
 
-    let out = World::run(RANKS, |comm| {
-        let rank = comm.rank();
-        let mut app = Cm1::new(rank, comm.size(), model);
-        let mut heap = TrackedHeap::default();
-        let regions = app.alloc_regions(&mut heap);
-        let mut runtime = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-        let mut log = Vec::new();
-        for step in 1..=STEPS {
-            app.step(comm);
-            if step % DUMP_EVERY == 0 {
-                app.sync_to_heap(&mut heap, &regions);
-                let stats = runtime.checkpoint(comm, &mut heap).expect("dump");
-                // World-average ambient fraction for the report line.
-                let ambient =
-                    comm.allreduce(app.ambient_fraction(), |a, b| a + b) / f64::from(comm.size());
-                log.push((step, ambient, stats));
+    let out = WorldConfig::default()
+        .launch(RANKS, |comm| {
+            let rank = comm.rank();
+            let mut app = Cm1::new(rank, comm.size(), model);
+            let mut heap = TrackedHeap::default();
+            let regions = app.alloc_regions(&mut heap);
+            let mut runtime = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            let mut log = Vec::new();
+            for step in 1..=STEPS {
+                app.step(comm);
+                if step % DUMP_EVERY == 0 {
+                    app.sync_to_heap(&mut heap, &regions);
+                    let stats = runtime.checkpoint(comm, &mut heap).expect("dump");
+                    // World-average ambient fraction for the report line.
+                    let ambient = comm.allreduce(app.ambient_fraction(), |a, b| a + b)
+                        / f64::from(comm.size());
+                    log.push((step, ambient, stats));
+                }
             }
-        }
-        log
-    });
+            log
+        })
+        .expect_all();
 
     // Aggregate per dump across ranks (rank-major logs, same length).
     let dumps = out.results[0].len();

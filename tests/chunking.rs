@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use replidedup::bench::workloads::{make_buffers, AppKind};
 use replidedup::core::{ChunkerKind, GearParams, RabinParams, Replicator, Strategy};
 use replidedup::hash::{ChunkRange, Chunker, Sha1ChunkHasher};
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 // ------------------------------------------------------------------
@@ -301,12 +301,16 @@ fn dump_written(
         .shuffle(shuffle)
         .build()
         .expect("valid config");
-    let stats = World::run(n, |comm| {
-        repl.dump(comm, 1, &buffers[comm.rank() as usize])
-            .expect("dump succeeds")
-    });
+    let stats = WorldConfig::default()
+        .launch(n, |comm| {
+            repl.dump(comm, 1, &buffers[comm.rank() as usize])
+                .expect("dump succeeds")
+        })
+        .expect_all();
     let sent: u64 = stats.results.iter().map(|s| s.bytes_sent_replication).sum();
-    let out = World::run(n, |comm| repl.restore(comm, 1).expect("restore succeeds"));
+    let out = WorldConfig::default()
+        .launch(n, |comm| repl.restore(comm, 1).expect("restore succeeds"))
+        .expect_all();
     for (rank, restored) in out.results.iter().enumerate() {
         assert!(
             *restored == buffers[rank],

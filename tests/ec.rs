@@ -23,7 +23,7 @@
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{ChunkerKind, GearParams, RedundancyPolicy, Replicator, Strategy};
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 const N: u32 = 6;
@@ -81,7 +81,9 @@ fn dump_wipe_restore(
     let bufs = buffers(N);
     let cluster = Cluster::new(Placement::one_per_node(N));
     let repl = replicator(strategy, &cluster, chunker);
-    let out = World::run(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]))
+        .expect_all();
     for r in out.results {
         r.expect("dump succeeds");
     }
@@ -89,7 +91,9 @@ fn dump_wipe_restore(
         cluster.fail_node(node);
         cluster.revive_node(node);
     }
-    let out = World::run(N, |comm| repl.restore(comm, 1).map(Vec::from));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, 1).map(Vec::from))
+        .expect_all();
     out.results
 }
 
@@ -154,7 +158,9 @@ fn repair_rebuilds_wiped_shards_and_is_idempotent() {
     let bufs = buffers(N);
     let cluster = Cluster::new(Placement::one_per_node(N));
     let repl = replicator(Strategy::CollDedup, &cluster, ChunkerKind::Fixed);
-    let out = World::run(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]))
+        .expect_all();
     for r in out.results {
         r.expect("dump succeeds");
     }
@@ -164,7 +170,9 @@ fn repair_rebuilds_wiped_shards_and_is_idempotent() {
         cluster.revive_node(node);
     }
 
-    let out = World::run(N, |comm| repl.repair(comm, 1).expect("repair runs"));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, 1).expect("repair runs"))
+        .expect_all();
     let first = &out.results[0];
     assert!(first.shards_rebuilt > 0, "wiped shards must be rebuilt");
     assert!(first.bytes_reconstructed > 0);
@@ -178,14 +186,18 @@ fn repair_rebuilds_wiped_shards_and_is_idempotent() {
         "repair must restore the exact parity footprint"
     );
 
-    let out = World::run(N, |comm| repl.repair(comm, 1).expect("repair runs"));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, 1).expect("repair runs"))
+        .expect_all();
     let second = &out.results[0];
     assert_eq!(second.shards_rebuilt, 0, "second repair must be a no-op");
     assert_eq!(second.chunks_healed, 0);
     assert_eq!(second.blobs_rematerialized, 0);
     assert!(second.is_fully_healed());
 
-    let out = World::run(N, |comm| repl.scrub(comm).expect("scrub runs"));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.scrub(comm).expect("scrub runs"))
+        .expect_all();
     let report = &out.results[0];
     assert!(
         report.is_clean(),
@@ -199,7 +211,9 @@ fn repair_rebuilds_wiped_shards_and_is_idempotent() {
         cluster.fail_node(node);
         cluster.revive_node(node);
     }
-    let out = World::run(N, |comm| repl.restore(comm, 1).map(Vec::from));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, 1).map(Vec::from))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         assert_eq!(
             r.as_ref().expect("restore after repair"),
@@ -218,7 +232,9 @@ fn losing_more_than_m_nodes_is_typed_loss_and_unrepairable() {
     let bufs = buffers(N);
     let cluster = Cluster::new(Placement::one_per_node(N));
     let repl = replicator(Strategy::CollDedup, &cluster, ChunkerKind::Fixed);
-    let out = World::run(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]))
+        .expect_all();
     for r in out.results {
         r.expect("dump succeeds");
     }
@@ -227,7 +243,9 @@ fn losing_more_than_m_nodes_is_typed_loss_and_unrepairable() {
         cluster.revive_node(node);
     }
 
-    let out = World::run(N, |comm| repl.restore(comm, 1).map(Vec::from));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, 1).map(Vec::from))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         assert!(
             r.is_err(),
@@ -235,14 +253,18 @@ fn losing_more_than_m_nodes_is_typed_loss_and_unrepairable() {
         );
     }
 
-    let out = World::run(N, |comm| repl.repair(comm, 1).expect("repair returns"));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, 1).expect("repair returns"))
+        .expect_all();
     let first = out.results[0].clone();
     assert!(!first.is_fully_healed(), "3 losses must not report healed");
     assert!(
         !first.unrepairable_stripes.is_empty(),
         "stripes below k survivors must be flagged"
     );
-    let out = World::run(N, |comm| repl.repair(comm, 1).expect("repair returns"));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, 1).expect("repair returns"))
+        .expect_all();
     assert_eq!(
         out.results[0].unrepairable_stripes, first.unrepairable_stripes,
         "unrepairable verdict must be stable across reruns"
@@ -261,7 +283,9 @@ fn dedup_credit_cuts_parity_versus_no_dedup() {
     for strategy in [Strategy::NoDedup, Strategy::CollDedup] {
         let cluster = Cluster::new(Placement::one_per_node(N));
         let repl = replicator(strategy, &cluster, ChunkerKind::Fixed);
-        let out = World::run(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]));
+        let out = WorldConfig::default()
+            .launch(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]))
+            .expect_all();
         for r in out.results {
             r.expect("dump succeeds");
         }

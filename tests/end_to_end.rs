@@ -5,7 +5,7 @@ use replidedup::apps::{Cm1, Cm1Config, Hpccg, HpccgConfig};
 use replidedup::ckpt::{CheckpointRuntime, TrackedHeap};
 use replidedup::core::{DumpConfig, Strategy};
 use replidedup::hash::Sha1ChunkHasher;
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 const STRATEGIES: [Strategy; 3] = [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
@@ -25,42 +25,44 @@ fn hpccg_checkpoint_failure_restart_converges_for_all_strategies() {
     for strategy in STRATEGIES {
         let cluster = Cluster::new(Placement::one_per_node(6));
         let cfg = DumpConfig::paper_defaults(strategy).with_replication(3);
-        let out = World::run(6, |comm| {
-            let rank = comm.rank();
-            let mut app = Hpccg::new(rank, comm.size(), hpccg_cfg());
-            let mut heap = TrackedHeap::default();
-            let regions = app.alloc_regions(&mut heap);
-            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+        let out = WorldConfig::default()
+            .launch(6, |comm| {
+                let rank = comm.rank();
+                let mut app = Hpccg::new(rank, comm.size(), hpccg_cfg());
+                let mut heap = TrackedHeap::default();
+                let regions = app.alloc_regions(&mut heap);
+                let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
 
-            app.run(comm, 10);
-            app.sync_to_heap(&mut heap, &regions);
-            rt.checkpoint(comm, &mut heap).expect("checkpoint");
-            let reference_after_20 = {
-                // Keep solving to iteration 20 as the reference trajectory.
-                let mut probe = app.clone();
-                probe.run(comm, 10);
-                probe.state().0.to_vec()
-            };
+                app.run(comm, 10);
+                app.sync_to_heap(&mut heap, &regions);
+                rt.checkpoint(comm, &mut heap).expect("checkpoint");
+                let reference_after_20 = {
+                    // Keep solving to iteration 20 as the reference trajectory.
+                    let mut probe = app.clone();
+                    probe.run(comm, 10);
+                    probe.state().0.to_vec()
+                };
 
-            // Two nodes die (K-1 = 2 tolerated).
-            comm.barrier();
-            if rank == 0 {
-                for node in [1, 4] {
-                    cluster.fail_node(node);
-                    cluster.revive_node(node);
+                // Two nodes die (K-1 = 2 tolerated).
+                comm.barrier();
+                if rank == 0 {
+                    for node in [1, 4] {
+                        cluster.fail_node(node);
+                        cluster.revive_node(node);
+                    }
                 }
-            }
-            comm.barrier();
+                comm.barrier();
 
-            // Restart from the checkpoint and replay to iteration 20.
-            let heap2 = rt.restart(comm).expect("restart");
-            let mut replay =
-                Hpccg::load_from_heap(&heap2, &regions, rank, comm.size(), hpccg_cfg());
-            assert_eq!(replay.iterations(), 10);
-            replay.run(comm, 10);
-            let replayed = replay.state().0.to_vec();
-            (reference_after_20, replayed)
-        });
+                // Restart from the checkpoint and replay to iteration 20.
+                let heap2 = rt.restart(comm).expect("restart");
+                let mut replay =
+                    Hpccg::load_from_heap(&heap2, &regions, rank, comm.size(), hpccg_cfg());
+                assert_eq!(replay.iterations(), 10);
+                replay.run(comm, 10);
+                let replayed = replay.state().0.to_vec();
+                (reference_after_20, replayed)
+            })
+            .expect_all();
         for (rank, (reference, replayed)) in out.results.iter().enumerate() {
             assert_eq!(
                 reference, replayed,
@@ -80,37 +82,39 @@ fn cm1_periodic_dumps_and_restart_match_uninterrupted_run() {
     };
     let cluster = Cluster::new(Placement::one_per_node(4));
     let cfg = DumpConfig::paper_defaults(Strategy::CollDedup).with_replication(2);
-    let out = World::run(4, |comm| {
-        let rank = comm.rank();
-        let mut app = Cm1::new(rank, comm.size(), model);
-        let mut heap = TrackedHeap::default();
-        let regions = app.alloc_regions(&mut heap);
-        let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+    let out = WorldConfig::default()
+        .launch(4, |comm| {
+            let rank = comm.rank();
+            let mut app = Cm1::new(rank, comm.size(), model);
+            let mut heap = TrackedHeap::default();
+            let regions = app.alloc_regions(&mut heap);
+            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
 
-        // Paper cadence: checkpoint every 30 steps of a 70-step run.
-        let mut reference = Vec::new();
-        for step in 1..=70u64 {
-            app.step(comm);
-            if step % 30 == 0 {
-                app.sync_to_heap(&mut heap, &regions);
-                rt.checkpoint(comm, &mut heap).expect("checkpoint");
+            // Paper cadence: checkpoint every 30 steps of a 70-step run.
+            let mut reference = Vec::new();
+            for step in 1..=70u64 {
+                app.step(comm);
+                if step % 30 == 0 {
+                    app.sync_to_heap(&mut heap, &regions);
+                    rt.checkpoint(comm, &mut heap).expect("checkpoint");
+                }
             }
-        }
-        reference.extend_from_slice(app.theta());
+            reference.extend_from_slice(app.theta());
 
-        // Lose a node, restart from checkpoint 2 (step 60), replay 10 steps.
-        comm.barrier();
-        if rank == 0 {
-            cluster.fail_node(2);
-            cluster.revive_node(2);
-        }
-        comm.barrier();
-        let heap2 = rt.restart_from(comm, 2).expect("restart");
-        let mut replay = Cm1::load_from_heap(&heap2, &regions, rank, comm.size(), model);
-        assert_eq!(replay.steps(), 60);
-        replay.run(comm, 10);
-        (reference, replay.theta().to_vec())
-    });
+            // Lose a node, restart from checkpoint 2 (step 60), replay 10 steps.
+            comm.barrier();
+            if rank == 0 {
+                cluster.fail_node(2);
+                cluster.revive_node(2);
+            }
+            comm.barrier();
+            let heap2 = rt.restart_from(comm, 2).expect("restart");
+            let mut replay = Cm1::load_from_heap(&heap2, &regions, rank, comm.size(), model);
+            assert_eq!(replay.steps(), 60);
+            replay.run(comm, 10);
+            (reference, replay.theta().to_vec())
+        })
+        .expect_all();
     for (rank, (reference, replayed)) in out.results.iter().enumerate() {
         assert_eq!(reference, replayed, "rank {rank}: replay diverged");
     }
@@ -122,22 +126,24 @@ fn multi_generation_checkpoints_restore_any_generation() {
     let cfg = DumpConfig::paper_defaults(Strategy::CollDedup)
         .with_replication(2)
         .with_chunk_size(256);
-    let out = World::run(4, |comm| {
-        let rank = comm.rank();
-        let mut heap = TrackedHeap::new(256);
-        let region = heap.alloc(1024);
-        let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
-        for gen in 1..=3u8 {
-            heap.write(region, 0, &vec![gen * 10 + rank as u8; 1024]);
-            rt.checkpoint(comm, &mut heap).expect("checkpoint");
-        }
-        let mut snapshots = Vec::new();
-        for gen in 1..=3u64 {
-            let h = rt.restart_from(comm, gen).expect("restore generation");
-            snapshots.push(h.read(region)[0]);
-        }
-        (rank, snapshots)
-    });
+    let out = WorldConfig::default()
+        .launch(4, |comm| {
+            let rank = comm.rank();
+            let mut heap = TrackedHeap::new(256);
+            let region = heap.alloc(1024);
+            let mut rt = CheckpointRuntime::new(&cluster, &Sha1ChunkHasher, cfg);
+            for gen in 1..=3u8 {
+                heap.write(region, 0, &vec![gen * 10 + rank as u8; 1024]);
+                rt.checkpoint(comm, &mut heap).expect("checkpoint");
+            }
+            let mut snapshots = Vec::new();
+            for gen in 1..=3u64 {
+                let h = rt.restart_from(comm, gen).expect("restore generation");
+                snapshots.push(h.read(region)[0]);
+            }
+            (rank, snapshots)
+        })
+        .expect_all();
     for (rank, snaps) in out.results {
         assert_eq!(
             snaps,
@@ -160,17 +166,19 @@ fn chunks_have_k_copies_on_distinct_nodes_for_private_data() {
                 .chunk_size(128)
                 .build()
                 .expect("valid config");
-            let out = World::run(n, |comm| {
-                // 4 private chunks per rank.
-                let buf: Vec<u8> = (0..512u32)
-                    .map(|i| {
-                        (comm.rank() as u8)
-                            .wrapping_mul(31)
-                            .wrapping_add((i / 128) as u8)
-                    })
-                    .collect();
-                repl.dump(comm, 1, &buf).expect("dump")
-            });
+            let out = WorldConfig::default()
+                .launch(n, |comm| {
+                    // 4 private chunks per rank.
+                    let buf: Vec<u8> = (0..512u32)
+                        .map(|i| {
+                            (comm.rank() as u8)
+                                .wrapping_mul(31)
+                                .wrapping_add((i / 128) as u8)
+                        })
+                        .collect();
+                    repl.dump(comm, 1, &buf).expect("dump")
+                })
+                .expect_all();
             drop(out);
             for node in 0..n {
                 let manifest = cluster.get_manifest(node, node, 1).expect("own manifest");
@@ -197,10 +205,12 @@ fn globally_shared_data_keeps_exactly_k_copies_under_coll_dedup() {
         .chunk_size(128)
         .build()
         .expect("valid config");
-    World::run(n, |comm| {
-        let buf = vec![0xEE; 128 * 5]; // identical on every rank
-        repl.dump(comm, 1, &buf).expect("dump");
-    });
+    WorldConfig::default()
+        .launch(n, |comm| {
+            let buf = vec![0xEE; 128 * 5]; // identical on every rank
+            repl.dump(comm, 1, &buf).expect("dump");
+        })
+        .expect_all();
     use replidedup::hash::ChunkHasher as _;
     let fp = replidedup::hash::Sha1ChunkHasher.fingerprint(&[0xEE; 128]);
     assert_eq!(
@@ -223,14 +233,16 @@ fn mixed_chunk_sizes_roundtrip() {
             .chunk_size(chunk_size)
             .build()
             .expect("valid config");
-        let out = World::run(3, |comm| {
-            let buf: Vec<u8> = (0..12_345u32)
-                .map(|i| (i as u8) ^ comm.rank() as u8)
-                .collect();
-            repl.dump(comm, 1, &buf).expect("dump");
-            let restored = repl.restore(comm, 1).expect("restore");
-            restored == buf
-        });
+        let out = WorldConfig::default()
+            .launch(3, |comm| {
+                let buf: Vec<u8> = (0..12_345u32)
+                    .map(|i| (i as u8) ^ comm.rank() as u8)
+                    .collect();
+                repl.dump(comm, 1, &buf).expect("dump");
+                let restored = repl.restore(comm, 1).expect("restore");
+                restored == buf
+            })
+            .expect_all();
         assert!(out.results.iter().all(|&ok| ok), "chunk size {chunk_size}");
     }
 }

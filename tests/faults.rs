@@ -22,7 +22,7 @@ use proptest::prelude::*;
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{ReplError, Replicator, RestoreError, Strategy, DUMP_PHASES};
-use replidedup::mpi::{CommError, FaultPlan, FaultTrigger, RankOutcome, World, WorldConfig};
+use replidedup::mpi::{CommError, FaultPlan, FaultTrigger, RankOutcome, WorldConfig};
 use replidedup::storage::{Cluster, Placement};
 
 const N: u32 = 6;
@@ -71,9 +71,7 @@ fn run_chaos(
         .with_faults(plan);
     let repl = replicator(strategy, &cluster, k);
 
-    let out = World::run_faulty(N, &config, |comm| {
-        repl.dump(comm, 1, &bufs[comm.rank() as usize])
-    });
+    let out = config.launch(N, |comm| repl.dump(comm, 1, &bufs[comm.rank() as usize]));
     let crashed = out.crashed_ranks();
     for (rank, o) in out.outcomes.iter().enumerate() {
         if let RankOutcome::Completed(Err(e)) = o {
@@ -87,7 +85,9 @@ fn run_chaos(
             cluster.revive_node(node);
         }
     }
-    let out = World::run(N, |comm| repl.restore(comm, 1).map(Vec::from));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, 1).map(Vec::from))
+        .expect_all();
     (crashed, out.results)
 }
 
@@ -234,17 +234,19 @@ fn nonparticipating_rank_surfaces_as_deadlock_suspected_with_context() {
     let cluster = Cluster::new(Placement::one_per_node(n));
     let repl = replicator(Strategy::NoDedup, &cluster, 2);
     let config = WorldConfig::default().with_recv_timeout(Duration::from_millis(300));
-    let out = World::run_with(n, &config, |comm| {
-        if comm.rank() == 1 {
-            // Rank 1 never enters the dump: rank 0's first collective can
-            // only resolve by timeout. The sleep keeps rank 1's channels
-            // alive well past it, so rank 0 sees a suspected deadlock and
-            // not a world teardown.
-            std::thread::sleep(Duration::from_millis(1500));
-            return None;
-        }
-        Some(repl.dump(comm, 1, &[7u8; 256]))
-    });
+    let out = config
+        .launch(n, |comm| {
+            if comm.rank() == 1 {
+                // Rank 1 never enters the dump: rank 0's first collective can
+                // only resolve by timeout. The sleep keeps rank 1's channels
+                // alive well past it, so rank 0 sees a suspected deadlock and
+                // not a world teardown.
+                std::thread::sleep(Duration::from_millis(1500));
+                return None;
+            }
+            Some(repl.dump(comm, 1, &[7u8; 256]))
+        })
+        .expect_all();
 
     let err = out.results[0]
         .as_ref()

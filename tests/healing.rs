@@ -29,7 +29,7 @@ use replidedup::core::{
     HealCursor, HealOptions, HealReport, RedundancyPolicy, Replicator, Strategy,
 };
 use replidedup::mpi::wire::Wire;
-use replidedup::mpi::{FaultPlan, FaultTrigger, World, WorldConfig};
+use replidedup::mpi::{FaultPlan, FaultTrigger, WorldConfig};
 use replidedup::storage::{Cluster, Placement};
 
 const N: u32 = 6;
@@ -128,9 +128,9 @@ proptest! {
                 let bufs = buffers(N);
                 let cluster = Cluster::new(Placement::one_per_node(N));
                 let repl = replicator(strategy, &cluster, policy, small_windows());
-                let out = World::run(N, |comm| {
+                let out = WorldConfig::default().launch(N, |comm| {
                     repl.dump(comm, DUMP, &bufs[comm.rank() as usize]).map(|_| ())
-                });
+                }).expect_all();
                 prop_assert!(out.results.iter().all(Result::is_ok));
 
                 let victims = seeded_victims(seed, tolerance);
@@ -139,7 +139,7 @@ proptest! {
                     cluster.revive_node(node); // replacement disk, empty
                 }
 
-                let out = World::run(N, |comm| {
+                let out = WorldConfig::default().launch(N, |comm| {
                     let mut cursor = HealCursor::new(DUMP);
                     let mut head = HealReport::default();
                     for _ in 0..stop_after {
@@ -154,7 +154,7 @@ proptest! {
                     let tail = repl.heal_from(comm, &mut resumed)?;
                     let after = repl.repair(comm, DUMP)?;
                     Ok::<_, replidedup::core::ReplError>((resumed, tail, after))
-                });
+                }).expect_all();
                 for r in &out.results {
                     let (cursor, tail, after) = r.as_ref().unwrap_or_else(|e| {
                         panic!("{strategy:?} {label} seed={seed}: heal failed: {e}")
@@ -171,7 +171,7 @@ proptest! {
                     prop_assert_eq!(after.shards_rebuilt, 0, "heal left repair no shard work");
                 }
 
-                let out = World::run(N, |comm| repl.restore(comm, DUMP));
+                let out = WorldConfig::default().launch(N, |comm| repl.restore(comm, DUMP)).expect_all();
                 for (rank, r) in out.results.iter().enumerate() {
                     let bytes = r.as_ref().unwrap_or_else(|e| {
                         panic!("{strategy:?} {label} seed={seed}: rank {rank} restore: {e}")
@@ -200,10 +200,12 @@ fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
         small_windows(),
     );
 
-    let out = World::run(N, |comm| {
-        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     assert!(out.results.iter().all(Result::is_ok), "healthy gen 1");
 
     // Gen 2 dies mid-commit: rank 3 crashes and takes its node down.
@@ -214,7 +216,7 @@ fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
     let config = WorldConfig::default()
         .with_recv_timeout(Duration::from_secs(2))
         .with_faults(plan);
-    let out = World::run_faulty(N, &config, |comm| {
+    let out = config.launch(N, |comm| {
         repl.dump(comm, 2, &bufs[comm.rank() as usize]).map(|_| ())
     });
     assert_eq!(out.crashed_ranks(), vec![3], "the dump crash must fire");
@@ -233,7 +235,7 @@ fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
         .with_recv_timeout(Duration::from_secs(2))
         .with_faults(plan);
     let store = Arc::clone(&persisted);
-    let out = World::run_faulty(N, &config, move |comm| {
+    let out = config.launch(N, move |comm| {
         let mut cursor = HealCursor::new(DUMP);
         let mut report = HealReport::default();
         loop {
@@ -265,10 +267,12 @@ fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
         small_windows(),
     );
     let cursor0 = resumed.clone();
-    let out = World::run(N, |comm| {
-        let mut cursor = cursor0.clone();
-        repl.heal_from(comm, &mut cursor).map(|r| (cursor, r))
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            let mut cursor = cursor0.clone();
+            repl.heal_from(comm, &mut cursor).map(|r| (cursor, r))
+        })
+        .expect_all();
     for r in &out.results {
         let (cursor, report) = r.as_ref().expect("resumed heal succeeds");
         assert!(cursor.is_done());
@@ -280,7 +284,9 @@ fn healer_killed_mid_heal_resumes_from_persisted_cursor() {
     resumed = out.results[0].as_ref().unwrap().0.clone();
     assert!(resumed.steps_taken > 0);
 
-    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, DUMP))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         assert_eq!(
             r.as_ref().expect("restore after resumed heal"),
@@ -305,10 +311,12 @@ fn heal_interleaves_with_a_live_foreground_dump() {
             RedundancyPolicy::Replicate(3),
             small_windows(),
         );
-        let out = World::run(N, |comm| {
-            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
-                .map(|_| ())
-        });
+        let out = WorldConfig::default()
+            .launch(N, |comm| {
+                repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                    .map(|_| ())
+            })
+            .expect_all();
         assert!(out.results.iter().all(Result::is_ok));
         cluster.fail_node(5);
         cluster.revive_node(5);
@@ -316,14 +324,16 @@ fn heal_interleaves_with_a_live_foreground_dump() {
 
     let healer = {
         let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || {
+        replidedup::mpi::sched::spawn("bg-healer", move || {
             let repl = replicator(
                 Strategy::CollDedup,
                 &cluster,
                 RedundancyPolicy::Replicate(3),
                 small_windows(),
             );
-            let out = World::run(N, |comm| repl.heal(comm, DUMP));
+            let out = WorldConfig::default()
+                .launch(N, |comm| repl.heal(comm, DUMP))
+                .expect_all();
             out.results
                 .into_iter()
                 .map(|r| r.expect("background heal succeeds"))
@@ -333,16 +343,18 @@ fn heal_interleaves_with_a_live_foreground_dump() {
     let dumper = {
         let cluster = Arc::clone(&cluster);
         let bufs = bufs.clone();
-        std::thread::spawn(move || {
+        replidedup::mpi::sched::spawn("bg-dumper", move || {
             let repl = replicator(
                 Strategy::CollDedup,
                 &cluster,
                 RedundancyPolicy::Replicate(3),
                 small_windows(),
             );
-            let out = World::run(N, |comm| {
-                repl.dump(comm, 2, &bufs[comm.rank() as usize]).map(|_| ())
-            });
+            let out = WorldConfig::default()
+                .launch(N, |comm| {
+                    repl.dump(comm, 2, &bufs[comm.rank() as usize]).map(|_| ())
+                })
+                .expect_all();
             assert!(out.results.iter().all(Result::is_ok), "foreground dump");
         })
     };
@@ -357,7 +369,9 @@ fn heal_interleaves_with_a_live_foreground_dump() {
         small_windows(),
     );
     for gen in [DUMP, 2] {
-        let out = World::run(N, |comm| repl.restore(comm, gen));
+        let out = WorldConfig::default()
+            .launch(N, |comm| repl.restore(comm, gen))
+            .expect_all();
         for (rank, r) in out.results.iter().enumerate() {
             assert_eq!(
                 r.as_ref()
@@ -385,17 +399,19 @@ fn heal_gc_step_reclaims_superseded_generations_safely() {
             ..small_windows()
         },
     );
-    let out = World::run(N, |comm| {
-        // Gen 1 and gen 2 share most chunks (same workload, one byte of
-        // per-generation skew via the dump id in the first chunk).
-        let mut buf = bufs[comm.rank() as usize].clone();
-        repl.dump(comm, DUMP, &buf)?;
-        buf[0] ^= 0x5A;
-        repl.dump(comm, 2, &buf)?;
-        let mut cursor = HealCursor::new(2);
-        let report = repl.heal_from(comm, &mut cursor)?;
-        repl.restore(comm, 2).map(|r| (report, Vec::from(r), buf))
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            // Gen 1 and gen 2 share most chunks (same workload, one byte of
+            // per-generation skew via the dump id in the first chunk).
+            let mut buf = bufs[comm.rank() as usize].clone();
+            repl.dump(comm, DUMP, &buf)?;
+            buf[0] ^= 0x5A;
+            repl.dump(comm, 2, &buf)?;
+            let mut cursor = HealCursor::new(2);
+            let report = repl.heal_from(comm, &mut cursor)?;
+            repl.restore(comm, 2).map(|r| (report, Vec::from(r), buf))
+        })
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         let (report, restored, expected) = r.as_ref().expect("heal with gc succeeds");
         assert_eq!(report.gc.generations_collected, 1, "gen 1 swept");

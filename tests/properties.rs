@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{DumpConfig, Replicator, Strategy, WorldDumpStats};
-use replidedup::mpi::World;
+use replidedup::mpi::WorldConfig;
 use replidedup::storage::{Cluster, Placement};
 
 fn arb_strategy() -> impl Strategy_ {
@@ -68,7 +68,7 @@ proptest! {
             .with_replication(k)
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
-        let out = World::run(n, |comm| {
+        let out = WorldConfig::default().launch(n, |comm| {
             let repl = Replicator::builder(strategy)
                 .cluster(&cluster)
                 .with_config(cfg)
@@ -76,7 +76,7 @@ proptest! {
                 .expect("valid config");
             repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump");
             Vec::from(repl.restore(comm, 1).expect("restore"))
-        });
+        }).expect_all();
         for (r, restored) in out.results.iter().enumerate() {
             prop_assert_eq!(restored, &buffers[r], "rank {}", r);
         }
@@ -98,7 +98,7 @@ proptest! {
             .with_replication(k)
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
-        let out = World::run(n, |comm| {
+        let out = WorldConfig::default().launch(n, |comm| {
             let repl = Replicator::builder(strategy)
                 .cluster(&cluster)
                 .with_config(cfg)
@@ -112,7 +112,7 @@ proptest! {
             }
             comm.barrier();
             Vec::from(repl.restore(comm, 1).expect("restore after failure"))
-        });
+        }).expect_all();
         for (r, restored) in out.results.iter().enumerate() {
             prop_assert_eq!(restored, &buffers[r], "rank {} after failing node {}", r, victim);
         }
@@ -132,14 +132,14 @@ proptest! {
             .with_replication(k)
             .with_chunk_size(128);
         let buffers: Vec<Vec<u8>> = (0..n).map(|r| workload.generate(r)).collect();
-        let out = World::run(n, |comm| {
+        let out = WorldConfig::default().launch(n, |comm| {
             let repl = Replicator::builder(strategy)
                 .cluster(&cluster)
                 .with_config(cfg)
                 .build()
                 .expect("valid config");
             repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump")
-        });
+        }).expect_all();
         let traffic_sent: u64 = out.traffic.total_sent();
         let traffic_recv: u64 = out.traffic.total_recv();
         prop_assert_eq!(traffic_sent, traffic_recv);
@@ -165,14 +165,14 @@ proptest! {
             let cfg = DumpConfig::paper_defaults(strategy)
                 .with_replication(k)
                 .with_chunk_size(128);
-            let out = World::run(n, |comm| {
+            let out = WorldConfig::default().launch(n, |comm| {
                 let repl = Replicator::builder(strategy)
                     .cluster(&cluster)
                     .with_config(cfg)
                     .build()
                     .expect("valid config");
                 repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump")
-            });
+            }).expect_all();
             let stats = WorldDumpStats::from_ranks(strategy, 128, out.results);
             for r in &stats.ranks {
                 prop_assert_eq!(r.chunks_kept + r.chunks_discarded, r.chunks_locally_unique);
@@ -202,14 +202,14 @@ proptest! {
             let cfg = DumpConfig::paper_defaults(strategy)
                 .with_replication(k)
                 .with_chunk_size(128);
-            World::run(n, |comm| {
+            WorldConfig::default().launch(n, |comm| {
                 let repl = Replicator::builder(strategy)
                     .cluster(&cluster)
                     .with_config(cfg)
                     .build()
                     .expect("valid config");
                 repl.dump(comm, 1, buffers[comm.rank() as usize].clone()).expect("dump");
-            });
+            }).expect_all();
             device.push(cluster.total_unique_bytes());
         }
         prop_assert!(device[1] <= device[0], "coll {} > local {}", device[1], device[0]);

@@ -25,7 +25,7 @@ use proptest::prelude::*;
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{Replicator, Strategy};
-use replidedup::mpi::{EventKind, FaultPlan, FaultTrigger, World, WorldConfig};
+use replidedup::mpi::{EventKind, FaultPlan, FaultTrigger, WorldConfig};
 use replidedup::storage::{Cluster, Placement};
 
 const N: u32 = 6;
@@ -120,9 +120,9 @@ proptest! {
                 let bufs = buffers(N);
                 let cluster = Cluster::new(Placement::one_per_node(N));
                 let repl = replicator(strategy, &cluster, k);
-                let out = World::run(N, |comm| {
+                let out = WorldConfig::default().launch(N, |comm| {
                     repl.dump(comm, DUMP, &bufs[comm.rank() as usize]).map(|_| ())
-                });
+                }).expect_all();
                 prop_assert!(out.results.iter().all(Result::is_ok));
 
                 let victims = seeded_victims(seed, k - 1);
@@ -131,7 +131,7 @@ proptest! {
                     cluster.revive_node(node); // replacement comes up empty
                 }
 
-                let out = World::run(N, |comm| repl.repair(comm, DUMP));
+                let out = WorldConfig::default().launch(N, |comm| repl.repair(comm, DUMP)).expect_all();
                 for (rank, r) in out.results.iter().enumerate() {
                     let stats = r.as_ref().unwrap_or_else(|e| {
                         panic!("{strategy:?} K={k} seed={seed}: rank {rank} repair failed: {e}")
@@ -150,7 +150,7 @@ proptest! {
                 assert_healed(&cluster, strategy, k, "after repair");
 
                 // Second repair finds nothing to do (idempotency).
-                let out = World::run(N, |comm| repl.repair(comm, DUMP));
+                let out = WorldConfig::default().launch(N, |comm| repl.repair(comm, DUMP)).expect_all();
                 for r in &out.results {
                     let stats = r.as_ref().expect("idempotent repair");
                     prop_assert_eq!(stats.chunks_healed, 0, "re-repair must be a no-op");
@@ -158,7 +158,7 @@ proptest! {
                     prop_assert_eq!(stats.blobs_rematerialized, 0);
                 }
 
-                let out = World::run(N, |comm| repl.restore(comm, DUMP));
+                let out = WorldConfig::default().launch(N, |comm| repl.restore(comm, DUMP)).expect_all();
                 for (rank, r) in out.results.iter().enumerate() {
                     let bytes = r.as_ref().unwrap_or_else(|e| {
                         panic!("{strategy:?} K={k} seed={seed}: rank {rank} restore failed: {e}")
@@ -180,10 +180,12 @@ fn crash_during_repair_transfer_then_rerun_converges() {
     let cluster = Arc::new(Cluster::new(Placement::one_per_node(N)));
     let repl = replicator(Strategy::CollDedup, &cluster, k);
 
-    let out = World::run(N, |comm| {
-        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     assert!(out.results.iter().all(Result::is_ok));
 
     // One node lost and revived empty: the repair has real work to do.
@@ -199,7 +201,7 @@ fn crash_during_repair_transfer_then_rerun_converges() {
     let config = WorldConfig::default()
         .with_recv_timeout(Duration::from_secs(2))
         .with_faults(plan);
-    let out = World::run_faulty(N, &config, |comm| repl.repair(comm, DUMP));
+    let out = config.launch(N, |comm| repl.repair(comm, DUMP));
     assert_eq!(out.crashed_ranks(), vec![4], "the planned crash must fire");
 
     // Restart: the crashed node is replaced, the repair is re-run.
@@ -208,14 +210,18 @@ fn crash_during_repair_transfer_then_rerun_converges() {
             cluster.revive_node(node);
         }
     }
-    let out = World::run(N, |comm| repl.repair(comm, DUMP));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, DUMP))
+        .expect_all();
     for r in &out.results {
         let stats = r.as_ref().expect("rerun repair succeeds");
         assert!(stats.is_fully_healed(), "rerun must converge: {stats:?}");
     }
     assert_healed(&cluster, Strategy::CollDedup, k, "after crash + rerun");
 
-    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, DUMP))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         assert_eq!(
             r.as_ref().expect("restore after healed rerun"),
@@ -235,10 +241,12 @@ fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
     let cluster = Cluster::new(Placement::one_per_node(N));
     let repl = replicator(Strategy::CollDedup, &cluster, k);
 
-    let out = World::run(N, |comm| {
-        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     assert!(out.results.iter().all(Result::is_ok));
 
     // Rot one stored chunk on each of two nodes — distinct fingerprints,
@@ -255,7 +263,9 @@ fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
     let mut injected = vec![(1u32, fp1), (4u32, fp4)];
     injected.sort_unstable();
 
-    let out = World::run(N, |comm| repl.scrub(comm));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.scrub(comm))
+        .expect_all();
     for r in &out.results {
         let report = r.as_ref().expect("scrub succeeds");
         assert_eq!(
@@ -266,7 +276,9 @@ fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
         assert!(!report.is_clean());
     }
 
-    let out = World::run(N, |comm| repl.repair(comm, DUMP));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.repair(comm, DUMP))
+        .expect_all();
     for r in &out.results {
         let stats = r.as_ref().expect("repair succeeds");
         assert_eq!(
@@ -281,7 +293,9 @@ fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
     }
     assert_healed(&cluster, Strategy::CollDedup, k, "after corruption repair");
 
-    let out = World::run(N, |comm| repl.scrub(comm));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.scrub(comm))
+        .expect_all();
     for r in &out.results {
         assert!(
             r.as_ref().expect("scrub succeeds").is_clean(),
@@ -289,7 +303,9 @@ fn scrub_detects_exactly_injected_corruptions_and_repair_heals_them() {
         );
     }
 
-    let out = World::run(N, |comm| repl.restore(comm, DUMP));
+    let out = WorldConfig::default()
+        .launch(N, |comm| repl.restore(comm, DUMP))
+        .expect_all();
     for (rank, r) in out.results.iter().enumerate() {
         assert_eq!(
             r.as_ref().expect("restore after corruption repair"),
@@ -314,29 +330,33 @@ fn transient_hiccups_are_absorbed_by_the_restore_retry_policy() {
         .build()
         .expect("valid config");
 
-    let out = World::run(N, |comm| {
-        repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
-            .map(|_| ())
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            repl.dump(comm, DUMP, &bufs[comm.rank() as usize])
+                .map(|_| ())
+        })
+        .expect_all();
     assert!(out.results.iter().all(Result::is_ok));
 
     // Two consecutive reads on node 0 will fail before the device
     // recovers — within the default 4-attempt budget.
     cluster.inject_transient(0, 2).expect("live node");
 
-    let out = World::run(N, |comm| {
-        let restored = repl.restore(comm, DUMP);
-        let retries: u64 = comm
-            .take_trace_events()
-            .iter()
-            .filter(|e| e.name == "restore_retries")
-            .map(|e| match e.kind {
-                EventKind::Counter(v) => v,
-                _ => 0,
-            })
-            .sum();
-        (comm.rank(), restored, retries)
-    });
+    let out = WorldConfig::default()
+        .launch(N, |comm| {
+            let restored = repl.restore(comm, DUMP);
+            let retries: u64 = comm
+                .take_trace_events()
+                .iter()
+                .filter(|e| e.name == "restore_retries")
+                .map(|e| match e.kind {
+                    EventKind::Counter(v) => v,
+                    _ => 0,
+                })
+                .sum();
+            (comm.rank(), restored, retries)
+        })
+        .expect_all();
     let mut total_retries = 0;
     for (rank, restored, retries) in out.results {
         assert_eq!(

@@ -12,7 +12,7 @@
 
 use replidedup::apps::SyntheticWorkload;
 use replidedup::core::{Replicator, Strategy};
-use replidedup::mpi::{Event, EventKind, RankTrace, World, WorldConfig};
+use replidedup::mpi::{Event, EventKind, RankTrace, WorldConfig};
 use replidedup::storage::{Cluster, Placement};
 
 /// The seven phases of the paper's Algorithm 1, in execution order.
@@ -97,10 +97,12 @@ fn coll_dedup_dump_records_identical_phase_sequence_on_every_rank() {
         .build()
         .expect("valid config");
 
-    let out = World::run_with(n, &WorldConfig::traced(), |comm| {
-        repl.dump(comm, 1, &bufs[comm.rank() as usize])
-            .expect("dump");
-    });
+    let out = WorldConfig::traced()
+        .launch(n, |comm| {
+            repl.dump(comm, 1, &bufs[comm.rank() as usize])
+                .expect("dump");
+        })
+        .expect_all();
     let trace = out.trace.expect("tracing was enabled");
     assert_eq!(trace.ranks.len(), n as usize);
 
@@ -137,26 +139,28 @@ fn spans_nest_and_do_not_leak_across_dumps() {
         .build()
         .expect("valid config");
 
-    World::run_with(n, &WorldConfig::traced(), |comm| {
-        let me = comm.rank() as usize;
-        repl.dump(comm, 1, &bufs[me]).expect("first dump");
-        // take_trace_events itself panics on an open span; the balance
-        // check additionally verifies LIFO pairing and recorded depths.
-        let first = comm.take_trace_events();
-        assert!(
-            !first.is_empty(),
-            "tracing was on, first dump recorded nothing"
-        );
-        assert_balanced(&first);
+    WorldConfig::traced()
+        .launch(n, |comm| {
+            let me = comm.rank() as usize;
+            repl.dump(comm, 1, &bufs[me]).expect("first dump");
+            // take_trace_events itself panics on an open span; the balance
+            // check additionally verifies LIFO pairing and recorded depths.
+            let first = comm.take_trace_events();
+            assert!(
+                !first.is_empty(),
+                "tracing was on, first dump recorded nothing"
+            );
+            assert_balanced(&first);
 
-        repl.dump(comm, 2, &bufs[me]).expect("second dump");
-        let second = comm.take_trace_events();
-        assert_balanced(&second);
+            repl.dump(comm, 2, &bufs[me]).expect("second dump");
+            let second = comm.take_trace_events();
+            assert_balanced(&second);
 
-        // Same program, fresh buffer: the second dump's span structure is
-        // identical and carries nothing over from the first.
-        assert_eq!(span_sequence(&first), span_sequence(&second));
-    });
+            // Same program, fresh buffer: the second dump's span structure is
+            // identical and carries nothing over from the first.
+            assert_eq!(span_sequence(&first), span_sequence(&second));
+        })
+        .expect_all();
 }
 
 #[test]
@@ -173,19 +177,21 @@ fn traced_restore_after_node_failure_is_byte_exact_and_records_recovery_phases()
                 .build()
                 .expect("valid config");
 
-            let out = World::run_with(n, &WorldConfig::traced(), |comm| {
-                let me = comm.rank() as usize;
-                repl.dump(comm, 1, &bufs[me]).expect("dump");
-                comm.take_trace_events(); // isolate the restore trace
-                comm.barrier();
-                if comm.rank() == 0 {
-                    cluster.fail_node(1);
-                    cluster.revive_node(1);
-                }
-                comm.barrier();
-                let restored = repl.restore(comm, 1).expect("restore after failure");
-                (restored, comm.take_trace_events())
-            });
+            let out = WorldConfig::traced()
+                .launch(n, |comm| {
+                    let me = comm.rank() as usize;
+                    repl.dump(comm, 1, &bufs[me]).expect("dump");
+                    comm.take_trace_events(); // isolate the restore trace
+                    comm.barrier();
+                    if comm.rank() == 0 {
+                        cluster.fail_node(1);
+                        cluster.revive_node(1);
+                    }
+                    comm.barrier();
+                    let restored = repl.restore(comm, 1).expect("restore after failure");
+                    (restored, comm.take_trace_events())
+                })
+                .expect_all();
 
             let expected: &[&str] = match strategy {
                 Strategy::NoDedup => &["blob_recovery"],
@@ -237,7 +243,7 @@ fn injected_crash_emits_fault_span_on_dying_rank_and_aggregation_stays_determini
         let config = WorldConfig::traced()
             .with_recv_timeout(Duration::from_secs(2))
             .with_faults(plan);
-        replidedup::mpi::World::run_faulty(n, &config, |comm| {
+        config.launch(n, |comm| {
             // Survivors degrade; the error value itself is not under test.
             let _ = repl.dump(comm, 1, &bufs[comm.rank() as usize]);
         })
@@ -297,7 +303,7 @@ fn injected_crash_emits_fault_span_on_dying_rank_and_aggregation_stays_determini
         let config = WorldConfig::traced()
             .with_recv_timeout(Duration::from_secs(2))
             .with_faults(plan);
-        let out = replidedup::mpi::World::run_faulty(n, &config, |comm| {
+        let out = config.launch(n, |comm| {
             repl.dump(comm, 1, &bufs[comm.rank() as usize])
                 .expect("delayed dump completes");
         });

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use replidedup::buf::Chunk;
 use replidedup::core::{CopyMode, DumpConfig, Replicator, Strategy};
 use replidedup::hash::Sha1ChunkHasher;
-use replidedup::mpi::{FrameReader, FrameWriter, World};
+use replidedup::mpi::{FrameReader, FrameWriter, WorldConfig};
 use replidedup::storage::{Cluster, Placement};
 
 const STRATEGIES: [Strategy; 3] = [Strategy::NoDedup, Strategy::LocalDedup, Strategy::CollDedup];
@@ -71,21 +71,23 @@ proptest! {
 #[test]
 fn comm_frame_round_trip_is_zero_copy_across_ranks() {
     const TAG: replidedup::mpi::Tag = 0x7A7A_0001;
-    let out = World::run(2, |comm| {
-        if comm.rank() == 0 {
-            let chunk = Chunk::from(vec![0xAB; 1 << 16]);
-            let mut w = FrameWriter::new();
-            w.put(&7u32);
-            w.attach(chunk.clone());
-            comm.try_send_frame(1, TAG, w.finish()).unwrap();
-            chunk
-        } else {
-            let mut r = FrameReader::new(comm.try_recv_frame(0, TAG).unwrap());
-            let marker: u32 = r.get().unwrap();
-            assert_eq!(marker, 7);
-            r.take_payload().unwrap()
-        }
-    });
+    let out = WorldConfig::default()
+        .launch(2, |comm| {
+            if comm.rank() == 0 {
+                let chunk = Chunk::from(vec![0xAB; 1 << 16]);
+                let mut w = FrameWriter::new();
+                w.put(&7u32);
+                w.attach(chunk.clone());
+                comm.try_send_frame(1, TAG, w.finish()).unwrap();
+                chunk
+            } else {
+                let mut r = FrameReader::new(comm.try_recv_frame(0, TAG).unwrap());
+                let marker: u32 = r.get().unwrap();
+                assert_eq!(marker, 7);
+                r.take_payload().unwrap()
+            }
+        })
+        .expect_all();
     assert_eq!(out.results[0], out.results[1]);
     assert!(
         out.results[1].shares_allocation_with(&out.results[0]),
@@ -114,11 +116,13 @@ fn dump_restore_byte_exact_all_strategies_and_k() {
                     .build()
                     .expect("valid config");
                 let chunks: Vec<Chunk> = bufs.iter().map(|b| Chunk::from(b.clone())).collect();
-                let out = World::run(N, |comm| {
-                    repl.dump(comm, 1, chunks[comm.rank() as usize].clone())
-                        .expect("dump succeeds");
-                    repl.restore(comm, 1).expect("restore succeeds")
-                });
+                let out = WorldConfig::default()
+                    .launch(N, |comm| {
+                        repl.dump(comm, 1, chunks[comm.rank() as usize].clone())
+                            .expect("dump succeeds");
+                        repl.restore(comm, 1).expect("restore succeeds")
+                    })
+                    .expect_all();
                 for (rank, got) in out.results.iter().enumerate() {
                     assert!(
                         *got == bufs[rank],
@@ -140,19 +144,21 @@ fn send_bytes_delivers_identical_bytes() {
     const TAG_OWNED: replidedup::mpi::Tag = 0x7A7A_0003;
     let payload = vec![0x5C_u8; 4096];
     let sent = payload.clone();
-    let out = World::run(2, |comm| {
-        if comm.rank() == 0 {
-            comm.try_send_bytes(1, TAG_STATIC, bytes::Bytes::from_static(&[0x5C_u8; 4096]))
-                .unwrap();
-            comm.try_send_bytes(1, TAG_OWNED, bytes::Bytes::from(sent.clone()))
-                .unwrap();
-            (Vec::new(), Vec::new())
-        } else {
-            let from_static = comm.try_recv(0, TAG_STATIC).unwrap().to_vec();
-            let owned = comm.try_recv(0, TAG_OWNED).unwrap().to_vec();
-            (from_static, owned)
-        }
-    });
+    let out = WorldConfig::default()
+        .launch(2, |comm| {
+            if comm.rank() == 0 {
+                comm.try_send_bytes(1, TAG_STATIC, bytes::Bytes::from_static(&[0x5C_u8; 4096]))
+                    .unwrap();
+                comm.try_send_bytes(1, TAG_OWNED, bytes::Bytes::from(sent.clone()))
+                    .unwrap();
+                (Vec::new(), Vec::new())
+            } else {
+                let from_static = comm.try_recv(0, TAG_STATIC).unwrap().to_vec();
+                let owned = comm.try_recv(0, TAG_OWNED).unwrap().to_vec();
+                (from_static, owned)
+            }
+        })
+        .expect_all();
     let (from_static, owned) = &out.results[1];
     assert_eq!(from_static, &payload);
     assert_eq!(owned, &payload);
